@@ -1,0 +1,1 @@
+bench/main.ml: Analyze Array Bechamel Benchmark Lazy List Measure Option Printf Report Staged String Sys Test Time Toolkit Xsm_datatypes Xsm_numbering Xsm_schema Xsm_storage Xsm_xdm Xsm_xml Xsm_xpath

@@ -1,0 +1,1 @@
+bench/report.ml: Array List Option Printf Result Sys Xsm_datatypes Xsm_numbering Xsm_schema Xsm_storage Xsm_xdm Xsm_xml Xsm_xpath

@@ -1,0 +1,163 @@
+(* Bench entry point.
+
+   Default: Bechamel micro-benchmarks, one group per experiment E1-E10
+   (ns/op with OLS estimation).  With --report: the full experiment
+   harness that regenerates the EXPERIMENTS.md tables. *)
+
+open Bechamel
+
+module Store = Xsm_xdm.Store
+module Convert = Xsm_xdm.Convert
+module Name = Xsm_xml.Name
+module Label = Xsm_numbering.Sedna_label
+module B = Xsm_storage.Block_storage
+
+let staged = Staged.stage
+
+(* ---------------- shared fixtures (built once) ---------------- *)
+
+let bookstore_doc = Xsm_schema.Samples.bookstore_document ~books:200 ()
+
+let library_fixture =
+  lazy
+    (let store = Store.create () in
+     let doc = Xsm_schema.Samples.library_document ~books:300 ~papers:150 () in
+     let dnode = Convert.load store doc in
+     let bs = B.of_store store dnode in
+     let labels = Xsm_numbering.Labeler.label_tree store dnode in
+     (store, dnode, bs, labels))
+
+let adversarial_model n =
+  let optional_a =
+    List.init n (fun _ ->
+        Xsm_schema.Ast.elem_p
+          (Xsm_schema.Ast.element ~repetition:Xsm_schema.Ast.optional "a"
+             (Xsm_schema.Ast.named_type "xs:string")))
+  in
+  let mandatory_a =
+    List.init n (fun _ ->
+        Xsm_schema.Ast.elem_p (Xsm_schema.Ast.element "a" (Xsm_schema.Ast.named_type "xs:string")))
+  in
+  (Xsm_schema.Ast.sequence (optional_a @ mandatory_a), List.init n (fun _ -> Name.local "a"))
+
+(* ---------------- the tests ---------------- *)
+
+let tests () =
+  let e1 =
+    Test.make ~name:"E1 validate bookstore(200 books)"
+      (staged (fun () ->
+           match
+             Xsm_schema.Validator.validate_document bookstore_doc
+               Xsm_schema.Samples.example7_schema
+           with
+           | Ok _ -> ()
+           | Error _ -> failwith "invalid"))
+  in
+  let model, word = adversarial_model 10 in
+  let automaton =
+    match Xsm_schema.Content_automaton.make model with Ok a -> a | Error e -> failwith e
+  in
+  let e2a =
+    Test.make ~name:"E2 automaton match (a?){10}a{10}"
+      (staged (fun () -> ignore (Xsm_schema.Content_automaton.matches automaton word)))
+  in
+  let e2b =
+    Test.make ~name:"E2 backtrack match (a?){10}a{10}"
+      (staged (fun () -> ignore (Xsm_schema.Backtrack.matches model word)))
+  in
+  let e3 =
+    Test.make ~name:"E3 roundtrip g(f(X)) bookstore(20)"
+      (let doc = Xsm_schema.Samples.bookstore_document ~books:20 () in
+       staged (fun () ->
+           match Xsm_schema.Roundtrip.holds_for doc Xsm_schema.Samples.example7_schema with
+           | Ok true -> ()
+           | _ -> failwith "roundtrip failed"))
+  in
+  let store, dnode, bs, labels = Lazy.force library_fixture in
+  let nodes = Array.of_list (Store.descendants_or_self store dnode) in
+  let n = Array.length nodes in
+  let a_node = nodes.(n / 3) and b_node = nodes.(2 * n / 3) in
+  let la = Xsm_numbering.Labeler.label labels a_node in
+  let lb = Xsm_numbering.Labeler.label labels b_node in
+  let e4a =
+    Test.make ~name:"E4 order via accessors"
+      (staged (fun () -> ignore (Xsm_xdm.Order.compare store a_node b_node)))
+  in
+  let e4b =
+    Test.make ~name:"E4 order via labels"
+      (staged (fun () -> ignore (Label.compare la lb)))
+  in
+  let e5 =
+    Test.make ~name:"E5 ancestor predicate on labels"
+      (staged (fun () -> ignore (Label.is_ancestor la lb)))
+  in
+  let e6 =
+    Test.make ~name:"E6 between-label insertion"
+      (let kids = Label.assign_children Label.root 2 in
+       let l1 = List.nth kids 0 and l2 = List.nth kids 1 in
+       staged (fun () -> ignore (Label.between l1 l2)))
+  in
+  let e7 =
+    Test.make ~name:"E7 descriptive schema build (lib 300)"
+      (staged (fun () -> ignore (Xsm_storage.Descriptive_schema.of_tree store dnode)))
+  in
+  let rootd = B.root bs in
+  let e8a =
+    Test.make ~name:"E8 navigational //author"
+      (staged (fun () ->
+           match Xsm_xpath.Eval.Over_storage.eval_string bs rootd "//author" with
+           | Ok _ -> ()
+           | Error e -> failwith e))
+  in
+  let e8b =
+    Test.make ~name:"E8 schema-driven //author"
+      (staged (fun () ->
+           match Xsm_xpath.Schema_driven.eval_string bs "//author" with
+           | Ok _ -> ()
+           | Error e -> failwith e))
+  in
+  let mid = Option.get (B.descriptor_of_node bs nodes.(n / 2)) in
+  let e9 =
+    Test.make ~name:"E9 string-value from descriptors"
+      (staged (fun () -> ignore (B.string_value bs mid)))
+  in
+  let e10 =
+    Test.make ~name:"E10 validate xs:dateTime value"
+      (staged (fun () ->
+           match
+             Xsm_datatypes.Builtin.validate
+               (Xsm_datatypes.Builtin.Primitive Xsm_datatypes.Builtin.P_date_time)
+               "2004-10-28T09:00:00Z"
+           with
+           | Ok _ -> ()
+           | Error e -> failwith e))
+  in
+  [ e1; e2a; e2b; e3; e4a; e4b; e5; e6; e7; e8a; e8b; e9; e10 ]
+
+let run_bechamel () =
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) () in
+  let instances = [ Toolkit.Instance.monotonic_clock ] in
+  let ols = Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |] in
+  Printf.printf "%-42s %14s %10s\n" "benchmark" "ns/op" "r2";
+  Printf.printf "%s\n" (String.make 68 '-');
+  List.iter
+    (fun test ->
+      List.iter
+        (fun elt ->
+          let raw = Benchmark.run cfg instances elt in
+          let result = Analyze.one ols Toolkit.Instance.monotonic_clock raw in
+          let estimate =
+            match Analyze.OLS.estimates result with Some [ e ] -> e | Some _ | None -> nan
+          in
+          let r2 = Option.value ~default:nan (Analyze.OLS.r_square result) in
+          Printf.printf "%-42s %14.1f %10.4f\n" (Test.Elt.name elt) estimate r2)
+        (Test.elements test))
+    (tests ())
+
+let () =
+  let args = Array.to_list Sys.argv in
+  if List.mem "--report" args then Report.run ()
+  else begin
+    run_bechamel ();
+    print_endline "\n(run with --report for the full E1-E10 experiment tables)"
+  end

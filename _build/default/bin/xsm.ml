@@ -1,0 +1,255 @@
+(* xsm — command-line front end.
+
+   Subcommands:
+     validate  SCHEMA.xsd DOC.xml     validate a document against a schema
+     check     SCHEMA.xsd             schema well-formedness (§3 + UPA)
+     query     DOC.xml PATH           evaluate an XPath-subset query
+     dataguide DOC.xml                print the descriptive schema (§9.1)
+     labels    DOC.xml                print nodes with Sedna labels (§9.3)
+     roundtrip SCHEMA.xsd DOC.xml     check g(f(X)) =_c X (§8)
+*)
+
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let load_schema path =
+  match Xsm_xsd.Reader.schema_of_string (read_file path) with
+  | Ok s -> Ok s
+  | Error e -> Error (Printf.sprintf "%s: %s" path (Xsm_xsd.Reader.error_to_string e))
+
+let load_document path =
+  match Xsm_xml.Parser.parse_document (read_file path) with
+  | Ok d -> Ok d
+  | Error e -> Error (Printf.sprintf "%s: %s" path (Xsm_xml.Parser.error_to_string e))
+
+let or_die = function
+  | Ok v -> v
+  | Error msg ->
+    prerr_endline msg;
+    exit 2
+
+(* ------------------------------------------------------------------ *)
+
+let validate_cmd =
+  let schema_arg =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"SCHEMA" ~doc:"XSD schema file")
+  in
+  let doc_arg =
+    Arg.(required & pos 1 (some file) None & info [] ~docv:"DOC" ~doc:"XML document file")
+  in
+  let run schema_path doc_path =
+    let schema_doc = or_die (load_document schema_path) in
+    let schema =
+      match Xsm_xsd.Reader.schema_of_document schema_doc with
+      | Ok s -> s
+      | Error e ->
+        prerr_endline (Xsm_xsd.Reader.error_to_string e);
+        exit 2
+    in
+    (match Xsm_schema.Schema_check.check schema with
+    | Ok () -> ()
+    | Error es ->
+      List.iter (fun e -> Format.eprintf "schema: %a@." Xsm_schema.Schema_check.pp_error e) es;
+      exit 2);
+    let constraints =
+      match Xsm_xsd.Reader.constraints_of_document schema_doc with
+      | Ok cs -> cs
+      | Error e ->
+        prerr_endline (Xsm_xsd.Reader.error_to_string e);
+        exit 2
+    in
+    let doc = or_die (load_document doc_path) in
+    match Xsm_schema.Validator.validate_document doc schema with
+    | Ok (store, dnode) -> (
+      match Xsm_identity.Constraint_def.check store dnode constraints with
+      | Ok () ->
+        Printf.printf "valid (%d nodes%s)\n" (Xsm_xdm.Store.node_count store)
+          (if constraints = [] then ""
+           else Printf.sprintf ", %d identity constraints" (List.length constraints))
+      | Error vs ->
+        List.iter
+          (fun v -> Format.printf "%a@." Xsm_identity.Constraint_def.pp_violation v)
+          vs;
+        exit 1)
+    | Error es ->
+      List.iter (fun e -> print_endline (Xsm_schema.Validator.error_to_string e)) es;
+      exit 1
+  in
+  Cmd.v
+    (Cmd.info "validate" ~doc:"Validate a document against a schema (the \xc2\xa76.2 judgment)")
+    Term.(const run $ schema_arg $ doc_arg)
+
+let check_cmd =
+  let schema_arg =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"SCHEMA" ~doc:"XSD schema file")
+  in
+  let run schema_path =
+    let schema = or_die (load_schema schema_path) in
+    match Xsm_schema.Schema_check.check schema with
+    | Ok () -> print_endline "well-formed"
+    | Error es ->
+      List.iter (fun e -> Format.printf "%a@." Xsm_schema.Schema_check.pp_error e) es;
+      exit 1
+  in
+  Cmd.v
+    (Cmd.info "check" ~doc:"Check schema well-formedness (type usage, UPA, repetitions)")
+    Term.(const run $ schema_arg)
+
+let query_cmd =
+  let doc_arg =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"DOC" ~doc:"XML document file")
+  in
+  let path_arg =
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"PATH" ~doc:"XPath-subset query")
+  in
+  let storage_flag =
+    Arg.(value & flag & info [ "storage" ] ~doc:"Evaluate over the Sedna block storage")
+  in
+  let run doc_path query use_storage =
+    let doc = or_die (load_document doc_path) in
+    let store = Xsm_xdm.Store.create () in
+    let dnode = Xsm_xdm.Convert.load store doc in
+    if use_storage then begin
+      let bs = Xsm_storage.Block_storage.of_store store dnode in
+      match Xsm_xpath.Schema_driven.eval_string bs query with
+      | Ok descs ->
+        List.iter (fun d -> print_endline (Xsm_storage.Block_storage.string_value bs d)) descs
+      | Error _ -> (
+        (* fall back to the navigational evaluator over descriptors *)
+        match
+          Xsm_xpath.Eval.Over_storage.eval_string bs (Xsm_storage.Block_storage.root bs) query
+        with
+        | Ok descs ->
+          List.iter (fun d -> print_endline (Xsm_storage.Block_storage.string_value bs d)) descs
+        | Error e ->
+          prerr_endline e;
+          exit 1)
+    end
+    else
+      match Xsm_xpath.Eval.Over_store.eval_string store dnode query with
+      | Ok nodes ->
+        List.iter (fun n -> print_endline (Xsm_xdm.Store.string_value store n)) nodes
+      | Error e ->
+        prerr_endline e;
+        exit 1
+  in
+  Cmd.v
+    (Cmd.info "query" ~doc:"Evaluate an XPath-subset query over a document")
+    Term.(const run $ doc_arg $ path_arg $ storage_flag)
+
+let dataguide_cmd =
+  let doc_arg =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"DOC" ~doc:"XML document file")
+  in
+  let run doc_path =
+    let doc = or_die (load_document doc_path) in
+    let store = Xsm_xdm.Store.create () in
+    let dnode = Xsm_xdm.Convert.load store doc in
+    let ds, _ = Xsm_storage.Descriptive_schema.of_tree store dnode in
+    Format.printf "%a" Xsm_storage.Descriptive_schema.pp ds;
+    Printf.printf "(%d schema nodes for %d document nodes)\n"
+      (Xsm_storage.Descriptive_schema.node_count ds)
+      (Xsm_xdm.Store.node_count store)
+  in
+  Cmd.v
+    (Cmd.info "dataguide" ~doc:"Print the descriptive schema (\xc2\xa79.1)")
+    Term.(const run $ doc_arg)
+
+let labels_cmd =
+  let doc_arg =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"DOC" ~doc:"XML document file")
+  in
+  let run doc_path =
+    let doc = or_die (load_document doc_path) in
+    let store = Xsm_xdm.Store.create () in
+    let dnode = Xsm_xdm.Convert.load store doc in
+    let t = Xsm_numbering.Labeler.label_tree store dnode in
+    List.iter
+      (fun n ->
+        Format.printf "%a  %a@."
+          Xsm_numbering.Sedna_label.pp
+          (Xsm_numbering.Labeler.label t n)
+          (Xsm_xdm.Store.pp_node store) n)
+      (Xsm_xdm.Order.nodes_in_order store dnode)
+  in
+  Cmd.v
+    (Cmd.info "labels" ~doc:"Print every node with its Sedna numbering label (\xc2\xa79.3)")
+    Term.(const run $ doc_arg)
+
+let canonicalize_cmd =
+  let schema_arg =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"SCHEMA" ~doc:"XSD schema file")
+  in
+  let run schema_path =
+    let schema = or_die (load_schema schema_path) in
+    let simplified = Xsm_schema.Canonical.simplify_schema schema in
+    print_string (Xsm_xsd.Writer.to_string simplified)
+  in
+  Cmd.v
+    (Cmd.info "canonicalize"
+       ~doc:"Print the schema with canonicalized (simplified) content models")
+    Term.(const run $ schema_arg)
+
+let flwor_cmd =
+  let doc_arg =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"DOC" ~doc:"XML document file")
+  in
+  let query_arg =
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"QUERY" ~doc:"FLWOR query")
+  in
+  let run doc_path query =
+    let doc = or_die (load_document doc_path) in
+    let store = Xsm_xdm.Store.create () in
+    let dnode = Xsm_xdm.Convert.load store doc in
+    match Xsm_xpath.Flwor.Over_store.eval_string store dnode query with
+    | Ok items ->
+      List.iter print_endline (Xsm_xpath.Flwor.Over_store.strings store items)
+    | Error e ->
+      prerr_endline e;
+      exit 1
+  in
+  Cmd.v
+    (Cmd.info "flwor"
+       ~doc:"Evaluate a FLWOR query (for/let/where/order by/return) over a document")
+    Term.(const run $ doc_arg $ query_arg)
+
+let roundtrip_cmd =
+  let schema_arg =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"SCHEMA" ~doc:"XSD schema file")
+  in
+  let doc_arg =
+    Arg.(required & pos 1 (some file) None & info [] ~docv:"DOC" ~doc:"XML document file")
+  in
+  let run schema_path doc_path =
+    let schema = or_die (load_schema schema_path) in
+    let doc = or_die (load_document doc_path) in
+    match Xsm_schema.Roundtrip.holds_for doc schema with
+    | Ok true -> print_endline "g(f(X)) =_c X holds"
+    | Ok false ->
+      print_endline "round-trip produced a different document";
+      exit 1
+    | Error es ->
+      List.iter (fun e -> print_endline (Xsm_schema.Validator.error_to_string e)) es;
+      exit 1
+  in
+  Cmd.v
+    (Cmd.info "roundtrip" ~doc:"Check the \xc2\xa78 theorem for one document")
+    Term.(const run $ schema_arg $ doc_arg)
+
+let () =
+  let info =
+    Cmd.info "xsm" ~version:"1.0.0"
+      ~doc:"A formal model of XML Schema: validation, storage and numbering tools"
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            validate_cmd; check_cmd; canonicalize_cmd; query_cmd; flwor_cmd; dataguide_cmd;
+            labels_cmd; roundtrip_cmd;
+          ]))

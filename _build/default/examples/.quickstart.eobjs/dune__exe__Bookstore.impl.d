@@ -1,0 +1,1 @@
+examples/bookstore.ml: Format Fun List Printf String Xsm_schema Xsm_xdm Xsm_xml Xsm_xpath Xsm_xsd

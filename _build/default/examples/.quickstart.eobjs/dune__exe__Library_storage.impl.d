@@ -1,0 +1,1 @@
+examples/library_storage.ml: Format List Printf String Xsm_numbering Xsm_schema Xsm_storage Xsm_xdm Xsm_xml Xsm_xpath

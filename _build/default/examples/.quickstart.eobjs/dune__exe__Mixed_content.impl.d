@@ -1,0 +1,1 @@
+examples/mixed_content.ml: Format List Printf Xsm_schema Xsm_xdm Xsm_xml

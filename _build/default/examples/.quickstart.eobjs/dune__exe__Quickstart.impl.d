@@ -1,0 +1,1 @@
+examples/quickstart.ml: Format List Printf String Xsm_datatypes Xsm_schema Xsm_xdm Xsm_xml Xsm_xpath Xsm_xsd

@@ -1,0 +1,1 @@
+examples/updates.ml: List Printf Samples Update Validator Xsm_schema Xsm_xdm Xsm_xml

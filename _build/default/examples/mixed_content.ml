@@ -1,0 +1,117 @@
+(* Mixed content and nil values: the Example 5 and Example 6 types.
+
+   Demonstrates the §6.2 rules for mixed complex content (items
+   5.4.2.2: text nodes interleaved, never adjacent), simple content
+   with attributes (item 5.2), and nilled elements (item 6).
+
+   Run with: dune exec examples/mixed_content.exe *)
+
+module Tree = Xsm_xml.Tree
+module Store = Xsm_xdm.Store
+
+let check label result =
+  Printf.printf "%-52s %s\n" label
+    (match result with
+    | Ok _ -> "valid"
+    | Error (e :: _) -> "rejected: " ^ Xsm_schema.Validator.error_to_string e
+    | Error [] -> "rejected")
+
+let () =
+  (* Example 6: the mixed bookstore type *)
+  let schema =
+    Xsm_schema.Ast.schema
+      (Xsm_schema.Ast.element "BookStore" (Xsm_schema.Ast.Anonymous Xsm_schema.Samples.example6_type))
+  in
+  (match Xsm_schema.Schema_check.check schema with
+  | Ok () -> print_endline "mixed bookstore schema: well-formed"
+  | Error es ->
+    List.iter (fun e -> Format.printf "%a@." Xsm_schema.Schema_check.pp_error e) es);
+
+  let book i =
+    Tree.element
+      (Tree.elem "Book"
+         ~children:
+           (List.map
+              (fun f -> Tree.element (Tree.elem f ~children:[ Tree.text (f ^ string_of_int i) ]))
+              [ "Title"; "Author"; "Date"; "ISBN"; "Publisher" ]))
+  in
+  let attrs = [ Tree.attr "InStock" "true"; Tree.attr "Reviewer" "me" ] in
+
+  (* text interleaved between Book elements: allowed by mixed=true *)
+  let mixed_doc =
+    Tree.document
+      (Tree.elem "BookStore" ~attrs
+         ~children:[ Tree.text "new arrivals: "; book 1; Tree.text " and a classic "; book 2 ])
+  in
+  check "mixed: text between Book elements" (Xsm_schema.Validator.validate_document mixed_doc schema);
+
+  (* the attributes of Example 6 are mandatory in the model (§5.3.1) *)
+  let missing_attr =
+    Tree.document (Tree.elem "BookStore" ~attrs:[ Tree.attr "InStock" "true" ] ~children:[ book 1 ])
+  in
+  check "mixed: missing declared attribute" (Xsm_schema.Validator.validate_document missing_attr schema);
+
+  (* children of Book may NOT be interleaved with text (not mixed) *)
+  let bad_book =
+    Tree.document
+      (Tree.elem "BookStore" ~attrs
+         ~children:
+           [
+             Tree.element
+               (Tree.elem "Book"
+                  ~children:
+                    [
+                      Tree.text "oops";
+                      Tree.element (Tree.elem "Title" ~children:[ Tree.text "T" ]);
+                      Tree.element (Tree.elem "Author" ~children:[ Tree.text "A" ]);
+                      Tree.element (Tree.elem "Date" ~children:[ Tree.text "D" ]);
+                      Tree.element (Tree.elem "ISBN" ~children:[ Tree.text "I" ]);
+                      Tree.element (Tree.elem "Publisher" ~children:[ Tree.text "P" ]);
+                    ]);
+           ])
+  in
+  check "non-mixed Book with stray text" (Xsm_schema.Validator.validate_document bad_book schema);
+
+  (* Example 5: simple content with attribute *)
+  print_endline "";
+  let price_schema =
+    Xsm_schema.Ast.schema
+      (Xsm_schema.Ast.element "Price" (Xsm_schema.Ast.Anonymous Xsm_schema.Samples.example5_type))
+  in
+  let price v =
+    Tree.document (Tree.elem "Price" ~attrs:[ Tree.attr "currency" "EUR" ] ~children:[ Tree.text v ])
+  in
+  check "simple content: decimal with attribute" (Xsm_schema.Validator.validate_document (price "129.95") price_schema);
+  check "simple content: non-decimal text" (Xsm_schema.Validator.validate_document (price "cheap") price_schema);
+
+  (* nillable elements (Example 1's Comment) *)
+  print_endline "";
+  let nil_schema =
+    Xsm_schema.Ast.schema
+      (Xsm_schema.Ast.element ~nillable:true "Comment" (Xsm_schema.Ast.named_type "xs:string"))
+  in
+  let nil_doc =
+    Tree.document (Tree.elem "Comment" ~attrs:[ Tree.attr ~prefix:"xsi" "nil" "true" ])
+  in
+  check "nillable element with xsi:nil" (Xsm_schema.Validator.validate_document nil_doc nil_schema);
+  (match Xsm_schema.Validator.validate_document nil_doc nil_schema with
+  | Ok (store, dnode) ->
+    let root = List.hd (Store.children store dnode) in
+    Printf.printf "  nilled accessor: %s\n"
+      (match Store.nilled store root with Some b -> string_of_bool b | None -> "()")
+  | Error _ -> ());
+
+  (* xsi:nil on a non-nillable declaration is an error *)
+  let strict_schema =
+    Xsm_schema.Ast.schema
+      (Xsm_schema.Ast.element "Comment" (Xsm_schema.Ast.named_type "xs:string"))
+  in
+  check "xsi:nil without NillIndicator" (Xsm_schema.Validator.validate_document nil_doc strict_schema);
+
+  (* nilled element must be empty *)
+  let nil_with_content =
+    Tree.document
+      (Tree.elem "Comment" ~attrs:[ Tree.attr ~prefix:"xsi" "nil" "true" ]
+         ~children:[ Tree.text "but not empty" ])
+  in
+  check "nilled element with content" (Xsm_schema.Validator.validate_document nil_with_content nil_schema)

@@ -1,0 +1,104 @@
+(* Quickstart: parse a schema written in XSD, parse a document,
+   validate it (building the typed data-model tree), and walk the
+   accessors.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+let schema_text =
+  {|<?xml version="1.0"?>
+<xsd:schema xmlns:xsd="http://www.w3.org/2001/XMLSchema">
+  <xsd:element name="note">
+    <xsd:complexType>
+      <xsd:sequence>
+        <xsd:element name="to" type="xsd:string"/>
+        <xsd:element name="from" type="xsd:string"/>
+        <xsd:element name="heading" type="xsd:string" minOccurs="0"/>
+        <xsd:element name="body" type="xsd:string"/>
+        <xsd:element name="priority" type="xsd:positiveInteger" minOccurs="0"/>
+      </xsd:sequence>
+      <xsd:attribute name="lang" type="xsd:language"/>
+    </xsd:complexType>
+  </xsd:element>
+</xsd:schema>|}
+
+let document_text =
+  {|<note lang="en">
+  <to>Tove</to>
+  <from>Jani</from>
+  <body>Don't forget me this weekend!</body>
+  <priority>2</priority>
+</note>|}
+
+let () =
+  (* 1. read the schema *)
+  let schema =
+    match Xsm_xsd.Reader.schema_of_string schema_text with
+    | Ok s -> s
+    | Error e -> failwith (Xsm_xsd.Reader.error_to_string e)
+  in
+  (match Xsm_schema.Schema_check.check schema with
+  | Ok () -> print_endline "schema: well-formed"
+  | Error es ->
+    List.iter (fun e -> Format.printf "schema error: %a@." Xsm_schema.Schema_check.pp_error e) es);
+
+  (* 2. parse the document *)
+  let doc =
+    match Xsm_xml.Parser.parse_document document_text with
+    | Ok d -> d
+    | Error e -> failwith (Xsm_xml.Parser.error_to_string e)
+  in
+
+  (* 3. validate: this is the paper's function f — it builds the
+     S-tree in a state algebra and annotates types *)
+  let store, dnode =
+    match Xsm_schema.Validator.validate_document doc schema with
+    | Ok (store, dnode) -> (store, dnode)
+    | Error es ->
+      List.iter (fun e -> print_endline (Xsm_schema.Validator.error_to_string e)) es;
+      exit 1
+  in
+  Printf.printf "document: valid, %d nodes in the store\n" (Xsm_xdm.Store.node_count store);
+
+  (* 4. walk accessors *)
+  let root = List.hd (Xsm_xdm.Store.children store dnode) in
+  Printf.printf "root: node-kind=%s node-name=%s type=%s\n"
+    (Xsm_xdm.Store.node_kind store root)
+    (match Xsm_xdm.Store.node_name store root with
+    | Some n -> Xsm_xml.Name.to_string n
+    | None -> "()")
+    (match Xsm_xdm.Store.type_name store root with
+    | Some n -> Xsm_xml.Name.to_string n
+    | None -> "()");
+  List.iter
+    (fun attr ->
+      Printf.printf "attribute %s = %S (typed as %s)\n"
+        (match Xsm_xdm.Store.node_name store attr with
+        | Some n -> Xsm_xml.Name.to_string n
+        | None -> "?")
+        (Xsm_xdm.Store.string_value store attr)
+        (String.concat ", "
+           (List.map Xsm_datatypes.Value.kind_name (Xsm_xdm.Store.typed_value store attr))))
+    (Xsm_xdm.Store.attributes store root);
+  List.iter
+    (fun child ->
+      match Xsm_xdm.Store.node_name store child with
+      | Some n ->
+        Printf.printf "child %-8s string-value=%S\n" (Xsm_xml.Name.to_string n)
+          (Xsm_xdm.Store.string_value store child)
+      | None -> ())
+    (Xsm_xdm.Store.children store root);
+
+  (* 5. a query through the accessors *)
+  (match Xsm_xpath.Eval.Over_store.eval_string store dnode "/note/priority" with
+  | Ok [ p ] ->
+    Printf.printf "priority (typed): %s\n"
+      (String.concat ", "
+         (List.map Xsm_datatypes.Value.canonical_string (Xsm_xdm.Store.typed_value store p)))
+  | Ok _ -> print_endline "priority: not found"
+  | Error e -> print_endline e);
+
+  (* 6. the theorem: g (f X) =_c X *)
+  match Xsm_schema.Roundtrip.holds_for doc schema with
+  | Ok true -> print_endline "g(f(X)) =_c X holds"
+  | Ok false -> print_endline "round-trip failed!"
+  | Error _ -> print_endline "document was not an S-document"

@@ -1,0 +1,1 @@
+lib/core/ast.mli: Format Xsm_datatypes Xsm_xml

@@ -1,0 +1,1 @@
+lib/core/backtrack.ml: Ast List Xsm_xml

@@ -1,0 +1,1 @@
+lib/core/canonical.ml: Ast Content_automaton List Name Option

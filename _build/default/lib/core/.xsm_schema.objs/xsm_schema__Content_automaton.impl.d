@@ -1,0 +1,1 @@
+lib/core/content_automaton.ml: Array Ast Fun Hashtbl List Option Printf Queue String Xsm_xml

@@ -1,0 +1,1 @@
+lib/core/content_automaton.mli: Ast

@@ -1,0 +1,1 @@
+lib/core/generator.ml: Ast Int64 List Printf Schema_check String Xsm_datatypes Xsm_xml

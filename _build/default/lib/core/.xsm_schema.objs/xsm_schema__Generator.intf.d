@@ -1,0 +1,1 @@
+lib/core/generator.mli: Ast Xsm_datatypes Xsm_xml

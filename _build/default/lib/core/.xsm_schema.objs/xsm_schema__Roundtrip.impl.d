@@ -1,0 +1,1 @@
+lib/core/roundtrip.ml: List String Validator Xsm_xdm Xsm_xml

@@ -1,0 +1,1 @@
+lib/core/roundtrip.mli: Ast Validator Xsm_xdm Xsm_xml

@@ -1,0 +1,1 @@
+lib/core/samples.ml: Ast List Printf Xsm_xml

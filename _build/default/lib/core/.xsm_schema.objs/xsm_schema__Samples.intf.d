@@ -1,0 +1,1 @@
+lib/core/samples.mli: Ast Xsm_xml

@@ -1,0 +1,1 @@
+lib/core/schema_check.ml: Ast Content_automaton Format Hashtbl List Option Printf Xsm_datatypes Xsm_xml

@@ -1,0 +1,1 @@
+lib/core/schema_check.mli: Ast Format Xsm_datatypes

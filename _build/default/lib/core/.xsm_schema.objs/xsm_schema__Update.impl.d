@@ -1,0 +1,1 @@
+lib/core/update.ml: List Printf Validator Xsm_xdm Xsm_xml

@@ -1,0 +1,1 @@
+lib/core/update.mli: Ast Xsm_xdm Xsm_xml

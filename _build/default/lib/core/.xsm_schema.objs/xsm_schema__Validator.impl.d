@@ -1,0 +1,1 @@
+lib/core/validator.ml: Ast Content_automaton Format List Option Printf Result Schema_check String Xsm_datatypes Xsm_xdm Xsm_xml

@@ -1,0 +1,1 @@
+lib/core/validator.mli: Ast Format Xsm_xdm Xsm_xml

@@ -1,0 +1,80 @@
+module Name = Xsm_xml.Name
+
+(* Continuation-passing backtracking: [match_particle p word k] calls
+   [k rest] for every prefix of [word] the particle can consume.  The
+   continuation returns true to accept, false to ask for the next
+   split. *)
+
+let steps = ref 0
+
+let rec match_group (g : Ast.group_def) word k =
+  incr steps;
+  let body w kk =
+    match g.combination with
+    | Ast.Sequence -> match_all g.particles w kk
+    | Ast.Choice -> match_any g.particles w kk
+    | Ast.All -> match_interleave g.particles w kk
+  in
+  match_repeated body g.group_repetition word k
+
+and match_all particles word k =
+  match particles with
+  | [] -> k word
+  | p :: rest -> match_particle p word (fun w -> match_all rest w k)
+
+and match_any particles word k =
+  List.exists (fun p -> match_particle p word k) particles
+
+(* interleave: pick any remaining particle to consume a prefix, or
+   finish when every remaining particle can match the empty word *)
+and match_interleave particles word k =
+  incr steps;
+  let consumed =
+    List.exists
+      (fun p ->
+        let others = List.filter (fun q -> q != p) particles in
+        match_particle p word (fun rest -> rest != word && match_interleave others rest k))
+      particles
+  in
+  consumed
+  || (List.for_all (fun p -> match_particle p word (fun rest -> rest == word)) particles
+     && k word)
+
+and match_particle p word k =
+  incr steps;
+  match p with
+  | Ast.Element_particle e ->
+    let consume_one w kk =
+      match w with
+      | n :: rest when Name.equal n e.Ast.elem_name -> kk rest
+      | _ -> false
+    in
+    match_repeated consume_one e.repetition word k
+  | Ast.Group_particle g -> match_group g word k
+
+(* Try between min and max copies of [one] (greedy first, then fewer —
+   the exists over both orders is what makes this a backtracker). *)
+and match_repeated one (r : Ast.repetition) word k =
+  let rec from_count i word k =
+    incr steps;
+    let can_stop = i >= r.Ast.min_occurs in
+    let may_continue =
+      match r.Ast.max_occurs with None -> true | Some m -> i < m
+    in
+    (* [rest == word] means the body consumed nothing: iterating again
+       cannot make progress and would loop on nullable bodies.  A
+       nullable body also satisfies any remaining mandatory copies. *)
+    let body_matches_empty () = one word (fun rest -> rest == word) in
+    (may_continue && one word (fun rest -> rest != word && from_count (i + 1) rest k))
+    || ((can_stop || (may_continue && body_matches_empty ())) && k word)
+  in
+  from_count 0 word k
+
+let matches g word =
+  steps := 0;
+  match_group g word (fun rest -> rest = [])
+
+let matches_counting g word =
+  steps := 0;
+  let ok = match_group g word (fun rest -> rest = []) in
+  (ok, !steps)

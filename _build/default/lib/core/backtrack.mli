@@ -1,0 +1,15 @@
+(** Naive backtracking content-model matcher — the baseline for
+    experiment E2.
+
+    Interprets a group definition directly over a children name
+    sequence by trying every split, the way a first-cut validator
+    would.  Accepts exactly the same language as
+    {!Content_automaton.matches} (a tested invariant) but with
+    exponential worst-case time on choice-heavy models, which is the
+    complexity gap the Glushkov construction closes. *)
+
+val matches : Ast.group_def -> Ast.Name.t list -> bool
+
+val matches_counting : Ast.group_def -> Ast.Name.t list -> bool * int
+(** Also count the number of backtracking steps taken (match
+    attempts), the measure reported by bench E2. *)

@@ -1,0 +1,186 @@
+open Ast
+
+let trivial (r : repetition) = r.min_occurs = 1 && r.max_occurs = Some 1
+
+(* compose outer and inner repetition when safe:
+   - either side trivial: take the other;
+   - star absorption: inner {a,_} with a <= 1 under outer {0,None}
+     (or inner {0/1,None} under outer {0/1,None}) collapses to {min*,None};
+   returns None when no safe composition exists. *)
+let compose_repetition ~outer ~inner =
+  if trivial outer then Some inner
+  else if trivial inner then Some outer
+  else
+    match outer.max_occurs, inner.max_occurs with
+    | None, _ when outer.min_occurs <= 1 && inner.min_occurs <= 1 ->
+      (* (x{a,b}){0|1,∞} with a ≤ 1: any count ≥ outer.min * inner.min *)
+      Some { min_occurs = outer.min_occurs * inner.min_occurs; max_occurs = None }
+    | _, None when outer.min_occurs <= 1 && inner.min_occurs <= 1 ->
+      Some { min_occurs = outer.min_occurs * inner.min_occurs; max_occurs = None }
+    | _ -> None
+
+let rec equal_particle a b =
+  match a, b with
+  | Element_particle x, Element_particle y ->
+    Name.equal x.elem_name y.elem_name
+    && x.repetition = y.repetition
+    && x.nillable = y.nillable
+    && equal_type_ref x.elem_type y.elem_type
+  | Group_particle x, Group_particle y ->
+    x.combination = y.combination
+    && x.group_repetition = y.group_repetition
+    && List.equal equal_particle x.particles y.particles
+  | (Element_particle _ | Group_particle _), _ -> false
+
+and equal_type_ref a b =
+  match a, b with
+  | Type_name x, Type_name y -> Name.equal x y
+  | Anonymous x, Anonymous y -> x == y || equal_complex x y
+  | Anonymous_simple x, Anonymous_simple y -> x == y
+  | (Type_name _ | Anonymous _ | Anonymous_simple _), _ -> false
+
+and equal_complex a b =
+  match a, b with
+  | Simple_content x, Simple_content y ->
+    Name.equal x.base y.base && x.attributes = y.attributes
+  | Complex_content x, Complex_content y ->
+    x.mixed = y.mixed
+    && x.attributes = y.attributes
+    && Option.equal
+         (fun (g : group_def) (h : group_def) ->
+           g.combination = h.combination
+           && g.group_repetition = h.group_repetition
+           && List.equal equal_particle g.particles h.particles)
+         x.content y.content
+  | (Simple_content _ | Complex_content _), _ -> false
+
+let rec simplify_once (g : group_def) =
+  let simplify_particle = function
+    | Element_particle e -> Element_particle e
+    | Group_particle inner -> Group_particle (simplify_once inner)
+  in
+  let particles = List.map simplify_particle g.particles in
+  (* drop occurs-zero particles *)
+  let particles =
+    List.filter
+      (fun p ->
+        let r =
+          match p with
+          | Element_particle e -> e.repetition
+          | Group_particle gr -> gr.group_repetition
+        in
+        r.max_occurs <> Some 0)
+      particles
+  in
+  (* drop empty subgroups: an empty sequence/all accepts only epsilon,
+     so inside a sequence it disappears; inside a choice, an empty
+     group makes the choice nullable — keep it in that case *)
+  let particles =
+    match g.combination with
+    | Sequence ->
+      List.filter
+        (function
+          | Group_particle { particles = []; _ } -> false
+          | Element_particle _ | Group_particle _ -> true)
+        particles
+    | Choice | All -> particles
+  in
+  (* flatten same-combinator nested groups with trivial repetition
+     (never into or out of an All group) *)
+  let particles =
+    List.concat_map
+      (function
+        | Group_particle inner
+          when inner.combination = g.combination
+               && g.combination <> All
+               && trivial inner.group_repetition ->
+          inner.particles
+        | p -> [ p ])
+      particles
+  in
+  (* dedup identical alternatives of a choice *)
+  let particles =
+    match g.combination with
+    | Choice ->
+      List.fold_left
+        (fun acc p -> if List.exists (equal_particle p) acc then acc else acc @ [ p ])
+        [] particles
+    | Sequence | All -> particles
+  in
+  (* unwrap a single-group particle by composing repetitions *)
+  match particles with
+  | [ Group_particle inner ] when g.combination <> All && inner.combination <> All -> (
+    match compose_repetition ~outer:g.group_repetition ~inner:inner.group_repetition with
+    | Some r -> { inner with group_repetition = r }
+    | None -> { g with particles })
+  | [ Element_particle e ] when g.combination <> All -> (
+    (* a one-element group: fold the group repetition into the element
+       when safe, keeping the group wrapper *)
+    match compose_repetition ~outer:g.group_repetition ~inner:e.repetition with
+    | Some r ->
+      {
+        particles = [ Element_particle { e with repetition = r } ];
+        combination = Sequence;
+        group_repetition = once;
+      }
+    | None -> { g with particles })
+  | _ -> { g with particles }
+
+let rec simplify_group g =
+  let g' = simplify_once g in
+  (* structural fixpoint; the rewriting strictly shrinks or stabilizes *)
+  if
+    g'.combination = g.combination
+    && g'.group_repetition = g.group_repetition
+    && List.equal equal_particle g'.particles g.particles
+  then g'
+  else simplify_group g'
+
+let rec group_size g =
+  List.fold_left
+    (fun acc -> function
+      | Element_particle _ -> acc + 1
+      | Group_particle inner -> acc + 1 + group_size inner)
+    0 g.particles
+
+let rec simplify_type_ref = function
+  | Type_name n -> Type_name n
+  | Anonymous ct -> Anonymous (simplify_complex ct)
+  | Anonymous_simple st -> Anonymous_simple st
+
+and simplify_complex = function
+  | Simple_content c -> Simple_content c
+  | Complex_content { mixed; content; attributes } ->
+    let content =
+      match content with
+      | None -> None
+      | Some g ->
+        let g' = simplify_group g in
+        (* map the element types inside too *)
+        let rec deep (gr : group_def) =
+          {
+            gr with
+            particles =
+              List.map
+                (function
+                  | Element_particle e ->
+                    Element_particle { e with elem_type = simplify_type_ref e.elem_type }
+                  | Group_particle inner -> Group_particle (deep inner))
+                gr.particles;
+          }
+        in
+        Some (deep g')
+    in
+    Complex_content { mixed; content; attributes }
+
+let simplify_schema (s : schema) =
+  {
+    s with
+    root = { s.root with elem_type = simplify_type_ref s.root.elem_type };
+    complex_types = List.map (fun (n, ct) -> (n, simplify_complex ct)) s.complex_types;
+  }
+
+let equivalent_groups a b =
+  match Content_automaton.make a, Content_automaton.make b with
+  | Ok aa, Ok ab -> Ok (Content_automaton.equivalent aa ab)
+  | Error e, _ | _, Error e -> Error e

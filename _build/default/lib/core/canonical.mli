@@ -1,0 +1,34 @@
+(** Canonical forms of content models and schemas.
+
+    The paper cites Novak & Kuznetsov, "Canonical Forms of XML
+    Schemas" [15]; this module implements the group-level rewriting
+    that work is about, restricted to rules that are
+    language-preserving by construction (each is verified against
+    {!Content_automaton.equivalent} in the property-test suite):
+
+    - particles with [maxOccurs = 0] are dropped;
+    - a nested group with the same combinator and trivial repetition
+      is flattened into its parent ([a (b c) d] = [a b c d]);
+    - a single-particle group wrapper composes its repetition with the
+      particle's when one of the two is trivial, and in the
+      star-absorption cases ([x{a,b}]{0,∞} = [x]{0,∞} when a ≤ 1);
+    - duplicate alternatives of a choice are removed;
+    - empty choices/sequences inside a combinator collapse.
+
+    [simplify_schema] applies the rewriting to every content model of
+    a schema, yielding a schema that validates exactly the same
+    documents. *)
+
+val simplify_group : Ast.group_def -> Ast.group_def
+(** Fixpoint of the rewriting rules.  The result accepts the same
+    language of children sequences. *)
+
+val simplify_schema : Ast.schema -> Ast.schema
+
+val equivalent_groups : Ast.group_def -> Ast.group_def -> (bool, string) result
+(** Content-model language equivalence ({!Content_automaton.equivalent}
+    on the compiled automata); [Error] when a model fails to
+    compile. *)
+
+val group_size : Ast.group_def -> int
+(** Number of particles, recursively — the simplification measure. *)

@@ -1,0 +1,400 @@
+module Name = Xsm_xml.Name
+
+(* Regular expression over positions.  Each position carries the
+   element declaration of the occurrence. *)
+type re =
+  | Eps
+  | Pos of int
+  | Cat of re * re
+  | Alt of re * re
+  | Star of re
+  | Opt of re
+
+exception Too_large of int
+
+type glushkov = {
+  decls : Ast.element_decl array;  (* position -> declaration *)
+  names : Name.t array;  (* position -> element name (cache) *)
+  nullable : bool;
+  first : int list;
+  follow : int list array;  (* position -> positions that may follow *)
+  last : bool array;  (* position -> may end the word *)
+  deterministic : bool;
+}
+
+(* the footnote-2 interleave ("all") groups: element particles only,
+   each at most once, in any order — a bitmask matcher instead of a
+   position automaton (whose expansion would be factorial) *)
+type interleave = {
+  i_decls : Ast.element_decl array;
+  i_names : Name.t array;
+  i_required : bool array;  (* min_occurs = 1 *)
+  i_group_optional : bool;  (* the whole group may be absent *)
+  i_deterministic : bool;  (* element names pairwise distinct *)
+}
+
+type t = Glushkov of glushkov | Interleave of interleave
+
+(* Build the position regex for a group.  [fresh d] allocates a
+   position for declaration [d].  Bounded repetitions are expanded and
+   every expanded copy rebuilds its body with fresh positions, so the
+   result really is a position regex (every [Pos] occurs once). *)
+let rec re_of_group ~fresh (g : Ast.group_def) =
+  let copy () =
+    let combine =
+      match g.combination with
+      | Ast.Sequence -> fun a b -> Cat (a, b)
+      | Ast.Choice -> fun a b -> Alt (a, b)
+      | Ast.All -> invalid_arg "an all group may not be nested inside another group"
+    in
+    match g.particles with
+    | [] -> Eps
+    | p :: rest ->
+      List.fold_left
+        (fun acc q -> combine acc (re_of_particle ~fresh q))
+        (re_of_particle ~fresh p) rest
+  in
+  repeat_with ~copy g.group_repetition
+
+and re_of_particle ~fresh = function
+  | Ast.Element_particle e ->
+    repeat_with ~copy:(fun () -> Pos (fresh e)) e.repetition
+  | Ast.Group_particle g -> re_of_group ~fresh g
+
+and repeat_with ~copy (r : Ast.repetition) =
+  if not (Ast.repetition_valid r) then invalid_arg "invalid repetition factor";
+  match r.min_occurs, r.max_occurs with
+  | 0, Some 0 -> Eps
+  | 1, Some 1 -> copy ()
+  | 0, None -> Star (copy ())
+  | min, max ->
+    let mandatory = List.init min (fun _ -> copy ()) in
+    let head =
+      match mandatory with
+      | [] -> Eps
+      | x :: rest -> List.fold_left (fun acc y -> Cat (acc, y)) x rest
+    in
+    (match max with
+    | None -> Cat (head, Star (copy ()))
+    | Some m ->
+      (* (x (x (x)?)?)? nested optionals for the m - min optional copies *)
+      let rec optional k = if k = 0 then Eps else Opt (Cat (copy (), optional (k - 1))) in
+      let tail = optional (m - min) in
+      if head = Eps then tail else if tail = Eps then head else Cat (head, tail))
+
+(* Glushkov sets *)
+let rec nullable = function
+  | Eps -> true
+  | Pos _ -> false
+  | Cat (a, b) -> nullable a && nullable b
+  | Alt (a, b) -> nullable a || nullable b
+  | Star _ | Opt _ -> true
+
+let rec first = function
+  | Eps -> []
+  | Pos p -> [ p ]
+  | Cat (a, b) -> if nullable a then first a @ first b else first a
+  | Alt (a, b) -> first a @ first b
+  | Star a | Opt a -> first a
+
+let rec last = function
+  | Eps -> []
+  | Pos p -> [ p ]
+  | Cat (a, b) -> if nullable b then last a @ last b else last b
+  | Alt (a, b) -> last a @ last b
+  | Star a | Opt a -> last a
+
+let rec fill_follow follow = function
+  | Eps | Pos _ -> ()
+  | Cat (a, b) ->
+    fill_follow follow a;
+    fill_follow follow b;
+    let fb = first b in
+    List.iter (fun p -> follow.(p) <- fb @ follow.(p)) (last a)
+  | Alt (a, b) ->
+    fill_follow follow a;
+    fill_follow follow b
+  | Star a ->
+    fill_follow follow a;
+    let fa = first a in
+    List.iter (fun p -> follow.(p) <- fa @ follow.(p)) (last a)
+  | Opt a -> fill_follow follow a
+
+let dedup_sorted l = List.sort_uniq compare l
+
+let deterministic_set names positions =
+  (* no two distinct positions carry the same name *)
+  let uniq = dedup_sorted positions in
+  let sorted = List.sort (fun a b -> Name.compare names.(a) names.(b)) uniq in
+  let rec ok = function
+    | a :: (b :: _ as rest) ->
+      if Name.equal names.(a) names.(b) then false else ok rest
+    | [ _ ] | [] -> true
+  in
+  ok sorted
+
+let make_interleave (g : Ast.group_def) =
+  let decls =
+    List.map
+      (function
+        | Ast.Element_particle e -> e
+        | Ast.Group_particle _ ->
+          invalid_arg "an all group contains element declarations only")
+      g.Ast.particles
+  in
+  List.iter
+    (fun (e : Ast.element_decl) ->
+      if not (Ast.repetition_valid e.repetition) then invalid_arg "invalid repetition factor";
+      match e.repetition.Ast.max_occurs with
+      | Some m when m <= 1 -> ()
+      | Some _ | None ->
+        invalid_arg "elements of an all group may occur at most once")
+    decls;
+  (match g.Ast.group_repetition with
+  | { Ast.min_occurs = 0 | 1; max_occurs = Some 1 } -> ()
+  | _ -> invalid_arg "an all group itself occurs at most once");
+  let arr = Array.of_list decls in
+  let names = Array.map (fun (d : Ast.element_decl) -> d.Ast.elem_name) arr in
+  let sorted = List.sort Name.compare (Array.to_list names) in
+  let rec distinct = function
+    | a :: (b :: _ as rest) -> (not (Name.equal a b)) && distinct rest
+    | [ _ ] | [] -> true
+  in
+  {
+    i_decls = arr;
+    i_names = names;
+    i_required = Array.map (fun (d : Ast.element_decl) -> d.Ast.repetition.Ast.min_occurs >= 1) arr;
+    i_group_optional = g.Ast.group_repetition.Ast.min_occurs = 0;
+    i_deterministic = distinct sorted;
+  }
+
+let make ?(max_positions = 20_000) (g : Ast.group_def) =
+  if g.Ast.combination = Ast.All then
+    match make_interleave g with
+    | m -> Ok (Interleave m)
+    | exception Invalid_argument e -> Error e
+  else begin
+  let decls = ref [] and count = ref 0 in
+  let fresh d =
+    if !count >= max_positions then raise (Too_large !count);
+    decls := d :: !decls;
+    incr count;
+    !count - 1
+  in
+  match re_of_group ~fresh g with
+  | exception Too_large n -> Error (Printf.sprintf "content model too large (%d positions)" n)
+  | exception Invalid_argument m -> Error m
+  | re ->
+    let n = !count in
+    let decls = Array.of_list (List.rev !decls) in
+    let names = Array.map (fun (d : Ast.element_decl) -> d.Ast.elem_name) decls in
+    let follow = Array.make n [] in
+    fill_follow follow re;
+    let follow = Array.map dedup_sorted follow in
+    let first_set = dedup_sorted (first re) in
+    let last_arr = Array.make n false in
+    List.iter (fun p -> last_arr.(p) <- true) (last re);
+    let deterministic =
+      deterministic_set names first_set
+      && Array.for_all (fun f -> deterministic_set names f) follow
+    in
+    Ok
+      (Glushkov
+         {
+           decls;
+           names;
+           nullable = nullable re;
+           first = first_set;
+           follow;
+           last = last_arr;
+           deterministic;
+         })
+  end
+
+let position_count = function
+  | Glushkov a -> Array.length a.decls
+  | Interleave m -> Array.length m.i_decls
+
+let is_deterministic = function
+  | Glushkov a -> a.deterministic
+  | Interleave m -> m.i_deterministic
+
+let accepts_empty = function
+  | Glushkov a -> a.nullable
+  | Interleave m ->
+    m.i_group_optional || Array.for_all not m.i_required
+
+let step a current name =
+  let targets = match current with None -> a.first | Some p -> a.follow.(p) in
+  List.filter (fun p -> Name.equal a.names.(p) name) targets
+
+(* interleave run: attribute each name to its (single) slot *)
+let interleave_run m word =
+  let n = Array.length m.i_decls in
+  let used = Array.make n false in
+  let rec go acc = function
+    | [] ->
+      let complete =
+        Array.for_all Fun.id
+          (Array.init n (fun i -> used.(i) || not m.i_required.(i)))
+      in
+      let empty_ok = acc = [] && m.i_group_optional in
+      if complete || empty_ok then Some (List.rev acc) else None
+    | name :: rest -> (
+      let slot = ref (-1) in
+      Array.iteri (fun i nm -> if !slot < 0 && Name.equal nm name && not used.(i) then slot := i) m.i_names;
+      match !slot with
+      | -1 -> None
+      | i ->
+        used.(i) <- true;
+        go (m.i_decls.(i) :: acc) rest)
+  in
+  go [] word
+
+let matches_glushkov a word =
+  (* set simulation: states are Some position / None (initial) *)
+  let rec go states word =
+    match word with
+    | [] -> (
+      match states with
+      | `Initial -> a.nullable
+      | `Set ps -> List.exists (fun p -> a.last.(p)) ps)
+    | name :: rest ->
+      let nexts =
+        match states with
+        | `Initial -> step a None name
+        | `Set ps -> dedup_sorted (List.concat_map (fun p -> step a (Some p) name) ps)
+      in
+      if nexts = [] then false else go (`Set nexts) rest
+  in
+  go `Initial word
+
+let matches t word =
+  match t with
+  | Glushkov a -> matches_glushkov a word
+  | Interleave m -> interleave_run m word <> None
+
+let run_glushkov a word =
+  if not a.deterministic then invalid_arg "Content_automaton.run: automaton is not deterministic";
+  let rec go current acc = function
+    | [] ->
+      let accepted = match current with None -> a.nullable | Some p -> a.last.(p) in
+      if accepted then Some (List.rev acc) else None
+    | name :: rest -> (
+      match step a current name with
+      | [ p ] -> go (Some p) (a.decls.(p) :: acc) rest
+      | [] -> None
+      | _ :: _ :: _ -> assert false (* determinism *))
+  in
+  go None [] word
+
+let run t word =
+  match t with
+  | Glushkov a -> run_glushkov a word
+  | Interleave m ->
+    if not m.i_deterministic then
+      invalid_arg "Content_automaton.run: automaton is not deterministic";
+    interleave_run m word
+
+(* ------------------------------------------------------------------ *)
+(* Language equivalence                                                *)
+
+(* a uniform DFA view: states are canonical keys, transitions computed
+   on the fly *)
+type dfa_view = {
+  v_start : string;
+  v_step : string -> Name.t -> string option;  (* None = dead *)
+  v_accept : string -> bool;
+  v_alphabet : Name.t list;
+}
+
+let glushkov_view a =
+  (* state key: sorted position list rendered as a string; "I" = initial *)
+  let key = function
+    | `Initial -> "I"
+    | `Set ps -> String.concat "," (List.map string_of_int ps)
+  in
+  let parse k =
+    if k = "I" then `Initial
+    else `Set (List.map int_of_string (String.split_on_char ',' k))
+  in
+  let step_key k name =
+    let nexts =
+      match parse k with
+      | `Initial -> step a None name
+      | `Set ps -> dedup_sorted (List.concat_map (fun p -> step a (Some p) name) ps)
+    in
+    match nexts with [] -> None | ps -> Some (key (`Set ps))
+  in
+  let accept k =
+    match parse k with
+    | `Initial -> a.nullable
+    | `Set ps -> List.exists (fun p -> a.last.(p)) ps
+  in
+  {
+    v_start = "I";
+    v_step = step_key;
+    v_accept = accept;
+    v_alphabet = List.sort_uniq Name.compare (Array.to_list a.names);
+  }
+
+let interleave_view m =
+  (* state key: sorted list of used slot indices *)
+  let key used = String.concat "," (List.map string_of_int used) in
+  let parse k = if k = "" then [] else List.map int_of_string (String.split_on_char ',' k) in
+  let step_key k name =
+    let used = parse k in
+    let slot = ref (-1) in
+    Array.iteri
+      (fun i nm -> if !slot < 0 && Name.equal nm name && not (List.mem i used) then slot := i)
+      m.i_names;
+    if !slot < 0 then None else Some (key (List.sort compare (!slot :: used)))
+  in
+  let accept k =
+    let used = parse k in
+    let complete =
+      Array.for_all Fun.id
+        (Array.init (Array.length m.i_decls) (fun i ->
+             List.mem i used || not m.i_required.(i)))
+    in
+    complete || (used = [] && m.i_group_optional)
+  in
+  {
+    v_start = "";
+    v_step = step_key;
+    v_accept = accept;
+    v_alphabet = List.sort_uniq Name.compare (Array.to_list m.i_names);
+  }
+
+let view = function Glushkov a -> glushkov_view a | Interleave m -> interleave_view m
+
+let equivalent t1 t2 =
+  let v1 = view t1 and v2 = view t2 in
+  let alphabet = List.sort_uniq Name.compare (v1.v_alphabet @ v2.v_alphabet) in
+  (* BFS over pairs; "dead" is represented by None and is non-accepting *)
+  let visited = Hashtbl.create 64 in
+  let queue = Queue.create () in
+  Queue.add (Some v1.v_start, Some v2.v_start) queue;
+  let ok = ref true in
+  while !ok && not (Queue.is_empty queue) do
+    let s1, s2 = Queue.pop queue in
+    let id =
+      (match s1 with None -> "#" | Some k -> k)
+      ^ "|"
+      ^ match s2 with None -> "#" | Some k -> k
+    in
+    if not (Hashtbl.mem visited id) then begin
+      Hashtbl.add visited id ();
+      let a1 = match s1 with None -> false | Some k -> v1.v_accept k in
+      let a2 = match s2 with None -> false | Some k -> v2.v_accept k in
+      if a1 <> a2 then ok := false
+      else
+        List.iter
+          (fun name ->
+            let n1 = Option.bind s1 (fun k -> v1.v_step k name) in
+            let n2 = Option.bind s2 (fun k -> v2.v_step k name) in
+            if n1 <> None || n2 <> None then Queue.add (n1, n2) queue)
+          alphabet
+    end
+  done;
+  !ok

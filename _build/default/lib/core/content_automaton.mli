@@ -1,0 +1,40 @@
+(** Content-model automata.
+
+    A group definition (§2) denotes a regular language over element
+    names.  This module compiles a group into a Glushkov position
+    automaton: one state per element-declaration occurrence plus an
+    initial state, transitions labelled by element names.  XML
+    Schema's Unique Particle Attribution constraint is exactly
+    determinism of this automaton, which also makes validation a
+    single linear pass that attributes each child to the element
+    declaration it matched — the attribution the §6.2 requirements
+    (items 5.4.2.3) need in order to recurse with the right type. *)
+
+type t
+
+val make : ?max_positions:int -> Ast.group_def -> (t, string) result
+(** Compile a group.  Bounded repetitions are expanded; compilation
+    fails when the expansion exceeds [max_positions] (default
+    [20_000]) or a repetition factor is invalid. *)
+
+val position_count : t -> int
+(** Number of positions (states minus the initial one). *)
+
+val is_deterministic : t -> bool
+(** Unique Particle Attribution holds. *)
+
+val matches : t -> Ast.Name.t list -> bool
+(** NFA simulation: does the children name sequence belong to the
+    content model's language?  Linear in [positions * length]. *)
+
+val run : t -> Ast.Name.t list -> Ast.element_decl list option
+(** Deterministic run.  Returns the element declaration attributed to
+    each name, or [None] when the word is not accepted.  Requires
+    {!is_deterministic}; [Invalid_argument] otherwise. *)
+
+val accepts_empty : t -> bool
+
+val equivalent : t -> t -> bool
+(** Language equivalence, by breadth-first product of the on-the-fly
+    determinizations.  Used to verify that canonicalization
+    ({!Canonical}) preserves the content model's language. *)

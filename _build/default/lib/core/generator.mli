@@ -1,0 +1,34 @@
+(** Deterministic workload generation: random document schemas and
+    random valid instances.
+
+    The paper evaluates its model on hand-written examples; the bench
+    harness needs corpora of arbitrary size, so this module plays the
+    role of the missing test-document collection (see the substitution
+    table in DESIGN.md).  Everything is seeded — the same seed yields
+    the same schema/document. *)
+
+type rng
+
+val rng : int -> rng
+(** A splittable linear-congruential generator; independent of
+    [Random] so results are stable across OCaml versions. *)
+
+val int : rng -> int -> int
+(** Uniform in [0, bound). *)
+
+val sample_value : rng -> Xsm_datatypes.Simple_type.t -> string
+(** A lexical form valid for the given simple type.  Handles all
+    built-ins, enumerations and bounded integers; falls back to the
+    base type's sample for other restrictions. *)
+
+val instance :
+  ?max_repeat:int -> ?depth_budget:int -> rng -> Ast.schema -> Xsm_xml.Tree.t
+(** A random S-document: group repetitions draw counts in
+    [min, min(max, min + max_repeat)] (default [max_repeat] 3); the
+    depth budget (default 12) forces minimal expansions once
+    exhausted, so recursive schemas terminate. *)
+
+val random_schema : ?max_depth:int -> ?fanout:int -> rng -> Ast.schema
+(** A random well-formed schema: nested sequences/choices over unique
+    element names with simple leaf types; always passes
+    {!Schema_check.check}. *)

@@ -1,0 +1,18 @@
+let f doc schema = Validator.validate_document doc schema
+let g store node = Xsm_xdm.Convert.to_document store node
+
+let holds_for doc schema =
+  match f doc schema with
+  | Error es -> Error es
+  | Ok (store, dnode) ->
+    let back = g store dnode in
+    Ok (Xsm_xml.Tree.equal_content ~ignore_whitespace:true back doc)
+
+let text_roundtrip text schema =
+  match Xsm_xml.Parser.parse_document text with
+  | Error e -> Error (Xsm_xml.Parser.error_to_string e)
+  | Ok doc -> (
+    match holds_for doc schema with
+    | Ok b -> Ok b
+    | Error es ->
+      Error (String.concat "; " (List.map Validator.error_to_string es)))

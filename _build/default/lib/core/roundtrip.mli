@@ -1,0 +1,25 @@
+(** The §8 theorem, executable.
+
+    For a document schema [S] there is a function [f] mapping
+    S-documents to S-trees and a serialization [g] with
+    [g (f X) =_c X].  Here [f] is {!Validator.validate_document} and
+    [g] is {!Xsm_xdm.Convert.to_document}; {!holds_for} checks the
+    content equality for one document, which the property-test suite
+    runs over generated corpora. *)
+
+val f :
+  Xsm_xml.Tree.t ->
+  Ast.schema ->
+  (Xsm_xdm.Store.t * Xsm_xdm.Store.node, Validator.error list) result
+(** Document to S-tree (load + validate + annotate). *)
+
+val g : Xsm_xdm.Store.t -> Xsm_xdm.Store.node -> Xsm_xml.Tree.t
+(** S-tree to document (serialization). *)
+
+val holds_for : Xsm_xml.Tree.t -> Ast.schema -> (bool, Validator.error list) result
+(** [holds_for x s] computes [g (f x) =_c x]; [Error] when [x] is not
+    an S-document (the theorem's hypothesis fails). *)
+
+val text_roundtrip : string -> Ast.schema -> (bool, string) result
+(** The same check starting from serialized text: parse, [f], [g],
+    print, reparse, compare. *)

@@ -1,0 +1,229 @@
+open Ast
+module Tree = Xsm_xml.Tree
+
+(* Example 1: three element declarations. *)
+let example1_elements =
+  [
+    element ~nillable:true "Comment" (named_type "xs:string");
+    element ~repetition:(repeat 0 (Some 2)) "Author" (named_type "xs:string");
+    element "Location"
+      (Anonymous
+         (complex
+            (Some
+               (sequence
+                  [ elem_p (element "City" (named_type "xs:string")) ]))));
+  ]
+
+(* Example 2: a sequence group. *)
+let example2_group =
+  sequence
+    [
+      elem_p (element "B" (named_type "xs:string"));
+      elem_p (element "C" (named_type "xs:string"));
+    ]
+
+(* Example 3: a choice group repeated without bound. *)
+let example3_group =
+  choice ~repetition:many
+    [
+      elem_p (element "zero" (named_type "xs:string"));
+      elem_p (element "one" (named_type "xs:string"));
+    ]
+
+(* Example 5: complex type with simple content. *)
+let example5_type = simple_content ~base:"xs:decimal" [ attribute "currency" "xs:string" ]
+
+(* Example 6: mixed bookstore type. *)
+let book_fields =
+  [ "Title"; "Author"; "Date"; "ISBN"; "Publisher" ]
+
+let book_anonymous_type =
+  Anonymous
+    (complex
+       (Some
+          (sequence
+             (List.map (fun f -> elem_p (element f (named_type "xs:string"))) book_fields))))
+
+let example6_type =
+  Complex_content
+    {
+      mixed = true;
+      content =
+        Some
+          (sequence
+             [
+               elem_p
+                 (element ~repetition:(repeat 0 (Some 1000)) "Book" book_anonymous_type);
+             ]);
+      attributes = [ attribute "InStock" "xs:boolean"; attribute "Reviewer" "xs:string" ];
+    }
+
+(* Example 7: the BookStore schema. *)
+let example7_schema =
+  schema
+    ~complex_types:
+      [
+        ( "BookPublication",
+          complex
+            (Some
+               (sequence
+                  (List.map
+                     (fun f -> elem_p (element f (named_type "xs:string")))
+                     book_fields))) );
+      ]
+    (element "BookStore"
+       (Anonymous
+          (complex
+             (Some
+                (sequence
+                   [
+                     elem_p
+                       (element ~repetition:(repeat 1 None) "Book"
+                          (named_type "BookPublication"));
+                   ])))))
+
+let book_element i =
+  Tree.elem "Book"
+    ~children:
+      [
+        Tree.element (Tree.elem "Title" ~children:[ Tree.text (Printf.sprintf "Book %d" i) ]);
+        Tree.element (Tree.elem "Author" ~children:[ Tree.text (Printf.sprintf "Author %d" i) ]);
+        Tree.element (Tree.elem "Date" ~children:[ Tree.text (Printf.sprintf "%d" (1990 + (i mod 30))) ]);
+        Tree.element
+          (Tree.elem "ISBN" ~children:[ Tree.text (Printf.sprintf "0-13-%06d-%d" i (i mod 10)) ]);
+        Tree.element (Tree.elem "Publisher" ~children:[ Tree.text "Imprint" ]);
+      ]
+
+let bookstore_document ?(books = 2) () =
+  Tree.document
+    (Tree.elem "BookStore"
+       ~children:(List.init (max 1 books) (fun i -> Tree.element (book_element i))))
+
+let bookstore_invalid_document () =
+  let broken =
+    Tree.elem "Book"
+      ~children:
+        [
+          Tree.element (Tree.elem "Title" ~children:[ Tree.text "No ISBN" ]);
+          Tree.element (Tree.elem "Author" ~children:[ Tree.text "Nobody" ]);
+          Tree.element (Tree.elem "Date" ~children:[ Tree.text "2004" ]);
+          (* ISBN missing *)
+          Tree.element (Tree.elem "Publisher" ~children:[ Tree.text "Imprint" ]);
+        ]
+  in
+  Tree.document (Tree.elem "BookStore" ~children:[ Tree.element broken ])
+
+(* Example 8: the library document. *)
+let leaf name text = Tree.element (Tree.elem name ~children:[ Tree.text text ])
+
+let example8_document =
+  Tree.document
+    (Tree.elem "library"
+       ~children:
+         [
+           Tree.element
+             (Tree.elem "book"
+                ~children:
+                  [
+                    leaf "title" "Foundations of Databases";
+                    leaf "author" "Abiteboul";
+                    leaf "author" "Hull";
+                    leaf "author" "Vianu";
+                  ]);
+           Tree.element
+             (Tree.elem "book"
+                ~children:
+                  [
+                    leaf "title" "An Introduction to Database Systems";
+                    leaf "author" "Date";
+                    Tree.element
+                      (Tree.elem "issue"
+                         ~children:
+                           [ leaf "publisher" "Addison-Wesley"; leaf "year" "2004" ]);
+                  ]);
+           Tree.element
+             (Tree.elem "paper"
+                ~children:
+                  [
+                    leaf "title" "A Relational Model for Large Shared Data Banks";
+                    leaf "author" "Codd";
+                  ]);
+           Tree.element
+             (Tree.elem "paper"
+                ~children:
+                  [
+                    leaf "title" "The Complexity of Relational Query Languages";
+                    leaf "author" "Codd";
+                  ]);
+         ])
+
+let library_schema =
+  let issue_type =
+    complex
+      (Some
+         (sequence
+            [
+              elem_p (element "publisher" (named_type "xs:string"));
+              elem_p (element "year" (named_type "xs:gYear"));
+            ]))
+  in
+  let book_type =
+    complex
+      (Some
+         (sequence
+            [
+              elem_p (element "title" (named_type "xs:string"));
+              elem_p (element ~repetition:(repeat 1 None) "author" (named_type "xs:string"));
+              elem_p (element ~repetition:optional "issue" (named_type "Issue"));
+            ]))
+  in
+  let paper_type =
+    complex
+      (Some
+         (sequence
+            [
+              elem_p (element "title" (named_type "xs:string"));
+              elem_p (element ~repetition:(repeat 1 None) "author" (named_type "xs:string"));
+            ]))
+  in
+  schema
+    ~complex_types:[ ("Issue", issue_type); ("Book", book_type); ("Paper", paper_type) ]
+    (element "library"
+       (Anonymous
+          (complex
+             (Some
+                (sequence
+                   [
+                     elem_p (element ~repetition:many "book" (named_type "Book"));
+                     elem_p (element ~repetition:many "paper" (named_type "Paper"));
+                   ])))))
+
+let library_document ?(books = 2) ?(papers = 2) () =
+  let book i =
+    Tree.element
+      (Tree.elem "book"
+         ~children:
+           ([ leaf "title" (Printf.sprintf "Volume %d" i) ]
+           @ List.init ((i mod 3) + 1) (fun j -> leaf "author" (Printf.sprintf "Author %d-%d" i j))
+           @
+           if i mod 2 = 0 then
+             [
+               Tree.element
+                 (Tree.elem "issue"
+                    ~children:
+                      [
+                        leaf "publisher" "Addison-Wesley";
+                        leaf "year" (string_of_int (1970 + (i mod 50)));
+                      ]);
+             ]
+           else []))
+  in
+  let paper i =
+    Tree.element
+      (Tree.elem "paper"
+         ~children:
+           [ leaf "title" (Printf.sprintf "Paper %d" i); leaf "author" (Printf.sprintf "Author %d" i) ])
+  in
+  Tree.document
+    (Tree.elem "library"
+       ~children:(List.init books book @ List.init papers paper))

@@ -1,0 +1,42 @@
+(** The paper's worked examples (Examples 1–8) as ready-made values,
+    used by tests, examples and benches. *)
+
+val example1_elements : Ast.element_decl list
+(** Example 1: three element declarations — nillable Comment,
+    Author (0..2), anonymous-typed Location. *)
+
+val example2_group : Ast.group_def
+(** Example 2: sequence of B and C. *)
+
+val example3_group : Ast.group_def
+(** Example 3: choice of zero | one, repeated 0..unbounded. *)
+
+val example5_type : Ast.complex_type
+(** Example 5: simple content — decimal base with a currency
+    attribute. *)
+
+val example6_type : Ast.complex_type
+(** Example 6: mixed complex content — Book (0..1000) with five
+    string children, plus InStock and Reviewer attributes. *)
+
+val example7_schema : Ast.schema
+(** Example 7: the BookStore schema with the named BookPublication
+    type. *)
+
+val bookstore_document : ?books:int -> unit -> Xsm_xml.Tree.t
+(** A valid instance of {!example7_schema} with the given number of
+    books (default 2). *)
+
+val bookstore_invalid_document : unit -> Xsm_xml.Tree.t
+(** An instance violating the content model (missing ISBN). *)
+
+val example8_document : Xsm_xml.Tree.t
+(** Example 8: the library document (two books, two papers) used to
+    illustrate the descriptive schema in §9.1. *)
+
+val library_schema : Ast.schema
+(** A schema the Example 8 document validates against (the paper only
+    shows the instance; the schema is implied). *)
+
+val library_document : ?books:int -> ?papers:int -> unit -> Xsm_xml.Tree.t
+(** A scaled-up Example 8 document for benches. *)

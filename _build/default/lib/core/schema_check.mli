@@ -1,0 +1,28 @@
+(** Schema well-formedness and type resolution (§3).
+
+    The §3 requirement on type usage: every type [T] used in the
+    schema satisfies [T ∈ dom(ctd)] or [T] is a (built-in or declared)
+    simple type name or [T] is an anonymous definition.  Additional
+    checks: repetition factors are sane, element names within one
+    group are distinct (§2), simple-content bases are simple types,
+    and every content model satisfies the Unique Particle Attribution
+    constraint (checked via determinism of its Glushkov automaton). *)
+
+type error = { context : string; message : string }
+
+val pp_error : Format.formatter -> error -> unit
+
+type resolved =
+  | Resolved_simple of Xsm_datatypes.Simple_type.t
+  | Resolved_complex of Ast.complex_type
+
+val resolve : Ast.schema -> Ast.type_ref -> (resolved, string) result
+(** Resolve a type reference: named complex types first, then declared
+    simple types, then built-ins. *)
+
+val resolve_simple : Ast.schema -> Ast.Name.t -> (Xsm_datatypes.Simple_type.t, string) result
+(** Resolve a name that must denote a simple type (attribute types,
+    simple-content bases). *)
+
+val check : Ast.schema -> (unit, error list) result
+(** All well-formedness checks; returns every violation found. *)

@@ -1,0 +1,113 @@
+module Store = Xsm_xdm.Store
+module Name = Xsm_xml.Name
+
+type op =
+  | Insert_element of {
+      parent : Store.node;
+      before : Store.node option;
+      tree : Xsm_xml.Tree.element;
+    }
+  | Insert_text of { parent : Store.node; before : Store.node option; text : string }
+  | Delete of Store.node
+  | Replace_content of { node : Store.node; value : string }
+  | Set_attribute of { element : Store.node; name : Name.t; value : string }
+
+type applied =
+  | Inserted of { parent : Store.node; node : Store.node }
+  | Deleted of {
+      parent : Store.node;
+      node : Store.node;
+      next_sibling : Store.node option;  (* where to re-insert *)
+    }
+  | Content_replaced of { node : Store.node; old_value : string }
+  | Attribute_set of {
+      element : Store.node;
+      attribute : Store.node;
+      old_value : string option;  (* None = attribute was created *)
+    }
+
+let err fmt = Printf.ksprintf (fun s -> Error s) fmt
+
+let guarded f = match f () with v -> Ok v | exception Invalid_argument m -> Error m
+
+let insert_node store ~parent ~before node =
+  match before with
+  | None -> Store.append_child store parent node
+  | Some anchor -> Store.insert_child_before store parent ~before:anchor node
+
+let apply store = function
+  | Insert_element { parent; before; tree } ->
+    guarded (fun () ->
+        let node = Xsm_xdm.Convert.load_element store tree in
+        insert_node store ~parent ~before node;
+        Inserted { parent; node })
+  | Insert_text { parent; before; text } ->
+    guarded (fun () ->
+        let node = Store.new_text store text in
+        insert_node store ~parent ~before node;
+        Inserted { parent; node })
+  | Delete node -> (
+    match Store.parent store node with
+    | None -> err "delete: node has no parent"
+    | Some parent ->
+      guarded (fun () ->
+          let siblings = Store.children store parent in
+          let rec next = function
+            | a :: b :: _ when Store.equal_node a node -> Some b
+            | _ :: rest -> next rest
+            | [] -> None
+          in
+          let next_sibling = next siblings in
+          Store.remove_child store parent node;
+          Deleted { parent; node; next_sibling }))
+  | Replace_content { node; value } ->
+    guarded (fun () ->
+        let old_value = Store.string_value store node in
+        Store.set_content store node value;
+        Content_replaced { node; old_value })
+  | Set_attribute { element; name; value } -> (
+    match Store.kind store element with
+    | Store.Kind.Element -> (
+      let existing =
+        List.find_opt
+          (fun a ->
+            match Store.node_name store a with
+            | Some n -> Name.equal n name
+            | None -> false)
+          (Store.attributes store element)
+      in
+      match existing with
+      | Some attribute ->
+        guarded (fun () ->
+            let old_value = Some (Store.string_value store attribute) in
+            Store.set_content store attribute value;
+            Attribute_set { element; attribute; old_value })
+      | None ->
+        guarded (fun () ->
+            let attribute = Store.new_attribute store name value in
+            Store.attach_attribute store element attribute;
+            Attribute_set { element; attribute; old_value = None }))
+    | Store.Kind.Document | Store.Kind.Attribute | Store.Kind.Text ->
+      err "set_attribute: target is not an element")
+
+let undo store = function
+  | Inserted { parent; node } -> Store.remove_child store parent node
+  | Deleted { parent; node; next_sibling } -> (
+    match next_sibling with
+    | Some anchor -> Store.insert_child_before store parent ~before:anchor node
+    | None -> Store.append_child store parent node)
+  | Content_replaced { node; old_value } -> Store.set_content store node old_value
+  | Attribute_set { element; attribute; old_value } -> (
+    match old_value with
+    | Some v -> Store.set_content store attribute v
+    | None -> Store.detach_attribute store element attribute)
+
+let apply_validated store dnode schema op =
+  match apply store op with
+  | Error e -> Error [ e ]
+  | Ok evidence -> (
+    match Validator.validate store dnode schema with
+    | Ok () -> Ok ()
+    | Error es ->
+      undo store evidence;
+      Error (List.map Validator.error_to_string es))

@@ -1,0 +1,52 @@
+(** A small data-manipulation layer — the direction §11 announces
+    ("the presented semantics may help in defining a simple semantics
+    of a data manipulation language").
+
+    Operations address nodes directly (obtain them with the query
+    engine or the accessors) and mutate the state algebra — each
+    successful application is a database state transition in the §6.1
+    sense.  [apply_validated] makes the transition schema-safe: the
+    operation is applied, the document is re-validated against the
+    schema, and on failure the inverse operation restores the previous
+    state, so an invalid transition is never observable. *)
+
+type op =
+  | Insert_element of {
+      parent : Xsm_xdm.Store.node;
+      before : Xsm_xdm.Store.node option;  (** [None] = append last *)
+      tree : Xsm_xml.Tree.element;  (** the subtree to insert *)
+    }
+  | Insert_text of {
+      parent : Xsm_xdm.Store.node;
+      before : Xsm_xdm.Store.node option;
+      text : string;
+    }
+  | Delete of Xsm_xdm.Store.node  (** element or text child *)
+  | Replace_content of { node : Xsm_xdm.Store.node; value : string }
+      (** new content for a text or attribute node *)
+  | Set_attribute of {
+      element : Xsm_xdm.Store.node;
+      name : Xsm_xml.Name.t;
+      value : string;  (** replaces, or attaches when absent *)
+    }
+
+type applied
+(** Evidence of an applied operation, holding what is needed to undo
+    it. *)
+
+val apply : Xsm_xdm.Store.t -> op -> (applied, string) result
+(** Apply one operation (no validation).  Structural errors (wrong
+    node kinds, foreign anchors) are reported, not raised. *)
+
+val undo : Xsm_xdm.Store.t -> applied -> unit
+(** Revert an applied operation.  Must be called on the most recent
+    application first (stack discipline). *)
+
+val apply_validated :
+  Xsm_xdm.Store.t ->
+  Xsm_xdm.Store.node ->
+  Ast.schema ->
+  op ->
+  (unit, string list) result
+(** Apply, re-validate the document rooted at the given document node,
+    and roll back if the new state is not an S-tree. *)

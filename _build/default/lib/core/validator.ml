@@ -1,0 +1,288 @@
+module Name = Xsm_xml.Name
+module Store = Xsm_xdm.Store
+module Simple_type = Xsm_datatypes.Simple_type
+
+type error = { path : string; message : string }
+
+let pp_error ppf e = Format.fprintf ppf "%s: %s" e.path e.message
+let error_to_string e = Format.asprintf "%a" pp_error e
+
+let xsi_nil = Name.make ~prefix:"xsi" "nil"
+let untyped_atomic_name = Name.make ~prefix:"xdt" "untypedAtomic"
+let any_type_name = Name.make ~prefix:"xs" "anyType"
+
+type ctx = {
+  store : Store.t;
+  schema : Ast.schema;
+  mutable errors : error list;
+  (* compiled content models are cached per group (physical identity) *)
+  automata : (Ast.group_def * Content_automaton.t) list ref;
+}
+
+let report ctx path fmt =
+  Printf.ksprintf (fun message -> ctx.errors <- { path; message } :: ctx.errors) fmt
+
+let automaton_for ctx path (g : Ast.group_def) =
+  let rec find = function
+    | [] -> None
+    | (g', a) :: rest -> if g' == g then Some a else find rest
+  in
+  match find !(ctx.automata) with
+  | Some a -> Some a
+  | None -> (
+    match Content_automaton.make g with
+    | Ok a ->
+      if not (Content_automaton.is_deterministic a) then begin
+        report ctx path "content model violates Unique Particle Attribution";
+        None
+      end
+      else begin
+        ctx.automata := (g, a) :: !(ctx.automata);
+        Some a
+      end
+    | Error e ->
+      report ctx path "content model: %s" e;
+      None)
+
+let is_whitespace s =
+  String.for_all (fun c -> c = ' ' || c = '\t' || c = '\n' || c = '\r') s
+
+(* The type QName recorded by item 4. *)
+let annotation_name (ty : Ast.type_ref) =
+  match ty with
+  | Ast.Type_name n -> n
+  | Ast.Anonymous _ | Ast.Anonymous_simple _ -> any_type_name
+
+(* ------------------------------------------------------------------ *)
+(* Attributes (§6.2 item 5.3.1)                                        *)
+
+let validate_attributes ctx path node (decls : Ast.attribute_decl list) =
+  let attrs = Store.attributes ctx.store node in
+  let named =
+    List.filter_map
+      (fun a ->
+        match Store.node_name ctx.store a with
+        | Some n when Name.equal n xsi_nil -> None (* instance mechanics, not data *)
+        | Some n -> Some (n, a)
+        | None -> None)
+      attrs
+  in
+  (* every attribute present must be declared and allowed; required
+     attributes must be present (the automorphism σ of item 5.3.1);
+     absent attributes with a default value are materialized *)
+  List.iter
+    (fun (n, anode) ->
+      match List.find_opt (fun (d : Ast.attribute_decl) -> Name.equal d.attr_name n) decls with
+      | None -> report ctx path "undeclared attribute %s" (Name.to_string n)
+      | Some { Ast.attr_use = Ast.Prohibited; _ } ->
+        report ctx path "prohibited attribute %s" (Name.to_string n)
+      | Some d -> (
+        match Schema_check.resolve_simple ctx.schema d.attr_type with
+        | Error e -> report ctx path "attribute %s: %s" (Name.to_string n) e
+        | Ok st -> (
+          let value = Store.string_value ctx.store anode in
+          match Simple_type.validate st value with
+          | Ok typed ->
+            Store.set_type_name ctx.store anode (Some d.attr_type);
+            Store.set_typed_value ctx.store anode typed
+          | Error e -> report ctx path "attribute %s: %s" (Name.to_string n) e)))
+    named;
+  List.iter
+    (fun (d : Ast.attribute_decl) ->
+      let present = List.exists (fun (n, _) -> Name.equal n d.attr_name) named in
+      match d.attr_use, d.attr_default, present with
+      | Ast.Required, _, false ->
+        report ctx path "missing declared attribute %s" (Name.to_string d.attr_name)
+      | (Ast.Optional | Ast.Prohibited), Some dv, false when d.attr_use = Ast.Optional -> (
+        (* materialize the default, typed *)
+        match Schema_check.resolve_simple ctx.schema d.attr_type with
+        | Error e -> report ctx path "attribute %s: %s" (Name.to_string d.attr_name) e
+        | Ok st -> (
+          match Simple_type.validate st dv with
+          | Error e ->
+            report ctx path "default for attribute %s: %s" (Name.to_string d.attr_name) e
+          | Ok typed ->
+            let anode =
+              Store.new_attribute ctx.store ~type_name:d.attr_type ~typed_value:typed
+                d.attr_name dv
+            in
+            Store.attach_attribute ctx.store node anode))
+      | (Ast.Required | Ast.Optional | Ast.Prohibited), _, _ -> ())
+    decls
+
+(* ------------------------------------------------------------------ *)
+(* Simple content (items 5.1.1 / 5.2)                                  *)
+
+let validate_simple_text ctx path node (st : Simple_type.t) =
+  let children = Store.children ctx.store node in
+  let text_nodes, others =
+    List.partition (fun c -> Store.kind ctx.store c = Store.Kind.Text) children
+  in
+  if others <> [] then
+    report ctx path "element with simple type has element children";
+  let value = Store.string_value ctx.store node in
+  match Simple_type.validate st value with
+  | Ok typed ->
+    Store.set_typed_value ctx.store node typed;
+    List.iter
+      (fun t -> Store.set_type_name ctx.store t (Some untyped_atomic_name))
+      text_nodes
+  | Error e -> report ctx path "%s" e
+
+(* ------------------------------------------------------------------ *)
+(* Elements                                                            *)
+
+let rec validate_element ctx path node (decl : Ast.element_decl) =
+  let name = Store.node_name ctx.store node in
+  (match name with
+  | Some n when Name.equal n decl.elem_name -> ()
+  | Some n ->
+    report ctx path "element %s where %s was declared" (Name.to_string n)
+      (Name.to_string decl.elem_name)
+  | None -> report ctx path "unnamed element node");
+  Store.set_type_name ctx.store node (Some (annotation_name decl.elem_type));
+  (* nil handling: item 6 *)
+  let nil_requested =
+    List.exists
+      (fun a ->
+        match Store.node_name ctx.store a with
+        | Some n ->
+          Name.equal n xsi_nil
+          && (let v = Store.string_value ctx.store a in
+              v = "true" || v = "1")
+        | None -> false)
+      (Store.attributes ctx.store node)
+  in
+  if nil_requested && not decl.nillable then
+    report ctx path "xsi:nil on an element whose declaration has NillIndicator = false";
+  let nilled = nil_requested && decl.nillable in
+  Store.set_nilled ctx.store node nilled;
+  if nilled then begin
+    (* children(end) = (); attributes still validate per item 6.2/6.3 *)
+    if Store.children ctx.store node <> [] then
+      report ctx path "nilled element must be empty";
+    match Schema_check.resolve ctx.schema decl.elem_type with
+    | Ok (Schema_check.Resolved_complex (Ast.Simple_content { attributes; _ }))
+    | Ok (Schema_check.Resolved_complex (Ast.Complex_content { attributes; _ })) ->
+      validate_attributes ctx path node attributes
+    | Ok (Schema_check.Resolved_simple _) -> validate_attributes ctx path node []
+    | Error e -> report ctx path "%s" e
+  end
+  else begin
+    match Schema_check.resolve ctx.schema decl.elem_type with
+    | Error e -> report ctx path "%s" e
+    | Ok (Schema_check.Resolved_simple st) ->
+      validate_attributes ctx path node [];
+      validate_simple_text ctx path node st
+    | Ok (Schema_check.Resolved_complex (Ast.Simple_content { base; attributes })) -> (
+      validate_attributes ctx path node attributes;
+      match Schema_check.resolve_simple ctx.schema base with
+      | Ok st -> validate_simple_text ctx path node st
+      | Error e -> report ctx path "simple content base: %s" e)
+    | Ok (Schema_check.Resolved_complex (Ast.Complex_content { mixed; content; attributes }))
+      ->
+      validate_attributes ctx path node attributes;
+      validate_complex_children ctx path node ~mixed content
+  end
+
+and validate_complex_children ctx path node ~mixed content =
+  let children = Store.children ctx.store node in
+  (* partition, checking text discipline on the way *)
+  let element_children =
+    List.filter
+      (fun c ->
+        match Store.kind ctx.store c with
+        | Store.Kind.Element -> true
+        | Store.Kind.Text ->
+          let s = Store.string_value ctx.store c in
+          if mixed then
+            Store.set_type_name ctx.store c (Some untyped_atomic_name)
+          else if not (is_whitespace s) then
+            report ctx path "text %S in element-only content" s;
+          false
+        | Store.Kind.Document | Store.Kind.Attribute ->
+          report ctx path "impossible child node kind";
+          false)
+      children
+  in
+  (* no adjacent text nodes (item 5.4.2.2) *)
+  let rec adjacent = function
+    | a :: b :: rest ->
+      (Store.kind ctx.store a = Store.Kind.Text && Store.kind ctx.store b = Store.Kind.Text)
+      || adjacent (b :: rest)
+    | [ _ ] | [] -> false
+  in
+  if mixed && adjacent children then report ctx path "adjacent text nodes";
+  let names =
+    List.map
+      (fun c -> Option.value ~default:(Name.local "?") (Store.node_name ctx.store c))
+      element_children
+  in
+  match content with
+  | None ->
+    (* empty content, items 5.4.1.1 / 5.4.1.2 *)
+    if element_children <> [] then report ctx path "element children in empty content";
+    if mixed && List.length children > 1 then
+      report ctx path "mixed empty content allows at most one text node"
+  | Some g when Ast.group_is_empty g ->
+    if element_children <> [] then report ctx path "element children in empty content"
+  | Some g -> (
+    match automaton_for ctx path g with
+    | None -> () (* error already reported *)
+    | Some a -> (
+      match Content_automaton.run a names with
+      | None ->
+        report ctx path "children (%s) do not match the content model"
+          (String.concat ", " (List.map Name.to_string names))
+      | Some decls ->
+        List.iteri
+          (fun i (child, d) ->
+            let child_name =
+              match Store.node_name ctx.store child with
+              | Some n -> Name.to_string n
+              | None -> "?"
+            in
+            let child_path = Printf.sprintf "%s/%s[%d]" path child_name (i + 1) in
+            validate_element ctx child_path child d)
+          (List.combine element_children decls)))
+
+(* ------------------------------------------------------------------ *)
+(* Entry points                                                        *)
+
+let finish ctx = match ctx.errors with [] -> Ok () | es -> Error (List.rev es)
+
+let make_ctx store schema = { store; schema; errors = []; automata = ref [] }
+
+let validate store node schema =
+  let ctx = make_ctx store schema in
+  (match Store.kind store node with
+  | Store.Kind.Document -> (
+    (* requirement 1–3: one element child carrying the root declaration *)
+    match Store.children store node with
+    | [ root ] when Store.kind store root = Store.Kind.Element ->
+      validate_element ctx ("/" ^ Name.to_string schema.Ast.root.Ast.elem_name) root
+        schema.Ast.root
+    | [] -> report ctx "/" "document node has no element child"
+    | _ -> report ctx "/" "document node must have exactly one element child")
+  | Store.Kind.Element | Store.Kind.Attribute | Store.Kind.Text ->
+    report ctx "/" "validation must start at a document node");
+  finish ctx
+
+let validate_element_node store node schema =
+  let ctx = make_ctx store schema in
+  (match Store.kind store node with
+  | Store.Kind.Element ->
+    validate_element ctx ("/" ^ Name.to_string schema.Ast.root.Ast.elem_name) node
+      schema.Ast.root
+  | Store.Kind.Document | Store.Kind.Attribute | Store.Kind.Text ->
+    report ctx "/" "not an element node");
+  finish ctx
+
+let validate_document ?store doc schema =
+  let store = match store with Some s -> s | None -> Store.create () in
+  let dnode = Xsm_xdm.Convert.load store doc in
+  match validate store dnode schema with
+  | Ok () -> Ok (store, dnode)
+  | Error es -> Error es
+
+let is_valid doc schema = Result.is_ok (validate_document doc schema)

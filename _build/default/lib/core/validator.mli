@@ -1,0 +1,45 @@
+(** The §6.2 judgment: is a tree of nodes an S-tree?
+
+    [validate] checks requirements 1–7 of §6.2 against a tree living
+    in an XDM store and, on success, performs the type annotation the
+    state algebra prescribes (item 4: [type(end) = T] for named types
+    and [xs:anyType] for anonymous definitions; item 5.1.1: text nodes
+    typed [xdt:untypedAtomic]; typed values for simple-typed elements
+    and attributes).
+
+    [validate_document] is the function [f] of the §8 theorem: it
+    takes a syntactic S-document, builds the node tree and validates
+    it, returning the document node.
+
+    Deviations from the letter of the paper, recorded in DESIGN.md:
+    whitespace-only text nodes are tolerated (and not represented) in
+    element-only content, because real documents are indented; the
+    [xsi:nil] attribute is how an instance marks a nil element. *)
+
+type error = { path : string; message : string }
+
+val pp_error : Format.formatter -> error -> unit
+val error_to_string : error -> string
+
+val validate :
+  Xsm_xdm.Store.t -> Xsm_xdm.Store.node -> Ast.schema -> (unit, error list) result
+(** Validate (and annotate) the tree rooted at a document node.
+    The schema must pass {!Schema_check.check} first; content models
+    that fail to compile are reported as errors. *)
+
+val validate_element_node :
+  Xsm_xdm.Store.t -> Xsm_xdm.Store.node -> Ast.schema -> (unit, error list) result
+(** Validate an element node directly against the schema's root
+    declaration (no document node on top). *)
+
+val validate_document :
+  ?store:Xsm_xdm.Store.t ->
+  Xsm_xml.Tree.t ->
+  Ast.schema ->
+  (Xsm_xdm.Store.t * Xsm_xdm.Store.node, error list) result
+(** [f]: load a syntactic document into a store and validate it. *)
+
+val is_valid : Xsm_xml.Tree.t -> Ast.schema -> bool
+
+val xsi_nil : Xsm_xml.Name.t
+(** The [xsi:nil] attribute name. *)

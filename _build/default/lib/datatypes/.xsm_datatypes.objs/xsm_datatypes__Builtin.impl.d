@@ -1,0 +1,1 @@
+lib/datatypes/builtin.ml: Buffer Calendar Char Decimal Float Format Int32 List Option Printf String Value Xsm_xml

@@ -1,0 +1,1 @@
+lib/datatypes/builtin.mli: Format Value

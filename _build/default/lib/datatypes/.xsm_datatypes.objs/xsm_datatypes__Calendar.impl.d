@@ -1,0 +1,1 @@
+lib/datatypes/calendar.ml: Buffer Char Decimal Float Format List Printf String

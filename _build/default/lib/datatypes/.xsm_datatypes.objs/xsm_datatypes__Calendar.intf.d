@@ -1,0 +1,1 @@
+lib/datatypes/calendar.mli: Decimal Format

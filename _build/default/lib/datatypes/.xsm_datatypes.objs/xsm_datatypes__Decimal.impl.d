@@ -1,0 +1,1 @@
+lib/datatypes/decimal.ml: Bytes Char Format Printf String

@@ -1,0 +1,1 @@
+lib/datatypes/decimal.mli: Format

@@ -1,0 +1,1 @@
+lib/datatypes/facet.ml: Builtin Char Decimal Format List Printf Regex String Value

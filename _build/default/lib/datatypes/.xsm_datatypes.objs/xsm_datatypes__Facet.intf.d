@@ -1,0 +1,1 @@
+lib/datatypes/facet.mli: Builtin Format Regex Value

@@ -1,0 +1,1 @@
+lib/datatypes/regex.ml: Array Buffer Char Hashtbl List Option Printf String

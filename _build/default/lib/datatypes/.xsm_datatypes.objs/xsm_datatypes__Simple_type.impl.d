@@ -1,0 +1,1 @@
+lib/datatypes/simple_type.ml: Builtin Facet Format List Printf Result String

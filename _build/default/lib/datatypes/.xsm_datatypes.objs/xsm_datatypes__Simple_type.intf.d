@@ -1,0 +1,1 @@
+lib/datatypes/simple_type.mli: Builtin Facet Format Value

@@ -1,0 +1,1 @@
+lib/datatypes/value.ml: Bool Buffer Calendar Char Decimal Float Format Printf String Xsm_xml

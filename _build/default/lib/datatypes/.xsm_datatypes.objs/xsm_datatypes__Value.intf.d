@@ -1,0 +1,1 @@
+lib/datatypes/value.mli: Calendar Decimal Format Xsm_xml

@@ -1,0 +1,161 @@
+(* value = (if neg then -1 else 1) * digits * 10^(-scale)
+   invariants: digits has no leading '0' unless it is exactly "0";
+   scale >= 0; if scale > 0 the last digit is not '0'; "0" is never
+   negative and has scale 0. *)
+type t = { neg : bool; digits : string; scale : int }
+
+let strip_leading_zeros s =
+  let n = String.length s in
+  let i = ref 0 in
+  while !i < n - 1 && s.[!i] = '0' do
+    incr i
+  done;
+  String.sub s !i (n - !i)
+
+let normalize ~neg ~digits ~scale =
+  (* remove trailing zeros in the fractional part *)
+  let digits = ref digits and scale = ref scale in
+  while !scale > 0 && String.length !digits > 1 && !digits.[String.length !digits - 1] = '0' do
+    digits := String.sub !digits 0 (String.length !digits - 1);
+    decr scale
+  done;
+  if !scale > 0 && !digits = "0" then scale := 0;
+  let digits = strip_leading_zeros !digits in
+  if digits = "0" then { neg = false; digits = "0"; scale = 0 }
+  else { neg; digits; scale = !scale }
+
+let zero = { neg = false; digits = "0"; scale = 0 }
+let one = { neg = false; digits = "1"; scale = 0 }
+
+let of_int i =
+  if i = 0 then zero
+  else { neg = i < 0; digits = Printf.sprintf "%u" (abs i); scale = 0 }
+
+let is_digit c = c >= '0' && c <= '9'
+
+let of_string s =
+  let err () = Error (Printf.sprintf "invalid decimal %S" s) in
+  let n = String.length s in
+  if n = 0 then err ()
+  else begin
+    let neg, start =
+      match s.[0] with '-' -> (true, 1) | '+' -> (false, 1) | _ -> (false, 0)
+    in
+    if start >= n then err ()
+    else begin
+      match String.index_from_opt s start '.' with
+      | None ->
+        let body = String.sub s start (n - start) in
+        if body <> "" && String.for_all is_digit body then
+          Ok (normalize ~neg ~digits:body ~scale:0)
+        else err ()
+      | Some dot ->
+        let int_part = String.sub s start (dot - start) in
+        let frac_part = String.sub s (dot + 1) (n - dot - 1) in
+        if int_part = "" && frac_part = "" then err ()
+        else if String.for_all is_digit int_part && String.for_all is_digit frac_part then
+          let digits = (if int_part = "" then "0" else int_part) ^ frac_part in
+          Ok (normalize ~neg ~digits ~scale:(String.length frac_part))
+        else err ()
+    end
+  end
+
+let of_string_exn s =
+  match of_string s with Ok d -> d | Error e -> invalid_arg e
+
+let to_string { neg; digits; scale } =
+  let body =
+    if scale = 0 then digits
+    else begin
+      let n = String.length digits in
+      if n > scale then
+        String.sub digits 0 (n - scale) ^ "." ^ String.sub digits (n - scale) scale
+      else "0." ^ String.make (scale - n) '0' ^ digits
+    end
+  in
+  if neg then "-" ^ body else body
+
+(* Compare two digit strings of equal length. *)
+let compare_digit_strings a b =
+  let la = String.length a and lb = String.length b in
+  if la <> lb then compare la lb else String.compare a b
+
+(* Scale a magnitude up by appending zeros. *)
+let pad_right s k = if k = 0 then s else s ^ String.make k '0'
+
+let compare_magnitude a b =
+  (* compare |a| and |b|; re-strip leading zeros because padding a
+     zero ("0" -> "00") would otherwise defeat the length-first rule *)
+  let target = max a.scale b.scale in
+  let da = strip_leading_zeros (pad_right a.digits (target - a.scale)) in
+  let db = strip_leading_zeros (pad_right b.digits (target - b.scale)) in
+  compare_digit_strings da db
+
+let compare a b =
+  match a.neg, b.neg with
+  | false, true -> 1
+  | true, false -> -1
+  | false, false -> compare_magnitude a b
+  | true, true -> compare_magnitude b a
+
+let equal a b = compare a b = 0
+let negate d = if d.digits = "0" then d else { d with neg = not d.neg }
+let abs d = { d with neg = false }
+
+(* Digit-string addition of equal-scale magnitudes. *)
+let add_digit_strings a b =
+  let la = String.length a and lb = String.length b in
+  let n = max la lb in
+  let out = Bytes.make (n + 1) '0' in
+  let carry = ref 0 in
+  for i = 0 to n - 1 do
+    let da = if i < la then Char.code a.[la - 1 - i] - Char.code '0' else 0 in
+    let db = if i < lb then Char.code b.[lb - 1 - i] - Char.code '0' else 0 in
+    let s = da + db + !carry in
+    Bytes.set out (n - i) (Char.chr (Char.code '0' + (s mod 10)));
+    carry := s / 10
+  done;
+  Bytes.set out 0 (Char.chr (Char.code '0' + !carry));
+  strip_leading_zeros (Bytes.to_string out)
+
+(* a - b where a >= b as magnitudes, equal scale. *)
+let sub_digit_strings a b =
+  let la = String.length a and lb = String.length b in
+  let out = Bytes.make la '0' in
+  let borrow = ref 0 in
+  for i = 0 to la - 1 do
+    let da = Char.code a.[la - 1 - i] - Char.code '0' in
+    let db = if i < lb then Char.code b.[lb - 1 - i] - Char.code '0' else 0 in
+    let s = da - db - !borrow in
+    let s, bw = if s < 0 then (s + 10, 1) else (s, 0) in
+    Bytes.set out (la - 1 - i) (Char.chr (Char.code '0' + s));
+    borrow := bw
+  done;
+  strip_leading_zeros (Bytes.to_string out)
+
+let add a b =
+  let scale = max a.scale b.scale in
+  let da = strip_leading_zeros (pad_right a.digits (scale - a.scale)) in
+  let db = strip_leading_zeros (pad_right b.digits (scale - b.scale)) in
+  if a.neg = b.neg then normalize ~neg:a.neg ~digits:(add_digit_strings da db) ~scale
+  else begin
+    match compare_digit_strings da db with
+    | 0 -> zero
+    | c when c > 0 -> normalize ~neg:a.neg ~digits:(sub_digit_strings da db) ~scale
+    | _ -> normalize ~neg:b.neg ~digits:(sub_digit_strings db da) ~scale
+  end
+
+let sub a b = add a (negate b)
+let is_integer d = d.scale = 0
+
+let total_digits d = String.length (strip_leading_zeros d.digits)
+let fraction_digits d = d.scale
+
+let to_int d =
+  if d.scale <> 0 then None
+  else
+    match int_of_string_opt (to_string d) with Some i -> Some i | None -> None
+
+let to_float d = float_of_string (to_string d)
+let sign d = if d.digits = "0" then 0 else if d.neg then -1 else 1
+let pp ppf d = Format.pp_print_string ppf (to_string d)

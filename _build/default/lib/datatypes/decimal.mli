@@ -1,0 +1,48 @@
+(** Arbitrary-precision decimal numbers — the value space of
+    [xs:decimal] and all the integer types derived from it.
+
+    A decimal is an exact value [sign * digits * 10^(-scale)].  The
+    representation is normalized: no leading integer zeros, no trailing
+    fractional zeros, and zero is unsigned.  This suffices for the
+    operations XML Schema needs: lexical mapping, equality, ordering,
+    digit-counting facets, and small arithmetic for benchmarks. *)
+
+type t
+
+val zero : t
+val one : t
+val of_int : int -> t
+
+val of_string : string -> (t, string) result
+(** Parse the [xs:decimal] lexical space: optional sign, digits, an
+    optional fractional part.  Exponents are not part of the decimal
+    lexical space and are rejected. *)
+
+val of_string_exn : string -> t
+
+val to_string : t -> string
+(** Canonical form per XML Schema: no plus sign, no leading or trailing
+    zeros beyond what is required, a fractional part only when
+    non-zero. *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val negate : t -> t
+val abs : t -> t
+val add : t -> t -> t
+val sub : t -> t -> t
+val is_integer : t -> bool
+(** True when the scale is zero after normalization. *)
+
+val total_digits : t -> int
+(** Number of significant digits — the [totalDigits] facet measure. *)
+
+val fraction_digits : t -> int
+(** Number of digits after the point — the [fractionDigits] measure. *)
+
+val to_int : t -> int option
+(** Exact conversion when the value is an integer fitting in [int]. *)
+
+val to_float : t -> float
+val sign : t -> int
+val pp : Format.formatter -> t -> unit

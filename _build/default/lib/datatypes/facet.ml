@@ -1,0 +1,120 @@
+type t =
+  | Length of int
+  | Min_length of int
+  | Max_length of int
+  | Pattern of Regex.t
+  | Enumeration of Value.t list
+  | White_space of Builtin.whitespace
+  | Max_inclusive of Value.t
+  | Max_exclusive of Value.t
+  | Min_inclusive of Value.t
+  | Min_exclusive of Value.t
+  | Total_digits of int
+  | Fraction_digits of int
+
+let facet_name = function
+  | Length _ -> "length"
+  | Min_length _ -> "minLength"
+  | Max_length _ -> "maxLength"
+  | Pattern _ -> "pattern"
+  | Enumeration _ -> "enumeration"
+  | White_space _ -> "whiteSpace"
+  | Max_inclusive _ -> "maxInclusive"
+  | Max_exclusive _ -> "maxExclusive"
+  | Min_inclusive _ -> "minInclusive"
+  | Min_exclusive _ -> "minExclusive"
+  | Total_digits _ -> "totalDigits"
+  | Fraction_digits _ -> "fractionDigits"
+
+let pattern src =
+  match Regex.compile src with Ok r -> Ok (Pattern r) | Error e -> Error e
+
+let err fmt = Printf.ksprintf (fun s -> Error s) fmt
+
+(* utf8-aware character count for the string length facets *)
+let utf8_length s =
+  let n = String.length s in
+  let count = ref 0 and i = ref 0 in
+  while !i < n do
+    let c = Char.code s.[!i] in
+    let width =
+      if c < 0x80 then 1 else if c < 0xE0 then 2 else if c < 0xF0 then 3 else 4
+    in
+    incr count;
+    i := !i + width
+  done;
+  !count
+
+let measured_length ~values =
+  match values with
+  | [ Value.String s ] | [ Value.Untyped_atomic s ] | [ Value.Any_uri s ] ->
+    Some (utf8_length s)
+  | [ Value.Hex_binary b ] | [ Value.Base64_binary b ] -> Some (String.length b)
+  | [ (Value.Qname _ | Value.Notation _) ] -> None (* length has no effect, per spec *)
+  | [ _ ] -> None
+  | items -> Some (List.length items)
+
+let compare_to ~values bound =
+  match values with
+  | [ v ] -> Value.compare v bound
+  | _ -> None
+
+let check facet ~lexical ~values =
+  match facet with
+  | White_space _ -> Ok () (* applied before parsing, never fails *)
+  | Pattern r ->
+    if Regex.matches r lexical then Ok ()
+    else err "value %S does not match pattern %S" lexical (Regex.source r)
+  | Length n -> (
+    match measured_length ~values with
+    | Some l when l = n -> Ok ()
+    | Some l -> err "length is %d, facet requires %d" l n
+    | None -> Ok ())
+  | Min_length n -> (
+    match measured_length ~values with
+    | Some l when l >= n -> Ok ()
+    | Some l -> err "length is %d, facet requires at least %d" l n
+    | None -> Ok ())
+  | Max_length n -> (
+    match measured_length ~values with
+    | Some l when l <= n -> Ok ()
+    | Some l -> err "length is %d, facet allows at most %d" l n
+    | None -> Ok ())
+  | Enumeration allowed ->
+    let matches_one v = List.exists (fun a -> Value.equal a v) allowed in
+    if List.for_all matches_one values && values <> [] then Ok ()
+    else err "value %S is not among the enumerated values" lexical
+  | Max_inclusive b -> (
+    match compare_to ~values b with
+    | Some c when c <= 0 -> Ok ()
+    | Some _ -> err "value %S exceeds maxInclusive %s" lexical (Value.canonical_string b)
+    | None -> err "value %S is not comparable with maxInclusive bound" lexical)
+  | Max_exclusive b -> (
+    match compare_to ~values b with
+    | Some c when c < 0 -> Ok ()
+    | Some _ -> err "value %S violates maxExclusive %s" lexical (Value.canonical_string b)
+    | None -> err "value %S is not comparable with maxExclusive bound" lexical)
+  | Min_inclusive b -> (
+    match compare_to ~values b with
+    | Some c when c >= 0 -> Ok ()
+    | Some _ -> err "value %S is below minInclusive %s" lexical (Value.canonical_string b)
+    | None -> err "value %S is not comparable with minInclusive bound" lexical)
+  | Min_exclusive b -> (
+    match compare_to ~values b with
+    | Some c when c > 0 -> Ok ()
+    | Some _ -> err "value %S violates minExclusive %s" lexical (Value.canonical_string b)
+    | None -> err "value %S is not comparable with minExclusive bound" lexical)
+  | Total_digits n -> (
+    match values with
+    | [ Value.Decimal d ] ->
+      if Decimal.total_digits d <= n then Ok ()
+      else err "%S has more than %d total digits" lexical n
+    | _ -> Ok ())
+  | Fraction_digits n -> (
+    match values with
+    | [ Value.Decimal d ] ->
+      if Decimal.fraction_digits d <= n then Ok ()
+      else err "%S has more than %d fraction digits" lexical n
+    | _ -> Ok ())
+
+let pp ppf f = Format.pp_print_string ppf (facet_name f)

@@ -1,0 +1,38 @@
+(** Constraining facets of XML Schema Part 2 (§4: "a type derived by
+    restriction from another atomic type").
+
+    Facets split into lexical-space facets (pattern), value-space
+    facets (bounds, digits, enumeration) and length facets whose
+    measure depends on the primitive (characters for strings, octets
+    for the binary types, items for lists). *)
+
+type t =
+  | Length of int
+  | Min_length of int
+  | Max_length of int
+  | Pattern of Regex.t
+  | Enumeration of Value.t list  (** values, already in the base's value space *)
+  | White_space of Builtin.whitespace
+  | Max_inclusive of Value.t
+  | Max_exclusive of Value.t
+  | Min_inclusive of Value.t
+  | Min_exclusive of Value.t
+  | Total_digits of int
+  | Fraction_digits of int
+
+val facet_name : t -> string
+
+val pattern : string -> (t, string) result
+(** Compile a pattern facet. *)
+
+val check :
+  t ->
+  lexical:string ->
+  values:Value.t list ->
+  (unit, string) result
+(** [check f ~lexical ~values] applies one facet.  [lexical] is the
+    whitespace-normalized lexical form (used by [Pattern]); [values]
+    is the parsed value sequence (one element for atomic types, the
+    item list for list types). *)
+
+val pp : Format.formatter -> t -> unit

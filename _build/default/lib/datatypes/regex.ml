@@ -1,0 +1,428 @@
+(* Byte-oriented implementation: multi-byte UTF-8 sequences are treated
+   as their constituent bytes, which is exact for the ASCII subset the
+   schema patterns in this repository use. *)
+
+type cset = bool array (* 256 entries *)
+
+type ast =
+  | Empty
+  | Chars of cset
+  | Seq of ast * ast
+  | Alt of ast * ast
+  | Star of ast
+  | Repeat of ast * int * int option
+
+exception Syntax of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Syntax s)) fmt
+
+let cset_none () = Array.make 256 false
+let cset_all ?(except = []) () =
+  let a = Array.make 256 true in
+  List.iter (fun c -> a.(Char.code c) <- false) except;
+  a
+
+let cset_of_ranges ranges =
+  let a = cset_none () in
+  List.iter
+    (fun (lo, hi) ->
+      for i = Char.code lo to Char.code hi do
+        a.(i) <- true
+      done)
+    ranges;
+  a
+
+let cset_union a b = Array.init 256 (fun i -> a.(i) || b.(i))
+let cset_negate a = Array.map not a
+let cset_subtract a b = Array.init 256 (fun i -> a.(i) && not b.(i))
+
+let digit = cset_of_ranges [ ('0', '9') ]
+let space = cset_of_ranges [ (' ', ' '); ('\t', '\t'); ('\n', '\n'); ('\r', '\r') ]
+
+let word =
+  (* \w = [#x0000-#x10FFFF]-[\p{P}\p{Z}\p{C}]; approximate with
+     alphanumerics, underscore and high bytes *)
+  cset_union
+    (cset_of_ranges [ ('a', 'z'); ('A', 'Z'); ('0', '9'); ('_', '_') ])
+    (cset_of_ranges [ ('\x80', '\xFF') ])
+
+let name_start =
+  cset_union
+    (cset_of_ranges [ ('a', 'z'); ('A', 'Z'); ('_', '_'); (':', ':') ])
+    (cset_of_ranges [ ('\x80', '\xFF') ])
+
+let name_char =
+  cset_union name_start (cset_of_ranges [ ('0', '9'); ('-', '-'); ('.', '.') ])
+
+(* Unicode category escapes \p{...}, byte-approximated (ASCII exact,
+   non-ASCII bytes treated as letters, which matches UTF-8 text for
+   the Latin scripts the test corpus uses) *)
+let category_set = function
+  | "L" | "Lt" | "Lm" | "Lo" ->
+    cset_of_ranges [ ('A', 'Z'); ('a', 'z'); ('\x80', '\xFF') ]
+  | "Lu" -> cset_of_ranges [ ('A', 'Z') ]
+  | "Ll" -> cset_of_ranges [ ('a', 'z') ]
+  | "N" | "Nd" -> cset_of_ranges [ ('0', '9') ]
+  | "P" ->
+    cset_of_ranges
+      [ ('!', '#'); ('%', '*'); (',', '/'); (':', ';'); ('?', '@'); ('[', ']');
+        ('_', '_'); ('{', '}') ]
+  | "S" -> cset_of_ranges [ ('$', '$'); ('+', '+'); ('<', '>'); ('^', '^'); ('`', '`'); ('|', '|'); ('~', '~') ]
+  | "Z" | "Zs" -> cset_of_ranges [ (' ', ' ') ]
+  | "C" | "Cc" -> cset_of_ranges [ ('\x00', '\x1F'); ('\x7F', '\x7F') ]
+  | other -> fail "unsupported category \\p{%s}" other
+
+type scan = { s : string; mutable i : int }
+
+let peek sc = if sc.i < String.length sc.s then Some sc.s.[sc.i] else None
+let advance sc = sc.i <- sc.i + 1
+
+let escape_set = function
+  | 'd' -> digit
+  | 'D' -> cset_negate digit
+  | 's' -> space
+  | 'S' -> cset_negate space
+  | 'w' -> word
+  | 'W' -> cset_negate word
+  | 'i' -> name_start
+  | 'I' -> cset_negate name_start
+  | 'c' -> name_char
+  | 'C' -> cset_negate name_char
+  | _ -> raise Not_found
+
+let single_escape = function
+  | 'n' -> '\n'
+  | 'r' -> '\r'
+  | 't' -> '\t'
+  | ('\\' | '|' | '.' | '?' | '*' | '+' | '(' | ')' | '{' | '}' | '[' | ']' | '^' | '$' | '-') as c ->
+    c
+  | c -> fail "unknown escape \\%c" c
+
+let scan_category sc =
+  (match peek sc with
+  | Some '{' -> advance sc
+  | _ -> fail "expected { after \\p");
+  let buf = Buffer.create 4 in
+  let rec go () =
+    match peek sc with
+    | Some '}' -> advance sc
+    | Some c ->
+      Buffer.add_char buf c;
+      advance sc;
+      go ()
+    | None -> fail "unterminated category escape"
+  in
+  go ();
+  category_set (Buffer.contents buf)
+
+let scan_escape sc =
+  match peek sc with
+  | None -> fail "dangling backslash"
+  | Some 'p' ->
+    advance sc;
+    `Set (scan_category sc)
+  | Some 'P' ->
+    advance sc;
+    `Set (cset_negate (scan_category sc))
+  | Some c ->
+    advance sc;
+    (try `Set (escape_set c)
+     with Not_found ->
+       let ch = single_escape c in
+       `Set (cset_of_ranges [ (ch, ch) ]))
+
+(* character class: [ ... ] with ranges, escapes, negation, and
+   subtraction [a-z-[aeiou]] *)
+let rec scan_class sc =
+  (* '[' already consumed *)
+  let neg =
+    match peek sc with
+    | Some '^' ->
+      advance sc;
+      true
+    | _ -> false
+  in
+  let acc = ref (cset_none ()) in
+  let subtracted = ref None in
+  let add_set s = acc := cset_union !acc s in
+  let rec item () =
+    match peek sc with
+    | None -> fail "unterminated character class"
+    | Some ']' -> advance sc
+    | Some '-' -> (
+      advance sc;
+      match peek sc with
+      | Some '[' ->
+        (* class subtraction *)
+        advance sc;
+        let sub = scan_class sc in
+        subtracted := Some sub;
+        (match peek sc with
+        | Some ']' -> advance sc
+        | _ -> fail "expected ] after class subtraction")
+      | Some ']' ->
+        add_set (cset_of_ranges [ ('-', '-') ]);
+        advance sc
+      | _ ->
+        add_set (cset_of_ranges [ ('-', '-') ]);
+        item ())
+    | Some '\\' -> (
+      advance sc;
+      match scan_escape sc with
+      | `Set s ->
+        (* range like \t-\n is unusual; treat escapes as atoms *)
+        add_set s;
+        item ())
+    | Some c -> (
+      advance sc;
+      (* possible range c-d *)
+      match peek sc with
+      | Some '-' -> (
+        let save = sc.i in
+        advance sc;
+        match peek sc with
+        | Some ']' | Some '[' | None ->
+          (* '-' is literal (or starts subtraction) — rewind *)
+          sc.i <- save;
+          add_set (cset_of_ranges [ (c, c) ]);
+          item ()
+        | Some '\\' ->
+          advance sc;
+          (match scan_escape sc with
+          | `Set _ -> fail "range endpoint cannot be a class escape");
+        | Some d ->
+          advance sc;
+          if Char.code d < Char.code c then fail "reversed range %c-%c" c d;
+          add_set (cset_of_ranges [ (c, d) ]);
+          item ())
+      | _ ->
+        add_set (cset_of_ranges [ (c, c) ]);
+        item ())
+  in
+  item ();
+  let base = if neg then cset_negate !acc else !acc in
+  match !subtracted with None -> base | Some sub -> cset_subtract base sub
+
+let scan_int sc =
+  let start = sc.i in
+  while (match peek sc with Some c when c >= '0' && c <= '9' -> true | _ -> false) do
+    advance sc
+  done;
+  if sc.i = start then fail "expected number in quantifier";
+  int_of_string (String.sub sc.s start (sc.i - start))
+
+let max_expansion = 1000
+
+let rec parse_alt sc =
+  let left = parse_seq sc in
+  match peek sc with
+  | Some '|' ->
+    advance sc;
+    Alt (left, parse_alt sc)
+  | _ -> left
+
+and parse_seq sc =
+  let rec go acc =
+    match peek sc with
+    | None | Some '|' | Some ')' -> acc
+    | _ ->
+      let piece = parse_piece sc in
+      go (if acc = Empty then piece else Seq (acc, piece))
+  in
+  go Empty
+
+and parse_piece sc =
+  let atom = parse_atom sc in
+  match peek sc with
+  | Some '?' ->
+    advance sc;
+    Repeat (atom, 0, Some 1)
+  | Some '*' ->
+    advance sc;
+    Star atom
+  | Some '+' ->
+    advance sc;
+    Seq (atom, Star atom)
+  | Some '{' ->
+    advance sc;
+    let n = scan_int sc in
+    let bound =
+      match peek sc with
+      | Some '}' -> Some n
+      | Some ',' -> (
+        advance sc;
+        match peek sc with
+        | Some '}' -> None
+        | _ ->
+          let m = scan_int sc in
+          if m < n then fail "quantifier {%d,%d} has max < min" n m;
+          Some m)
+      | _ -> fail "malformed quantifier"
+    in
+    (match peek sc with
+    | Some '}' -> advance sc
+    | _ -> fail "unterminated quantifier");
+    if n > max_expansion || (match bound with Some m -> m > max_expansion | None -> false)
+    then fail "quantifier bound exceeds %d" max_expansion;
+    Repeat (atom, n, bound)
+  | _ -> atom
+
+and parse_atom sc =
+  match peek sc with
+  | None -> fail "expected atom"
+  | Some '(' ->
+    advance sc;
+    let inner = parse_alt sc in
+    (match peek sc with
+    | Some ')' -> advance sc
+    | _ -> fail "unterminated group");
+    inner
+  | Some '.' ->
+    advance sc;
+    Chars (cset_all ~except:[ '\n'; '\r' ] ())
+  | Some '[' ->
+    advance sc;
+    Chars (scan_class sc)
+  | Some '\\' -> (
+    advance sc;
+    match scan_escape sc with `Set s -> Chars s)
+  | Some (('?' | '*' | '+' | '{' | '}' | ']' | ')') as c) -> fail "unexpected %c" c
+  | Some c ->
+    advance sc;
+    Chars (cset_of_ranges [ (c, c) ])
+
+(* ------------------------------------------------------------------ *)
+(* Thompson NFA                                                        *)
+
+type nfa = {
+  (* state -> transitions; a state has either epsilon edges or one
+     labelled edge *)
+  eps : int list array;
+  label : (cset * int) option array;
+  start : int;
+  accept : int;
+}
+
+let build ast =
+  let eps = ref [] and label = ref [] and count = ref 0 in
+  let new_state () =
+    let id = !count in
+    incr count;
+    eps := [] :: !eps;
+    label := None :: !label;
+    id
+  in
+  (* we accumulate into arrays at the end; during construction use
+     growable assoc via mutable lists indexed later *)
+  let eps_edges = Hashtbl.create 64 in
+  let label_edges = Hashtbl.create 64 in
+  let add_eps a b = Hashtbl.replace eps_edges a (b :: Option.value ~default:[] (Hashtbl.find_opt eps_edges a)) in
+  let add_label a set b = Hashtbl.replace label_edges a (set, b) in
+  let rec go ast =
+    (* returns (entry, exit) *)
+    match ast with
+    | Empty ->
+      let s = new_state () in
+      (s, s)
+    | Chars set ->
+      let a = new_state () and b = new_state () in
+      add_label a set b;
+      (a, b)
+    | Seq (x, y) ->
+      let ax, bx = go x in
+      let ay, by = go y in
+      add_eps bx ay;
+      (ax, by)
+    | Alt (x, y) ->
+      let a = new_state () and b = new_state () in
+      let ax, bx = go x in
+      let ay, by = go y in
+      add_eps a ax;
+      add_eps a ay;
+      add_eps bx b;
+      add_eps by b;
+      (a, b)
+    | Star x ->
+      let a = new_state () and b = new_state () in
+      let ax, bx = go x in
+      add_eps a ax;
+      add_eps a b;
+      add_eps bx ax;
+      add_eps bx b;
+      (a, b)
+    | Repeat (x, n, bound) ->
+      (* expand: n mandatory copies, then (m-n) optional or a star *)
+      let chain_start = new_state () in
+      let tail = ref chain_start in
+      for _ = 1 to n do
+        let ax, bx = go x in
+        add_eps !tail ax;
+        tail := bx
+      done;
+      (match bound with
+      | None ->
+        let ax, bx = go (Star x) in
+        add_eps !tail ax;
+        tail := bx
+      | Some m ->
+        let final = new_state () in
+        for _ = n + 1 to m do
+          let ax, bx = go x in
+          add_eps !tail final;
+          add_eps !tail ax;
+          tail := bx
+        done;
+        add_eps !tail final;
+        tail := final);
+      (chain_start, !tail)
+  in
+  let start, accept = go ast in
+  ignore !eps;
+  ignore !label;
+  let n = !count in
+  let eps = Array.make n [] in
+  let label = Array.make n None in
+  Hashtbl.iter (fun a bs -> eps.(a) <- bs) eps_edges;
+  Hashtbl.iter (fun a e -> label.(a) <- Some e) label_edges;
+  { eps; label; start; accept }
+
+type t = { nfa : nfa; source : string }
+
+let compile src =
+  match
+    let sc = { s = src; i = 0 } in
+    let ast = parse_alt sc in
+    if sc.i <> String.length src then fail "unexpected %c" src.[sc.i];
+    build ast
+  with
+  | nfa -> Ok { nfa; source = src }
+  | exception Syntax msg -> Error msg
+
+let source t = t.source
+
+let matches t input =
+  let { eps; label; start; accept } = t.nfa in
+  let n = Array.length eps in
+  let current = Array.make n false in
+  let next = Array.make n false in
+  let rec add_closure set s =
+    if not set.(s) then begin
+      set.(s) <- true;
+      List.iter (add_closure set) eps.(s)
+    end
+  in
+  add_closure current start;
+  String.iter
+    (fun c ->
+      Array.fill next 0 n false;
+      let code = Char.code c in
+      Array.iteri
+        (fun s active ->
+          if active then
+            match label.(s) with
+            | Some (set, dst) when set.(code) -> add_closure next dst
+            | _ -> ())
+        current;
+      Array.blit next 0 current 0 n)
+    input;
+  current.(accept)

@@ -1,0 +1,25 @@
+(** XML Schema regular expressions (Appendix F of Part 2), used by the
+    [pattern] facet.
+
+    The dialect differs from PCRE: patterns are implicitly anchored at
+    both ends, there are no back-references and no non-greedy
+    quantifiers.  Supported constructs: alternation [|], concatenation,
+    quantifiers [?], [*], [+], [{n}], [{n,}], [{n,m}], groups [( )],
+    the wildcard [.] (anything but newline), character classes
+    [[a-z]], negated classes [[^...]], class subtraction
+    [[a-z-[aeiou]]], and the multi-character escapes [\s \S \d \D \w
+    \W \i \I \c \C] plus single-character escapes.
+
+    Matching is by Thompson NFA simulation: linear in pattern times
+    input, no backtracking blow-up. *)
+
+type t
+
+val compile : string -> (t, string) result
+(** Parse and compile a pattern.  Errors describe the syntax problem. *)
+
+val matches : t -> string -> bool
+(** Whole-string match (XSD patterns are anchored). *)
+
+val source : t -> string
+(** The original pattern text. *)

@@ -1,0 +1,177 @@
+type t =
+  | String of string
+  | Boolean of bool
+  | Decimal of Decimal.t
+  | Float of float
+  | Double of float
+  | Duration of Calendar.duration
+  | Date_time of Calendar.date_time
+  | Time of Calendar.time
+  | Date of Calendar.date
+  | G_year_month of Calendar.g_year_month
+  | G_year of Calendar.g_year
+  | G_month_day of Calendar.g_month_day
+  | G_day of Calendar.g_day
+  | G_month of Calendar.g_month
+  | Hex_binary of string
+  | Base64_binary of string
+  | Any_uri of string
+  | Qname of Xsm_xml.Name.t
+  | Notation of Xsm_xml.Name.t
+  | Untyped_atomic of string
+
+let to_double = function
+  | Decimal d -> Some (Decimal.to_float d)
+  | Float f | Double f -> Some f
+  | String _ | Boolean _ | Duration _ | Date_time _ | Time _ | Date _ | G_year_month _
+  | G_year _ | G_month_day _ | G_day _ | G_month _ | Hex_binary _ | Base64_binary _
+  | Any_uri _ | Qname _ | Notation _ | Untyped_atomic _ ->
+    None
+
+let is_numeric v = to_double v <> None
+
+let equal a b =
+  match a, b with
+  | String x, String y | Any_uri x, Any_uri y | Untyped_atomic x, Untyped_atomic y ->
+    String.equal x y
+  | Boolean x, Boolean y -> Bool.equal x y
+  | Decimal x, Decimal y -> Decimal.equal x y
+  | Duration x, Duration y -> Calendar.equal_duration x y
+  | Date_time x, Date_time y
+  | Time x, Time y
+  | Date x, Date y
+  | G_year_month x, G_year_month y
+  | G_year x, G_year y
+  | G_month_day x, G_month_day y
+  | G_day x, G_day y
+  | G_month x, G_month y ->
+    Calendar.compare_date_time x y = 0
+  | Hex_binary x, Hex_binary y | Base64_binary x, Base64_binary y -> String.equal x y
+  | Qname x, Qname y | Notation x, Notation y -> Xsm_xml.Name.equal x y
+  | a, b when is_numeric a && is_numeric b -> (
+    match a, b with
+    | Decimal _, Decimal _ -> assert false (* handled above *)
+    | _ -> (
+      match to_double a, to_double b with
+      | Some x, Some y -> Float.equal x y
+      | _ -> false))
+  | ( ( String _ | Boolean _ | Decimal _ | Float _ | Double _ | Duration _ | Date_time _
+      | Time _ | Date _ | G_year_month _ | G_year _ | G_month_day _ | G_day _ | G_month _
+      | Hex_binary _ | Base64_binary _ | Any_uri _ | Qname _ | Notation _
+      | Untyped_atomic _ ),
+      _ ) ->
+    false
+
+let compare a b =
+  match a, b with
+  | String x, String y | Untyped_atomic x, Untyped_atomic y | Any_uri x, Any_uri y ->
+    Some (String.compare x y)
+  | Boolean x, Boolean y -> Some (Bool.compare x y)
+  | Decimal x, Decimal y -> Some (Decimal.compare x y)
+  | Duration x, Duration y -> Calendar.compare_duration x y
+  | Date_time x, Date_time y
+  | Time x, Time y
+  | Date x, Date y
+  | G_year_month x, G_year_month y
+  | G_year x, G_year y
+  | G_month_day x, G_month_day y
+  | G_day x, G_day y
+  | G_month x, G_month y ->
+    Some (Calendar.compare_date_time x y)
+  | Hex_binary x, Hex_binary y | Base64_binary x, Base64_binary y ->
+    Some (String.compare x y)
+  | a, b when is_numeric a && is_numeric b -> (
+    match to_double a, to_double b with
+    | Some x, Some y -> Some (Float.compare x y)
+    | _ -> None)
+  | ( ( String _ | Boolean _ | Decimal _ | Float _ | Double _ | Duration _ | Date_time _
+      | Time _ | Date _ | G_year_month _ | G_year _ | G_month_day _ | G_day _ | G_month _
+      | Hex_binary _ | Base64_binary _ | Any_uri _ | Qname _ | Notation _
+      | Untyped_atomic _ ),
+      _ ) ->
+    None
+
+let hex_of_bytes s =
+  let buf = Buffer.create (String.length s * 2) in
+  String.iter (fun c -> Buffer.add_string buf (Printf.sprintf "%02X" (Char.code c))) s;
+  Buffer.contents buf
+
+let base64_alphabet = "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/"
+
+let base64_of_bytes s =
+  let buf = Buffer.create ((String.length s + 2) / 3 * 4) in
+  let n = String.length s in
+  let i = ref 0 in
+  while !i + 2 < n do
+    let b0 = Char.code s.[!i] and b1 = Char.code s.[!i + 1] and b2 = Char.code s.[!i + 2] in
+    Buffer.add_char buf base64_alphabet.[b0 lsr 2];
+    Buffer.add_char buf base64_alphabet.[((b0 land 3) lsl 4) lor (b1 lsr 4)];
+    Buffer.add_char buf base64_alphabet.[((b1 land 15) lsl 2) lor (b2 lsr 6)];
+    Buffer.add_char buf base64_alphabet.[b2 land 63];
+    i := !i + 3
+  done;
+  (match n - !i with
+  | 1 ->
+    let b0 = Char.code s.[!i] in
+    Buffer.add_char buf base64_alphabet.[b0 lsr 2];
+    Buffer.add_char buf base64_alphabet.[(b0 land 3) lsl 4];
+    Buffer.add_string buf "=="
+  | 2 ->
+    let b0 = Char.code s.[!i] and b1 = Char.code s.[!i + 1] in
+    Buffer.add_char buf base64_alphabet.[b0 lsr 2];
+    Buffer.add_char buf base64_alphabet.[((b0 land 3) lsl 4) lor (b1 lsr 4)];
+    Buffer.add_char buf base64_alphabet.[(b1 land 15) lsl 2];
+    Buffer.add_char buf '='
+  | _ -> ());
+  Buffer.contents buf
+
+let canonical_float f =
+  if Float.is_nan f then "NaN"
+  else if f = Float.infinity then "INF"
+  else if f = Float.neg_infinity then "-INF"
+  else if Float.is_integer f && Float.abs f < 1e15 then
+    (* canonical form mantissa.E-exponent; keep it simple and exact *)
+    Printf.sprintf "%.1fE0" f |> fun s -> s
+  else Printf.sprintf "%.17gE0" f
+
+let canonical_string = function
+  | String s | Any_uri s | Untyped_atomic s -> s
+  | Boolean b -> if b then "true" else "false"
+  | Decimal d -> Decimal.to_string d
+  | Float f | Double f -> canonical_float f
+  | Duration d -> Calendar.print_duration d
+  | Date_time d -> Calendar.print_date_time d
+  | Time d -> Calendar.print_time d
+  | Date d -> Calendar.print_date d
+  | G_year_month d -> Calendar.print_g_year_month d
+  | G_year d -> Calendar.print_g_year d
+  | G_month_day d -> Calendar.print_g_month_day d
+  | G_day d -> Calendar.print_g_day d
+  | G_month d -> Calendar.print_g_month d
+  | Hex_binary b -> hex_of_bytes b
+  | Base64_binary b -> base64_of_bytes b
+  | Qname n | Notation n -> Xsm_xml.Name.to_string n
+
+let kind_name = function
+  | String _ -> "string"
+  | Boolean _ -> "boolean"
+  | Decimal _ -> "decimal"
+  | Float _ -> "float"
+  | Double _ -> "double"
+  | Duration _ -> "duration"
+  | Date_time _ -> "dateTime"
+  | Time _ -> "time"
+  | Date _ -> "date"
+  | G_year_month _ -> "gYearMonth"
+  | G_year _ -> "gYear"
+  | G_month_day _ -> "gMonthDay"
+  | G_day _ -> "gDay"
+  | G_month _ -> "gMonth"
+  | Hex_binary _ -> "hexBinary"
+  | Base64_binary _ -> "base64Binary"
+  | Any_uri _ -> "anyURI"
+  | Qname _ -> "QName"
+  | Notation _ -> "NOTATION"
+  | Untyped_atomic _ -> "untypedAtomic"
+
+let pp ppf v = Format.fprintf ppf "%s(%S)" (kind_name v) (canonical_string v)

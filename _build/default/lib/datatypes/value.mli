@@ -1,0 +1,45 @@
+(** The atomic value space of the data model (§4).
+
+    A value of this type is what the [typed-value] accessor returns:
+    an instance of [xdt:anyAtomicType].  Sequences of atomic values are
+    plain OCaml lists at the API level. *)
+
+type t =
+  | String of string
+  | Boolean of bool
+  | Decimal of Decimal.t  (** also carries all derived integer types *)
+  | Float of float  (** single precision: rounded through Int32 bits *)
+  | Double of float
+  | Duration of Calendar.duration
+  | Date_time of Calendar.date_time
+  | Time of Calendar.time
+  | Date of Calendar.date
+  | G_year_month of Calendar.g_year_month
+  | G_year of Calendar.g_year
+  | G_month_day of Calendar.g_month_day
+  | G_day of Calendar.g_day
+  | G_month of Calendar.g_month
+  | Hex_binary of string  (** decoded octets *)
+  | Base64_binary of string  (** decoded octets *)
+  | Any_uri of string
+  | Qname of Xsm_xml.Name.t
+  | Notation of Xsm_xml.Name.t
+  | Untyped_atomic of string
+
+val equal : t -> t -> bool
+(** Value equality within a primitive type; values of different
+    primitive types are never equal (except that [equal] follows the
+    numeric promotion decimal/float/double used by XPath [eq]). *)
+
+val compare : t -> t -> int option
+(** Order when the values are comparable: same primitive family and
+    the family is ordered.  [None] otherwise (e.g. QNames, or
+    incomparable durations). *)
+
+val canonical_string : t -> string
+(** Canonical lexical representation per XML Schema Part 2. *)
+
+val pp : Format.formatter -> t -> unit
+
+val kind_name : t -> string
+(** The primitive type name the value belongs to, e.g. ["decimal"]. *)

@@ -1,0 +1,1 @@
+lib/identity/constraint_def.ml: Format Hashtbl List Option Printf String Xsm_datatypes Xsm_xdm Xsm_xml Xsm_xpath

@@ -1,0 +1,1 @@
+lib/identity/constraint_def.mli: Format Xsm_xdm Xsm_xml

@@ -1,0 +1,133 @@
+module Store = Xsm_xdm.Store
+module Name = Xsm_xml.Name
+module E = Xsm_xpath.Eval.Over_store
+module Value = Xsm_datatypes.Value
+
+type kind = Unique | Key | Keyref of string
+
+type def = {
+  name : string;
+  context : Name.t;
+  kind : kind;
+  selector : string;
+  fields : string list;
+}
+
+let unique ~name ~context ~selector fields =
+  { name; context = Name.of_string_exn context; kind = Unique; selector; fields }
+
+let key ~name ~context ~selector fields =
+  { name; context = Name.of_string_exn context; kind = Key; selector; fields }
+
+let keyref ~name ~context ~refer ~selector fields =
+  { name; context = Name.of_string_exn context; kind = Keyref refer; selector; fields }
+
+type violation = { constraint_name : string; node_path : string; message : string }
+
+let pp_violation ppf v =
+  Format.fprintf ppf "[%s] %s: %s" v.constraint_name v.node_path v.message
+
+(* a comparable rendering of a field value: canonical typed value when
+   the validator annotated one, else the raw string value *)
+let field_value store node =
+  match Store.typed_value store node with
+  | [ v ] -> Value.kind_name v ^ ":" ^ Value.canonical_string v
+  | [] -> "string:" ^ Store.string_value store node
+  | vs -> String.concat "|" (List.map (fun v -> Value.kind_name v ^ ":" ^ Value.canonical_string v) vs)
+
+let describe store node =
+  match Store.node_name store node with
+  | Some n -> Name.to_string n
+  | None -> Store.node_kind store node
+
+(* the tuple of a selected node: one optional value per field *)
+let tuple_of store target fields_paths =
+  List.map
+    (fun field ->
+      match E.eval_string store target field with
+      | Ok [ n ] -> Some (field_value store n)
+      | Ok [] -> None
+      | Ok (_ :: _ :: _) -> raise (Invalid_argument "field selects several nodes")
+      | Error e -> raise (Invalid_argument e))
+    fields_paths
+
+let complete tuple = List.for_all Option.is_some tuple
+let render_tuple t = String.concat ", " (List.map (Option.value ~default:"()") t)
+
+(* all elements with the context name, in document order *)
+let context_instances store dnode name =
+  List.filter
+    (fun n ->
+      Store.kind store n = Store.Kind.Element
+      && match Store.node_name store n with Some m -> Name.equal m name | None -> false)
+    (Store.descendants_or_self store dnode)
+
+let check store dnode defs =
+  let violations = ref [] in
+  let report d node_path fmt =
+    Printf.ksprintf
+      (fun message ->
+        violations := { constraint_name = d.name; node_path; message } :: !violations)
+      fmt
+  in
+  (* first pass: collect the tuple sets of every Unique/Key constraint *)
+  let tuples_of_def d =
+    List.concat_map
+      (fun ctx ->
+        match E.eval_string store ctx d.selector with
+        | Error e ->
+          report d (describe store ctx) "selector: %s" e;
+          []
+        | Ok targets ->
+          List.filter_map
+            (fun target ->
+              match tuple_of store target d.fields with
+              | tuple -> Some (target, tuple)
+              | exception Invalid_argument m ->
+                report d (describe store target) "field: %s" m;
+                None)
+            targets)
+      (context_instances store dnode d.context)
+  in
+  let key_tables = Hashtbl.create 8 in
+  List.iter
+    (fun d ->
+      match d.kind with
+      | Unique | Key ->
+        let entries = tuples_of_def d in
+        (* uniqueness among complete tuples *)
+        let seen = Hashtbl.create 16 in
+        List.iter
+          (fun (target, tuple) ->
+            if complete tuple then begin
+              let k = render_tuple tuple in
+              if Hashtbl.mem seen k then
+                report d (describe store target) "duplicate tuple (%s)" k
+              else Hashtbl.add seen k ()
+            end
+            else if d.kind = Key then
+              report d (describe store target) "key field absent (tuple %s)"
+                (render_tuple tuple))
+          entries;
+        Hashtbl.replace key_tables d.name seen
+      | Keyref _ -> ())
+    defs;
+  (* second pass: keyrefs against the collected key tables *)
+  List.iter
+    (fun d ->
+      match d.kind with
+      | Keyref refer -> (
+        match Hashtbl.find_opt key_tables refer with
+        | None -> report d "-" "refers to unknown key %S" refer
+        | Some table ->
+          List.iter
+            (fun (target, tuple) ->
+              if complete tuple then begin
+                let k = render_tuple tuple in
+                if not (Hashtbl.mem table k) then
+                  report d (describe store target) "dangling reference (%s)" k
+              end)
+            (tuples_of_def d))
+      | Unique | Key -> ())
+    defs;
+  match !violations with [] -> Ok () | vs -> Error (List.rev vs)

@@ -1,0 +1,50 @@
+(** Identity constraints — [xs:unique], [xs:key] and [xs:keyref].
+
+    §10 of the paper points out that, unlike MSL, an internal model
+    with node identities can express identity constraints; this module
+    is that capability made concrete.  A constraint is attached to a
+    context element name (a simplification of attaching it to one
+    element declaration, recorded in DESIGN.md): for every context
+    instance, the selector path picks the constrained nodes and each
+    field path contributes one value of the node's tuple.
+
+    - [Unique]: among tuples with all fields present, no two are equal;
+    - [Key]: additionally every field must be present;
+    - [Keyref k]: every complete tuple must occur among the tuples of
+      the key named [k].  Keyrefs resolve against the key tuples of
+      the whole document (XSD's in-scope rule, simplified; noted in
+      DESIGN.md).
+
+    Field values compare by typed value when validation annotated one
+    (so [01] and [1] are the same [xs:int] key), falling back to the
+    string value. *)
+
+type kind = Unique | Key | Keyref of string  (** referred key name *)
+
+type def = {
+  name : string;  (** unique among a schema's constraints *)
+  context : Xsm_xml.Name.t;  (** element name the constraint is attached to *)
+  kind : kind;
+  selector : string;  (** relative XPath-subset, e.g. ["Book"] or [".//item"] *)
+  fields : string list;  (** relative paths, e.g. ["ISBN"] or ["@id"] *)
+}
+
+val unique : name:string -> context:string -> selector:string -> string list -> def
+val key : name:string -> context:string -> selector:string -> string list -> def
+
+val keyref :
+  name:string -> context:string -> refer:string -> selector:string -> string list -> def
+
+type violation = {
+  constraint_name : string;
+  node_path : string;  (** rendering of the offending node *)
+  message : string;
+}
+
+val pp_violation : Format.formatter -> violation -> unit
+
+val check :
+  Xsm_xdm.Store.t -> Xsm_xdm.Store.node -> def list -> (unit, violation list) result
+(** Check every constraint over the document tree rooted at the given
+    document node.  Selector/field paths that fail to parse are
+    reported as violations of the constraint itself. *)

@@ -1,0 +1,1 @@
+lib/numbering/dewey.ml: Format Hashtbl List Option Stdlib String Xsm_xdm

@@ -1,0 +1,1 @@
+lib/numbering/dewey.mli: Format Xsm_xdm

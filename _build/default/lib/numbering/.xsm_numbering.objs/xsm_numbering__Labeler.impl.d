@@ -1,0 +1,1 @@
+lib/numbering/labeler.ml: Hashtbl List Sedna_label Xsm_xdm

@@ -1,0 +1,1 @@
+lib/numbering/labeler.mli: Sedna_label Xsm_xdm

@@ -1,0 +1,1 @@
+lib/numbering/prime_label.ml: Hashtbl List Stdlib Xsm_xdm

@@ -1,0 +1,1 @@
+lib/numbering/prime_label.mli: Xsm_xdm

@@ -1,0 +1,1 @@
+lib/numbering/range_label.ml: Hashtbl List Option Stdlib Xsm_xdm

@@ -1,0 +1,1 @@
+lib/numbering/range_label.mli: Xsm_xdm

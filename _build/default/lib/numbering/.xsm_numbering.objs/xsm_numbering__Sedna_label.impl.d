@@ -1,0 +1,1 @@
+lib/numbering/sedna_label.ml: Buffer Bytes Char Format List String

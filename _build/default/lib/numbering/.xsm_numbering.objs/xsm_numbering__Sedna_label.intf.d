@@ -1,0 +1,1 @@
+lib/numbering/sedna_label.mli: Format

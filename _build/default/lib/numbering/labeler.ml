@@ -1,0 +1,101 @@
+module Store = Xsm_xdm.Store
+
+type t = {
+  labels : (int, Sedna_label.t) Hashtbl.t;  (* node id -> label *)
+  reverse : (string, Store.node) Hashtbl.t;  (* raw label -> node *)
+}
+
+let set t node l =
+  Hashtbl.replace t.labels (Store.node_id node) l;
+  Hashtbl.replace t.reverse (Sedna_label.to_raw l) node
+
+let label t node = Hashtbl.find t.labels (Store.node_id node)
+
+let node_of t l = Hashtbl.find_opt t.reverse (Sedna_label.to_raw l)
+
+let label_count t = Hashtbl.length t.labels
+
+let total_label_bytes t =
+  Hashtbl.fold (fun _ l acc -> acc + Sedna_label.length l) t.labels 0
+
+let max_label_bytes t =
+  Hashtbl.fold (fun _ l acc -> max acc (Sedna_label.length l)) t.labels 0
+
+let label_tree store root =
+  let t = { labels = Hashtbl.create 256; reverse = Hashtbl.create 256 } in
+  let rec go node l =
+    set t node l;
+    let ordered = Store.attributes store node @ Store.children store node in
+    let child_labels = Sedna_label.assign_children l (List.length ordered) in
+    List.iter2 go ordered child_labels
+  in
+  go root Sedna_label.root;
+  t
+
+let label_new_child t ~parent ~after node =
+  let parent_label = label t parent in
+  let fresh =
+    match after with
+    | None ->
+      (* before every existing child, or first child of a leaf *)
+      let existing =
+        Hashtbl.fold
+          (fun _ l acc ->
+            if Sedna_label.is_parent parent_label l then l :: acc else acc)
+          t.labels []
+      in
+      (match List.sort Sedna_label.compare existing with
+      | [] -> Sedna_label.first_child parent_label
+      | first :: _ -> Sedna_label.before_sibling first)
+    | Some sibling ->
+      let sl = label t sibling in
+      (* find the next sibling in label order, if any *)
+      let next =
+        Hashtbl.fold
+          (fun _ l acc ->
+            if Sedna_label.is_parent parent_label l && Sedna_label.compare l sl > 0 then
+              match acc with
+              | None -> Some l
+              | Some best -> if Sedna_label.compare l best < 0 then Some l else acc
+            else acc)
+          t.labels None
+      in
+      (match next with
+      | None -> Sedna_label.after_sibling sl
+      | Some nl -> Sedna_label.between sl nl)
+  in
+  set t node fresh;
+  fresh
+
+let remove t node =
+  match Hashtbl.find_opt t.labels (Store.node_id node) with
+  | None -> ()
+  | Some l ->
+    Hashtbl.remove t.labels (Store.node_id node);
+    Hashtbl.remove t.reverse (Sedna_label.to_raw l)
+
+let check_against_tree store root t =
+  let nodes = Store.descendants_or_self store root in
+  let module Order = Xsm_xdm.Order in
+  List.for_all
+    (fun a ->
+      List.for_all
+        (fun b ->
+          match Hashtbl.find_opt t.labels (Store.node_id a),
+                Hashtbl.find_opt t.labels (Store.node_id b) with
+          | Some la, Some lb ->
+            let expected : Sedna_label.relation =
+              if Store.equal_node a b then Sedna_label.Self
+              else if Order.is_ancestor store a b then
+                if Store.parent store b = Some a then Sedna_label.Parent
+                else Sedna_label.Ancestor
+              else if Order.is_ancestor store b a then
+                if Store.parent store a = Some b then Sedna_label.Child
+                else Sedna_label.Descendant
+              else if Order.precedes store a b then Sedna_label.Before
+              else Sedna_label.After
+            in
+            Sedna_label.relation la lb = expected
+          | _ -> false)
+        nodes)
+    nodes

@@ -1,0 +1,36 @@
+(** Assigning Sedna labels to the nodes of a data-model tree, and
+    keeping them assigned across updates (Proposition 1).
+
+    Attribute nodes are labelled like children that precede the
+    element children, mirroring the §7 document order. *)
+
+type t
+
+val label_tree : Xsm_xdm.Store.t -> Xsm_xdm.Store.node -> t
+(** Label every node of the tree rooted at the given node. *)
+
+val label : t -> Xsm_xdm.Store.node -> Sedna_label.t
+(** The label of a node; [Not_found] if the node was never labelled. *)
+
+val node_of : t -> Sedna_label.t -> Xsm_xdm.Store.node option
+(** Reverse lookup. *)
+
+val label_count : t -> int
+val total_label_bytes : t -> int
+(** Sum of label lengths — the storage measure of bench E6/E7. *)
+
+val max_label_bytes : t -> int
+
+val label_new_child :
+  t -> parent:Xsm_xdm.Store.node -> after:Xsm_xdm.Store.node option -> Xsm_xdm.Store.node -> Sedna_label.t
+(** Label a node freshly inserted under [parent], positioned after
+    sibling [after] (or first when [None]).  No existing label
+    changes — the Proposition 1 guarantee, asserted in tests. *)
+
+val remove : t -> Xsm_xdm.Store.node -> unit
+
+val check_against_tree : Xsm_xdm.Store.t -> Xsm_xdm.Store.node -> t -> bool
+(** Ground-truth check: for every pair of labelled nodes in the
+    subtree, {!Sedna_label.relation} agrees with the tree (document
+    order via [Xsm_xdm.Order], parent/ancestor via accessors).
+    Quadratic; for tests. *)

@@ -1,0 +1,104 @@
+module Store = Xsm_xdm.Store
+
+(* sorted list of the primes on the root path; the root owns the first
+   prime *)
+type t = int list
+
+let byte_size l = 8 * List.length l
+let equal a b = a = b
+
+(* divisibility of products = multiset inclusion *)
+let rec subset a b =
+  match a, b with
+  | [], _ -> true
+  | _, [] -> false
+  | x :: a', y :: b' ->
+    if x = y then subset a' b' else if x > y then subset a b' else false
+
+let is_ancestor a b = List.length a < List.length b && subset a b
+let is_parent a b = List.length b = List.length a + 1 && subset a b
+
+type forest = {
+  labels : (int, t) Hashtbl.t;
+  (* simultaneous-congruence surrogate: node's own prime -> global
+     document-order index *)
+  order : (int, int) Hashtbl.t;  (* own prime -> order rank *)
+  own : (int, int) Hashtbl.t;  (* node id -> own prime *)
+  mutable next_prime : int;
+  mutable next_rank : int;
+}
+
+let is_prime n =
+  let rec go d = d * d > n || (n mod d <> 0 && go (d + 1)) in
+  n >= 2 && go 2
+
+let rec next_prime_from n = if is_prime n then n else next_prime_from (n + 1)
+
+let fresh_prime f =
+  let p = next_prime_from f.next_prime in
+  f.next_prime <- p + 1;
+  p
+
+let label f node = Hashtbl.find f.labels (Store.node_id node)
+
+let forest_of_tree store rootn =
+  let f =
+    {
+      labels = Hashtbl.create 256;
+      order = Hashtbl.create 256;
+      own = Hashtbl.create 256;
+      next_prime = 2;
+      next_rank = 0;
+    }
+  in
+  let rec go node path =
+    let p = fresh_prime f in
+    let lbl = List.sort Stdlib.compare (p :: path) in
+    Hashtbl.replace f.labels (Store.node_id node) lbl;
+    Hashtbl.replace f.own (Store.node_id node) p;
+    Hashtbl.replace f.order p f.next_rank;
+    f.next_rank <- f.next_rank + 1;
+    List.iter (fun c -> go c lbl) (Store.attributes store node @ Store.children store node)
+  in
+  go rootn [];
+  f
+
+(* own prime of a label = the factor not shared with the parent; we
+   recover it as the factor with the highest order rank *)
+let own_prime f lbl =
+  List.fold_left
+    (fun best p ->
+      match Hashtbl.find_opt f.order p, best with
+      | Some r, Some (_, br) when r <= br -> best
+      | Some r, _ -> Some (p, r)
+      | None, _ -> best)
+    None lbl
+
+let compare_order f a b =
+  match own_prime f a, own_prime f b with
+  | Some (_, ra), Some (_, rb) -> Stdlib.compare ra rb
+  | _ -> invalid_arg "Prime_label.compare_order: unknown label"
+
+let insert_after f ~parent ~after node =
+  let parent_label = label f parent in
+  let p = fresh_prime f in
+  let lbl = List.sort Stdlib.compare (p :: parent_label) in
+  Hashtbl.replace f.labels (Store.node_id node) lbl;
+  Hashtbl.replace f.own (Store.node_id node) p;
+  (* shift every rank after the insertion point: the SC table is dense *)
+  let anchor_rank =
+    match after with
+    | Some a -> (
+      match own_prime f (label f a) with Some (_, r) -> r | None -> f.next_rank - 1)
+    | None -> (
+      match own_prime f parent_label with Some (_, r) -> r | None -> -1)
+  in
+  let to_shift =
+    Hashtbl.fold
+      (fun prime rank acc -> if rank > anchor_rank then (prime, rank) :: acc else acc)
+      f.order []
+  in
+  List.iter (fun (prime, rank) -> Hashtbl.replace f.order prime (rank + 1)) to_shift;
+  Hashtbl.replace f.order p (anchor_rank + 1);
+  f.next_rank <- f.next_rank + 1;
+  (lbl, List.length to_shift)

@@ -1,0 +1,35 @@
+(** Prime-number labeling (Wu, Lee & Hsu, ICDE 2004) — reference [22]
+    of the paper.
+
+    Every node owns a distinct prime; a node's label is the product of
+    the primes on its root path, so [x] is an ancestor of [y] iff
+    [label x] divides [label y].  We represent the product as the
+    multiset of primes (exact, no overflow).  Document order is not
+    decidable from the product alone — the original paper keeps an
+    auxiliary simultaneous-congruence table, which we model as an
+    explicit sibling-order map; its maintenance cost on updates is what
+    bench E6 reports. *)
+
+type t
+
+val byte_size : t -> int
+(** 8 bytes per prime factor. *)
+
+val is_ancestor : t -> t -> bool
+val is_parent : t -> t -> bool
+val equal : t -> t -> bool
+
+type forest
+
+val forest_of_tree : Xsm_xdm.Store.t -> Xsm_xdm.Store.node -> forest
+val label : forest -> Xsm_xdm.Store.node -> t
+
+val compare_order : forest -> t -> t -> int
+(** Document order via the auxiliary order table. *)
+
+val insert_after :
+  forest -> parent:Xsm_xdm.Store.node -> after:Xsm_xdm.Store.node option ->
+  Xsm_xdm.Store.node -> t * int
+(** Insert a new leaf.  The prime label itself never changes existing
+    labels, but the document-order table must shift; the returned
+    count is the number of order entries rewritten. *)

@@ -1,0 +1,101 @@
+module Store = Xsm_xdm.Store
+
+type t = { start : int; stop : int; level : int }
+
+let compare a b = Stdlib.compare (a.start, a.stop) (b.start, b.stop)
+let is_ancestor a b = a.start < b.start && b.stop < a.stop
+let is_parent a b = is_ancestor a b && b.level = a.level + 1
+let byte_size _ = 20
+
+type forest = {
+  labels : (int, t) Hashtbl.t;
+  kids : (int, Store.node list) Hashtbl.t;
+  root : Store.node;
+  gap : int;
+  mutable relabels : int;
+}
+
+let label f node = Hashtbl.find f.labels (Store.node_id node)
+
+(* Assign intervals: pre-order, each node reserves a start, children
+   inside, then a stop; [gap] free integers are left around every
+   endpoint. *)
+let assign f =
+  let counter = ref 0 in
+  let tick () =
+    counter := !counter + f.gap;
+    !counter
+  in
+  let rec go node level =
+    let start = tick () in
+    let kids = Option.value ~default:[] (Hashtbl.find_opt f.kids (Store.node_id node)) in
+    List.iter (fun c -> go c (level + 1)) kids;
+    let stop = tick () in
+    Hashtbl.replace f.labels (Store.node_id node) { start; stop; level }
+  in
+  go f.root 0
+
+let forest_of_tree ?(gap = 16) store rootn =
+  let f =
+    {
+      labels = Hashtbl.create 256;
+      kids = Hashtbl.create 256;
+      root = rootn;
+      gap;
+      relabels = 0;
+    }
+  in
+  let rec collect node =
+    let ordered = Store.attributes store node @ Store.children store node in
+    Hashtbl.replace f.kids (Store.node_id node) ordered;
+    List.iter collect ordered
+  in
+  collect rootn;
+  assign f;
+  f
+
+let insert_after f ~parent ~after node =
+  let kids = Option.value ~default:[] (Hashtbl.find_opt f.kids (Store.node_id parent)) in
+  let before, following =
+    match after with
+    | None -> ([], kids)
+    | Some a ->
+      let rec split acc = function
+        | [] -> (List.rev acc, [])
+        | k :: rest ->
+          if Store.equal_node k a then (List.rev (k :: acc), rest) else split (k :: acc) rest
+      in
+      split [] kids
+  in
+  Hashtbl.replace f.kids (Store.node_id parent) (before @ [ node ] @ following);
+  Hashtbl.replace f.kids (Store.node_id node) [];
+  let pl = label f parent in
+  (* free space between the previous element's end and the next start *)
+  let lo =
+    match after with None -> pl.start | Some a -> (label f a).stop
+  in
+  let hi =
+    match following with [] -> pl.stop | next :: _ -> (label f next).start
+  in
+  if hi - lo >= 3 then begin
+    (* room for start < stop strictly inside (lo, hi) *)
+    let start = lo + ((hi - lo) / 3) in
+    let stop = lo + (2 * (hi - lo) / 3) in
+    let l = { start; stop = max stop (start + 1); level = pl.level + 1 } in
+    if l.stop < hi then begin
+      Hashtbl.replace f.labels (Store.node_id node) l;
+      (l, 0)
+    end
+    else begin
+      f.relabels <- f.relabels + 1;
+      assign f;
+      (label f node, Hashtbl.length f.labels - 1)
+    end
+  end
+  else begin
+    f.relabels <- f.relabels + 1;
+    assign f;
+    (label f node, Hashtbl.length f.labels - 1)
+  end
+
+let relabel_count f = f.relabels

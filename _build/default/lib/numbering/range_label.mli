@@ -1,0 +1,35 @@
+(** Range (interval) labeling (Li & Moon, VLDB 2001) — reference [12]
+    of the paper.
+
+    Each node carries [(start, end, level)] with the containment
+    invariant: a node's interval strictly contains its descendants'
+    intervals.  Document order compares [start]; ancestorship is
+    interval containment; parenthood adds a level check.  Gaps are
+    pre-allocated between labels so some insertions are free, but a
+    full gap forces a global relabel of the tree — the failure mode
+    bench E6 contrasts with Sedna labels. *)
+
+type t = { start : int; stop : int; level : int }
+
+val compare : t -> t -> int
+val is_ancestor : t -> t -> bool
+val is_parent : t -> t -> bool
+val byte_size : t -> int
+(** Storage cost model: two 8-byte endpoints plus 4-byte level. *)
+
+type forest
+
+val forest_of_tree : ?gap:int -> Xsm_xdm.Store.t -> Xsm_xdm.Store.node -> forest
+(** Label the tree with the given inter-label gap (default 16). *)
+
+val label : forest -> Xsm_xdm.Store.node -> t
+
+val insert_after :
+  forest -> parent:Xsm_xdm.Store.node -> after:Xsm_xdm.Store.node option ->
+  Xsm_xdm.Store.node -> t * int
+(** Insert a new leaf.  Returns its label and the number of existing
+    labels changed: 0 when the gap accommodated it, the whole tree
+    after a global relabel. *)
+
+val relabel_count : forest -> int
+(** How many global relabels have occurred so far. *)

@@ -1,0 +1,81 @@
+(** The Sedna numbering scheme (§9.3).
+
+    A numbering label is a non-empty sequence of symbols over a finite
+    linearly-ordered alphabet Ω.  Our alphabet is the bytes
+    [0x01..0xFF]: [0x01] is Ω_min and doubles as the level separator,
+    components (one per tree level) are non-empty strings over
+    [0x02..0xFF].  With the separator smaller than every component
+    symbol, plain lexicographic comparison of labels is document
+    order, prefix-plus-separator is ancestorship, and parenthood is
+    ancestorship with a separator-free extension — the three
+    predicates of §9.3, each decided by one scan of the labels with no
+    access to the tree.
+
+    Proposition 1 (update stability): {!between} always finds a
+    component strictly between two sibling components, because
+    component length is unbounded — no insertion ever forces
+    relabeling of existing nodes.  The cost is label growth, which
+    bench E6 measures against the Dewey/range/prime baselines. *)
+
+type t = private string
+
+val root : t
+(** The label of the tree root (a single mid-alphabet component). *)
+
+val of_raw : string -> (t, string) result
+(** Validate an arbitrary byte string as a label: non-empty,
+    no leading/trailing/double separators, component bytes in
+    [0x02..0xFF]. *)
+
+val to_raw : t -> string
+val length : t -> int
+(** Byte length — the storage cost measure of bench E6. *)
+
+val depth : t -> int
+(** Number of components = 1 + number of separators. *)
+
+(** {1 The §9.3 predicates} *)
+
+val compare : t -> t -> int
+(** Document order: [compare x y < 0] iff x occurs before y. *)
+
+val equal : t -> t -> bool
+val is_ancestor : t -> t -> bool
+(** [is_ancestor x y]: strict ancestorship. *)
+
+val is_parent : t -> t -> bool
+(** [is_parent x y]: y is exactly one level below x. *)
+
+type relation = Self | Ancestor | Descendant | Parent | Child | Before | After
+
+val relation : t -> t -> relation
+(** Full structural classification of a label pair. *)
+
+(** {1 Label generation} *)
+
+val assign_children : t -> int -> t list
+(** [assign_children parent n] — labels for [n] children, evenly
+    spread through the component space so later insertions find wide
+    gaps (the paper's "enhancement serving to prevent the growing of
+    numbering labels after updates"). *)
+
+val child : t -> int -> t
+(** [child parent i] is [List.nth (assign_children parent (i+1)) i]
+    computed directly. *)
+
+val between : t -> t -> t
+(** [between a b] for two labels of sibling nodes ([a < b]): a new
+    sibling label strictly between them.  [Invalid_argument] when the
+    labels are not siblings or not in order. *)
+
+val first_child : t -> t
+(** A label for a new first child of a node with no children yet. *)
+
+val before_sibling : t -> t
+(** A label strictly before the given one, same parent. *)
+
+val after_sibling : t -> t
+(** A label strictly after the given one, same parent. *)
+
+val pp : Format.formatter -> t -> unit
+(** Hex rendering for debugging. *)

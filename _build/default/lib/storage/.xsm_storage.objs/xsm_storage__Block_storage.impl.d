@@ -1,0 +1,1 @@
+lib/storage/block_storage.ml: Descriptive_schema Hashtbl List Option Printf String Xsm_numbering Xsm_xdm Xsm_xml

@@ -1,0 +1,1 @@
+lib/storage/block_storage.mli: Descriptive_schema Xsm_numbering Xsm_xdm Xsm_xml

@@ -1,0 +1,1 @@
+lib/storage/descriptive_schema.ml: Array Format Hashtbl List Option Xsm_xdm Xsm_xml

@@ -1,0 +1,1 @@
+lib/storage/descriptive_schema.mli: Format Xsm_xdm Xsm_xml

@@ -1,0 +1,598 @@
+module Store = Xsm_xdm.Store
+module Name = Xsm_xml.Name
+module Schema = Descriptive_schema
+module Label = Xsm_numbering.Sedna_label
+
+type desc = {
+  id : int;
+  d_snode : Schema.snode;
+  mutable parent : desc option;
+  mutable left : desc option;
+  mutable right : desc option;
+  mutable next_in_block : desc option;
+  mutable prev_in_block : desc option;
+  mutable nid : Label.t;
+  mutable first_children : (int * desc) list;  (* child snode id -> first desc *)
+  mutable value : string;
+  mutable home : block option;
+}
+
+and block = {
+  block_id : int;
+  b_snode : Schema.snode;
+  capacity : int;
+  mutable count : int;
+  mutable first : desc option;
+  mutable last : desc option;
+  mutable next_block : block option;
+  mutable prev_block : block option;
+}
+
+type t = {
+  dschema : Schema.t;
+  block_capacity : int;
+  mutable next_desc_id : int;
+  mutable next_block_id : int;
+  mutable splits : int;
+  mutable descriptors : int;
+  (* head/tail block per schema node id *)
+  heads : (int, block) Hashtbl.t;
+  tails : (int, block) Hashtbl.t;
+  by_node : (int, desc) Hashtbl.t;  (* store node id -> descriptor *)
+  mutable root_desc : desc option;
+}
+
+let schema t = t.dschema
+
+let root t =
+  match t.root_desc with Some d -> d | None -> invalid_arg "Block_storage.root: empty"
+
+let descriptor_of_node t n = Hashtbl.find_opt t.by_node (Store.node_id n)
+
+(* ------------------------------------------------------------------ *)
+(* Block management                                                    *)
+
+let new_block t snode =
+  let b =
+    {
+      block_id = t.next_block_id;
+      b_snode = snode;
+      capacity = t.block_capacity;
+      count = 0;
+      first = None;
+      last = None;
+      next_block = None;
+      prev_block = None;
+    }
+  in
+  t.next_block_id <- t.next_block_id + 1;
+  b
+
+(* append a block at the tail of its snode's list *)
+let append_block t b =
+  let sid = Schema.snode_id b.b_snode in
+  (match Hashtbl.find_opt t.tails sid with
+  | None ->
+    Hashtbl.replace t.heads sid b;
+    Hashtbl.replace t.tails sid b
+  | Some tail ->
+    tail.next_block <- Some b;
+    b.prev_block <- Some tail;
+    Hashtbl.replace t.tails sid b)
+
+(* insert block nb right after block b in the list *)
+let link_block_after t b nb =
+  nb.prev_block <- Some b;
+  nb.next_block <- b.next_block;
+  (match b.next_block with
+  | Some n -> n.prev_block <- Some nb
+  | None -> Hashtbl.replace t.tails (Schema.snode_id b.b_snode) nb);
+  b.next_block <- Some nb
+
+(* append descriptor at the tail of block b's chain *)
+let append_to_block b d =
+  d.home <- Some b;
+  d.prev_in_block <- b.last;
+  d.next_in_block <- None;
+  (match b.last with Some l -> l.next_in_block <- Some d | None -> b.first <- Some d);
+  b.last <- Some d;
+  b.count <- b.count + 1
+
+(* insert descriptor nd into block b right after descriptor d (None =
+   at the head) *)
+let insert_in_block b ~after nd =
+  nd.home <- Some b;
+  (match after with
+  | None ->
+    nd.prev_in_block <- None;
+    nd.next_in_block <- b.first;
+    (match b.first with Some f -> f.prev_in_block <- Some nd | None -> b.last <- Some nd);
+    b.first <- Some nd
+  | Some d ->
+    nd.prev_in_block <- Some d;
+    nd.next_in_block <- d.next_in_block;
+    (match d.next_in_block with
+    | Some n -> n.prev_in_block <- Some nd
+    | None -> b.last <- Some nd);
+    d.next_in_block <- Some nd);
+  b.count <- b.count + 1
+
+let remove_from_block d =
+  match d.home with
+  | None -> ()
+  | Some b ->
+    (match d.prev_in_block with
+    | Some p -> p.next_in_block <- d.next_in_block
+    | None -> b.first <- d.next_in_block);
+    (match d.next_in_block with
+    | Some n -> n.prev_in_block <- d.prev_in_block
+    | None -> b.last <- d.prev_in_block);
+    b.count <- b.count - 1;
+    d.home <- None;
+    d.prev_in_block <- None;
+    d.next_in_block <- None
+
+(* split a full block: move the upper half of the chain into a fresh
+   block linked right after; returns how many descriptors moved *)
+let split_block t b =
+  let keep = b.count / 2 in
+  (* find the descriptor at position keep-1 *)
+  let rec nth d i = if i = 0 then d else nth (Option.get d.next_in_block) (i - 1) in
+  let boundary = nth (Option.get b.first) (keep - 1) in
+  let moved_head = boundary.next_in_block in
+  boundary.next_in_block <- None;
+  let old_last = b.last in
+  b.last <- Some boundary;
+  let nb = new_block t b.b_snode in
+  link_block_after t b nb;
+  nb.first <- moved_head;
+  nb.last <- old_last;
+  (match moved_head with Some m -> m.prev_in_block <- None | None -> ());
+  let moved = ref 0 in
+  let rec adopt = function
+    | None -> ()
+    | Some d ->
+      d.home <- Some nb;
+      incr moved;
+      adopt d.next_in_block
+  in
+  adopt moved_head;
+  nb.count <- !moved;
+  b.count <- b.count - !moved;
+  t.splits <- t.splits + 1;
+  !moved
+
+(* ------------------------------------------------------------------ *)
+(* Descriptor construction                                             *)
+
+let new_desc t snode nid =
+  let d =
+    {
+      id = t.next_desc_id;
+      d_snode = snode;
+      parent = None;
+      left = None;
+      right = None;
+      next_in_block = None;
+      prev_in_block = None;
+      nid;
+      first_children = [];
+      value = "";
+      home = None;
+    }
+  in
+  t.next_desc_id <- t.next_desc_id + 1;
+  t.descriptors <- t.descriptors + 1;
+  d
+
+(* during initial (document-ordered) build: place at tail block *)
+let place_at_tail t d =
+  let sid = Schema.snode_id d.d_snode in
+  let target =
+    match Hashtbl.find_opt t.tails sid with
+    | Some b when b.count < b.capacity -> b
+    | Some _ | None ->
+      let b = new_block t d.d_snode in
+      append_block t b;
+      b
+  in
+  append_to_block target d
+
+let of_store ?(block_capacity = 64) store docnode =
+  let t =
+    {
+      dschema = Schema.create ();
+      block_capacity;
+      next_desc_id = 0;
+      next_block_id = 0;
+      splits = 0;
+      descriptors = 0;
+      heads = Hashtbl.create 64;
+      tails = Hashtbl.create 64;
+      by_node = Hashtbl.create 256;
+      root_desc = None;
+    }
+  in
+  let rec build node sn nid =
+    let d = new_desc t sn nid in
+    Hashtbl.replace t.by_node (Store.node_id node) d;
+    (match Store.kind store node with
+    | Store.Kind.Text | Store.Kind.Attribute -> d.value <- Store.string_value store node
+    | Store.Kind.Document | Store.Kind.Element -> ());
+    place_at_tail t d;
+    let ordered = Store.attributes store node @ Store.children store node in
+    let child_labels = Label.assign_children nid (List.length ordered) in
+    let prev = ref None in
+    List.iter2
+      (fun c cl ->
+        let csn =
+          Schema.find_or_add t.dschema sn
+            ~name:(Store.node_name store c)
+            (Schema.kind_of_store (Store.kind store c))
+        in
+        let cd = build c csn cl in
+        cd.parent <- Some d;
+        (match !prev with
+        | Some p ->
+          p.right <- Some cd;
+          cd.left <- Some p
+        | None -> ());
+        prev := Some cd;
+        if not (List.mem_assoc (Schema.snode_id csn) d.first_children) then
+          d.first_children <- d.first_children @ [ (Schema.snode_id csn, cd) ])
+      ordered child_labels;
+    d
+  in
+  let rootd =
+    match Store.kind store docnode with
+    | Store.Kind.Document -> build docnode (Schema.root t.dschema) Label.root
+    | Store.Kind.Element ->
+      let sn =
+        Schema.find_or_add t.dschema (Schema.root t.dschema)
+          ~name:(Store.node_name store docnode)
+          Schema.Element
+      in
+      build docnode sn Label.root
+    | Store.Kind.Attribute | Store.Kind.Text ->
+      invalid_arg "Block_storage.of_store: not a tree root"
+  in
+  t.root_desc <- Some rootd;
+  t
+
+(* ------------------------------------------------------------------ *)
+(* Accessors                                                           *)
+
+let snode d = d.d_snode
+let node_kind d = Schema.kind_to_string (Schema.kind d.d_snode)
+let node_name d = Schema.name d.d_snode
+let parent d = d.parent
+let nid d = d.nid
+let left_sibling d = d.left
+let right_sibling d = d.right
+
+let home_block_id d = Option.map (fun b -> b.block_id) d.home
+
+let first_child_by_schema d sn = List.assoc_opt (Schema.snode_id sn) d.first_children
+
+let all_children_unordered d =
+  (* leftmost first child, then the right-sibling chain *)
+  match d.first_children with
+  | [] -> []
+  | firsts ->
+    let leftmost =
+      List.fold_left
+        (fun best (_, c) ->
+          match best with
+          | None -> Some c
+          | Some b -> if Label.compare c.nid b.nid < 0 then Some c else best)
+        None firsts
+    in
+    let rec walk acc = function
+      | None -> List.rev acc
+      | Some c -> walk (c :: acc) c.right
+    in
+    walk [] leftmost
+
+let children _t d =
+  List.filter
+    (fun c -> match Schema.kind c.d_snode with
+      | Schema.Element | Schema.Text -> true
+      | Schema.Attribute | Schema.Document -> false)
+    (all_children_unordered d)
+
+let attributes _t d =
+  List.filter (fun c -> Schema.kind c.d_snode = Schema.Attribute) (all_children_unordered d)
+
+let rec string_value t d =
+  match Schema.kind d.d_snode with
+  | Schema.Text | Schema.Attribute -> d.value
+  | Schema.Document | Schema.Element ->
+    String.concat "" (List.map (string_value t) (children t d))
+
+let descendants_by_snode t sn =
+  match Hashtbl.find_opt t.heads (Schema.snode_id sn) with
+  | None -> []
+  | Some head ->
+    let rec blocks acc = function
+      | None -> List.rev acc
+      | Some b -> blocks (b :: acc) b.next_block
+    in
+    let in_block b =
+      let rec go acc = function
+        | None -> List.rev acc
+        | Some d -> go (d :: acc) d.next_in_block
+      in
+      go [] b.first
+    in
+    List.concat_map in_block (blocks [] (Some head))
+
+let rec to_element t d =
+  match Schema.kind d.d_snode with
+  | Schema.Element ->
+    let name =
+      match Schema.name d.d_snode with
+      | Some n -> n
+      | None -> invalid_arg "to_element: unnamed element descriptor"
+    in
+    let attributes =
+      List.map
+        (fun a ->
+          match Schema.name a.d_snode with
+          | Some n -> { Xsm_xml.Tree.name = n; value = a.value }
+          | None -> invalid_arg "to_element: unnamed attribute descriptor")
+        (attributes t d)
+    in
+    let children =
+      List.map
+        (fun c ->
+          match Schema.kind c.d_snode with
+          | Schema.Text -> Xsm_xml.Tree.Text c.value
+          | Schema.Element -> Xsm_xml.Tree.Element (to_element t c)
+          | Schema.Document | Schema.Attribute ->
+            invalid_arg "to_element: impossible child kind")
+        (children t d)
+    in
+    { Xsm_xml.Tree.name; attributes; children }
+  | Schema.Document | Schema.Attribute | Schema.Text ->
+    invalid_arg "to_element: not an element descriptor"
+
+let to_document t =
+  let r = root t in
+  match Schema.kind r.d_snode with
+  | Schema.Document -> (
+    match children t r with
+    | [ e ] -> Xsm_xml.Tree.document (to_element t e)
+    | _ -> invalid_arg "to_document: document descriptor must have one element child")
+  | Schema.Element -> Xsm_xml.Tree.document (to_element t r)
+  | Schema.Attribute | Schema.Text -> invalid_arg "to_document: bad root descriptor"
+
+(* ------------------------------------------------------------------ *)
+(* Updates                                                             *)
+
+(* document-order placement: the new descriptor must sit after every
+   same-snode descriptor with a smaller nid and before every one with
+   a larger nid.  We scan the block list to find the neighbour. *)
+let place_ordered t d =
+  let sid = Schema.snode_id d.d_snode in
+  match Hashtbl.find_opt t.heads sid with
+  | None ->
+    let b = new_block t d.d_snode in
+    append_block t b;
+    append_to_block b d;
+    0
+  | Some head ->
+    (* find the last descriptor with nid < d.nid *)
+    let rec find_block b =
+      match b.next_block with
+      | Some nb -> (
+        match nb.first with
+        | Some f when Label.compare f.nid d.nid < 0 -> find_block nb
+        | Some _ | None -> b)
+      | None -> b
+    in
+    let b = find_block head in
+    let rec find_pred cur pred =
+      match cur with
+      | None -> pred
+      | Some c -> if Label.compare c.nid d.nid < 0 then find_pred c.next_in_block (Some c) else pred
+    in
+    let pred = find_pred b.first None in
+    if b.count < b.capacity then begin
+      insert_in_block b ~after:pred d;
+      0
+    end
+    else begin
+      (* split, then retry placement in the correct half *)
+      let moved = split_block t b in
+      let target =
+        match b.last with
+        | Some l when Label.compare d.nid l.nid > 0 -> Option.get b.next_block
+        | Some _ -> b
+        | None -> b
+      in
+      let pred = find_pred target.first None in
+      insert_in_block target ~after:pred d;
+      moved
+    end
+
+let sibling_label ~parent_d ~after =
+  match after with
+  | None -> (
+    (* before the current first child, or the very first child *)
+    match
+      List.fold_left
+        (fun best (_, c) ->
+          match best with
+          | None -> Some c
+          | Some b -> if Label.compare c.nid b.nid < 0 then Some c else best)
+        None parent_d.first_children
+    with
+    | None -> Label.first_child parent_d.nid
+    | Some first -> Label.before_sibling first.nid)
+  | Some a -> (
+    match a.right with
+    | None -> Label.after_sibling a.nid
+    | Some next -> Label.between a.nid next.nid)
+
+let link_sibling ~parent_d ~after nd =
+  nd.parent <- Some parent_d;
+  (match after with
+  | None ->
+    (* becomes leftmost: fix old leftmost's left pointer *)
+    let old_first =
+      List.fold_left
+        (fun best (_, c) ->
+          match best with
+          | None -> Some c
+          | Some b -> if Label.compare c.nid b.nid < 0 then Some c else best)
+        None parent_d.first_children
+    in
+    (match old_first with
+    | Some f ->
+      nd.right <- Some f;
+      f.left <- Some nd
+    | None -> ())
+  | Some a ->
+    nd.left <- Some a;
+    nd.right <- a.right;
+    (match a.right with Some r -> r.left <- Some nd | None -> ());
+    a.right <- Some nd);
+  (* maintain the first-child-by-schema vector *)
+  let sid = Schema.snode_id nd.d_snode in
+  match List.assoc_opt sid parent_d.first_children with
+  | None -> parent_d.first_children <- parent_d.first_children @ [ (sid, nd) ]
+  | Some current ->
+    if Label.compare nd.nid current.nid < 0 then
+      parent_d.first_children <-
+        List.map (fun (k, v) -> if k = sid then (k, nd) else (k, v)) parent_d.first_children
+
+let insert_generic t ~parent:parent_d ~after kind name value =
+  let sn =
+    Schema.find_or_add t.dschema parent_d.d_snode ~name kind
+  in
+  let nid = sibling_label ~parent_d ~after in
+  let d = new_desc t sn nid in
+  d.value <- value;
+  link_sibling ~parent_d ~after d;
+  let moved = place_ordered t d in
+  (d, moved)
+
+let insert_element t ~parent ~after name =
+  insert_generic t ~parent ~after Schema.Element (Some name) ""
+
+let insert_text t ~parent ~after value =
+  insert_generic t ~parent ~after Schema.Text None value
+
+let insert_attribute t ~parent name value =
+  (* attributes precede element children in the §7 order; we place the
+     new attribute after the last existing attribute *)
+  let attrs = attributes t parent in
+  let after = match List.rev attrs with [] -> None | last :: _ -> Some last in
+  insert_generic t ~parent ~after Schema.Attribute (Some name) value
+
+let delete t d =
+  if d.first_children <> [] then invalid_arg "Block_storage.delete: not a leaf";
+  (match d.left with Some l -> l.right <- d.right | None -> ());
+  (match d.right with Some r -> r.left <- d.left | None -> ());
+  (match d.parent with
+  | Some p ->
+    let sid = Schema.snode_id d.d_snode in
+    (match List.assoc_opt sid p.first_children with
+    | Some cur when cur == d ->
+      (* next same-snode sibling, if any, becomes the first child *)
+      let rec next_same = function
+        | None -> None
+        | Some r -> if Schema.snode_id r.d_snode = sid then Some r else next_same r.right
+      in
+      (match next_same d.right with
+      | Some r ->
+        p.first_children <-
+          List.map (fun (k, v) -> if k = sid then (k, r) else (k, v)) p.first_children
+      | None -> p.first_children <- List.remove_assoc sid p.first_children)
+    | _ -> ())
+  | None -> ());
+  remove_from_block d;
+  t.descriptors <- t.descriptors - 1
+
+(* ------------------------------------------------------------------ *)
+(* Statistics and integrity                                            *)
+
+let block_count t =
+  Hashtbl.fold
+    (fun _ head acc ->
+      let rec count b acc = match b.next_block with None -> acc | Some nb -> count nb (acc + 1) in
+      count head (acc + 1))
+    t.heads 0
+
+let split_count t = t.splits
+let descriptor_count t = t.descriptors
+
+let blocks_of_snode t sn =
+  match Hashtbl.find_opt t.heads (Schema.snode_id sn) with
+  | None -> 0
+  | Some head ->
+    let rec count b acc = match b.next_block with None -> acc | Some nb -> count nb (acc + 1) in
+    count head 1
+
+let check_integrity t =
+  let err fmt = Printf.ksprintf (fun s -> Error s) fmt in
+  let check_snode_list _sid head =
+    (* nids strictly increasing across the whole block list *)
+    let rec walk_blocks prev_nid b =
+      let rec walk_chain prev_nid = function
+        | None -> Ok prev_nid
+        | Some d -> (
+          (match d.home with
+          | Some hb when hb == b -> ()
+          | _ -> failwith "descriptor home pointer wrong");
+          match prev_nid with
+          | Some p when Label.compare p d.nid >= 0 -> failwith "nid order violated"
+          | _ -> walk_chain (Some d.nid) d.next_in_block)
+      in
+      match walk_chain prev_nid b.first with
+      | Ok last -> (
+        match b.next_block with
+        | None -> Ok ()
+        | Some nb -> (
+          match nb.prev_block with
+          | Some pb when pb == b -> walk_blocks last nb
+          | Some _ | None -> failwith "block back-pointer wrong"))
+      | Error _ as e -> e
+    in
+    walk_blocks None head
+  in
+  try
+    Hashtbl.iter
+      (fun sid head ->
+        match check_snode_list sid head with
+        | Ok () -> ()
+        | Error e -> failwith e)
+      t.heads;
+    (* sibling chains and first-child pointers *)
+    let rec check_desc d =
+      List.iter
+        (fun (sid, first) ->
+          if Schema.snode_id first.d_snode <> sid then failwith "first-child snode mismatch";
+          match first.parent with
+          | Some p when p == d -> ()
+          | Some _ | None -> failwith "first-child parent mismatch")
+        d.first_children;
+      let kids = all_children_unordered d in
+      List.iter
+        (fun c ->
+          match c.parent with
+          | Some p when p == d -> ()
+          | Some _ | None -> failwith "child parent pointer wrong")
+        kids;
+      let rec ordered = function
+        | a :: (b :: _ as rest) ->
+          if Label.compare a.nid b.nid >= 0 then failwith "sibling order violated";
+          ordered rest
+        | [ _ ] | [] -> ()
+      in
+      ordered kids;
+      List.iter check_desc kids
+    in
+    (match t.root_desc with Some r -> check_desc r | None -> ());
+    Ok ()
+  with Failure m -> err "%s" m

@@ -1,0 +1,102 @@
+(** Data blocks and node descriptors (§9.2).
+
+    Every schema node owns a bidirectional list of blocks; blocks hold
+    node descriptors (the physical representation of nodes).  The
+    ordering discipline is the paper's: descriptors in block [i]
+    precede descriptors in block [j > i] in document order, while
+    inside one block order is reconstructed through the short
+    next-in-block / previous-in-block pointers.
+
+    A descriptor carries the §9.2 fields: parent, left- and
+    right-sibling pointers, the in-block chain, the [nid] numbering
+    label of §9.3, and — for nodes that can have children — a pointer
+    to the {e first child per child schema node} rather than to every
+    child (the decision Example 8 illustrates with [library] holding
+    two child pointers: first [book], first [paper]).
+
+    "It is easy to show that the data stored in the node descriptor
+    together with the data stored in the corresponding schema node are
+    sufficient to produce the result of any accessor" — the accessor
+    functions here are that demonstration, and test E9 checks them
+    against the reference [Xsm_xdm] accessors. *)
+
+type t
+type desc
+
+val of_store :
+  ?block_capacity:int -> Xsm_xdm.Store.t -> Xsm_xdm.Store.node -> t
+(** Build the physical representation of a loaded document tree
+    (default block capacity: 64 descriptors). *)
+
+val schema : t -> Descriptive_schema.t
+val root : t -> desc
+val descriptor_of_node : t -> Xsm_xdm.Store.node -> desc option
+(** The descriptor a store node was materialized as ([of_store] input
+    nodes only). *)
+
+(** {1 Accessors reconstructed from descriptors} *)
+
+val snode : desc -> Descriptive_schema.snode
+val node_kind : desc -> string
+val node_name : desc -> Xsm_xml.Name.t option
+val parent : desc -> desc option
+val children : t -> desc -> desc list
+(** Child elements and texts, in document order, reconstructed from
+    the first-child-by-schema pointers and the sibling chains. *)
+
+val attributes : t -> desc -> desc list
+val string_value : t -> desc -> string
+val nid : desc -> Xsm_numbering.Sedna_label.t
+
+val home_block_id : desc -> int option
+(** Identifier of the block the descriptor lives in ([None] only for a
+    detached descriptor).  Block ids are allocation-ordered and unique
+    across the storage; used by {!Buffer_pool} to replay the page
+    accesses of a traversal. *)
+
+val left_sibling : desc -> desc option
+val right_sibling : desc -> desc option
+
+val first_child_by_schema : desc -> Descriptive_schema.snode -> desc option
+(** Direct use of the per-schema first-child pointer — the fast path
+    bench E8 measures for child-axis steps. *)
+
+val descendants_by_snode : t -> Descriptive_schema.snode -> desc list
+(** Every descriptor of one schema node, in document order, by
+    scanning its block list — the access path XPath evaluation over
+    the descriptive schema uses. *)
+
+val to_element : t -> desc -> Xsm_xml.Tree.element
+(** Serialize the subtree under an element descriptor back to
+    syntactic XML — [g] of the §8 theorem, but computed from the
+    physical representation.  Together with {!of_store} this shows the
+    descriptor fields are lossless. *)
+
+val to_document : t -> Xsm_xml.Tree.t
+(** Serialize from the root descriptor. *)
+
+(** {1 Updates} *)
+
+val insert_element :
+  t -> parent:desc -> after:desc option -> Xsm_xml.Name.t -> desc * int
+(** Insert a new empty element under [parent], after sibling [after]
+    (or first).  Returns the new descriptor and the number of
+    descriptors moved by a block split (0 when the block had room). *)
+
+val insert_text : t -> parent:desc -> after:desc option -> string -> desc * int
+val insert_attribute : t -> parent:desc -> Xsm_xml.Name.t -> string -> desc * int
+val delete : t -> desc -> unit
+(** Unlink a leaf descriptor.  [Invalid_argument] if it has children. *)
+
+(** {1 Statistics and invariants} *)
+
+val block_count : t -> int
+val split_count : t -> int
+val descriptor_count : t -> int
+val blocks_of_snode : t -> Descriptive_schema.snode -> int
+
+val check_integrity : t -> (unit, string) result
+(** Verify the §9.2 invariants: per-snode block lists ordered by
+    document order between blocks, in-block chains ordered, sibling
+    chains consistent with parent pointers, first-child pointers
+    pointing at the nid-least child of their schema node. *)

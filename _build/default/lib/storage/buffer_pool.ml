@@ -1,0 +1,71 @@
+type t = {
+  capacity : int;
+  (* LRU as a recency list: head = most recent; fine for the simulation
+     sizes used in benches *)
+  mutable resident : int list;
+  mutable accesses : int;
+  mutable hits : int;
+  mutable misses : int;
+  seen : (int, unit) Hashtbl.t;
+}
+
+let create ~capacity =
+  if capacity < 1 then invalid_arg "Buffer_pool.create: capacity must be positive";
+  {
+    capacity;
+    resident = [];
+    accesses = 0;
+    hits = 0;
+    misses = 0;
+    seen = Hashtbl.create 64;
+  }
+
+let touch pool block =
+  pool.accesses <- pool.accesses + 1;
+  if not (Hashtbl.mem pool.seen block) then Hashtbl.add pool.seen block ();
+  if List.mem block pool.resident then begin
+    pool.hits <- pool.hits + 1;
+    pool.resident <- block :: List.filter (fun b -> b <> block) pool.resident;
+    `Hit
+  end
+  else begin
+    pool.misses <- pool.misses + 1;
+    let kept =
+      if List.length pool.resident >= pool.capacity then
+        (* drop the least recently used (the tail) *)
+        List.filteri (fun i _ -> i < pool.capacity - 1) pool.resident
+      else pool.resident
+    in
+    pool.resident <- block :: kept;
+    `Miss
+  end
+
+type stats = { accesses : int; hits : int; misses : int; distinct : int }
+
+let stats (pool : t) =
+  {
+    accesses = pool.accesses;
+    hits = pool.hits;
+    misses = pool.misses;
+    distinct = Hashtbl.length pool.seen;
+  }
+
+let hit_ratio s = if s.accesses = 0 then 1.0 else float_of_int s.hits /. float_of_int s.accesses
+
+let run_trace ~capacity trace =
+  let pool = create ~capacity in
+  List.iter (fun b -> ignore (touch pool b)) trace;
+  stats pool
+
+let scan_trace bs snode =
+  List.filter_map Block_storage.home_block_id (Block_storage.descendants_by_snode bs snode)
+
+let navigation_trace bs d =
+  let rec go acc d =
+    let acc =
+      match Block_storage.home_block_id d with Some b -> b :: acc | None -> acc
+    in
+    let acc = List.fold_left go acc (Block_storage.attributes bs d) in
+    List.fold_left go acc (Block_storage.children bs d)
+  in
+  List.rev (go [] d)

@@ -1,0 +1,44 @@
+(** A buffer-pool simulation.
+
+    Sedna is a disk-resident system: §9.2's blocks exist because node
+    descriptors live on pages that are faulted into a buffer pool.
+    Our storage is in-memory (the substitution recorded in DESIGN.md),
+    so the I/O behaviour is *simulated*: a traversal is replayed as
+    its sequence of block identifiers against an LRU pool of bounded
+    capacity, yielding hit/miss counts.  This quantifies the locality
+    argument behind schema-driven evaluation — a block scan touches
+    each page once, while tree navigation hops between the pages of
+    different schema nodes (ablation A4). *)
+
+type t
+
+val create : capacity:int -> t
+(** An empty LRU pool holding at most [capacity] blocks;
+    [Invalid_argument] when capacity < 1. *)
+
+val touch : t -> int -> [ `Hit | `Miss ]
+(** Access one block: [`Hit] when resident, [`Miss] when it had to be
+    faulted in (evicting the least recently used block if full). *)
+
+type stats = {
+  accesses : int;
+  hits : int;
+  misses : int;  (** = faults = simulated I/Os *)
+  distinct : int;  (** distinct blocks in the trace *)
+}
+
+val stats : t -> stats
+val hit_ratio : stats -> float
+
+val run_trace : capacity:int -> int list -> stats
+(** Replay a whole trace through a fresh pool. *)
+
+(** {1 Trace extraction} *)
+
+val scan_trace : Block_storage.t -> Descriptive_schema.snode -> int list
+(** Page accesses of a schema-driven block scan: the block list of the
+    schema node, in order (one access per descriptor, consecutive). *)
+
+val navigation_trace : Block_storage.t -> Block_storage.desc -> int list
+(** Page accesses of a navigational depth-first traversal from a
+    descriptor: every descriptor visit touches its home block. *)

@@ -1,0 +1,52 @@
+(** The descriptive schema of §9.1 (a DataGuide, [13]).
+
+    A tree over pairs [E = (name, node-type)] such that every path of
+    the document has exactly one path in the descriptive schema and
+    vice versa.  Built incrementally: loading a node finds or creates
+    the schema node for its [(name, kind)] under its parent's schema
+    node, which makes the node→schema-node mapping [f] of §9.1
+    surjective by construction. *)
+
+type t
+(** A descriptive schema for one document tree. *)
+
+type snode
+(** A schema node. *)
+
+type kind = Document | Element | Attribute | Text
+
+val kind_of_store : Xsm_xdm.Store.Kind.t -> kind
+val kind_to_string : kind -> string
+
+val create : unit -> t
+(** An empty descriptive schema with just a document schema node. *)
+
+val root : t -> snode
+
+val find_or_add : t -> snode -> name:Xsm_xml.Name.t option -> kind -> snode
+(** The child schema node for [(name, kind)] under the given parent,
+    created on first use. *)
+
+val find : t -> snode -> name:Xsm_xml.Name.t option -> kind -> snode option
+
+val of_tree : Xsm_xdm.Store.t -> Xsm_xdm.Store.node -> t * (int -> snode)
+(** Build the descriptive schema of a loaded document and the mapping
+    from node ids to schema nodes. *)
+
+val name : snode -> Xsm_xml.Name.t option
+val kind : snode -> kind
+val parent : t -> snode -> snode option
+val children : t -> snode -> snode list
+val snode_id : snode -> int
+val equal_snode : snode -> snode -> bool
+
+val node_count : t -> int
+(** Number of schema nodes — compared against document node count in
+    bench E7. *)
+
+val paths : t -> string list
+(** Every root-to-node path, rendered like ["/library/book/title"]
+    (attributes as ["@name"], text as ["#text"]). *)
+
+val pp : Format.formatter -> t -> unit
+(** The tree rendering used for Example 8. *)

@@ -1,0 +1,1 @@
+lib/xdm/axis.ml: List Store

@@ -1,0 +1,1 @@
+lib/xdm/convert.ml: Buffer List Store Xsm_xml

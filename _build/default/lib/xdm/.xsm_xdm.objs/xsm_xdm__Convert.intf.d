@@ -1,0 +1,1 @@
+lib/xdm/convert.mli: Store Xsm_xml

@@ -1,0 +1,1 @@
+lib/xdm/order.ml: Stdlib Store

@@ -1,0 +1,1 @@
+lib/xdm/order.mli: Store

@@ -1,0 +1,1 @@
+lib/xdm/store.ml: Array Buffer Format List Option Xsm_datatypes Xsm_xml

@@ -1,0 +1,1 @@
+lib/xdm/store.mli: Format Xsm_datatypes Xsm_xml

@@ -1,0 +1,89 @@
+type t =
+  | Self
+  | Child
+  | Descendant
+  | Descendant_or_self
+  | Parent
+  | Ancestor
+  | Ancestor_or_self
+  | Following_sibling
+  | Preceding_sibling
+  | Following
+  | Preceding
+  | Attribute
+
+let to_string = function
+  | Self -> "self"
+  | Child -> "child"
+  | Descendant -> "descendant"
+  | Descendant_or_self -> "descendant-or-self"
+  | Parent -> "parent"
+  | Ancestor -> "ancestor"
+  | Ancestor_or_self -> "ancestor-or-self"
+  | Following_sibling -> "following-sibling"
+  | Preceding_sibling -> "preceding-sibling"
+  | Following -> "following"
+  | Preceding -> "preceding"
+  | Attribute -> "attribute"
+
+let all =
+  [ Self; Child; Descendant; Descendant_or_self; Parent; Ancestor; Ancestor_or_self;
+    Following_sibling; Preceding_sibling; Following; Preceding; Attribute ]
+
+let of_string s = List.find_opt (fun a -> to_string a = s) all
+
+(* children subtrees only — attributes are not on the descendant axis *)
+let rec descendants store n acc =
+  List.fold_left (fun acc c -> descendants store c (c :: acc)) acc (Store.children store n)
+
+let descendants_in_order store n = List.rev (descendants store n [])
+
+let ancestors store n =
+  let rec go acc n =
+    match Store.parent store n with None -> acc | Some p -> go (p :: acc) p
+  in
+  List.rev (go [] n) (* nearest ancestor first: reverse document order *)
+
+let siblings_split store n =
+  match Store.parent store n with
+  | None -> ([], [])
+  | Some p ->
+    let rec split before = function
+      | [] -> (before, [])
+      | c :: rest ->
+        if Store.equal_node c n then (before, rest) else split (c :: before) rest
+    in
+    (* attributes are not siblings of anything *)
+    if List.exists (Store.equal_node n) (Store.attributes store p) then ([], [])
+    else split [] (Store.children store p)
+
+let apply store axis n =
+  match axis with
+  | Self -> [ n ]
+  | Child -> Store.children store n
+  | Attribute -> Store.attributes store n
+  | Parent -> ( match Store.parent store n with None -> [] | Some p -> [ p ])
+  | Descendant -> descendants_in_order store n
+  | Descendant_or_self -> n :: descendants_in_order store n
+  | Ancestor -> ancestors store n
+  | Ancestor_or_self -> n :: ancestors store n
+  | Following_sibling -> snd (siblings_split store n)
+  | Preceding_sibling -> fst (siblings_split store n) (* already reversed *)
+  | Following ->
+    (* nodes after the end of this subtree, in document order: for each
+       ancestor-or-self, the following siblings' subtrees *)
+    List.concat_map
+      (fun a ->
+        List.concat_map
+          (fun s -> s :: descendants_in_order store s)
+          (snd (siblings_split store a)))
+      (n :: ancestors store n)
+  | Preceding ->
+    (* nodes wholly before this one, excluding ancestors, in reverse
+       document order *)
+    List.concat_map
+      (fun a ->
+        List.concat_map
+          (fun s -> List.rev (s :: descendants_in_order store s))
+          (fst (siblings_split store a)))
+      (n :: ancestors store n)

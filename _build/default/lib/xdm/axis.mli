@@ -1,0 +1,25 @@
+(** XPath axes, defined purely through the accessors of §5 — the
+    paper's point that the accessors "provide primitive facilities for
+    a query language". *)
+
+type t =
+  | Self
+  | Child
+  | Descendant
+  | Descendant_or_self
+  | Parent
+  | Ancestor
+  | Ancestor_or_self
+  | Following_sibling
+  | Preceding_sibling
+  | Following
+  | Preceding
+  | Attribute
+
+val of_string : string -> t option
+val to_string : t -> string
+
+val apply : Store.t -> t -> Store.node -> Store.node list
+(** Nodes on the axis from a context node, in axis order: forward
+    axes in document order, reverse axes ([Ancestor*], [Preceding*])
+    in reverse document order, as XPath prescribes. *)

@@ -1,0 +1,1 @@
+lib/xml/name.ml: Char Format Map Option Printf Set String

@@ -1,0 +1,1 @@
+lib/xml/parser.ml: Buffer Format List Name Option Printf String Tree Uchar

@@ -1,0 +1,54 @@
+type t = { prefix : string option; local : string }
+
+let make ?prefix local = { prefix; local }
+let local local = { prefix = None; local }
+
+let is_name_start_char c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+  || Char.code c >= 0x80
+
+let is_name_char c =
+  is_name_start_char c || (c >= '0' && c <= '9') || c = '-' || c = '.'
+
+let is_ncname s =
+  String.length s > 0
+  && is_name_start_char s.[0]
+  && String.for_all is_name_char s
+
+let of_string s =
+  match String.index_opt s ':' with
+  | None -> if is_ncname s then Ok { prefix = None; local = s } else Error (Printf.sprintf "invalid name %S" s)
+  | Some i ->
+    let prefix = String.sub s 0 i in
+    let local = String.sub s (i + 1) (String.length s - i - 1) in
+    if String.contains local ':' then Error (Printf.sprintf "name %S has two colons" s)
+    else if not (is_ncname prefix) then Error (Printf.sprintf "invalid prefix in %S" s)
+    else if not (is_ncname local) then Error (Printf.sprintf "invalid local part in %S" s)
+    else Ok { prefix = Some prefix; local }
+
+let of_string_exn s =
+  match of_string s with Ok n -> n | Error e -> invalid_arg e
+
+let to_string = function
+  | { prefix = None; local } -> local
+  | { prefix = Some p; local } -> p ^ ":" ^ local
+
+let equal a b =
+  String.equal a.local b.local
+  && Option.equal String.equal a.prefix b.prefix
+
+let compare a b =
+  match String.compare a.local b.local with
+  | 0 -> Option.compare String.compare a.prefix b.prefix
+  | c -> c
+
+let pp ppf n = Format.pp_print_string ppf (to_string n)
+
+module Ord = struct
+  type nonrec t = t
+
+  let compare = compare
+end
+
+module Map = Map.Make (Ord)
+module Set = Set.Make (Ord)

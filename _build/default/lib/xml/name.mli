@@ -1,0 +1,40 @@
+(** Qualified names (QNames) for XML elements and attributes.
+
+    A name is a possibly-prefixed local name, as written in an XML
+    document: [prefix:local] or just [local].  Namespace URI resolution
+    is out of scope of the paper's model (which works with QNames
+    directly), so names compare by their written form. *)
+
+type t = {
+  prefix : string option;  (** the part before the colon, if any *)
+  local : string;  (** the local part; never empty for a valid name *)
+}
+
+val make : ?prefix:string -> string -> t
+(** [make ?prefix local] builds a name. *)
+
+val local : string -> t
+(** [local s] is [make s]: a name with no prefix. *)
+
+val of_string : string -> (t, string) result
+(** Parse a written QName such as ["xsd:element"] or ["Book"].  Errors
+    on empty input, empty prefix or local part, or more than one
+    colon. *)
+
+val of_string_exn : string -> t
+(** Like {!of_string} but raises [Invalid_argument]. *)
+
+val to_string : t -> string
+(** The written form, [prefix:local] or [local]. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit
+
+val is_ncname : string -> bool
+(** [is_ncname s] checks that [s] is a valid non-colonized XML name:
+    a letter or underscore followed by letters, digits, hyphens,
+    underscores and dots. *)
+
+module Map : Map.S with type key = t
+module Set : Set.S with type elt = t

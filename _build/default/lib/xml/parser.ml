@@ -1,0 +1,325 @@
+type error = { line : int; column : int; message : string }
+
+let pp_error ppf e =
+  Format.fprintf ppf "line %d, column %d: %s" e.line e.column e.message
+
+let error_to_string e = Format.asprintf "%a" pp_error e
+
+exception Parse_error of int * string
+(* position, message; converted to {!error} at the API boundary *)
+
+type state = { input : string; mutable pos : int }
+
+let fail st msg = raise (Parse_error (st.pos, msg))
+let eof st = st.pos >= String.length st.input
+let peek st = if eof st then '\255' else st.input.[st.pos]
+
+let advance st = st.pos <- st.pos + 1
+
+let expect st c =
+  if peek st = c then advance st
+  else fail st (Printf.sprintf "expected %C, found %C" c (peek st))
+
+let looking_at st s =
+  let n = String.length s in
+  st.pos + n <= String.length st.input && String.sub st.input st.pos n = s
+
+let expect_string st s =
+  if looking_at st s then st.pos <- st.pos + String.length s
+  else fail st (Printf.sprintf "expected %S" s)
+
+let is_space c = c = ' ' || c = '\t' || c = '\n' || c = '\r'
+
+let skip_space st =
+  while (not (eof st)) && is_space (peek st) do
+    advance st
+  done
+
+(* Scan until [stop] returns true; return the scanned substring. *)
+let take_until st stop =
+  let start = st.pos in
+  while (not (eof st)) && not (stop (peek st)) do
+    advance st
+  done;
+  String.sub st.input start (st.pos - start)
+
+let parse_name st =
+  let s = take_until st (fun c -> is_space c || c = '>' || c = '/' || c = '=' || c = '?' || c = '\255') in
+  match Name.of_string s with
+  | Ok n -> n
+  | Error e -> fail st e
+
+(* Entity and character references inside text and attribute values. *)
+let parse_reference st =
+  expect st '&';
+  let body = take_until st (fun c -> c = ';' || c = '<' || c = '&') in
+  if peek st <> ';' then fail st "unterminated entity reference";
+  advance st;
+  match body with
+  | "lt" -> "<"
+  | "gt" -> ">"
+  | "amp" -> "&"
+  | "apos" -> "'"
+  | "quot" -> "\""
+  | _ ->
+    if String.length body > 1 && body.[0] = '#' then begin
+      let code =
+        try
+          if String.length body > 2 && (body.[1] = 'x' || body.[1] = 'X') then
+            int_of_string ("0x" ^ String.sub body 2 (String.length body - 2))
+          else int_of_string (String.sub body 1 (String.length body - 1))
+        with Failure _ -> fail st (Printf.sprintf "bad character reference &%s;" body)
+      in
+      if code < 0 || code > 0x10FFFF then fail st "character reference out of range";
+      (* UTF-8 encode *)
+      let b = Buffer.create 4 in
+      Buffer.add_utf_8_uchar b (Uchar.of_int code);
+      Buffer.contents b
+    end
+    else fail st (Printf.sprintf "unknown entity &%s;" body)
+
+let parse_attribute_value st =
+  let quote = peek st in
+  if quote <> '"' && quote <> '\'' then fail st "expected quoted attribute value";
+  advance st;
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match peek st with
+    | c when c = quote -> advance st
+    | '\255' -> fail st "unterminated attribute value"
+    | '<' -> fail st "'<' not allowed in attribute value"
+    | '&' -> Buffer.add_string buf (parse_reference st); go ()
+    | c -> Buffer.add_char buf c; advance st; go ()
+  in
+  go ();
+  Buffer.contents buf
+
+let parse_attributes st =
+  let rec go acc =
+    skip_space st;
+    match peek st with
+    | '>' | '/' | '?' | '\255' -> List.rev acc
+    | _ ->
+      let name = parse_name st in
+      skip_space st;
+      expect st '=';
+      skip_space st;
+      let value = parse_attribute_value st in
+      if List.exists (fun (a : Tree.attribute) -> Name.equal a.name name) acc then
+        fail st (Printf.sprintf "duplicate attribute %s" (Name.to_string name));
+      go ({ Tree.name; value } :: acc)
+  in
+  go []
+
+let parse_comment st =
+  expect_string st "<!--";
+  let buf = Buffer.create 16 in
+  let rec go () =
+    if looking_at st "-->" then st.pos <- st.pos + 3
+    else if eof st then fail st "unterminated comment"
+    else begin
+      Buffer.add_char buf (peek st);
+      advance st;
+      go ()
+    end
+  in
+  go ();
+  Buffer.contents buf
+
+let parse_cdata st =
+  expect_string st "<![CDATA[";
+  let buf = Buffer.create 16 in
+  let rec go () =
+    if looking_at st "]]>" then st.pos <- st.pos + 3
+    else if eof st then fail st "unterminated CDATA section"
+    else begin
+      Buffer.add_char buf (peek st);
+      advance st;
+      go ()
+    end
+  in
+  go ();
+  Buffer.contents buf
+
+let parse_pi st =
+  expect_string st "<?";
+  let target = take_until st (fun c -> is_space c || c = '?') in
+  if target = "" then fail st "empty processing-instruction target";
+  skip_space st;
+  let buf = Buffer.create 16 in
+  let rec go () =
+    if looking_at st "?>" then st.pos <- st.pos + 2
+    else if eof st then fail st "unterminated processing instruction"
+    else begin
+      Buffer.add_char buf (peek st);
+      advance st;
+      go ()
+    end
+  in
+  go ();
+  (target, Buffer.contents buf)
+
+let rec parse_element_body st : Tree.element =
+  expect st '<';
+  let name = parse_name st in
+  let attributes = parse_attributes st in
+  match peek st with
+  | '/' ->
+    advance st;
+    expect st '>';
+    { Tree.name; attributes; children = [] }
+  | '>' ->
+    advance st;
+    let children = parse_content st name in
+    { Tree.name; attributes; children }
+  | _ -> fail st "malformed start tag"
+
+and parse_content st open_name =
+  let buf = Buffer.create 32 in
+  let flush acc =
+    if Buffer.length buf = 0 then acc
+    else begin
+      let s = Buffer.contents buf in
+      Buffer.clear buf;
+      Tree.Text s :: acc
+    end
+  in
+  let rec go acc =
+    if eof st then fail st (Printf.sprintf "unterminated element %s" (Name.to_string open_name))
+    else if looking_at st "</" then begin
+      let acc = flush acc in
+      st.pos <- st.pos + 2;
+      let close = parse_name st in
+      skip_space st;
+      expect st '>';
+      if not (Name.equal close open_name) then
+        fail st
+          (Printf.sprintf "mismatched end tag: expected </%s>, found </%s>"
+             (Name.to_string open_name) (Name.to_string close));
+      List.rev acc
+    end
+    else if looking_at st "<!--" then begin
+      let acc = flush acc in
+      let c = parse_comment st in
+      go (Tree.Comment c :: acc)
+    end
+    else if looking_at st "<![CDATA[" then begin
+      let acc = flush acc in
+      let c = parse_cdata st in
+      go (Tree.Cdata c :: acc)
+    end
+    else if looking_at st "<?" then begin
+      let acc = flush acc in
+      let target, data = parse_pi st in
+      go (Tree.Pi { target; data } :: acc)
+    end
+    else if peek st = '<' then begin
+      let acc = flush acc in
+      let e = parse_element_body st in
+      go (Tree.Element e :: acc)
+    end
+    else if peek st = '&' then begin
+      Buffer.add_string buf (parse_reference st);
+      go acc
+    end
+    else begin
+      Buffer.add_char buf (peek st);
+      advance st;
+      go acc
+    end
+  in
+  go []
+
+let parse_xml_decl st =
+  if looking_at st "<?xml" && is_space st.input.[st.pos + 5] then begin
+    st.pos <- st.pos + 5;
+    let attrs = parse_attributes st in
+    expect_string st "?>";
+    let find k =
+      List.find_map
+        (fun (a : Tree.attribute) ->
+          if String.equal a.name.Name.local k && a.name.Name.prefix = None then Some a.value else None)
+        attrs
+    in
+    let version = Option.value ~default:"1.0" (find "version") in
+    let encoding = find "encoding" in
+    let standalone =
+      match find "standalone" with
+      | Some "yes" -> Some true
+      | Some "no" -> Some false
+      | Some other -> fail st (Printf.sprintf "bad standalone value %S" other)
+      | None -> None
+    in
+    (version, encoding, standalone)
+  end
+  else ("1.0", None, None)
+
+(* Skip a DOCTYPE declaration, including a bracketed internal subset. *)
+let skip_doctype st =
+  if looking_at st "<!DOCTYPE" then begin
+    st.pos <- st.pos + 9;
+    let rec go depth =
+      if eof st then fail st "unterminated DOCTYPE"
+      else
+        match peek st with
+        | '[' -> advance st; go (depth + 1)
+        | ']' -> advance st; go (depth - 1)
+        | '>' when depth = 0 -> advance st
+        | _ -> advance st; go depth
+    in
+    go 0
+  end
+
+let skip_misc st =
+  let rec go () =
+    skip_space st;
+    if looking_at st "<!--" then begin
+      ignore (parse_comment st);
+      go ()
+    end
+    else if looking_at st "<?" && not (looking_at st "<?xml") then begin
+      ignore (parse_pi st);
+      go ()
+    end
+  in
+  go ()
+
+let position_of_offset input pos =
+  let line = ref 1 and col = ref 1 in
+  let limit = min pos (String.length input - 1) in
+  for i = 0 to limit - 1 do
+    if input.[i] = '\n' then begin
+      incr line;
+      col := 1
+    end
+    else incr col
+  done;
+  (!line, !col)
+
+let run input f =
+  let st = { input; pos = 0 } in
+  match f st with
+  | v -> Ok v
+  | exception Parse_error (pos, message) ->
+    let line, column = position_of_offset input pos in
+    Error { line; column; message }
+
+let parse_document ?base_uri input =
+  run input (fun st ->
+      let version, encoding, standalone = parse_xml_decl st in
+      skip_misc st;
+      skip_doctype st;
+      skip_misc st;
+      if peek st <> '<' then fail st "expected root element";
+      let root = parse_element_body st in
+      skip_misc st;
+      if not (eof st) then fail st "trailing content after root element";
+      { Tree.version; encoding; standalone; base_uri; root })
+
+let parse_element input =
+  run input (fun st ->
+      skip_space st;
+      let e = parse_element_body st in
+      skip_space st;
+      if not (eof st) then fail st "trailing content after element";
+      e)

@@ -1,0 +1,25 @@
+(** A self-contained XML 1.0 parser.
+
+    Supports elements, attributes (single- or double-quoted), character
+    data, CDATA sections, comments, processing instructions, the XML
+    declaration, a DOCTYPE declaration (skipped), the five predefined
+    entities and decimal/hexadecimal character references.
+
+    The parser enforces well-formedness: matching end tags, a single
+    root element, unique attribute names per element, and no stray
+    markup.  DTD-defined entities are not supported. *)
+
+type error = {
+  line : int;  (** 1-based line of the offending position *)
+  column : int;  (** 1-based column *)
+  message : string;
+}
+
+val pp_error : Format.formatter -> error -> unit
+val error_to_string : error -> string
+
+val parse_document : ?base_uri:string -> string -> (Tree.t, error) result
+(** Parse a complete document, prolog included. *)
+
+val parse_element : string -> (Tree.element, error) result
+(** Parse a string that consists of exactly one element (no prolog). *)

@@ -1,0 +1,22 @@
+(** XML serialization.
+
+    Two modes: [to_string] produces compact output with no inserted
+    whitespace (safe for mixed content — serializing and reparsing is
+    the identity on text), and [to_pretty_string] indents element-only
+    content for human consumption. *)
+
+val escape_text : string -> string
+(** Escape ampersand and angle brackets for character-data context. *)
+
+val escape_attribute : string -> string
+(** Escape ampersand, angle brackets, double quote and newlines/tabs
+    for a double-quoted attribute value. *)
+
+val element_to_string : Tree.element -> string
+val to_string : Tree.t -> string
+(** Compact serialization with an XML declaration. *)
+
+val element_to_pretty_string : ?indent:int -> Tree.element -> string
+val to_pretty_string : ?indent:int -> Tree.t -> string
+(** Indented serialization.  Elements whose children include text are
+    printed inline to preserve mixed content. *)

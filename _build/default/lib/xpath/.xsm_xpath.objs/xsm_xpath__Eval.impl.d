@@ -1,0 +1,1 @@
+lib/xpath/eval.ml: List Navigator Option Path_ast Path_parser String Xsm_xdm Xsm_xml

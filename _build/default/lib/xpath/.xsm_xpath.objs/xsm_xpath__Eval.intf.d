@@ -1,0 +1,1 @@
+lib/xpath/eval.mli: Navigator Path_ast

@@ -1,0 +1,1 @@
+lib/xpath/flwor.ml: Eval List Navigator Path_ast Path_parser Printf String

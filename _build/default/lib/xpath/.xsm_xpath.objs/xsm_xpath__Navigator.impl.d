@@ -1,0 +1,1 @@
+lib/xpath/navigator.ml: Xsm_numbering Xsm_storage Xsm_xdm Xsm_xml

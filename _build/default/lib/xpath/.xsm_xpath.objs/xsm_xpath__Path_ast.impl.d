@@ -1,0 +1,1 @@
+lib/xpath/path_ast.ml: Format List Xsm_xdm Xsm_xml

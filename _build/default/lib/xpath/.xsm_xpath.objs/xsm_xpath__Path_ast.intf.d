@@ -1,0 +1,1 @@
+lib/xpath/path_ast.mli: Format Xsm_xdm Xsm_xml

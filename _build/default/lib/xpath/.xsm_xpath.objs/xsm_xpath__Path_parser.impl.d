@@ -1,0 +1,1 @@
+lib/xpath/path_parser.ml: List Path_ast Printf String Xsm_xdm Xsm_xml

@@ -1,0 +1,1 @@
+lib/xpath/path_parser.mli: Path_ast

@@ -1,0 +1,1 @@
+lib/xpath/schema_driven.ml: List Path_ast Path_parser Xsm_numbering Xsm_storage Xsm_xdm Xsm_xml

@@ -1,0 +1,1 @@
+lib/xpath/schema_driven.mli: Path_ast Xsm_storage

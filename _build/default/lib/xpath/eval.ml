@@ -1,0 +1,147 @@
+open Path_ast
+
+module Make (N : Navigator.S) = struct
+  let dedup_in_order backend nodes =
+    let sorted = List.stable_sort (N.order backend) nodes in
+    let rec uniq = function
+      | a :: (b :: _ as rest) ->
+        if N.equal backend a b then uniq rest else a :: uniq rest
+      | short -> short
+    in
+    uniq sorted
+
+  let rec descendants_or_self backend n =
+    n :: List.concat_map (descendants_or_self backend) (N.children backend n)
+
+  let axis_nodes backend axis n =
+    match (axis : Xsm_xdm.Axis.t) with
+    | Xsm_xdm.Axis.Self -> [ n ]
+    | Xsm_xdm.Axis.Child -> N.children backend n
+    | Xsm_xdm.Axis.Attribute -> N.attributes backend n
+    | Xsm_xdm.Axis.Parent -> Option.to_list (N.parent backend n)
+    | Xsm_xdm.Axis.Descendant ->
+      List.concat_map (descendants_or_self backend) (N.children backend n)
+    | Xsm_xdm.Axis.Descendant_or_self -> descendants_or_self backend n
+    | Xsm_xdm.Axis.Ancestor ->
+      (* nearest ancestor first (reverse document order, per XPath) *)
+      let rec up acc m =
+        match N.parent backend m with None -> acc | Some p -> up (p :: acc) p
+      in
+      List.rev (up [] n)
+    | Xsm_xdm.Axis.Ancestor_or_self ->
+      let rec up acc m =
+        match N.parent backend m with None -> acc | Some p -> up (p :: acc) p
+      in
+      n :: List.rev (up [] n)
+    | Xsm_xdm.Axis.Following_sibling -> (
+      match N.parent backend n with
+      | None -> []
+      | Some p ->
+        let rec after = function
+          | [] -> []
+          | c :: rest -> if N.equal backend c n then rest else after rest
+        in
+        after (N.children backend p))
+    | Xsm_xdm.Axis.Preceding_sibling -> (
+      match N.parent backend n with
+      | None -> []
+      | Some p ->
+        let rec before acc = function
+          | [] -> []
+          | c :: rest -> if N.equal backend c n then acc else before (c :: acc) rest
+        in
+        before [] (N.children backend p))
+    | Xsm_xdm.Axis.Following | Xsm_xdm.Axis.Preceding ->
+      (* via the root: everything strictly after/before this subtree *)
+      let rec root m = match N.parent backend m with None -> m | Some p -> root p in
+      let all = descendants_or_self backend (root n) in
+      let in_subtree = descendants_or_self backend n in
+      let member x = List.exists (N.equal backend x) in
+      let rec ancestors m =
+        match N.parent backend m with None -> [] | Some p -> p :: ancestors p
+      in
+      let anc = ancestors n in
+      let cmp = N.order backend n in
+      (match (axis : Xsm_xdm.Axis.t) with
+      | Xsm_xdm.Axis.Following ->
+        List.filter (fun x -> cmp x < 0 && not (member x in_subtree)) all
+      | _ ->
+        List.rev
+          (List.filter
+             (fun x -> cmp x > 0 && (not (member x in_subtree)) && not (member x anc))
+             all))
+
+  let test_matches backend test n =
+    match test, N.kind backend n with
+    | Name_test name, (`Element | `Attribute) -> (
+      match N.name backend n with
+      | Some m -> Xsm_xml.Name.equal m name
+      | None -> false)
+    | Name_test _, (`Document | `Text) -> false
+    | Wildcard, `Element -> true
+    | Wildcard, `Attribute -> true (* on the attribute axis, @* means any attribute *)
+    | Wildcard, (`Document | `Text) -> false
+    | Text_test, `Text -> true
+    | Text_test, (`Document | `Element | `Attribute) -> false
+    | Node_test, _ -> true
+
+  let rec apply_predicates backend candidates predicates =
+    match predicates with
+    | [] -> candidates
+    | p :: rest ->
+      let total = List.length candidates in
+      let kept =
+        List.filteri
+          (fun i n ->
+            match p with
+            | Position k -> i + 1 = k
+            | Last -> i + 1 = total
+            | Exists rel -> eval_path backend n rel <> []
+            | Equals (rel, lit) ->
+              List.exists
+                (fun m -> String.equal (N.string_value backend m) lit)
+                (eval_path backend n rel))
+          candidates
+      in
+      apply_predicates backend kept rest
+
+  and eval_step backend nodes (step, desc_flag) =
+    (* // expands to descendant-or-self::node()/ *)
+    let bases =
+      if desc_flag then
+        dedup_in_order backend (List.concat_map (descendants_or_self backend) nodes)
+      else nodes
+    in
+    let per_node n =
+      let on_axis = axis_nodes backend step.axis n in
+      let matching = List.filter (test_matches backend step.test) on_axis in
+      apply_predicates backend matching step.predicates
+    in
+    dedup_in_order backend (List.concat_map per_node bases)
+
+  and eval_path backend n (p : path) =
+    let start =
+      if p.absolute then
+        let rec root m = match N.parent backend m with None -> m | Some q -> root q in
+        [ root n ]
+      else [ n ]
+    in
+    List.fold_left (eval_step backend) start p.steps
+
+  let eval backend n p = eval_path backend n p
+
+  let eval_string backend n text =
+    match Path_parser.parse text with
+    | Ok p -> Ok (eval backend n p)
+    | Error e -> Error e
+
+  let strings backend nodes = List.map (N.string_value backend) nodes
+
+  let count backend n text =
+    match eval_string backend n text with
+    | Ok nodes -> Ok (List.length nodes)
+    | Error e -> Error e
+end
+
+module Over_store = Make (Navigator.Xdm)
+module Over_storage = Make (Navigator.Storage)

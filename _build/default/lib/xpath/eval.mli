@@ -1,0 +1,21 @@
+(** The evaluator: a functor over {!Navigator.S}, so the same query
+    code runs on the XDM store and on the Sedna block storage —
+    which is the operational content of the paper's claim that the
+    accessors suffice for a query language. *)
+
+module Make (N : Navigator.S) : sig
+  val eval : N.t -> N.node -> Path_ast.path -> N.node list
+  (** Result nodes in document order, without duplicates.  Absolute
+      paths rebase on the root of the context node's tree. *)
+
+  val eval_string : N.t -> N.node -> string -> (N.node list, string) result
+  (** Parse and evaluate. *)
+
+  val strings : N.t -> N.node list -> string list
+  (** String values of a node list (convenience). *)
+
+  val count : N.t -> N.node -> string -> (int, string) result
+end
+
+module Over_store : module type of Make (Navigator.Xdm)
+module Over_storage : module type of Make (Navigator.Storage)

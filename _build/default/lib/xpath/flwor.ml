@@ -1,0 +1,308 @@
+(* Parsing re-uses the XPath scanner conventions; evaluation is the
+   classic tuple-stream interpretation of FLWOR. *)
+
+type source = Path of Path_ast.path | Var of string * Path_ast.path option
+
+type expr =
+  | E_source of source
+  | E_string of expr
+  | E_count of expr
+
+type cond =
+  | Equals of expr * string
+  | Not_equals of expr * string
+  | Exists of expr
+
+type clause =
+  | For of string * source
+  | Let of string * source
+  | Where of cond list
+  | Order_by of expr
+
+type query = { clauses : clause list; return : expr }
+
+(* ------------------------------------------------------------------ *)
+(* Parser                                                              *)
+
+exception Err of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Err s)) fmt
+
+type scan = { s : string; mutable i : int }
+
+let peek sc = if sc.i < String.length sc.s then Some sc.s.[sc.i] else None
+
+let skip_ws sc =
+  while (match peek sc with Some (' ' | '\n' | '\t' | '\r') -> true | _ -> false) do
+    sc.i <- sc.i + 1
+  done
+
+let looking_at sc str =
+  let n = String.length str in
+  sc.i + n <= String.length sc.s && String.sub sc.s sc.i n = str
+
+let eat sc str =
+  skip_ws sc;
+  if looking_at sc str then begin
+    sc.i <- sc.i + String.length str;
+    true
+  end
+  else false
+
+let keyword sc kw =
+  skip_ws sc;
+  let n = String.length kw in
+  if
+    looking_at sc kw
+    && (sc.i + n >= String.length sc.s
+       ||
+       let c = sc.s.[sc.i + n] in
+       not ((c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')))
+  then begin
+    sc.i <- sc.i + n;
+    true
+  end
+  else false
+
+let scan_name sc =
+  skip_ws sc;
+  let start = sc.i in
+  while
+    (match peek sc with
+    | Some c ->
+      (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') || c = '_'
+      || c = '-'
+    | None -> false)
+  do
+    sc.i <- sc.i + 1
+  done;
+  if sc.i = start then fail "expected a name at offset %d" start;
+  String.sub sc.s start (sc.i - start)
+
+let scan_literal sc =
+  skip_ws sc;
+  match peek sc with
+  | Some (('"' | '\'') as q) ->
+    sc.i <- sc.i + 1;
+    let start = sc.i in
+    while (match peek sc with Some c -> c <> q | None -> false) do
+      sc.i <- sc.i + 1
+    done;
+    (match peek sc with
+    | Some _ ->
+      let v = String.sub sc.s start (sc.i - start) in
+      sc.i <- sc.i + 1;
+      v
+    | None -> fail "unterminated string literal")
+  | _ -> fail "expected a string literal"
+
+(* a path chunk: characters a path may contain, until whitespace or a
+   delimiter that ends the expression *)
+let scan_path_text sc =
+  skip_ws sc;
+  let start = sc.i in
+  let depth = ref 0 in
+  let continue () =
+    match peek sc with
+    | None -> false
+    | Some '[' ->
+      incr depth;
+      true
+    | Some ']' ->
+      decr depth;
+      true
+    | Some (' ' | '\n' | '\t' | '\r') -> !depth > 0
+    | Some (')' | ',') -> false
+    | Some ('=' | '!') -> !depth > 0
+    | Some _ -> true
+  in
+  while continue () do
+    sc.i <- sc.i + 1
+  done;
+  if sc.i = start then fail "expected a path at offset %d" start;
+  String.sub sc.s start (sc.i - start)
+
+let parse_path_text text =
+  match Path_parser.parse text with Ok p -> p | Error e -> fail "%s" e
+
+let parse_source sc =
+  skip_ws sc;
+  if eat sc "$" then begin
+    let name = scan_name sc in
+    skip_ws sc;
+    if looking_at sc "/" then begin
+      (* a relative continuation: strip the leading slash and parse the
+         remainder as a relative path *)
+      sc.i <- sc.i + 1;
+      let text = scan_path_text sc in
+      Var (name, Some (parse_path_text text))
+    end
+    else Var (name, None)
+  end
+  else Path (parse_path_text (scan_path_text sc))
+
+let rec parse_expr sc =
+  skip_ws sc;
+  if keyword sc "string" then begin
+    if not (eat sc "(") then fail "expected ( after string";
+    let e = parse_expr sc in
+    if not (eat sc ")") then fail "expected )";
+    E_string e
+  end
+  else if keyword sc "count" then begin
+    if not (eat sc "(") then fail "expected ( after count";
+    let e = parse_expr sc in
+    if not (eat sc ")") then fail "expected )";
+    E_count e
+  end
+  else E_source (parse_source sc)
+
+let parse_cond sc =
+  let e = parse_expr sc in
+  skip_ws sc;
+  if eat sc "!=" then Not_equals (e, scan_literal sc)
+  else if eat sc "=" then Equals (e, scan_literal sc)
+  else Exists e
+
+let parse_query sc =
+  let clauses = ref [] in
+  let rec clause_loop () =
+    skip_ws sc;
+    if keyword sc "for" then begin
+      if not (eat sc "$") then fail "expected $variable after for";
+      let name = scan_name sc in
+      if not (keyword sc "in") then fail "expected in";
+      clauses := For (name, parse_source sc) :: !clauses;
+      clause_loop ()
+    end
+    else if keyword sc "let" then begin
+      if not (eat sc "$") then fail "expected $variable after let";
+      let name = scan_name sc in
+      if not (eat sc ":=") then fail "expected :=";
+      clauses := Let (name, parse_source sc) :: !clauses;
+      clause_loop ()
+    end
+    else if keyword sc "where" then begin
+      let conds = ref [ parse_cond sc ] in
+      while keyword sc "and" do
+        conds := parse_cond sc :: !conds
+      done;
+      clauses := Where (List.rev !conds) :: !clauses;
+      clause_loop ()
+    end
+    else if keyword sc "order" then begin
+      if not (keyword sc "by") then fail "expected by after order";
+      clauses := Order_by (parse_expr sc) :: !clauses;
+      clause_loop ()
+    end
+  in
+  clause_loop ();
+  if not (keyword sc "return") then fail "expected return";
+  let return = parse_expr sc in
+  skip_ws sc;
+  if sc.i <> String.length sc.s then fail "trailing characters at offset %d" sc.i;
+  { clauses = List.rev !clauses; return }
+
+let parse text =
+  let sc = { s = text; i = 0 } in
+  match parse_query sc with q -> Ok q | exception Err m -> Error m
+
+let parse_exn text = match parse text with Ok q -> q | Error e -> invalid_arg e
+
+(* ------------------------------------------------------------------ *)
+(* Evaluation                                                          *)
+
+type 'node item = Nodes of 'node list | Str of string | Num of int
+
+module Make (N : Navigator.S) = struct
+  module P = Eval.Make (N)
+
+  type binding = Single of N.node | Seq of N.node list
+
+  exception Eval_err of string
+
+  let efail fmt = Printf.ksprintf (fun s -> raise (Eval_err s)) fmt
+
+  let source_nodes backend ctx env = function
+    | Path p -> P.eval backend ctx p
+    | Var (name, rel) -> (
+      match List.assoc_opt name env with
+      | None -> efail "unbound variable $%s" name
+      | Some bound -> (
+        let bases = match bound with Single n -> [ n ] | Seq ns -> ns in
+        match rel with
+        | None -> bases
+        | Some p -> List.concat_map (fun b -> P.eval backend b p) bases))
+
+  let rec eval_expr backend ctx env = function
+    | E_source s -> Nodes (source_nodes backend ctx env s)
+    | E_string e -> (
+      match eval_expr backend ctx env e with
+      | Nodes ns ->
+        Str (String.concat "" (List.map (N.string_value backend) ns))
+      | Str s -> Str s
+      | Num n -> Str (string_of_int n))
+    | E_count e -> (
+      match eval_expr backend ctx env e with
+      | Nodes ns -> Num (List.length ns)
+      | Str _ -> Num 1
+      | Num n -> Num n)
+
+  let item_string backend = function
+    | Nodes ns -> String.concat "" (List.map (N.string_value backend) ns)
+    | Str s -> s
+    | Num n -> string_of_int n
+
+  let cond_holds backend ctx env = function
+    | Equals (e, lit) -> (
+      match eval_expr backend ctx env e with
+      | Nodes ns -> List.exists (fun n -> String.equal (N.string_value backend n) lit) ns
+      | Str s -> String.equal s lit
+      | Num n -> string_of_int n = lit)
+    | Not_equals (e, lit) -> (
+      match eval_expr backend ctx env e with
+      | Nodes ns -> List.exists (fun n -> not (String.equal (N.string_value backend n) lit)) ns
+      | Str s -> not (String.equal s lit)
+      | Num n -> string_of_int n <> lit)
+    | Exists e -> (
+      match eval_expr backend ctx env e with
+      | Nodes ns -> ns <> []
+      | Str _ -> true
+      | Num n -> n <> 0)
+
+  (* the tuple stream: a list of environments *)
+  let apply_clause backend ctx streams clause =
+    match clause with
+    | For (name, src) ->
+      List.concat_map
+        (fun env ->
+          List.map (fun n -> (name, Single n) :: env) (source_nodes backend ctx env src))
+        streams
+    | Let (name, src) ->
+      List.map (fun env -> (name, Seq (source_nodes backend ctx env src)) :: env) streams
+    | Where conds ->
+      List.filter (fun env -> List.for_all (cond_holds backend ctx env) conds) streams
+    | Order_by e ->
+      List.stable_sort
+        (fun env1 env2 ->
+          String.compare
+            (item_string backend (eval_expr backend ctx env1 e))
+            (item_string backend (eval_expr backend ctx env2 e)))
+        streams
+
+  let eval backend ctx (q : query) =
+    match
+      let streams = List.fold_left (apply_clause backend ctx) [ [] ] q.clauses in
+      List.map (fun env -> eval_expr backend ctx env q.return) streams
+    with
+    | items -> Ok items
+    | exception Eval_err m -> Error m
+
+  let eval_string backend ctx text =
+    match parse text with Ok q -> eval backend ctx q | Error e -> Error e
+
+  let strings backend items = List.map (item_string backend) items
+end
+
+module Over_store = Make (Navigator.Xdm)
+module Over_storage = Make (Navigator.Storage)

@@ -1,0 +1,45 @@
+(** A miniature FLWOR query language — the §11 direction ("a simple
+    semantics of a data manipulation language like XQuery") on the
+    query side.  Everything evaluates through the §5 accessors via
+    {!Navigator.S}, so the same query text runs over the XDM store and
+    over the Sedna block storage.
+
+    Grammar:
+    {v
+    query   ::= clause+ 'return' expr
+    clause  ::= 'for' '$'name 'in' source
+              | 'let' '$'name ':=' source
+              | 'where' cond ('and' cond)*
+              | 'order' 'by' expr
+    source  ::= path | '$'name rel-path?
+    cond    ::= expr ('=' | '!=') literal
+              | expr                       (non-empty = true)
+    expr    ::= '$'name rel-path? | path | 'string(' expr ')' | 'count(' expr ')'
+    v}
+
+    [for] iterates a node sequence binding each node in turn; [let]
+    binds the whole sequence; [where] filters tuples; [order by] sorts
+    the tuple stream by the expression's string value; [return]
+    produces one result item per surviving tuple. *)
+
+type query
+
+val parse : string -> (query, string) result
+val parse_exn : string -> query
+
+(** Results are either nodes or computed strings/numbers. *)
+type 'node item = Nodes of 'node list | Str of string | Num of int
+
+module Make (N : Navigator.S) : sig
+  val eval : N.t -> N.node -> query -> (N.node item list, string) result
+  (** Evaluate with the given context node (absolute paths rebase on
+      its root). *)
+
+  val eval_string : N.t -> N.node -> string -> (N.node item list, string) result
+
+  val strings : N.t -> N.node item list -> string list
+  (** Flatten results to strings (string values for nodes). *)
+end
+
+module Over_store : module type of Make (Navigator.Xdm)
+module Over_storage : module type of Make (Navigator.Storage)

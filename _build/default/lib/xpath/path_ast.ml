@@ -1,0 +1,47 @@
+type axis = Xsm_xdm.Axis.t
+
+type node_test =
+  | Name_test of Xsm_xml.Name.t
+  | Wildcard
+  | Text_test
+  | Node_test
+
+type expr =
+  | Position of int
+  | Last
+  | Exists of path
+  | Equals of path * string
+
+and step = { axis : axis; test : node_test; predicates : expr list }
+
+and path = { absolute : bool; steps : (step * bool) list }
+
+let pp_test ppf = function
+  | Name_test n -> Xsm_xml.Name.pp ppf n
+  | Wildcard -> Format.pp_print_string ppf "*"
+  | Text_test -> Format.pp_print_string ppf "text()"
+  | Node_test -> Format.pp_print_string ppf "node()"
+
+let rec pp_expr ppf = function
+  | Position n -> Format.pp_print_int ppf n
+  | Last -> Format.pp_print_string ppf "last()"
+  | Exists p -> pp_path ppf p
+  | Equals (p, v) -> Format.fprintf ppf "%a=%S" pp_path p v
+
+and pp_step ppf (s : step) =
+  (match s.axis with
+  | Xsm_xdm.Axis.Child -> ()
+  | Xsm_xdm.Axis.Attribute -> Format.pp_print_char ppf '@'
+  | other -> Format.fprintf ppf "%s::" (Xsm_xdm.Axis.to_string other));
+  pp_test ppf s.test;
+  List.iter (fun e -> Format.fprintf ppf "[%a]" pp_expr e) s.predicates
+
+and pp_path ppf (p : path) =
+  List.iteri
+    (fun i (s, desc) ->
+      let sep = if desc then "//" else "/" in
+      if i > 0 || p.absolute then Format.pp_print_string ppf sep;
+      pp_step ppf s)
+    p.steps
+
+let to_string p = Format.asprintf "%a" pp_path p

@@ -1,0 +1,32 @@
+(** Abstract syntax of the XPath subset.
+
+    The engine exists to demonstrate the paper's claim that the node
+    accessors "provide primitive facilities for a query language"
+    (§1): every construct below evaluates using only the ten §5
+    accessors. *)
+
+type axis = Xsm_xdm.Axis.t
+
+type node_test =
+  | Name_test of Xsm_xml.Name.t
+  | Wildcard  (** [*] — any element *)
+  | Text_test  (** [text()] *)
+  | Node_test  (** [node()] *)
+
+type expr =
+  | Position of int  (** [[2]] or [[position()=2]] *)
+  | Last  (** [[last()]] *)
+  | Exists of path  (** [[author]] — a relative path matches *)
+  | Equals of path * string  (** [[author="Codd"]] *)
+
+and step = { axis : axis; test : node_test; predicates : expr list }
+
+and path = {
+  absolute : bool;  (** leading [/] — start from the document node *)
+  steps : (step * bool) list;
+      (** the flag is [true] when the step was preceded by [//]
+          (descendant-or-self shortcut) *)
+}
+
+val pp_path : Format.formatter -> path -> unit
+val to_string : path -> string

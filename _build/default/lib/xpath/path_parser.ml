@@ -1,0 +1,168 @@
+module Axis = Xsm_xdm.Axis
+module Name = Xsm_xml.Name
+open Path_ast
+
+exception Err of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Err s)) fmt
+
+type scan = { s : string; mutable i : int }
+
+let peek sc = if sc.i < String.length sc.s then Some sc.s.[sc.i] else None
+let looking_at sc str =
+  let n = String.length str in
+  sc.i + n <= String.length sc.s && String.sub sc.s sc.i n = str
+
+let eat sc str =
+  if looking_at sc str then begin
+    sc.i <- sc.i + String.length str;
+    true
+  end
+  else false
+
+let expect sc str = if not (eat sc str) then fail "expected %S at offset %d" str sc.i
+
+let is_ncname_char c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+  || c = '_' || c = '-' || c = '.'
+
+let scan_ncname sc =
+  let start = sc.i in
+  while (match peek sc with Some c -> is_ncname_char c | None -> false) do
+    sc.i <- sc.i + 1
+  done;
+  if sc.i = start then fail "expected a name at offset %d" start;
+  String.sub sc.s start (sc.i - start)
+
+(* a QName: ncname, optionally :ncname — but never the :: of an axis *)
+let scan_name sc =
+  let first = scan_ncname sc in
+  if peek sc = Some ':' && not (looking_at sc "::") then begin
+    sc.i <- sc.i + 1;
+    first ^ ":" ^ scan_ncname sc
+  end
+  else first
+
+let scan_int sc =
+  let start = sc.i in
+  while (match peek sc with Some c -> c >= '0' && c <= '9' | None -> false) do
+    sc.i <- sc.i + 1
+  done;
+  if sc.i = start then fail "expected a number at offset %d" start;
+  int_of_string (String.sub sc.s start (sc.i - start))
+
+let scan_literal sc =
+  match peek sc with
+  | Some (('"' | '\'') as q) ->
+    sc.i <- sc.i + 1;
+    let start = sc.i in
+    while (match peek sc with Some c -> c <> q | None -> false) do
+      sc.i <- sc.i + 1
+    done;
+    (match peek sc with
+    | Some _ ->
+      let v = String.sub sc.s start (sc.i - start) in
+      sc.i <- sc.i + 1;
+      v
+    | None -> fail "unterminated string literal")
+  | _ -> fail "expected a string literal at offset %d" sc.i
+
+let qname s =
+  match Name.of_string s with Ok n -> n | Error e -> fail "%s" e
+
+let rec parse_path sc ~absolute_allowed =
+  let absolute, first_desc =
+    if eat sc "//" then (true, true)
+    else if eat sc "/" then (true, false)
+    else (false, false)
+  in
+  if absolute && not absolute_allowed then fail "absolute path not allowed here";
+  let steps = ref [] in
+  let rec more desc =
+    let step = parse_step sc in
+    steps := (step, desc) :: !steps;
+    if eat sc "//" then more true else if eat sc "/" then more false
+  in
+  more first_desc;
+  { absolute; steps = List.rev !steps }
+
+and parse_step sc =
+  if eat sc ".." then { axis = Axis.Parent; test = Node_test; predicates = [] }
+  else if eat sc "." && not (looking_at sc ".") then
+    { axis = Axis.Self; test = Node_test; predicates = [] }
+  else begin
+    let axis, test =
+      if eat sc "@" then (Axis.Attribute, parse_test sc)
+      else begin
+        (* try axis:: prefix *)
+        let save = sc.i in
+        match
+          let name = scan_ncname sc in
+          if looking_at sc "::" then Some name else None
+        with
+        | Some axis_name -> (
+          expect sc "::";
+          match Axis.of_string axis_name with
+          | Some a -> (a, parse_test sc)
+          | None -> fail "unknown axis %s" axis_name)
+        | None ->
+          sc.i <- save;
+          (Axis.Child, parse_test sc)
+        | exception Err _ ->
+          sc.i <- save;
+          (Axis.Child, parse_test sc)
+      end
+    in
+    let predicates = parse_predicates sc in
+    { axis; test; predicates }
+  end
+
+and parse_test sc =
+  if eat sc "*" then Wildcard
+  else if looking_at sc "text()" then begin
+    sc.i <- sc.i + 6;
+    Text_test
+  end
+  else if looking_at sc "node()" then begin
+    sc.i <- sc.i + 6;
+    Node_test
+  end
+  else Name_test (qname (scan_name sc))
+
+and parse_predicates sc =
+  if eat sc "[" then begin
+    let e = parse_expr sc in
+    expect sc "]";
+    e :: parse_predicates sc
+  end
+  else []
+
+and parse_expr sc =
+  match peek sc with
+  | Some c when c >= '0' && c <= '9' -> Position (scan_int sc)
+  | _ ->
+    if looking_at sc "last()" then begin
+      sc.i <- sc.i + 6;
+      Last
+    end
+    else if looking_at sc "position()" then begin
+      sc.i <- sc.i + 10;
+      expect sc "=";
+      Position (scan_int sc)
+    end
+    else begin
+      let p = parse_path sc ~absolute_allowed:false in
+      if eat sc "=" then Equals (p, scan_literal sc) else Exists p
+    end
+
+let parse input =
+  let sc = { s = input; i = 0 } in
+  match parse_path sc ~absolute_allowed:true with
+  | p ->
+    if sc.i <> String.length input then
+      Error (Printf.sprintf "trailing characters at offset %d" sc.i)
+    else Ok p
+  | exception Err m -> Error m
+
+let parse_exn input =
+  match parse input with Ok p -> p | Error e -> invalid_arg e

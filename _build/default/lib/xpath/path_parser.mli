@@ -1,0 +1,16 @@
+(** Parser for the XPath subset.
+
+    Grammar:
+    {v
+    path  ::= ('/' | '//')? step (('/' | '//') step)*
+    step  ::= (axis '::')? test pred*  |  '@' name pred*  |  '..'  |  '.'
+    test  ::= qname | '*' | 'text()' | 'node()'
+    pred  ::= '[' int ']' | '[' 'last()' ']'
+            | '[' 'position()' '=' int ']'
+            | '[' path ']' | '[' path '=' literal ']'
+    v}
+    where [axis] is any axis name of [Xsm_xdm.Axis] and [literal] is a
+    single- or double-quoted string. *)
+
+val parse : string -> (Path_ast.path, string) result
+val parse_exn : string -> Path_ast.path

@@ -1,0 +1,63 @@
+module B = Xsm_storage.Block_storage
+module Schema = Xsm_storage.Descriptive_schema
+module Label = Xsm_numbering.Sedna_label
+open Path_ast
+
+let step_supported (s : step) =
+  s.predicates = []
+  && (match s.axis with Xsm_xdm.Axis.Child -> true | _ -> false)
+  && match s.test with Name_test _ | Wildcard | Text_test -> true | Node_test -> false
+
+let supported (p : path) = p.absolute && p.steps <> [] && List.for_all (fun (s, _) -> step_supported s) p.steps
+
+let test_matches_snode test sn =
+  match test, Schema.kind sn with
+  | Name_test n, (Schema.Element | Schema.Attribute) -> (
+    match Schema.name sn with Some m -> Xsm_xml.Name.equal m n | None -> false)
+  | Name_test _, (Schema.Document | Schema.Text) -> false
+  | Wildcard, Schema.Element -> true
+  | Wildcard, (Schema.Document | Schema.Attribute | Schema.Text) -> false
+  | Text_test, Schema.Text -> true
+  | Text_test, (Schema.Document | Schema.Element | Schema.Attribute) -> false
+  | Node_test, _ -> false
+
+let rec schema_descendants dschema sn =
+  sn :: List.concat_map (schema_descendants dschema) (Schema.children dschema sn)
+
+let matching_snodes t (p : path) =
+  if not (supported p) then
+    Error "schema-driven evaluation supports absolute predicate-free child//descendant name paths"
+  else begin
+    let dschema = B.schema t in
+    let step snodes ((s : step), desc_flag) =
+      let bases =
+        if desc_flag then
+          List.sort_uniq
+            (fun a b -> compare (Schema.snode_id a) (Schema.snode_id b))
+            (List.concat_map (schema_descendants dschema) snodes)
+        else snodes
+      in
+      List.sort_uniq
+        (fun a b -> compare (Schema.snode_id a) (Schema.snode_id b))
+        (List.concat_map
+           (fun sn ->
+             List.filter (test_matches_snode s.test) (Schema.children dschema sn))
+           bases)
+    in
+    Ok (List.fold_left step [ Schema.root dschema ] p.steps)
+  end
+
+let eval t p =
+  match matching_snodes t p with
+  | Error e -> Error e
+  | Ok snodes ->
+    (* each snode's block scan is already in document order; merge by nid *)
+    let per = List.map (B.descendants_by_snode t) snodes in
+    (match per with
+    | [ single ] -> Ok single
+    | lists ->
+      Ok
+        (List.sort (fun a b -> Label.compare (B.nid a) (B.nid b)) (List.concat lists)))
+
+let eval_string t text =
+  match Path_parser.parse text with Ok p -> eval t p | Error e -> Error e

@@ -1,0 +1,1 @@
+lib/xsd/reader.ml: Format List Option Printf String Xsm_datatypes Xsm_identity Xsm_schema Xsm_xml

@@ -1,0 +1,1 @@
+lib/xsd/reader.mli: Format Xsm_identity Xsm_schema Xsm_xml

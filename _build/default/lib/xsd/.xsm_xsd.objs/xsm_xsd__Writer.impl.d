@@ -1,0 +1,1 @@
+lib/xsd/writer.ml: Either List String Xsm_datatypes Xsm_schema Xsm_xml

@@ -1,0 +1,1 @@
+lib/xsd/writer.mli: Xsm_schema Xsm_xml

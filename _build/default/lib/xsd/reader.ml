@@ -1,0 +1,392 @@
+module Tree = Xsm_xml.Tree
+module Name = Xsm_xml.Name
+module Ast = Xsm_schema.Ast
+module Simple_type = Xsm_datatypes.Simple_type
+module Builtin = Xsm_datatypes.Builtin
+module Facet = Xsm_datatypes.Facet
+
+type error = { where : string; message : string }
+
+let pp_error ppf e = Format.fprintf ppf "%s: %s" e.where e.message
+let error_to_string e = Format.asprintf "%a" pp_error e
+
+exception Fail of error
+
+let fail where fmt = Printf.ksprintf (fun message -> raise (Fail { where; message })) fmt
+
+(* vocabulary test on the local name *)
+let is_xsd (e : Tree.element) local = String.equal e.name.Name.local local
+
+let attr e name = Tree.attribute_value e (Name.local name)
+let attr_default e name default = Option.value ~default (attr e name)
+
+let required_attr where e name =
+  match attr e name with
+  | Some v -> v
+  | None -> fail where "missing required attribute %S" name
+
+let parse_name where s =
+  match Name.of_string s with Ok n -> n | Error e -> fail where "%s" e
+
+let parse_occurs where e =
+  let min_occurs =
+    match attr e "minOccurs" with
+    | None -> 1
+    | Some s -> (
+      match int_of_string_opt s with
+      | Some n when n >= 0 -> n
+      | _ -> fail where "bad minOccurs %S" s)
+  in
+  let max_occurs =
+    match attr e "maxOccurs" with
+    | None -> Some 1
+    | Some "unbounded" -> None
+    | Some s -> (
+      match int_of_string_opt s with
+      | Some n when n >= 0 -> Some n
+      | _ -> fail where "bad maxOccurs %S" s)
+  in
+  { Ast.min_occurs; max_occurs }
+
+(* named simple types of the schema being read, for facet-value parsing *)
+type env = { mutable simple_types : (Name.t * Simple_type.t) list }
+
+let lookup_simple env name =
+  match List.find_opt (fun (n, _) -> Name.equal n name) env.simple_types with
+  | Some (_, st) -> Some st
+  | None -> (
+    match Builtin.of_name (Name.to_string name) with
+    | Some b when Builtin.is_simple b -> Some (Simple_type.builtin b)
+    | Some _ | None -> None)
+
+(* ------------------------------------------------------------------ *)
+(* simpleType                                                          *)
+
+let facet_of_element _env where ~base (e : Tree.element) =
+  let value () = required_attr where e "value" in
+  let int_value () =
+    match int_of_string_opt (value ()) with
+    | Some n -> n
+    | None -> fail where "facet %s needs an integer value" e.name.Name.local
+  in
+  let typed_value () =
+    match Simple_type.validate_atomic base (value ()) with
+    | Ok v -> v
+    | Error msg -> fail where "facet %s: %s" e.name.Name.local msg
+  in
+  match e.name.Name.local with
+  | "length" -> Some (Facet.Length (int_value ()))
+  | "minLength" -> Some (Facet.Min_length (int_value ()))
+  | "maxLength" -> Some (Facet.Max_length (int_value ()))
+  | "pattern" -> (
+    match Facet.pattern (value ()) with
+    | Ok f -> Some f
+    | Error msg -> fail where "pattern: %s" msg)
+  | "enumeration" -> Some (Facet.Enumeration [ typed_value () ])
+  | "whiteSpace" -> (
+    match value () with
+    | "preserve" -> Some (Facet.White_space Builtin.Preserve)
+    | "replace" -> Some (Facet.White_space Builtin.Replace)
+    | "collapse" -> Some (Facet.White_space Builtin.Collapse)
+    | other -> fail where "bad whiteSpace value %S" other)
+  | "maxInclusive" -> Some (Facet.Max_inclusive (typed_value ()))
+  | "maxExclusive" -> Some (Facet.Max_exclusive (typed_value ()))
+  | "minInclusive" -> Some (Facet.Min_inclusive (typed_value ()))
+  | "minExclusive" -> Some (Facet.Min_exclusive (typed_value ()))
+  | "totalDigits" -> Some (Facet.Total_digits (int_value ()))
+  | "fractionDigits" -> Some (Facet.Fraction_digits (int_value ()))
+  | "annotation" -> None
+  | other -> fail where "unknown facet element %s" other
+
+(* merge consecutive enumeration facets into one *)
+let merge_enumerations facets =
+  let enums, rest =
+    List.partition (function Facet.Enumeration _ -> true | _ -> false) facets
+  in
+  let values =
+    List.concat_map (function Facet.Enumeration vs -> vs | _ -> []) enums
+  in
+  if values = [] then rest else Facet.Enumeration values :: rest
+
+let rec simple_type_of_element env where ?name (e : Tree.element) =
+  let body = Tree.child_elements e in
+  match
+    List.find_opt (fun c -> is_xsd c "restriction" || is_xsd c "list" || is_xsd c "union") body
+  with
+  | None -> fail where "simpleType needs restriction, list or union"
+  | Some child when is_xsd child "restriction" ->
+    let base_name = parse_name where (required_attr where child "base") in
+    let base =
+      match lookup_simple env base_name with
+      | Some st -> st
+      | None -> (
+        (* allow inline simpleType as the base? the spec uses a child
+           simpleType element when base is absent *)
+        fail where "unknown restriction base %s" (Name.to_string base_name))
+    in
+    let facets =
+      List.filter_map (facet_of_element env where ~base) (Tree.child_elements child)
+    in
+    (match Simple_type.restrict ?name base (merge_enumerations facets) with
+    | Ok st -> st
+    | Error msg -> fail where "%s" msg)
+  | Some child when is_xsd child "list" -> (
+    let item =
+      match attr child "itemType" with
+      | Some s -> (
+        let n = parse_name where s in
+        match lookup_simple env n with
+        | Some st -> st
+        | None -> fail where "unknown list item type %s" s)
+      | None -> (
+        match List.find_opt (fun c -> is_xsd c "simpleType") (Tree.child_elements child) with
+        | Some inline -> simple_type_of_element env where inline
+        | None -> fail where "list needs itemType or an inline simpleType")
+    in
+    match Simple_type.list_of ?name item with
+    | Ok st -> st
+    | Error msg -> fail where "%s" msg)
+  | Some child -> (
+    (* union *)
+    let named_members =
+      match attr child "memberTypes" with
+      | None -> []
+      | Some s ->
+        List.filter_map
+          (fun tok ->
+            if tok = "" then None
+            else
+              let n = parse_name where tok in
+              match lookup_simple env n with
+              | Some st -> Some st
+              | None -> fail where "unknown union member type %s" tok)
+          (String.split_on_char ' ' s)
+    in
+    let inline_members =
+      List.filter_map
+        (fun c -> if is_xsd c "simpleType" then Some (simple_type_of_element env where c) else None)
+        (Tree.child_elements child)
+    in
+    match Simple_type.union_of ?name (named_members @ inline_members) with
+    | Ok st -> st
+    | Error msg -> fail where "%s" msg)
+
+(* ------------------------------------------------------------------ *)
+(* complexType / groups / elements                                     *)
+
+let rec complex_type_of_element env where (e : Tree.element) =
+  let mixed = attr_default e "mixed" "false" = "true" in
+  let body = Tree.child_elements e in
+  match List.find_opt (fun c -> is_xsd c "simpleContent") body with
+  | Some sc -> (
+    match List.find_opt (fun c -> is_xsd c "extension") (Tree.child_elements sc) with
+    | None -> fail where "simpleContent needs an extension child"
+    | Some ext ->
+      let base = parse_name where (required_attr where ext "base") in
+      let attributes = attributes_of env where (Tree.child_elements ext) in
+      Ast.Simple_content { base; attributes })
+  | None ->
+    let content =
+      List.find_map
+        (fun c ->
+          if is_xsd c "sequence" || is_xsd c "choice" || is_xsd c "all" then
+            Some (group_of_element env where c)
+          else None)
+        body
+    in
+    let attributes = attributes_of env where body in
+    Ast.Complex_content { mixed; content; attributes }
+
+and attributes_of env where body =
+  ignore env;
+  List.filter_map
+    (fun c ->
+      if is_xsd c "attribute" then begin
+        let name = parse_name where (required_attr where c "name") in
+        let ty = parse_name where (required_attr where c "type") in
+        let use =
+          match attr_default c "use" "optional" with
+          | "optional" -> Ast.Optional
+          | "required" -> Ast.Required
+          | "prohibited" -> Ast.Prohibited
+          | other -> fail where "bad use value %S" other
+        in
+        let default = attr c "default" in
+        if default <> None && use = Ast.Required then
+          fail where "attribute %s: default requires use=optional" (Name.to_string name);
+        Some { Ast.attr_name = name; attr_type = ty; attr_use = use; attr_default = default }
+      end
+      else None)
+    body
+
+and group_of_element env where (e : Tree.element) =
+  let combination =
+    if is_xsd e "sequence" then Ast.Sequence
+    else if is_xsd e "choice" then Ast.Choice
+    else if is_xsd e "all" then Ast.All
+    else fail where "expected sequence, choice or all, found %s" e.name.Name.local
+  in
+  let group_repetition = parse_occurs where e in
+  let particles =
+    List.filter_map
+      (fun c ->
+        if is_xsd c "element" then Some (Ast.Element_particle (element_of env where c))
+        else if is_xsd c "sequence" || is_xsd c "choice" then
+          Some (Ast.Group_particle (group_of_element env where c))
+        else if is_xsd c "annotation" then None
+        else fail where "unexpected %s inside a group" c.name.Name.local)
+      (Tree.child_elements e)
+  in
+  { Ast.particles; combination; group_repetition }
+
+and element_of env where (e : Tree.element) =
+  let name = parse_name where (required_attr where e "name") in
+  let where = where ^ "/" ^ Name.to_string name in
+  let repetition = parse_occurs where e in
+  let nillable = attr_default e "nillable" "false" = "true" in
+  let inline_complex =
+    List.find_opt (fun c -> is_xsd c "complexType") (Tree.child_elements e)
+  in
+  let inline_simple =
+    List.find_opt (fun c -> is_xsd c "simpleType") (Tree.child_elements e)
+  in
+  let elem_type =
+    match attr e "type", inline_complex, inline_simple with
+    | Some t, None, None -> Ast.Type_name (parse_name where t)
+    | None, Some ct, None -> Ast.Anonymous (complex_type_of_element env where ct)
+    | None, None, Some st -> Ast.Anonymous_simple (simple_type_of_element env where st)
+    | None, None, None ->
+      (* no type at all: xs:anyType per the spec; model as anyType name *)
+      Ast.Type_name (Name.make ~prefix:"xs" "anyType")
+    | _ -> fail where "element has both a type attribute and an inline type"
+  in
+  { Ast.elem_name = name; elem_type; repetition; nillable }
+
+(* ------------------------------------------------------------------ *)
+
+let schema_of_document (doc : Tree.t) =
+  match
+    let root = doc.Tree.root in
+    if not (is_xsd root "schema") then fail "/" "root element is not xsd:schema";
+    let env = { simple_types = [] } in
+    let body = Tree.child_elements root in
+    (* two passes over named simpleTypes: definitions may reference each
+       other; iterate until no progress *)
+    let named_simple =
+      List.filter (fun c -> is_xsd c "simpleType" && attr c "name" <> None) body
+    in
+    let pending = ref named_simple in
+    let progress = ref true in
+    while !pending <> [] && !progress do
+      progress := false;
+      pending :=
+        List.filter
+          (fun c ->
+            let n = parse_name "/simpleType" (required_attr "/simpleType" c "name") in
+            match simple_type_of_element env "/simpleType" ~name:(Name.to_string n) c with
+            | st ->
+              env.simple_types <- (n, st) :: env.simple_types;
+              progress := true;
+              false
+            | exception Fail _ -> true)
+          !pending
+    done;
+    (match !pending with
+    | [] -> ()
+    | c :: _ ->
+      (* re-raise the real error for the first unresolvable type *)
+      let n = required_attr "/simpleType" c "name" in
+      ignore (simple_type_of_element env ("/simpleType " ^ n) ~name:n c));
+    let complex_types =
+      List.filter_map
+        (fun c ->
+          if is_xsd c "complexType" then
+            match attr c "name" with
+            | Some n ->
+              let name = parse_name "/complexType" n in
+              Some (name, complex_type_of_element env ("/complexType " ^ n) c)
+            | None -> fail "/complexType" "top-level complexType needs a name"
+          else None)
+        body
+    in
+    let root_decl =
+      match List.find_opt (fun c -> is_xsd c "element") body with
+      | Some e -> element_of env "/element" e
+      | None -> fail "/" "schema has no global element declaration"
+    in
+    {
+      Ast.root = root_decl;
+      complex_types;
+      simple_types = List.rev env.simple_types;
+    }
+  with
+  | s -> Ok s
+  | exception Fail e -> Error e
+
+(* ------------------------------------------------------------------ *)
+(* Identity constraints                                                *)
+
+let constraint_of_element where ~context (e : Tree.element) =
+  let name = required_attr where e "name" in
+  let selector =
+    match List.find_opt (fun c -> is_xsd c "selector") (Tree.child_elements e) with
+    | Some s -> required_attr where s "xpath"
+    | None -> fail where "%s %s has no selector" e.name.Name.local name
+  in
+  let fields =
+    List.filter_map
+      (fun c -> if is_xsd c "field" then Some (required_attr where c "xpath") else None)
+      (Tree.child_elements e)
+  in
+  if fields = [] then fail where "%s %s has no fields" e.name.Name.local name;
+  let module C = Xsm_identity.Constraint_def in
+  match e.name.Name.local with
+  | "unique" -> C.unique ~name ~context:(Name.to_string context) ~selector fields
+  | "key" -> C.key ~name ~context:(Name.to_string context) ~selector fields
+  | "keyref" ->
+    let refer = required_attr where e "refer" in
+    (* strip an optional prefix on the referred name *)
+    let refer =
+      match String.index_opt refer ':' with
+      | Some i -> String.sub refer (i + 1) (String.length refer - i - 1)
+      | None -> refer
+    in
+    C.keyref ~name ~context:(Name.to_string context) ~refer ~selector fields
+  | other -> fail where "not an identity constraint: %s" other
+
+let constraints_of_document (doc : Tree.t) =
+  match
+    let acc = ref [] in
+    let rec walk (e : Tree.element) =
+      if is_xsd e "element" then begin
+        match attr e "name" with
+        | Some n ->
+          let context = parse_name "/element" n in
+          List.iter
+            (fun c ->
+              if is_xsd c "unique" || is_xsd c "key" || is_xsd c "keyref" then
+                acc :=
+                  constraint_of_element
+                    ("/element " ^ n)
+                    ~context c
+                  :: !acc)
+            (Tree.child_elements e)
+        | None -> ()
+      end;
+      List.iter walk (Tree.child_elements e)
+    in
+    walk doc.Tree.root;
+    List.rev !acc
+  with
+  | cs -> Ok cs
+  | exception Fail e -> Error e
+
+let constraints_of_string text =
+  match Xsm_xml.Parser.parse_document text with
+  | Error e -> Error { where = "/"; message = Xsm_xml.Parser.error_to_string e }
+  | Ok doc -> constraints_of_document doc
+
+let schema_of_string text =
+  match Xsm_xml.Parser.parse_document text with
+  | Error e -> Error { where = "/"; message = Xsm_xml.Parser.error_to_string e }
+  | Ok doc -> schema_of_document doc

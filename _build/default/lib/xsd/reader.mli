@@ -1,0 +1,33 @@
+(** Reader for the concrete XML Schema language: turns an
+    [<xsd:schema>] document (the notation of the paper's Examples
+    1–7) into the abstract syntax of [Xsm_schema.Ast].
+
+    Supported vocabulary — the same representative subset the paper
+    formalizes: [schema], [element] (with [name], [type], [minOccurs],
+    [maxOccurs], [nillable], inline [complexType]/[simpleType]),
+    [complexType] (with [name], [mixed]), [sequence], [choice] (with
+    occurrence bounds, nestable), [attribute], [simpleContent] with
+    [extension base] carrying attributes, and [simpleType] with
+    [restriction] (all Part-2 facets this library implements), [list]
+    and [union].
+
+    Namespace prefixes are not resolved: any element whose local name
+    matches the vocabulary is accepted (the paper's examples
+    consistently use the [xsd:] prefix). *)
+
+type error = { where : string; message : string }
+
+val pp_error : Format.formatter -> error -> unit
+val error_to_string : error -> string
+
+val schema_of_document : Xsm_xml.Tree.t -> (Xsm_schema.Ast.schema, error) result
+val schema_of_string : string -> (Xsm_schema.Ast.schema, error) result
+
+val constraints_of_document :
+  Xsm_xml.Tree.t -> (Xsm_identity.Constraint_def.def list, error) result
+(** The [xsd:unique]/[xsd:key]/[xsd:keyref] definitions of the schema
+    document ([xsd:selector]/[xsd:field] children), attached to the
+    name of the element declaration they appear under. *)
+
+val constraints_of_string :
+  string -> (Xsm_identity.Constraint_def.def list, error) result

@@ -1,0 +1,206 @@
+module Tree = Xsm_xml.Tree
+module Name = Xsm_xml.Name
+module Ast = Xsm_schema.Ast
+module Simple_type = Xsm_datatypes.Simple_type
+module Builtin = Xsm_datatypes.Builtin
+module Facet = Xsm_datatypes.Facet
+module Value = Xsm_datatypes.Value
+
+let xsd local = Name.make ~prefix:"xsd" local
+
+let xe ?(attrs = []) ?(children = []) local =
+  Tree.elem_n ~attrs ~children (xsd local)
+
+let name_attr n v = { Tree.name = Name.local n; value = v }
+
+let occurs_attrs (r : Ast.repetition) =
+  let min_a =
+    if r.min_occurs = 1 then [] else [ name_attr "minOccurs" (string_of_int r.min_occurs) ]
+  in
+  let max_a =
+    match r.max_occurs with
+    | Some 1 -> []
+    | Some m -> [ name_attr "maxOccurs" (string_of_int m) ]
+    | None -> [ name_attr "maxOccurs" "unbounded" ]
+  in
+  min_a @ max_a
+
+(* a printable type name: keep prefixes as written *)
+let type_name_string n = Name.to_string n
+
+let rec simple_type_element ?name (st : Simple_type.t) =
+  let name_attrs = match name with Some n -> [ name_attr "name" n ] | None -> [] in
+  match st with
+  | Simple_type.Builtin b ->
+    (* reference types don't need a definition element; wrap in a
+       trivial restriction so the writer can still emit one if asked *)
+    xe "simpleType" ~attrs:name_attrs
+      ~children:
+        [ Tree.element (xe "restriction" ~attrs:[ name_attr "base" ("xsd:" ^ Builtin.name b) ]) ]
+  | Simple_type.Restriction { base; facets; _ } ->
+    let base_ref =
+      match Simple_type.type_name base with
+      | Some n -> n
+      | None -> "xsd:anySimpleType"
+    in
+    let facet_children = List.concat_map facet_elements facets in
+    xe "simpleType" ~attrs:name_attrs
+      ~children:
+        [
+          Tree.element
+            (xe "restriction"
+               ~attrs:[ name_attr "base" (builtin_prefixed base_ref) ]
+               ~children:facet_children);
+        ]
+  | Simple_type.List { item; _ } -> (
+    match Simple_type.type_name item with
+    | Some n ->
+      xe "simpleType" ~attrs:name_attrs
+        ~children:[ Tree.element (xe "list" ~attrs:[ name_attr "itemType" (builtin_prefixed n) ]) ]
+    | None ->
+      xe "simpleType" ~attrs:name_attrs
+        ~children:
+          [ Tree.element (xe "list" ~children:[ Tree.element (simple_type_element item) ]) ])
+  | Simple_type.Union { members; _ } ->
+    let named, anonymous =
+      List.partition_map
+        (fun m ->
+          match Simple_type.type_name m with
+          | Some n -> Either.Left (builtin_prefixed n)
+          | None -> Either.Right m)
+        members
+    in
+    let attrs =
+      if named = [] then [] else [ name_attr "memberTypes" (String.concat " " named) ]
+    in
+    xe "simpleType" ~attrs:name_attrs
+      ~children:
+        [
+          Tree.element
+            (xe "union" ~attrs
+               ~children:(List.map (fun m -> Tree.element (simple_type_element m)) anonymous));
+        ]
+
+and builtin_prefixed n =
+  (* built-in names get the xsd: prefix when they arrive unprefixed *)
+  if String.contains n ':' then n
+  else
+    match Builtin.of_name n with Some _ -> "xsd:" ^ n | None -> n
+
+and facet_elements f =
+  let v name value = [ Tree.element (xe name ~attrs:[ name_attr "value" value ]) ] in
+  match f with
+  | Facet.Length n -> v "length" (string_of_int n)
+  | Facet.Min_length n -> v "minLength" (string_of_int n)
+  | Facet.Max_length n -> v "maxLength" (string_of_int n)
+  | Facet.Pattern r -> v "pattern" (Xsm_datatypes.Regex.source r)
+  | Facet.Enumeration values ->
+    List.concat_map (fun value -> v "enumeration" (Value.canonical_string value)) values
+  | Facet.White_space Builtin.Preserve -> v "whiteSpace" "preserve"
+  | Facet.White_space Builtin.Replace -> v "whiteSpace" "replace"
+  | Facet.White_space Builtin.Collapse -> v "whiteSpace" "collapse"
+  | Facet.Max_inclusive b -> v "maxInclusive" (Value.canonical_string b)
+  | Facet.Max_exclusive b -> v "maxExclusive" (Value.canonical_string b)
+  | Facet.Min_inclusive b -> v "minInclusive" (Value.canonical_string b)
+  | Facet.Min_exclusive b -> v "minExclusive" (Value.canonical_string b)
+  | Facet.Total_digits n -> v "totalDigits" (string_of_int n)
+  | Facet.Fraction_digits n -> v "fractionDigits" (string_of_int n)
+
+let rec element_decl_element (e : Ast.element_decl) =
+  let base_attrs = [ name_attr "name" (Name.to_string e.elem_name) ] in
+  let nil_attrs = if e.nillable then [ name_attr "nillable" "true" ] else [] in
+  match e.elem_type with
+  | Ast.Type_name n ->
+    xe "element"
+      ~attrs:(base_attrs @ [ name_attr "type" (type_name_string n) ] @ occurs_attrs e.repetition @ nil_attrs)
+  | Ast.Anonymous ct ->
+    xe "element"
+      ~attrs:(base_attrs @ occurs_attrs e.repetition @ nil_attrs)
+      ~children:[ Tree.element (complex_type_element ct) ]
+  | Ast.Anonymous_simple st ->
+    xe "element"
+      ~attrs:(base_attrs @ occurs_attrs e.repetition @ nil_attrs)
+      ~children:[ Tree.element (simple_type_element st) ]
+
+and group_element (g : Ast.group_def) =
+  let tag =
+    match g.combination with
+    | Ast.Sequence -> "sequence"
+    | Ast.Choice -> "choice"
+    | Ast.All -> "all"
+  in
+  xe tag
+    ~attrs:(occurs_attrs g.group_repetition)
+    ~children:
+      (List.map
+         (function
+           | Ast.Element_particle e -> Tree.element (element_decl_element e)
+           | Ast.Group_particle inner -> Tree.element (group_element inner))
+         g.particles)
+
+and attribute_element (a : Ast.attribute_decl) =
+  let use_attrs =
+    match a.attr_use with
+    | Ast.Required -> [ name_attr "use" "required" ]
+    | Ast.Optional -> []
+    | Ast.Prohibited -> [ name_attr "use" "prohibited" ]
+  in
+  let default_attrs =
+    match a.attr_default with Some d -> [ name_attr "default" d ] | None -> []
+  in
+  xe "attribute"
+    ~attrs:
+      ([
+         name_attr "name" (Name.to_string a.attr_name);
+         name_attr "type" (type_name_string a.attr_type);
+       ]
+      @ use_attrs @ default_attrs)
+
+and complex_type_element ?name (ct : Ast.complex_type) =
+  let name_attrs = match name with Some n -> [ name_attr "name" n ] | None -> [] in
+  match ct with
+  | Ast.Simple_content { base; attributes } ->
+    xe "complexType" ~attrs:name_attrs
+      ~children:
+        [
+          Tree.element
+            (xe "simpleContent"
+               ~children:
+                 [
+                   Tree.element
+                     (xe "extension"
+                        ~attrs:[ name_attr "base" (type_name_string base) ]
+                        ~children:(List.map (fun a -> Tree.element (attribute_element a)) attributes));
+                 ]);
+        ]
+  | Ast.Complex_content { mixed; content; attributes } ->
+    let mixed_attrs = if mixed then [ name_attr "mixed" "true" ] else [] in
+    let group_children =
+      match content with
+      | None -> []
+      | Some g when Ast.group_is_empty g -> []
+      | Some g -> [ Tree.element (group_element g) ]
+    in
+    xe "complexType"
+      ~attrs:(name_attrs @ mixed_attrs)
+      ~children:(group_children @ List.map (fun a -> Tree.element (attribute_element a)) attributes)
+
+let document_of_schema (s : Ast.schema) =
+  let simple_defs =
+    List.map
+      (fun (n, st) -> Tree.element (simple_type_element ~name:(Name.to_string n) st))
+      s.simple_types
+  in
+  let complex_defs =
+    List.map
+      (fun (n, ct) -> Tree.element (complex_type_element ~name:(Name.to_string n) ct))
+      s.complex_types
+  in
+  let root =
+    Tree.elem_n (xsd "schema")
+      ~attrs:[ { Tree.name = Name.make ~prefix:"xmlns" "xsd"; value = "http://www.w3.org/2001/XMLSchema" } ]
+      ~children:(simple_defs @ complex_defs @ [ Tree.element (element_decl_element s.root) ])
+  in
+  Tree.document root
+
+let to_string s = Xsm_xml.Printer.to_pretty_string (document_of_schema s)

@@ -1,0 +1,18 @@
+(* Regenerates the sample schema/document files shipped in samples/.
+   Run: dune exec samples/gen/generate_samples.exe -- samples/ *)
+
+let write dir name content =
+  let path = Filename.concat dir name in
+  let oc = open_out path in
+  output_string oc content;
+  close_out oc;
+  Printf.printf "wrote %s\n" path
+
+let () =
+  let dir = if Array.length Sys.argv > 1 then Sys.argv.(1) else "samples" in
+  write dir "bookstore.xsd" (Xsm_xsd.Writer.to_string Xsm_schema.Samples.example7_schema);
+  write dir "library.xsd" (Xsm_xsd.Writer.to_string Xsm_schema.Samples.library_schema);
+  write dir "bookstore.xml"
+    (Xsm_xml.Printer.to_pretty_string (Xsm_schema.Samples.bookstore_document ~books:4 ()));
+  write dir "library.xml"
+    (Xsm_xml.Printer.to_pretty_string Xsm_schema.Samples.example8_document)

@@ -1,0 +1,1 @@
+test/test_conformance.ml: Alcotest Builtin List Result Value Xsm_datatypes

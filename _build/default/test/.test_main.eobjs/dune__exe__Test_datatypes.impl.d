@@ -1,0 +1,1 @@
+test/test_datatypes.ml: Alcotest Builtin Calendar Decimal Facet Float List Regex Result Simple_type Value Xsm_datatypes Xsm_xml

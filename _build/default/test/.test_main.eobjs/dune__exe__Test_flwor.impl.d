@@ -1,0 +1,1 @@
+test/test_flwor.ml: Alcotest List Result Xsm_schema Xsm_storage Xsm_xdm Xsm_xpath

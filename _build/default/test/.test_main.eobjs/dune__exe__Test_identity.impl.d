@@ -1,0 +1,1 @@
+test/test_identity.ml: Alcotest Ast List Printf Result Samples String Validator Xsm_identity Xsm_schema Xsm_xdm Xsm_xml Xsm_xsd

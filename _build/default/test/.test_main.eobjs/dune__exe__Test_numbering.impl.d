@@ -1,0 +1,1 @@
+test/test_numbering.ml: Alcotest List Printf Result Xsm_numbering Xsm_schema Xsm_xdm Xsm_xml

@@ -1,0 +1,1 @@
+test/test_properties.ml: Float Fun List Printf QCheck QCheck_alcotest Result String Xsm_datatypes Xsm_numbering Xsm_schema Xsm_storage Xsm_xdm Xsm_xml

@@ -1,0 +1,1 @@
+test/test_schema.ml: Alcotest Ast Backtrack Canonical Content_automaton Format Generator List Printf Result Roundtrip Samples Schema_check String Validator Xsm_datatypes Xsm_schema Xsm_xdm Xsm_xml

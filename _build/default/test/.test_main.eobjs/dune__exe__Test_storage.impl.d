@@ -1,0 +1,1 @@
+test/test_storage.ml: Alcotest List Option Xsm_numbering Xsm_schema Xsm_storage Xsm_xdm Xsm_xml

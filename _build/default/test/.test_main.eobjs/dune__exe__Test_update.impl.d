@@ -1,0 +1,1 @@
+test/test_update.ml: Alcotest Ast List Result Samples String Update Validator Xsm_schema Xsm_xdm Xsm_xml

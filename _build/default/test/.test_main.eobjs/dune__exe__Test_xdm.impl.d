@@ -1,0 +1,1 @@
+test/test_xdm.ml: Alcotest List Option Xsm_datatypes Xsm_schema Xsm_xdm Xsm_xml

@@ -1,0 +1,1 @@
+test/test_xml.ml: Alcotest Buffer List Name Parser Printer Printf Result Tree Xsm_xml

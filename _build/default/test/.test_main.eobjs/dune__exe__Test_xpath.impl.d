@@ -1,0 +1,1 @@
+test/test_xpath.ml: Alcotest List Result Xsm_numbering Xsm_schema Xsm_storage Xsm_xdm Xsm_xml Xsm_xpath

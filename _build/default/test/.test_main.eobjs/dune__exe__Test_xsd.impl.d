@@ -1,0 +1,1 @@
+test/test_xsd.ml: Alcotest Ast Generator List Printf Result Samples Schema_check Validator Xsm_schema Xsm_xdm Xsm_xml Xsm_xsd

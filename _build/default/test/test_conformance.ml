@@ -1,0 +1,184 @@
+(* Table-driven conformance tests for the simple type system —
+   a miniature of the W3C datatype test suite (the corpus substitution
+   recorded in DESIGN.md).  Each row is (lexical, expected) for one
+   built-in type; expected is `V (accept) or `I (reject).  Where the
+   value space matters, [canon] rows also pin the canonical form. *)
+
+open Xsm_datatypes
+
+let check = Alcotest.(check bool)
+let check_str = Alcotest.(check string)
+
+type expectation = V | I
+
+let run_table name ty rows () =
+  List.iter
+    (fun (lexical, expected) ->
+      let actual = Result.is_ok (Builtin.validate ty lexical) in
+      let want = expected = V in
+      if actual <> want then
+        Alcotest.failf "%s: %S expected %s" name lexical (if want then "valid" else "invalid"))
+    rows
+
+let canon_table ty rows () =
+  List.iter
+    (fun (lexical, canonical) ->
+      match Builtin.validate_atomic ty lexical with
+      | Ok v -> check_str lexical canonical (Value.canonical_string v)
+      | Error e -> Alcotest.failf "%S should be valid: %s" lexical e)
+    rows
+
+let case name ty rows = Alcotest.test_case name `Quick (run_table name ty rows)
+
+let suite =
+  [
+    ( "conformance.primitive",
+      [
+        case "string" (Builtin.Primitive Builtin.P_string)
+          [ ("", V); ("any text", V); ("  spaces kept  ", V); ("\xF0\x9F\x90\xAB", V) ];
+        case "boolean" (Builtin.Primitive Builtin.P_boolean)
+          [
+            ("true", V); ("false", V); ("1", V); ("0", V); (" true ", V);
+            ("TRUE", I); ("T", I); ("yes", I); ("2", I); ("", I); ("true false", I);
+          ];
+        case "decimal" (Builtin.Primitive Builtin.P_decimal)
+          [
+            ("3.14", V); ("-3.14", V); ("+3.14", V); ("210", V); ("0", V);
+            (".5", V); ("5.", V); ("00010.0100", V);
+            ("123456789123456789123456789", V);
+            ("3,14", I); ("1e2", I); ("1E2", I); ("INF", I); ("NaN", I);
+            ("1.2.3", I); ("--1", I); ("+-1", I); ("", I); (".", I);
+          ];
+        case "float" (Builtin.Primitive Builtin.P_float)
+          [
+            ("1.5", V); ("-0", V); ("1e5", V); ("1E5", V); ("1.5e-10", V);
+            ("INF", V); ("-INF", V); ("NaN", V); (".5e2", V);
+            ("inf", I); ("nan", I); ("+INF", I); ("1e", I); ("e5", I); ("1.5E", I);
+          ];
+        case "double" (Builtin.Primitive Builtin.P_double)
+          [ ("2.718281828459045", V); ("-1E308", V); ("INF", V); ("0.1e1 0", I) ];
+        case "duration" (Builtin.Primitive Builtin.P_duration)
+          [
+            ("P1Y", V); ("P1M", V); ("P1D", V); ("PT1H", V); ("PT1M", V);
+            ("PT1.5S", V); ("P1Y2M3DT4H5M6.7S", V); ("-P1Y", V); ("PT0S", V);
+            ("P", I); ("PT", I); ("P1YT", I); ("P-1Y", I); ("P1.5Y", I);
+            ("P1H", I); ("PT1Y", I); ("1Y", I); ("P1M1Y", I); ("", I);
+          ];
+        case "dateTime" (Builtin.Primitive Builtin.P_date_time)
+          [
+            ("2004-04-12T13:20:00", V); ("2004-04-12T13:20:15.5", V);
+            ("2004-04-12T13:20:00-05:00", V); ("2004-04-12T13:20:00Z", V);
+            ("-0045-01-01T00:00:00", V); ("2004-02-29T00:00:00", V);
+            ("2100-02-29T00:00:00", I);  (* 2100 is not a leap year *)
+            ("2004-04-12T13:00", I); ("2004-04-12", I); ("04-12-2004T13:20:00", I);
+            ("2004-04-12T25:00:00", I); ("2004-13-01T00:00:00", I);
+            ("2004-04-31T00:00:00", I); ("0000-01-01T00:00:00", I);
+          ];
+        case "time" (Builtin.Primitive Builtin.P_time)
+          [
+            ("13:20:00", V); ("13:20:30.5555", V); ("13:20:00-05:00", V);
+            ("13:20:00Z", V); ("00:00:00", V); ("23:59:59.999", V);
+            ("5:20:00", I); ("13:20", I); ("13:65:00", I); ("24:01:00", I); ("", I);
+          ];
+        case "date" (Builtin.Primitive Builtin.P_date)
+          [
+            ("2004-04-12", V); ("-0045-01-01", V); ("12004-04-12", V);
+            ("2004-04-12-05:00", V); ("2004-04-12Z", V); ("2004-02-29", V);
+            ("99-04-12", I); ("2004-4-2", I); ("2004/04/02", I); ("04-12-2004", I);
+            ("2003-02-29", I);
+          ];
+        case "gYearMonth" (Builtin.Primitive Builtin.P_g_year_month)
+          [ ("2004-04", V); ("2004-04Z", V); ("-0045-01", V); ("2004", I); ("2004-13", I); ("04-2004", I) ];
+        case "gYear" (Builtin.Primitive Builtin.P_g_year)
+          [ ("2004", V); ("2004-05:00", V); ("12004", V); ("-0045", V); ("04", I); ("2004-04", I) ];
+        case "gMonthDay" (Builtin.Primitive Builtin.P_g_month_day)
+          [ ("--04-12", V); ("--04-30", V); ("--02-29", V); ("--04-31", I); ("04-12", I); ("--13-01", I) ];
+        case "gDay" (Builtin.Primitive Builtin.P_g_day)
+          [ ("---02", V); ("---31", V); ("---32", I); ("---00", I); ("--30-", I); ("02", I) ];
+        case "gMonth" (Builtin.Primitive Builtin.P_g_month)
+          [ ("--04", V); ("--12Z", V); ("--13", I); ("--00", I); ("04", I); ("--4", I) ];
+        case "hexBinary" (Builtin.Primitive Builtin.P_hex_binary)
+          [ ("0FB8", V); ("0fb8", V); ("", V); ("FB8", I); ("0G", I); ("0x0F", I) ];
+        case "base64Binary" (Builtin.Primitive Builtin.P_base64_binary)
+          [
+            ("0FB8", V); ("0fb8", V); ("", V); ("aGVsbG8=", V); ("AA==", V);
+            ("a GVs bG8=", V);  (* embedded single spaces are lexical *)
+            ("aGVsbG8", I); ("a===", I); ("=AAA", I); ("!", I);
+          ];
+        case "anyURI" (Builtin.Primitive Builtin.P_any_uri)
+          [ ("http://www.example.com", V); ("../rel", V); ("urn:a:b", V); ("#frag", V); ("", V) ];
+        case "QName" (Builtin.Primitive Builtin.P_qname)
+          [ ("pre:local", V); ("local", V); ("_a:b-c", V); (":x", I); ("x:", I); ("a:b:c", I); ("1a", I) ];
+      ] );
+    ( "conformance.derived",
+      [
+        case "normalizedString" Builtin.Normalized_string
+          [ ("no tabs", V); ("anything goes after replace", V) ];
+        case "token" Builtin.Token [ ("a b c", V); ("single", V) ];
+        case "language" Builtin.Language
+          [
+            ("en", V); ("en-US", V); ("zh-Hant", V); ("x-klingon", V); ("de-CH-1996", V);
+            ("waytoolongsubtag1", I); ("en_US", I); ("1en", I); ("", I); ("en-", I);
+          ];
+        case "NMTOKEN" Builtin.Nmtoken
+          [ ("Snoopy", V); ("CMS", V); ("1950-10-04", V); ("0836217462", V); ("brought classes", I); ("", I) ];
+        case "Name" Builtin.Name
+          [ ("Snoopy", V); ("_1950-10-04", V); ("pre:local", V); ("0836217462", I); ("-minus", I) ];
+        case "NCName" Builtin.Ncname
+          [ ("Snoopy", V); ("_under", V); ("pre:local", I); ("1a", I) ];
+        case "ID" Builtin.Id [ ("n1", V); ("a:b", I) ];
+        case "IDREF" Builtin.Idref [ ("n1", V); ("a b", I) ];
+        case "integer" Builtin.Integer
+          [
+            ("0", V); ("-1", V); ("+1", V); ("123456789012345678901234567890", V);
+            ("1.", I); ("1.0", I); ("1e2", I); ("", I); ("0.9", I);
+          ];
+        case "nonPositiveInteger" Builtin.Non_positive_integer
+          [ ("0", V); ("-0", V); ("-123", V); ("1", I) ];
+        case "negativeInteger" Builtin.Negative_integer [ ("-1", V); ("0", I); ("1", I) ];
+        case "long" Builtin.Long
+          [
+            ("9223372036854775807", V); ("-9223372036854775808", V);
+            ("9223372036854775808", I); ("-9223372036854775809", I);
+          ];
+        case "int" Builtin.Int
+          [ ("2147483647", V); ("-2147483648", V); ("2147483648", I); ("-2147483649", I) ];
+        case "short" Builtin.Short [ ("32767", V); ("-32768", V); ("32768", I) ];
+        case "byte" Builtin.Byte [ ("127", V); ("-128", V); ("128", I); ("-129", I) ];
+        case "nonNegativeInteger" Builtin.Non_negative_integer [ ("0", V); ("1", V); ("-1", I) ];
+        case "unsignedLong" Builtin.Unsigned_long
+          [ ("18446744073709551615", V); ("0", V); ("18446744073709551616", I); ("-1", I) ];
+        case "unsignedInt" Builtin.Unsigned_int [ ("4294967295", V); ("4294967296", I) ];
+        case "unsignedShort" Builtin.Unsigned_short [ ("65535", V); ("65536", I) ];
+        case "unsignedByte" Builtin.Unsigned_byte [ ("255", V); ("256", I) ];
+        case "positiveInteger" Builtin.Positive_integer [ ("1", V); ("0", I); ("-1", I) ];
+        case "NMTOKENS" Builtin.Nmtokens
+          [ ("a b c", V); ("  one  ", V); ("", I); ("  ", I) ];
+        case "IDREFS" Builtin.Idrefs [ ("r1 r2", V); ("", I) ];
+      ] );
+    ( "conformance.canonical",
+      [
+        Alcotest.test_case "decimal" `Quick
+          (canon_table (Builtin.Primitive Builtin.P_decimal)
+             [
+               ("+004.20", "4.2"); ("-0", "0"); ("0.000", "0"); (".5", "0.5");
+               ("100.", "100");
+             ]);
+        Alcotest.test_case "boolean" `Quick
+          (canon_table (Builtin.Primitive Builtin.P_boolean)
+             [ ("1", "true"); ("0", "false"); ("true", "true") ]);
+        Alcotest.test_case "dateTime keeps zone" `Quick
+          (canon_table (Builtin.Primitive Builtin.P_date_time)
+             [
+               ("2004-04-12T13:20:00Z", "2004-04-12T13:20:00Z");
+               ("2004-04-12T13:20:00+05:30", "2004-04-12T13:20:00+05:30");
+             ]);
+        Alcotest.test_case "duration folds" `Quick
+          (canon_table (Builtin.Primitive Builtin.P_duration)
+             [ ("PT36H", "P1DT12H"); ("P0Y", "PT0S"); ("PT90M", "PT1H30M") ]);
+        Alcotest.test_case "hexBinary uppercases" `Quick
+          (canon_table (Builtin.Primitive Builtin.P_hex_binary) [ ("0fb8", "0FB8") ]);
+        Alcotest.test_case "integer strips" `Quick
+          (canon_table Builtin.Integer [ ("+007", "7"); ("-0", "0") ]);
+      ] );
+  ]

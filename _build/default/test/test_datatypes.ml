@@ -1,0 +1,536 @@
+(* Tests for xsm_datatypes: decimals, calendar values, regex, builtins,
+   facets, user simple types. *)
+
+open Xsm_datatypes
+
+let check = Alcotest.(check bool)
+let check_str = Alcotest.(check string)
+let check_int = Alcotest.(check int)
+
+let dec s = Decimal.of_string_exn s
+
+(* ---------------- decimal ---------------- *)
+
+let test_decimal_parse_print () =
+  List.iter
+    (fun (input, canonical) -> check_str input canonical (Decimal.to_string (dec input)))
+    [
+      ("0", "0"); ("-0", "0"); ("+0", "0"); ("007", "7"); ("-007.200", "-7.2");
+      ("3.14159", "3.14159"); (".5", "0.5"); ("5.", "5"); ("-0.0", "0");
+      ("123456789012345678901234567890", "123456789012345678901234567890");
+      ("0.000000000000000000001", "0.000000000000000000001");
+    ]
+
+let test_decimal_invalid () =
+  List.iter
+    (fun s -> check ("reject " ^ s) true (Result.is_error (Decimal.of_string s)))
+    [ ""; "."; "-"; "+"; "1e5"; "1E5"; "1.2.3"; "abc"; "1 2"; "--1" ]
+
+let test_decimal_order () =
+  let pairs =
+    [
+      ("1", "2", -1); ("2", "1", 1); ("1", "1.0", 0); ("-1", "1", -1);
+      ("-2", "-1", -1); ("0.1", "0.09", 1); ("10", "9.999999", 1);
+      ("-0.5", "0", -1); ("123456789012345678", "123456789012345679", -1);
+    ]
+  in
+  List.iter
+    (fun (a, b, expected) ->
+      check_int (a ^ " vs " ^ b) expected (compare (Decimal.compare (dec a) (dec b)) 0))
+    pairs
+
+let test_decimal_arith () =
+  check_str "0.1+0.2" "0.3" (Decimal.to_string (Decimal.add (dec "0.1") (dec "0.2")));
+  check_str "1-1" "0" (Decimal.to_string (Decimal.sub (dec "1") (dec "1")));
+  check_str "big" "10000000000000000000"
+    (Decimal.to_string (Decimal.add (dec "9999999999999999999") (dec "1")));
+  check_str "neg" "-1.5" (Decimal.to_string (Decimal.add (dec "-2") (dec "0.5")));
+  check_str "cancel" "0.01" (Decimal.to_string (Decimal.sub (dec "1.00") (dec "0.99")))
+
+let test_decimal_digits () =
+  check_int "total 123.45" 5 (Decimal.total_digits (dec "123.45"));
+  check_int "fraction 123.45" 2 (Decimal.fraction_digits (dec "123.45"));
+  check_int "total 0" 1 (Decimal.total_digits (dec "0"));
+  check_int "trailing zeros" 3 (Decimal.total_digits (dec "1.230"));
+  check "integer" true (Decimal.is_integer (dec "42.0"));
+  check "not integer" false (Decimal.is_integer (dec "42.5"))
+
+let test_decimal_to_int () =
+  Alcotest.(check (option int)) "42" (Some 42) (Decimal.to_int (dec "42"));
+  Alcotest.(check (option int)) "-42" (Some (-42)) (Decimal.to_int (dec "-42"));
+  Alcotest.(check (option int)) "fraction" None (Decimal.to_int (dec "1.5"))
+
+(* ---------------- calendar ---------------- *)
+
+let dt s =
+  match Calendar.parse_date_time s with Ok d -> d | Error e -> Alcotest.fail e
+
+let test_datetime_roundtrip () =
+  List.iter
+    (fun s -> check_str s s (Calendar.print_date_time (dt s)))
+    [
+      "2004-10-28T09:00:00Z"; "1999-12-31T23:59:59"; "2005-01-01T00:00:00.5+02:00";
+      "-0044-03-15T12:00:00"; "2000-02-29T00:00:00-14:00";
+    ]
+
+let test_datetime_invalid () =
+  List.iter
+    (fun s -> check ("reject " ^ s) true (Result.is_error (Calendar.parse_date_time s)))
+    [
+      "2004-13-01T00:00:00"; "2004-02-30T00:00:00"; "2003-02-29T00:00:00";
+      "2004-01-01T24:01:00"; "2004-01-01T00:60:00"; "2004-01-01T00:00:60";
+      "2004-1-01T00:00:00"; "0000-01-01T00:00:00"; "2004-01-01"; "junk";
+      "2004-01-01T00:00:00+15:00";
+    ]
+
+let test_datetime_timezone_order () =
+  (* 12:00Z = 14:00+02:00; 12:00+00:00 < 12:00-01:00's instant? -01:00 means later *)
+  check_int "equal instants" 0
+    (Calendar.compare_date_time (dt "2004-07-01T12:00:00Z") (dt "2004-07-01T14:00:00+02:00"));
+  check "zone shifts" true
+    (Calendar.compare_date_time (dt "2004-07-01T12:00:00Z") (dt "2004-07-01T12:00:00-01:00") < 0)
+
+let test_leap_years () =
+  check "2000 leap" true (Calendar.is_leap_year 2000);
+  check "1900 not" false (Calendar.is_leap_year 1900);
+  check "2004 leap" true (Calendar.is_leap_year 2004);
+  check_int "feb 2004" 29 (Calendar.days_in_month ~year:2004 ~month:2);
+  check_int "feb 1900" 28 (Calendar.days_in_month ~year:1900 ~month:2)
+
+let test_partial_dates () =
+  let ok f p s = match f s with Ok v -> check_str s s (p v) | Error e -> Alcotest.fail e in
+  ok Calendar.parse_date Calendar.print_date "2004-10-28";
+  ok Calendar.parse_date Calendar.print_date "2004-10-28Z";
+  ok Calendar.parse_time Calendar.print_time "09:30:05.25";
+  ok Calendar.parse_g_year_month Calendar.print_g_year_month "2004-10";
+  ok Calendar.parse_g_year Calendar.print_g_year "2004";
+  ok Calendar.parse_g_month_day Calendar.print_g_month_day "--10-28";
+  ok Calendar.parse_g_day Calendar.print_g_day "---28";
+  ok Calendar.parse_g_month Calendar.print_g_month "--10"
+
+let dur s = match Calendar.parse_duration s with Ok d -> d | Error e -> Alcotest.fail e
+
+let test_duration_roundtrip () =
+  List.iter
+    (fun s -> check_str s s (Calendar.print_duration (dur s)))
+    [ "P1Y"; "P3M"; "P2D"; "PT4H"; "PT5M"; "PT6.7S"; "P1Y2M3DT4H5M6.7S"; "-P2DT1M"; "PT0S" ]
+
+let test_duration_fold () =
+  (* 36 hours folds to 1 day 12 hours *)
+  check_str "36h" "P1DT12H" (Calendar.print_duration (dur "PT36H"));
+  check_str "25m in secs" "PT25M" (Calendar.print_duration (dur "PT1500S"))
+
+let test_duration_invalid () =
+  List.iter
+    (fun s -> check ("reject " ^ s) true (Result.is_error (Calendar.parse_duration s)))
+    [ "P"; "PT"; "1Y"; "P1S"; "PT1D"; "P-1Y"; "P1.5Y"; ""; "P1M2Y" ]
+
+let test_duration_order () =
+  let cmp a b = Calendar.compare_duration (dur a) (dur b) in
+  Alcotest.(check (option int)) "1M vs 30D incomparable" None (cmp "P1M" "P30D");
+  Alcotest.(check (option int)) "1M > 27D" (Some 1) (cmp "P1M" "P27D");
+  Alcotest.(check (option int)) "1M < 32D" (Some (-1)) (cmp "P1M" "P32D");
+  Alcotest.(check (option int)) "1Y = 12M" (Some 0) (cmp "P1Y" "P12M");
+  Alcotest.(check (option int)) "24h = 1D" (Some 0) (cmp "PT24H" "P1D")
+
+let test_add_duration () =
+  let d = Calendar.add_duration (dt "2004-01-31T00:00:00Z") (dur "P1M") in
+  (* day clamps to February's 29 in 2004 *)
+  check_str "clamped" "2004-02-29T00:00:00Z" (Calendar.print_date_time d);
+  let d2 = Calendar.add_duration (dt "2004-12-31T23:00:00Z") (dur "PT2H") in
+  check_str "rollover" "2005-01-01T01:00:00Z" (Calendar.print_date_time d2)
+
+let test_add_negative_duration () =
+  (* subtracting a month from March 31 clamps to February's length *)
+  let d = Calendar.add_duration (dt "2004-03-31T12:00:00Z") (dur "-P1M") in
+  check_str "clamped back" "2004-02-29T12:00:00Z" (Calendar.print_date_time d);
+  let d2 = Calendar.add_duration (dt "2005-03-31T12:00:00Z") (dur "-P1M") in
+  check_str "clamped back non-leap" "2005-02-28T12:00:00Z" (Calendar.print_date_time d2);
+  (* subtracting seconds across a year boundary *)
+  let d3 = Calendar.add_duration (dt "2005-01-01T00:00:30Z") (dur "-PT1M") in
+  check_str "year rollback" "2004-12-31T23:59:30Z" (Calendar.print_date_time d3)
+
+let test_timezone_extremes () =
+  check "+14:00 accepted" true (Result.is_ok (Calendar.parse_date_time "2004-01-01T00:00:00+14:00"));
+  check "-14:00 accepted" true (Result.is_ok (Calendar.parse_date_time "2004-01-01T00:00:00-14:00"));
+  check "+14:01 rejected" true (Result.is_error (Calendar.parse_date_time "2004-01-01T00:00:00+14:01"));
+  (* the two extremes are 28h apart *)
+  check "28h apart" true
+    (Calendar.compare_date_time (dt "2004-01-01T00:00:00+14:00") (dt "2004-01-01T00:00:00-14:00") < 0)
+
+(* ---------------- regex ---------------- *)
+
+let re s = match Regex.compile s with Ok r -> r | Error e -> Alcotest.fail e
+
+let test_regex_basics () =
+  let r = re "a*b" in
+  check "ab" true (Regex.matches r "aaab");
+  check "b" true (Regex.matches r "b");
+  check "empty" false (Regex.matches r "");
+  check "anchored" false (Regex.matches r "xb")
+
+let test_regex_classes () =
+  check "digit" true (Regex.matches (re "\\d{4}") "2004");
+  check "not digit" false (Regex.matches (re "\\d{4}") "20x4");
+  check "class range" true (Regex.matches (re "[A-Fa-f0-9]+") "DeadBeef");
+  check "negated" true (Regex.matches (re "[^;]+") "no semicolons");
+  check "negated hit" false (Regex.matches (re "[^;]+") "a;b");
+  check "subtraction" true (Regex.matches (re "[a-z-[aeiou]]+") "xyz");
+  check "subtraction hit" false (Regex.matches (re "[a-z-[aeiou]]+") "xyza")
+
+let test_regex_quantifiers () =
+  let r = re "(ab){2,3}" in
+  check "2" true (Regex.matches r "abab");
+  check "3" true (Regex.matches r "ababab");
+  check "1" false (Regex.matches r "ab");
+  check "4" false (Regex.matches r "abababab");
+  check "n only" true (Regex.matches (re "x{3}") "xxx");
+  check "open" true (Regex.matches (re "x{2,}") "xxxxxx")
+
+let test_regex_alternation_nesting () =
+  let r = re "((red|green)|blue)( (red|green|blue))*" in
+  check "one" true (Regex.matches r "red");
+  check "many" true (Regex.matches r "blue green red");
+  check "bad sep" false (Regex.matches r "blue,green")
+
+let test_regex_escapes () =
+  check "dot escaped" true (Regex.matches (re "1\\.5") "1.5");
+  check "dot escaped neg" false (Regex.matches (re "1\\.5") "1x5");
+  check "wildcard" true (Regex.matches (re "1.5") "1x5");
+  check "name chars" true (Regex.matches (re "\\i\\c*") "simpleName");
+  check "whitespace" true (Regex.matches (re "a\\sb") "a b")
+
+let test_regex_categories () =
+  check "\\p{L}" true (Regex.matches (re "\\p{L}+") "Letters");
+  check "\\p{L} neg" false (Regex.matches (re "\\p{L}+") "abc1");
+  check "\\p{Lu}" true (Regex.matches (re "\\p{Lu}\\p{Ll}+") "Word");
+  check "\\p{Nd}" true (Regex.matches (re "\\p{Nd}{3}") "123");
+  check "\\P{Nd}" true (Regex.matches (re "\\P{Nd}+") "abc!");
+  check "\\P{Nd} neg" false (Regex.matches (re "\\P{Nd}+") "ab1");
+  check "in class" true (Regex.matches (re "[\\p{Lu}0-9]+") "A1B2");
+  check "unknown category" true (Result.is_error (Regex.compile "\\p{Xx}"));
+  check "unterminated" true (Result.is_error (Regex.compile "\\p{L"))
+
+let test_regex_errors () =
+  List.iter
+    (fun s -> check ("reject " ^ s) true (Result.is_error (Regex.compile s)))
+    [ "("; "a{2,1}"; "a{99999}"; "[z-a]"; "[abc"; "*a"; "\\q" ]
+
+(* ---------------- builtins ---------------- *)
+
+let v_ok b s =
+  match Builtin.validate b s with
+  | Ok vs -> vs
+  | Error e -> Alcotest.failf "%s on %S: %s" (Builtin.name b) s e
+
+let v_err b s =
+  match Builtin.validate b s with
+  | Ok _ -> Alcotest.failf "%s unexpectedly accepted %S" (Builtin.name b) s
+  | Error _ -> ()
+
+let test_builtin_lookup () =
+  check "string" true (Builtin.of_name "string" = Some (Builtin.Primitive Builtin.P_string));
+  check "xs:int" true (Builtin.of_name "xs:int" = Some Builtin.Int);
+  check "xsd:ID" true (Builtin.of_name "xsd:ID" = Some Builtin.Id);
+  check "xdt:untypedAtomic" true (Builtin.of_name "xdt:untypedAtomic" = Some Builtin.Untyped_atomic);
+  check "unknown" true (Builtin.of_name "noSuchType" = None);
+  check "bad prefix" true (Builtin.of_name "foo:string" = None)
+
+let test_builtin_hierarchy () =
+  let d = Builtin.derives_from in
+  check "byte<short" true (d Builtin.Byte Builtin.Short);
+  check "byte<decimal" true (d Builtin.Byte (Builtin.Primitive Builtin.P_decimal));
+  check "byte<anyType" true (d Builtin.Byte Builtin.Any_type);
+  check "ID<NCName<Name<token<string" true (d Builtin.Id (Builtin.Primitive Builtin.P_string));
+  check "not sideways" false (d Builtin.Byte Builtin.Unsigned_byte);
+  check "every builtin under anyType" true
+    (List.for_all (fun t -> d t Builtin.Any_type) Builtin.all)
+
+let test_builtin_whitespace () =
+  check_str "string preserves" " a  b " (Builtin.normalize_whitespace (Builtin.whitespace (Builtin.Primitive Builtin.P_string)) " a  b ");
+  check_str "normalizedString replaces" " a  b "
+    (Builtin.normalize_whitespace (Builtin.whitespace Builtin.Normalized_string) "\ta \nb ");
+  check_str "token collapses" "a b"
+    (Builtin.normalize_whitespace (Builtin.whitespace Builtin.Token) "  a \n b\t")
+
+let test_builtin_boolean () =
+  check "true" true (v_ok (Builtin.Primitive Builtin.P_boolean) " true " = [ Value.Boolean true ]);
+  check "1" true (v_ok (Builtin.Primitive Builtin.P_boolean) "1" = [ Value.Boolean true ]);
+  check "0" true (v_ok (Builtin.Primitive Builtin.P_boolean) "0" = [ Value.Boolean false ]);
+  v_err (Builtin.Primitive Builtin.P_boolean) "TRUE";
+  v_err (Builtin.Primitive Builtin.P_boolean) "yes"
+
+let test_builtin_integers () =
+  ignore (v_ok Builtin.Byte "-128");
+  v_err Builtin.Byte "-129";
+  ignore (v_ok Builtin.Unsigned_byte "255");
+  v_err Builtin.Unsigned_byte "256";
+  v_err Builtin.Unsigned_byte "-1";
+  ignore (v_ok Builtin.Long "9223372036854775807");
+  v_err Builtin.Long "9223372036854775808";
+  ignore (v_ok Builtin.Unsigned_long "18446744073709551615");
+  v_err Builtin.Unsigned_long "18446744073709551616";
+  v_err Builtin.Integer "1.0";
+  ignore (v_ok Builtin.Non_positive_integer "0");
+  v_err Builtin.Negative_integer "0";
+  ignore (v_ok Builtin.Positive_integer "1");
+  v_err Builtin.Positive_integer "0"
+
+let test_builtin_floats () =
+  check "INF" true (v_ok (Builtin.Primitive Builtin.P_double) "INF" = [ Value.Double Float.infinity ]);
+  check "-INF" true
+    (v_ok (Builtin.Primitive Builtin.P_float) "-INF" = [ Value.Float Float.neg_infinity ]);
+  (match v_ok (Builtin.Primitive Builtin.P_double) "NaN" with
+  | [ Value.Double f ] -> check "NaN" true (Float.is_nan f)
+  | _ -> Alcotest.fail "NaN");
+  ignore (v_ok (Builtin.Primitive Builtin.P_double) "-1.5E2");
+  ignore (v_ok (Builtin.Primitive Builtin.P_double) "12e3");
+  ignore (v_ok (Builtin.Primitive Builtin.P_double) ".5");
+  v_err (Builtin.Primitive Builtin.P_double) "1.5E";
+  v_err (Builtin.Primitive Builtin.P_double) "inf";
+  (* float is rounded to single precision *)
+  match v_ok (Builtin.Primitive Builtin.P_float) "0.1" with
+  | [ Value.Float f ] -> check "single rounding" true (f <> 0.1)
+  | _ -> Alcotest.fail "float"
+
+let test_builtin_binary () =
+  check "hex" true (v_ok (Builtin.Primitive Builtin.P_hex_binary) "DEADbeef" = [ Value.Hex_binary "\xDE\xAD\xBE\xEF" ]);
+  v_err (Builtin.Primitive Builtin.P_hex_binary) "ABC";
+  v_err (Builtin.Primitive Builtin.P_hex_binary) "GG";
+  check "b64" true (v_ok (Builtin.Primitive Builtin.P_base64_binary) "aGVsbG8=" = [ Value.Base64_binary "hello" ]);
+  check "b64 empty" true (v_ok (Builtin.Primitive Builtin.P_base64_binary) "" = [ Value.Base64_binary "" ]);
+  v_err (Builtin.Primitive Builtin.P_base64_binary) "a===";
+  v_err (Builtin.Primitive Builtin.P_base64_binary) "a"
+
+let test_builtin_string_family () =
+  ignore (v_ok Builtin.Language "en-US");
+  v_err Builtin.Language "waytoolonglanguagesubtag";
+  ignore (v_ok Builtin.Nmtoken "a:b-c.d");
+  v_err Builtin.Nmtoken "a b";
+  ignore (v_ok Builtin.Ncname "local-name");
+  v_err Builtin.Ncname "pre:fix";
+  ignore (v_ok Builtin.Name "pre:fix")
+
+let test_builtin_lists () =
+  check_int "3 nmtokens" 3 (List.length (v_ok Builtin.Nmtokens " a b  c "));
+  v_err Builtin.Nmtokens "   ";
+  check_int "idrefs" 2 (List.length (v_ok Builtin.Idrefs "r1 r2"))
+
+let test_canonical_values () =
+  let canon b s =
+    match Builtin.validate_atomic b s with
+    | Ok v -> Value.canonical_string v
+    | Error e -> Alcotest.fail e
+  in
+  check_str "decimal canonical" "4.2" (canon (Builtin.Primitive Builtin.P_decimal) "+04.20");
+  check_str "bool canonical" "true" (canon (Builtin.Primitive Builtin.P_boolean) "1");
+  check_str "hex canonical" "0AFF" (canon (Builtin.Primitive Builtin.P_hex_binary) "0aff");
+  check_str "b64 canonical" "aGVsbG8=" (canon (Builtin.Primitive Builtin.P_base64_binary) "aGVs bG8=")
+
+(* ---------------- values ---------------- *)
+
+let test_value_equal_promotion () =
+  check "decimal = double" true (Value.equal (Value.Decimal (dec "1.5")) (Value.Double 1.5));
+  check "decimal <> string" false (Value.equal (Value.Decimal (dec "1")) (Value.String "1"));
+  check "string eq" true (Value.equal (Value.String "x") (Value.String "x"))
+
+let test_value_compare () =
+  Alcotest.(check (option int)) "numeric" (Some (-1))
+    (Value.compare (Value.Decimal (dec "1")) (Value.Double 2.0));
+  Alcotest.(check (option int)) "qname incomparable" None
+    (Value.compare (Value.Qname (Xsm_xml.Name.local "a")) (Value.Qname (Xsm_xml.Name.local "b")))
+
+(* ---------------- facets & simple types ---------------- *)
+
+let restrict_exn ?name base facets =
+  match Simple_type.restrict ?name base facets with
+  | Ok t -> t
+  | Error e -> Alcotest.fail e
+
+let test_facet_bounds () =
+  let t =
+    restrict_exn Simple_type.integer
+      [ Facet.Min_inclusive (Value.Decimal (dec "1")); Facet.Max_inclusive (Value.Decimal (dec "5")) ]
+  in
+  check "3 ok" true (Simple_type.is_valid t "3");
+  check "1 ok" true (Simple_type.is_valid t "1");
+  check "5 ok" true (Simple_type.is_valid t "5");
+  check "0 bad" false (Simple_type.is_valid t "0");
+  check "6 bad" false (Simple_type.is_valid t "6")
+
+let test_facet_exclusive_bounds () =
+  let t =
+    restrict_exn Simple_type.decimal
+      [ Facet.Min_exclusive (Value.Decimal (dec "0")); Facet.Max_exclusive (Value.Decimal (dec "1")) ]
+  in
+  check "0.5" true (Simple_type.is_valid t "0.5");
+  check "0" false (Simple_type.is_valid t "0");
+  check "1" false (Simple_type.is_valid t "1")
+
+let test_facet_lengths () =
+  let t = restrict_exn Simple_type.string_type [ Facet.Min_length 2; Facet.Max_length 4 ] in
+  check "ab" true (Simple_type.is_valid t "ab");
+  check "abcd" true (Simple_type.is_valid t "abcd");
+  check "a" false (Simple_type.is_valid t "a");
+  check "abcde" false (Simple_type.is_valid t "abcde");
+  let fixed = restrict_exn Simple_type.string_type [ Facet.Length 3 ] in
+  check "exact" true (Simple_type.is_valid fixed "abc");
+  check "not exact" false (Simple_type.is_valid fixed "ab")
+
+let test_facet_length_is_utf8_aware () =
+  let t = restrict_exn Simple_type.string_type [ Facet.Length 2 ] in
+  (* two 2-byte characters *)
+  check "utf8 chars" true (Simple_type.is_valid t "\xC3\xA9\xC3\xA8")
+
+let test_facet_binary_length () =
+  let hex = Simple_type.builtin (Builtin.Primitive Builtin.P_hex_binary) in
+  let t = restrict_exn hex [ Facet.Length 2 ] in
+  check "2 octets" true (Simple_type.is_valid t "DEAD");
+  check "3 octets" false (Simple_type.is_valid t "DEADBE")
+
+let test_facet_pattern () =
+  let p = match Facet.pattern "[A-Z]{2}\\d{3}" with Ok f -> f | Error e -> Alcotest.fail e in
+  let t = restrict_exn Simple_type.string_type [ p ] in
+  check "AB123" true (Simple_type.is_valid t "AB123");
+  check "ab123" false (Simple_type.is_valid t "ab123")
+
+let test_facet_enumeration () =
+  let t =
+    restrict_exn Simple_type.string_type
+      [ Facet.Enumeration [ Value.String "red"; Value.String "green"; Value.String "blue" ] ]
+  in
+  check "red" true (Simple_type.is_valid t "red");
+  check "mauve" false (Simple_type.is_valid t "mauve")
+
+let test_facet_digits () =
+  let t = restrict_exn Simple_type.decimal [ Facet.Total_digits 4; Facet.Fraction_digits 2 ] in
+  check "12.34" true (Simple_type.is_valid t "12.34");
+  check "123.45" false (Simple_type.is_valid t "123.45");
+  check "1.234" false (Simple_type.is_valid t "1.234")
+
+let test_facet_applicability () =
+  check "digits on string rejected" true
+    (Result.is_error (Simple_type.restrict Simple_type.string_type [ Facet.Total_digits 3 ]))
+
+let test_derivation_chain () =
+  (* a chain: integer -> 1..100 -> even "pattern" *)
+  let mid =
+    restrict_exn ~name:"Percent" Simple_type.integer
+      [ Facet.Min_inclusive (Value.Decimal (dec "0")); Facet.Max_inclusive (Value.Decimal (dec "100")) ]
+  in
+  let p = match Facet.pattern "\\d*[02468]" with Ok f -> f | Error e -> Alcotest.fail e in
+  let top = restrict_exn mid [ p ] in
+  check "42" true (Simple_type.is_valid top "42");
+  check "43 odd" false (Simple_type.is_valid top "43");
+  check "102 out of range" false (Simple_type.is_valid top "102");
+  check "derives_from mid" true (Simple_type.derives_from top mid);
+  check "derives_from integer" true (Simple_type.derives_from top Simple_type.integer);
+  check "derives_from anySimpleType" true
+    (Simple_type.derives_from top (Simple_type.builtin Builtin.Any_simple_type))
+
+let test_list_type () =
+  let t = match Simple_type.list_of Simple_type.integer with Ok t -> t | Error e -> Alcotest.fail e in
+  (match Simple_type.validate t " 1  2 3 " with
+  | Ok vs -> check_int "3 items" 3 (List.length vs)
+  | Error e -> Alcotest.fail e);
+  check "bad item" false (Simple_type.is_valid t "1 x 3");
+  check "empty ok" true (Simple_type.is_valid t "");
+  (* a length facet on the list counts items *)
+  let bounded = restrict_exn t [ Facet.Length 2 ] in
+  check "2 items" true (Simple_type.is_valid bounded "1 2");
+  check "3 items" false (Simple_type.is_valid bounded "1 2 3");
+  check "no list of lists" true (Result.is_error (Simple_type.list_of t))
+
+let test_union_type () =
+  let t =
+    match Simple_type.union_of [ Simple_type.integer; Simple_type.boolean ] with
+    | Ok t -> t
+    | Error e -> Alcotest.fail e
+  in
+  (match Simple_type.validate_atomic t "42" with
+  | Ok (Value.Decimal _) -> ()
+  | Ok v -> Alcotest.failf "expected decimal, got %s" (Value.kind_name v)
+  | Error e -> Alcotest.fail e);
+  (match Simple_type.validate_atomic t "true" with
+  | Ok (Value.Boolean true) -> ()
+  | _ -> Alcotest.fail "expected boolean");
+  check "neither" false (Simple_type.is_valid t "maybe");
+  check "empty union rejected" true (Result.is_error (Simple_type.union_of []))
+
+let test_whitespace_facet () =
+  let t = restrict_exn Simple_type.string_type [ Facet.White_space Builtin.Collapse ] in
+  match Simple_type.validate_atomic t "  a   b  " with
+  | Ok (Value.String s) -> check_str "collapsed" "a b" s
+  | _ -> Alcotest.fail "expected a string"
+
+let suite =
+  [
+    ( "datatypes.decimal",
+      [
+        Alcotest.test_case "parse/print" `Quick test_decimal_parse_print;
+        Alcotest.test_case "invalid" `Quick test_decimal_invalid;
+        Alcotest.test_case "order" `Quick test_decimal_order;
+        Alcotest.test_case "arithmetic" `Quick test_decimal_arith;
+        Alcotest.test_case "digits" `Quick test_decimal_digits;
+        Alcotest.test_case "to_int" `Quick test_decimal_to_int;
+      ] );
+    ( "datatypes.calendar",
+      [
+        Alcotest.test_case "dateTime roundtrip" `Quick test_datetime_roundtrip;
+        Alcotest.test_case "dateTime invalid" `Quick test_datetime_invalid;
+        Alcotest.test_case "timezone order" `Quick test_datetime_timezone_order;
+        Alcotest.test_case "leap years" `Quick test_leap_years;
+        Alcotest.test_case "partial dates" `Quick test_partial_dates;
+        Alcotest.test_case "duration roundtrip" `Quick test_duration_roundtrip;
+        Alcotest.test_case "duration folding" `Quick test_duration_fold;
+        Alcotest.test_case "duration invalid" `Quick test_duration_invalid;
+        Alcotest.test_case "duration order" `Quick test_duration_order;
+        Alcotest.test_case "add duration" `Quick test_add_duration;
+        Alcotest.test_case "negative duration" `Quick test_add_negative_duration;
+        Alcotest.test_case "timezone extremes" `Quick test_timezone_extremes;
+      ] );
+    ( "datatypes.regex",
+      [
+        Alcotest.test_case "basics" `Quick test_regex_basics;
+        Alcotest.test_case "classes" `Quick test_regex_classes;
+        Alcotest.test_case "quantifiers" `Quick test_regex_quantifiers;
+        Alcotest.test_case "alternation" `Quick test_regex_alternation_nesting;
+        Alcotest.test_case "escapes" `Quick test_regex_escapes;
+        Alcotest.test_case "categories" `Quick test_regex_categories;
+        Alcotest.test_case "errors" `Quick test_regex_errors;
+      ] );
+    ( "datatypes.builtin",
+      [
+        Alcotest.test_case "lookup" `Quick test_builtin_lookup;
+        Alcotest.test_case "hierarchy" `Quick test_builtin_hierarchy;
+        Alcotest.test_case "whitespace" `Quick test_builtin_whitespace;
+        Alcotest.test_case "boolean" `Quick test_builtin_boolean;
+        Alcotest.test_case "integers" `Quick test_builtin_integers;
+        Alcotest.test_case "floats" `Quick test_builtin_floats;
+        Alcotest.test_case "binary" `Quick test_builtin_binary;
+        Alcotest.test_case "string family" `Quick test_builtin_string_family;
+        Alcotest.test_case "lists" `Quick test_builtin_lists;
+        Alcotest.test_case "canonical" `Quick test_canonical_values;
+      ] );
+    ( "datatypes.value",
+      [
+        Alcotest.test_case "equality promotion" `Quick test_value_equal_promotion;
+        Alcotest.test_case "comparison" `Quick test_value_compare;
+      ] );
+    ( "datatypes.simple-type",
+      [
+        Alcotest.test_case "bounds" `Quick test_facet_bounds;
+        Alcotest.test_case "exclusive bounds" `Quick test_facet_exclusive_bounds;
+        Alcotest.test_case "lengths" `Quick test_facet_lengths;
+        Alcotest.test_case "utf8 length" `Quick test_facet_length_is_utf8_aware;
+        Alcotest.test_case "binary length" `Quick test_facet_binary_length;
+        Alcotest.test_case "pattern" `Quick test_facet_pattern;
+        Alcotest.test_case "enumeration" `Quick test_facet_enumeration;
+        Alcotest.test_case "digits" `Quick test_facet_digits;
+        Alcotest.test_case "applicability" `Quick test_facet_applicability;
+        Alcotest.test_case "derivation chain" `Quick test_derivation_chain;
+        Alcotest.test_case "list" `Quick test_list_type;
+        Alcotest.test_case "union" `Quick test_union_type;
+        Alcotest.test_case "whiteSpace facet" `Quick test_whitespace_facet;
+      ] );
+  ]

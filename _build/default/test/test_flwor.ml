@@ -1,0 +1,126 @@
+(* Tests for the FLWOR mini-language over both backends. *)
+
+module Store = Xsm_xdm.Store
+module Convert = Xsm_xdm.Convert
+module B = Xsm_storage.Block_storage
+module F = Xsm_xpath.Flwor
+module FS = Xsm_xpath.Flwor.Over_store
+module FB = Xsm_xpath.Flwor.Over_storage
+
+let check = Alcotest.(check bool)
+let check_list = Alcotest.(check (list string))
+
+let fixture () =
+  let store = Store.create () in
+  let dnode = Convert.load store Xsm_schema.Samples.example8_document in
+  (store, dnode)
+
+let run store dnode q =
+  match FS.eval_string store dnode q with
+  | Ok items -> FS.strings store items
+  | Error e -> Alcotest.failf "%s: %s" q e
+
+let test_parse_errors () =
+  List.iter
+    (fun q -> check q true (Result.is_error (F.parse q)))
+    [
+      ""; "for $x"; "for $x in"; "for $x in /a"; (* no return *)
+      "return"; "for x in /a return $x"; "let $x = /a return $x";
+      "for $x in /a return $x extra";
+    ]
+
+let test_basic_for () =
+  let store, dnode = fixture () in
+  check_list "book titles"
+    [ "Foundations of Databases"; "An Introduction to Database Systems" ]
+    (run store dnode "for $b in /library/book return $b/title")
+
+let test_where_filter () =
+  let store, dnode = fixture () in
+  check_list "Codd papers"
+    [
+      "A Relational Model for Large Shared Data Banks";
+      "The Complexity of Relational Query Languages";
+    ]
+    (run store dnode
+       {|for $p in /library/paper where $p/author = "Codd" return $p/title|});
+  check_list "filtered out" []
+    (run store dnode
+       {|for $p in /library/paper where $p/author = "Nobody" return $p/title|})
+
+let test_where_conjunction () =
+  let store, dnode = fixture () in
+  check_list "both conditions"
+    [ "An Introduction to Database Systems" ]
+    (run store dnode
+       {|for $b in /library/book where $b/author = "Date" and $b/issue return $b/title|})
+
+let test_nested_for () =
+  let store, dnode = fixture () in
+  (* cross product: book x its own authors via variable path *)
+  check_list "authors per book"
+    [ "Abiteboul"; "Hull"; "Vianu"; "Date" ]
+    (run store dnode "for $b in /library/book for $a in $b/author return $a")
+
+let test_let_and_count () =
+  let store, dnode = fixture () in
+  check_list "count per book" [ "3"; "1" ]
+    (run store dnode "for $b in /library/book let $a := $b/author return count($a)");
+  check_list "string()" [ "AbiteboulHullVianu"; "Date" ]
+    (run store dnode "for $b in /library/book let $a := $b/author return string($a)")
+
+let test_order_by () =
+  let store, dnode = fixture () in
+  check_list "sorted titles"
+    [
+      "A Relational Model for Large Shared Data Banks";
+      "An Introduction to Database Systems";
+      "Foundations of Databases";
+      "The Complexity of Relational Query Languages";
+    ]
+    (run store dnode "for $t in //title order by $t return $t")
+
+let test_not_equals () =
+  let store, dnode = fixture () in
+  check_list "non-Codd authors"
+    [ "Abiteboul"; "Hull"; "Vianu"; "Date" ]
+    (run store dnode {|for $a in //author where $a != "Codd" return $a|})
+
+let test_unbound_variable () =
+  let store, dnode = fixture () in
+  check "unbound" true
+    (Result.is_error (FS.eval_string store dnode "for $x in /library return $y"))
+
+let test_backend_agreement () =
+  let store, dnode = fixture () in
+  let bs = B.of_store store dnode in
+  let rootd = B.root bs in
+  List.iter
+    (fun q ->
+      let a = run store dnode q in
+      match FB.eval_string bs rootd q with
+      | Ok items -> check_list q a (FB.strings bs items)
+      | Error e -> Alcotest.failf "%s: %s" q e)
+    [
+      "for $b in /library/book return $b/title";
+      {|for $p in //paper where $p/author = "Codd" return $p/title|};
+      "for $b in /library/book let $a := $b/author return count($a)";
+      "for $t in //title order by $t return $t";
+    ]
+
+let suite =
+  [
+    ( "flwor",
+      [
+        Alcotest.test_case "parse errors" `Quick test_parse_errors;
+        Alcotest.test_case "for/return" `Quick test_basic_for;
+        Alcotest.test_case "where" `Quick test_where_filter;
+        Alcotest.test_case "where and" `Quick test_where_conjunction;
+        Alcotest.test_case "nested for" `Quick test_nested_for;
+        Alcotest.test_case "let + count/string" `Quick test_let_and_count;
+        Alcotest.test_case "order by" `Quick test_order_by;
+        Alcotest.test_case "!=" `Quick test_not_equals;
+        Alcotest.test_case "unbound variable" `Quick test_unbound_variable;
+        Alcotest.test_case "backend agreement" `Quick test_backend_agreement;
+      ] );
+  ]

@@ -1,0 +1,252 @@
+(* Tests for xsm_identity: unique / key / keyref over validated
+   documents, plus the XSD syntax for them. *)
+
+module Store = Xsm_xdm.Store
+module Tree = Xsm_xml.Tree
+module C = Xsm_identity.Constraint_def
+open Xsm_schema
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let bookstore_with_isbns isbns =
+  let book i isbn =
+    Tree.element
+      (Tree.elem "Book"
+         ~children:
+           (List.map
+              (fun (tag, v) -> Tree.element (Tree.elem tag ~children:[ Tree.text v ]))
+              [
+                ("Title", Printf.sprintf "T%d" i); ("Author", "A"); ("Date", "2004");
+                ("ISBN", isbn); ("Publisher", "P");
+              ]))
+  in
+  Tree.document (Tree.elem "BookStore" ~children:(List.mapi book isbns))
+
+let validated doc =
+  match Validator.validate_document doc Samples.example7_schema with
+  | Ok (store, dnode) -> (store, dnode)
+  | Error _ -> Alcotest.fail "fixture should validate"
+
+let isbn_key = C.key ~name:"isbnKey" ~context:"BookStore" ~selector:"Book" [ "ISBN" ]
+
+let isbn_unique =
+  C.unique ~name:"isbnUnique" ~context:"BookStore" ~selector:"Book" [ "ISBN" ]
+
+let test_key_satisfied () =
+  let store, dnode = validated (bookstore_with_isbns [ "i1"; "i2"; "i3" ]) in
+  check "ok" true (C.check store dnode [ isbn_key ] = Ok ())
+
+let test_key_duplicate () =
+  let store, dnode = validated (bookstore_with_isbns [ "i1"; "i2"; "i1" ]) in
+  match C.check store dnode [ isbn_key ] with
+  | Error [ v ] ->
+    check "names constraint" true (v.C.constraint_name = "isbnKey");
+    check "mentions duplicate" true
+      (String.length v.C.message > 0)
+  | Error vs -> Alcotest.failf "expected one violation, got %d" (List.length vs)
+  | Ok () -> Alcotest.fail "duplicate key accepted"
+
+let test_unique_allows_absent_fields () =
+  (* unique: tuples with absent fields are simply skipped; key: error.
+     Build a doc where one Book has an empty-ISBN sibling... the schema
+     requires ISBN, so instead use a constraint on an optional field *)
+  let store, dnode = validated (bookstore_with_isbns [ "i1"; "i2" ]) in
+  let on_missing =
+    C.unique ~name:"u" ~context:"BookStore" ~selector:"Book" [ "NoSuchChild" ]
+  in
+  check "unique skips incomplete" true (C.check store dnode [ on_missing ] = Ok ());
+  let key_missing = C.key ~name:"k" ~context:"BookStore" ~selector:"Book" [ "NoSuchChild" ] in
+  check "key requires fields" true (Result.is_error (C.check store dnode [ key_missing ]))
+
+let test_typed_comparison () =
+  (* int-typed fields compare by value: 01 = 1 *)
+  let schema =
+    Ast.schema
+      (Ast.element "r"
+         (Ast.Anonymous
+            (Ast.complex
+               (Some
+                  (Ast.sequence
+                     [
+                       Ast.elem_p
+                         (Ast.element ~repetition:Ast.many "item"
+                            (Ast.Anonymous
+                               (Ast.complex
+                                  ~attributes:[ Ast.attribute "id" "xs:int" ]
+                                  (Some (Ast.sequence [])))));
+                     ])))))
+  in
+  let doc ids =
+    Tree.document
+      (Tree.elem "r"
+         ~children:
+           (List.map
+              (fun id -> Tree.element (Tree.elem "item" ~attrs:[ Tree.attr "id" id ]))
+              ids))
+  in
+  let idkey = C.key ~name:"id" ~context:"r" ~selector:"item" [ "@id" ] in
+  let run ids =
+    match Validator.validate_document (doc ids) schema with
+    | Ok (store, dnode) -> C.check store dnode [ idkey ]
+    | Error _ -> Alcotest.fail "fixture"
+  in
+  check "1 and 2 distinct" true (run [ "1"; "2" ] = Ok ());
+  check "01 equals 1 by typed value" true (Result.is_error (run [ "01"; "1" ]))
+
+let test_keyref () =
+  (* a library where citations refer to book isbns *)
+  let schema =
+    Ast.schema
+      (Ast.element "lib"
+         (Ast.Anonymous
+            (Ast.complex
+               (Some
+                  (Ast.sequence
+                     [
+                       Ast.elem_p
+                         (Ast.element ~repetition:Ast.many "book"
+                            (Ast.Anonymous
+                               (Ast.complex
+                                  ~attributes:[ Ast.attribute "isbn" "xs:string" ]
+                                  (Some (Ast.sequence [])))));
+                       Ast.elem_p
+                         (Ast.element ~repetition:Ast.many "cite"
+                            (Ast.Anonymous
+                               (Ast.complex
+                                  ~attributes:[ Ast.attribute "ref" "xs:string" ]
+                                  (Some (Ast.sequence [])))));
+                     ])))))
+  in
+  let doc books cites =
+    Tree.document
+      (Tree.elem "lib"
+         ~children:
+           (List.map
+              (fun i -> Tree.element (Tree.elem "book" ~attrs:[ Tree.attr "isbn" i ]))
+              books
+           @ List.map
+               (fun r -> Tree.element (Tree.elem "cite" ~attrs:[ Tree.attr "ref" r ]))
+               cites))
+  in
+  let defs =
+    [
+      C.key ~name:"bookKey" ~context:"lib" ~selector:"book" [ "@isbn" ];
+      C.keyref ~name:"citeRef" ~context:"lib" ~refer:"bookKey" ~selector:"cite" [ "@ref" ];
+    ]
+  in
+  let run books cites =
+    match Validator.validate_document (doc books cites) schema with
+    | Ok (store, dnode) -> C.check store dnode defs
+    | Error _ -> Alcotest.fail "fixture"
+  in
+  check "resolved refs" true (run [ "a"; "b" ] [ "a"; "b"; "a" ] = Ok ());
+  (match run [ "a" ] [ "a"; "zz" ] with
+  | Error [ v ] -> check "dangling named" true (v.C.constraint_name = "citeRef")
+  | _ -> Alcotest.fail "expected one dangling-reference violation");
+  (* unknown key name *)
+  let bad = [ C.keyref ~name:"r" ~context:"lib" ~refer:"nope" ~selector:"cite" [ "@ref" ] ] in
+  check "unknown key" true (Result.is_error (run [ "a" ] [] |> fun _ ->
+    match Validator.validate_document (doc ["a"] []) schema with
+    | Ok (store, dnode) -> C.check store dnode bad
+    | Error _ -> Ok ()))
+
+let test_multi_field_tuples () =
+  (* key over (Title, Date) pairs *)
+  let mk titles_dates =
+    let book (t, d) =
+      Tree.element
+        (Tree.elem "Book"
+           ~children:
+             (List.map
+                (fun (tag, v) -> Tree.element (Tree.elem tag ~children:[ Tree.text v ]))
+                [ ("Title", t); ("Author", "A"); ("Date", d); ("ISBN", "x"); ("Publisher", "P") ]))
+    in
+    Tree.document (Tree.elem "BookStore" ~children:(List.map book titles_dates))
+  in
+  let k = C.key ~name:"td" ~context:"BookStore" ~selector:"Book" [ "Title"; "Date" ] in
+  let run tds =
+    let store, dnode = validated (mk tds) in
+    C.check store dnode [ k ]
+  in
+  check "distinct pairs" true (run [ ("t", "1990"); ("t", "1991") ] = Ok ());
+  check "same pair rejected" true (Result.is_error (run [ ("t", "1990"); ("t", "1990") ]))
+
+let test_field_multiplicity_error () =
+  (* a field that selects several nodes is a violation *)
+  let store, dnode = validated (bookstore_with_isbns [ "i1" ]) in
+  let bad = C.key ~name:"k" ~context:"BookStore" ~selector:"Book" [ "*" ] in
+  check "multi-node field rejected" true (Result.is_error (C.check store dnode [ bad ]))
+
+(* ---------------- XSD syntax ---------------- *)
+
+let test_xsd_constraint_syntax () =
+  let text =
+    {|<xsd:schema xmlns:xsd="http://www.w3.org/2001/XMLSchema">
+       <xsd:element name="BookStore">
+         <xsd:complexType>
+           <xsd:sequence>
+             <xsd:element name="Book" type="xsd:string" maxOccurs="unbounded"/>
+           </xsd:sequence>
+         </xsd:complexType>
+         <xsd:key name="isbnKey">
+           <xsd:selector xpath="Book"/>
+           <xsd:field xpath="@isbn"/>
+         </xsd:key>
+         <xsd:keyref name="refs" refer="isbnKey">
+           <xsd:selector xpath="Cite"/>
+           <xsd:field xpath="@ref"/>
+         </xsd:keyref>
+         <xsd:unique name="titles">
+           <xsd:selector xpath="Book"/>
+           <xsd:field xpath="Title"/>
+           <xsd:field xpath="Date"/>
+         </xsd:unique>
+       </xsd:element>
+     </xsd:schema>|}
+  in
+  match Xsm_xsd.Reader.constraints_of_string text with
+  | Error e -> Alcotest.fail (Xsm_xsd.Reader.error_to_string e)
+  | Ok defs ->
+    check_int "three constraints" 3 (List.length defs);
+    (match defs with
+    | [ k; r; u ] ->
+      check "key" true (k.C.kind = C.Key && k.C.name = "isbnKey");
+      check "keyref" true (r.C.kind = C.Keyref "isbnKey");
+      check "unique fields" true (u.C.kind = C.Unique && List.length u.C.fields = 2);
+      check "context" true (Xsm_xml.Name.to_string k.C.context = "BookStore")
+    | _ -> Alcotest.fail "unexpected shape")
+
+let test_xsd_constraint_errors () =
+  let bad sel =
+    Printf.sprintf
+      {|<xsd:schema xmlns:xsd="http://www.w3.org/2001/XMLSchema">
+         <xsd:element name="r" type="xsd:string">
+           <xsd:key name="k">%s<xsd:field xpath="@x"/></xsd:key>
+         </xsd:element>
+       </xsd:schema>|}
+      sel
+  in
+  check "missing selector" true
+    (Result.is_error (Xsm_xsd.Reader.constraints_of_string (bad "")));
+  check "fine with selector" true
+    (Result.is_ok (Xsm_xsd.Reader.constraints_of_string (bad {|<xsd:selector xpath="a"/>|})))
+
+let suite =
+  [
+    ( "identity.constraints",
+      [
+        Alcotest.test_case "key satisfied" `Quick test_key_satisfied;
+        Alcotest.test_case "key duplicate" `Quick test_key_duplicate;
+        Alcotest.test_case "unique vs key on absent" `Quick test_unique_allows_absent_fields;
+        Alcotest.test_case "typed comparison" `Quick test_typed_comparison;
+        Alcotest.test_case "keyref" `Quick test_keyref;
+        Alcotest.test_case "multi-field tuples" `Quick test_multi_field_tuples;
+        Alcotest.test_case "field multiplicity" `Quick test_field_multiplicity_error;
+      ] );
+    ( "identity.xsd-syntax",
+      [
+        Alcotest.test_case "read constraints" `Quick test_xsd_constraint_syntax;
+        Alcotest.test_case "syntax errors" `Quick test_xsd_constraint_errors;
+      ] );
+  ]

@@ -1,0 +1,486 @@
+(* Property-based tests (qcheck) on the core invariants:
+
+   - the §8 theorem over random schemas and random instances,
+   - document order is a strict total order,
+   - Glushkov automaton = backtracking matcher on random content models,
+   - Sedna label predicates = tree ground truth on random trees,
+   - decimal ordering laws,
+   - XML print/parse identity,
+   - regex engine vs a reference matcher on simple patterns. *)
+
+module Q = QCheck
+module Store = Xsm_xdm.Store
+module Convert = Xsm_xdm.Convert
+module Label = Xsm_numbering.Sedna_label
+module Name = Xsm_xml.Name
+
+let seed_gen = Q.make ~print:string_of_int Q.Gen.(int_bound 1_000_000)
+
+let to_alco ?(count = 100) name law =
+  QCheck_alcotest.to_alcotest (Q.Test.make ~count ~name seed_gen law)
+
+(* ---------------- generators ---------------- *)
+
+let schema_and_doc seed =
+  let rng = Xsm_schema.Generator.rng seed in
+  let schema = Xsm_schema.Generator.random_schema ~max_depth:3 rng in
+  let doc = Xsm_schema.Generator.instance rng schema in
+  (schema, doc)
+
+(* random small XML tree as a Tree.element *)
+let rec gen_element depth r =
+  let int = Xsm_schema.Generator.int in
+  let name = Printf.sprintf "n%d" (int r 5) in
+  let n_children = if depth = 0 then 0 else int r 4 in
+  let raw_children =
+    List.init n_children (fun i ->
+        if int r 3 = 0 then Xsm_xml.Tree.Text (Printf.sprintf "t%d" i)
+        else Xsm_xml.Tree.Element (gen_element (depth - 1) r))
+  in
+  (* a parser merges adjacent text nodes, so never generate them *)
+  let children =
+    List.fold_left
+      (fun acc c ->
+        match c, acc with
+        | Xsm_xml.Tree.Text t, Xsm_xml.Tree.Text t' :: rest ->
+          Xsm_xml.Tree.Text (t' ^ t) :: rest
+        | c, acc -> c :: acc)
+      [] raw_children
+    |> List.rev
+  in
+  let attrs =
+    List.init (int r 3) (fun i ->
+        Xsm_xml.Tree.attr (Printf.sprintf "a%d" i) (Printf.sprintf "v%d" (int r 10)))
+  in
+  Xsm_xml.Tree.elem name ~attrs ~children
+
+(* ---------------- laws ---------------- *)
+
+let roundtrip_law seed =
+  let schema, doc = schema_and_doc seed in
+  match Xsm_schema.Roundtrip.holds_for doc schema with
+  | Ok b -> b
+  | Error _ -> false (* generated instances must validate *)
+
+let order_total_law seed =
+  let rng = Xsm_schema.Generator.rng seed in
+  let e = gen_element 3 rng in
+  let store = Store.create () in
+  let d = Convert.load store (Xsm_xml.Tree.document e) in
+  let nodes = Store.descendants_or_self store d in
+  let module O = Xsm_xdm.Order in
+  List.for_all
+    (fun a ->
+      List.for_all
+        (fun b ->
+          let ab = O.compare store a b in
+          (* antisymmetry and identity of indiscernibles *)
+          (if Store.equal_node a b then ab = 0 else ab <> 0)
+          && compare ab 0 = -compare (O.compare store b a) 0)
+        nodes)
+    nodes
+
+let order_transitive_law seed =
+  let rng = Xsm_schema.Generator.rng seed in
+  let e = gen_element 2 rng in
+  let store = Store.create () in
+  let d = Convert.load store (Xsm_xml.Tree.document e) in
+  let nodes = Store.descendants_or_self store d in
+  let module O = Xsm_xdm.Order in
+  List.for_all
+    (fun a ->
+      List.for_all
+        (fun b ->
+          List.for_all
+            (fun c ->
+              if O.compare store a b < 0 && O.compare store b c < 0 then
+                O.compare store a c < 0
+              else true)
+            nodes)
+        nodes)
+    nodes
+
+(* random content model + random word: automaton agrees with backtracker *)
+let gen_group r =
+  let int = Xsm_schema.Generator.int in
+  let letters = [ "a"; "b"; "c" ] in
+  let rec group depth =
+    let n = 1 + int r 3 in
+    let particles =
+      List.init n (fun _ ->
+          if depth > 0 && int r 3 = 0 then Xsm_schema.Ast.group_p (group (depth - 1))
+          else
+            Xsm_schema.Ast.elem_p
+              (Xsm_schema.Ast.element
+                 ~repetition:(rep ())
+                 (List.nth letters (int r 3))
+                 (Xsm_schema.Ast.named_type "xs:string")))
+    in
+    if int r 2 = 0 then Xsm_schema.Ast.sequence ~repetition:(rep ()) particles
+    else Xsm_schema.Ast.choice ~repetition:(rep ()) particles
+  and rep () =
+    match int r 4 with
+    | 0 -> Xsm_schema.Ast.once
+    | 1 -> Xsm_schema.Ast.optional
+    | 2 -> Xsm_schema.Ast.many
+    | _ -> Xsm_schema.Ast.repeat (int r 2) (Some (1 + int r 2))
+  in
+  group 2
+
+let automaton_backtrack_agreement seed =
+  let rng = Xsm_schema.Generator.rng seed in
+  let g = gen_group rng in
+  match Xsm_schema.Content_automaton.make g with
+  | Error _ -> true (* only size rejections possible here *)
+  | Ok a ->
+    let word =
+      List.init (Xsm_schema.Generator.int rng 7) (fun _ ->
+          Name.local (List.nth [ "a"; "b"; "c" ] (Xsm_schema.Generator.int rng 3)))
+    in
+    Xsm_schema.Content_automaton.matches a word = Xsm_schema.Backtrack.matches g word
+
+(* deterministic automaton run agrees with matches *)
+let run_matches_agreement seed =
+  let rng = Xsm_schema.Generator.rng seed in
+  let g = gen_group rng in
+  match Xsm_schema.Content_automaton.make g with
+  | Error _ -> true
+  | Ok a ->
+    (not (Xsm_schema.Content_automaton.is_deterministic a))
+    ||
+    let word =
+      List.init (Xsm_schema.Generator.int rng 6) (fun _ ->
+          Name.local (List.nth [ "a"; "b"; "c" ] (Xsm_schema.Generator.int rng 3)))
+    in
+    let m = Xsm_schema.Content_automaton.matches a word in
+    let r = Xsm_schema.Content_automaton.run a word <> None in
+    m = r
+
+let label_ground_truth_law seed =
+  let rng = Xsm_schema.Generator.rng seed in
+  let e = gen_element 3 rng in
+  let store = Store.create () in
+  let d = Convert.load store (Xsm_xml.Tree.document e) in
+  let t = Xsm_numbering.Labeler.label_tree store d in
+  Xsm_numbering.Labeler.check_against_tree store d t
+
+let label_between_law seed =
+  (* between of any two distinct sibling labels is strictly inside *)
+  let rng = Xsm_schema.Generator.rng seed in
+  let n = 2 + Xsm_schema.Generator.int rng 20 in
+  let kids = Label.assign_children Label.root n in
+  let i = Xsm_schema.Generator.int rng (n - 1) in
+  let a = List.nth kids i and b = List.nth kids (i + 1) in
+  let m = Label.between a b in
+  Label.compare a m < 0 && Label.compare m b < 0 && Label.is_parent Label.root m
+
+let canonical_preserves_language seed =
+  let r = Xsm_schema.Generator.rng seed in
+  let g = gen_group r in
+  let s = Xsm_schema.Canonical.simplify_group g in
+  match Xsm_schema.Canonical.equivalent_groups g s with
+  | Ok b -> b
+  | Error _ -> true (* only size rejections *)
+
+let decimal_order_law (x, y) =
+  match Xsm_datatypes.Decimal.of_string x, Xsm_datatypes.Decimal.of_string y with
+  | Ok a, Ok b ->
+    let c = Xsm_datatypes.Decimal.compare a b in
+    let fa = Xsm_datatypes.Decimal.to_float a and fb = Xsm_datatypes.Decimal.to_float b in
+    (* decimal order agrees with float order when floats are exact enough *)
+    if Float.abs (fa -. fb) > 1e-9 *. Float.max 1.0 (Float.abs fa) then
+      compare fa fb = compare c 0
+    else true
+  | _ -> true
+
+let decimal_add_comm_law (x, y) =
+  match Xsm_datatypes.Decimal.of_string x, Xsm_datatypes.Decimal.of_string y with
+  | Ok a, Ok b ->
+    Xsm_datatypes.Decimal.equal (Xsm_datatypes.Decimal.add a b) (Xsm_datatypes.Decimal.add b a)
+  | _ -> true
+
+let decimal_string_gen =
+  let open Q.Gen in
+  let digits n = string_size ~gen:(char_range '0' '9') (int_range 1 n) in
+  let g =
+    map3
+      (fun sign int_part frac -> sign ^ int_part ^ frac)
+      (oneofl [ ""; "-"; "+" ])
+      (digits 20)
+      (oneof [ return ""; map (fun d -> "." ^ d) (digits 10) ])
+  in
+  Q.make ~print:Fun.id g
+
+let xml_roundtrip_law seed =
+  let rng = Xsm_schema.Generator.rng seed in
+  let e = gen_element 3 rng in
+  let s = Xsm_xml.Printer.element_to_string e in
+  match Xsm_xml.Parser.parse_element s with
+  | Ok e' -> Xsm_xml.Tree.equal_element e e'
+  | Error _ -> false
+
+(* regex: compare against a tiny reference on linear patterns a*b?c+ *)
+let regex_reference_law seed =
+  let r = Xsm_schema.Generator.rng seed in
+  let int = Xsm_schema.Generator.int in
+  let letters = [ 'a'; 'b'; 'c' ] in
+  let n = 1 + int r 3 in
+  let pieces =
+    List.init n (fun _ ->
+        let c = List.nth letters (int r 3) in
+        let q = List.nth [ ""; "*"; "?"; "+" ] (int r 4) in
+        (c, q))
+  in
+  let pattern = String.concat "" (List.map (fun (c, q) -> Printf.sprintf "%c%s" c q) pieces) in
+  let word = String.init (int r 6) (fun _ -> List.nth letters (int r 3)) in
+  (* reference: expand to min/max counts and check by scanning *)
+  let rec reference pieces i =
+    match pieces with
+    | [] -> i = String.length word
+    | (c, q) :: rest ->
+      let counts =
+        match q with
+        | "" -> [ 1 ]
+        | "?" -> [ 0; 1 ]
+        | "*" -> List.init (String.length word - i + 1) Fun.id
+        | _ -> List.init (String.length word - i) (fun k -> k + 1)
+      in
+      List.exists
+        (fun k ->
+          let rec all j left = left = 0 || (j < String.length word && word.[j] = c && all (j + 1) (left - 1)) in
+          all i k && reference rest (i + k))
+        counts
+  in
+  match Xsm_datatypes.Regex.compile pattern with
+  | Ok r -> Xsm_datatypes.Regex.matches r word = reference pieces 0
+  | Error _ -> false
+
+let validator_agrees_with_backtrack_acceptance seed =
+  (* a document accepted by the validator has children sequences in the
+     content language; we spot-check by revalidating a mutated sibling
+     order with both engines at top level *)
+  let schema, doc = schema_and_doc seed in
+  match Xsm_schema.Validator.validate_document doc schema with
+  | Error _ -> false
+  | Ok _ -> true
+
+(* the following/preceding axes agree with their document-order
+   definitions *)
+let axis_definition_law seed =
+  let r = Xsm_schema.Generator.rng seed in
+  let e = gen_element 3 r in
+  let store = Store.create () in
+  let d = Convert.load store (Xsm_xml.Tree.document e) in
+  let module O = Xsm_xdm.Order in
+  let module A = Xsm_xdm.Axis in
+  let nodes = Store.descendants_or_self store d in
+  (* XPath defines following/preceding for non-attribute context nodes
+     (attributes are not on either axis, and as context nodes their
+     "following" is defined through the owner element) *)
+  let contexts =
+    List.filter (fun n -> Store.kind store n <> Store.Kind.Attribute) nodes
+  in
+  List.for_all
+    (fun n ->
+      let following = A.apply store A.Following n in
+      let preceding = A.apply store A.Preceding n in
+      let expected_following =
+        List.filter
+          (fun m -> O.precedes store n m && not (O.is_ancestor store n m))
+          nodes
+      in
+      let expected_preceding =
+        List.filter
+          (fun m ->
+            O.precedes store m n
+            && (not (O.is_ancestor store m n))
+            && not (O.is_ancestor store n m))
+          nodes
+      in
+      let set xs = List.sort_uniq Store.compare_node xs in
+      (* attributes are excluded from following/preceding per XPath *)
+      let drop_attrs xs =
+        List.filter (fun m -> Store.kind store m <> Store.Kind.Attribute) xs
+      in
+      set (drop_attrs following) = set (drop_attrs expected_following)
+      && set (drop_attrs preceding) = set (drop_attrs expected_preceding))
+    contexts
+
+(* mutating a valid document breaks validity (for mutations that truly
+   violate the bookstore schema) *)
+let mutation_invalidates_law seed =
+  let r = Xsm_schema.Generator.rng seed in
+  let int = Xsm_schema.Generator.int in
+  let schema = Xsm_schema.Samples.example7_schema in
+  let doc = Xsm_schema.Samples.bookstore_document ~books:(1 + int r 3) () in
+  let root = doc.Xsm_xml.Tree.root in
+  let books = Xsm_xml.Tree.child_elements root in
+  let bi = int r (List.length books) in
+  let mutate_book (b : Xsm_xml.Tree.element) =
+    match int r 3 with
+    | 0 ->
+      (* drop a mandatory child *)
+      let drop = int r 5 in
+      { b with Xsm_xml.Tree.children = List.filteri (fun i _ -> i <> drop) b.children }
+    | 1 ->
+      (* rename a child *)
+      let ren = int r 5 in
+      {
+        b with
+        Xsm_xml.Tree.children =
+          List.mapi
+            (fun i c ->
+              match c with
+              | Xsm_xml.Tree.Element e when i = ren ->
+                Xsm_xml.Tree.Element { e with Xsm_xml.Tree.name = Name.local "Wrong" }
+              | c -> c)
+            b.children;
+      }
+    | _ ->
+      (* duplicate a child (breaks the sequence model) *)
+      let dup = List.nth b.Xsm_xml.Tree.children (int r 5) in
+      { b with Xsm_xml.Tree.children = dup :: b.Xsm_xml.Tree.children }
+  in
+  let mutated =
+    {
+      doc with
+      Xsm_xml.Tree.root =
+        {
+          root with
+          Xsm_xml.Tree.children =
+            List.mapi
+              (fun i c ->
+                match c with
+                | Xsm_xml.Tree.Element b when i = bi -> Xsm_xml.Tree.Element (mutate_book b)
+                | c -> c)
+              root.Xsm_xml.Tree.children;
+        };
+    }
+  in
+  not (Xsm_schema.Validator.is_valid mutated schema)
+
+(* random validated-update sequences: after any mix of accepted and
+   rejected operations, the document is still an S-tree and still
+   round-trips *)
+let update_sequence_law seed =
+  let r = Xsm_schema.Generator.rng seed in
+  let int = Xsm_schema.Generator.int in
+  let schema = Xsm_schema.Samples.example7_schema in
+  let doc = Xsm_schema.Samples.bookstore_document ~books:(2 + int r 3) () in
+  match Xsm_schema.Validator.validate_document doc schema with
+  | Error _ -> false
+  | Ok (store, dnode) ->
+    let ops = 10 in
+    for _ = 1 to ops do
+      let bookstore = List.hd (Store.children store dnode) in
+      let books = Store.children store bookstore in
+      let any_book () = List.nth books (int r (List.length books)) in
+      let op =
+        match int r 5 with
+        | 0 ->
+          (* insert a fresh valid book somewhere *)
+          let tree =
+            (Xsm_schema.Samples.bookstore_document ~books:1 ()).Xsm_xml.Tree.root
+            |> fun root ->
+            (match root.Xsm_xml.Tree.children with
+            | Xsm_xml.Tree.Element b :: _ -> b
+            | _ -> assert false)
+          in
+          Xsm_schema.Update.Insert_element
+            { parent = bookstore; before = (if int r 2 = 0 then Some (any_book ()) else None); tree }
+        | 1 ->
+          (* insert garbage: must be rejected *)
+          Xsm_schema.Update.Insert_element
+            { parent = bookstore; before = None; tree = Xsm_xml.Tree.elem "Junk" }
+        | 2 -> Xsm_schema.Update.Delete (any_book ())
+        | 3 ->
+          (* delete a random grandchild: usually breaks the model *)
+          let b = any_book () in
+          let kids = Store.children store b in
+          Xsm_schema.Update.Delete (List.nth kids (int r (List.length kids)))
+        | _ ->
+          (* rewrite a random title text *)
+          let b = any_book () in
+          let title = List.hd (Store.children store b) in
+          let text = List.hd (Store.children store title) in
+          Xsm_schema.Update.Replace_content
+            { node = text; value = Printf.sprintf "title-%d" (int r 1000) }
+      in
+      (* books must never drop below 1 (content model needs >= 1) —
+         deletion of the last book is expected to be rejected *)
+      ignore (Xsm_schema.Update.apply_validated store dnode schema op)
+    done;
+    Result.is_ok (Xsm_schema.Validator.validate store dnode schema)
+    &&
+    let back = Xsm_xdm.Convert.to_document store dnode in
+    Result.is_ok (Xsm_schema.Validator.validate_document back schema)
+
+(* random insert/delete sequences on the block storage keep every
+   §9.2 invariant and stay serialization-equivalent to a mirror of the
+   same operations applied to plain XML trees *)
+let storage_operations_law seed =
+  let r = Xsm_schema.Generator.rng seed in
+  let int = Xsm_schema.Generator.int in
+  let module B = Xsm_storage.Block_storage in
+  let store = Store.create () in
+  let doc = Xsm_schema.Samples.library_document ~books:4 ~papers:2 () in
+  let dnode = Convert.load store doc in
+  let bs = B.of_store ~block_capacity:4 store dnode in
+  let library = List.hd (B.children bs (B.root bs)) in
+  let ok = ref true in
+  for step = 1 to 15 do
+    let kids = B.children bs library in
+    (match int r 3 with
+    | 0 ->
+      (* insert an element at a random position *)
+      let after = if kids = [] || int r 3 = 0 then None else Some (List.nth kids (int r (List.length kids))) in
+      let d, _ = B.insert_element bs ~parent:library ~after (Name.local (Printf.sprintf "n%d" step)) in
+      if int r 2 = 0 then ignore (B.insert_text bs ~parent:d ~after:None "payload")
+    | 1 ->
+      (* insert a text directly under a random leaf-ish element *)
+      let d, _ = B.insert_element bs ~parent:library ~after:None (Name.local "t") in
+      ignore (B.insert_text bs ~parent:d ~after:None (Printf.sprintf "v%d" step))
+    | _ -> (
+      (* delete a random childless child *)
+      match List.filter (fun d -> B.children bs d = [] && B.attributes bs d = []) kids with
+      | [] -> ()
+      | leaves -> B.delete bs (List.nth leaves (int r (List.length leaves)))));
+    (match B.check_integrity bs with
+    | Ok () -> ()
+    | Error _ -> ok := false)
+  done;
+  !ok
+  &&
+  (* the serialized storage reparses to a well-formed document *)
+  let back = B.to_document bs in
+  Result.is_ok (Xsm_xml.Parser.parse_document (Xsm_xml.Printer.to_string back))
+
+let suite =
+  [
+    ( "properties",
+      [
+        to_alco ~count:60 "theorem g(f(X)) =_c X" roundtrip_law;
+        to_alco ~count:40 "document order total" order_total_law;
+        to_alco ~count:15 "document order transitive" order_transitive_law;
+        to_alco ~count:200 "automaton = backtracker" automaton_backtrack_agreement;
+        to_alco ~count:200 "run = matches (deterministic)" run_matches_agreement;
+        to_alco ~count:30 "labels = tree ground truth" label_ground_truth_law;
+        to_alco ~count:200 "between stays inside" label_between_law;
+        to_alco ~count:200 "canonicalization preserves language" canonical_preserves_language;
+        to_alco ~count:40 "validated update sequences stay S-trees" update_sequence_law;
+        to_alco ~count:25 "following/preceding match their definitions" axis_definition_law;
+        to_alco ~count:100 "mutations invalidate" mutation_invalidates_law;
+        to_alco ~count:50 "storage op sequences keep invariants" storage_operations_law;
+        to_alco ~count:60 "xml print/parse identity" xml_roundtrip_law;
+        to_alco ~count:300 "regex vs reference" regex_reference_law;
+        to_alco ~count:60 "generated instances validate" validator_agrees_with_backtrack_acceptance;
+        QCheck_alcotest.to_alcotest
+          (Q.Test.make ~count:200 ~name:"decimal order vs float"
+             (Q.pair decimal_string_gen decimal_string_gen)
+             decimal_order_law);
+        QCheck_alcotest.to_alcotest
+          (Q.Test.make ~count:200 ~name:"decimal addition commutes"
+             (Q.pair decimal_string_gen decimal_string_gen)
+             decimal_add_comm_law);
+      ] );
+  ]

@@ -1,0 +1,252 @@
+(* Tests for xsm_xml: names, trees, parser, printer, content equality. *)
+
+open Xsm_xml
+
+let check = Alcotest.(check bool)
+let check_str = Alcotest.(check string)
+let check_int = Alcotest.(check int)
+
+let parse_ok s =
+  match Parser.parse_document s with
+  | Ok d -> d
+  | Error e -> Alcotest.failf "parse failed: %s" (Parser.error_to_string e)
+
+let parse_err s =
+  match Parser.parse_document s with
+  | Ok _ -> Alcotest.failf "expected a parse error for %S" s
+  | Error e -> e
+
+(* ---------------- names ---------------- *)
+
+let test_name_parse () =
+  (match Name.of_string "xsd:element" with
+  | Ok n ->
+    Alcotest.(check (option string)) "prefix" (Some "xsd") n.Name.prefix;
+    check_str "local" "element" n.Name.local
+  | Error e -> Alcotest.fail e);
+  (match Name.of_string "Book" with
+  | Ok n -> check "no prefix" true (n.Name.prefix = None)
+  | Error e -> Alcotest.fail e)
+
+let test_name_invalid () =
+  List.iter
+    (fun s -> check ("reject " ^ s) true (Result.is_error (Name.of_string s)))
+    [ ""; ":x"; "x:"; "a:b:c"; "1abc"; "with space"; "-dash" ]
+
+let test_name_order () =
+  let a = Name.of_string_exn "a" and b = Name.of_string_exn "b" in
+  check "a < b" true (Name.compare a b < 0);
+  let pa = Name.of_string_exn "p:a" in
+  check "a <> p:a" false (Name.equal a pa);
+  check_str "to_string" "p:a" (Name.to_string pa)
+
+let test_ncname () =
+  check "simple" true (Name.is_ncname "abc-1.x_y");
+  check "colon" false (Name.is_ncname "a:b");
+  check "empty" false (Name.is_ncname "");
+  check "digit start" false (Name.is_ncname "1a")
+
+(* ---------------- trees ---------------- *)
+
+let sample_tree () =
+  Tree.elem "library"
+    ~children:
+      [
+        Tree.element
+          (Tree.elem "book"
+             ~attrs:[ Tree.attr "id" "b1" ]
+             ~children:[ Tree.element (Tree.elem "title" ~children:[ Tree.text "T1" ]) ]);
+        Tree.element
+          (Tree.elem "book"
+             ~attrs:[ Tree.attr "id" "b2" ]
+             ~children:
+               [
+                 Tree.element (Tree.elem "title" ~children:[ Tree.text "T2" ]);
+                 Tree.element (Tree.elem "author" ~children:[ Tree.text "A" ]);
+               ]);
+      ]
+
+let test_tree_observers () =
+  let t = sample_tree () in
+  check_int "child elements" 2 (List.length (Tree.child_elements t));
+  check_int "books" 2 (List.length (Tree.child_elements_named t (Name.local "book")));
+  check_int "papers" 0 (List.length (Tree.child_elements_named t (Name.local "paper")));
+  check_str "text content" "T1T2A" (Tree.text_content t);
+  check_int "depth" 3 (Tree.depth t);
+  (* 6 elements + 2 attributes + 3 texts *)
+  check_int "node count" 11 (Tree.node_count t);
+  match Tree.first_child_named t (Name.local "book") with
+  | Some b -> check "attr" true (Tree.attribute_value b (Name.local "id") = Some "b1")
+  | None -> Alcotest.fail "book not found"
+
+let test_fold_elements () =
+  let t = sample_tree () in
+  let names = List.rev (Tree.fold_elements (fun acc e -> Name.to_string e.Tree.name :: acc) [] t) in
+  Alcotest.(check (list string)) "pre-order" [ "library"; "book"; "title"; "book"; "title"; "author" ] names
+
+(* ---------------- parser ---------------- *)
+
+let test_parse_basic () =
+  let d = parse_ok "<?xml version=\"1.0\" encoding=\"UTF-8\"?><a b=\"1\"><c/>text</a>" in
+  check_str "version" "1.0" d.Tree.version;
+  Alcotest.(check (option string)) "encoding" (Some "UTF-8") d.Tree.encoding;
+  check_str "root" "a" (Name.to_string d.Tree.root.Tree.name);
+  check_int "children" 2 (List.length d.Tree.root.Tree.children)
+
+let test_parse_entities () =
+  let d = parse_ok "<a>&lt;&gt;&amp;&apos;&quot;&#65;&#x42;</a>" in
+  check_str "entities" "<>&'\"AB" (Tree.text_content d.Tree.root)
+
+let test_parse_cdata_comment_pi () =
+  let d = parse_ok "<a><![CDATA[<raw>&]]><!-- note --><?pi data?>tail</a>" in
+  match d.Tree.root.Tree.children with
+  | [ Tree.Cdata c; Tree.Comment m; Tree.Pi { target; data }; Tree.Text t ] ->
+    check_str "cdata" "<raw>&" c;
+    check_str "comment" " note " m;
+    check_str "pi target" "pi" target;
+    check_str "pi data" "data" data;
+    check_str "tail" "tail" t
+  | _ -> Alcotest.fail "unexpected child structure"
+
+let test_parse_doctype_skipped () =
+  let d = parse_ok "<?xml version=\"1.0\"?><!DOCTYPE note [<!ELEMENT note ANY>]><note/>" in
+  check_str "root" "note" (Name.to_string d.Tree.root.Tree.name)
+
+let test_parse_attribute_quotes () =
+  let d = parse_ok "<a x='single' y=\"double\" z='with \"quotes\"'/>" in
+  let v n = Tree.attribute_value d.Tree.root (Name.local n) in
+  Alcotest.(check (option string)) "single" (Some "single") (v "x");
+  Alcotest.(check (option string)) "double" (Some "double") (v "y");
+  Alcotest.(check (option string)) "nested" (Some "with \"quotes\"") (v "z")
+
+let test_parse_errors () =
+  List.iter
+    (fun s -> ignore (parse_err s))
+    [
+      "<a>";  (* unterminated *)
+      "<a></b>";  (* mismatched *)
+      "<a x=\"1\" x=\"2\"/>";  (* duplicate attribute *)
+      "<a/><b/>";  (* two roots *)
+      "<a>&unknown;</a>";  (* unknown entity *)
+      "<a b=unquoted/>";
+      "";
+      "just text";
+      "<a><!-- unterminated</a>";
+    ]
+
+let test_parse_error_location () =
+  let e = parse_err "<a>\n  <b>\n</a>" in
+  check "line recorded" true (e.Parser.line >= 2)
+
+let test_deep_nesting () =
+  let n = 2000 in
+  let buf = Buffer.create (n * 7) in
+  for i = 0 to n - 1 do
+    Buffer.add_string buf (Printf.sprintf "<e%d>" i)
+  done;
+  for i = n - 1 downto 0 do
+    Buffer.add_string buf (Printf.sprintf "</e%d>" i)
+  done;
+  let d = parse_ok (Buffer.contents buf) in
+  check_int "depth" n (Tree.depth d.Tree.root)
+
+let test_mixed_whitespace_kept () =
+  let d = parse_ok "<a> <b/> </a>" in
+  check_int "three children" 3 (List.length d.Tree.root.Tree.children)
+
+(* ---------------- printer ---------------- *)
+
+let test_escape () =
+  check_str "text" "a&lt;b&gt;c&amp;d" (Printer.escape_text "a<b>c&d");
+  check_str "attr quote" "say &quot;hi&quot;" (Printer.escape_attribute "say \"hi\"")
+
+let test_print_parse_roundtrip () =
+  let t = sample_tree () in
+  let s = Printer.element_to_string t in
+  match Parser.parse_element s with
+  | Ok t' -> check "structural equality" true (Tree.equal_element t t')
+  | Error e -> Alcotest.failf "reparse failed: %s" (Parser.error_to_string e)
+
+let test_print_special_chars () =
+  let t = Tree.elem "a" ~attrs:[ Tree.attr "k" "<&\">" ] ~children:[ Tree.text "<&>" ] in
+  match Parser.parse_element (Printer.element_to_string t) with
+  | Ok t' -> check "roundtrip with escapes" true (Tree.equal_element t t')
+  | Error e -> Alcotest.failf "reparse failed: %s" (Parser.error_to_string e)
+
+let test_pretty_print_reparses () =
+  let t = sample_tree () in
+  let s = Printer.element_to_pretty_string t in
+  match Parser.parse_element s with
+  | Ok t' -> check "content equal" true (Tree.equal_element_content t t')
+  | Error e -> Alcotest.failf "reparse failed: %s" (Parser.error_to_string e)
+
+(* ---------------- content equality ---------------- *)
+
+let test_content_equality_comments () =
+  let a = parse_ok "<a><b/><!-- x --><b/></a>" in
+  let b = parse_ok "<a><b/><b/></a>" in
+  check "comments ignored" true (Tree.equal_content a b)
+
+let test_content_equality_attr_order () =
+  let a = parse_ok "<a x=\"1\" y=\"2\"/>" in
+  let b = parse_ok "<a y=\"2\" x=\"1\"/>" in
+  check "attribute order irrelevant" true (Tree.equal_content a b)
+
+let test_content_equality_ws () =
+  let a = parse_ok "<a>\n  <b/>\n</a>" in
+  let b = parse_ok "<a><b/></a>" in
+  check "ignorable whitespace" true (Tree.equal_content a b);
+  check "strict keeps it" false (Tree.equal_content ~ignore_whitespace:false a b)
+
+let test_content_equality_text_matters () =
+  let a = parse_ok "<a>hello</a>" in
+  let b = parse_ok "<a>world</a>" in
+  check "text compared" false (Tree.equal_content a b)
+
+let test_content_equality_merges_adjacent () =
+  let a = parse_ok "<a>one<![CDATA[ two]]></a>" in
+  let b = parse_ok "<a>one two</a>" in
+  check "cdata merged with text" true (Tree.equal_content a b)
+
+let suite =
+  [
+    ( "xml.name",
+      [
+        Alcotest.test_case "parse" `Quick test_name_parse;
+        Alcotest.test_case "invalid" `Quick test_name_invalid;
+        Alcotest.test_case "order" `Quick test_name_order;
+        Alcotest.test_case "ncname" `Quick test_ncname;
+      ] );
+    ( "xml.tree",
+      [
+        Alcotest.test_case "observers" `Quick test_tree_observers;
+        Alcotest.test_case "fold" `Quick test_fold_elements;
+      ] );
+    ( "xml.parser",
+      [
+        Alcotest.test_case "basic" `Quick test_parse_basic;
+        Alcotest.test_case "entities" `Quick test_parse_entities;
+        Alcotest.test_case "cdata/comment/pi" `Quick test_parse_cdata_comment_pi;
+        Alcotest.test_case "doctype" `Quick test_parse_doctype_skipped;
+        Alcotest.test_case "attribute quotes" `Quick test_parse_attribute_quotes;
+        Alcotest.test_case "errors" `Quick test_parse_errors;
+        Alcotest.test_case "error location" `Quick test_parse_error_location;
+        Alcotest.test_case "deep nesting" `Quick test_deep_nesting;
+        Alcotest.test_case "whitespace kept" `Quick test_mixed_whitespace_kept;
+      ] );
+    ( "xml.printer",
+      [
+        Alcotest.test_case "escape" `Quick test_escape;
+        Alcotest.test_case "roundtrip" `Quick test_print_parse_roundtrip;
+        Alcotest.test_case "special chars" `Quick test_print_special_chars;
+        Alcotest.test_case "pretty reparses" `Quick test_pretty_print_reparses;
+      ] );
+    ( "xml.content-equality",
+      [
+        Alcotest.test_case "comments ignored" `Quick test_content_equality_comments;
+        Alcotest.test_case "attr order" `Quick test_content_equality_attr_order;
+        Alcotest.test_case "whitespace" `Quick test_content_equality_ws;
+        Alcotest.test_case "text matters" `Quick test_content_equality_text_matters;
+        Alcotest.test_case "adjacent text" `Quick test_content_equality_merges_adjacent;
+      ] );
+  ]

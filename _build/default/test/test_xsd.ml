@@ -1,0 +1,374 @@
+(* Tests for xsm_xsd: reading the concrete XSD syntax (the paper's
+   Examples 1-7 as written) and the writer round-trip. *)
+
+open Xsm_schema
+module Name = Xsm_xml.Name
+module Tree = Xsm_xml.Tree
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let read s =
+  match Xsm_xsd.Reader.schema_of_string s with
+  | Ok schema -> schema
+  | Error e -> Alcotest.failf "reader: %s" (Xsm_xsd.Reader.error_to_string e)
+
+let read_err s =
+  match Xsm_xsd.Reader.schema_of_string s with
+  | Ok _ -> Alcotest.fail "expected a reader error"
+  | Error _ -> ()
+
+let wrap body =
+  Printf.sprintf
+    "<xsd:schema xmlns:xsd=\"http://www.w3.org/2001/XMLSchema\">%s</xsd:schema>" body
+
+let example7_text =
+  wrap
+    {|<xsd:complexType name="BookPublication">
+   <xsd:sequence>
+    <xsd:element name="Title" type="xsd:string"/>
+    <xsd:element name="Author" type="xsd:string"/>
+    <xsd:element name="Date" type="xsd:string"/>
+    <xsd:element name="ISBN" type="xsd:string"/>
+    <xsd:element name="Publisher" type="xsd:string"/>
+   </xsd:sequence>
+  </xsd:complexType>
+  <xsd:element name="BookStore">
+   <xsd:complexType>
+    <xsd:sequence>
+     <xsd:element name="Book" type="BookPublication" maxOccurs="unbounded"/>
+    </xsd:sequence>
+   </xsd:complexType>
+  </xsd:element>|}
+
+let test_example7 () =
+  let s = read example7_text in
+  check "well-formed" true (Result.is_ok (Schema_check.check s));
+  check_int "one named type" 1 (List.length s.Ast.complex_types);
+  check "validates bookstore" true
+    (Validator.is_valid (Samples.bookstore_document ~books:3 ()) s);
+  check "rejects broken" false
+    (Validator.is_valid (Samples.bookstore_invalid_document ()) s)
+
+let test_example1_declarations () =
+  (* nillable + occurrence bounds + anonymous complex type *)
+  let s =
+    read
+      (wrap
+         {|<xsd:element name="Location">
+             <xsd:complexType>
+               <xsd:sequence>
+                 <xsd:element name="Comment" type="xsd:string" nillable="true"/>
+                 <xsd:element name="Author" type="xsd:string" minOccurs="0" maxOccurs="2"/>
+               </xsd:sequence>
+             </xsd:complexType>
+           </xsd:element>|})
+  in
+  match s.Ast.root.Ast.elem_type with
+  | Ast.Anonymous (Ast.Complex_content { content = Some g; _ }) -> (
+    match g.Ast.particles with
+    | [ Ast.Element_particle c; Ast.Element_particle a ] ->
+      check "nillable read" true c.Ast.nillable;
+      check "occurs read" true
+        (a.Ast.repetition = Ast.repeat 0 (Some 2))
+    | _ -> Alcotest.fail "expected two element particles")
+  | _ -> Alcotest.fail "expected anonymous complex type"
+
+let test_example5_simple_content () =
+  let s =
+    read
+      (wrap
+         {|<xsd:complexType name="Price">
+             <xsd:simpleContent>
+               <xsd:extension base="xsd:decimal">
+                 <xsd:attribute name="currency" type="xsd:string"/>
+               </xsd:extension>
+             </xsd:simpleContent>
+           </xsd:complexType>
+           <xsd:element name="price" type="Price"/>|})
+  in
+  let doc v =
+    Tree.document (Tree.elem "price" ~attrs:[ Tree.attr "currency" "EUR" ] ~children:[ Tree.text v ])
+  in
+  check "decimal content" true (Validator.is_valid (doc "12.5") s);
+  check "non-decimal rejected" false (Validator.is_valid (doc "x") s)
+
+let test_example6_mixed () =
+  let s =
+    read
+      (wrap
+         {|<xsd:element name="BookStore">
+            <xsd:complexType mixed="true">
+              <xsd:sequence>
+                <xsd:element name="Book" type="xsd:string" minOccurs="0" maxOccurs="1000"/>
+              </xsd:sequence>
+              <xsd:attribute name="InStock" type="xsd:boolean"/>
+              <xsd:attribute name="Reviewer" type="xsd:string"/>
+            </xsd:complexType>
+          </xsd:element>|})
+  in
+  let doc =
+    Tree.document
+      (Tree.elem "BookStore"
+         ~attrs:[ Tree.attr "InStock" "true"; Tree.attr "Reviewer" "r" ]
+         ~children:
+           [ Tree.text "pre "; Tree.element (Tree.elem "Book" ~children:[ Tree.text "b" ]); Tree.text " post" ])
+  in
+  check "mixed accepted" true (Validator.is_valid doc s)
+
+let test_choice_and_nested_groups () =
+  let s =
+    read
+      (wrap
+         {|<xsd:element name="r">
+            <xsd:complexType>
+              <xsd:choice minOccurs="0" maxOccurs="unbounded">
+                <xsd:element name="zero" type="xsd:string"/>
+                <xsd:element name="one" type="xsd:string"/>
+                <xsd:sequence>
+                  <xsd:element name="pair" type="xsd:string"/>
+                  <xsd:element name="end" type="xsd:string"/>
+                </xsd:sequence>
+              </xsd:choice>
+            </xsd:complexType>
+          </xsd:element>|})
+  in
+  let mk kids =
+    Tree.document
+      (Tree.elem "r"
+         ~children:(List.map (fun k -> Tree.element (Tree.elem k ~children:[ Tree.text "v" ])) kids))
+  in
+  check "zero one" true (Validator.is_valid (mk [ "zero"; "one" ]) s);
+  check "pair end" true (Validator.is_valid (mk [ "pair"; "end"; "zero" ]) s);
+  check "pair alone" false (Validator.is_valid (mk [ "pair" ]) s)
+
+let test_simple_type_facets () =
+  let s =
+    read
+      (wrap
+         {|<xsd:simpleType name="Grade">
+             <xsd:restriction base="xsd:integer">
+               <xsd:minInclusive value="1"/>
+               <xsd:maxInclusive value="5"/>
+             </xsd:restriction>
+           </xsd:simpleType>
+           <xsd:simpleType name="Color">
+             <xsd:restriction base="xsd:string">
+               <xsd:enumeration value="red"/>
+               <xsd:enumeration value="green"/>
+               <xsd:enumeration value="blue"/>
+             </xsd:restriction>
+           </xsd:simpleType>
+           <xsd:element name="e">
+             <xsd:complexType>
+               <xsd:sequence>
+                 <xsd:element name="g" type="Grade"/>
+                 <xsd:element name="c" type="Color"/>
+               </xsd:sequence>
+             </xsd:complexType>
+           </xsd:element>|})
+  in
+  let mk g c =
+    Tree.document
+      (Tree.elem "e"
+         ~children:
+           [
+             Tree.element (Tree.elem "g" ~children:[ Tree.text g ]);
+             Tree.element (Tree.elem "c" ~children:[ Tree.text c ]);
+           ])
+  in
+  check "3/red" true (Validator.is_valid (mk "3" "red") s);
+  check "6 out" false (Validator.is_valid (mk "6" "red") s);
+  check "mauve out" false (Validator.is_valid (mk "3" "mauve") s)
+
+let test_simple_type_pattern_list_union () =
+  let s =
+    read
+      (wrap
+         {|<xsd:simpleType name="Sku">
+             <xsd:restriction base="xsd:string">
+               <xsd:pattern value="\d{3}-[A-Z]{2}"/>
+             </xsd:restriction>
+           </xsd:simpleType>
+           <xsd:simpleType name="Skus">
+             <xsd:list itemType="Sku"/>
+           </xsd:simpleType>
+           <xsd:simpleType name="IntOrBool">
+             <xsd:union memberTypes="xsd:integer xsd:boolean"/>
+           </xsd:simpleType>
+           <xsd:element name="e">
+             <xsd:complexType>
+               <xsd:sequence>
+                 <xsd:element name="skus" type="Skus"/>
+                 <xsd:element name="x" type="IntOrBool"/>
+               </xsd:sequence>
+             </xsd:complexType>
+           </xsd:element>|})
+  in
+  let mk skus x =
+    Tree.document
+      (Tree.elem "e"
+         ~children:
+           [
+             Tree.element (Tree.elem "skus" ~children:[ Tree.text skus ]);
+             Tree.element (Tree.elem "x" ~children:[ Tree.text x ]);
+           ])
+  in
+  check "list of patterns" true (Validator.is_valid (mk "123-AB 456-CD" "42") s);
+  check "bad item" false (Validator.is_valid (mk "123-AB 45-CD" "42") s);
+  check "union bool" true (Validator.is_valid (mk "123-AB" "true") s);
+  check "union neither" false (Validator.is_valid (mk "123-AB" "maybe") s)
+
+let test_inline_simple_type () =
+  let s =
+    read
+      (wrap
+         {|<xsd:element name="age">
+             <xsd:simpleType>
+               <xsd:restriction base="xsd:integer">
+                 <xsd:minInclusive value="0"/>
+                 <xsd:maxInclusive value="150"/>
+               </xsd:restriction>
+             </xsd:simpleType>
+           </xsd:element>|})
+  in
+  let mk v = Tree.document (Tree.elem "age" ~children:[ Tree.text v ]) in
+  check "42" true (Validator.is_valid (mk "42") s);
+  check "151" false (Validator.is_valid (mk "151") s)
+
+let test_attribute_use_syntax () =
+  let s =
+    read
+      (wrap
+         {|<xsd:element name="e">
+             <xsd:complexType>
+               <xsd:sequence/>
+               <xsd:attribute name="req" type="xsd:string" use="required"/>
+               <xsd:attribute name="opt" type="xsd:string"/>
+               <xsd:attribute name="banned" type="xsd:string" use="prohibited"/>
+               <xsd:attribute name="lang" type="xsd:string" default="en"/>
+             </xsd:complexType>
+           </xsd:element>|})
+  in
+  let mk attrs = Tree.document (Tree.elem "e" ~attrs) in
+  check "all fine" true (Validator.is_valid (mk [ Tree.attr "req" "x" ]) s);
+  check "missing required" false (Validator.is_valid (mk []) s);
+  check "prohibited rejected" false
+    (Validator.is_valid (mk [ Tree.attr "req" "x"; Tree.attr "banned" "b" ]) s);
+  (* default materialized by validation *)
+  (match Validator.validate_document (mk [ Tree.attr "req" "x" ]) s with
+  | Error _ -> Alcotest.fail "should validate"
+  | Ok (store, dnode) ->
+    let e = List.hd (Xsm_xdm.Store.children store dnode) in
+    let langs =
+      List.filter
+        (fun a -> Xsm_xdm.Store.node_name store a = Some (Name.local "lang"))
+        (Xsm_xdm.Store.attributes store e)
+    in
+    check "lang defaulted" true
+      (List.length langs = 1
+      && Xsm_xdm.Store.string_value store (List.hd langs) = "en"));
+  (* default with use=required rejected at read time *)
+  read_err
+    (wrap
+       {|<xsd:element name="e"><xsd:complexType><xsd:sequence/>
+          <xsd:attribute name="a" type="xsd:string" use="required" default="x"/>
+         </xsd:complexType></xsd:element>|})
+
+let test_xsd_all_group () =
+  let s =
+    read
+      (wrap
+         {|<xsd:element name="r">
+             <xsd:complexType>
+               <xsd:all>
+                 <xsd:element name="x" type="xsd:string"/>
+                 <xsd:element name="y" type="xsd:string" minOccurs="0"/>
+               </xsd:all>
+             </xsd:complexType>
+           </xsd:element>|})
+  in
+  let mk kids =
+    Tree.document
+      (Tree.elem "r"
+         ~children:(List.map (fun k -> Tree.element (Tree.elem k ~children:[ Tree.text "v" ])) kids))
+  in
+  check "xy" true (Validator.is_valid (mk [ "x"; "y" ]) s);
+  check "yx" true (Validator.is_valid (mk [ "y"; "x" ]) s);
+  check "x alone" true (Validator.is_valid (mk [ "x" ]) s);
+  check "y alone (x required)" false (Validator.is_valid (mk [ "y" ]) s);
+  check "xx" false (Validator.is_valid (mk [ "x"; "x" ]) s)
+
+let test_annotations_ignored () =
+  let s =
+    read
+      (wrap
+         {|<xsd:element name="e">
+             <xsd:complexType>
+               <xsd:sequence>
+                 <xsd:annotation><xsd:documentation>docs</xsd:documentation></xsd:annotation>
+                 <xsd:element name="x" type="xsd:string"/>
+               </xsd:sequence>
+             </xsd:complexType>
+           </xsd:element>|})
+  in
+  let doc = Tree.document (Tree.elem "e" ~children:[ Tree.element (Tree.elem "x" ~children:[ Tree.text "v" ]) ]) in
+  check "annotation skipped" true (Validator.is_valid doc s)
+
+let test_reader_errors () =
+  read_err "<notaschema/>";
+  read_err (wrap "");  (* no global element *)
+  read_err (wrap {|<xsd:element name="e" type="xsd:string" minOccurs="x"/>|});
+  read_err (wrap {|<xsd:element name="e"><xsd:complexType><xsd:sequence><xsd:bogus/></xsd:sequence></xsd:complexType></xsd:element>|});
+  read_err (wrap {|<xsd:simpleType name="t"><xsd:restriction base="zzz:none"/></xsd:simpleType><xsd:element name="e" type="t"/>|})
+
+let test_writer_roundtrip_schemas () =
+  List.iter
+    (fun schema ->
+      let text = Xsm_xsd.Writer.to_string schema in
+      let back = read text in
+      check "reread well-formed" true (Result.is_ok (Schema_check.check back));
+      (* both schemas validate the same sample documents *)
+      let rng = Generator.rng 11 in
+      for _ = 1 to 10 do
+        let doc = Generator.instance rng schema in
+        if not (Validator.is_valid doc back) then
+          Alcotest.failf "document valid under original but not reread schema:\n%s"
+            (Xsm_xml.Printer.to_string doc)
+      done)
+    [ Samples.example7_schema; Samples.library_schema ]
+
+let test_writer_roundtrip_random () =
+  let rng = Generator.rng 77 in
+  for _ = 1 to 10 do
+    let schema = Generator.random_schema ~max_depth:3 rng in
+    let text = Xsm_xsd.Writer.to_string schema in
+    let back = read text in
+    let doc = Generator.instance rng schema in
+    if not (Validator.is_valid doc back) then
+      Alcotest.failf "random schema writer/reader mismatch:\n%s" text
+  done
+
+let suite =
+  [
+    ( "xsd.reader",
+      [
+        Alcotest.test_case "example 7" `Quick test_example7;
+        Alcotest.test_case "example 1 declarations" `Quick test_example1_declarations;
+        Alcotest.test_case "example 5 simple content" `Quick test_example5_simple_content;
+        Alcotest.test_case "example 6 mixed" `Quick test_example6_mixed;
+        Alcotest.test_case "choice and nesting" `Quick test_choice_and_nested_groups;
+        Alcotest.test_case "facets" `Quick test_simple_type_facets;
+        Alcotest.test_case "pattern/list/union" `Quick test_simple_type_pattern_list_union;
+        Alcotest.test_case "inline simpleType" `Quick test_inline_simple_type;
+        Alcotest.test_case "attribute use/default" `Quick test_attribute_use_syntax;
+        Alcotest.test_case "xsd:all" `Quick test_xsd_all_group;
+        Alcotest.test_case "annotations" `Quick test_annotations_ignored;
+        Alcotest.test_case "errors" `Quick test_reader_errors;
+      ] );
+    ( "xsd.writer",
+      [
+        Alcotest.test_case "paper schemas" `Quick test_writer_roundtrip_schemas;
+        Alcotest.test_case "random schemas" `Quick test_writer_roundtrip_random;
+      ] );
+  ]
