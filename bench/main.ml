@@ -1,6 +1,6 @@
 (* Bench entry point.
 
-   Default: Bechamel micro-benchmarks, one group per experiment E1-E10
+   Default: Bechamel micro-benchmarks, one group per experiment E1-E11
    (ns/op with OLS estimation).  With --report: the full experiment
    harness that regenerates the EXPERIMENTS.md tables. *)
 
@@ -132,7 +132,33 @@ let tests () =
            | Ok _ -> ()
            | Error e -> failwith e))
   in
-  [ e1; e2a; e2b; e3; e4a; e4b; e5; e6; e7; e8a; e8b; e9; e10 ]
+  let module Pl = Xsm_xpath.Planner.Over_store in
+  let planner = Pl.create store dnode in
+  let indexed name q =
+    (* warm the caches so steady-state probes are measured *)
+    (match Pl.eval_string planner q with Ok _ -> () | Error e -> failwith e);
+    Test.make ~name
+      (staged (fun () ->
+           match Pl.eval_string planner q with
+           | Ok _ -> ()
+           | Error e -> failwith e))
+  in
+  let naive name q =
+    Test.make ~name
+      (staged (fun () ->
+           match Xsm_xpath.Eval.Over_store.eval_string store dnode q with
+           | Ok _ -> ()
+           | Error e -> failwith e))
+  in
+  let e11a = naive "E11 naive //author (lib 300)" "//author" in
+  let e11b = indexed "E11 indexed //author (lib 300)" "//author" in
+  let e11c = naive "E11 naive //book[year<1990]" "//book[issue/year<1990]/title" in
+  let e11d = indexed "E11 indexed //book[year<1990]" "//book[issue/year<1990]/title" in
+  let e11e =
+    Test.make ~name:"E11 path index build (lib 300)"
+      (staged (fun () -> ignore (Pl.create store dnode)))
+  in
+  [ e1; e2a; e2b; e3; e4a; e4b; e5; e6; e7; e8a; e8b; e9; e10; e11a; e11b; e11c; e11d; e11e ]
 
 let run_bechamel () =
   let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) () in
@@ -159,5 +185,5 @@ let () =
   if List.mem "--report" args then Report.run ()
   else begin
     run_bechamel ();
-    print_endline "\n(run with --report for the full E1-E10 experiment tables)"
+    print_endline "\n(run with --report for the full E1-E11 experiment tables)"
   end

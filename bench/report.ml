@@ -1,4 +1,4 @@
-(* The experiment harness: regenerates the E1-E10 tables recorded in
+(* The experiment harness: regenerates the E1-E11 tables recorded in
    EXPERIMENTS.md.  The paper itself is a formal-model paper with
    worked examples rather than numbered evaluation figures; these
    experiments measure the system claims it (and the Sedna reports it
@@ -346,6 +346,49 @@ let e10_datatype_throughput () =
       row "%-22s %-14d %-14.2f\n" label batch (float_of_int batch /. t /. 1e6))
     cases
 
+let e11_index_vs_naive () =
+  header "E11 Index subsystem: extent lookups + label joins vs navigation";
+  row "%-10s %-30s %-14s %-14s %-10s\n" "books" "query" "naive(us)" "indexed(us)" "speedup";
+  let queries =
+    [ "//author"; "/library/book/title"; "//book[issue/year<1990]/title"; "//book[issue]/author" ]
+  in
+  List.iter
+    (fun books ->
+      let store, dnode = load_library books in
+      let module Pl = Xsm_xpath.Planner.Over_store in
+      let planner = Pl.create store dnode in
+      List.iter
+        (fun q ->
+          (* warm: the first evaluation builds any value index it needs *)
+          (match Pl.eval_string planner q with Ok _ -> () | Error e -> failwith e);
+          let t_naive =
+            time (fun () ->
+                match Xsm_xpath.Eval.Over_store.eval_string store dnode q with
+                | Ok _ -> ()
+                | Error e -> failwith e)
+          in
+          let t_idx =
+            time (fun () ->
+                match Pl.eval_string planner q with
+                | Ok _ -> ()
+                | Error e -> failwith e)
+          in
+          row "%-10d %-30s %-14.1f %-14.1f %-10.1f\n" books q (t_naive *. 1e6)
+            (t_idx *. 1e6) (t_naive /. t_idx))
+        queries;
+      let t_build = time (fun () -> ignore (Pl.create store dnode)) in
+      let t_vi =
+        time ~min_time:0.02 (fun () ->
+            let p = Pl.create store dnode in
+            match Pl.eval_string p "//book[issue/year<1990]/title" with
+            | Ok _ -> ()
+            | Error e -> failwith e)
+      in
+      row "%-10d %-30s build %.2f ms, +value index %.2f ms\n" books "(index construction)"
+        (t_build *. 1e3)
+        (Float.max 0. (t_vi -. t_build) *. 1e3))
+    [ 100; 300; 1000 ]
+
 (* ------------------------------------------------------------------ *)
 (* Ablations                                                           *)
 
@@ -462,6 +505,7 @@ let run () =
   e8_schema_driven_queries ();
   e9_accessor_reconstruction ();
   e10_datatype_throughput ();
+  e11_index_vs_naive ();
   a1_block_capacity ();
   a2_expansion_cost ();
   a3_label_assignment_policy ();

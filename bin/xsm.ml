@@ -110,11 +110,54 @@ let query_cmd =
   let storage_flag =
     Arg.(value & flag & info [ "storage" ] ~doc:"Evaluate over the Sedna block storage")
   in
-  let run doc_path query use_storage =
+  let index_flag =
+    Arg.(
+      value & flag
+      & info [ "index" ]
+          ~doc:
+            "Evaluate through the index subsystem (DataGuide path index + typed value \
+             indexes); the plan is reported on stderr.  Unsupported queries fall back to \
+             navigational evaluation.")
+  in
+  let run doc_path query use_storage use_index =
     let doc = or_die (load_document doc_path) in
     let store = Xsm_xdm.Store.create () in
     let dnode = Xsm_xdm.Convert.load store doc in
-    if use_storage then begin
+    if use_index then begin
+      let explain_and_print eval_str explain values =
+        match eval_str query with
+        | Ok nodes ->
+          Format.eprintf "plan: %s@." (explain query);
+          List.iter print_endline (values nodes)
+        | Error e ->
+          prerr_endline e;
+          exit 1
+      in
+      if use_storage then begin
+        let module Pl = Xsm_xpath.Planner.Over_storage in
+        let bs = Xsm_storage.Block_storage.of_store store dnode in
+        let planner = Pl.create bs (Xsm_storage.Block_storage.root bs) in
+        explain_and_print
+          (fun q -> Pl.eval_string planner q)
+          (fun q ->
+            match Xsm_xpath.Path_parser.parse q with
+            | Ok p -> Pl.explain planner p
+            | Error e -> e)
+          (List.map (Xsm_storage.Block_storage.string_value bs))
+      end
+      else begin
+        let module Pl = Xsm_xpath.Planner.Over_store in
+        let planner = Pl.create store dnode in
+        explain_and_print
+          (fun q -> Pl.eval_string planner q)
+          (fun q ->
+            match Xsm_xpath.Path_parser.parse q with
+            | Ok p -> Pl.explain planner p
+            | Error e -> e)
+          (List.map (Xsm_xdm.Store.string_value store))
+      end
+    end
+    else if use_storage then begin
       let bs = Xsm_storage.Block_storage.of_store store dnode in
       match Xsm_xpath.Schema_driven.eval_string bs query with
       | Ok descs ->
@@ -140,7 +183,7 @@ let query_cmd =
   in
   Cmd.v
     (Cmd.info "query" ~doc:"Evaluate an XPath-subset query over a document")
-    Term.(const run $ doc_arg $ path_arg $ storage_flag)
+    Term.(const run $ doc_arg $ path_arg $ storage_flag $ index_flag)
 
 let dataguide_cmd =
   let doc_arg =

@@ -1,0 +1,114 @@
+module Label = Xsm_numbering.Sedna_label
+
+type 'n entry = { label : Label.t; node : 'n }
+type 'n t = 'n entry array
+
+let empty = [||]
+
+let of_rev_list rev =
+  let a = Array.of_list rev in
+  let n = Array.length a in
+  (* reverse in place: the builder appends in document order *)
+  for i = 0 to (n / 2) - 1 do
+    let tmp = a.(i) in
+    a.(i) <- a.(n - 1 - i);
+    a.(n - 1 - i) <- tmp
+  done;
+  a
+
+let length = Array.length
+let is_empty t = Array.length t = 0
+let get t i = t.(i)
+let entries t = Array.to_list t
+let nodes t = Array.to_list (Array.map (fun e -> e.node) t)
+let select t positions = Array.of_list (List.map (fun i -> t.(i)) positions)
+
+let inter a b =
+  let out = ref [] in
+  let i = ref 0 and j = ref 0 in
+  while !i < Array.length a && !j < Array.length b do
+    let c = Label.compare a.(!i).label b.(!j).label in
+    if c = 0 then begin
+      out := a.(!i) :: !out;
+      incr i;
+      incr j
+    end
+    else if c < 0 then incr i
+    else incr j
+  done;
+  of_rev_list !out
+
+let merge ts =
+  match List.filter (fun t -> not (is_empty t)) ts with
+  | [] -> empty
+  | [ single ] -> single
+  | ts ->
+    let all = Array.concat ts in
+    Array.sort (fun a b -> Label.compare a.label b.label) all;
+    let out = ref [] in
+    Array.iter
+      (fun e ->
+        match !out with
+        | prev :: _ when Label.equal prev.label e.label -> ()
+        | _ -> out := e :: !out)
+      all;
+    of_rev_list !out
+
+(* greatest index with label <= l, or -1.  In an antichain this is the
+   only entry that can be an ancestor of l: any later entry exceeds l,
+   and an earlier entry o < candidate <= l with o ancestor of l would
+   make o comparable to the candidate, contradicting the antichain. *)
+let find_le t l =
+  let lo = ref 0 and hi = ref (Array.length t - 1) and best = ref (-1) in
+  while !lo <= !hi do
+    let mid = (!lo + !hi) / 2 in
+    if Label.compare t.(mid).label l <= 0 then begin
+      best := mid;
+      lo := mid + 1
+    end
+    else hi := mid - 1
+  done;
+  !best
+
+let find_ancestor_pos ?(or_self = false) ~among l =
+  match find_le among l with
+  | -1 -> None
+  | i ->
+    let cand = among.(i).label in
+    if (or_self && Label.equal cand l) || Label.is_ancestor cand l then Some i
+    else None
+
+let restrict_by_ancestor ?(or_self = false) ~among t =
+  let out = ref [] in
+  Array.iter
+    (fun e ->
+      match find_ancestor_pos ~or_self ~among e.label with
+      | Some _ -> out := e :: !out
+      | None -> ())
+    t;
+  of_rev_list !out
+
+let restrict_by_parent ~among t =
+  let out = ref [] in
+  Array.iter
+    (fun e ->
+      match find_le among e.label with
+      | -1 -> ()
+      | i -> if Label.is_parent among.(i).label e.label then out := e :: !out)
+    t;
+  of_rev_list !out
+
+let semijoin_containing ~targets owners =
+  let marked = Array.make (Array.length owners) false in
+  List.iter
+    (fun target ->
+      Array.iter
+        (fun e ->
+          match find_ancestor_pos ~or_self:true ~among:owners e.label with
+          | Some i -> marked.(i) <- true
+          | None -> ())
+        target)
+    targets;
+  let out = ref [] in
+  Array.iteri (fun i e -> if marked.(i) then out := e :: !out) owners;
+  of_rev_list !out

@@ -1,0 +1,94 @@
+module Label = Xsm_numbering.Sedna_label
+module Name = Xsm_xml.Name
+
+module type NAV = sig
+  type t
+  type node
+
+  val kind : t -> node -> [ `Document | `Element | `Attribute | `Text ]
+  val name : t -> node -> Xsm_xml.Name.t option
+  val children : t -> node -> node list
+  val attributes : t -> node -> node list
+  val string_value : t -> node -> string
+  val typed_value : t -> node -> Xsm_datatypes.Value.t list
+end
+
+module Make (N : NAV) = struct
+  type pnode = {
+    pid : int;
+    p_kind : [ `Document | `Element | `Attribute | `Text ];
+    p_name : Name.t option;
+    mutable child_ids : int list;  (* in first-encounter order *)
+    mutable rev_entries : N.node Extent.entry list;  (* reverse doc order *)
+    mutable frozen : N.node Extent.t;
+  }
+
+  type t = { mutable pnodes : pnode array; mutable size : int }
+
+  let get t i = t.pnodes.(i)
+
+  let add t p_kind p_name =
+    let pn =
+      { pid = t.size; p_kind; p_name; child_ids = []; rev_entries = []; frozen = Extent.empty }
+    in
+    if t.size = Array.length t.pnodes then begin
+      let bigger = Array.make (max 16 (t.size * 2)) pn in
+      Array.blit t.pnodes 0 bigger 0 t.size;
+      t.pnodes <- bigger
+    end;
+    t.pnodes.(t.size) <- pn;
+    t.size <- t.size + 1;
+    pn
+
+  let find_or_add t parent kind name =
+    let matches cid =
+      let c = get t cid in
+      if c.p_kind = kind && Option.equal Name.equal c.p_name name then Some c else None
+    in
+    match List.find_map matches parent.child_ids with
+    | Some c -> c
+    | None ->
+      let c = add t kind name in
+      parent.child_ids <- parent.child_ids @ [ c.pid ];
+      c
+
+  let build backend rootn =
+    let t = { pnodes = [||]; size = 0 } in
+    let root_pn = add t (N.kind backend rootn) (N.name backend rootn) in
+    let rec go node pn label =
+      pn.rev_entries <- { Extent.label; node } :: pn.rev_entries;
+      let ordered = N.attributes backend node @ N.children backend node in
+      let child_labels = Label.assign_children label (List.length ordered) in
+      List.iter2
+        (fun c cl ->
+          let cpn = find_or_add t pn (N.kind backend c) (N.name backend c) in
+          go c cpn cl)
+        ordered child_labels
+    in
+    go rootn root_pn Label.root;
+    for i = 0 to t.size - 1 do
+      let pn = get t i in
+      pn.frozen <- Extent.of_rev_list pn.rev_entries;
+      pn.rev_entries <- []
+    done;
+    t
+
+  let root t = get t 0
+  let kind pn = pn.p_kind
+  let name pn = pn.p_name
+  let id pn = pn.pid
+  let children t pn = List.map (get t) pn.child_ids
+  let extent pn = pn.frozen
+
+  let pnode_count t = t.size
+
+  let entry_count t =
+    let total = ref 0 in
+    for i = 0 to t.size - 1 do
+      total := !total + Extent.length (get t i).frozen
+    done;
+    !total
+
+  let pp_stats ppf t =
+    Format.fprintf ppf "%d paths over %d nodes" (pnode_count t) (entry_count t)
+end

@@ -1,0 +1,55 @@
+(** The path index: a DataGuide over the instance (§9.1's descriptive
+    schema) where every schema node additionally carries the {e extent}
+    of instance nodes it describes, in document order.
+
+    One build traversal walks the document through the backend's §5
+    accessors, mirrors the descriptive-schema construction (one index
+    node per distinct rooted path), assigns every instance node a
+    fresh §9.3 Sedna numbering label, and appends a [(label, node)]
+    entry to its path node's extent.  Because the traversal is
+    pre-order, extents come out sorted by label — no sort pass.
+
+    Any `/a/b//c`-shaped path then resolves to a set of index nodes by
+    walking this little tree, and to its answer by merging their
+    extents — no instance-node traversal at all.  The labels double as
+    the join key for the structural joins of {!Extent} when predicates
+    restrict an extent mid-path.
+
+    The functor is parameterized over the same accessor signature the
+    XPath navigators provide, so one implementation serves both the
+    XDM store and the Sedna block storage. *)
+
+module type NAV = sig
+  type t
+  type node
+
+  val kind : t -> node -> [ `Document | `Element | `Attribute | `Text ]
+  val name : t -> node -> Xsm_xml.Name.t option
+  val children : t -> node -> node list
+  val attributes : t -> node -> node list
+  val string_value : t -> node -> string
+  val typed_value : t -> node -> Xsm_datatypes.Value.t list
+end
+
+module Make (N : NAV) : sig
+  type t
+
+  type pnode
+  (** A path-index node: one distinct rooted path of the document. *)
+
+  val build : N.t -> N.node -> t
+  (** Index the tree under the given root (one full traversal). *)
+
+  val root : t -> pnode
+  val kind : pnode -> [ `Document | `Element | `Attribute | `Text ]
+  val name : pnode -> Xsm_xml.Name.t option
+  val id : pnode -> int
+  val children : t -> pnode -> pnode list
+  val extent : pnode -> N.node Extent.t
+
+  val pnode_count : t -> int
+  val entry_count : t -> int
+  (** Total extent entries = indexed instance nodes. *)
+
+  val pp_stats : Format.formatter -> t -> unit
+end

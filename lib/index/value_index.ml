@@ -1,0 +1,108 @@
+module Decimal = Xsm_datatypes.Decimal
+module Value = Xsm_datatypes.Value
+
+module Key = struct
+  type t = Number of Decimal.t | Text of string
+
+  let of_string s =
+    match Decimal.of_string (String.trim s) with
+    | Ok d -> Number d
+    | Error _ -> Text s
+
+  let of_value = function
+    | Value.Decimal d -> Number d
+    | v -> of_string (Value.canonical_string v)
+
+  let compare a b =
+    match a, b with
+    | Number a, Number b -> Decimal.compare a b
+    | Number _, Text _ -> -1
+    | Text _, Number _ -> 1
+    | Text a, Text b -> String.compare a b
+
+  let pp ppf = function
+    | Number d -> Decimal.pp ppf d
+    | Text s -> Format.fprintf ppf "%S" s
+end
+
+type op = Lt | Le | Gt | Ge
+
+let same_family (a : Key.t) (b : Key.t) =
+  match a, b with
+  | Key.Number _, Key.Number _ | Key.Text _, Key.Text _ -> true
+  | Key.Number _, Key.Text _ | Key.Text _, Key.Number _ -> false
+
+let op_matches op a b =
+  same_family a b
+  &&
+  let c = Key.compare a b in
+  match op with Lt -> c < 0 | Le -> c <= 0 | Gt -> c > 0 | Ge -> c >= 0
+
+type t = {
+  sorted : (Key.t * int) array;  (* by key, then owner position *)
+  by_string : (string, int list) Hashtbl.t;  (* exact value -> rev positions *)
+  first_text : int;  (* index of the first Text key in [sorted] *)
+}
+
+let build triples =
+  let sorted =
+    Array.of_list (List.map (fun (k, _, pos) -> (k, pos)) triples)
+  in
+  Array.sort
+    (fun (ka, pa) (kb, pb) ->
+      let c = Key.compare ka kb in
+      if c <> 0 then c else Stdlib.compare pa pb)
+    sorted;
+  let by_string = Hashtbl.create (max 16 (List.length triples)) in
+  List.iter
+    (fun (_, s, pos) ->
+      let prev = Option.value ~default:[] (Hashtbl.find_opt by_string s) in
+      Hashtbl.replace by_string s (pos :: prev))
+    triples;
+  (* first index holding a Text key: numbers sort before texts *)
+  let n = Array.length sorted in
+  let lo = ref 0 and hi = ref n in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    match fst sorted.(mid) with
+    | Key.Number _ -> lo := mid + 1
+    | Key.Text _ -> hi := mid
+  done;
+  { sorted; by_string; first_text = !lo }
+
+let size t = Array.length t.sorted
+
+let eq t s =
+  match Hashtbl.find_opt t.by_string s with
+  | None -> []
+  | Some positions -> List.sort_uniq Stdlib.compare positions
+
+(* first index in [lo, hi) whose key compares >= (strict = false) or
+   > (strict = true) the probe *)
+let bound t ~strict ~lo ~hi probe =
+  let lo = ref lo and hi = ref hi in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    let c = Key.compare (fst t.sorted.(mid)) probe in
+    if c < 0 || (strict && c = 0) then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+let range t op probe =
+  let n = Array.length t.sorted in
+  (* the probe's own family only *)
+  let family_lo, family_hi =
+    match probe with Key.Number _ -> (0, t.first_text) | Key.Text _ -> (t.first_text, n)
+  in
+  let from_, to_ =
+    match op with
+    | Lt -> (family_lo, bound t ~strict:false ~lo:family_lo ~hi:family_hi probe)
+    | Le -> (family_lo, bound t ~strict:true ~lo:family_lo ~hi:family_hi probe)
+    | Gt -> (bound t ~strict:true ~lo:family_lo ~hi:family_hi probe, family_hi)
+    | Ge -> (bound t ~strict:false ~lo:family_lo ~hi:family_hi probe, family_hi)
+  in
+  let out = ref [] in
+  for i = from_ to to_ - 1 do
+    out := snd t.sorted.(i) :: !out
+  done;
+  List.sort_uniq Stdlib.compare !out

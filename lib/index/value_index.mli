@@ -1,0 +1,49 @@
+(** Typed value indexes: equality and range probes over the
+    typed-values of one indexed path.
+
+    An index entry associates a comparison key (and the exact string
+    value) with the {e position} of the owner node inside its path
+    extent; probes answer with sorted owner positions, which
+    {!Extent.select} turns back into a document-ordered sub-extent.
+    Keys live in a two-family order — numbers (exact [xs:decimal]
+    values) before text — so a range probe only ever matches values of
+    the probe's own family, mirroring the evaluator's comparison
+    semantics. *)
+
+module Key : sig
+  type t = Number of Xsm_datatypes.Decimal.t | Text of string
+
+  val of_string : string -> t
+  (** Numeric when the (trimmed) string is in the [xs:decimal] lexical
+      space, text otherwise. *)
+
+  val of_value : Xsm_datatypes.Value.t -> t
+  (** Decimals keep their exact value; every other atomic goes through
+      its canonical string and {!of_string}. *)
+
+  val compare : t -> t -> int
+  (** Total order: numbers by value, then texts by code point. *)
+
+  val pp : Format.formatter -> t -> unit
+end
+
+type op = Lt | Le | Gt | Ge
+
+val op_matches : op -> Key.t -> Key.t -> bool
+(** [op_matches op a b]: does [a op b] hold?  False when the keys
+    belong to different families. *)
+
+type t
+
+val build : (Key.t * string * int) list -> t
+(** [(key, string value, owner position)] triples, any order. *)
+
+val size : t -> int
+
+val eq : t -> string -> int list
+(** Owner positions whose exact string value equals the literal;
+    sorted, duplicate-free. *)
+
+val range : t -> op -> Key.t -> int list
+(** Owner positions with a value [v] such that [v op probe] holds;
+    sorted, duplicate-free. *)

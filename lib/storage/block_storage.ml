@@ -309,6 +309,8 @@ let rec string_value t d =
   | Schema.Document | Schema.Element ->
     String.concat "" (List.map (string_value t) (children t d))
 
+let typed_value t d = [ Xsm_datatypes.Value.Untyped_atomic (string_value t d) ]
+
 let descendants_by_snode t sn =
   match Hashtbl.find_opt t.heads (Schema.snode_id sn) with
   | None -> []

@@ -46,6 +46,11 @@ val children : t -> desc -> desc list
 
 val attributes : t -> desc -> desc list
 val string_value : t -> desc -> string
+
+val typed_value : t -> desc -> Xsm_datatypes.Value.t list
+(** Descriptors store lexical values only, so the typed value is
+    always [xdt:untypedAtomic] of the string value. *)
+
 val nid : desc -> Xsm_numbering.Sedna_label.t
 
 val home_block_id : desc -> int option

@@ -100,6 +100,22 @@ module Make (N : Navigator.S) = struct
             | Equals (rel, lit) ->
               List.exists
                 (fun m -> String.equal (N.string_value backend m) lit)
+                (eval_path backend n rel)
+            | Cmp (op, rel, lit) ->
+              let module VI = Xsm_index.Value_index in
+              let op =
+                match op with
+                | Path_ast.Lt -> VI.Lt
+                | Path_ast.Le -> VI.Le
+                | Path_ast.Gt -> VI.Gt
+                | Path_ast.Ge -> VI.Ge
+              in
+              let probe = VI.Key.of_string lit in
+              List.exists
+                (fun m ->
+                  List.exists
+                    (fun v -> VI.op_matches op (VI.Key.of_value v) probe)
+                    (N.typed_value backend m))
                 (eval_path backend n rel))
           candidates
       in

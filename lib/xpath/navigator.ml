@@ -15,6 +15,11 @@ module type S = sig
   val children : t -> node -> node list
   val attributes : t -> node -> node list
   val string_value : t -> node -> string
+
+  val typed_value : t -> node -> Xsm_datatypes.Value.t list
+  (** The §5 typed-value accessor; untyped backends answer with
+      [xdt:untypedAtomic] of the string value. *)
+
   val equal : t -> node -> node -> bool
 
   val order : t -> node -> node -> int
@@ -39,6 +44,7 @@ module Xdm : S with type t = Xsm_xdm.Store.t and type node = Xsm_xdm.Store.node 
   let children = Store.children
   let attributes = Store.attributes
   let string_value = Store.string_value
+  let typed_value = Store.typed_value
   let equal _ a b = Store.equal_node a b
   let order = Xsm_xdm.Order.compare
 end
@@ -64,6 +70,7 @@ struct
   let children = B.children
   let attributes = B.attributes
   let string_value = B.string_value
+  let typed_value = B.typed_value
   let equal _ a b = Xsm_numbering.Sedna_label.equal (B.nid a) (B.nid b)
   let order _ a b = Xsm_numbering.Sedna_label.compare (B.nid a) (B.nid b)
 end

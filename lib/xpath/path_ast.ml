@@ -6,11 +6,14 @@ type node_test =
   | Text_test
   | Node_test
 
+type cmp = Lt | Le | Gt | Ge
+
 type expr =
   | Position of int
   | Last
   | Exists of path
   | Equals of path * string
+  | Cmp of cmp * path * string
 
 and step = { axis : axis; test : node_test; predicates : expr list }
 
@@ -22,11 +25,24 @@ let pp_test ppf = function
   | Text_test -> Format.pp_print_string ppf "text()"
   | Node_test -> Format.pp_print_string ppf "node()"
 
+let cmp_to_string = function Lt -> "<" | Le -> "<=" | Gt -> ">" | Ge -> ">="
+
+let is_bare_number v =
+  v <> ""
+  && String.for_all (fun c -> (c >= '0' && c <= '9') || c = '.' || c = '-') v
+
+let pp_literal ppf v =
+  (* numbers read back without quotes; everything else is quoted *)
+  if is_bare_number v then Format.pp_print_string ppf v
+  else Format.fprintf ppf "%S" v
+
 let rec pp_expr ppf = function
   | Position n -> Format.pp_print_int ppf n
   | Last -> Format.pp_print_string ppf "last()"
   | Exists p -> pp_path ppf p
   | Equals (p, v) -> Format.fprintf ppf "%a=%S" pp_path p v
+  | Cmp (op, p, v) ->
+    Format.fprintf ppf "%a%s%a" pp_path p (cmp_to_string op) pp_literal v
 
 and pp_step ppf (s : step) =
   (match s.axis with

@@ -13,11 +13,18 @@ type node_test =
   | Text_test  (** [text()] *)
   | Node_test  (** [node()] *)
 
+type cmp = Lt | Le | Gt | Ge
+
 type expr =
   | Position of int  (** [[2]] or [[position()=2]] *)
   | Last  (** [[last()]] *)
   | Exists of path  (** [[author]] — a relative path matches *)
   | Equals of path * string  (** [[author="Codd"]] *)
+  | Cmp of cmp * path * string
+      (** [[price < 30]] — an order comparison on typed values: some
+          node selected by the relative path has a typed value in the
+          same family (number or text) as the literal satisfying the
+          comparison *)
 
 and step = { axis : axis; test : node_test; predicates : expr list }
 
@@ -27,6 +34,8 @@ and path = {
       (** the flag is [true] when the step was preceded by [//]
           (descendant-or-self shortcut) *)
 }
+
+val cmp_to_string : cmp -> string
 
 val pp_path : Format.formatter -> path -> unit
 val to_string : path -> string

@@ -67,6 +67,27 @@ let scan_literal sc =
     | None -> fail "unterminated string literal")
   | _ -> fail "expected a string literal at offset %d" sc.i
 
+let skip_spaces sc =
+  while peek sc = Some ' ' do
+    sc.i <- sc.i + 1
+  done
+
+(* a comparison right-hand side: a quoted literal or a bare number *)
+let scan_comparand sc =
+  match peek sc with
+  | Some ('"' | '\'') -> scan_literal sc
+  | _ ->
+    let start = sc.i in
+    if peek sc = Some '-' then sc.i <- sc.i + 1;
+    while
+      match peek sc with Some c -> (c >= '0' && c <= '9') || c = '.' | None -> false
+    do
+      sc.i <- sc.i + 1
+    done;
+    if sc.i = start || (sc.i = start + 1 && sc.s.[start] = '-') then
+      fail "expected a literal or number at offset %d" start;
+    String.sub sc.s start (sc.i - start)
+
 let qname s =
   match Name.of_string s with Ok n -> n | Error e -> fail "%s" e
 
@@ -152,8 +173,21 @@ and parse_expr sc =
     end
     else begin
       let p = parse_path sc ~absolute_allowed:false in
-      if eat sc "=" then Equals (p, scan_literal sc) else Exists p
+      skip_spaces sc;
+      if eat sc "=" then begin
+        skip_spaces sc;
+        Equals (p, scan_literal sc)
+      end
+      else if eat sc "<=" then cmp_rhs sc Le p
+      else if eat sc "<" then cmp_rhs sc Lt p
+      else if eat sc ">=" then cmp_rhs sc Ge p
+      else if eat sc ">" then cmp_rhs sc Gt p
+      else Exists p
     end
+
+and cmp_rhs sc op p =
+  skip_spaces sc;
+  Cmp (op, p, scan_comparand sc)
 
 let parse input =
   let sc = { s = input; i = 0 } in

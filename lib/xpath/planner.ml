@@ -1,0 +1,239 @@
+open Path_ast
+module Extent = Xsm_index.Extent
+module VI = Xsm_index.Value_index
+
+module Make (N : Navigator.S) = struct
+  module PI = Xsm_index.Path_index.Make (N)
+  module E = Eval.Make (N)
+
+  exception Fallback of string
+
+  type t = {
+    backend : N.t;
+    root : N.node;
+    mutable pindex : PI.t;
+    mutable is_stale : bool;
+    values : (int * string, VI.t) Hashtbl.t;
+        (* (pnode id, printed relative path) -> its typed value index *)
+  }
+
+  let create backend root =
+    {
+      backend;
+      root;
+      pindex = PI.build backend root;
+      is_stale = false;
+      values = Hashtbl.create 16;
+    }
+
+  let refresh t =
+    t.pindex <- PI.build t.backend t.root;
+    Hashtbl.reset t.values;
+    t.is_stale <- false
+
+  let invalidate t = t.is_stale <- true
+  let stale t = t.is_stale
+  let index t = t.pindex
+  let value_index_count t = Hashtbl.length t.values
+  let ensure_fresh t = if t.is_stale then refresh t
+
+  (* ---- node tests on path-index nodes (mirrors Eval.test_matches) ---- *)
+
+  let test_matches test pn =
+    match test, PI.kind pn with
+    | Name_test n, (`Element | `Attribute) -> (
+      match PI.name pn with Some m -> Xsm_xml.Name.equal m n | None -> false)
+    | Name_test _, (`Document | `Text) -> false
+    | Wildcard, `Element -> true
+    | Wildcard, `Attribute -> true
+    | Wildcard, (`Document | `Text) -> false
+    | Text_test, `Text -> true
+    | Text_test, (`Document | `Element | `Attribute) -> false
+    | Node_test, _ -> true
+
+  (* A candidate: one path-index node, optionally with its extent
+     restricted by predicates seen so far.  [None] means the full
+     extent — the common pure-path case, where no label join runs. *)
+  type cand = { pn : PI.pnode; restr : N.node Extent.t option }
+
+  let cand_extent c = match c.restr with Some e -> e | None -> PI.extent c.pn
+
+  let narrow join base_restr pn =
+    match base_restr with
+    | None -> None
+    | Some restr -> Some (join ~among:restr (PI.extent pn))
+
+  let merge_cands cands =
+    (* group by pnode; an unrestricted candidate absorbs restricted ones *)
+    let tbl = Hashtbl.create 16 in
+    let order = ref [] in
+    List.iter
+      (fun c ->
+        let pid = PI.id c.pn in
+        match Hashtbl.find_opt tbl pid with
+        | None ->
+          Hashtbl.add tbl pid c;
+          order := pid :: !order
+        | Some prev ->
+          let merged =
+            match prev.restr, c.restr with
+            | None, _ | _, None -> { prev with restr = None }
+            | Some a, Some b -> { prev with restr = Some (Extent.merge [ a; b ]) }
+          in
+          Hashtbl.replace tbl pid merged)
+      cands;
+    List.rev_map (fun pid -> Hashtbl.find tbl pid) !order
+
+  (* descendant-or-self path-index nodes, never descending through
+     attributes (the descendant axes are defined over children only) *)
+  let rec desc_or_self_pnodes t pn acc =
+    List.fold_left
+      (fun acc c ->
+        match PI.kind c with
+        | `Attribute -> acc
+        | `Document | `Element | `Text -> desc_or_self_pnodes t c acc)
+      (pn :: acc) (PI.children t pn)
+
+  let expand_desc_or_self t c =
+    List.map
+      (fun pn ->
+        if PI.id pn = PI.id c.pn then c
+        else { pn; restr = narrow (Extent.restrict_by_ancestor ~or_self:false) c.restr pn })
+      (desc_or_self_pnodes t.pindex c.pn [])
+
+  let child_cands t c test ~attribute =
+    PI.children t.pindex c.pn
+    |> List.filter (fun pn ->
+           (if attribute then PI.kind pn = `Attribute else PI.kind pn <> `Attribute)
+           && test_matches test pn)
+    |> List.map (fun pn -> { pn; restr = narrow Extent.restrict_by_parent c.restr pn })
+
+  let descendant_cands t c test ~or_self =
+    desc_or_self_pnodes t.pindex c.pn []
+    |> List.filter_map (fun pn ->
+           let self = PI.id pn = PI.id c.pn in
+           if (self && not or_self) || not (test_matches test pn) then None
+           else if self then Some c
+           else Some { pn; restr = narrow (Extent.restrict_by_ancestor ~or_self:false) c.restr pn })
+
+  let rec do_step t cands ((step : step), desc_flag) =
+    let bases =
+      if desc_flag then merge_cands (List.concat_map (expand_desc_or_self t) cands)
+      else cands
+    in
+    let targets =
+      List.concat_map
+        (fun c ->
+          match step.axis with
+          | Xsm_xdm.Axis.Child -> child_cands t c step.test ~attribute:false
+          | Xsm_xdm.Axis.Attribute -> child_cands t c step.test ~attribute:true
+          | Xsm_xdm.Axis.Self -> if test_matches step.test c.pn then [ c ] else []
+          | Xsm_xdm.Axis.Descendant -> descendant_cands t c step.test ~or_self:false
+          | Xsm_xdm.Axis.Descendant_or_self ->
+            descendant_cands t c step.test ~or_self:true
+          | (Xsm_xdm.Axis.Parent | Xsm_xdm.Axis.Ancestor | Xsm_xdm.Axis.Ancestor_or_self
+            | Xsm_xdm.Axis.Following_sibling | Xsm_xdm.Axis.Preceding_sibling
+            | Xsm_xdm.Axis.Following | Xsm_xdm.Axis.Preceding) as axis ->
+            raise (Fallback (Xsm_xdm.Axis.to_string axis ^ " axis")))
+        bases
+    in
+    let targets = merge_cands targets in
+    List.fold_left
+      (fun cs pred -> List.map (fun c -> apply_pred t c pred) cs)
+      targets step.predicates
+
+  and apply_pred t c pred =
+    match pred with
+    | Position _ | Last -> raise (Fallback "positional predicate")
+    | Exists rel ->
+      let targets = run_rel t c.pn rel in
+      let restr' =
+        Extent.semijoin_containing
+          ~targets:(List.map cand_extent targets)
+          (cand_extent c)
+      in
+      { c with restr = Some restr' }
+    | Equals (rel, lit) -> restrict_probe c (VI.eq (value_index t c.pn rel) lit)
+    | Cmp (op, rel, lit) ->
+      let op =
+        match op with
+        | Path_ast.Lt -> VI.Lt
+        | Path_ast.Le -> VI.Le
+        | Path_ast.Gt -> VI.Gt
+        | Path_ast.Ge -> VI.Ge
+      in
+      restrict_probe c (VI.range (value_index t c.pn rel) op (VI.Key.of_string lit))
+
+  and restrict_probe c positions =
+    let sub = Extent.select (PI.extent c.pn) positions in
+    { c with restr = Some (match c.restr with None -> sub | Some r -> Extent.inter r sub) }
+
+  and run_rel t pn (rel : path) =
+    if rel.absolute then raise (Fallback "absolute predicate path");
+    List.fold_left (do_step t) [ { pn; restr = None } ] rel.steps
+
+  (* The typed value index over (owner path, relative value path),
+     built on first use from the owner and target extents — each
+     target node attaches to its unique owner ancestor by one binary
+     search on the labels — then cached until the next refresh. *)
+  and value_index t pn (rel : path) =
+    let key = (PI.id pn, Path_ast.to_string rel) in
+    match Hashtbl.find_opt t.values key with
+    | Some vi -> vi
+    | None ->
+      let owners = PI.extent pn in
+      let targets = run_rel t pn rel in
+      let triples =
+        List.concat_map
+          (fun tc ->
+            List.concat_map
+              (fun (e : N.node Extent.entry) ->
+                match Extent.find_ancestor_pos ~or_self:true ~among:owners e.label with
+                | None -> []
+                | Some pos ->
+                  let sval = N.string_value t.backend e.node in
+                  List.map
+                    (fun v -> (VI.Key.of_value v, sval, pos))
+                    (N.typed_value t.backend e.node))
+              (Extent.entries (cand_extent tc)))
+          targets
+      in
+      let vi = VI.build triples in
+      Hashtbl.add t.values key vi;
+      vi
+
+  let eval_indexed t (p : path) =
+    ensure_fresh t;
+    if not p.absolute then raise (Fallback "relative path");
+    let final =
+      List.fold_left (do_step t) [ { pn = PI.root t.pindex; restr = None } ] p.steps
+    in
+    Extent.nodes (Extent.merge (List.map cand_extent final))
+
+  let try_indexed t p =
+    match eval_indexed t p with
+    | nodes -> Ok nodes
+    | exception Fallback reason -> Error reason
+
+  let eval t ?context p =
+    match try_indexed t p with
+    | Ok nodes -> nodes
+    | Error _ -> E.eval t.backend (Option.value context ~default:t.root) p
+
+  let eval_string t ?context text =
+    match Path_parser.parse text with
+    | Ok p -> Ok (eval t ?context p)
+    | Error e -> Error e
+
+  let uses_index t p = Result.is_ok (try_indexed t p)
+
+  let explain t p =
+    match try_indexed t p with
+    | Ok nodes ->
+      Format.asprintf "index(%d nodes; %a; %d value indexes)" (List.length nodes)
+        PI.pp_stats t.pindex (value_index_count t)
+    | Error reason -> Printf.sprintf "fallback(%s)" reason
+end
+
+module Over_store = Make (Navigator.Xdm)
+module Over_storage = Make (Navigator.Storage)

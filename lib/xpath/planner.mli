@@ -1,0 +1,69 @@
+(** The index-aware query planner.
+
+    A path like [/library/book[issue/year<1980]//title] is rewritten
+    into operations on the {!Xsm_index} subsystem instead of a
+    node-by-node walk:
+
+    - pure location steps (child, attribute, descendant axes, [//])
+      become moves over the path-index DataGuide, so the candidate set
+      is a handful of {e extents} resolved without touching instance
+      nodes;
+    - value predicates ([=], [<], [<=], [>], [>=]) become probes of a
+      typed value index built (once, then cached) over the extent of
+      the predicate's path;
+    - existence predicates become containment semi-joins on the §9.3
+      numbering labels;
+    - whenever a predicate has restricted an extent, subsequent steps
+      re-attach to the full extents of deeper paths through
+      parent/ancestor joins on the labels.
+
+    Anything outside this fragment — relative paths, reverse or
+    sibling axes, positional predicates — falls back to the plain
+    {!Eval.Make} evaluator, so every query still answers and the two
+    engines agree wherever both apply (the property the test suite
+    checks).
+
+    {b Maintenance}: indexes follow the invalidation-and-rebuild
+    discipline.  After any mutation of the underlying tree
+    (e.g. through [Xsm_schema.Update]), call {!invalidate}; the next
+    evaluation rebuilds the path index and drops cached value indexes.
+    There is no incremental upkeep — rebuilding is one linear
+    traversal, and stale reads are prevented rather than repaired. *)
+
+module Make (N : Navigator.S) : sig
+  module PI : module type of Xsm_index.Path_index.Make (N)
+
+  type t
+
+  val create : N.t -> N.node -> t
+  (** Build the path index for the tree rooted at the given node
+      (value indexes are created lazily per indexed path). *)
+
+  val invalidate : t -> unit
+  (** Mark the indexes stale after an update; the next evaluation
+      rebuilds them. *)
+
+  val refresh : t -> unit
+  (** Rebuild now. *)
+
+  val stale : t -> bool
+  val index : t -> PI.t
+  val value_index_count : t -> int
+
+  val eval : t -> ?context:N.node -> Path_ast.path -> N.node list
+  (** Evaluate through the indexes when the path is in the supported
+      fragment, through {!Eval.Make} otherwise.  [context] (default:
+      the indexed root) only matters for fallback evaluation of
+      relative paths. *)
+
+  val eval_string :
+    t -> ?context:N.node -> string -> (N.node list, string) result
+
+  val explain : t -> Path_ast.path -> string
+  (** ["index(...)"] with plan statistics, or ["fallback(reason)"]. *)
+
+  val uses_index : t -> Path_ast.path -> bool
+end
+
+module Over_store : module type of Make (Navigator.Xdm)
+module Over_storage : module type of Make (Navigator.Storage)

@@ -1,0 +1,378 @@
+(* Tests for the index subsystem: the extent join algebra, typed value
+   indexes, and — the contract that matters — indexed evaluation
+   returning exactly the node list (same nodes, document order, no
+   duplicates) the naive evaluator returns, on fixed fixtures, on
+   random generated documents, and after random updates. *)
+
+module Store = Xsm_xdm.Store
+module Convert = Xsm_xdm.Convert
+module Tree = Xsm_xml.Tree
+module Name = Xsm_xml.Name
+module Label = Xsm_numbering.Sedna_label
+module B = Xsm_storage.Block_storage
+module E = Xsm_xpath.Eval.Over_store
+module ES = Xsm_xpath.Eval.Over_storage
+module P = Xsm_xpath.Path_parser
+module Pl = Xsm_xpath.Planner.Over_store
+module PlS = Xsm_xpath.Planner.Over_storage
+module Extent = Xsm_index.Extent
+module VI = Xsm_index.Value_index
+module Gen = Xsm_schema.Generator
+module Update = Xsm_schema.Update
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_nodes = Alcotest.(check (list int))
+
+let check_store_nodes msg a b =
+  check_nodes msg (List.map Store.node_id a) (List.map Store.node_id b)
+
+let fixture () =
+  let store = Store.create () in
+  let dnode = Convert.load store Xsm_schema.Samples.example8_document in
+  (store, dnode)
+
+(* ---------------- the extent join algebra ---------------- *)
+
+let extent_of labels =
+  Extent.of_rev_list (List.rev_map (fun (l, n) -> { Extent.label = l; node = n }) labels)
+
+let test_extent_joins () =
+  (* three siblings under the root, each with two children *)
+  let sibs = Label.assign_children Label.root 3 in
+  let kids l = Label.assign_children l 2 in
+  let s1, s2, s3 =
+    match sibs with [ a; b; c ] -> (a, b, c) | _ -> Alcotest.fail "assign_children"
+  in
+  let parents = extent_of [ (s1, 1); (s3, 3) ] in
+  let all_kids =
+    extent_of
+      (List.concat_map
+         (fun (s, i) -> List.mapi (fun j l -> (l, (10 * i) + j)) (kids s))
+         [ (s1, 1); (s2, 2); (s3, 3) ])
+  in
+  check_nodes "parent join keeps children of restricted parents"
+    [ 10; 11; 30; 31 ]
+    (Extent.nodes (Extent.restrict_by_parent ~among:parents all_kids));
+  check_nodes "ancestor join agrees on depth-2 descendants"
+    [ 10; 11; 30; 31 ]
+    (Extent.nodes (Extent.restrict_by_ancestor ~among:parents all_kids));
+  check_nodes "semijoin keeps parents that contain a target"
+    [ 1 ]
+    (Extent.nodes
+       (Extent.semijoin_containing
+          ~targets:[ extent_of [ (List.hd (kids s1), 10) ] ]
+          parents));
+  let some_kids = extent_of [ (List.nth (kids s1) 1, 11); (List.hd (kids s2), 20) ] in
+  check_nodes "intersection by label" [ 11 ]
+    (Extent.nodes (Extent.inter all_kids some_kids) |> List.filter (fun n -> n = 11));
+  check_int "merge dedups by label" (Extent.length all_kids)
+    (Extent.length (Extent.merge [ all_kids; some_kids; Extent.empty ]))
+
+(* ---------------- typed value indexes ---------------- *)
+
+let test_value_index_probes () =
+  let triple s pos = (VI.Key.of_string s, s, pos) in
+  let vi =
+    VI.build
+      [
+        triple "10" 0; triple "2" 1; triple "30" 2; triple "abc" 3; triple "b" 4;
+        triple "10" 5;
+      ]
+  in
+  Alcotest.(check (list int)) "eq on exact string" [ 0; 5 ] (VI.eq vi "10");
+  Alcotest.(check (list int)) "eq misses" [] (VI.eq vi "10.5");
+  Alcotest.(check (list int))
+    "numeric range < 10" [ 1 ]
+    (VI.range vi VI.Lt (VI.Key.of_string "10"));
+  Alcotest.(check (list int))
+    "numeric range <= 10" [ 0; 1; 5 ]
+    (VI.range vi VI.Le (VI.Key.of_string "10"));
+  Alcotest.(check (list int))
+    "numeric range > 2 stays numeric" [ 0; 2; 5 ]
+    (VI.range vi VI.Gt (VI.Key.of_string "2"));
+  Alcotest.(check (list int))
+    "text range >= b stays textual" [ 4 ]
+    (VI.range vi VI.Ge (VI.Key.of_string "b"));
+  check "numbers order before text" true
+    (VI.Key.compare (VI.Key.of_string "999") (VI.Key.of_string "a") < 0);
+  check "decimal key is exact" true
+    (VI.Key.compare (VI.Key.of_value (Xsm_datatypes.Value.Decimal (Xsm_datatypes.Decimal.of_int 10)))
+       (VI.Key.of_string "10.0")
+    = 0)
+
+(* ---------------- parser: comparison predicates ---------------- *)
+
+let test_parse_comparisons () =
+  let ok s = check s true (Result.is_ok (P.parse s)) in
+  let bad s = check s true (Result.is_error (P.parse s)) in
+  ok "//book[price<30]";
+  ok "//book[price <= 30.5]/title";
+  ok "//book[price > \"x\"]";
+  ok "//book[issue/year >= 2000]";
+  ok "/r/item[@id>'a']";
+  ok "//book[price<-3]";
+  bad "/a[b<]";
+  bad "/a[<3]";
+  (* printing round-trips through the parser *)
+  List.iter
+    (fun s ->
+      let printed = Xsm_xpath.Path_ast.to_string (P.parse_exn s) in
+      check s true (Xsm_xpath.Path_ast.to_string (P.parse_exn printed) = printed))
+    [ "//book[price<30]"; "//book[issue/year>=2000]/title"; "/r/item[@id>\"a\"]" ]
+
+(* ---------------- planner vs naive evaluator ---------------- *)
+
+let indexed_queries =
+  [
+    "/library/book/title";
+    "//author";
+    "/library/*";
+    "//text()";
+    "//book[issue]/title";
+    "//paper[author=\"Codd\"]/title";
+    "/library//year";
+    "//issue/year";
+    "/library/book/author/text()";
+    "/library/descendant::year";
+    "/library/descendant-or-self::*";
+    "//book[issue/year>=2000]/title";
+    "//book[issue/year<2000]/title";
+    "//paper[title>\"S\"]/author";
+    "//book[issue/publisher]";
+  ]
+
+let fallback_queries =
+  [
+    "/library/book[2]/title";
+    "/library/paper[last()]/title";
+    "//publisher/..";
+    "//year/ancestor::*";
+    "/library/book[1]/author[1]/following-sibling::*";
+    "book/title";
+  ]
+
+let test_planner_agreement_store () =
+  let store, dnode = fixture () in
+  let planner = Pl.create store dnode in
+  List.iter
+    (fun q ->
+      let naive =
+        match E.eval_string store dnode q with Ok ns -> ns | Error e -> Alcotest.fail e
+      in
+      match Pl.eval_string planner q with
+      | Ok ns -> check_store_nodes q naive ns
+      | Error e -> Alcotest.failf "%s: %s" q e)
+    (indexed_queries @ fallback_queries)
+
+let test_planner_uses_index () =
+  let store, dnode = fixture () in
+  let planner = Pl.create store dnode in
+  List.iter
+    (fun q -> check ("index: " ^ q) true (Pl.uses_index planner (P.parse_exn q)))
+    indexed_queries;
+  List.iter
+    (fun q -> check ("fallback: " ^ q) false (Pl.uses_index planner (P.parse_exn q)))
+    fallback_queries;
+  (* one (path, relative-path) pair builds exactly one value index,
+     reused across probes with different literals *)
+  let fresh = Pl.create store dnode in
+  check_int "no value indexes yet" 0 (Pl.value_index_count fresh);
+  ignore (Pl.eval_string fresh "//paper[author=\"Codd\"]/title");
+  ignore (Pl.eval_string fresh "//paper[author=\"Vardi\"]/title");
+  ignore (Pl.eval_string fresh "//paper[author=\"Codd\"]");
+  check_int "value index cache reused" 1 (Pl.value_index_count fresh);
+  Pl.invalidate fresh;
+  ignore (Pl.eval_string fresh "//author");
+  check_int "refresh drops value indexes" 0 (Pl.value_index_count fresh)
+
+let test_planner_agreement_storage () =
+  let store, dnode = fixture () in
+  let bs = B.of_store ~block_capacity:4 store dnode in
+  let rootd = B.root bs in
+  let planner = PlS.create bs rootd in
+  let labels ds = List.map (fun d -> Label.to_raw (B.nid d)) ds in
+  List.iter
+    (fun q ->
+      let naive =
+        match ES.eval_string bs rootd q with Ok ds -> ds | Error e -> Alcotest.fail e
+      in
+      match PlS.eval_string planner q with
+      | Ok ds -> Alcotest.(check (list string)) q (labels naive) (labels ds)
+      | Error e -> Alcotest.failf "%s: %s" q e)
+    (indexed_queries @ fallback_queries)
+
+let test_planner_attributes () =
+  let store = Store.create () in
+  let doc =
+    Tree.document
+      (Tree.elem "r"
+         ~children:
+           [
+             Tree.element (Tree.elem "item" ~attrs:[ Tree.attr "id" "a" ]);
+             Tree.element (Tree.elem "item" ~attrs:[ Tree.attr "id" "b" ]);
+             Tree.element (Tree.elem "item" ~attrs:[ Tree.attr "id" "c" ]);
+           ])
+  in
+  let dnode = Convert.load store doc in
+  let planner = Pl.create store dnode in
+  List.iter
+    (fun q ->
+      let naive =
+        match E.eval_string store dnode q with Ok ns -> ns | Error e -> Alcotest.fail e
+      in
+      check "uses index" true (Pl.uses_index planner (P.parse_exn q));
+      match Pl.eval_string planner q with
+      | Ok ns -> check_store_nodes q naive ns
+      | Error e -> Alcotest.failf "%s: %s" q e)
+    [ "/r/item/@id"; "/r/item[@id=\"b\"]"; "/r/item[@id>\"a\"]/@id"; "//@id" ]
+
+(* ---------------- property: random documents, random updates ------- *)
+
+let element_names store dnode =
+  let seen = Hashtbl.create 16 in
+  List.filter_map
+    (fun n ->
+      match Store.kind store n, Store.node_name store n with
+      | Store.Kind.Element, Some name ->
+        let s = Name.to_string name in
+        if Hashtbl.mem seen s then None
+        else begin
+          Hashtbl.add seen s ();
+          Some s
+        end
+      | _ -> None)
+    (Store.descendants_or_self store dnode)
+
+let queries_for store dnode rng =
+  let names = element_names store dnode in
+  let pick () = List.nth names (Gen.int rng (List.length names)) in
+  let root_name =
+    match Store.children store dnode with
+    | r :: _ -> Name.to_string (Option.get (Store.node_name store r))
+    | [] -> "x"
+  in
+  let n1 = pick () and n2 = pick () and n3 = pick () in
+  [
+    "//" ^ n1;
+    "/" ^ root_name ^ "/*";
+    "//" ^ n2 ^ "//" ^ n3;
+    "//" ^ n1 ^ "[" ^ n2 ^ "]";
+    "//" ^ n2 ^ "[" ^ n3 ^ ">\"A\"]";
+    "//text()";
+    "/" ^ root_name ^ "/descendant::" ^ n3;
+  ]
+
+let agree planner store dnode q =
+  let naive =
+    match E.eval_string store dnode q with Ok ns -> ns | Error e -> Alcotest.fail e
+  in
+  match Pl.eval_string planner q with
+  | Ok ns -> check_store_nodes q naive ns
+  | Error e -> Alcotest.failf "%s: %s" q e
+
+let random_mutation store dnode rng =
+  let elements =
+    List.filter
+      (fun n -> Store.kind store n = Store.Kind.Element)
+      (Store.descendants_or_self store dnode)
+  in
+  let pick_elem () = List.nth elements (Gen.int rng (List.length elements)) in
+  let op =
+    match Gen.int rng 5 with
+    | 0 ->
+      Update.Insert_element
+        {
+          parent = pick_elem ();
+          before = None;
+          tree = Tree.elem "mutant" ~children:[ Tree.text "inserted" ];
+        }
+    | 1 -> Update.Insert_text { parent = pick_elem (); before = None; text = "mut" }
+    | 2 -> (
+      (* delete a childless element if one exists *)
+      match
+        List.find_opt
+          (fun n ->
+            Store.children store n = []
+            &&
+            match Store.parent store n with
+            | Some p -> not (Store.equal_node p dnode)
+            | None -> false)
+          elements
+      with
+      | Some leaf -> Update.Delete leaf
+      | None -> Update.Insert_text { parent = pick_elem (); before = None; text = "x" })
+    | 3 -> (
+      let texts =
+        List.filter
+          (fun n -> Store.kind store n = Store.Kind.Text)
+          (Store.descendants_or_self store dnode)
+      in
+      match texts with
+      | [] -> Update.Insert_text { parent = pick_elem (); before = None; text = "y" }
+      | ts -> Update.Replace_content { node = List.nth ts (Gen.int rng (List.length ts)); value = "42" })
+    | _ ->
+      Update.Set_attribute
+        { element = pick_elem (); name = Name.local "mut"; value = "7" }
+  in
+  match Update.apply store op with Ok _ -> () | Error _ -> ()
+
+let test_property_random_docs () =
+  let rng = Gen.rng 99 in
+  for _ = 1 to 8 do
+    let schema = Gen.random_schema ~max_depth:3 rng in
+    let doc = Gen.instance rng schema in
+    let store = Store.create () in
+    let dnode = Convert.load store doc in
+    let planner = Pl.create store dnode in
+    let queries = queries_for store dnode rng in
+    List.iter (agree planner store dnode) queries;
+    (* mutate, invalidate, and check the rebuilt index again *)
+    for _ = 1 to 4 do
+      random_mutation store dnode rng
+    done;
+    Pl.invalidate planner;
+    check "stale after invalidate" true (Pl.stale planner);
+    List.iter (agree planner store dnode) (queries_for store dnode rng @ queries);
+    check "fresh after re-evaluation" false (Pl.stale planner)
+  done
+
+let test_property_library () =
+  (* the bench fixture, at a size where mistakes in the joins would show *)
+  let store = Store.create () in
+  let doc = Xsm_schema.Samples.library_document ~books:60 ~papers:30 () in
+  let dnode = Convert.load store doc in
+  let planner = Pl.create store dnode in
+  List.iter
+    (agree planner store dnode)
+    [
+      "//author";
+      "/library/book/title";
+      "//book[issue/year<1990]/title";
+      "//book[issue/year>=1985]//year";
+      "//book[issue]/author";
+      "/library//publisher";
+    ]
+
+let suite =
+  [
+    ( "index.extent",
+      [
+        Alcotest.test_case "structural joins" `Quick test_extent_joins;
+        Alcotest.test_case "value index probes" `Quick test_value_index_probes;
+      ] );
+    ( "index.parser",
+      [ Alcotest.test_case "comparison predicates" `Quick test_parse_comparisons ] );
+    ( "index.planner",
+      [
+        Alcotest.test_case "agreement (store)" `Quick test_planner_agreement_store;
+        Alcotest.test_case "agreement (storage)" `Quick test_planner_agreement_storage;
+        Alcotest.test_case "index vs fallback" `Quick test_planner_uses_index;
+        Alcotest.test_case "attributes" `Quick test_planner_attributes;
+      ] );
+    ( "index.property",
+      [
+        Alcotest.test_case "random docs + updates" `Quick test_property_random_docs;
+        Alcotest.test_case "library fixture" `Quick test_property_library;
+      ] );
+  ]
