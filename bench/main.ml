@@ -1,8 +1,10 @@
 (* Bench entry point.
 
-   Default: Bechamel micro-benchmarks, one group per experiment E1-E11
+   Default: Bechamel micro-benchmarks, one group per experiment E1-E12
    (ns/op with OLS estimation).  With --report: the full experiment
-   harness that regenerates the EXPERIMENTS.md tables. *)
+   harness that regenerates the EXPERIMENTS.md tables.  With --smoke:
+   a fast pass over every micro-benchmark (tiny quota), used by CI to
+   keep the bench code from rotting. *)
 
 open Bechamel
 
@@ -158,10 +160,73 @@ let tests () =
     Test.make ~name:"E11 path index build (lib 300)"
       (staged (fun () -> ignore (Pl.create store dnode)))
   in
-  [ e1; e2a; e2b; e3; e4a; e4b; e5; e6; e7; e8a; e8b; e9; e10; e11a; e11b; e11c; e11d; e11e ]
+  (* E12: one update + the query that consumes it, maintained
+     differentially vs rebuilt from scratch.  Dedicated stores — the
+     updates must not disturb the shared fixture.  Each iteration
+     inserts a book, queries, deletes it again, so the document returns
+     to its starting state and the measurement is steady-state. *)
+  let e12_fixture () =
+    let store = Store.create () in
+    let doc = Xsm_schema.Samples.library_document ~books:300 ~papers:150 () in
+    let dnode = Convert.load store doc in
+    (store, dnode, List.hd (Store.children store dnode))
+  in
+  let e12_book =
+    Xsm_xml.Tree.elem "book"
+      ~children:
+        [
+          Xsm_xml.Tree.element
+            (Xsm_xml.Tree.elem "author" ~children:[ Xsm_xml.Tree.text "Bench" ]);
+        ]
+  in
+  let e12_round store planner libr journal ~notify =
+    let apply op =
+      match Xsm_schema.Update.apply ?journal store op with
+      | Ok a ->
+        notify ();
+        a
+      | Error e -> failwith e
+    in
+    let query () =
+      match Pl.eval_string planner "//author" with
+      | Ok _ -> ()
+      | Error e -> failwith e
+    in
+    ignore
+      (apply
+         (Xsm_schema.Update.Insert_element
+            { parent = libr; before = None; tree = e12_book }));
+    query ();
+    let last = List.rev (Store.children store libr) |> List.hd in
+    ignore (apply (Xsm_schema.Update.Delete last));
+    query ()
+  in
+  let e12a =
+    Test.make ~name:"E12 update+query, maintained (lib 300)"
+      (let store, dnode, libr = e12_fixture () in
+       let planner = Pl.create store dnode in
+       let journal = Xsm_schema.Update.Journal.create () in
+       Xsm_xpath.Planner.attach_journal planner journal;
+       staged (fun () ->
+           e12_round store planner libr (Some journal) ~notify:(fun () -> ())))
+  in
+  let e12b =
+    Test.make ~name:"E12 update+query, rebuild (lib 300)"
+      (let store, dnode, libr = e12_fixture () in
+       let planner = Pl.create store dnode in
+       staged (fun () ->
+           e12_round store planner libr None ~notify:(fun () -> Pl.invalidate planner)))
+  in
+  [
+    e1; e2a; e2b; e3; e4a; e4b; e5; e6; e7; e8a; e8b; e9; e10; e11a; e11b; e11c; e11d;
+    e11e; e12a; e12b;
+  ]
 
-let run_bechamel () =
-  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) () in
+let run_bechamel ?(smoke = false) () =
+  let cfg =
+    if smoke then Benchmark.cfg ~limit:25 ~quota:(Time.second 0.01) ()
+    else Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ()
+  in
   let instances = [ Toolkit.Instance.monotonic_clock ] in
   let ols = Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |] in
   Printf.printf "%-42s %14s %10s\n" "benchmark" "ns/op" "r2";
@@ -184,6 +249,6 @@ let () =
   let args = Array.to_list Sys.argv in
   if List.mem "--report" args then Report.run ()
   else begin
-    run_bechamel ();
-    print_endline "\n(run with --report for the full E1-E11 experiment tables)"
+    run_bechamel ~smoke:(List.mem "--smoke" args) ();
+    print_endline "\n(run with --report for the full E1-E12 experiment tables)"
   end

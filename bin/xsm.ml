@@ -4,6 +4,7 @@
      validate  SCHEMA.xsd DOC.xml     validate a document against a schema
      check     SCHEMA.xsd             schema well-formedness (§3 + UPA)
      query     DOC.xml PATH           evaluate an XPath-subset query
+     update    DOC.xml SCRIPT         run an update script, optionally with live indexes
      dataguide DOC.xml                print the descriptive schema (§9.1)
      labels    DOC.xml                print nodes with Sedna labels (§9.3)
      roundtrip SCHEMA.xsd DOC.xml     check g(f(X)) =_c X (§8)
@@ -185,6 +186,138 @@ let query_cmd =
     (Cmd.info "query" ~doc:"Evaluate an XPath-subset query over a document")
     Term.(const run $ doc_arg $ path_arg $ storage_flag $ index_flag)
 
+let update_cmd =
+  let doc_arg =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"DOC" ~doc:"XML document file")
+  in
+  let script_arg =
+    Arg.(
+      required & pos 1 (some file) None
+      & info [] ~docv:"SCRIPT"
+          ~doc:
+            "Update script: one command per line.  $(b,insert) PATH XML appends a parsed \
+             fragment under the first node matching PATH; $(b,insert-text) PATH TEXT \
+             appends a text node; $(b,delete) PATH unlinks the first match; $(b,content) \
+             PATH VALUE replaces a text or attribute value; $(b,attr) PATH NAME VALUE \
+             sets an attribute; $(b,query) PATH evaluates a query against the current \
+             state.  Blank lines and lines starting with # are ignored.")
+  in
+  let index_flag =
+    Arg.(
+      value & flag
+      & info [ "index" ]
+          ~doc:
+            "Evaluate queries through the index subsystem and keep the indexes live \
+             across updates: the planner subscribes to the update journal and applies \
+             each change differentially instead of rebuilding.  Maintenance statistics \
+             are reported on stderr.")
+  in
+  let print_flag =
+    Arg.(value & flag & info [ "print" ] ~doc:"Print the resulting document on stdout")
+  in
+  let split1 s =
+    match String.index_opt s ' ' with
+    | None -> (s, "")
+    | Some i -> (String.sub s 0 i, String.trim (String.sub s (i + 1) (String.length s - i - 1)))
+  in
+  let run doc_path script_path use_index do_print =
+    let module Store = Xsm_xdm.Store in
+    let module Update = Xsm_schema.Update in
+    let module Pl = Xsm_xpath.Planner.Over_store in
+    let doc = or_die (load_document doc_path) in
+    let store = Store.create () in
+    let dnode = Xsm_xdm.Convert.load store doc in
+    let journal = Update.Journal.create () in
+    let planner =
+      if use_index then begin
+        let p = Pl.create store dnode in
+        Xsm_xpath.Planner.attach_journal p journal;
+        Some p
+      end
+      else None
+    in
+    let die fmt =
+      Printf.ksprintf
+        (fun s ->
+          prerr_endline s;
+          exit 1)
+        fmt
+    in
+    let target q =
+      match Xsm_xpath.Eval.Over_store.eval_string store dnode q with
+      | Ok (n :: _) -> n
+      | Ok [] -> die "%s: no matching node" q
+      | Error e -> die "%s: %s" q e
+    in
+    let apply op =
+      match Update.apply ~journal store op with Ok _ -> () | Error e -> die "update: %s" e
+    in
+    let fragment src =
+      match Xsm_xml.Parser.parse_document src with
+      | Ok d -> d.Xsm_xml.Tree.root
+      | Error e -> die "fragment: %s" (Xsm_xml.Parser.error_to_string e)
+    in
+    let lineno = ref 0 in
+    String.split_on_char '\n' (read_file script_path)
+    |> List.iter (fun line ->
+           incr lineno;
+           let line = String.trim line in
+           if line = "" || line.[0] = '#' then ()
+           else
+             let cmd, rest = split1 line in
+             match cmd with
+             | "insert" ->
+               let path, xml = split1 rest in
+               apply
+                 (Update.Insert_element
+                    { parent = target path; before = None; tree = fragment xml })
+             | "insert-text" ->
+               let path, text = split1 rest in
+               apply (Update.Insert_text { parent = target path; before = None; text })
+             | "delete" -> apply (Update.Delete (target rest))
+             | "content" ->
+               let path, value = split1 rest in
+               apply (Update.Replace_content { node = target path; value })
+             | "attr" ->
+               let path, rest = split1 rest in
+               let name, value = split1 rest in
+               apply
+                 (Update.Set_attribute
+                    { element = target path; name = Xsm_xml.Name.local name; value })
+             | "query" -> (
+               let print_nodes nodes =
+                 List.iter (fun n -> print_endline (Store.string_value store n)) nodes
+               in
+               match planner with
+               | Some p -> (
+                 match Pl.eval_string p rest with
+                 | Ok nodes ->
+                   (match Xsm_xpath.Path_parser.parse rest with
+                   | Ok parsed -> Format.eprintf "plan: %s@." (Pl.explain p parsed)
+                   | Error _ -> ());
+                   print_nodes nodes
+                 | Error e -> die "%s: %s" rest e)
+               | None -> (
+                 match Xsm_xpath.Eval.Over_store.eval_string store dnode rest with
+                 | Ok nodes -> print_nodes nodes
+                 | Error e -> die "%s: %s" rest e))
+             | other -> die "line %d: unknown command %S" !lineno other);
+    (match planner with
+    | Some p ->
+      let s = Pl.maintenance_stats p in
+      Format.eprintf "maintenance: epochs=%d applied=%d vi_drops=%d@."
+        s.Xsm_xpath.Planner.epochs s.Xsm_xpath.Planner.applied s.Xsm_xpath.Planner.vi_drops
+    | None -> ());
+    if do_print then
+      print_string (Xsm_xml.Printer.to_string (Xsm_xdm.Convert.to_document store dnode))
+  in
+  Cmd.v
+    (Cmd.info "update"
+       ~doc:
+         "Apply an update script to a document, interleaving queries; with $(b,--index) \
+          the indexes are maintained differentially across the updates")
+    Term.(const run $ doc_arg $ script_arg $ index_flag $ print_flag)
+
 let dataguide_cmd =
   let doc_arg =
     Arg.(required & pos 0 (some file) None & info [] ~docv:"DOC" ~doc:"XML document file")
@@ -293,6 +426,6 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [
-            validate_cmd; check_cmd; canonicalize_cmd; query_cmd; flwor_cmd; dataguide_cmd;
-            labels_cmd; roundtrip_cmd;
+            validate_cmd; check_cmd; canonicalize_cmd; query_cmd; update_cmd; flwor_cmd;
+            dataguide_cmd; labels_cmd; roundtrip_cmd;
           ]))

@@ -12,6 +12,29 @@ type op =
   | Replace_content of { node : Store.node; value : string }
   | Set_attribute of { element : Store.node; name : Name.t; value : string }
 
+module Journal = struct
+  type entry =
+    | Inserted of Store.node  (* a freshly linked subtree root *)
+    | Deleted of Store.node  (* a just-unlinked subtree root *)
+    | Content of Store.node  (* own content of a text/attribute replaced *)
+
+  type t = { mutable rev : entry list; mutable count : int }
+
+  let create () = { rev = []; count = 0 }
+
+  let record j e =
+    j.rev <- e :: j.rev;
+    j.count <- j.count + 1
+
+  let length j = j.count
+
+  let drain j =
+    let entries = List.rev j.rev in
+    j.rev <- [];
+    j.count <- 0;
+    entries
+end
+
 type applied =
   | Inserted of { parent : Store.node; node : Store.node }
   | Deleted of {
@@ -35,7 +58,14 @@ let insert_node store ~parent ~before node =
   | None -> Store.append_child store parent node
   | Some anchor -> Store.insert_child_before store parent ~before:anchor node
 
-let apply store = function
+let journal_of_applied = function
+  | Inserted { node; _ } -> Journal.Inserted node
+  | Deleted { node; _ } -> Journal.Deleted node
+  | Content_replaced { node; _ } -> Journal.Content node
+  | Attribute_set { attribute; old_value = None; _ } -> Journal.Inserted attribute
+  | Attribute_set { attribute; old_value = Some _; _ } -> Journal.Content attribute
+
+let apply_op store = function
   | Insert_element { parent; before; tree } ->
     guarded (fun () ->
         let node = Xsm_xdm.Convert.load_element store tree in
@@ -90,7 +120,17 @@ let apply store = function
     | Store.Kind.Document | Store.Kind.Attribute | Store.Kind.Text ->
       err "set_attribute: target is not an element")
 
-let undo store = function
+let apply ?journal store op =
+  match apply_op store op with
+  | Error _ as e -> e
+  | Ok evidence ->
+    (match journal with
+    | None -> ()
+    | Some j -> Journal.record j (journal_of_applied evidence));
+    Ok evidence
+
+let undo ?journal store applied =
+  (match applied with
   | Inserted { parent; node } -> Store.remove_child store parent node
   | Deleted { parent; node; next_sibling } -> (
     match next_sibling with
@@ -100,14 +140,24 @@ let undo store = function
   | Attribute_set { element; attribute; old_value } -> (
     match old_value with
     | Some v -> Store.set_content store attribute v
-    | None -> Store.detach_attribute store element attribute)
+    | None -> Store.detach_attribute store element attribute));
+  match journal with
+  | None -> ()
+  | Some j ->
+    Journal.record j
+      (match applied with
+      | Inserted { node; _ } -> Journal.Deleted node
+      | Deleted { node; _ } -> Journal.Inserted node
+      | Content_replaced { node; _ } -> Journal.Content node
+      | Attribute_set { attribute; old_value = None; _ } -> Journal.Deleted attribute
+      | Attribute_set { attribute; old_value = Some _; _ } -> Journal.Content attribute)
 
-let apply_validated store dnode schema op =
-  match apply store op with
+let apply_validated ?journal store dnode schema op =
+  match apply ?journal store op with
   | Error e -> Error [ e ]
   | Ok evidence -> (
     match Validator.validate store dnode schema with
     | Ok () -> Ok ()
     | Error es ->
-      undo store evidence;
+      undo ?journal store evidence;
       Error (List.map Validator.error_to_string es))

@@ -30,19 +30,48 @@ type op =
       value : string;  (** replaces, or attaches when absent *)
     }
 
+(** A structured record of applied state transitions, for consumers
+    that maintain derived structures (the index planner) differentially
+    instead of rebuilding them.  Entries are appended in application
+    order; replaying a drained batch in order against the final store
+    state reconstructs exactly what changed — an insertion names the
+    subtree root (its content is read from the store at replay time),
+    a deletion names the unlinked root, a content change names the
+    text or attribute node whose own value was replaced.  Undo records
+    its mirror entry, so a validated-and-rolled-back operation leaves
+    a journal that still replays to the truth. *)
+module Journal : sig
+  type entry =
+    | Inserted of Xsm_xdm.Store.node  (** a freshly linked subtree root *)
+    | Deleted of Xsm_xdm.Store.node  (** a just-unlinked subtree root *)
+    | Content of Xsm_xdm.Store.node  (** own content replaced *)
+
+  type t
+
+  val create : unit -> t
+  val length : t -> int
+  (** Entries recorded and not yet drained. *)
+
+  val drain : t -> entry list
+  (** The pending entries in application order; empties the journal. *)
+end
+
 type applied
 (** Evidence of an applied operation, holding what is needed to undo
     it. *)
 
-val apply : Xsm_xdm.Store.t -> op -> (applied, string) result
+val apply : ?journal:Journal.t -> Xsm_xdm.Store.t -> op -> (applied, string) result
 (** Apply one operation (no validation).  Structural errors (wrong
-    node kinds, foreign anchors) are reported, not raised. *)
+    node kinds, foreign anchors) are reported, not raised.  A
+    successful application is recorded in the journal when one is
+    given. *)
 
-val undo : Xsm_xdm.Store.t -> applied -> unit
+val undo : ?journal:Journal.t -> Xsm_xdm.Store.t -> applied -> unit
 (** Revert an applied operation.  Must be called on the most recent
     application first (stack discipline). *)
 
 val apply_validated :
+  ?journal:Journal.t ->
   Xsm_xdm.Store.t ->
   Xsm_xdm.Store.node ->
   Ast.schema ->

@@ -157,5 +157,40 @@ let to_int d =
     match int_of_string_opt (to_string d) with Some i -> Some i | None -> None
 
 let to_float d = float_of_string (to_string d)
+
+(* Every finite IEEE double m * 2^k is exactly a decimal: for k >= 0
+   double the mantissa k times; for k < 0 multiply by 5^(-k) and shift
+   the decimal point left by -k (2^k = 5^(-k) * 10^k).  Only digit
+   additions are needed, so no precision is lost anywhere. *)
+let double d = add d d
+let times5 d = add (double (double d)) d
+
+let of_float_exact f =
+  if Float.is_nan f || Float.abs f = Float.infinity then None
+  else if f = 0.0 then Some zero
+  else begin
+    let frac, e = Float.frexp (Float.abs f) in
+    (* frac in [0.5, 1): frac * 2^53 is a 53-bit integer mantissa *)
+    let m = int_of_float (Float.ldexp frac 53) in
+    let k = e - 53 in
+    let mag = of_int m in
+    let mag =
+      if k >= 0 then begin
+        let d = ref mag in
+        for _ = 1 to k do
+          d := double !d
+        done;
+        !d
+      end
+      else begin
+        let d = ref mag in
+        for _ = 1 to -k do
+          d := times5 !d
+        done;
+        normalize ~neg:false ~digits:!d.digits ~scale:(!d.scale - k)
+      end
+    in
+    Some (if f < 0.0 then negate mag else mag)
+  end
 let sign d = if d.digits = "0" then 0 else if d.neg then -1 else 1
 let pp ppf d = Format.pp_print_string ppf (to_string d)

@@ -44,5 +44,11 @@ val to_int : t -> int option
 (** Exact conversion when the value is an integer fitting in [int]. *)
 
 val to_float : t -> float
+
+val of_float_exact : float -> t option
+(** The exact decimal value of a finite double ([None] for NaN and the
+    infinities).  Every finite IEEE double is a decimal, so this loses
+    nothing — the basis for exact decimal/double comparison. *)
+
 val sign : t -> int
 val pp : Format.formatter -> t -> unit

@@ -77,18 +77,22 @@ type scan = { s : string; mutable i : int }
 let peek sc = if sc.i < String.length sc.s then Some sc.s.[sc.i] else None
 let advance sc = sc.i <- sc.i + 1
 
+(* [None] = not a multi-character class escape; the caller then reads
+   it as a single-character escape.  An option rather than an exception:
+   raising [Not_found] as control flow would silently misparse if any
+   callee of the surrounding [try] ever raised it too. *)
 let escape_set = function
-  | 'd' -> digit
-  | 'D' -> cset_negate digit
-  | 's' -> space
-  | 'S' -> cset_negate space
-  | 'w' -> word
-  | 'W' -> cset_negate word
-  | 'i' -> name_start
-  | 'I' -> cset_negate name_start
-  | 'c' -> name_char
-  | 'C' -> cset_negate name_char
-  | _ -> raise Not_found
+  | 'd' -> Some digit
+  | 'D' -> Some (cset_negate digit)
+  | 's' -> Some space
+  | 'S' -> Some (cset_negate space)
+  | 'w' -> Some word
+  | 'W' -> Some (cset_negate word)
+  | 'i' -> Some name_start
+  | 'I' -> Some (cset_negate name_start)
+  | 'c' -> Some name_char
+  | 'C' -> Some (cset_negate name_char)
+  | _ -> None
 
 let single_escape = function
   | 'n' -> '\n'
@@ -124,12 +128,13 @@ let scan_escape sc =
   | Some 'P' ->
     advance sc;
     `Set (cset_negate (scan_category sc))
-  | Some c ->
+  | Some c -> (
     advance sc;
-    (try `Set (escape_set c)
-     with Not_found ->
-       let ch = single_escape c in
-       `Set (cset_of_ranges [ (ch, ch) ]))
+    match escape_set c with
+    | Some set -> `Set set
+    | None ->
+      let ch = single_escape c in
+      `Set (cset_of_ranges [ (ch, ch) ]))
 
 (* character class: [ ... ] with ranges, escapes, negation, and
    subtraction [a-z-[aeiou]] *)

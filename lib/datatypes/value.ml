@@ -20,16 +20,6 @@ type t =
   | Notation of Xsm_xml.Name.t
   | Untyped_atomic of string
 
-let to_double = function
-  | Decimal d -> Some (Decimal.to_float d)
-  | Float f | Double f -> Some f
-  | String _ | Boolean _ | Duration _ | Date_time _ | Time _ | Date _ | G_year_month _
-  | G_year _ | G_month_day _ | G_day _ | G_month _ | Hex_binary _ | Base64_binary _
-  | Any_uri _ | Qname _ | Notation _ | Untyped_atomic _ ->
-    None
-
-let is_numeric v = to_double v <> None
-
 let equal a b =
   match a, b with
   | String x, String y | Any_uri x, Any_uri y | Untyped_atomic x, Untyped_atomic y ->
@@ -48,13 +38,14 @@ let equal a b =
     Calendar.compare_date_time x y = 0
   | Hex_binary x, Hex_binary y | Base64_binary x, Base64_binary y -> String.equal x y
   | Qname x, Qname y | Notation x, Notation y -> Xsm_xml.Name.equal x y
-  | a, b when is_numeric a && is_numeric b -> (
-    match a, b with
-    | Decimal _, Decimal _ -> assert false (* handled above *)
-    | _ -> (
-      match to_double a, to_double b with
-      | Some x, Some y -> Float.equal x y
-      | _ -> false))
+  | Decimal d, (Float f | Double f) | (Float f | Double f), Decimal d -> (
+    (* exact: a finite double is a decimal, so compare in decimal space
+       rather than rounding the decimal to a double (which collapses
+       values that differ beyond 53 bits of precision) *)
+    match Decimal.of_float_exact f with
+    | Some df -> Decimal.equal d df
+    | None -> false (* NaN and infinities never equal a decimal *))
+  | (Float x | Double x), (Float y | Double y) -> Float.equal x y
   | ( ( String _ | Boolean _ | Decimal _ | Float _ | Double _ | Duration _ | Date_time _
       | Time _ | Date _ | G_year_month _ | G_year _ | G_month_day _ | G_day _ | G_month _
       | Hex_binary _ | Base64_binary _ | Any_uri _ | Qname _ | Notation _
@@ -80,10 +71,15 @@ let compare a b =
     Some (Calendar.compare_date_time x y)
   | Hex_binary x, Hex_binary y | Base64_binary x, Base64_binary y ->
     Some (String.compare x y)
-  | a, b when is_numeric a && is_numeric b -> (
-    match to_double a, to_double b with
-    | Some x, Some y -> Some (Float.compare x y)
-    | _ -> None)
+  | Decimal d, (Float f | Double f) -> (
+    match Decimal.of_float_exact f with
+    | Some df -> Some (Decimal.compare d df)
+    | None -> Some (Float.compare (Decimal.to_float d) f))
+  | (Float f | Double f), Decimal d -> (
+    match Decimal.of_float_exact f with
+    | Some df -> Some (Decimal.compare df d)
+    | None -> Some (Float.compare f (Decimal.to_float d)))
+  | (Float x | Double x), (Float y | Double y) -> Some (Float.compare x y)
   | ( ( String _ | Boolean _ | Decimal _ | Float _ | Double _ | Duration _ | Date_time _
       | Time _ | Date _ | G_year_month _ | G_year _ | G_month_day _ | G_day _ | G_month _
       | Hex_binary _ | Base64_binary _ | Any_uri _ | Qname _ | Notation _

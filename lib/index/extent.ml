@@ -23,6 +23,20 @@ let entries t = Array.to_list t
 let nodes t = Array.to_list (Array.map (fun e -> e.node) t)
 let select t positions = Array.of_list (List.map (fun i -> t.(i)) positions)
 
+let select_by_labels t labels =
+  (* both sides sorted by label: one merge scan *)
+  let out = ref [] in
+  let i = ref 0 in
+  let n = Array.length t in
+  List.iter
+    (fun l ->
+      while !i < n && Label.compare t.(!i).label l < 0 do
+        incr i
+      done;
+      if !i < n && Label.equal t.(!i).label l then out := t.(!i) :: !out)
+    labels;
+  of_rev_list !out
+
 let inter a b =
   let out = ref [] in
   let i = ref 0 and j = ref 0 in
@@ -69,6 +83,69 @@ let find_le t l =
     else hi := mid - 1
   done;
   !best
+
+let position t l =
+  match find_le t l with
+  | -1 -> None
+  | i -> if Label.equal t.(i).label l then Some i else None
+
+let mem t l = position t l <> None
+
+let insert t e =
+  match find_le t e.label with
+  | i when i >= 0 && Label.equal t.(i).label e.label ->
+    let out = Array.copy t in
+    out.(i) <- e;
+    out
+  | i ->
+    (* i = greatest index with label < e.label, or -1: insert after it *)
+    let n = Array.length t in
+    let out = Array.make (n + 1) e in
+    Array.blit t 0 out 0 (i + 1);
+    Array.blit t (i + 1) out (i + 2) (n - i - 1);
+    out
+
+let remove t l =
+  match position t l with
+  | None -> t
+  | Some i ->
+    let n = Array.length t in
+    if n = 1 then empty
+    else begin
+      let out = Array.make (n - 1) t.(0) in
+      Array.blit t 0 out 0 i;
+      Array.blit t (i + 1) out i (n - 1 - i);
+      out
+    end
+
+let split_off_descendants ?(or_self = false) t l =
+  (* descendants of l sit in one contiguous run right after l: they are
+     exactly the labels extending l with a separator, and the separator
+     is the smallest alphabet symbol *)
+  let n = Array.length t in
+  let lo = ref 0 and hi = ref n in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if Label.compare t.(mid).label l < 0 then lo := mid + 1 else hi := mid
+  done;
+  let start = !lo in
+  let stop = ref start in
+  while
+    !stop < n
+    &&
+    let cl = t.(!stop).label in
+    Label.is_ancestor l cl || (or_self && Label.equal cl l)
+  do
+    incr stop
+  done;
+  if !stop = start then (t, [])
+  else begin
+    let removed = Array.to_list (Array.sub t start (!stop - start)) in
+    let out = Array.make (n - (!stop - start)) t.(0) in
+    Array.blit t 0 out 0 start;
+    Array.blit t !stop out start (n - !stop);
+    (out, removed)
+  end
 
 let find_ancestor_pos ?(or_self = false) ~among l =
   match find_le among l with

@@ -30,6 +30,38 @@ val nodes : 'n t -> 'n list
 val select : 'n t -> int list -> 'n t
 (** Sub-extent from sorted, duplicate-free positions. *)
 
+val select_by_labels : 'n t -> Xsm_numbering.Sedna_label.t list -> 'n t
+(** Sub-extent of the entries carrying the given labels (sorted,
+    duplicate-free); labels without an entry are skipped.  One merge
+    scan — labels are the stable addressing of extent entries under
+    maintenance, where positions shift. *)
+
+(** {1 Point and range maintenance}
+
+    Extents are immutable arrays; each operation returns a fresh
+    extent in O(extent) time worst case.  That is still far below a
+    full index rebuild, which visits every node of the document. *)
+
+val position : 'n t -> Xsm_numbering.Sedna_label.t -> int option
+(** Exact binary search. *)
+
+val mem : 'n t -> Xsm_numbering.Sedna_label.t -> bool
+
+val insert : 'n t -> 'n entry -> 'n t
+(** Insert at the label's sorted position; an entry already carrying
+    the label is replaced. *)
+
+val remove : 'n t -> Xsm_numbering.Sedna_label.t -> 'n t
+(** Remove the entry with the label; no-op when absent. *)
+
+val split_off_descendants :
+  ?or_self:bool -> 'n t -> Xsm_numbering.Sedna_label.t -> 'n t * 'n entry list
+(** Remove every entry whose label is a descendant of the given label
+    (or the label itself, when [or_self]) and return it: the removed
+    run is contiguous because the level separator is the smallest
+    alphabet symbol, so this is one binary search plus the run scan —
+    no tree walk over the (possibly already mutated) instance. *)
+
 val inter : 'n t -> 'n t -> 'n t
 (** Intersection by label (merge scan). *)
 

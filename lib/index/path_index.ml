@@ -7,11 +7,17 @@ module type NAV = sig
 
   val kind : t -> node -> [ `Document | `Element | `Attribute | `Text ]
   val name : t -> node -> Xsm_xml.Name.t option
+  val parent : t -> node -> node option
   val children : t -> node -> node list
   val attributes : t -> node -> node list
   val string_value : t -> node -> string
   val typed_value : t -> node -> Xsm_datatypes.Value.t list
+  val id : t -> node -> int
 end
+
+exception Maintenance_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Maintenance_error s)) fmt
 
 module Make (N : NAV) = struct
   type pnode = {
@@ -23,7 +29,11 @@ module Make (N : NAV) = struct
     mutable frozen : N.node Extent.t;
   }
 
-  type t = { mutable pnodes : pnode array; mutable size : int }
+  type t = {
+    mutable pnodes : pnode array;
+    mutable size : int;
+    by_id : (int, int * Label.t) Hashtbl.t;  (* instance id -> (pid, label) *)
+  }
 
   let get t i = t.pnodes.(i)
 
@@ -53,10 +63,11 @@ module Make (N : NAV) = struct
       c
 
   let build backend rootn =
-    let t = { pnodes = [||]; size = 0 } in
+    let t = { pnodes = [||]; size = 0; by_id = Hashtbl.create 1024 } in
     let root_pn = add t (N.kind backend rootn) (N.name backend rootn) in
     let rec go node pn label =
       pn.rev_entries <- { Extent.label; node } :: pn.rev_entries;
+      Hashtbl.replace t.by_id (N.id backend node) (pn.pid, label);
       let ordered = N.attributes backend node @ N.children backend node in
       let child_labels = Label.assign_children label (List.length ordered) in
       List.iter2
@@ -78,6 +89,7 @@ module Make (N : NAV) = struct
   let name pn = pn.p_name
   let id pn = pn.pid
   let children t pn = List.map (get t) pn.child_ids
+  let pnode t pid = get t pid
   let extent pn = pn.frozen
 
   let pnode_count t = t.size
@@ -88,6 +100,90 @@ module Make (N : NAV) = struct
       total := !total + Extent.length (get t i).frozen
     done;
     !total
+
+  (* ---- incremental maintenance ---- *)
+
+  let locate t backend node =
+    match Hashtbl.find_opt t.by_id (N.id backend node) with
+    | None -> None
+    | Some (pid, label) -> Some (get t pid, label)
+
+  let insert_subtree t backend node =
+    if Hashtbl.mem t.by_id (N.id backend node) then []  (* replayed entry *)
+    else begin
+      match N.parent backend node with
+      | None -> []  (* detached again before the journal drained *)
+      | Some parent ->
+        let ppn, plabel =
+          match locate t backend parent with
+          | Some loc -> loc
+          | None -> fail "insert: parent is not indexed"
+        in
+        let siblings = N.attributes backend parent @ N.children backend parent in
+        let nid = N.id backend node in
+        let rec split before = function
+          | [] -> None
+          | s :: rest ->
+            if N.id backend s = nid then Some (before, rest) else split (s :: before) rest
+        in
+        (match split [] siblings with
+        | None -> []  (* no longer under its parent: superseded by later entries *)
+        | Some (before_rev, after) ->
+          (* nearest siblings that already carry a label; anything
+             between them is as yet unindexed, hence unconstrained *)
+          let label_of s = Option.map snd (locate t backend s) in
+          let prev = List.find_map label_of before_rev in
+          let next = List.find_map label_of after in
+          let label =
+            try
+              match prev, next with
+              | Some a, Some b -> Label.between a b
+              | Some a, None -> Label.after_sibling a
+              | None, Some b -> Label.before_sibling b
+              | None, None -> Label.first_child plabel
+            with Invalid_argument m -> fail "insert: %s" m
+          in
+          let added = ref [] in
+          let rec go node pn label =
+            pn.frozen <- Extent.insert pn.frozen { Extent.label; node };
+            Hashtbl.replace t.by_id (N.id backend node) (pn.pid, label);
+            added := (pn.pid, label, node) :: !added;
+            let ordered = N.attributes backend node @ N.children backend node in
+            let child_labels = Label.assign_children label (List.length ordered) in
+            List.iter2
+              (fun c cl ->
+                let cpn = find_or_add t pn (N.kind backend c) (N.name backend c) in
+                go c cpn cl)
+              ordered child_labels
+          in
+          go node (find_or_add t ppn (N.kind backend node) (N.name backend node)) label;
+          List.rev !added)
+    end
+
+  let remove_subtree t backend node =
+    match Hashtbl.find_opt t.by_id (N.id backend node) with
+    | None -> []  (* never indexed, or already removed *)
+    | Some (pid, label) ->
+      (* sweep the pnode subtree: every indexed node of the deleted
+         instance subtree lies in the extent of a pnode reachable from
+         the deleted node's pnode, at a label descending from (or
+         equal to) the deleted label.  One label-range split per
+         extent — the detached instance subtree is never walked, so
+         later mutations of it cannot confuse the sweep. *)
+      let removed = ref [] in
+      let rec walk pid_ =
+        let pn = get t pid_ in
+        let kept, gone = Extent.split_off_descendants ~or_self:true pn.frozen label in
+        pn.frozen <- kept;
+        List.iter
+          (fun (e : N.node Extent.entry) ->
+            Hashtbl.remove t.by_id (N.id backend e.node);
+            removed := (pid_, e.label) :: !removed)
+          gone;
+        List.iter walk pn.child_ids
+      in
+      walk pid;
+      List.rev !removed
 
   let pp_stats ppf t =
     Format.fprintf ppf "%d paths over %d nodes" (pnode_count t) (entry_count t)

@@ -1,5 +1,6 @@
 module Decimal = Xsm_datatypes.Decimal
 module Value = Xsm_datatypes.Value
+module Label = Xsm_numbering.Sedna_label
 
 module Key = struct
   type t = Number of Decimal.t | Text of string
@@ -38,71 +39,124 @@ let op_matches op a b =
   let c = Key.compare a b in
   match op with Lt -> c < 0 | Le -> c <= 0 | Gt -> c > 0 | Ge -> c >= 0
 
+(* One entry: a (key, exact string) value contributed by one target
+   node, attributed to the owner extent entry the probe answers with.
+   The ground truth is keyed by the target's numbering label, so
+   journal maintenance can replace exactly the entries a mutated
+   target contributed; the probe structures (the sorted key array and
+   the exact-string table) are caches over it, invalidated on every
+   maintenance step and rebuilt on the next probe — a sort of what is
+   already in memory, never a walk of the document. *)
+type centry = { key : Key.t; sval : string; owner : Label.t }
+
 type t = {
-  sorted : (Key.t * int) array;  (* by key, then owner position *)
-  by_string : (string, int list) Hashtbl.t;  (* exact value -> rev positions *)
-  first_text : int;  (* index of the first Text key in [sorted] *)
+  by_target : (string, centry list) Hashtbl.t;  (* raw target label -> entries *)
+  mutable entry_count : int;
+  mutable probe : (Key.t * Label.t) array option;  (* by key, then owner *)
+  mutable by_string : (string, Label.t list) Hashtbl.t option;
+  mutable first_text : int;  (* index of the first Text key in [probe] *)
 }
 
-let build triples =
-  let sorted =
-    Array.of_list (List.map (fun (k, _, pos) -> (k, pos)) triples)
-  in
-  Array.sort
-    (fun (ka, pa) (kb, pb) ->
-      let c = Key.compare ka kb in
-      if c <> 0 then c else Stdlib.compare pa pb)
-    sorted;
-  let by_string = Hashtbl.create (max 16 (List.length triples)) in
-  List.iter
-    (fun (_, s, pos) ->
-      let prev = Option.value ~default:[] (Hashtbl.find_opt by_string s) in
-      Hashtbl.replace by_string s (pos :: prev))
-    triples;
-  (* first index holding a Text key: numbers sort before texts *)
-  let n = Array.length sorted in
-  let lo = ref 0 and hi = ref n in
-  while !lo < !hi do
-    let mid = (!lo + !hi) / 2 in
-    match fst sorted.(mid) with
-    | Key.Number _ -> lo := mid + 1
-    | Key.Text _ -> hi := mid
-  done;
-  { sorted; by_string; first_text = !lo }
+let create () =
+  { by_target = Hashtbl.create 64;
+    entry_count = 0;
+    probe = None;
+    by_string = None;
+    first_text = 0 }
 
-let size t = Array.length t.sorted
+let size t = t.entry_count
+let target_count t = Hashtbl.length t.by_target
+
+let invalidate_caches t =
+  t.probe <- None;
+  t.by_string <- None
+
+let remove_target t target =
+  let k = Label.to_raw target in
+  match Hashtbl.find_opt t.by_target k with
+  | None -> ()
+  | Some old ->
+    Hashtbl.remove t.by_target k;
+    t.entry_count <- t.entry_count - List.length old;
+    invalidate_caches t
+
+let set_target t ~target ~owner kvs =
+  remove_target t target;
+  match kvs with
+  | [] -> ()
+  | kvs ->
+    Hashtbl.replace t.by_target (Label.to_raw target)
+      (List.map (fun (key, sval) -> { key; sval; owner }) kvs);
+    t.entry_count <- t.entry_count + List.length kvs;
+    invalidate_caches t
+
+let ensure_caches t =
+  match t.probe with
+  | Some a -> a
+  | None ->
+    let items = Hashtbl.fold (fun _ es acc -> List.rev_append es acc) t.by_target [] in
+    let a = Array.of_list (List.map (fun e -> (e.key, e.owner)) items) in
+    Array.sort
+      (fun (ka, oa) (kb, ob) ->
+        let c = Key.compare ka kb in
+        if c <> 0 then c else Label.compare oa ob)
+      a;
+    (* first index holding a Text key: numbers sort before texts *)
+    let n = Array.length a in
+    let lo = ref 0 and hi = ref n in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      match fst a.(mid) with
+      | Key.Number _ -> lo := mid + 1
+      | Key.Text _ -> hi := mid
+    done;
+    t.first_text <- !lo;
+    let bs = Hashtbl.create (max 16 n) in
+    List.iter
+      (fun e ->
+        let prev = Option.value ~default:[] (Hashtbl.find_opt bs e.sval) in
+        Hashtbl.replace bs e.sval (e.owner :: prev))
+      items;
+    t.probe <- Some a;
+    t.by_string <- Some bs;
+    a
+
+let owners ls = List.sort_uniq Label.compare ls
 
 let eq t s =
-  match Hashtbl.find_opt t.by_string s with
+  ignore (ensure_caches t);
+  match t.by_string with
   | None -> []
-  | Some positions -> List.sort_uniq Stdlib.compare positions
+  | Some bs -> (
+    match Hashtbl.find_opt bs s with None -> [] | Some ls -> owners ls)
 
 (* first index in [lo, hi) whose key compares >= (strict = false) or
    > (strict = true) the probe *)
-let bound t ~strict ~lo ~hi probe =
+let bound a ~strict ~lo ~hi probe =
   let lo = ref lo and hi = ref hi in
   while !lo < !hi do
     let mid = (!lo + !hi) / 2 in
-    let c = Key.compare (fst t.sorted.(mid)) probe in
+    let c = Key.compare (fst a.(mid)) probe in
     if c < 0 || (strict && c = 0) then lo := mid + 1 else hi := mid
   done;
   !lo
 
 let range t op probe =
-  let n = Array.length t.sorted in
+  let a = ensure_caches t in
+  let n = Array.length a in
   (* the probe's own family only *)
   let family_lo, family_hi =
     match probe with Key.Number _ -> (0, t.first_text) | Key.Text _ -> (t.first_text, n)
   in
   let from_, to_ =
     match op with
-    | Lt -> (family_lo, bound t ~strict:false ~lo:family_lo ~hi:family_hi probe)
-    | Le -> (family_lo, bound t ~strict:true ~lo:family_lo ~hi:family_hi probe)
-    | Gt -> (bound t ~strict:true ~lo:family_lo ~hi:family_hi probe, family_hi)
-    | Ge -> (bound t ~strict:false ~lo:family_lo ~hi:family_hi probe, family_hi)
+    | Lt -> (family_lo, bound a ~strict:false ~lo:family_lo ~hi:family_hi probe)
+    | Le -> (family_lo, bound a ~strict:true ~lo:family_lo ~hi:family_hi probe)
+    | Gt -> (bound a ~strict:true ~lo:family_lo ~hi:family_hi probe, family_hi)
+    | Ge -> (bound a ~strict:false ~lo:family_lo ~hi:family_hi probe, family_hi)
   in
   let out = ref [] in
   for i = from_ to to_ - 1 do
-    out := snd t.sorted.(i) :: !out
+    out := snd a.(i) :: !out
   done;
-  List.sort_uniq Stdlib.compare !out
+  owners !out

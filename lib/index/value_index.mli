@@ -2,13 +2,25 @@
     typed-values of one indexed path.
 
     An index entry associates a comparison key (and the exact string
-    value) with the {e position} of the owner node inside its path
-    extent; probes answer with sorted owner positions, which
-    {!Extent.select} turns back into a document-ordered sub-extent.
+    value) with two §9.3 numbering labels: the {e target} node the
+    value was read from, and the {e owner} entry of the indexed path's
+    extent the probe answers with.  Probes return sorted owner labels,
+    which {!Extent.select_by_labels} turns back into a
+    document-ordered sub-extent — labels, unlike extent positions, are
+    stable under updates (Proposition 1), so a maintained index keeps
+    answering without renumbering anything.
+
     Keys live in a two-family order — numbers (exact [xs:decimal]
     values) before text — so a range probe only ever matches values of
     the probe's own family, mirroring the evaluator's comparison
-    semantics. *)
+    semantics.
+
+    Maintenance is keyed by target: {!set_target} replaces everything
+    one target node contributes (its string value may concatenate many
+    descendants, so a deep edit re-reads just that target), and
+    {!remove_target} drops it.  Both are O(1) on the ground truth; the
+    probe structures are rebuilt lazily from memory on the next probe,
+    never from the document. *)
 
 module Key : sig
   type t = Number of Xsm_datatypes.Decimal.t | Text of string
@@ -35,15 +47,32 @@ val op_matches : op -> Key.t -> Key.t -> bool
 
 type t
 
-val build : (Key.t * string * int) list -> t
-(** [(key, string value, owner position)] triples, any order. *)
+val create : unit -> t
+(** An empty index; populate with {!set_target}. *)
+
+val set_target :
+  t ->
+  target:Xsm_numbering.Sedna_label.t ->
+  owner:Xsm_numbering.Sedna_label.t ->
+  (Key.t * string) list ->
+  unit
+(** Replace every entry contributed by the target node with the given
+    (key, exact string) values, attributed to the owner label.  An
+    empty list removes the target. *)
+
+val remove_target : t -> Xsm_numbering.Sedna_label.t -> unit
+(** Drop everything the target node contributed; no-op when the
+    target is not indexed. *)
 
 val size : t -> int
+(** Total number of (key, value) entries. *)
 
-val eq : t -> string -> int list
-(** Owner positions whose exact string value equals the literal;
-    sorted, duplicate-free. *)
+val target_count : t -> int
 
-val range : t -> op -> Key.t -> int list
-(** Owner positions with a value [v] such that [v op probe] holds;
+val eq : t -> string -> Xsm_numbering.Sedna_label.t list
+(** Owner labels with a target whose exact string value equals the
+    literal; sorted, duplicate-free. *)
+
+val range : t -> op -> Key.t -> Xsm_numbering.Sedna_label.t list
+(** Owner labels with a target value [v] such that [v op probe] holds;
     sorted, duplicate-free. *)

@@ -267,6 +267,7 @@ let node_kind d = Schema.kind_to_string (Schema.kind d.d_snode)
 let node_name d = Schema.name d.d_snode
 let parent d = d.parent
 let nid d = d.nid
+let desc_id d = d.id
 let left_sibling d = d.left
 let right_sibling d = d.right
 

@@ -53,6 +53,10 @@ val typed_value : t -> desc -> Xsm_datatypes.Value.t list
 
 val nid : desc -> Xsm_numbering.Sedna_label.t
 
+val desc_id : desc -> int
+(** The descriptor's allocation-ordered identifier — stable identity
+    for hashing, unrelated to document order. *)
+
 val home_block_id : desc -> int option
 (** Identifier of the block the descriptor lives in ([None] only for a
     detached descriptor).  Block ids are allocation-ordered and unique

@@ -1,8 +1,19 @@
+(* LRU as a hashtable over an intrusive doubly-linked recency list:
+   head = most recent, tail = next eviction victim.  Every touch is
+   O(1) — hit, promotion and eviction alike — so replaying a trace is
+   linear in its length, not quadratic. *)
+type lru_node = {
+  block : int;
+  mutable prev : lru_node option;  (* towards the head (more recent) *)
+  mutable next : lru_node option;  (* towards the tail (less recent) *)
+}
+
 type t = {
   capacity : int;
-  (* LRU as a recency list: head = most recent; fine for the simulation
-     sizes used in benches *)
-  mutable resident : int list;
+  resident : (int, lru_node) Hashtbl.t;
+  mutable head : lru_node option;
+  mutable tail : lru_node option;
+  mutable size : int;
   mutable accesses : int;
   mutable hits : int;
   mutable misses : int;
@@ -13,32 +24,53 @@ let create ~capacity =
   if capacity < 1 then invalid_arg "Buffer_pool.create: capacity must be positive";
   {
     capacity;
-    resident = [];
+    resident = Hashtbl.create (2 * capacity);
+    head = None;
+    tail = None;
+    size = 0;
     accesses = 0;
     hits = 0;
     misses = 0;
     seen = Hashtbl.create 64;
   }
 
+let unlink pool node =
+  (match node.prev with Some p -> p.next <- node.next | None -> pool.head <- node.next);
+  (match node.next with Some n -> n.prev <- node.prev | None -> pool.tail <- node.prev);
+  node.prev <- None;
+  node.next <- None
+
+let push_front pool node =
+  node.next <- pool.head;
+  (match pool.head with Some h -> h.prev <- Some node | None -> pool.tail <- Some node);
+  pool.head <- Some node
+
 let touch pool block =
   pool.accesses <- pool.accesses + 1;
   if not (Hashtbl.mem pool.seen block) then Hashtbl.add pool.seen block ();
-  if List.mem block pool.resident then begin
+  match Hashtbl.find_opt pool.resident block with
+  | Some node ->
     pool.hits <- pool.hits + 1;
-    pool.resident <- block :: List.filter (fun b -> b <> block) pool.resident;
+    (match pool.head with
+    | Some h when h == node -> ()
+    | _ ->
+      unlink pool node;
+      push_front pool node);
     `Hit
-  end
-  else begin
+  | None ->
     pool.misses <- pool.misses + 1;
-    let kept =
-      if List.length pool.resident >= pool.capacity then
-        (* drop the least recently used (the tail) *)
-        List.filteri (fun i _ -> i < pool.capacity - 1) pool.resident
-      else pool.resident
-    in
-    pool.resident <- block :: kept;
+    if pool.size >= pool.capacity then (
+      match pool.tail with
+      | Some victim ->
+        unlink pool victim;
+        Hashtbl.remove pool.resident victim.block;
+        pool.size <- pool.size - 1
+      | None -> ());
+    let node = { block; prev = None; next = None } in
+    push_front pool node;
+    Hashtbl.add pool.resident block node;
+    pool.size <- pool.size + 1;
     `Miss
-  end
 
 type stats = { accesses : int; hits : int; misses : int; distinct : int }
 

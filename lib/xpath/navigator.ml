@@ -24,6 +24,11 @@ module type S = sig
 
   val order : t -> node -> node -> int
   (** Document order (§7). *)
+
+  val id : t -> node -> int
+  (** A stable integer identity — node identifiers, not positions, so
+      it never changes under updates.  Used for hashing by the index
+      maintenance machinery. *)
 end
 
 module Xdm : S with type t = Xsm_xdm.Store.t and type node = Xsm_xdm.Store.node = struct
@@ -47,6 +52,7 @@ module Xdm : S with type t = Xsm_xdm.Store.t and type node = Xsm_xdm.Store.node 
   let typed_value = Store.typed_value
   let equal _ a b = Store.equal_node a b
   let order = Xsm_xdm.Order.compare
+  let id _ n = Store.node_id n
 end
 
 module Storage :
@@ -73,4 +79,5 @@ struct
   let typed_value = B.typed_value
   let equal _ a b = Xsm_numbering.Sedna_label.equal (B.nid a) (B.nid b)
   let order _ a b = Xsm_numbering.Sedna_label.compare (B.nid a) (B.nid b)
+  let id _ d = B.desc_id d
 end

@@ -2,19 +2,48 @@ open Path_ast
 module Extent = Xsm_index.Extent
 module VI = Xsm_index.Value_index
 
+type maintenance_stats = {
+  epochs : int;  (* full index builds so far (1 = the initial build) *)
+  applied : int;  (* journal changes absorbed without a rebuild *)
+  vi_drops : int;  (* value indexes dropped for lazy rebuild *)
+}
+
 module Make (N : Navigator.S) = struct
   module PI = Xsm_index.Path_index.Make (N)
   module E = Eval.Make (N)
 
   exception Fallback of string
 
+  type change =
+    | Node_added of N.node
+    | Node_removed of N.node
+    | Node_content of N.node
+
+  (* A cached value index plus what maintenance needs to know about
+     it: the relative path it was built from, the pnode ids its
+     targets came from, and whether that target set was computed
+     purely structurally (no predicates) — only then can we maintain
+     it differentially; otherwise any change drops it for lazy
+     rebuild. *)
+  type vindex = {
+    vi : VI.t;
+    v_rel : path;
+    v_targets : (int, unit) Hashtbl.t;
+    v_structural : bool;
+  }
+
   type t = {
     backend : N.t;
     root : N.node;
     mutable pindex : PI.t;
     mutable is_stale : bool;
-    values : (int * string, VI.t) Hashtbl.t;
+    values : (int * string, vindex) Hashtbl.t;
         (* (pnode id, printed relative path) -> its typed value index *)
+    mutable source : (unit -> change list) option;
+        (* pull-subscription to an update journal, drained before use *)
+    mutable epoch : int;
+    mutable applied : int;
+    mutable vi_drops : int;
   }
 
   let create backend root =
@@ -24,18 +53,29 @@ module Make (N : Navigator.S) = struct
       pindex = PI.build backend root;
       is_stale = false;
       values = Hashtbl.create 16;
+      source = None;
+      epoch = 1;
+      applied = 0;
+      vi_drops = 0;
     }
 
+  let drain t = match t.source with Some f -> f () | None -> []
+
   let refresh t =
+    ignore (drain t);  (* a rebuild subsumes whatever is pending *)
     t.pindex <- PI.build t.backend t.root;
     Hashtbl.reset t.values;
-    t.is_stale <- false
+    t.is_stale <- false;
+    t.epoch <- t.epoch + 1
 
   let invalidate t = t.is_stale <- true
   let stale t = t.is_stale
   let index t = t.pindex
   let value_index_count t = Hashtbl.length t.values
-  let ensure_fresh t = if t.is_stale then refresh t
+  let set_source t f = t.source <- Some f
+
+  let maintenance_stats t =
+    { epochs = t.epoch; applied = t.applied; vi_drops = t.vi_drops }
 
   (* ---- node tests on path-index nodes (mirrors Eval.test_matches) ---- *)
 
@@ -164,8 +204,8 @@ module Make (N : Navigator.S) = struct
       in
       restrict_probe c (VI.range (value_index t c.pn rel) op (VI.Key.of_string lit))
 
-  and restrict_probe c positions =
-    let sub = Extent.select (PI.extent c.pn) positions in
+  and restrict_probe c owner_labels =
+    let sub = Extent.select_by_labels (PI.extent c.pn) owner_labels in
     { c with restr = Some (match c.restr with None -> sub | Some r -> Extent.inter r sub) }
 
   and run_rel t pn (rel : path) =
@@ -175,32 +215,181 @@ module Make (N : Navigator.S) = struct
   (* The typed value index over (owner path, relative value path),
      built on first use from the owner and target extents — each
      target node attaches to its unique owner ancestor by one binary
-     search on the labels — then cached until the next refresh. *)
+     search on the labels — then kept current by journal maintenance
+     (or dropped for lazy rebuild when it cannot be). *)
   and value_index t pn (rel : path) =
     let key = (PI.id pn, Path_ast.to_string rel) in
     match Hashtbl.find_opt t.values key with
-    | Some vi -> vi
+    | Some v -> v.vi
     | None ->
       let owners = PI.extent pn in
       let targets = run_rel t pn rel in
-      let triples =
-        List.concat_map
-          (fun tc ->
-            List.concat_map
-              (fun (e : N.node Extent.entry) ->
-                match Extent.find_ancestor_pos ~or_self:true ~among:owners e.label with
-                | None -> []
-                | Some pos ->
-                  let sval = N.string_value t.backend e.node in
-                  List.map
-                    (fun v -> (VI.Key.of_value v, sval, pos))
-                    (N.typed_value t.backend e.node))
-              (Extent.entries (cand_extent tc)))
-          targets
+      let vi = VI.create () in
+      List.iter
+        (fun tc ->
+          List.iter
+            (fun (e : N.node Extent.entry) ->
+              match Extent.find_ancestor_pos ~or_self:true ~among:owners e.label with
+              | None -> ()
+              | Some pos ->
+                let owner = (Extent.get owners pos).Extent.label in
+                let sval = N.string_value t.backend e.node in
+                VI.set_target vi ~target:e.label ~owner
+                  (List.map
+                     (fun v -> (VI.Key.of_value v, sval))
+                     (N.typed_value t.backend e.node)))
+            (Extent.entries (cand_extent tc)))
+        targets;
+      let v_structural =
+        List.for_all (fun ((s : step), _) -> s.predicates = []) rel.steps
       in
-      let vi = VI.build triples in
-      Hashtbl.add t.values key vi;
+      let v_targets = Hashtbl.create 8 in
+      List.iter (fun c -> Hashtbl.replace v_targets (PI.id c.pn) ()) targets;
+      Hashtbl.add t.values key { vi; v_rel = rel; v_targets; v_structural };
       vi
+
+  (* ---- differential maintenance ---- *)
+
+  let vi_iter t f =
+    (* snapshot first: [f] may drop entries *)
+    List.iter
+      (fun (key, v) -> f key v)
+      (Hashtbl.fold (fun key v acc -> (key, v) :: acc) t.values [])
+
+  let drop_vi t key =
+    if Hashtbl.mem t.values key then begin
+      Hashtbl.remove t.values key;
+      t.vi_drops <- t.vi_drops + 1
+    end
+
+  (* re-read the value entries one target node contributes: its owner
+     is its unique ancestor-or-self in the owner extent (gone owner =
+     gone entries), its values come from the current store state *)
+  let recompute_target t owner_pid v (e : N.node Extent.entry) =
+    let owners = PI.extent (PI.pnode t.pindex owner_pid) in
+    match Extent.find_ancestor_pos ~or_self:true ~among:owners e.label with
+    | None -> VI.remove_target v.vi e.label
+    | Some i ->
+      let owner = (Extent.get owners i).Extent.label in
+      let sval = N.string_value t.backend e.node in
+      VI.set_target v.vi ~target:e.label ~owner
+        (List.map (fun value -> (VI.Key.of_value value, sval)) (N.typed_value t.backend e.node))
+
+  (* a structural edit at [label] also stales any target that is a
+     strict ancestor of it: element string values concatenate
+     descendant text.  Each target extent is an antichain, so at most
+     one entry per extent qualifies — one binary search each. *)
+  let refresh_ancestor_targets t owner_pid v label =
+    Hashtbl.iter
+      (fun tp () ->
+        let text = PI.extent (PI.pnode t.pindex tp) in
+        match Extent.find_ancestor_pos ~or_self:false ~among:text label with
+        | None -> ()
+        | Some i -> recompute_target t owner_pid v (Extent.get text i))
+      v.v_targets
+
+  let vi_on_added t root_label added =
+    vi_iter t (fun ((owner_pid, _) as key) v ->
+        if not v.v_structural then drop_vi t key
+        else begin
+          List.iter
+            (fun (pid, label, node) ->
+              if Hashtbl.mem v.v_targets pid then
+                recompute_target t owner_pid v { Extent.label; node })
+            added;
+          refresh_ancestor_targets t owner_pid v root_label
+        end)
+
+  let vi_on_removed t root_label removed =
+    vi_iter t (fun ((owner_pid, _) as key) v ->
+        if not v.v_structural then drop_vi t key
+        else begin
+          List.iter
+            (fun (pid, label) ->
+              if Hashtbl.mem v.v_targets pid then VI.remove_target v.vi label)
+            removed;
+          refresh_ancestor_targets t owner_pid v root_label
+        end)
+
+  let vi_on_content t label =
+    vi_iter t (fun ((owner_pid, _) as key) v ->
+        if not v.v_structural then drop_vi t key
+        else
+          Hashtbl.iter
+            (fun tp () ->
+              let text = PI.extent (PI.pnode t.pindex tp) in
+              match Extent.find_ancestor_pos ~or_self:true ~among:text label with
+              | None -> ()
+              | Some i -> recompute_target t owner_pid v (Extent.get text i))
+            v.v_targets)
+
+  (* new pnodes may widen the target pid set a value index was built
+     over; recompute it structurally (cheap: the pnode tree alone) and
+     drop indexes whose set changed — their entries are incomplete *)
+  let revalidate_value_targets t =
+    vi_iter t (fun ((owner_pid, _) as key) v ->
+        if not v.v_structural then drop_vi t key
+        else begin
+          let fresh =
+            List.map
+              (fun c -> PI.id c.pn)
+              (run_rel t (PI.pnode t.pindex owner_pid) v.v_rel)
+          in
+          let same =
+            List.length fresh = Hashtbl.length v.v_targets
+            && List.for_all (fun pid -> Hashtbl.mem v.v_targets pid) fresh
+          in
+          if not same then drop_vi t key
+        end)
+
+  exception Too_much
+
+  let apply_one t touched budget = function
+    | Node_added node -> (
+      let added = PI.insert_subtree t.pindex t.backend node in
+      touched := !touched + List.length added;
+      if !touched > budget then raise Too_much;
+      match added with
+      | [] -> ()
+      | (_, root_label, _) :: _ -> vi_on_added t root_label added)
+    | Node_removed node -> (
+      let removed = PI.remove_subtree t.pindex t.backend node in
+      touched := !touched + List.length removed;
+      if !touched > budget then raise Too_much;
+      match removed with
+      | [] -> ()
+      | (_, root_label) :: _ -> vi_on_removed t root_label removed)
+    | Node_content node -> (
+      match PI.locate t.pindex t.backend node with
+      | None -> ()  (* content of a node outside the indexed tree *)
+      | Some (_, label) ->
+        incr touched;
+        vi_on_content t label)
+
+  let apply_changes t changes =
+    if t.is_stale then refresh t
+    else
+      match changes with
+      | [] -> ()
+      | changes -> (
+        let before_pnodes = PI.pnode_count t.pindex in
+        (* the size-ratio heuristic: when a batch touches more than a
+           quarter of the indexed entries, differential upkeep costs
+           more than the single linear pass of a rebuild — stop and
+           rebuild.  Partial application up to that point is harmless:
+           the rebuild subsumes it. *)
+        let budget = max 8 (PI.entry_count t.pindex / 4) in
+        let touched = ref 0 in
+        match
+          List.iter (fun c -> apply_one t touched budget c) changes;
+          if PI.pnode_count t.pindex > before_pnodes then revalidate_value_targets t
+        with
+        | () -> t.applied <- t.applied + List.length changes
+        | exception (Too_much | Xsm_index.Path_index.Maintenance_error _) -> refresh t)
+
+  let ensure_fresh t =
+    let pending = drain t in
+    if t.is_stale then refresh t else apply_changes t pending
 
   let eval_indexed t (p : path) =
     ensure_fresh t;
@@ -230,10 +419,19 @@ module Make (N : Navigator.S) = struct
   let explain t p =
     match try_indexed t p with
     | Ok nodes ->
-      Format.asprintf "index(%d nodes; %a; %d value indexes)" (List.length nodes)
-        PI.pp_stats t.pindex (value_index_count t)
+      Format.asprintf "index(%d nodes; %a; %d value indexes; epoch %d)"
+        (List.length nodes) PI.pp_stats t.pindex (value_index_count t) t.epoch
     | Error reason -> Printf.sprintf "fallback(%s)" reason
 end
 
 module Over_store = Make (Navigator.Xdm)
 module Over_storage = Make (Navigator.Storage)
+
+let attach_journal (t : Over_store.t) (j : Xsm_schema.Update.Journal.t) =
+  Over_store.set_source t (fun () ->
+      List.map
+        (function
+          | Xsm_schema.Update.Journal.Inserted n -> Over_store.Node_added n
+          | Xsm_schema.Update.Journal.Deleted n -> Over_store.Node_removed n
+          | Xsm_schema.Update.Journal.Content n -> Over_store.Node_content n)
+        (Xsm_schema.Update.Journal.drain j))

@@ -23,12 +23,25 @@
     engines agree wherever both apply (the property the test suite
     checks).
 
-    {b Maintenance}: indexes follow the invalidation-and-rebuild
-    discipline.  After any mutation of the underlying tree
-    (e.g. through [Xsm_schema.Update]), call {!invalidate}; the next
-    evaluation rebuilds the path index and drops cached value indexes.
-    There is no incremental upkeep — rebuilding is one linear
-    traversal, and stale reads are prevented rather than repaired. *)
+    {b Maintenance}: indexes are kept current {e differentially}.  A
+    planner can subscribe to a structured update journal
+    ({!set_source}, or {!attach_journal} for [Xsm_schema.Update] over
+    the XDM store); before every evaluation the pending changes are
+    drained and applied in order — label-sorted splices into the path
+    extents, keyed add/remove in the value indexes — instead of
+    rebuilding from scratch.  Proposition 1 makes this sound: existing
+    labels never change under updates, so everything already indexed
+    stays put.  A size-ratio heuristic bounds the worst case: when a
+    batch touches more than a quarter of the indexed entries (or
+    maintenance meets a state it cannot repair), the planner falls
+    back to one full rebuild.  {!invalidate} still forces a rebuild
+    for callers without a journal. *)
+
+type maintenance_stats = {
+  epochs : int;  (** full index builds so far (1 = the initial build) *)
+  applied : int;  (** journal changes absorbed without a rebuild *)
+  vi_drops : int;  (** value indexes dropped for lazy rebuild *)
+}
 
 module Make (N : Navigator.S) : sig
   module PI : module type of Xsm_index.Path_index.Make (N)
@@ -40,15 +53,36 @@ module Make (N : Navigator.S) : sig
       (value indexes are created lazily per indexed path). *)
 
   val invalidate : t -> unit
-  (** Mark the indexes stale after an update; the next evaluation
-      rebuilds them. *)
+  (** Mark the indexes stale after an unjournaled update; the next
+      evaluation rebuilds them. *)
 
   val refresh : t -> unit
-  (** Rebuild now. *)
+  (** Rebuild now (discards any pending journal changes — the rebuild
+      subsumes them). *)
 
   val stale : t -> bool
   val index : t -> PI.t
   val value_index_count : t -> int
+
+  (** {1 Differential maintenance} *)
+
+  type change =
+    | Node_added of N.node  (** a freshly linked subtree root *)
+    | Node_removed of N.node  (** a just-unlinked subtree root *)
+    | Node_content of N.node  (** own content of a text/attribute replaced *)
+
+  val apply_changes : t -> change list -> unit
+  (** Absorb a batch of changes, in order, into the path index and the
+      cached value indexes.  Falls back to a full rebuild when the
+      batch touches too large a fraction of the index or cannot be
+      repaired differentially. *)
+
+  val set_source : t -> (unit -> change list) -> unit
+  (** Subscribe to an update journal: the function is called before
+      every evaluation (and on {!refresh}) and must return — and
+      forget — the changes since the last call. *)
+
+  val maintenance_stats : t -> maintenance_stats
 
   val eval : t -> ?context:N.node -> Path_ast.path -> N.node list
   (** Evaluate through the indexes when the path is in the supported
@@ -67,3 +101,9 @@ end
 
 module Over_store : module type of Make (Navigator.Xdm)
 module Over_storage : module type of Make (Navigator.Storage)
+
+val attach_journal : Over_store.t -> Xsm_schema.Update.Journal.t -> unit
+(** Wire a planner over the XDM store to an [Xsm_schema.Update]
+    journal: every pending entry is drained and applied before each
+    evaluation, so indexes stay live across updates without explicit
+    {!Make.invalidate} calls. *)

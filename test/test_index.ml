@@ -72,34 +72,47 @@ let test_extent_joins () =
 (* ---------------- typed value indexes ---------------- *)
 
 let test_value_index_probes () =
-  let triple s pos = (VI.Key.of_string s, s, pos) in
-  let vi =
-    VI.build
-      [
-        triple "10" 0; triple "2" 1; triple "30" 2; triple "abc" 3; triple "b" 4;
-        triple "10" 5;
-      ]
+  (* six owner labels in document order; target = owner (leaf values) *)
+  let labels = Array.of_list (Label.assign_children Label.root 6) in
+  let pos_of =
+    let assoc =
+      Array.to_list (Array.mapi (fun i l -> (Label.to_raw l, i)) labels)
+    in
+    fun l -> List.assoc (Label.to_raw l) assoc
   in
-  Alcotest.(check (list int)) "eq on exact string" [ 0; 5 ] (VI.eq vi "10");
-  Alcotest.(check (list int)) "eq misses" [] (VI.eq vi "10.5");
-  Alcotest.(check (list int))
-    "numeric range < 10" [ 1 ]
-    (VI.range vi VI.Lt (VI.Key.of_string "10"));
-  Alcotest.(check (list int))
-    "numeric range <= 10" [ 0; 1; 5 ]
-    (VI.range vi VI.Le (VI.Key.of_string "10"));
-  Alcotest.(check (list int))
-    "numeric range > 2 stays numeric" [ 0; 2; 5 ]
-    (VI.range vi VI.Gt (VI.Key.of_string "2"));
-  Alcotest.(check (list int))
-    "text range >= b stays textual" [ 4 ]
-    (VI.range vi VI.Ge (VI.Key.of_string "b"));
+  let vi = VI.create () in
+  let set i s =
+    VI.set_target vi ~target:labels.(i) ~owner:labels.(i) [ (VI.Key.of_string s, s) ]
+  in
+  set 0 "10";
+  set 1 "2";
+  set 2 "30";
+  set 3 "abc";
+  set 4 "b";
+  set 5 "10";
+  let eq s = List.map pos_of (VI.eq vi s) in
+  let range op probe = List.map pos_of (VI.range vi op (VI.Key.of_string probe)) in
+  Alcotest.(check (list int)) "eq on exact string" [ 0; 5 ] (eq "10");
+  Alcotest.(check (list int)) "eq misses" [] (eq "10.5");
+  Alcotest.(check (list int)) "numeric range < 10" [ 1 ] (range VI.Lt "10");
+  Alcotest.(check (list int)) "numeric range <= 10" [ 0; 1; 5 ] (range VI.Le "10");
+  Alcotest.(check (list int)) "numeric range > 2 stays numeric" [ 0; 2; 5 ] (range VI.Gt "2");
+  Alcotest.(check (list int)) "text range >= b stays textual" [ 4 ] (range VI.Ge "b");
   check "numbers order before text" true
     (VI.Key.compare (VI.Key.of_string "999") (VI.Key.of_string "a") < 0);
   check "decimal key is exact" true
     (VI.Key.compare (VI.Key.of_value (Xsm_datatypes.Value.Decimal (Xsm_datatypes.Decimal.of_int 10)))
        (VI.Key.of_string "10.0")
-    = 0)
+    = 0);
+  (* keyed maintenance: replacing and removing a target's entries *)
+  check_int "six entries" 6 (VI.size vi);
+  set 5 "99";
+  Alcotest.(check (list int)) "replaced target left the old key" [ 0 ] (eq "10");
+  Alcotest.(check (list int)) "and answers under the new key" [ 5 ] (eq "99");
+  VI.remove_target vi labels.(1);
+  Alcotest.(check (list int)) "removed target no longer answers" [] (eq "2");
+  check_int "five entries left" 5 (VI.size vi);
+  check_int "five targets left" 5 (VI.target_count vi)
 
 (* ---------------- parser: comparison predicates ---------------- *)
 

@@ -415,6 +415,88 @@ let update_sequence_law seed =
     let back = Xsm_xdm.Convert.to_document store dnode in
     Result.is_ok (Xsm_schema.Validator.validate_document back schema)
 
+(* incremental index maintenance = rebuild from scratch: after every
+   prefix of a random update sequence, a journal-maintained planner
+   answers exactly like the naive evaluator and carries exactly the
+   entries a freshly built index would *)
+let incremental_maintenance_law seed =
+  let r = Xsm_schema.Generator.rng seed in
+  let int = Xsm_schema.Generator.int in
+  let module Pl = Xsm_xpath.Planner.Over_store in
+  let module E = Xsm_xpath.Eval.Over_store in
+  let module U = Xsm_schema.Update in
+  let store = Store.create () in
+  let doc = Xsm_schema.Samples.library_document ~books:(2 + int r 4) ~papers:(1 + int r 3) () in
+  let dnode = Convert.load store doc in
+  let planner = Pl.create store dnode in
+  let journal = U.Journal.create () in
+  Xsm_xpath.Planner.attach_journal planner journal;
+  let queries =
+    [ "//author"; "//book[issue/year<1990]/title"; "/library//publisher"; "//text()" ]
+  in
+  let subtree step =
+    Xsm_xml.Tree.elem "book"
+      ~children:
+        [
+          Xsm_xml.Tree.element
+            (Xsm_xml.Tree.elem "issue"
+               ~children:
+                 [
+                   Xsm_xml.Tree.element
+                     (Xsm_xml.Tree.elem "year"
+                        ~children:[ Xsm_xml.Tree.text (string_of_int (1900 + (step * 17 mod 150))) ]);
+                 ]);
+          Xsm_xml.Tree.element
+            (Xsm_xml.Tree.elem "author" ~children:[ Xsm_xml.Tree.text "Prop" ]);
+        ]
+  in
+  let ok = ref true in
+  let steps = 4 + int r 5 in
+  for step = 1 to steps do
+    let nodes = Store.descendants_or_self store dnode in
+    let elements =
+      List.filter (fun n -> Store.kind store n = Store.Kind.Element) nodes
+    in
+    let pick xs = List.nth xs (int r (List.length xs)) in
+    let op =
+      match int r 6 with
+      | 0 -> U.Insert_element { parent = pick elements; before = None; tree = subtree step }
+      | 1 -> U.Insert_text { parent = pick elements; before = None; text = "p" }
+      | 2 -> (
+        match
+          List.filter
+            (fun n ->
+              match Store.parent store n with
+              | Some p -> not (Store.equal_node p dnode)
+              | None -> false)
+            elements
+        with
+        | [] -> U.Set_attribute { element = pick elements; name = Name.local "k"; value = "v" }
+        | sub -> U.Delete (pick sub))
+      | 3 -> (
+        match List.filter (fun n -> Store.kind store n = Store.Kind.Text) nodes with
+        | [] -> U.Insert_text { parent = pick elements; before = None; text = "q" }
+        | ts -> U.Replace_content { node = pick ts; value = string_of_int (1850 + (step * 31 mod 200)) })
+      | _ ->
+        U.Set_attribute
+          { element = pick elements; name = Name.local "k"; value = string_of_int step }
+    in
+    ignore (U.apply ~journal store op);
+    (* every prefix: maintained planner = naive evaluator on each query *)
+    List.iter
+      (fun q ->
+        match (Pl.eval_string planner q, E.eval_string store dnode q) with
+        | Ok a, Ok b ->
+          if List.map Store.node_id a <> List.map Store.node_id b then ok := false
+        | _ -> ok := false)
+      queries;
+    (* ... and structurally matches a from-scratch build *)
+    let fresh = Pl.create store dnode in
+    if Pl.PI.entry_count (Pl.index planner) <> Pl.PI.entry_count (Pl.index fresh) then
+      ok := false
+  done;
+  !ok
+
 (* random insert/delete sequences on the block storage keep every
    §9.2 invariant and stay serialization-equivalent to a mirror of the
    same operations applied to plain XML trees *)
@@ -468,6 +550,8 @@ let suite =
         to_alco ~count:200 "between stays inside" label_between_law;
         to_alco ~count:200 "canonicalization preserves language" canonical_preserves_language;
         to_alco ~count:40 "validated update sequences stay S-trees" update_sequence_law;
+        to_alco ~count:120 "incremental index maintenance = rebuild"
+          incremental_maintenance_law;
         to_alco ~count:25 "following/preceding match their definitions" axis_definition_law;
         to_alco ~count:100 "mutations invalidate" mutation_invalidates_law;
         to_alco ~count:50 "storage op sequences keep invariants" storage_operations_law;
