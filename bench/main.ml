@@ -1,6 +1,6 @@
 (* Bench entry point.
 
-   Default: Bechamel micro-benchmarks, one group per experiment E1-E12
+   Default: Bechamel micro-benchmarks, one group per experiment E1-E13
    (ns/op with OLS estimation).  With --report: the full experiment
    harness that regenerates the EXPERIMENTS.md tables.  With --smoke:
    a fast pass over every micro-benchmark (tiny quota), used by CI to
@@ -217,9 +217,86 @@ let tests () =
        staged (fun () ->
            e12_round store planner libr None ~notify:(fun () -> Pl.invalidate planner)))
   in
+  (* E13: durability.  WAL append overhead on a steady-state
+     insert+delete round (logged vs not), with the fsync either per
+     record or batched; snapshot save; full recovery.  Files live
+     under the temp dir and are reused across iterations. *)
+  let e13_round store dnode libr ~log =
+    let apply op =
+      log op;
+      match Xsm_schema.Update.apply store op with
+      | Ok a -> a
+      | Error e -> failwith e
+    in
+    ignore dnode;
+    ignore
+      (apply
+         (Xsm_schema.Update.Insert_element
+            { parent = libr; before = None; tree = e12_book }));
+    let last = List.rev (Store.children store libr) |> List.hd in
+    ignore (apply (Xsm_schema.Update.Delete last))
+  in
+  let e13_logged sync_every =
+    let store, dnode, libr = e12_fixture () in
+    let wal_path = Filename.temp_file "xsm_bench" ".wal" in
+    Sys.remove wal_path;
+    let w =
+      match Xsm_persist.Wal.Writer.create ~sync_every wal_path with
+      | Ok w -> w
+      | Error e -> failwith e
+    in
+    staged (fun () ->
+        e13_round store dnode libr ~log:(fun op ->
+            match Xsm_persist.Wal.op_of_update store ~root:dnode op with
+            | Ok wop -> Xsm_persist.Wal.Writer.append w wop
+            | Error e -> failwith e))
+  in
+  let e13a =
+    Test.make ~name:"E13 update round, no WAL (lib 300)"
+      (let store, dnode, libr = e12_fixture () in
+       staged (fun () -> e13_round store dnode libr ~log:(fun _ -> ())))
+  in
+  let e13b = Test.make ~name:"E13 update round, WAL fsync/rec (lib 300)" (e13_logged 1) in
+  let e13c = Test.make ~name:"E13 update round, WAL fsync/64 (lib 300)" (e13_logged 64) in
+  let e13d =
+    Test.make ~name:"E13 snapshot save (lib 300)"
+      (let store, dnode, _ = e12_fixture () in
+       let path = Filename.temp_file "xsm_bench" ".snap" in
+       staged (fun () ->
+           match Xsm_persist.Snapshot.save ~path store dnode with
+           | Ok _ -> ()
+           | Error e -> failwith e))
+  in
+  let e13e =
+    Test.make ~name:"E13 recover snapshot+100-op WAL (lib 300)"
+      ((* prepare once: a snapshot and a 100-op log *)
+       let store, dnode, libr = e12_fixture () in
+       let snap = Filename.temp_file "xsm_bench" ".snap" in
+       let wal = Filename.temp_file "xsm_bench" ".wal" in
+       Sys.remove wal;
+       (match Xsm_persist.Snapshot.save ~path:snap store dnode with
+       | Ok _ -> ()
+       | Error e -> failwith e);
+       let w =
+         match Xsm_persist.Wal.Writer.create ~sync_every:64 wal with
+         | Ok w -> w
+         | Error e -> failwith e
+       in
+       for _ = 1 to 50 do
+         e13_round store dnode libr ~log:(fun op ->
+             match Xsm_persist.Wal.op_of_update store ~root:dnode op with
+             | Ok wop -> Xsm_persist.Wal.Writer.append w wop
+             | Error e -> failwith e)
+       done;
+       Xsm_persist.Wal.Writer.close w;
+       staged (fun () ->
+           match Xsm_persist.Recovery.recover ~snapshot:snap ~wal () with
+           | Ok _ -> ()
+           | Error e -> failwith e))
+  in
   [
     e1; e2a; e2b; e3; e4a; e4b; e5; e6; e7; e8a; e8b; e9; e10; e11a; e11b; e11c; e11d;
-    e11e; e12a; e12b;
+    e11e; e12a; e12b; e13a; e13b; e13c; e13d; e13e;
   ]
 
 let run_bechamel ?(smoke = false) () =
@@ -250,5 +327,5 @@ let () =
   if List.mem "--report" args then Report.run ()
   else begin
     run_bechamel ~smoke:(List.mem "--smoke" args) ();
-    print_endline "\n(run with --report for the full E1-E12 experiment tables)"
+    print_endline "\n(run with --report for the full E1-E13 experiment tables)"
   end

@@ -4,11 +4,17 @@
      validate  SCHEMA.xsd DOC.xml     validate a document against a schema
      check     SCHEMA.xsd             schema well-formedness (§3 + UPA)
      query     DOC.xml PATH           evaluate an XPath-subset query
-     update    DOC.xml SCRIPT         run an update script, optionally with live indexes
+     update    DOC.xml SCRIPT         run an update script, optionally with live
+                                      indexes and a write-ahead log
+     snapshot  DOC.xml OUT            write a binary snapshot of the loaded store
+     recover   SNAP                   load a snapshot and replay a WAL tail
      dataguide DOC.xml                print the descriptive schema (§9.1)
      labels    DOC.xml                print nodes with Sedna labels (§9.3)
      roundtrip SCHEMA.xsd DOC.xml     check g(f(X)) =_c X (§8)
-*)
+
+   Exit codes: 0 ok; 1 invalid input (validation failure, bad script
+   line, failed query); 2 unusable arguments or unreadable files;
+   3 an injected WAL crash point fired (fault-injection runs only). *)
 
 open Cmdliner
 
@@ -186,6 +192,12 @@ let query_cmd =
     (Cmd.info "query" ~doc:"Evaluate an XPath-subset query over a document")
     Term.(const run $ doc_arg $ path_arg $ storage_flag $ index_flag)
 
+let print_store store root =
+  match Xsm_xdm.Store.kind store root with
+  | Xsm_xdm.Store.Kind.Document ->
+    print_string (Xsm_xml.Printer.to_string (Xsm_xdm.Convert.to_document store root))
+  | _ -> print_endline (Xsm_xml.Printer.element_to_string (Xsm_xdm.Convert.to_element store root))
+
 let update_cmd =
   let doc_arg =
     Arg.(required & pos 0 (some file) None & info [] ~docv:"DOC" ~doc:"XML document file")
@@ -200,7 +212,9 @@ let update_cmd =
              appends a text node; $(b,delete) PATH unlinks the first match; $(b,content) \
              PATH VALUE replaces a text or attribute value; $(b,attr) PATH NAME VALUE \
              sets an attribute; $(b,query) PATH evaluates a query against the current \
-             state.  Blank lines and lines starting with # are ignored.")
+             state; $(b,sync) forces a WAL sync point.  Blank lines and lines starting \
+             with # are ignored.  A malformed line aborts the run with its line number \
+             and exit code 1.")
   in
   let index_flag =
     Arg.(
@@ -215,14 +229,55 @@ let update_cmd =
   let print_flag =
     Arg.(value & flag & info [ "print" ] ~doc:"Print the resulting document on stdout")
   in
+  let wal_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "wal" ] ~docv:"FILE"
+          ~doc:
+            "Write-ahead log: every update is appended to $(docv) (length-prefixed, \
+             CRC-checked records) $(i,before) it is applied, so $(b,xsm recover) can \
+             replay the run from a snapshot after a crash.")
+  in
+  let snapshot_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "snapshot" ] ~docv:"FILE"
+          ~doc:
+            "Write a snapshot of the $(i,initial) document state to $(docv) before \
+             running the script — the base the WAL replays against.")
+  in
+  let crash_after_arg =
+    Arg.(
+      value & opt (some int) None
+      & info [ "crash-after" ] ~docv:"N"
+          ~doc:
+            "Fault injection: once $(docv) WAL records are fully on disk, abort \
+             mid-write of the next record and exit with code 3 (requires $(b,--wal)).")
+  in
+  let crash_partial_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "crash-partial" ] ~docv:"BYTES"
+          ~doc:
+            "With $(b,--crash-after): leave $(docv) bytes of the torn record behind \
+             (0 = cut cleanly at the record boundary).")
+  in
+  let sync_every_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "sync-every" ] ~docv:"N"
+          ~doc:"Fsync the WAL after every $(docv)-th record (default 1: every record).")
+  in
   let split1 s =
     match String.index_opt s ' ' with
     | None -> (s, "")
     | Some i -> (String.sub s 0 i, String.trim (String.sub s (i + 1) (String.length s - i - 1)))
   in
-  let run doc_path script_path use_index do_print =
+  let run doc_path script_path use_index do_print wal_path snap_path crash_after
+      crash_partial sync_every =
     let module Store = Xsm_xdm.Store in
     let module Update = Xsm_schema.Update in
+    let module Wal = Xsm_persist.Wal in
     let module Pl = Xsm_xpath.Planner.Over_store in
     let doc = or_die (load_document doc_path) in
     let store = Store.create () in
@@ -240,22 +295,133 @@ let update_cmd =
       Printf.ksprintf
         (fun s ->
           prerr_endline s;
+          exit 2)
+        fmt
+    in
+    (match snap_path with
+    | None -> ()
+    | Some p -> (
+      match Xsm_persist.Snapshot.save ~path:p store dnode with
+      | Ok _ -> ()
+      | Error e -> die "%s" e));
+    let wal =
+      match wal_path with
+      | None ->
+        if crash_after <> None then die "--crash-after requires --wal";
+        None
+      | Some p -> (
+        (* a fresh snapshot is a fresh base: an old log would replay
+           against the wrong state, so pair it with an empty WAL *)
+        if snap_path <> None && Sys.file_exists p then Sys.remove p;
+        let crash =
+          Option.map
+            (fun n -> { Wal.after_records = n; partial_bytes = crash_partial })
+            crash_after
+        in
+        match Wal.Writer.create ?crash ~sync_every p with
+        | Ok w -> Some w
+        | Error e -> die "%s" e)
+    in
+    (* a malformed or failing script line aborts with its location and
+       exit code 1 — never a silent skip, never a raw backtrace *)
+    let fail_line lineno fmt =
+      Printf.ksprintf
+        (fun s ->
+          Printf.eprintf "%s:%d: %s\n" script_path lineno s;
           exit 1)
         fmt
     in
-    let target q =
+    let target lineno q =
       match Xsm_xpath.Eval.Over_store.eval_string store dnode q with
       | Ok (n :: _) -> n
-      | Ok [] -> die "%s: no matching node" q
-      | Error e -> die "%s: %s" q e
+      | Ok [] -> fail_line lineno "%s: no matching node" q
+      | Error e -> fail_line lineno "%s: %s" q e
     in
-    let apply op =
-      match Update.apply ~journal store op with Ok _ -> () | Error e -> die "update: %s" e
+    let apply lineno op =
+      (match wal with
+      | None -> ()
+      | Some w -> (
+        (* log before apply: the WAL addresses describe the pre-state *)
+        match Wal.op_of_update store ~root:dnode op with
+        | Ok wop -> (
+          try Wal.Writer.append w wop
+          with Wal.Crashed ->
+            Printf.eprintf "wal: injected crash after %d records\n"
+              (Wal.Writer.records_written w);
+            exit 3)
+        | Error e -> fail_line lineno "%s" e));
+      match Update.apply ~journal store op with
+      | Ok _ -> ()
+      | Error e -> fail_line lineno "update: %s" e
     in
-    let fragment src =
-      match Xsm_xml.Parser.parse_document src with
-      | Ok d -> d.Xsm_xml.Tree.root
-      | Error e -> die "fragment: %s" (Xsm_xml.Parser.error_to_string e)
+    let fragment lineno src =
+      match Xsm_xml.Parser.parse_element src with
+      | Ok e -> e
+      | Error e -> fail_line lineno "fragment: %s" (Xsm_xml.Parser.error_to_string e)
+    in
+    let qname lineno s =
+      match Xsm_xml.Name.of_string s with
+      | Ok n -> n
+      | Error e -> fail_line lineno "attribute name %S: %s" s e
+    in
+    let require lineno what s = if s = "" then fail_line lineno "missing %s" what else s in
+    let run_line lineno line =
+      let cmd, rest = split1 line in
+      match cmd with
+      | "insert" ->
+        let path, xml = split1 rest in
+        let path = require lineno "target path" path in
+        let xml = require lineno "XML fragment" xml in
+        apply lineno
+          (Update.Insert_element
+             { parent = target lineno path; before = None; tree = fragment lineno xml })
+      | "insert-text" ->
+        let path, text = split1 rest in
+        let path = require lineno "target path" path in
+        apply lineno (Update.Insert_text { parent = target lineno path; before = None; text })
+      | "delete" ->
+        let path = require lineno "target path" rest in
+        apply lineno (Update.Delete (target lineno path))
+      | "content" ->
+        let path, value = split1 rest in
+        let path = require lineno "target path" path in
+        apply lineno (Update.Replace_content { node = target lineno path; value })
+      | "attr" ->
+        let path, rest = split1 rest in
+        let name, value = split1 rest in
+        let path = require lineno "target path" path in
+        let name = require lineno "attribute name" name in
+        apply lineno
+          (Update.Set_attribute
+             { element = target lineno path; name = qname lineno name; value })
+      | "sync" -> (
+        match wal with
+        | Some w -> (
+          try Wal.Writer.sync w
+          with Wal.Crashed ->
+            Printf.eprintf "wal: injected crash after %d records\n"
+              (Wal.Writer.records_written w);
+            exit 3)
+        | None -> ())
+      | "query" -> (
+        let q = require lineno "query" rest in
+        let print_nodes nodes =
+          List.iter (fun n -> print_endline (Store.string_value store n)) nodes
+        in
+        match planner with
+        | Some p -> (
+          match Pl.eval_string p q with
+          | Ok nodes ->
+            (match Xsm_xpath.Path_parser.parse q with
+            | Ok parsed -> Format.eprintf "plan: %s@." (Pl.explain p parsed)
+            | Error _ -> ());
+            print_nodes nodes
+          | Error e -> fail_line lineno "%s: %s" q e)
+        | None -> (
+          match Xsm_xpath.Eval.Over_store.eval_string store dnode q with
+          | Ok nodes -> print_nodes nodes
+          | Error e -> fail_line lineno "%s: %s" q e))
+      | other -> fail_line lineno "unknown command %S" other
     in
     let lineno = ref 0 in
     String.split_on_char '\n' (read_file script_path)
@@ -264,59 +430,200 @@ let update_cmd =
            let line = String.trim line in
            if line = "" || line.[0] = '#' then ()
            else
-             let cmd, rest = split1 line in
-             match cmd with
-             | "insert" ->
-               let path, xml = split1 rest in
-               apply
-                 (Update.Insert_element
-                    { parent = target path; before = None; tree = fragment xml })
-             | "insert-text" ->
-               let path, text = split1 rest in
-               apply (Update.Insert_text { parent = target path; before = None; text })
-             | "delete" -> apply (Update.Delete (target rest))
-             | "content" ->
-               let path, value = split1 rest in
-               apply (Update.Replace_content { node = target path; value })
-             | "attr" ->
-               let path, rest = split1 rest in
-               let name, value = split1 rest in
-               apply
-                 (Update.Set_attribute
-                    { element = target path; name = Xsm_xml.Name.local name; value })
-             | "query" -> (
-               let print_nodes nodes =
-                 List.iter (fun n -> print_endline (Store.string_value store n)) nodes
-               in
-               match planner with
-               | Some p -> (
-                 match Pl.eval_string p rest with
-                 | Ok nodes ->
-                   (match Xsm_xpath.Path_parser.parse rest with
-                   | Ok parsed -> Format.eprintf "plan: %s@." (Pl.explain p parsed)
-                   | Error _ -> ());
-                   print_nodes nodes
-                 | Error e -> die "%s: %s" rest e)
-               | None -> (
-                 match Xsm_xpath.Eval.Over_store.eval_string store dnode rest with
-                 | Ok nodes -> print_nodes nodes
-                 | Error e -> die "%s: %s" rest e))
-             | other -> die "line %d: unknown command %S" !lineno other);
+             try run_line !lineno line with
+             | Invalid_argument e | Failure e -> fail_line !lineno "%s" e);
+    (match wal with Some w -> Wal.Writer.close w | None -> ());
     (match planner with
     | Some p ->
       let s = Pl.maintenance_stats p in
       Format.eprintf "maintenance: epochs=%d applied=%d vi_drops=%d@."
         s.Xsm_xpath.Planner.epochs s.Xsm_xpath.Planner.applied s.Xsm_xpath.Planner.vi_drops
     | None -> ());
-    if do_print then
-      print_string (Xsm_xml.Printer.to_string (Xsm_xdm.Convert.to_document store dnode))
+    if do_print then print_store store dnode
   in
   Cmd.v
     (Cmd.info "update"
        ~doc:
          "Apply an update script to a document, interleaving queries; with $(b,--index) \
-          the indexes are maintained differentially across the updates")
-    Term.(const run $ doc_arg $ script_arg $ index_flag $ print_flag)
+          the indexes are maintained differentially across the updates; with $(b,--wal) \
+          every update is logged durably before it is applied")
+    Term.(
+      const run $ doc_arg $ script_arg $ index_flag $ print_flag $ wal_arg $ snapshot_arg
+      $ crash_after_arg $ crash_partial_arg $ sync_every_arg)
+
+let snapshot_cmd =
+  let doc_arg =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"DOC" ~doc:"XML document file")
+  in
+  let out_arg =
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"OUT" ~doc:"Snapshot file to write")
+  in
+  let schema_arg =
+    Arg.(
+      value & opt (some file) None
+      & info [ "schema" ] ~docv:"SCHEMA"
+          ~doc:
+            "Validate against $(docv) first and snapshot the typed store; the schema \
+             path is recorded in the snapshot header as the schema reference.")
+  in
+  let labels_flag =
+    Arg.(
+      value & flag
+      & info [ "labels" ]
+          ~doc:"Assign \xc2\xa79.3 numbering labels and persist them with the tree.")
+  in
+  let run doc_path out_path schema_path with_labels =
+    let doc = or_die (load_document doc_path) in
+    let store, dnode =
+      match schema_path with
+      | None ->
+        let store = Xsm_xdm.Store.create () in
+        (store, Xsm_xdm.Convert.load store doc)
+      | Some sp -> (
+        let schema = or_die (load_schema sp) in
+        match Xsm_schema.Validator.validate_document doc schema with
+        | Ok (store, dnode) -> (store, dnode)
+        | Error es ->
+          List.iter (fun e -> prerr_endline (Xsm_schema.Validator.error_to_string e)) es;
+          exit 1)
+    in
+    let labels =
+      if with_labels then Some (Xsm_numbering.Labeler.label_tree store dnode) else None
+    in
+    match Xsm_persist.Snapshot.save ?schema_ref:schema_path ?labels ~path:out_path store dnode with
+    | Ok meta ->
+      Printf.printf "snapshot %s: %d nodes%s%s\n" out_path
+        meta.Xsm_persist.Snapshot.node_count
+        (match meta.Xsm_persist.Snapshot.schema_ref with
+        | Some s -> Printf.sprintf ", schema %s" s
+        | None -> "")
+        (if meta.Xsm_persist.Snapshot.labelled then ", labelled" else "")
+    | Error e ->
+      prerr_endline e;
+      exit 2
+  in
+  Cmd.v
+    (Cmd.info "snapshot"
+       ~doc:
+         "Serialize a document's database state to a versioned binary snapshot \
+          (CRC-protected; reload with $(b,xsm recover))")
+    Term.(const run $ doc_arg $ out_arg $ schema_arg $ labels_flag)
+
+let recover_cmd =
+  let snap_arg =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"SNAP" ~doc:"Snapshot file")
+  in
+  let wal_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "wal" ] ~docv:"FILE"
+          ~doc:
+            "Replay this write-ahead log on top of the snapshot, truncating a torn \
+             trailing record if the writer crashed mid-append.")
+  in
+  let print_flag =
+    Arg.(value & flag & info [ "print" ] ~doc:"Print the recovered document on stdout")
+  in
+  let query_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "query" ] ~docv:"PATH" ~doc:"Evaluate a query over the recovered state.")
+  in
+  let index_flag =
+    Arg.(
+      value & flag
+      & info [ "index" ]
+          ~doc:
+            "Build the index planner over the snapshot state and let it absorb the WAL \
+             replay differentially (indexes resume instead of rebuilding); implies the \
+             query runs through the planner.")
+  in
+  let no_truncate_flag =
+    Arg.(
+      value & flag
+      & info [ "no-truncate" ]
+          ~doc:"Leave a torn WAL tail on disk instead of repairing the file.")
+  in
+  let run snap_path wal_path do_print query use_index no_truncate =
+    let module Pl = Xsm_xpath.Planner.Over_store in
+    let module R = Xsm_persist.Recovery in
+    let die e =
+      prerr_endline e;
+      exit 2
+    in
+    let truncate = not no_truncate in
+    let store, root, _labels, stats, planner =
+      if use_index then begin
+        match Xsm_persist.Snapshot.load ~path:snap_path with
+        | Error e -> die e
+        | Ok (store, root, labels, _meta) ->
+          (* the planner sees the snapshot state, then the journal
+             feeds it the replay — indexes resume, no rebuild *)
+          let planner = Pl.create store root in
+          let journal = Xsm_schema.Update.Journal.create () in
+          Xsm_xpath.Planner.attach_journal planner journal;
+          let stats =
+            match wal_path with
+            | None ->
+              {
+                R.snapshot_nodes = Xsm_xdm.Store.subtree_size store root;
+                wal_records = 0;
+                replayed = 0;
+                synced_prefix = 0;
+                torn_bytes = 0;
+                truncated = false;
+              }
+            | Some wal -> (
+              match R.replay_wal ~journal ?labels ~truncate store ~root wal with
+              | Ok s -> s
+              | Error e -> die e)
+          in
+          (store, root, labels, stats, Some planner)
+      end
+      else
+        match R.recover ~truncate ~snapshot:snap_path ?wal:wal_path () with
+        | Ok (store, root, labels, stats) -> (store, root, labels, stats, None)
+        | Error e -> die e
+    in
+    Format.eprintf "recovered: %a@." R.pp_stats stats;
+    (match query with
+    | None -> ()
+    | Some q -> (
+      let print_nodes nodes =
+        List.iter (fun n -> print_endline (Xsm_xdm.Store.string_value store n)) nodes
+      in
+      match planner with
+      | Some p -> (
+        match Pl.eval_string p q with
+        | Ok nodes ->
+          (match Xsm_xpath.Path_parser.parse q with
+          | Ok parsed -> Format.eprintf "plan: %s@." (Pl.explain p parsed)
+          | Error _ -> ());
+          let s = Pl.maintenance_stats p in
+          Format.eprintf "maintenance: epochs=%d applied=%d vi_drops=%d@."
+            s.Xsm_xpath.Planner.epochs s.Xsm_xpath.Planner.applied
+            s.Xsm_xpath.Planner.vi_drops;
+          print_nodes nodes
+        | Error e ->
+          prerr_endline e;
+          exit 1)
+      | None -> (
+        match Xsm_xpath.Eval.Over_store.eval_string store root q with
+        | Ok nodes -> print_nodes nodes
+        | Error e ->
+          prerr_endline e;
+          exit 1)));
+    if do_print then print_store store root
+  in
+  Cmd.v
+    (Cmd.info "recover"
+       ~doc:
+         "Rebuild the database state from a snapshot plus a write-ahead log: load, \
+          truncate the torn tail (CRC-detected), replay — the recovered state is \
+          content-equal to the longest fully-written prefix of the logged run")
+    Term.(
+      const run $ snap_arg $ wal_arg $ print_flag $ query_arg $ index_flag
+      $ no_truncate_flag)
 
 let dataguide_cmd =
   let doc_arg =
@@ -427,5 +734,5 @@ let () =
        (Cmd.group info
           [
             validate_cmd; check_cmd; canonicalize_cmd; query_cmd; update_cmd; flwor_cmd;
-            dataguide_cmd; labels_cmd; roundtrip_cmd;
+            dataguide_cmd; labels_cmd; roundtrip_cmd; snapshot_cmd; recover_cmd;
           ]))

@@ -18,21 +18,87 @@ module Journal = struct
     | Deleted of Store.node  (* a just-unlinked subtree root *)
     | Content of Store.node  (* own content of a text/attribute replaced *)
 
-  type t = { mutable rev : entry list; mutable count : int }
+  (* A multi-subscriber log: entries live in a growable ring kept from
+     [base] (the oldest entry any cursor still wants) to [base + len].
+     Each consumer — the index planner, the WAL writer, the recovery
+     label maintainer — owns a cursor and reads at its own pace;
+     entries every cursor has passed are compacted away.  [drain] and
+     [length] are the legacy single-consumer view: a default cursor
+     created on first use. *)
+  type cursor = { mutable pos : int; mutable active : bool }
 
-  let create () = { rev = []; count = 0 }
+  type t = {
+    mutable buf : entry array;
+    mutable base : int;  (* global index of buf.(0) *)
+    mutable len : int;  (* entries currently buffered *)
+    mutable cursors : cursor list;
+    mutable default : cursor option;
+  }
 
-  let record j e =
-    j.rev <- e :: j.rev;
-    j.count <- j.count + 1
+  let create () = { buf = [||]; base = 0; len = 0; cursors = []; default = None }
+  let total t = t.base + t.len
 
-  let length j = j.count
+  let record t e =
+    if t.len = Array.length t.buf then begin
+      let cap = max 16 (t.len * 2) in
+      let bigger = Array.make cap e in
+      Array.blit t.buf 0 bigger 0 t.len;
+      t.buf <- bigger
+    end;
+    t.buf.(t.len) <- e;
+    t.len <- t.len + 1
 
-  let drain j =
-    let entries = List.rev j.rev in
-    j.rev <- [];
-    j.count <- 0;
-    entries
+  let compact t =
+    match List.filter (fun c -> c.active) t.cursors with
+    | [] -> ()
+    | live ->
+      let m = List.fold_left (fun acc c -> min acc c.pos) max_int live in
+      if m > t.base then begin
+        let drop = m - t.base in
+        t.len <- t.len - drop;
+        if t.len > 0 then Array.blit t.buf drop t.buf 0 t.len;
+        t.base <- m
+      end
+
+  let subscribe t =
+    let c = { pos = t.base; active = true } in
+    t.cursors <- c :: t.cursors;
+    c
+
+  let unsubscribe t c =
+    c.active <- false;
+    t.cursors <- List.filter (fun c' -> c' != c) t.cursors;
+    compact t
+
+  let pending t c = if c.active then total t - c.pos else 0
+
+  let slice t ~from =
+    List.init (total t - from) (fun i -> t.buf.(from - t.base + i))
+
+  let peek t c = if c.active then slice t ~from:c.pos else []
+
+  let read t c =
+    if not c.active then []
+    else begin
+      let entries = slice t ~from:c.pos in
+      c.pos <- total t;
+      compact t;
+      entries
+    end
+
+  let iter t c f = List.iter f (read t c)
+
+  (* legacy single-consumer view *)
+  let default_cursor t =
+    match t.default with
+    | Some c -> c
+    | None ->
+      let c = subscribe t in
+      t.default <- Some c;
+      c
+
+  let length t = pending t (default_cursor t)
+  let drain t = read t (default_cursor t)
 end
 
 type applied =

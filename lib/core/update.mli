@@ -48,7 +48,44 @@ module Journal : sig
 
   type t
 
+  type cursor
+  (** One consumer's read position.  Several consumers — the index
+      planner, the WAL writer, recovery's label maintainer — can
+      subscribe to the same journal and each sees every entry, in
+      order, at its own pace; nobody steals anybody's entries.
+      Entries that every active cursor has passed are compacted
+      away. *)
+
   val create : unit -> t
+
+  val total : t -> int
+  (** Entries recorded over the journal's lifetime. *)
+
+  val subscribe : t -> cursor
+  (** A new cursor positioned at the oldest retained entry (for a
+      fresh journal: the beginning). *)
+
+  val unsubscribe : t -> cursor -> unit
+  (** Deactivate a cursor so it no longer pins entries; reading from
+      it afterwards yields nothing. *)
+
+  val pending : t -> cursor -> int
+  val peek : t -> cursor -> entry list
+  (** The entries after the cursor, in application order, without
+      advancing it. *)
+
+  val read : t -> cursor -> entry list
+  (** Like {!peek}, but advances the cursor past what it returned. *)
+
+  val iter : t -> cursor -> (entry -> unit) -> unit
+  (** [read] delivered entry-by-entry. *)
+
+  (** {2 Legacy single-consumer view}
+
+      [length]/[drain] operate a default cursor created on their first
+      use — existing callers that treated the journal as a queue keep
+      working unchanged, and coexist with subscribers. *)
+
   val length : t -> int
   (** Entries recorded and not yet drained. *)
 

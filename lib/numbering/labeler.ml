@@ -10,6 +10,7 @@ let set t node l =
   Hashtbl.replace t.reverse (Sedna_label.to_raw l) node
 
 let label t node = Hashtbl.find t.labels (Store.node_id node)
+let label_opt t node = Hashtbl.find_opt t.labels (Store.node_id node)
 
 let node_of t l = Hashtbl.find_opt t.reverse (Sedna_label.to_raw l)
 
@@ -67,12 +68,49 @@ let label_new_child t ~parent ~after node =
   set t node fresh;
   fresh
 
+let rec label_descendants t store node =
+  let l = label t node in
+  let ordered = Store.attributes store node @ Store.children store node in
+  let child_labels = Sedna_label.assign_children l (List.length ordered) in
+  List.iter2
+    (fun child cl ->
+      set t child cl;
+      label_descendants t store child)
+    ordered child_labels
+
+let label_inserted_subtree t store ~parent ~after node =
+  ignore (label_new_child t ~parent ~after node);
+  label_descendants t store node
+
 let remove t node =
   match Hashtbl.find_opt t.labels (Store.node_id node) with
   | None -> ()
   | Some l ->
     Hashtbl.remove t.labels (Store.node_id node);
     Hashtbl.remove t.reverse (Sedna_label.to_raw l)
+
+let remove_subtree t store node =
+  let rec go node =
+    remove t node;
+    List.iter go (Store.attributes store node);
+    List.iter go (Store.children store node)
+  in
+  go node
+
+let bindings t =
+  Hashtbl.fold
+    (fun raw node acc ->
+      match Sedna_label.of_raw raw with
+      | Ok l -> (node, l) :: acc
+      | Error _ -> acc)
+    t.reverse []
+  |> List.sort (fun (a, _) (b, _) -> Store.compare_node a b)
+
+let restore pairs =
+  let n = max 16 (List.length pairs) in
+  let t = { labels = Hashtbl.create n; reverse = Hashtbl.create n } in
+  List.iter (fun (node, l) -> set t node l) pairs;
+  t
 
 let check_against_tree store root t =
   let nodes = Store.descendants_or_self store root in

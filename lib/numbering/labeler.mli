@@ -12,6 +12,8 @@ val label_tree : Xsm_xdm.Store.t -> Xsm_xdm.Store.node -> t
 val label : t -> Xsm_xdm.Store.node -> Sedna_label.t
 (** The label of a node; [Not_found] if the node was never labelled. *)
 
+val label_opt : t -> Xsm_xdm.Store.node -> Sedna_label.t option
+
 val node_of : t -> Sedna_label.t -> Xsm_xdm.Store.node option
 (** Reverse lookup. *)
 
@@ -27,7 +29,33 @@ val label_new_child :
     sibling [after] (or first when [None]).  No existing label
     changes — the Proposition 1 guarantee, asserted in tests. *)
 
+val label_inserted_subtree :
+  t ->
+  Xsm_xdm.Store.t ->
+  parent:Xsm_xdm.Store.node ->
+  after:Xsm_xdm.Store.node option ->
+  Xsm_xdm.Store.node ->
+  unit
+(** Label a freshly inserted subtree: the root via
+    {!label_new_child}, its attributes and children recursively via
+    {!Sedna_label.assign_children}.  Existing labels are untouched
+    (Proposition 1), so a labelled tree stays labelled across WAL
+    replay. *)
+
 val remove : t -> Xsm_xdm.Store.node -> unit
+
+val remove_subtree : t -> Xsm_xdm.Store.t -> Xsm_xdm.Store.node -> unit
+(** Drop the labels of a just-unlinked subtree (root, attributes and
+    descendants). *)
+
+(** {1 Persistence support}
+
+    A labelled tree survives a snapshot/restore cycle: [bindings]
+    exports every (node, label) pair, [restore] rebuilds the table
+    from pairs read back from disk. *)
+
+val bindings : t -> (Xsm_xdm.Store.node * Sedna_label.t) list
+val restore : (Xsm_xdm.Store.node * Sedna_label.t) list -> t
 
 val check_against_tree : Xsm_xdm.Store.t -> Xsm_xdm.Store.node -> t -> bool
 (** Ground-truth check: for every pair of labelled nodes in the

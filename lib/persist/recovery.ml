@@ -1,0 +1,121 @@
+module Store = Xsm_xdm.Store
+module Update = Xsm_schema.Update
+module Labeler = Xsm_numbering.Labeler
+
+type stats = {
+  snapshot_nodes : int;
+  wal_records : int;
+  replayed : int;
+  synced_prefix : int;
+  torn_bytes : int;
+  truncated : bool;
+}
+
+let pp_stats ppf s =
+  Format.fprintf ppf
+    "snapshot %d nodes; wal %d records, %d replayed (%d under sync points)%s" s.snapshot_nodes
+    s.wal_records s.replayed s.synced_prefix
+    (if s.torn_bytes > 0 then
+       Printf.sprintf "; torn tail of %d bytes %s" s.torn_bytes
+         (if s.truncated then "truncated" else "ignored")
+     else "")
+
+(* Maintain the §9.3 labels through one journal entry: an inserted
+   subtree is labelled relative to its neighbours in the attributes @
+   children order (attributes precede children in document order), a
+   deleted one drops its labels.  Existing labels never move —
+   Proposition 1. *)
+let maintain_labels store labels entry =
+  match entry with
+  | Update.Journal.Content _ -> ()
+  | Update.Journal.Deleted n -> Labeler.remove_subtree labels store n
+  | Update.Journal.Inserted n -> (
+    match Store.parent store n with
+    | None -> ()
+    | Some parent ->
+      let ordered = Store.attributes store parent @ Store.children store parent in
+      let rec previous prev = function
+        | [] -> None
+        | x :: rest ->
+          if Store.equal_node x n then prev else previous (Some x) rest
+      in
+      let after = previous None ordered in
+      Labeler.label_inserted_subtree labels store ~parent ~after n)
+
+let empty_stats snapshot_nodes =
+  {
+    snapshot_nodes;
+    wal_records = 0;
+    replayed = 0;
+    synced_prefix = 0;
+    torn_bytes = 0;
+    truncated = false;
+  }
+
+let replay_wal ?journal ?labels ?(truncate = true) store ~root wal_path =
+  let ( let* ) = Result.bind in
+  let snapshot_nodes = Store.subtree_size store root in
+  if not (Sys.file_exists wal_path) then Ok (empty_stats snapshot_nodes)
+  else
+    let* result = Wal.read wal_path in
+    let* torn_bytes, truncated =
+      match result.Wal.torn_at with
+      | None -> Ok (0, false)
+      | Some _ when truncate -> (
+        match Wal.truncate_torn wal_path with
+        | Ok dropped -> Ok (dropped, true)
+        | Error _ as e -> e |> Result.map (fun _ -> (0, false)))
+      | Some _ -> (
+        (* report how much would go without touching the file *)
+        try Ok ((Unix.stat wal_path).Unix.st_size - result.Wal.valid_bytes, false)
+        with Unix.Unix_error _ -> Ok (0, false))
+    in
+    (* the journal carries the replay to subscribers (index planner);
+       our own cursor feeds label maintenance *)
+    let journal = match journal with Some j -> j | None -> Update.Journal.create () in
+    let label_cursor =
+      match labels with
+      | Some _ ->
+        let c = Update.Journal.subscribe journal in
+        ignore (Update.Journal.read journal c);
+        (* skip anything recorded before recovery began *)
+        Some c
+      | None -> None
+    in
+    let rec replay idx = function
+      | [] -> Ok idx
+      | Wal.Sync_point :: rest -> replay idx rest
+      | Wal.Op op :: rest -> (
+        match Wal.replay_op ~journal store ~root op with
+        | Ok _ ->
+          (match labels, label_cursor with
+          | Some t, Some c ->
+            Update.Journal.iter journal c (maintain_labels store t)
+          | _ -> ());
+          replay (idx + 1) rest
+        | Error e ->
+          Error (Format.asprintf "recovery: record %d (%a): %s" (idx + 1) Wal.pp_op op e))
+    in
+    let* replayed = replay 0 result.Wal.records in
+    (match label_cursor with
+    | Some c -> Update.Journal.unsubscribe journal c
+    | None -> ());
+    Ok
+      {
+        snapshot_nodes;
+        wal_records = List.length result.Wal.records;
+        replayed;
+        synced_prefix = result.Wal.synced_prefix;
+        torn_bytes;
+        truncated;
+      }
+
+let recover ?journal ?truncate ~snapshot ?wal () =
+  let ( let* ) = Result.bind in
+  let* store, root, labels, _meta = Snapshot.load ~path:snapshot in
+  let* stats =
+    match wal with
+    | None -> Ok (empty_stats (Store.subtree_size store root))
+    | Some wal_path -> replay_wal ?journal ?labels ?truncate store ~root wal_path
+  in
+  Ok (store, root, labels, stats)

@@ -72,6 +72,19 @@ let touch pool block =
     pool.size <- pool.size + 1;
     `Miss
 
+let reset_stats pool =
+  pool.accesses <- 0;
+  pool.hits <- 0;
+  pool.misses <- 0;
+  Hashtbl.reset pool.seen
+
+let reset pool =
+  Hashtbl.reset pool.resident;
+  pool.head <- None;
+  pool.tail <- None;
+  pool.size <- 0;
+  reset_stats pool
+
 type stats = { accesses : int; hits : int; misses : int; distinct : int }
 
 let stats (pool : t) =

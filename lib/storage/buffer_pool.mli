@@ -20,6 +20,16 @@ val touch : t -> int -> [ `Hit | `Miss ]
 (** Access one block: [`Hit] when resident, [`Miss] when it had to be
     faulted in (evicting the least recently used block if full). *)
 
+val reset : t -> unit
+(** Evict everything and zero the counters: the pool is as freshly
+    created, capacity unchanged.  Lets a benchmark reuse one pool
+    across runs without cross-run pollution. *)
+
+val reset_stats : t -> unit
+(** Zero the counters but keep the resident blocks — for measuring a
+    warm pool: prime it, [reset_stats], then replay the trace that
+    should be counted. *)
+
 type stats = {
   accesses : int;
   hits : int;

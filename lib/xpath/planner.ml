@@ -428,10 +428,13 @@ module Over_store = Make (Navigator.Xdm)
 module Over_storage = Make (Navigator.Storage)
 
 let attach_journal (t : Over_store.t) (j : Xsm_schema.Update.Journal.t) =
+  (* a private cursor: the planner reads at its own pace and other
+     subscribers (a WAL writer, recovery) see the same entries *)
+  let cursor = Xsm_schema.Update.Journal.subscribe j in
   Over_store.set_source t (fun () ->
       List.map
         (function
           | Xsm_schema.Update.Journal.Inserted n -> Over_store.Node_added n
           | Xsm_schema.Update.Journal.Deleted n -> Over_store.Node_removed n
           | Xsm_schema.Update.Journal.Content n -> Over_store.Node_content n)
-        (Xsm_schema.Update.Journal.drain j))
+        (Xsm_schema.Update.Journal.read j cursor))
