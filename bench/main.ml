@@ -1,6 +1,6 @@
 (* Bench entry point.
 
-   Default: Bechamel micro-benchmarks, one group per experiment E1-E13
+   Default: Bechamel micro-benchmarks, one group per experiment E1-E14
    (ns/op with OLS estimation).  With --report: the full experiment
    harness that regenerates the EXPERIMENTS.md tables.  With --smoke:
    a fast pass over every micro-benchmark (tiny quota), used by CI to
@@ -294,9 +294,66 @@ let tests () =
            | Ok _ -> ()
            | Error e -> failwith e))
   in
+  (* E14: static-analysis payoffs.  (a/b) child matching on a wide
+     deterministic choice: follow-list automaton vs compiled transition
+     table; (c) validation seeded with the analyzer's precompiled
+     tables; (d/e/f) a statically-empty query answered by the pruning
+     planner without touching extents, vs the plain planner and naive
+     evaluation. *)
+  let wide_model, wide_word =
+    let branches =
+      List.init 100 (fun i ->
+          Xsm_schema.Ast.elem_p
+            (Xsm_schema.Ast.element (Printf.sprintf "n%d" i)
+               (Xsm_schema.Ast.named_type "xs:string")))
+    in
+    ( Xsm_schema.Ast.choice ~repetition:Xsm_schema.Ast.many branches,
+      List.init 200 (fun i -> Name.local (Printf.sprintf "n%d" (i * 37 mod 100))) )
+  in
+  let wide_automaton =
+    match Xsm_schema.Content_automaton.make wide_model with
+    | Ok a -> a
+    | Error e -> failwith e
+  in
+  let wide_table = Option.get (Xsm_schema.Content_automaton.compile wide_automaton) in
+  let e14a =
+    Test.make ~name:"E14 wide-choice{100} match, follow list"
+      (staged (fun () ->
+           ignore (Xsm_schema.Content_automaton.matches wide_automaton wide_word)))
+  in
+  let e14b =
+    Test.make ~name:"E14 wide-choice{100} match, table"
+      (staged (fun () ->
+           ignore (Xsm_schema.Content_automaton.table_matches wide_table wide_word)))
+  in
+  let e14c =
+    Test.make ~name:"E14 validate bookstore, precompiled"
+      (let report = Xsm_analysis.Analyzer.analyze Xsm_schema.Samples.example7_schema in
+       staged (fun () ->
+           match
+             Xsm_schema.Validator.validate_document
+               ~automata:report.Xsm_analysis.Analyzer.tables bookstore_doc
+               Xsm_schema.Samples.example7_schema
+           with
+           | Ok _ -> ()
+           | Error _ -> failwith "invalid"))
+  in
+  let dead_query = "/library/magazine/title" in
+  let e14d =
+    Test.make ~name:"E14 dead query, pruning planner"
+      (let pruned = Pl.create store dnode in
+       Pl.set_pruner pruned (Xsm_analysis.Query_static.pruner Xsm_schema.Samples.library_schema);
+       staged (fun () ->
+           match Pl.eval_string pruned dead_query with
+           | Ok [] -> ()
+           | Ok _ -> failwith "dead query returned nodes"
+           | Error e -> failwith e))
+  in
+  let e14e = indexed "E14 dead query, plain planner" dead_query in
+  let e14f = naive "E14 dead query, naive eval" dead_query in
   [
     e1; e2a; e2b; e3; e4a; e4b; e5; e6; e7; e8a; e8b; e9; e10; e11a; e11b; e11c; e11d;
-    e11e; e12a; e12b; e13a; e13b; e13c; e13d; e13e;
+    e11e; e12a; e12b; e13a; e13b; e13c; e13d; e13e; e14a; e14b; e14c; e14d; e14e; e14f;
   ]
 
 let run_bechamel ?(smoke = false) () =
@@ -327,5 +384,5 @@ let () =
   if List.mem "--report" args then Report.run ()
   else begin
     run_bechamel ~smoke:(List.mem "--smoke" args) ();
-    print_endline "\n(run with --report for the full E1-E13 experiment tables)"
+    print_endline "\n(run with --report for the full E1-E14 experiment tables)"
   end

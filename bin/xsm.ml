@@ -3,6 +3,8 @@
    Subcommands:
      validate  SCHEMA.xsd DOC.xml     validate a document against a schema
      check     SCHEMA.xsd             schema well-formedness (§3 + UPA)
+     analyze   SCHEMA.xsd             static analysis: UPA witnesses, reachability,
+                                      satisfiability, cardinalities, query pruning
      query     DOC.xml PATH           evaluate an XPath-subset query
      update    DOC.xml SCRIPT         run an update script, optionally with live
                                       indexes and a write-ahead log
@@ -58,11 +60,19 @@ let validate_cmd =
         prerr_endline (Xsm_xsd.Reader.error_to_string e);
         exit 2
     in
-    (match Xsm_schema.Schema_check.check schema with
-    | Ok () -> ()
-    | Error es ->
-      List.iter (fun e -> Format.eprintf "schema: %a@." Xsm_schema.Schema_check.pp_error e) es;
-      exit 2);
+    (* the analyzer subsumes Schema_check and prints diagnostics in
+       the same format as `xsm analyze`; its determinized content
+       models are reused below so validation compiles nothing *)
+    let report = Xsm_analysis.Analyzer.analyze schema in
+    let fatal =
+      List.filter
+        (fun (f : Xsm_analysis.Analyzer.finding) -> f.severity = Xsm_analysis.Analyzer.Error)
+        report.Xsm_analysis.Analyzer.findings
+    in
+    if fatal <> [] then begin
+      List.iter (fun f -> Format.eprintf "%a@." Xsm_analysis.Analyzer.pp_finding f) fatal;
+      exit 2
+    end;
     let constraints =
       match Xsm_xsd.Reader.constraints_of_document schema_doc with
       | Ok cs -> cs
@@ -71,7 +81,10 @@ let validate_cmd =
         exit 2
     in
     let doc = or_die (load_document doc_path) in
-    match Xsm_schema.Validator.validate_document doc schema with
+    match
+      Xsm_schema.Validator.validate_document
+        ~automata:report.Xsm_analysis.Analyzer.tables doc schema
+    with
     | Ok (store, dnode) -> (
       match Xsm_identity.Constraint_def.check store dnode constraints with
       | Ok () ->
@@ -107,6 +120,77 @@ let check_cmd =
     (Cmd.info "check" ~doc:"Check schema well-formedness (type usage, UPA, repetitions)")
     Term.(const run $ schema_arg)
 
+let analyze_cmd =
+  let module A = Xsm_analysis.Analyzer in
+  let schema_arg =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"SCHEMA" ~doc:"XSD schema file")
+  in
+  let query_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "query" ] ~docv:"PATH"
+          ~doc:
+            "Also analyze this XPath-subset query against the schema: report whether \
+             it is statically empty (provably selects nothing on any valid document) \
+             and warn about value comparisons that can never hold.")
+  in
+  let cardinalities_flag =
+    Arg.(
+      value & flag
+      & info [ "cardinalities" ]
+          ~doc:"Print the min/max occurrence interval of every element path.")
+  in
+  let run schema_path query_text with_cardinalities =
+    let schema = or_die (load_schema schema_path) in
+    let query =
+      Option.map
+        (fun q ->
+          match Xsm_xpath.Path_parser.parse q with
+          | Ok p -> p
+          | Error e ->
+            Printf.eprintf "query: %s\n" e;
+            exit 2)
+        query_text
+    in
+    let report = A.analyze ?query schema in
+    List.iter (fun f -> Format.printf "%a@." A.pp_finding f) report.A.findings;
+    if with_cardinalities then
+      List.iter
+        (fun (path, iv, recursive) ->
+          Printf.printf "cardinality %s %s%s\n" path (Xsm_analysis.Cardinality.to_string iv)
+            (if recursive then " (recursive)" else ""))
+        report.A.cardinalities;
+    let statically_empty =
+      List.exists
+        (fun (f : A.finding) ->
+          f.pass = "query"
+          && String.length f.message >= 16
+          && String.sub f.message 0 16 = "statically empty")
+        report.A.findings
+    in
+    (match query_text with
+    | Some text when not statically_empty ->
+      Printf.printf "query %s: no static emptiness proof (may select nodes)\n" text
+    | _ -> ());
+    match A.significant report with
+    | [] ->
+      Printf.printf "clean: %d content models determinized, %d element paths\n"
+        (List.length report.A.tables)
+        (List.length report.A.cardinalities)
+    | fs ->
+      Printf.eprintf "%d finding(s)\n" (List.length fs);
+      exit 2
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:
+         "Run the static analyzer over a schema: Unique Particle Attribution with \
+          shortest ambiguous witness words, reachability of type definitions, \
+          satisfiability of content models, per-path cardinality intervals, and — \
+          with $(b,--query) — schema-aware static query analysis.  Exits 2 when any \
+          error or warning is found.")
+    Term.(const run $ schema_arg $ query_arg $ cardinalities_flag)
+
 let query_cmd =
   let doc_arg =
     Arg.(required & pos 0 (some file) None & info [] ~docv:"DOC" ~doc:"XML document file")
@@ -126,10 +210,37 @@ let query_cmd =
              indexes); the plan is reported on stderr.  Unsupported queries fall back to \
              navigational evaluation.")
   in
-  let run doc_path query use_storage use_index =
+  let schema_flag =
+    Arg.(
+      value & opt (some file) None
+      & info [ "schema" ] ~docv:"SCHEMA"
+          ~doc:
+            "Enable schema-aware pruning: queries the static analyzer proves empty on \
+             every $(docv)-valid document are answered without touching the data.  \
+             The document is assumed valid against the schema.")
+  in
+  let run doc_path query use_storage use_index schema_path =
     let doc = or_die (load_document doc_path) in
     let store = Xsm_xdm.Store.create () in
     let dnode = Xsm_xdm.Convert.load store doc in
+    let pruner =
+      Option.map
+        (fun sp -> Xsm_analysis.Query_static.pruner (or_die (load_schema sp)))
+        schema_path
+    in
+    (* without the planner, consult the oracle up front: a provably
+       empty query needs no evaluation at all *)
+    (match pruner with
+    | Some f when not use_index -> (
+      match Xsm_xpath.Path_parser.parse query with
+      | Ok p -> (
+        match f p with
+        | Some reason ->
+          Format.eprintf "plan: pruned(%s)@." reason;
+          exit 0
+        | None -> ())
+      | Error _ -> () (* the evaluator will report the parse error *))
+    | Some _ | None -> ());
     if use_index then begin
       let explain_and_print eval_str explain values =
         match eval_str query with
@@ -144,6 +255,7 @@ let query_cmd =
         let module Pl = Xsm_xpath.Planner.Over_storage in
         let bs = Xsm_storage.Block_storage.of_store store dnode in
         let planner = Pl.create bs (Xsm_storage.Block_storage.root bs) in
+        Option.iter (Pl.set_pruner planner) pruner;
         explain_and_print
           (fun q -> Pl.eval_string planner q)
           (fun q ->
@@ -155,6 +267,7 @@ let query_cmd =
       else begin
         let module Pl = Xsm_xpath.Planner.Over_store in
         let planner = Pl.create store dnode in
+        Option.iter (Pl.set_pruner planner) pruner;
         explain_and_print
           (fun q -> Pl.eval_string planner q)
           (fun q ->
@@ -190,7 +303,7 @@ let query_cmd =
   in
   Cmd.v
     (Cmd.info "query" ~doc:"Evaluate an XPath-subset query over a document")
-    Term.(const run $ doc_arg $ path_arg $ storage_flag $ index_flag)
+    Term.(const run $ doc_arg $ path_arg $ storage_flag $ index_flag $ schema_flag)
 
 let print_store store root =
   match Xsm_xdm.Store.kind store root with
@@ -733,6 +846,7 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [
-            validate_cmd; check_cmd; canonicalize_cmd; query_cmd; update_cmd; flwor_cmd;
+            validate_cmd; check_cmd; analyze_cmd; canonicalize_cmd; query_cmd; update_cmd;
+            flwor_cmd;
             dataguide_cmd; labels_cmd; roundtrip_cmd; snapshot_cmd; recover_cmd;
           ]))

@@ -1,0 +1,195 @@
+module Ast = Xsm_schema.Ast
+module Schema_check = Xsm_schema.Schema_check
+module Content_automaton = Xsm_schema.Content_automaton
+module Name = Xsm_xml.Name
+
+type severity = Error | Warning | Info
+
+let severity_to_string = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Info -> "info"
+
+type finding = {
+  severity : severity;
+  pass : string;
+  loc : Schema_check.location;
+  message : string;
+}
+
+let pp_finding ppf f =
+  Format.fprintf ppf "%s [%s] %a: %s" (severity_to_string f.severity) f.pass
+    Schema_check.pp_location f.loc f.message
+
+type report = {
+  findings : finding list;
+  tables : (Ast.group_def * Content_automaton.table) list;
+  cardinalities : (string * Cardinality.interval * bool) list;
+  graph : Schema_graph.t option;
+}
+
+let of_schema_errors errors =
+  List.map
+    (fun (e : Schema_check.error) ->
+      { severity = Error; pass = "schema-check"; loc = e.loc; message = e.message })
+    errors
+
+let significant r =
+  List.filter (fun f -> f.severity = Error || f.severity = Warning) r.findings
+
+(* ------------------------------------------------------------------ *)
+(* UPA with witnesses, and determinization                             *)
+
+let type_of_decl (d : Ast.element_decl) =
+  match d.elem_type with
+  | Ast.Type_name n -> Name.to_string n
+  | Ast.Anonymous _ -> "(anonymous complex type)"
+  | Ast.Anonymous_simple _ -> "(anonymous simple type)"
+
+let upa_finding loc (c : Content_automaton.conflict) =
+  let witness = String.concat " " (List.map Name.to_string c.witness) in
+  {
+    severity = Error;
+    pass = "upa";
+    loc;
+    message =
+      Printf.sprintf
+        "Unique Particle Attribution violated: after the children \"%s\" the last \
+         <%s> matches two particles (declared with type %s and with type %s)"
+        witness
+        (Name.to_string c.conflict_name)
+        (type_of_decl c.first_decl) (type_of_decl c.second_decl);
+  }
+
+(* visit every content-model group the validator would compile, with
+   its location *)
+let content_groups (s : Ast.schema) =
+  let out = ref [] in
+  let rec visit_element loc (e : Ast.element_decl) =
+    match e.elem_type with
+    | Ast.Anonymous ct -> visit_complex loc ct
+    | Ast.Type_name _ | Ast.Anonymous_simple _ -> ()
+  and visit_complex loc = function
+    | Ast.Simple_content _ -> ()
+    | Ast.Complex_content { content = Some g; _ } when not (Ast.group_is_empty g) ->
+      out := (loc, g) :: !out;
+      visit_group loc g
+    | Ast.Complex_content _ -> ()
+  and visit_group loc (g : Ast.group_def) =
+    (* recurse for the anonymous types of nested element particles *)
+    List.iter
+      (function
+        | Ast.Element_particle e ->
+          visit_element (loc @ [ Schema_check.In_element e.elem_name ]) e
+        | Ast.Group_particle inner -> visit_group loc inner)
+      g.particles
+  in
+  List.iter
+    (fun (n, ct) -> visit_complex [ Schema_check.In_type n ] ct)
+    s.complex_types;
+  visit_element [ Schema_check.In_element s.root.elem_name ] s.root;
+  List.rev !out
+
+let upa_pass s =
+  let findings = ref [] and tables = ref [] in
+  List.iter
+    (fun (loc, g) ->
+      match Content_automaton.make g with
+      | Error _ -> () (* schema-check already reported the group as uncompilable *)
+      | Ok a -> (
+        match Content_automaton.upa_conflict a with
+        | Some c -> findings := upa_finding loc c :: !findings
+        | None -> (
+          match Content_automaton.compile a with
+          | Some table -> tables := (g, table) :: !tables
+          | None -> ())))
+    (content_groups s);
+  (List.rev !findings, List.rev !tables)
+
+(* ------------------------------------------------------------------ *)
+
+let hygiene_pass s =
+  let unreachable =
+    List.map
+      (fun n ->
+        {
+          severity = Warning;
+          pass = "reachability";
+          loc = [ Schema_check.In_type n ];
+          message =
+            "type definition is unreachable from the root element declaration";
+        })
+      (Hygiene.unreachable_types s)
+  in
+  let unsat =
+    List.map
+      (fun (loc, (e : Ast.element_decl)) ->
+        let is_root = e == s.Ast.root in
+        {
+          severity = (if is_root then Error else Warning);
+          pass = "satisfiability";
+          loc;
+          message =
+            (if is_root then
+               "the schema is unsatisfiable: every document would need infinitely \
+                many nodes (required content recurses)"
+             else
+               "element declaration is unsatisfiable: no finite subtree validates \
+                against it (required content recurses)");
+        })
+      (Hygiene.unsatisfiable_elements s)
+  in
+  unreachable @ unsat
+
+let query_pass graph q =
+  match graph with
+  | None -> []
+  | Some g ->
+    let r = Query_static.analyze g q in
+    let warnings =
+      List.map
+        (fun m -> { severity = Warning; pass = "query"; loc = []; message = m })
+        r.Query_static.warnings
+    in
+    let verdict =
+      match r.Query_static.verdict with
+      | Query_static.Empty reason ->
+        [
+          {
+            severity = Warning;
+            pass = "query";
+            loc = [];
+            message = Printf.sprintf "statically empty: %s" reason;
+          };
+        ]
+      | Query_static.Maybe -> []
+    in
+    verdict @ warnings
+
+let analyze ?query (s : Ast.schema) =
+  let check_findings, check_ok =
+    match Schema_check.check s with
+    | Ok () -> ([], true)
+    | Error es ->
+      (* drop the bare UPA lines: the upa pass re-reports them with a
+         concrete witness *)
+      let bare_upa (e : Schema_check.error) =
+        e.message = "content model violates Unique Particle Attribution"
+      in
+      (of_schema_errors (List.filter (fun e -> not (bare_upa e)) es), false)
+  in
+  let upa_findings, tables = upa_pass s in
+  let hygiene = hygiene_pass s in
+  let graph = if check_ok then Some (Schema_graph.build s) else None in
+  let cardinalities =
+    match graph with Some g -> Schema_graph.element_paths g | None -> []
+  in
+  let query_findings =
+    match query with Some q -> query_pass graph q | None -> []
+  in
+  {
+    findings = check_findings @ upa_findings @ hygiene @ query_findings;
+    tables;
+    cardinalities;
+    graph;
+  }

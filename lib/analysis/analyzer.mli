@@ -1,0 +1,52 @@
+(** The static-analysis driver behind [xsm analyze].
+
+    Runs, in order: the structural well-formedness check
+    ([Schema_check]), Unique-Particle-Attribution analysis with
+    shortest witness words ({!Xsm_schema.Content_automaton.upa_conflict}),
+    reachability of named type definitions, satisfiability of content
+    models ({!Hygiene}), per-path cardinality intervals
+    ({!Cardinality} over the {!Schema_graph}), and — when a query is
+    supplied — static query analysis ({!Query_static}).
+
+    Deterministic content models are compiled once here and handed
+    back in {!report.tables}; feeding them to
+    [Validator.validate ~automata] validates instances of an analyzed
+    schema without recompiling anything. *)
+
+module Ast = Xsm_schema.Ast
+module Schema_check = Xsm_schema.Schema_check
+module Content_automaton = Xsm_schema.Content_automaton
+
+type severity = Error | Warning | Info
+
+val severity_to_string : severity -> string
+
+type finding = {
+  severity : severity;
+  pass : string;  (** [schema-check], [upa], [reachability], [satisfiability], [query] *)
+  loc : Schema_check.location;
+  message : string;
+}
+
+val pp_finding : Format.formatter -> finding -> unit
+(** [severity [pass] location: message] — the uniform diagnostic line
+    shared by [xsm analyze] and [xsm validate]. *)
+
+type report = {
+  findings : finding list;
+  tables : (Ast.group_def * Content_automaton.table) list;
+      (** determinized content models, for [Validator.validate ?automata] *)
+  cardinalities : (string * Cardinality.interval * bool) list;
+      (** element path, occurrences per parent instance, recursion cut *)
+  graph : Schema_graph.t option;  (** absent when [Schema_check] failed *)
+}
+
+val analyze : ?query:Xsm_xpath.Path_ast.path -> Ast.schema -> report
+
+val significant : report -> finding list
+(** Errors and warnings — the findings that make [xsm analyze] exit
+    non-zero. *)
+
+val of_schema_errors : Schema_check.error list -> finding list
+(** Adapt raw [Schema_check] diagnostics to findings, for printing
+    them in the uniform format. *)

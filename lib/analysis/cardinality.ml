@@ -1,0 +1,83 @@
+module Ast = Xsm_schema.Ast
+module Name = Xsm_xml.Name
+
+type interval = { lo : int; hi : int option }
+
+let exactly n = { lo = n; hi = Some n }
+let zero = exactly 0
+
+let pp ppf { lo; hi } =
+  match hi with
+  | Some h -> Format.fprintf ppf "[%d,%d]" lo h
+  | None -> Format.fprintf ppf "[%d,*]" lo
+
+let to_string iv = Format.asprintf "%a" pp iv
+
+let add_hi a b = match a, b with Some x, Some y -> Some (x + y) | _ -> None
+
+let add a b = { lo = a.lo + b.lo; hi = add_hi a.hi b.hi }
+
+let envelope a b =
+  {
+    lo = min a.lo b.lo;
+    hi = (match a.hi, b.hi with Some x, Some y -> Some (max x y) | _ -> None);
+  }
+
+(* k * hi with 0 absorbing the unbounded case: zero repetitions of an
+   unbounded group still contribute nothing *)
+let mul_hi k hi =
+  match k, hi with
+  | Some 0, _ | _, Some 0 -> Some 0
+  | Some k, Some h -> Some (k * h)
+  | None, _ | _, None -> None
+
+let scale iv (r : Ast.repetition) =
+  { lo = iv.lo * r.min_occurs; hi = mul_hi r.max_occurs iv.hi }
+
+let of_repetition (r : Ast.repetition) = { lo = r.min_occurs; hi = r.max_occurs }
+
+(* name-keyed interval maps as association lists in first-occurrence
+   order; content models are small *)
+let lookup map n = Option.value ~default:zero (List.assoc_opt n map)
+
+let keys_of maps =
+  List.fold_left
+    (fun acc m ->
+      List.fold_left (fun acc (k, _) -> if List.mem k acc then acc else acc @ [ k ]) acc m)
+    [] maps
+
+let rec of_group_map (g : Ast.group_def) =
+  let per_particle =
+    List.map
+      (function
+        | Ast.Element_particle e ->
+          [ (Name.to_string e.elem_name, of_repetition e.repetition) ]
+        | Ast.Group_particle inner -> of_group_map inner)
+      g.particles
+  in
+  let keys = keys_of per_particle in
+  let body_of k =
+    let ivs = List.map (fun m -> lookup m k) per_particle in
+    match g.combination with
+    | Ast.Sequence | Ast.All -> List.fold_left add zero ivs
+    | Ast.Choice -> (
+      (* a branch where the name is absent contributes the zero
+         interval, which [lookup] already supplies *)
+      match ivs with [] -> zero | iv :: rest -> List.fold_left envelope iv rest)
+  in
+  List.map (fun k -> (k, scale (body_of k) g.group_repetition)) keys
+
+let of_group g =
+  let names = ref [] in
+  let rec collect (g : Ast.group_def) =
+    List.iter
+      (function
+        | Ast.Element_particle e ->
+          if not (List.exists (Name.equal e.elem_name) !names) then
+            names := !names @ [ e.elem_name ]
+        | Ast.Group_particle inner -> collect inner)
+      g.particles
+  in
+  collect g;
+  let map = of_group_map g in
+  List.map (fun n -> (n, lookup map (Name.to_string n))) !names

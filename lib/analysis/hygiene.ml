@@ -1,0 +1,125 @@
+module Ast = Xsm_schema.Ast
+module Schema_check = Xsm_schema.Schema_check
+module Name = Xsm_xml.Name
+
+(* ------------------------------------------------------------------ *)
+(* Reachability                                                        *)
+
+let unreachable_types (s : Ast.schema) =
+  let used : (string, unit) Hashtbl.t = Hashtbl.create 16 in
+  let mark n = Hashtbl.replace used (Name.to_string n) () in
+  let seen n = Hashtbl.mem used (Name.to_string n) in
+  let rec visit_type_name n =
+    if not (seen n) then begin
+      mark n;
+      match List.find_opt (fun (m, _) -> Name.equal m n) s.complex_types with
+      | Some (_, ct) -> visit_complex ct
+      | None -> () (* a simple type or builtin: no outgoing references *)
+    end
+  and visit_element (e : Ast.element_decl) =
+    match e.elem_type with
+    | Ast.Type_name n -> visit_type_name n
+    | Ast.Anonymous ct -> visit_complex ct
+    | Ast.Anonymous_simple _ -> ()
+  and visit_complex = function
+    | Ast.Simple_content { base; attributes } ->
+      visit_type_name base;
+      List.iter (fun (a : Ast.attribute_decl) -> visit_type_name a.attr_type) attributes
+    | Ast.Complex_content { content; attributes; mixed = _ } ->
+      List.iter (fun (a : Ast.attribute_decl) -> visit_type_name a.attr_type) attributes;
+      Option.iter visit_group content
+  and visit_group (g : Ast.group_def) =
+    List.iter
+      (function
+        | Ast.Element_particle e -> visit_element e
+        | Ast.Group_particle inner -> visit_group inner)
+      g.particles
+  in
+  visit_element s.root;
+  List.filter_map (fun (n, _) -> if seen n then None else Some n) s.complex_types
+  @ List.filter_map (fun (n, _) -> if seen n then None else Some n) s.simple_types
+
+(* ------------------------------------------------------------------ *)
+(* Satisfiability: minimum element-node count, ∞ as None               *)
+
+let ( +? ) a b = match a, b with Some x, Some y -> Some (x + y) | _ -> None
+
+let min_opt a b =
+  match a, b with
+  | Some x, Some y -> Some (min x y)
+  | Some x, None | None, Some x -> Some x
+  | None, None -> None
+
+let mul k v = if k = 0 then Some 0 else Option.map (fun x -> k * x) v
+
+(* minimum node counts for the named complex types, by Kleene
+   iteration from ∞; a minimal derivation never repeats a type along a
+   path, so |types| + 1 rounds reach the fixpoint *)
+let type_table (s : Ast.schema) =
+  let tbl : (string, int option) Hashtbl.t = Hashtbl.create 16 in
+  List.iter (fun (n, _) -> Hashtbl.replace tbl (Name.to_string n) None) s.complex_types;
+  let rec type_min (ty : Ast.type_ref) =
+    match ty with
+    | Ast.Anonymous ct -> complex_min ct
+    | Ast.Anonymous_simple _ -> Some 0
+    | Ast.Type_name n -> (
+      match Hashtbl.find_opt tbl (Name.to_string n) with
+      | Some v -> v (* named complex type: current estimate *)
+      | None -> Some 0 (* simple, builtin, or unknown (reported elsewhere) *))
+  and complex_min = function
+    | Ast.Simple_content _ -> Some 0
+    | Ast.Complex_content { content = None; _ } -> Some 0
+    | Ast.Complex_content { content = Some g; _ } -> group_min g
+  and group_min (g : Ast.group_def) =
+    let body =
+      match g.combination with
+      | Ast.Sequence | Ast.All ->
+        List.fold_left (fun acc p -> acc +? particle_min p) (Some 0) g.particles
+      | Ast.Choice ->
+        List.fold_left (fun acc p -> min_opt acc (particle_min p)) None g.particles
+        |> fun v -> if g.particles = [] then Some 0 else v
+    in
+    mul g.group_repetition.min_occurs body
+  and particle_min = function
+    | Ast.Element_particle e -> elem_min e
+    | Ast.Group_particle inner -> group_min inner
+  and elem_min (e : Ast.element_decl) =
+    mul e.repetition.min_occurs (Some 1 +? type_min e.elem_type)
+  in
+  for _round = 0 to List.length s.complex_types do
+    List.iter
+      (fun (n, ct) -> Hashtbl.replace tbl (Name.to_string n) (complex_min ct))
+      s.complex_types
+  done;
+  (tbl, fun (e : Ast.element_decl) -> Some 1 +? type_min e.elem_type)
+
+let min_content s e =
+  let _, elem_total = type_table s in
+  elem_total e
+
+let unsatisfiable_elements (s : Ast.schema) =
+  let _, elem_total = type_table s in
+  let out = ref [] in
+  let report loc e = out := (loc, e) :: !out in
+  let rec walk_element loc (e : Ast.element_decl) =
+    if elem_total e = None then report loc e;
+    match e.elem_type with
+    | Ast.Anonymous ct -> walk_complex loc ct
+    | Ast.Type_name _ | Ast.Anonymous_simple _ -> ()
+  and walk_complex loc = function
+    | Ast.Simple_content _ -> ()
+    | Ast.Complex_content { content; _ } -> Option.iter (walk_group loc) content
+  and walk_group loc (g : Ast.group_def) =
+    List.iter
+      (function
+        | Ast.Element_particle e ->
+          walk_element (loc @ [ Schema_check.In_element e.elem_name ]) e
+        | Ast.Group_particle inner ->
+          walk_group (loc @ [ Schema_check.In_group ]) inner)
+      g.particles
+  in
+  walk_element [ Schema_check.In_element s.root.elem_name ] s.root;
+  List.iter
+    (fun (n, ct) -> walk_complex [ Schema_check.In_type n ] ct)
+    s.complex_types;
+  List.rev !out

@@ -1,0 +1,27 @@
+(** Schema hygiene: reachability of named type definitions and
+    satisfiability of content models.
+
+    An element declaration is {e unsatisfiable} when no finite tree
+    validates against it — the minimum node count of its content,
+    computed as the least fixpoint over the named-type graph (choices
+    minimise, sequences add, repetitions multiply, with [0 × ∞ = 0]),
+    is infinite.  Required recursion is the only source of infinity in
+    the paper's §2 grammar, so the diagnostic pinpoints
+    cycle-induced infinite minimum content. *)
+
+module Ast = Xsm_schema.Ast
+module Schema_check = Xsm_schema.Schema_check
+
+val unreachable_types : Ast.schema -> Ast.Name.t list
+(** Named complex and simple type definitions never referenced on any
+    path from the root element declaration, in declaration order. *)
+
+val min_content : Ast.schema -> Ast.element_decl -> int option
+(** Minimum number of element nodes in a tree valid against the
+    declaration (the element itself included); [None] when the
+    declaration is unsatisfiable. *)
+
+val unsatisfiable_elements :
+  Ast.schema -> (Schema_check.location * Ast.element_decl) list
+(** Every element declaration (root first, then the named types, each
+    visited once) whose minimum content is infinite. *)

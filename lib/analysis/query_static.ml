@@ -1,0 +1,258 @@
+module Ast = Xsm_schema.Ast
+module Schema_check = Xsm_schema.Schema_check
+module Path_ast = Xsm_xpath.Path_ast
+module Name = Xsm_xml.Name
+module Simple_type = Xsm_datatypes.Simple_type
+module Builtin = Xsm_datatypes.Builtin
+module VI = Xsm_index.Value_index
+module G = Schema_graph
+
+type verdict =
+  | Empty of string
+  | Maybe
+
+type result = { verdict : verdict; warnings : string list }
+
+exception Unsupported
+
+module IntSet = Set.Make (Int)
+
+(* ------------------------------------------------------------------ *)
+(* Value-space families                                                *)
+
+(* Which Value_index.Key family can a value of this simple type probe
+   as?  Sound for raw lexical forms as well as canonical ones: a type
+   is classified Number/Text only when every string in its lexical
+   space (and every canonical form) lands in that family.  Decimal
+   lexical forms are exactly what [Decimal.of_string] accepts, hence
+   Number; the date/time/duration lexical spaces always contain a
+   non-leading '-', ':' or 'P', hence Text.  Booleans ("1"), gYear
+   ("1980"), floats ("12" is a float lexical form), the binary types
+   and URIs can spell plain digit strings, so they stay Unknown. *)
+type family = F_number | F_text | F_unknown
+
+let family_join a b = if a = b then a else F_unknown
+
+let primitive_family : Builtin.primitive -> family = function
+  | Builtin.P_decimal -> F_number
+  | Builtin.P_date_time | Builtin.P_time | Builtin.P_date | Builtin.P_duration
+  | Builtin.P_g_year_month | Builtin.P_g_month_day | Builtin.P_g_day
+  | Builtin.P_g_month ->
+    F_text
+  | Builtin.P_string | Builtin.P_boolean | Builtin.P_float | Builtin.P_double
+  | Builtin.P_g_year | Builtin.P_hex_binary | Builtin.P_base64_binary
+  | Builtin.P_any_uri | Builtin.P_qname | Builtin.P_notation ->
+    F_unknown
+
+let rec st_family (st : Simple_type.t) =
+  match st with
+  | Simple_type.Builtin b -> (
+    match Builtin.primitive_base b with
+    | Some p -> primitive_family p
+    | None -> F_unknown)
+  | Simple_type.Restriction { base; _ } -> st_family base
+  | Simple_type.List _ ->
+    (* the raw string value of a list is space-joined items — its key
+       family need not match the items' *)
+    F_unknown
+  | Simple_type.Union { members; _ } -> (
+    match List.map st_family members with
+    | [] -> F_unknown
+    | f :: fs -> List.fold_left family_join f fs)
+
+let key_family lit =
+  match VI.Key.of_string lit with VI.Key.Number _ -> F_number | VI.Key.Text _ -> F_text
+
+(* The simple type constraining a node's raw string value, when the
+   analysis knows one: attributes and simple-typed elements.  Text
+   nodes are opaque — a simple value can be split across several text
+   nodes, and fragments of a valid lexical form prove nothing. *)
+let value_type g id =
+  let n = G.node g id in
+  match n.G.kind with
+  | G.Attr _ -> n.G.simple
+  | G.Elem _ -> n.G.simple
+  | G.Doc | G.Text -> None
+
+(* ------------------------------------------------------------------ *)
+(* Symbolic sets of graph nodes                                        *)
+
+let children_of g id =
+  let n = G.node g id in
+  List.map fst n.G.elem_children
+  @ (match n.G.text_child with Some t -> [ t ] | None -> [])
+
+let descendants_or_self g set =
+  let rec grow frontier acc =
+    match frontier with
+    | [] -> acc
+    | id :: rest ->
+      let fresh = List.filter (fun c -> not (IntSet.mem c acc)) (children_of g id) in
+      grow (fresh @ rest) (List.fold_left (fun a c -> IntSet.add c a) acc fresh)
+  in
+  grow (IntSet.elements set) set
+
+let ancestors g set ~or_self =
+  let rec grow frontier acc =
+    match frontier with
+    | [] -> acc
+    | id :: rest ->
+      let parents = (G.node g id).G.parents in
+      let fresh = List.filter (fun p -> not (IntSet.mem p acc)) parents in
+      grow (fresh @ rest) (List.fold_left (fun a p -> IntSet.add p a) acc fresh)
+  in
+  let anc = grow (IntSet.elements set) IntSet.empty in
+  if or_self then IntSet.union anc set else anc
+
+let parents_of g set =
+  IntSet.fold
+    (fun id acc ->
+      List.fold_left (fun a p -> IntSet.add p a) acc (G.node g id).G.parents)
+    set IntSet.empty
+
+(* over-approximate siblings: every child of every parent *)
+let siblings_of g set =
+  IntSet.fold
+    (fun id acc ->
+      List.fold_left
+        (fun a p ->
+          List.fold_left (fun a c -> IntSet.add c a) a (children_of g p))
+        acc (G.node g id).G.parents)
+    set IntSet.empty
+
+let child_set g set =
+  IntSet.fold
+    (fun id acc -> List.fold_left (fun a c -> IntSet.add c a) acc (children_of g id))
+    set IntSet.empty
+
+let axis_nodes g (axis : Xsm_xdm.Axis.t) set =
+  match axis with
+  | Xsm_xdm.Axis.Self -> set
+  | Xsm_xdm.Axis.Child -> child_set g set
+  | Xsm_xdm.Axis.Attribute ->
+    IntSet.fold
+      (fun id acc ->
+        List.fold_left (fun a c -> IntSet.add c a) acc (G.node g id).G.attr_children)
+      set IntSet.empty
+  | Xsm_xdm.Axis.Descendant -> descendants_or_self g (child_set g set)
+  | Xsm_xdm.Axis.Descendant_or_self -> descendants_or_self g set
+  | Xsm_xdm.Axis.Parent -> parents_of g set
+  | Xsm_xdm.Axis.Ancestor -> ancestors g set ~or_self:false
+  | Xsm_xdm.Axis.Ancestor_or_self -> ancestors g set ~or_self:true
+  | Xsm_xdm.Axis.Following_sibling | Xsm_xdm.Axis.Preceding_sibling ->
+    siblings_of g set
+  | Xsm_xdm.Axis.Following | Xsm_xdm.Axis.Preceding -> raise Unsupported
+
+let test_matches g (test : Path_ast.node_test) id =
+  match test, (G.node g id).G.kind with
+  | Path_ast.Name_test nm, (G.Elem n | G.Attr n) -> Name.equal nm n
+  | Path_ast.Name_test _, (G.Doc | G.Text) -> false
+  | Path_ast.Wildcard, (G.Elem _ | G.Attr _) -> true
+  | Path_ast.Wildcard, (G.Doc | G.Text) -> false
+  | Path_ast.Text_test, G.Text -> true
+  | Path_ast.Text_test, (G.Doc | G.Elem _ | G.Attr _) -> false
+  | Path_ast.Node_test, _ -> true
+
+(* ------------------------------------------------------------------ *)
+(* Path evaluation                                                     *)
+
+let analyze g (p : Path_ast.path) =
+  let warnings = ref [] in
+  let warn fmt =
+    Printf.ksprintf
+      (fun m -> if not (List.mem m !warnings) then warnings := m :: !warnings)
+      fmt
+  in
+  let rec eval_path start (p : Path_ast.path) =
+    let s0 = if p.Path_ast.absolute then IntSet.singleton (G.root g) else start in
+    List.fold_left eval_step s0 p.Path_ast.steps
+  and eval_step set ((step : Path_ast.step), desc_flag) =
+    let bases = if desc_flag then descendants_or_self g set else set in
+    let on_axis = axis_nodes g step.Path_ast.axis bases in
+    let matching = IntSet.filter (test_matches g step.Path_ast.test) on_axis in
+    IntSet.filter (fun id -> keeps_predicates id step.Path_ast.predicates) matching
+  and keeps_predicates id preds =
+    List.for_all (fun p -> may_hold id p) preds
+  and may_hold id (pred : Path_ast.expr) =
+    match pred with
+    | Path_ast.Position k -> k >= 1
+    | Path_ast.Last -> true
+    | Path_ast.Exists rel -> (
+      match targets_of id rel with
+      | None -> true
+      | Some ts -> not (IntSet.is_empty ts))
+    | Path_ast.Equals (rel, lit) -> (
+      match targets_of id rel with
+      | None -> true
+      | Some ts when IntSet.is_empty ts -> false
+      | Some ts ->
+        let never =
+          IntSet.for_all
+            (fun t ->
+              match value_type g t with
+              | Some st -> not (Simple_type.is_valid st lit)
+              | None -> false)
+            ts
+        in
+        if never then
+          warn
+            "comparison with %S can never hold: the literal is outside the lexical \
+             space of every type the operand can have"
+            lit;
+        not never)
+    | Path_ast.Cmp (op, rel, lit) -> (
+      match targets_of id rel with
+      | None -> true
+      | Some ts when IntSet.is_empty ts -> false
+      | Some ts ->
+        let lf = key_family lit in
+        let never =
+          IntSet.for_all
+            (fun t ->
+              match Option.map st_family (value_type g t) with
+              | Some (F_number | F_text as f) -> f <> lf && lf <> F_unknown
+              | Some F_unknown | None -> false)
+            ts
+        in
+        if never then
+          warn
+            "comparison '%s %s %S' can never hold: the operand's value space and \
+             the literal are in different order families (number vs. text)"
+            (Path_ast.to_string rel)
+            (Path_ast.cmp_to_string op) lit;
+        not never)
+  and targets_of id rel =
+    (* None = the sub-path left the analysable fragment *)
+    match eval_path (IntSet.singleton id) rel with
+    | s -> Some s
+    | exception Unsupported -> None
+  in
+  match eval_path IntSet.empty p with
+  | exception Unsupported -> { verdict = Maybe; warnings = List.rev !warnings }
+  | _ when not p.Path_ast.absolute ->
+    (* a relative top-level path depends on an unknown context node *)
+    { verdict = Maybe; warnings = List.rev !warnings }
+  | result ->
+    let verdict =
+      if IntSet.is_empty result then
+        Empty "no schema-valid document has nodes on this path"
+      else Maybe
+    in
+    { verdict; warnings = List.rev !warnings }
+
+let analyze_schema s p =
+  match Schema_check.check s with
+  | Error _ -> { verdict = Maybe; warnings = [] }
+  | Ok () -> analyze (G.build s) p
+
+let pruner s =
+  let graph =
+    lazy (match Schema_check.check s with Error _ -> None | Ok () -> Some (G.build s))
+  in
+  fun p ->
+    match Lazy.force graph with
+    | None -> None
+    | Some g -> (
+      match (analyze g p).verdict with
+      | Empty reason -> Some reason
+      | Maybe -> None)

@@ -1,0 +1,168 @@
+module Ast = Xsm_schema.Ast
+module Schema_check = Xsm_schema.Schema_check
+module Name = Xsm_xml.Name
+module Simple_type = Xsm_datatypes.Simple_type
+
+type kind =
+  | Doc
+  | Elem of Name.t
+  | Attr of Name.t
+  | Text
+
+type node = {
+  id : int;
+  kind : kind;
+  mutable simple : Simple_type.t option;
+  mutable synthetic : bool;
+  mutable elem_children : (int * Cardinality.interval) list;
+  mutable attr_children : int list;
+  mutable text_child : int option;
+  mutable parents : int list;
+}
+
+type t = { nodes : node array }
+
+let root _ = 0
+let node t id = t.nodes.(id)
+let size t = Array.length t.nodes
+
+let xsi_nil = Xsm_schema.Validator.xsi_nil
+
+type builder = { mutable acc : node list; mutable count : int }
+
+let fresh b kind =
+  let n =
+    {
+      id = b.count;
+      kind;
+      simple = None;
+      synthetic = false;
+      elem_children = [];
+      attr_children = [];
+      text_child = None;
+      parents = [];
+    }
+  in
+  b.count <- b.count + 1;
+  b.acc <- n :: b.acc;
+  n
+
+let link_parent child parent =
+  if not (List.mem parent.id child.parents) then
+    child.parents <- parent.id :: child.parents
+
+(* the element declarations of a group, recursively, in order *)
+let rec group_decls (g : Ast.group_def) =
+  List.concat_map
+    (function
+      | Ast.Element_particle e -> [ e ]
+      | Ast.Group_particle inner -> group_decls inner)
+    g.particles
+
+let build (s : Ast.schema) =
+  let b = { acc = []; count = 0 } in
+  (* one graph node per element-name × named-type pair keeps recursive
+     types finite; anonymous types cannot recurse, so they get a fresh
+     node per occurrence *)
+  let memo : (string * string, node) Hashtbl.t = Hashtbl.create 16 in
+  let add_attr parent (d : Ast.attribute_decl) =
+    if d.attr_use <> Ast.Prohibited then begin
+      let a = fresh b (Attr d.attr_name) in
+      a.simple <- Result.to_option (Schema_check.resolve_simple s d.attr_type);
+      link_parent a parent;
+      parent.attr_children <- parent.attr_children @ [ a.id ]
+    end
+  in
+  let add_nil_attr parent =
+    (* no [simple]: the validator ignores (rather than validates) the
+       value of xsi:nil when it is not "true"/"1", so any string can
+       appear there on a valid document *)
+    let a = fresh b (Attr xsi_nil) in
+    a.synthetic <- true;
+    link_parent a parent;
+    parent.attr_children <- parent.attr_children @ [ a.id ]
+  in
+  let add_text parent ?simple ~synthetic () =
+    let tx = fresh b Text in
+    tx.simple <- simple;
+    tx.synthetic <- synthetic;
+    link_parent tx parent;
+    parent.text_child <- Some tx.id
+  in
+  let rec elem_node (d : Ast.element_decl) =
+    match d.elem_type with
+    | Ast.Type_name tn -> (
+      let key = (Name.to_string d.elem_name, Name.to_string tn) in
+      match Hashtbl.find_opt memo key with
+      | Some n -> n
+      | None ->
+        let n = fresh b (Elem d.elem_name) in
+        Hashtbl.add memo key n;
+        fill n d;
+        n)
+    | Ast.Anonymous _ | Ast.Anonymous_simple _ ->
+      let n = fresh b (Elem d.elem_name) in
+      fill n d;
+      n
+  and fill n (d : Ast.element_decl) =
+    add_nil_attr n;
+    match Schema_check.resolve s d.elem_type with
+    | Error _ -> () (* Schema_check reports it; leave the node childless *)
+    | Ok (Schema_check.Resolved_simple st) ->
+      n.simple <- Some st;
+      add_text n ~simple:st ~synthetic:false ()
+    | Ok (Schema_check.Resolved_complex (Ast.Simple_content { base; attributes })) ->
+      let st = Result.to_option (Schema_check.resolve_simple s base) in
+      n.simple <- st;
+      List.iter (add_attr n) attributes;
+      add_text n ?simple:st ~synthetic:false ()
+    | Ok
+        (Schema_check.Resolved_complex
+           (Ast.Complex_content { mixed; content; attributes })) ->
+      List.iter (add_attr n) attributes;
+      (* mixed content has real text; element-only content still
+         tolerates (and stores) whitespace-only text nodes *)
+      add_text n ~synthetic:(not mixed) ();
+      (match content with
+      | Some g when not (Ast.group_is_empty g) ->
+        let intervals = Cardinality.of_group g in
+        List.iter
+          (fun (child : Ast.element_decl) ->
+            let iv =
+              match
+                List.find_opt (fun (nm, _) -> Name.equal nm child.elem_name) intervals
+              with
+              | Some (_, iv) -> iv
+              | None -> Cardinality.zero
+            in
+            let c = elem_node child in
+            link_parent c n;
+            n.elem_children <- n.elem_children @ [ (c.id, iv) ])
+          (group_decls g)
+      | Some _ | None -> ())
+  in
+  let doc = fresh b Doc in
+  let rootn = elem_node s.root in
+  link_parent rootn doc;
+  doc.elem_children <- [ (rootn.id, Cardinality.exactly 1) ];
+  let nodes = Array.make b.count doc in
+  List.iter (fun n -> nodes.(n.id) <- n) b.acc;
+  { nodes }
+
+let element_paths t =
+  let out = ref [] in
+  let rec walk on_path path id iv =
+    let n = node t id in
+    match n.kind with
+    | Elem nm ->
+      let path = path ^ "/" ^ Name.to_string nm in
+      let recursive = List.mem id on_path in
+      out := (path, iv, recursive) :: !out;
+      if not recursive then
+        List.iter (fun (c, civ) -> walk (id :: on_path) path c civ) n.elem_children
+    | Doc | Attr _ | Text -> ()
+  in
+  List.iter
+    (fun (c, civ) -> walk [] "" c civ)
+    (node t (root t)).elem_children;
+  List.rev !out

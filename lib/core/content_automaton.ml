@@ -297,6 +297,192 @@ let run t word =
     interleave_run m word
 
 (* ------------------------------------------------------------------ *)
+(* UPA conflict witnesses                                              *)
+
+type conflict = {
+  conflict_name : Name.t;
+  first_decl : Ast.element_decl;
+  second_decl : Ast.element_decl;
+  witness : Name.t list;
+}
+
+(* two distinct positions in [targets] carrying the same name *)
+let clash_in names targets =
+  let sorted =
+    List.sort (fun a b -> Name.compare names.(a) names.(b)) (dedup_sorted targets)
+  in
+  let rec scan = function
+    | a :: (b :: _ as rest) ->
+      if Name.equal names.(a) names.(b) then Some (a, b) else scan rest
+    | [ _ ] | [] -> None
+  in
+  scan sorted
+
+let glushkov_conflict a =
+  if a.deterministic then None
+  else begin
+    (* BFS over single positions (plus the initial state), tracking the
+       reversed word that reaches each state; a conflict found at the
+       earliest BFS layer yields a shortest witness.  Single-position
+       exploration suffices: the clash is defined on first/follow sets,
+       which are per-position. *)
+    let n = Array.length a.decls in
+    let visited = Array.make n false in
+    let queue = Queue.create () in
+    let found = ref None in
+    let try_state targets word_rev =
+      match !found with
+      | Some _ -> ()
+      | None -> (
+        match clash_in a.names targets with
+        | Some (p, q) ->
+          found :=
+            Some
+              {
+                conflict_name = a.names.(p);
+                first_decl = a.decls.(p);
+                second_decl = a.decls.(q);
+                witness = List.rev (a.names.(p) :: word_rev);
+              }
+        | None ->
+          List.iter
+            (fun p ->
+              if not visited.(p) then begin
+                visited.(p) <- true;
+                Queue.add (p, a.names.(p) :: word_rev) queue
+              end)
+            targets)
+    in
+    try_state a.first [];
+    while !found = None && not (Queue.is_empty queue) do
+      let p, word_rev = Queue.pop queue in
+      try_state a.follow.(p) word_rev
+    done;
+    !found
+  end
+
+let interleave_conflict m =
+  if m.i_deterministic then None
+  else begin
+    let indexed = Array.to_list (Array.mapi (fun i n -> (i, n)) m.i_names) in
+    let sorted = List.sort (fun (_, a) (_, b) -> Name.compare a b) indexed in
+    let rec scan = function
+      | (i, a) :: ((j, b) :: _ as rest) ->
+        if Name.equal a b then Some (i, j) else scan rest
+      | [ _ ] | [] -> None
+    in
+    match scan sorted with
+    | None -> None
+    | Some (i, j) ->
+      Some
+        {
+          conflict_name = m.i_names.(i);
+          first_decl = m.i_decls.(i);
+          second_decl = m.i_decls.(j);
+          witness = [ m.i_names.(i) ];
+        }
+  end
+
+let upa_conflict = function
+  | Glushkov a -> glushkov_conflict a
+  | Interleave m -> interleave_conflict m
+
+(* ------------------------------------------------------------------ *)
+(* Determinization: compiled transition tables                         *)
+
+(* For a deterministic automaton every first/follow set has pairwise
+   distinct names, so each state's outgoing transitions collapse to a
+   hash table keyed by name — one probe per child instead of a scan of
+   the follow list. *)
+type table =
+  | T_glushkov of {
+      t_decls : Ast.element_decl array;
+      t_nullable : bool;
+      t_last : bool array;
+      t_initial : (Name.t, int) Hashtbl.t;
+      t_next : (Name.t, int) Hashtbl.t array;  (* per position *)
+    }
+  | T_interleave of {
+      t_slots : (Name.t, int) Hashtbl.t;  (* name -> slot index *)
+      t_idecls : Ast.element_decl array;
+      t_required : bool array;
+      t_group_optional : bool;
+    }
+
+let table_of_targets names targets =
+  let h = Hashtbl.create (max 4 (List.length targets)) in
+  List.iter (fun p -> Hashtbl.replace h names.(p) p) targets;
+  h
+
+let compile t =
+  if not (is_deterministic t) then None
+  else
+    match t with
+    | Glushkov a ->
+      Some
+        (T_glushkov
+           {
+             t_decls = a.decls;
+             t_nullable = a.nullable;
+             t_last = a.last;
+             t_initial = table_of_targets a.names a.first;
+             t_next = Array.map (table_of_targets a.names) a.follow;
+           })
+    | Interleave m ->
+      let slots = Hashtbl.create (max 4 (Array.length m.i_names)) in
+      Array.iteri (fun i n -> Hashtbl.replace slots n i) m.i_names;
+      Some
+        (T_interleave
+           {
+             t_slots = slots;
+             t_idecls = m.i_decls;
+             t_required = m.i_required;
+             t_group_optional = m.i_group_optional;
+           })
+
+let table_run table word =
+  match table with
+  | T_glushkov t ->
+    let rec go current acc = function
+      | [] ->
+        let accepted =
+          match current with None -> t.t_nullable | Some p -> t.t_last.(p)
+        in
+        if accepted then Some (List.rev acc) else None
+      | name :: rest -> (
+        let next =
+          match current with
+          | None -> Hashtbl.find_opt t.t_initial name
+          | Some p -> Hashtbl.find_opt t.t_next.(p) name
+        in
+        match next with
+        | None -> None
+        | Some p -> go (Some p) (t.t_decls.(p) :: acc) rest)
+    in
+    go None [] word
+  | T_interleave t ->
+    let n = Array.length t.t_idecls in
+    let used = Array.make n false in
+    let rec go acc = function
+      | [] ->
+        let complete =
+          Array.for_all Fun.id
+            (Array.init n (fun i -> used.(i) || not t.t_required.(i)))
+        in
+        let empty_ok = acc = [] && t.t_group_optional in
+        if complete || empty_ok then Some (List.rev acc) else None
+      | name :: rest -> (
+        match Hashtbl.find_opt t.t_slots name with
+        | Some i when not used.(i) ->
+          used.(i) <- true;
+          go (t.t_idecls.(i) :: acc) rest
+        | Some _ | None -> None)
+    in
+    go [] word
+
+let table_matches table word = table_run table word <> None
+
+(* ------------------------------------------------------------------ *)
 (* Language equivalence                                                *)
 
 (* a uniform DFA view: states are canonical keys, transitions computed

@@ -34,6 +34,37 @@ val run : t -> Ast.Name.t list -> Ast.element_decl list option
 
 val accepts_empty : t -> bool
 
+(** {1 Static analysis} *)
+
+(** A Unique-Particle-Attribution violation, concretely: after reading
+    [witness] (whose last symbol is [conflict_name]), that last child
+    could be attributed to either of two distinct element-declaration
+    occurrences. *)
+type conflict = {
+  conflict_name : Ast.Name.t;
+  first_decl : Ast.element_decl;
+  second_decl : Ast.element_decl;
+  witness : Ast.Name.t list;  (** a shortest such word *)
+}
+
+val upa_conflict : t -> conflict option
+(** [None] exactly when {!is_deterministic}.  The witness is found by
+    breadth-first search over the position automaton, so its length is
+    minimal. *)
+
+type table
+(** A determinized content model: per-state transition tables keyed by
+    element name, so a validation step is one hash probe instead of a
+    scan of the follow set. *)
+
+val compile : t -> table option
+(** [None] when the automaton is not deterministic (UPA fails). *)
+
+val table_run : table -> Ast.Name.t list -> Ast.element_decl list option
+(** Like {!run}, on the compiled table. *)
+
+val table_matches : table -> Ast.Name.t list -> bool
+
 val equivalent : t -> t -> bool
 (** Language equivalence, by breadth-first product of the on-the-fly
     determinizations.  Used to verify that canonicalization

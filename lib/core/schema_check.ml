@@ -2,9 +2,32 @@ module Name = Xsm_xml.Name
 module Simple_type = Xsm_datatypes.Simple_type
 module Builtin = Xsm_datatypes.Builtin
 
-type error = { context : string; message : string }
+type segment =
+  | In_type of Name.t
+  | In_element of Name.t
+  | In_attribute of Name.t
+  | In_group
 
-let pp_error ppf e = Format.fprintf ppf "%s: %s" e.context e.message
+type location = segment list
+
+let pp_segment ppf = function
+  | In_type n -> Name.pp ppf n
+  | In_element n -> Name.pp ppf n
+  | In_attribute n -> Format.fprintf ppf "@@%a" Name.pp n
+  | In_group -> Format.pp_print_string ppf "(group)"
+
+let pp_location ppf = function
+  | [] -> Format.pp_print_string ppf "(schema)"
+  | segs ->
+    Format.pp_print_list
+      ~pp_sep:(fun ppf () -> Format.pp_print_char ppf '/')
+      pp_segment ppf segs
+
+let location_to_string loc = Format.asprintf "%a" pp_location loc
+
+type error = { loc : location; message : string }
+
+let pp_error ppf e = Format.fprintf ppf "%a: %s" pp_location e.loc e.message
 
 type resolved =
   | Resolved_simple of Simple_type.t
@@ -51,27 +74,28 @@ let resolve (s : Ast.schema) = function
 
 let check (s : Ast.schema) =
   let errors = ref [] in
-  let report context fmt =
-    Printf.ksprintf (fun message -> errors := { context; message } :: !errors) fmt
+  let report loc fmt =
+    Printf.ksprintf (fun message -> errors := { loc; message } :: !errors) fmt
   in
-  let check_repetition context (r : Ast.repetition) =
+  let check_repetition loc (r : Ast.repetition) =
     if not (Ast.repetition_valid r) then
-      report context "invalid repetition factor (min > max or negative)"
+      report loc "invalid repetition factor (min > max or negative)"
   in
-  let check_attributes context attrs =
+  let check_attributes loc attrs =
     let seen = Hashtbl.create 8 in
     List.iter
       (fun (a : Ast.attribute_decl) ->
+        let aloc = loc @ [ In_attribute a.attr_name ] in
         let key = Name.to_string a.attr_name in
-        if Hashtbl.mem seen key then report context "duplicate attribute name %s" key
+        if Hashtbl.mem seen key then report aloc "duplicate attribute name"
         else Hashtbl.add seen key ();
         match resolve_simple s a.attr_type with
         | Ok _ -> ()
-        | Error e -> report context "attribute %s: %s" key e)
+        | Error e -> report aloc "%s" e)
       attrs
   in
-  let rec check_group context (g : Ast.group_def) =
-    check_repetition context g.group_repetition;
+  let rec check_group loc (g : Ast.group_def) =
+    check_repetition loc g.group_repetition;
     (* §2: element names among the local declarations must differ *)
     let names = ref [] in
     List.iter
@@ -79,43 +103,41 @@ let check (s : Ast.schema) =
         | Ast.Element_particle e ->
           let key = Name.to_string e.elem_name in
           if List.mem key !names then
-            report context "element name %s repeated within one group" key
+            report loc "element name %s repeated within one group" key
           else names := key :: !names;
-          check_element (context ^ "/" ^ key) e
-        | Ast.Group_particle inner -> check_group (context ^ "/group") inner)
+          check_element (loc @ [ In_element e.elem_name ]) e
+        | Ast.Group_particle inner -> check_group (loc @ [ In_group ]) inner)
       g.particles;
     (* UPA via Glushkov determinism *)
     if not (Ast.group_is_empty g) then begin
       match Content_automaton.make g with
-      | Error e -> report context "content model: %s" e
+      | Error e -> report loc "content model: %s" e
       | Ok a ->
         if not (Content_automaton.is_deterministic a) then
-          report context "content model violates Unique Particle Attribution"
+          report loc "content model violates Unique Particle Attribution"
     end
-  and check_element context (e : Ast.element_decl) =
-    check_repetition context e.repetition;
+  and check_element loc (e : Ast.element_decl) =
+    check_repetition loc e.repetition;
     (* named types are checked once in the ctd list — do not recurse
        through the name, or recursive types would not terminate *)
     match e.elem_type with
     | Ast.Type_name _ -> (
       match resolve s e.elem_type with
-      | Error msg -> report context "%s" msg
+      | Error msg -> report loc "%s" msg
       | Ok (Resolved_simple _ | Resolved_complex _) -> ())
-    | Ast.Anonymous ct -> check_complex context ct
+    | Ast.Anonymous ct -> check_complex loc ct
     | Ast.Anonymous_simple _ -> ()
-  and check_complex context = function
+  and check_complex loc = function
     | Ast.Simple_content { base; attributes } ->
       (match resolve_simple s base with
       | Ok _ -> ()
-      | Error e -> report context "simple content base: %s" e);
-      check_attributes context attributes
+      | Error e -> report loc "simple content base: %s" e);
+      check_attributes loc attributes
     | Ast.Complex_content { content; attributes; mixed = _ } ->
-      check_attributes context attributes;
-      Option.iter (check_group context) content
+      check_attributes loc attributes;
+      Option.iter (check_group loc) content
   in
   (* named complex types *)
-  List.iter
-    (fun (name, ct) -> check_complex (Name.to_string name) ct)
-    s.complex_types;
-  check_element (Name.to_string s.root.elem_name) s.root;
+  List.iter (fun (name, ct) -> check_complex [ In_type name ] ct) s.complex_types;
+  check_element [ In_element s.root.elem_name ] s.root;
   match !errors with [] -> Ok () | es -> Error (List.rev es)

@@ -15,8 +15,10 @@ type ctx = {
   store : Store.t;
   schema : Ast.schema;
   mutable errors : error list;
-  (* compiled content models are cached per group (physical identity) *)
-  automata : (Ast.group_def * Content_automaton.t) list ref;
+  (* determinized content models are cached per group (physical
+     identity); a static analyzer can seed the cache so validation
+     never recompiles (the ?automata parameter of the entry points) *)
+  automata : (Ast.group_def * Content_automaton.table) list ref;
 }
 
 let report ctx path fmt =
@@ -31,15 +33,14 @@ let automaton_for ctx path (g : Ast.group_def) =
   | Some a -> Some a
   | None -> (
     match Content_automaton.make g with
-    | Ok a ->
-      if not (Content_automaton.is_deterministic a) then begin
+    | Ok a -> (
+      match Content_automaton.compile a with
+      | None ->
         report ctx path "content model violates Unique Particle Attribution";
         None
-      end
-      else begin
-        ctx.automata := (g, a) :: !(ctx.automata);
-        Some a
-      end
+      | Some table ->
+        ctx.automata := (g, table) :: !(ctx.automata);
+        Some table)
     | Error e ->
       report ctx path "content model: %s" e;
       None)
@@ -230,7 +231,7 @@ and validate_complex_children ctx path node ~mixed content =
     match automaton_for ctx path g with
     | None -> () (* error already reported *)
     | Some a -> (
-      match Content_automaton.run a names with
+      match Content_automaton.table_run a names with
       | None ->
         report ctx path "children (%s) do not match the content model"
           (String.concat ", " (List.map Name.to_string names))
@@ -251,10 +252,11 @@ and validate_complex_children ctx path node ~mixed content =
 
 let finish ctx = match ctx.errors with [] -> Ok () | es -> Error (List.rev es)
 
-let make_ctx store schema = { store; schema; errors = []; automata = ref [] }
+let make_ctx ?(automata = []) store schema =
+  { store; schema; errors = []; automata = ref (List.rev automata) }
 
-let validate store node schema =
-  let ctx = make_ctx store schema in
+let validate ?automata store node schema =
+  let ctx = make_ctx ?automata store schema in
   (match Store.kind store node with
   | Store.Kind.Document -> (
     (* requirement 1–3: one element child carrying the root declaration *)
@@ -268,8 +270,8 @@ let validate store node schema =
     report ctx "/" "validation must start at a document node");
   finish ctx
 
-let validate_element_node store node schema =
-  let ctx = make_ctx store schema in
+let validate_element_node ?automata store node schema =
+  let ctx = make_ctx ?automata store schema in
   (match Store.kind store node with
   | Store.Kind.Element ->
     validate_element ctx ("/" ^ Name.to_string schema.Ast.root.Ast.elem_name) node
@@ -278,10 +280,10 @@ let validate_element_node store node schema =
     report ctx "/" "not an element node");
   finish ctx
 
-let validate_document ?store doc schema =
+let validate_document ?store ?automata doc schema =
   let store = match store with Some s -> s | None -> Store.create () in
   let dnode = Xsm_xdm.Convert.load store doc in
-  match validate store dnode schema with
+  match validate ?automata store dnode schema with
   | Ok () -> Ok (store, dnode)
   | Error es -> Error es
 

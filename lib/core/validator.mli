@@ -22,18 +22,26 @@ val pp_error : Format.formatter -> error -> unit
 val error_to_string : error -> string
 
 val validate :
+  ?automata:(Ast.group_def * Content_automaton.table) list ->
   Xsm_xdm.Store.t -> Xsm_xdm.Store.node -> Ast.schema -> (unit, error list) result
 (** Validate (and annotate) the tree rooted at a document node.
     The schema must pass {!Schema_check.check} first; content models
-    that fail to compile are reported as errors. *)
+    that fail to compile are reported as errors.
+
+    [automata] seeds the per-group cache of determinized content
+    models (keyed by physical identity of the group), so a schema that
+    already went through the static analyzer validates without
+    recompiling any automaton. *)
 
 val validate_element_node :
+  ?automata:(Ast.group_def * Content_automaton.table) list ->
   Xsm_xdm.Store.t -> Xsm_xdm.Store.node -> Ast.schema -> (unit, error list) result
 (** Validate an element node directly against the schema's root
     declaration (no document node on top). *)
 
 val validate_document :
   ?store:Xsm_xdm.Store.t ->
+  ?automata:(Ast.group_def * Content_automaton.table) list ->
   Xsm_xml.Tree.t ->
   Ast.schema ->
   (Xsm_xdm.Store.t * Xsm_xdm.Store.node, error list) result

@@ -44,6 +44,11 @@ module Make (N : Navigator.S) = struct
     mutable epoch : int;
     mutable applied : int;
     mutable vi_drops : int;
+    mutable pruner : (path -> string option) option;
+        (* static emptiness oracle (Xsm_analysis.Query_static.pruner):
+           Some reason proves the path selects nothing on any
+           schema-valid instance *)
+    mutable pruned : int;
   }
 
   let create backend root =
@@ -57,7 +62,20 @@ module Make (N : Navigator.S) = struct
       epoch = 1;
       applied = 0;
       vi_drops = 0;
+      pruner = None;
+      pruned = 0;
     }
+
+  let set_pruner t f = t.pruner <- Some f
+  let pruned_count t = t.pruned
+
+  (* Consult the static oracle.  Only when the evaluation would start
+     at the indexed root: a caller-supplied context node can make a
+     relative path reach nodes the root-anchored analysis never saw. *)
+  let prune_reason t ?context (p : path) =
+    match t.pruner with
+    | None -> None
+    | Some f -> if p.absolute || Option.is_none context then f p else None
 
   let drain t = match t.source with Some f -> f () | None -> []
 
@@ -405,9 +423,15 @@ module Make (N : Navigator.S) = struct
     | exception Fallback reason -> Error reason
 
   let eval t ?context p =
-    match try_indexed t p with
-    | Ok nodes -> nodes
-    | Error _ -> E.eval t.backend (Option.value context ~default:t.root) p
+    match prune_reason t ?context p with
+    | Some _ ->
+      (* provably empty: answer without touching indexes or extents *)
+      t.pruned <- t.pruned + 1;
+      []
+    | None -> (
+      match try_indexed t p with
+      | Ok nodes -> nodes
+      | Error _ -> E.eval t.backend (Option.value context ~default:t.root) p)
 
   let eval_string t ?context text =
     match Path_parser.parse text with
@@ -417,11 +441,14 @@ module Make (N : Navigator.S) = struct
   let uses_index t p = Result.is_ok (try_indexed t p)
 
   let explain t p =
-    match try_indexed t p with
-    | Ok nodes ->
-      Format.asprintf "index(%d nodes; %a; %d value indexes; epoch %d)"
-        (List.length nodes) PI.pp_stats t.pindex (value_index_count t) t.epoch
-    | Error reason -> Printf.sprintf "fallback(%s)" reason
+    match prune_reason t p with
+    | Some reason -> Printf.sprintf "pruned(%s)" reason
+    | None -> (
+      match try_indexed t p with
+      | Ok nodes ->
+        Format.asprintf "index(%d nodes; %a; %d value indexes; epoch %d)"
+          (List.length nodes) PI.pp_stats t.pindex (value_index_count t) t.epoch
+      | Error reason -> Printf.sprintf "fallback(%s)" reason)
 end
 
 module Over_store = Make (Navigator.Xdm)

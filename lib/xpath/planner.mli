@@ -84,6 +84,23 @@ module Make (N : Navigator.S) : sig
 
   val maintenance_stats : t -> maintenance_stats
 
+  (** {1 Schema-aware pruning} *)
+
+  val set_pruner : t -> (Path_ast.path -> string option) -> unit
+  (** Install a static emptiness oracle — typically
+      [Xsm_analysis.Query_static.pruner schema] (kept abstract here as
+      a closure so the analysis library can depend on this one).  When
+      the oracle answers [Some reason], {!eval} returns [[]]
+      immediately, without draining the journal or touching any
+      extent, and {!explain} reports ["pruned(reason)"].  The oracle
+      is only consulted for evaluations anchored at the indexed root
+      (absolute paths, or no [?context] given); soundness is the
+      oracle's contract — for the static analyzer, that the instance
+      is valid against the analyzed schema. *)
+
+  val pruned_count : t -> int
+  (** Evaluations answered by the pruning oracle so far. *)
+
   val eval : t -> ?context:N.node -> Path_ast.path -> N.node list
   (** Evaluate through the indexes when the path is in the supported
       fragment, through {!Eval.Make} otherwise.  [context] (default:
