@@ -1,6 +1,6 @@
 (* Bench entry point.
 
-   Default: Bechamel micro-benchmarks, one group per experiment E1-E14
+   Default: Bechamel micro-benchmarks, one group per experiment E1-E15
    (ns/op with OLS estimation).  With --report: the full experiment
    harness that regenerates the EXPERIMENTS.md tables.  With --smoke:
    a fast pass over every micro-benchmark (tiny quota), used by CI to
@@ -351,9 +351,34 @@ let tests () =
   in
   let e14e = indexed "E14 dead query, plain planner" dead_query in
   let e14f = naive "E14 dead query, naive eval" dead_query in
+  (* E15: telemetry.  The raw span record (push + two clock reads +
+     ring write) and the disabled fast path (one ref read), isolated
+     from any workload; the report harness measures the end-to-end
+     <2% claim on E1/E11. *)
+  let e15a =
+    Test.make ~name:"E15 with_span, enabled (record)"
+      ((* force the one-time ring allocation out of the measured loop *)
+       Xsm_obs.Obs.enable ();
+       Xsm_obs.Trace.with_span "warm" ignore;
+       Xsm_obs.Obs.disable ();
+       staged (fun () ->
+           Xsm_obs.Obs.enable ();
+           Xsm_obs.Trace.with_span "bench" ignore;
+           Xsm_obs.Obs.disable ()))
+  in
+  let e15b =
+    Test.make ~name:"E15 with_span, disabled (ref read)"
+      (staged (fun () -> Xsm_obs.Trace.with_span "bench" ignore))
+  in
+  let e15c =
+    Test.make ~name:"E15 counter bump"
+      (let c = Xsm_obs.Metrics.Counter.make "bench.e15" in
+       staged (fun () -> Xsm_obs.Metrics.Counter.incr c))
+  in
   [
     e1; e2a; e2b; e3; e4a; e4b; e5; e6; e7; e8a; e8b; e9; e10; e11a; e11b; e11c; e11d;
     e11e; e12a; e12b; e13a; e13b; e13c; e13d; e13e; e14a; e14b; e14c; e14d; e14e; e14f;
+    e15a; e15b; e15c;
   ]
 
 let run_bechamel ?(smoke = false) () =
@@ -384,5 +409,5 @@ let () =
   if List.mem "--report" args then Report.run ()
   else begin
     run_bechamel ~smoke:(List.mem "--smoke" args) ();
-    print_endline "\n(run with --report for the full E1-E14 experiment tables)"
+    print_endline "\n(run with --report for the full E1-E15 experiment tables)"
   end

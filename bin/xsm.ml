@@ -13,6 +13,12 @@
      dataguide DOC.xml                print the descriptive schema (§9.1)
      labels    DOC.xml                print nodes with Sedna labels (§9.3)
      roundtrip SCHEMA.xsd DOC.xml     check g(f(X)) =_c X (§8)
+     stats     DOC.xml SCRIPT         replay a workload, print the metrics
+                                      registry as JSON (DESIGN.md §10)
+
+   validate/query/update/recover also take --trace FILE.json (Chrome
+   trace_event export, including per-element detail spans) and
+   --metrics (registry dump to stderr on exit).
 
    Exit codes: 0 ok; 1 invalid input (validation failure, bad script
    line, failed query); 2 unusable arguments or unreadable files;
@@ -43,6 +49,44 @@ let or_die = function
     exit 2
 
 (* ------------------------------------------------------------------ *)
+(* Telemetry: --trace/--metrics, shared by the data-touching commands.
+   Exporting runs from at_exit so a mid-run [exit] (script errors,
+   injected crashes) still flushes what was recorded. *)
+
+module Obs = Xsm_obs.Obs
+module Trace = Xsm_obs.Trace
+module Metrics = Xsm_obs.Metrics
+
+let setup_obs trace_path metrics =
+  if trace_path <> None then Obs.enable ~detail:true ();
+  if trace_path <> None || metrics then
+    at_exit (fun () ->
+        (match trace_path with
+        | None -> ()
+        | Some p -> (
+          match Trace.write_chrome p with
+          | Ok () -> ()
+          | Error e -> Printf.eprintf "trace: %s\n" e));
+        if metrics then Format.eprintf "%a@." Metrics.pp Metrics.default)
+
+let obs_term =
+  let trace_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:
+            "Record a span trace of the run (including per-element detail spans) and \
+             write it to $(docv) as Chrome trace_event JSON — load the file in \
+             chrome://tracing or Perfetto.")
+  in
+  let metrics_flag =
+    Arg.(
+      value & flag
+      & info [ "metrics" ] ~doc:"Dump the metrics registry on stderr when the command exits.")
+  in
+  Term.(const setup_obs $ trace_arg $ metrics_flag)
+
+(* ------------------------------------------------------------------ *)
 
 let validate_cmd =
   let schema_arg =
@@ -51,7 +95,7 @@ let validate_cmd =
   let doc_arg =
     Arg.(required & pos 1 (some file) None & info [] ~docv:"DOC" ~doc:"XML document file")
   in
-  let run schema_path doc_path =
+  let run () schema_path doc_path =
     let schema_doc = or_die (load_document schema_path) in
     let schema =
       match Xsm_xsd.Reader.schema_of_document schema_doc with
@@ -63,7 +107,9 @@ let validate_cmd =
     (* the analyzer subsumes Schema_check and prints diagnostics in
        the same format as `xsm analyze`; its determinized content
        models are reused below so validation compiles nothing *)
-    let report = Xsm_analysis.Analyzer.analyze schema in
+    let report =
+      Trace.with_span "validate.analyze" (fun () -> Xsm_analysis.Analyzer.analyze schema)
+    in
     let fatal =
       List.filter
         (fun (f : Xsm_analysis.Analyzer.finding) -> f.severity = Xsm_analysis.Analyzer.Error)
@@ -80,7 +126,7 @@ let validate_cmd =
         prerr_endline (Xsm_xsd.Reader.error_to_string e);
         exit 2
     in
-    let doc = or_die (load_document doc_path) in
+    let doc = Trace.with_span "validate.parse" (fun () -> or_die (load_document doc_path)) in
     match
       Xsm_schema.Validator.validate_document
         ~automata:report.Xsm_analysis.Analyzer.tables doc schema
@@ -102,7 +148,7 @@ let validate_cmd =
   in
   Cmd.v
     (Cmd.info "validate" ~doc:"Validate a document against a schema (the \xc2\xa76.2 judgment)")
-    Term.(const run $ schema_arg $ doc_arg)
+    Term.(const run $ obs_term $ schema_arg $ doc_arg)
 
 let check_cmd =
   let schema_arg =
@@ -219,10 +265,14 @@ let query_cmd =
              every $(docv)-valid document are answered without touching the data.  \
              The document is assumed valid against the schema.")
   in
-  let run doc_path query use_storage use_index schema_path =
-    let doc = or_die (load_document doc_path) in
-    let store = Xsm_xdm.Store.create () in
-    let dnode = Xsm_xdm.Convert.load store doc in
+  let run () doc_path query use_storage use_index schema_path =
+    Trace.with_span "query" ~attrs:[ ("path", query) ] @@ fun () ->
+    let store, dnode =
+      Trace.with_span "query.parse" (fun () ->
+          let doc = or_die (load_document doc_path) in
+          let store = Xsm_xdm.Store.create () in
+          (store, Xsm_xdm.Convert.load store doc))
+    in
     let pruner =
       Option.map
         (fun sp -> Xsm_analysis.Query_static.pruner (or_die (load_schema sp)))
@@ -243,7 +293,7 @@ let query_cmd =
     | Some _ | None -> ());
     if use_index then begin
       let explain_and_print eval_str explain values =
-        match eval_str query with
+        match Trace.with_span "query.execute" (fun () -> eval_str query) with
         | Ok nodes ->
           Format.eprintf "plan: %s@." (explain query);
           List.iter print_endline (values nodes)
@@ -254,8 +304,12 @@ let query_cmd =
       if use_storage then begin
         let module Pl = Xsm_xpath.Planner.Over_storage in
         let bs = Xsm_storage.Block_storage.of_store store dnode in
-        let planner = Pl.create bs (Xsm_storage.Block_storage.root bs) in
-        Option.iter (Pl.set_pruner planner) pruner;
+        let planner =
+          Trace.with_span "query.plan" (fun () ->
+              let p = Pl.create bs (Xsm_storage.Block_storage.root bs) in
+              Option.iter (Pl.set_pruner p) pruner;
+              p)
+        in
         explain_and_print
           (fun q -> Pl.eval_string planner q)
           (fun q ->
@@ -266,8 +320,12 @@ let query_cmd =
       end
       else begin
         let module Pl = Xsm_xpath.Planner.Over_store in
-        let planner = Pl.create store dnode in
-        Option.iter (Pl.set_pruner planner) pruner;
+        let planner =
+          Trace.with_span "query.plan" (fun () ->
+              let p = Pl.create store dnode in
+              Option.iter (Pl.set_pruner p) pruner;
+              p)
+        in
         explain_and_print
           (fun q -> Pl.eval_string planner q)
           (fun q ->
@@ -279,7 +337,9 @@ let query_cmd =
     end
     else if use_storage then begin
       let bs = Xsm_storage.Block_storage.of_store store dnode in
-      match Xsm_xpath.Schema_driven.eval_string bs query with
+      match
+        Trace.with_span "query.execute" (fun () -> Xsm_xpath.Schema_driven.eval_string bs query)
+      with
       | Ok descs ->
         List.iter (fun d -> print_endline (Xsm_storage.Block_storage.string_value bs d)) descs
       | Error _ -> (
@@ -294,7 +354,10 @@ let query_cmd =
           exit 1)
     end
     else
-      match Xsm_xpath.Eval.Over_store.eval_string store dnode query with
+      match
+        Trace.with_span "query.execute" (fun () ->
+            Xsm_xpath.Eval.Over_store.eval_string store dnode query)
+      with
       | Ok nodes ->
         List.iter (fun n -> print_endline (Xsm_xdm.Store.string_value store n)) nodes
       | Error e ->
@@ -303,13 +366,140 @@ let query_cmd =
   in
   Cmd.v
     (Cmd.info "query" ~doc:"Evaluate an XPath-subset query over a document")
-    Term.(const run $ doc_arg $ path_arg $ storage_flag $ index_flag $ schema_flag)
+    Term.(const run $ obs_term $ doc_arg $ path_arg $ storage_flag $ index_flag $ schema_flag)
 
 let print_store store root =
   match Xsm_xdm.Store.kind store root with
   | Xsm_xdm.Store.Kind.Document ->
     print_string (Xsm_xml.Printer.to_string (Xsm_xdm.Convert.to_document store root))
   | _ -> print_endline (Xsm_xml.Printer.element_to_string (Xsm_xdm.Convert.to_element store root))
+
+(* The update-script interpreter, shared by `xsm update` and
+   `xsm stats`.  A malformed or failing line aborts with its location,
+   the offending source text and exit code 1 — never a silent skip,
+   never a raw backtrace. *)
+let execute_script ~script_path ~store ~dnode ~journal ?planner ?wal () =
+  let module Store = Xsm_xdm.Store in
+  let module Update = Xsm_schema.Update in
+  let module Wal = Xsm_persist.Wal in
+  let module Pl = Xsm_xpath.Planner.Over_store in
+  let split1 s =
+    match String.index_opt s ' ' with
+    | None -> (s, "")
+    | Some i -> (String.sub s 0 i, String.trim (String.sub s (i + 1) (String.length s - i - 1)))
+  in
+  let source_lines = String.split_on_char '\n' (read_file script_path) in
+  let fail_line lineno fmt =
+    Printf.ksprintf
+      (fun s ->
+        Printf.eprintf "%s:%d: %s\n" script_path lineno s;
+        (match List.nth_opt source_lines (lineno - 1) with
+        | Some src when String.trim src <> "" ->
+          Printf.eprintf "  %d | %s\n" lineno (String.trim src)
+        | Some _ | None -> ());
+        exit 1)
+      fmt
+  in
+  let target lineno q =
+    match Xsm_xpath.Eval.Over_store.eval_string store dnode q with
+    | Ok (n :: _) -> n
+    | Ok [] -> fail_line lineno "%s: no matching node" q
+    | Error e -> fail_line lineno "%s: %s" q e
+  in
+  let apply lineno op =
+    (match wal with
+    | None -> ()
+    | Some w -> (
+      (* log before apply: the WAL addresses describe the pre-state *)
+      match Wal.op_of_update store ~root:dnode op with
+      | Ok wop -> (
+        try Wal.Writer.append w wop
+        with Wal.Crashed ->
+          Printf.eprintf "wal: injected crash after %d records\n" (Wal.Writer.records_written w);
+          exit 3)
+      | Error e -> fail_line lineno "%s" e));
+    match Update.apply ~journal store op with
+    | Ok _ -> ()
+    | Error e -> fail_line lineno "update: %s" e
+  in
+  let fragment lineno src =
+    match Xsm_xml.Parser.parse_element src with
+    | Ok e -> e
+    | Error e -> fail_line lineno "fragment: %s" (Xsm_xml.Parser.error_to_string e)
+  in
+  let qname lineno s =
+    match Xsm_xml.Name.of_string s with
+    | Ok n -> n
+    | Error e -> fail_line lineno "attribute name %S: %s" s e
+  in
+  let require lineno what s = if s = "" then fail_line lineno "missing %s" what else s in
+  let run_line lineno line =
+    let cmd, rest = split1 line in
+    match cmd with
+    | "insert" ->
+      let path, xml = split1 rest in
+      let path = require lineno "target path" path in
+      let xml = require lineno "XML fragment" xml in
+      apply lineno
+        (Update.Insert_element
+           { parent = target lineno path; before = None; tree = fragment lineno xml })
+    | "insert-text" ->
+      let path, text = split1 rest in
+      let path = require lineno "target path" path in
+      apply lineno (Update.Insert_text { parent = target lineno path; before = None; text })
+    | "delete" ->
+      let path = require lineno "target path" rest in
+      apply lineno (Update.Delete (target lineno path))
+    | "content" ->
+      let path, value = split1 rest in
+      let path = require lineno "target path" path in
+      apply lineno (Update.Replace_content { node = target lineno path; value })
+    | "attr" ->
+      let path, rest = split1 rest in
+      let name, value = split1 rest in
+      let path = require lineno "target path" path in
+      let name = require lineno "attribute name" name in
+      apply lineno
+        (Update.Set_attribute { element = target lineno path; name = qname lineno name; value })
+    | "sync" -> (
+      match wal with
+      | Some w -> (
+        try Wal.Writer.sync w
+        with Wal.Crashed ->
+          Printf.eprintf "wal: injected crash after %d records\n" (Wal.Writer.records_written w);
+          exit 3)
+      | None -> ())
+    | "query" -> (
+      let q = require lineno "query" rest in
+      let print_nodes nodes =
+        List.iter (fun n -> print_endline (Store.string_value store n)) nodes
+      in
+      match planner with
+      | Some p -> (
+        match Pl.eval_string p q with
+        | Ok nodes ->
+          (match Xsm_xpath.Path_parser.parse q with
+          | Ok parsed -> Format.eprintf "plan: %s@." (Pl.explain p parsed)
+          | Error _ -> ());
+          print_nodes nodes
+        | Error e -> fail_line lineno "%s: %s" q e)
+      | None -> (
+        match Xsm_xpath.Eval.Over_store.eval_string store dnode q with
+        | Ok nodes -> print_nodes nodes
+        | Error e -> fail_line lineno "%s: %s" q e))
+    | other -> fail_line lineno "unknown command %S" other
+  in
+  let lineno = ref 0 in
+  List.iter
+    (fun line ->
+      incr lineno;
+      let line = String.trim line in
+      if line = "" || line.[0] = '#' then ()
+      else
+        Trace.with_span "update.line" ~attrs:[ ("line", string_of_int !lineno) ] (fun () ->
+            try run_line !lineno line with
+            | Invalid_argument e | Failure e -> fail_line !lineno "%s" e))
+    source_lines
 
 let update_cmd =
   let doc_arg =
@@ -381,12 +571,7 @@ let update_cmd =
       & info [ "sync-every" ] ~docv:"N"
           ~doc:"Fsync the WAL after every $(docv)-th record (default 1: every record).")
   in
-  let split1 s =
-    match String.index_opt s ' ' with
-    | None -> (s, "")
-    | Some i -> (String.sub s 0 i, String.trim (String.sub s (i + 1) (String.length s - i - 1)))
-  in
-  let run doc_path script_path use_index do_print wal_path snap_path crash_after
+  let run () doc_path script_path use_index do_print wal_path snap_path crash_after
       crash_partial sync_every =
     let module Store = Xsm_xdm.Store in
     let module Update = Xsm_schema.Update in
@@ -435,116 +620,8 @@ let update_cmd =
         | Ok w -> Some w
         | Error e -> die "%s" e)
     in
-    (* a malformed or failing script line aborts with its location and
-       exit code 1 — never a silent skip, never a raw backtrace *)
-    let fail_line lineno fmt =
-      Printf.ksprintf
-        (fun s ->
-          Printf.eprintf "%s:%d: %s\n" script_path lineno s;
-          exit 1)
-        fmt
-    in
-    let target lineno q =
-      match Xsm_xpath.Eval.Over_store.eval_string store dnode q with
-      | Ok (n :: _) -> n
-      | Ok [] -> fail_line lineno "%s: no matching node" q
-      | Error e -> fail_line lineno "%s: %s" q e
-    in
-    let apply lineno op =
-      (match wal with
-      | None -> ()
-      | Some w -> (
-        (* log before apply: the WAL addresses describe the pre-state *)
-        match Wal.op_of_update store ~root:dnode op with
-        | Ok wop -> (
-          try Wal.Writer.append w wop
-          with Wal.Crashed ->
-            Printf.eprintf "wal: injected crash after %d records\n"
-              (Wal.Writer.records_written w);
-            exit 3)
-        | Error e -> fail_line lineno "%s" e));
-      match Update.apply ~journal store op with
-      | Ok _ -> ()
-      | Error e -> fail_line lineno "update: %s" e
-    in
-    let fragment lineno src =
-      match Xsm_xml.Parser.parse_element src with
-      | Ok e -> e
-      | Error e -> fail_line lineno "fragment: %s" (Xsm_xml.Parser.error_to_string e)
-    in
-    let qname lineno s =
-      match Xsm_xml.Name.of_string s with
-      | Ok n -> n
-      | Error e -> fail_line lineno "attribute name %S: %s" s e
-    in
-    let require lineno what s = if s = "" then fail_line lineno "missing %s" what else s in
-    let run_line lineno line =
-      let cmd, rest = split1 line in
-      match cmd with
-      | "insert" ->
-        let path, xml = split1 rest in
-        let path = require lineno "target path" path in
-        let xml = require lineno "XML fragment" xml in
-        apply lineno
-          (Update.Insert_element
-             { parent = target lineno path; before = None; tree = fragment lineno xml })
-      | "insert-text" ->
-        let path, text = split1 rest in
-        let path = require lineno "target path" path in
-        apply lineno (Update.Insert_text { parent = target lineno path; before = None; text })
-      | "delete" ->
-        let path = require lineno "target path" rest in
-        apply lineno (Update.Delete (target lineno path))
-      | "content" ->
-        let path, value = split1 rest in
-        let path = require lineno "target path" path in
-        apply lineno (Update.Replace_content { node = target lineno path; value })
-      | "attr" ->
-        let path, rest = split1 rest in
-        let name, value = split1 rest in
-        let path = require lineno "target path" path in
-        let name = require lineno "attribute name" name in
-        apply lineno
-          (Update.Set_attribute
-             { element = target lineno path; name = qname lineno name; value })
-      | "sync" -> (
-        match wal with
-        | Some w -> (
-          try Wal.Writer.sync w
-          with Wal.Crashed ->
-            Printf.eprintf "wal: injected crash after %d records\n"
-              (Wal.Writer.records_written w);
-            exit 3)
-        | None -> ())
-      | "query" -> (
-        let q = require lineno "query" rest in
-        let print_nodes nodes =
-          List.iter (fun n -> print_endline (Store.string_value store n)) nodes
-        in
-        match planner with
-        | Some p -> (
-          match Pl.eval_string p q with
-          | Ok nodes ->
-            (match Xsm_xpath.Path_parser.parse q with
-            | Ok parsed -> Format.eprintf "plan: %s@." (Pl.explain p parsed)
-            | Error _ -> ());
-            print_nodes nodes
-          | Error e -> fail_line lineno "%s: %s" q e)
-        | None -> (
-          match Xsm_xpath.Eval.Over_store.eval_string store dnode q with
-          | Ok nodes -> print_nodes nodes
-          | Error e -> fail_line lineno "%s: %s" q e))
-      | other -> fail_line lineno "unknown command %S" other
-    in
-    let lineno = ref 0 in
-    String.split_on_char '\n' (read_file script_path)
-    |> List.iter (fun line ->
-           incr lineno;
-           let line = String.trim line in
-           if line = "" || line.[0] = '#' then ()
-           else
-             try run_line !lineno line with
-             | Invalid_argument e | Failure e -> fail_line !lineno "%s" e);
+    Trace.with_span "update.script" ~attrs:[ ("script", script_path) ] (fun () ->
+        execute_script ~script_path ~store ~dnode ~journal ?planner ?wal ());
     (match wal with Some w -> Wal.Writer.close w | None -> ());
     (match planner with
     | Some p ->
@@ -561,8 +638,8 @@ let update_cmd =
           the indexes are maintained differentially across the updates; with $(b,--wal) \
           every update is logged durably before it is applied")
     Term.(
-      const run $ doc_arg $ script_arg $ index_flag $ print_flag $ wal_arg $ snapshot_arg
-      $ crash_after_arg $ crash_partial_arg $ sync_every_arg)
+      const run $ obs_term $ doc_arg $ script_arg $ index_flag $ print_flag $ wal_arg
+      $ snapshot_arg $ crash_after_arg $ crash_partial_arg $ sync_every_arg)
 
 let snapshot_cmd =
   let doc_arg =
@@ -657,7 +734,7 @@ let recover_cmd =
       & info [ "no-truncate" ]
           ~doc:"Leave a torn WAL tail on disk instead of repairing the file.")
   in
-  let run snap_path wal_path do_print query use_index no_truncate =
+  let run () snap_path wal_path do_print query use_index no_truncate =
     let module Pl = Xsm_xpath.Planner.Over_store in
     let module R = Xsm_persist.Recovery in
     let die e =
@@ -735,8 +812,106 @@ let recover_cmd =
           truncate the torn tail (CRC-detected), replay — the recovered state is \
           content-equal to the longest fully-written prefix of the logged run")
     Term.(
-      const run $ snap_arg $ wal_arg $ print_flag $ query_arg $ index_flag
+      const run $ obs_term $ snap_arg $ wal_arg $ print_flag $ query_arg $ index_flag
       $ no_truncate_flag)
+
+let stats_cmd =
+  let doc_arg =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"DOC" ~doc:"XML document file")
+  in
+  let script_arg =
+    Arg.(
+      required & pos 1 (some file) None
+      & info [] ~docv:"SCRIPT"
+          ~doc:
+            "Workload script in the $(b,xsm update) syntax; its queries run through the \
+             index planner and its updates are logged to a throwaway WAL so every \
+             subsystem contributes to the report.")
+  in
+  let schema_arg =
+    Arg.(
+      value & opt (some file) None
+      & info [ "schema" ] ~docv:"SCHEMA"
+          ~doc:
+            "Validate the document against $(docv) first (populating the validator \
+             counters) and give the planner the schema's static emptiness oracle, so \
+             provably dead queries show up in the pruned counter.")
+  in
+  let capacity_arg =
+    Arg.(
+      value & opt int 8
+      & info [ "pool-capacity" ] ~docv:"N"
+          ~doc:"Buffer-pool capacity (blocks) for the locality replay (default 8).")
+  in
+  let run () doc_path script_path schema_path capacity =
+    let module Store = Xsm_xdm.Store in
+    let module Pl = Xsm_xpath.Planner.Over_store in
+    let g_hit_ratio =
+      Metrics.Gauge.make ~help:"buffer-pool hit ratio over the workload replay"
+        "storage.pool.hit_ratio"
+    in
+    let doc = or_die (load_document doc_path) in
+    let schema = Option.map (fun sp -> or_die (load_schema sp)) schema_path in
+    (match schema with
+    | None -> ()
+    | Some s -> (
+      match Xsm_schema.Validator.validate_document doc s with
+      | Ok _ -> ()
+      | Error es ->
+        List.iter (fun e -> prerr_endline (Xsm_schema.Validator.error_to_string e)) es;
+        exit 1));
+    let store = Store.create () in
+    let dnode = Xsm_xdm.Convert.load store doc in
+    let journal = Xsm_schema.Update.Journal.create () in
+    let planner = Pl.create store dnode in
+    Xsm_xpath.Planner.attach_journal planner journal;
+    Option.iter
+      (fun s -> Pl.set_pruner planner (Xsm_analysis.Query_static.pruner s))
+      schema;
+    (* a throwaway WAL with an fsync per record, so append and fsync
+       latencies land in the histograms *)
+    let wal_path = Filename.temp_file "xsm-stats" ".wal" in
+    let wal =
+      match Xsm_persist.Wal.Writer.create ~sync_every:1 wal_path with
+      | Ok w -> w
+      | Error e ->
+        prerr_endline e;
+        exit 2
+    in
+    Fun.protect
+      ~finally:(fun () ->
+        Xsm_persist.Wal.Writer.close wal;
+        if Sys.file_exists wal_path then Sys.remove wal_path)
+      (fun () ->
+        execute_script ~script_path ~store ~dnode ~journal ~planner ~wal ());
+    (* replay the final tree's block locality through an LRU pool: a
+       schema-driven scan per schema node, then one navigational walk *)
+    let bs = Xsm_storage.Block_storage.of_store store dnode in
+    let pool = Xsm_storage.Buffer_pool.create ~capacity in
+    let rec snodes acc sn =
+      List.fold_left snodes (sn :: acc)
+        (Xsm_storage.Descriptive_schema.children (Xsm_storage.Block_storage.schema bs) sn)
+    in
+    List.iter
+      (fun sn ->
+        List.iter
+          (fun b -> ignore (Xsm_storage.Buffer_pool.touch pool b))
+          (Xsm_storage.Buffer_pool.scan_trace bs sn))
+      (List.rev (snodes [] (Xsm_storage.Descriptive_schema.root (Xsm_storage.Block_storage.schema bs))));
+    List.iter
+      (fun b -> ignore (Xsm_storage.Buffer_pool.touch pool b))
+      (Xsm_storage.Buffer_pool.navigation_trace bs (Xsm_storage.Block_storage.root bs));
+    Metrics.Gauge.set g_hit_ratio
+      (Xsm_storage.Buffer_pool.hit_ratio (Xsm_storage.Buffer_pool.stats pool));
+    print_endline (Xsm_obs.Json.to_string (Metrics.to_json Metrics.default))
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:
+         "Replay a workload script against a document with every subsystem instrumented \
+          — validator, index planner, WAL, buffer pool — and print the full metrics \
+          registry as JSON on stdout")
+    Term.(const run $ obs_term $ doc_arg $ script_arg $ schema_arg $ capacity_arg)
 
 let dataguide_cmd =
   let doc_arg =
@@ -848,5 +1023,5 @@ let () =
           [
             validate_cmd; check_cmd; analyze_cmd; canonicalize_cmd; query_cmd; update_cmd;
             flwor_cmd;
-            dataguide_cmd; labels_cmd; roundtrip_cmd; snapshot_cmd; recover_cmd;
+            dataguide_cmd; labels_cmd; roundtrip_cmd; snapshot_cmd; recover_cmd; stats_cmd;
           ]))

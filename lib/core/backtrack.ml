@@ -1,4 +1,10 @@
 module Name = Xsm_xml.Name
+module Counter = Xsm_obs.Metrics.Counter
+
+let m_runs = Counter.make ~help:"content models matched by backtracking" "validate.backtrack_runs"
+
+let m_steps =
+  Counter.make ~help:"backtracking steps taken (match attempts)" "validate.backtrack_steps"
 
 (* Continuation-passing backtracking: [match_particle p word k] calls
    [k rest] for every prefix of [word] the particle can consume.  The
@@ -71,10 +77,15 @@ and match_repeated one (r : Ast.repetition) word k =
   from_count 0 word k
 
 let matches g word =
-  steps := 0;
-  match_group g word (fun rest -> rest = [])
-
-let matches_counting g word =
+  Counter.incr m_runs;
   steps := 0;
   let ok = match_group g word (fun rest -> rest = []) in
+  Counter.add m_steps !steps;
+  ok
+
+let matches_counting g word =
+  Counter.incr m_runs;
+  steps := 0;
+  let ok = match_group g word (fun rest -> rest = []) in
+  Counter.add m_steps !steps;
   (ok, !steps)

@@ -1,6 +1,17 @@
 module Name = Xsm_xml.Name
 module Store = Xsm_xdm.Store
 module Simple_type = Xsm_datatypes.Simple_type
+module Counter = Xsm_obs.Metrics.Counter
+module Trace = Xsm_obs.Trace
+
+let m_elements = Counter.make ~help:"element nodes validated" "validate.elements"
+let m_errors = Counter.make ~help:"validation errors reported" "validate.errors"
+
+let m_automaton_hits =
+  Counter.make ~help:"content models served from the automata cache" "validate.automaton_cache_hits"
+
+let m_automaton_compiles =
+  Counter.make ~help:"content models determinized during validation" "validate.automaton_compiles"
 
 type error = { path : string; message : string }
 
@@ -22,7 +33,11 @@ type ctx = {
 }
 
 let report ctx path fmt =
-  Printf.ksprintf (fun message -> ctx.errors <- { path; message } :: ctx.errors) fmt
+  Printf.ksprintf
+    (fun message ->
+      Counter.incr m_errors;
+      ctx.errors <- { path; message } :: ctx.errors)
+    fmt
 
 let automaton_for ctx path (g : Ast.group_def) =
   let rec find = function
@@ -30,8 +45,11 @@ let automaton_for ctx path (g : Ast.group_def) =
     | (g', a) :: rest -> if g' == g then Some a else find rest
   in
   match find !(ctx.automata) with
-  | Some a -> Some a
+  | Some a ->
+    Counter.incr m_automaton_hits;
+    Some a
   | None -> (
+    Counter.incr m_automaton_compiles;
     match Content_automaton.make g with
     | Ok a -> (
       match Content_automaton.compile a with
@@ -134,6 +152,15 @@ let validate_simple_text ctx path node (st : Simple_type.t) =
 (* Elements                                                            *)
 
 let rec validate_element ctx path node (decl : Ast.element_decl) =
+  Counter.incr m_elements;
+  if !Trace.enabled && !Trace.detail then
+    Trace.with_span
+      ~attrs:[ ("decl", Name.to_string decl.elem_name) ]
+      "validate.element"
+      (fun () -> validate_element_inner ctx path node decl)
+  else validate_element_inner ctx path node decl
+
+and validate_element_inner ctx path node (decl : Ast.element_decl) =
   let name = Store.node_name ctx.store node in
   (match name with
   | Some n when Name.equal n decl.elem_name -> ()
@@ -255,7 +282,7 @@ let finish ctx = match ctx.errors with [] -> Ok () | es -> Error (List.rev es)
 let make_ctx ?(automata = []) store schema =
   { store; schema; errors = []; automata = ref (List.rev automata) }
 
-let validate ?automata store node schema =
+let validate_inner ?automata store node schema =
   let ctx = make_ctx ?automata store schema in
   (match Store.kind store node with
   | Store.Kind.Document -> (
@@ -269,6 +296,9 @@ let validate ?automata store node schema =
   | Store.Kind.Element | Store.Kind.Attribute | Store.Kind.Text ->
     report ctx "/" "validation must start at a document node");
   finish ctx
+
+let validate ?automata store node schema =
+  Trace.with_span "validate.document" (fun () -> validate_inner ?automata store node schema)
 
 let validate_element_node ?automata store node schema =
   let ctx = make_ctx ?automata store schema in

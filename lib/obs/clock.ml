@@ -1,0 +1,20 @@
+(* Unix.gettimeofday gives wall time as a float of seconds since the
+   Unix epoch — at today's epoch values that float has ~1 µs of
+   mantissa granularity, too coarse near the epoch of interest.
+   Re-basing on a process-local epoch keeps the subtraction exact and
+   the int64 nanosecond conversion faithful. *)
+
+let epoch = Unix.gettimeofday ()
+
+let now_ns () = Int64.of_float ((Unix.gettimeofday () -. epoch) *. 1e9)
+
+let cpu_ns () = Int64.of_float (Sys.time () *. 1e9)
+
+let ns_to_ms ns = Int64.to_float ns /. 1e6
+
+let ns_to_us ns = Int64.to_float ns /. 1e3
+
+let seconds f =
+  let t0 = Unix.gettimeofday () in
+  f ();
+  Unix.gettimeofday () -. t0

@@ -1,0 +1,25 @@
+(** Time sources for telemetry and benchmarking.
+
+    Two clocks, deliberately distinguished: {!now_ns} is {e elapsed
+    wall time} (what a user waits for — includes fsync, page faults,
+    scheduler preemption), {!cpu_ns} is {e process CPU time} (what the
+    code computed).  Benchmarks of I/O-bound paths must use the wall
+    clock: timing a per-record-fsync WAL with [Sys.time] reports the
+    microseconds the CPU spent submitting the write and misses the
+    milliseconds the disk spent syncing it. *)
+
+val now_ns : unit -> int64
+(** Wall-clock nanoseconds since an arbitrary process-local epoch
+    (module load).  Monotone non-decreasing in practice for the
+    intra-process intervals telemetry measures. *)
+
+val cpu_ns : unit -> int64
+(** Process CPU nanoseconds ([Sys.time]-based), for attributing how
+    much of a wall-clock interval was spent computing. *)
+
+val ns_to_ms : int64 -> float
+
+val ns_to_us : int64 -> float
+
+val seconds : (unit -> unit) -> float
+(** Wall-clock seconds one call of the thunk takes. *)

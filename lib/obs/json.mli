@@ -1,0 +1,27 @@
+(** A minimal JSON tree: enough to emit the Chrome trace-event format
+    and the [xsm stats] metrics report, and to parse them back in
+    tests (the exporter round-trip law).  Deliberately tiny — no
+    external dependency, no streaming, numbers are floats. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+val int : int -> t
+(** An integral {!Num} (printed without a decimal point). *)
+
+val to_string : t -> string
+(** Compact serialization with full string escaping. *)
+
+val pp : Format.formatter -> t -> unit
+(** Pretty serialization: objects and arrays one entry per line. *)
+
+val parse : string -> (t, string) result
+(** Parse a complete JSON text; trailing garbage is an error. *)
+
+val member : string -> t -> t option
+(** Field lookup in an {!Obj}; [None] otherwise. *)

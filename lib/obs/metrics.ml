@@ -1,0 +1,233 @@
+type counter_cell = { mutable n : int }
+
+type counter = {
+  c_name : string;
+  c_help : string;
+  mutable cells : counter_cell list;  (* includes [built_in] *)
+  built_in : counter_cell;
+}
+
+type gauge = { g_name : string; g_help : string; mutable g : float }
+
+let hist_buckets = 64
+
+type histogram = {
+  h_name : string;
+  h_help : string;
+  counts : int array;  (* bucket i: values in (2^(i-1), 2^i]; bucket 0: <= 1 *)
+  mutable h_count : int;
+  mutable h_sum : float;
+  mutable h_min : float;
+  mutable h_max : float;
+}
+
+type metric = C of counter | G of gauge | H of histogram
+
+type registry = { mutable metrics : (string * metric) list (* newest first *) }
+
+let default = { metrics = [] }
+
+let create () = { metrics = [] }
+
+let find reg name = List.assoc_opt name reg.metrics
+
+let register reg name metric = reg.metrics <- (name, metric) :: reg.metrics
+
+let kind_clash name =
+  invalid_arg
+    (Printf.sprintf "Metrics: %S is already registered as a different kind" name)
+
+module Counter = struct
+  type t = counter
+  type cell = counter_cell
+
+  let make ?(registry = default) ?(help = "") name =
+    match find registry name with
+    | Some (C c) -> c
+    | Some (G _ | H _) -> kind_clash name
+    | None ->
+      let built_in = { n = 0 } in
+      let c = { c_name = name; c_help = help; cells = [ built_in ]; built_in } in
+      register registry name (C c);
+      c
+
+  let incr t = t.built_in.n <- t.built_in.n + 1
+  let add t k = t.built_in.n <- t.built_in.n + k
+  let value t = List.fold_left (fun acc cell -> acc + cell.n) 0 t.cells
+
+  let cell t =
+    let cell = { n = 0 } in
+    t.cells <- cell :: t.cells;
+    cell
+
+  let cell_incr cell = cell.n <- cell.n + 1
+  let cell_add cell k = cell.n <- cell.n + k
+  let cell_value cell = cell.n
+  let cell_reset cell = cell.n <- 0
+end
+
+module Gauge = struct
+  type t = gauge
+
+  let make ?(registry = default) ?(help = "") name =
+    match find registry name with
+    | Some (G g) -> g
+    | Some (C _ | H _) -> kind_clash name
+    | None ->
+      let g = { g_name = name; g_help = help; g = 0.0 } in
+      register registry name (G g);
+      g
+
+  let set t v = t.g <- v
+  let value t = t.g
+end
+
+module Histogram = struct
+  type t = histogram
+
+  let make ?(registry = default) ?(help = "") name =
+    match find registry name with
+    | Some (H h) -> h
+    | Some (C _ | G _) -> kind_clash name
+    | None ->
+      let h =
+        {
+          h_name = name;
+          h_help = help;
+          counts = Array.make hist_buckets 0;
+          h_count = 0;
+          h_sum = 0.0;
+          h_min = infinity;
+          h_max = neg_infinity;
+        }
+      in
+      register registry name (H h);
+      h
+
+  (* exact at powers of two: frexp v = (m, e) with m in [0.5, 1), so
+     v = 2^(e-1) exactly iff m = 0.5, which belongs in bucket e-1 *)
+  let bucket_index v =
+    if not (v > 1.0) then 0
+    else
+      let m, e = Float.frexp v in
+      let i = if m = 0.5 then e - 1 else e in
+      if i >= hist_buckets then hist_buckets - 1 else i
+
+  let bucket_bound i = Float.ldexp 1.0 i
+
+  let observe t v =
+    let i = bucket_index v in
+    t.counts.(i) <- t.counts.(i) + 1;
+    t.h_count <- t.h_count + 1;
+    t.h_sum <- t.h_sum +. v;
+    if v < t.h_min then t.h_min <- v;
+    if v > t.h_max then t.h_max <- v
+
+  let count t = t.h_count
+  let sum t = t.h_sum
+  let min_value t = if t.h_count = 0 then nan else t.h_min
+  let max_value t = if t.h_count = 0 then nan else t.h_max
+
+  let quantile t q =
+    if t.h_count = 0 then nan
+    else begin
+      let q = Float.min 1.0 (Float.max 0.0 q) in
+      let target = Stdlib.max 1 (int_of_float (Float.ceil (q *. float_of_int t.h_count))) in
+      let result = ref t.h_max in
+      (try
+         let cum = ref 0 in
+         for i = 0 to hist_buckets - 1 do
+           cum := !cum + t.counts.(i);
+           if !cum >= target then begin
+             result := bucket_bound i;
+             raise Exit
+           end
+         done
+       with Exit -> ());
+      (* clamp to the observed range: bucket bounds over-approximate *)
+      Float.min t.h_max (Float.max t.h_min !result)
+    end
+
+  let buckets t =
+    let acc = ref [] in
+    for i = hist_buckets - 1 downto 0 do
+      if t.counts.(i) > 0 then acc := (bucket_bound i, t.counts.(i)) :: !acc
+    done;
+    !acc
+end
+
+let names reg = List.rev_map fst reg.metrics
+
+let reset reg =
+  List.iter
+    (fun (_, m) ->
+      match m with
+      | C c -> List.iter (fun cell -> cell.n <- 0) c.cells
+      | G g -> g.g <- 0.0
+      | H h ->
+        Array.fill h.counts 0 hist_buckets 0;
+        h.h_count <- 0;
+        h.h_sum <- 0.0;
+        h.h_min <- infinity;
+        h.h_max <- neg_infinity)
+    reg.metrics
+
+let json_num f = if Float.is_nan f then Json.Null else Json.Num f
+
+let histogram_json h =
+  let q p = json_num (Histogram.quantile h p) in
+  Json.Obj
+    [
+      ("count", Json.int h.h_count);
+      ("sum", Json.Num h.h_sum);
+      ("min", json_num (Histogram.min_value h));
+      ("max", json_num (Histogram.max_value h));
+      ("p50", q 0.5);
+      ("p90", q 0.9);
+      ("p99", q 0.99);
+      ( "buckets",
+        Json.Arr
+          (List.map
+             (fun (ub, n) -> Json.Arr [ Json.Num ub; Json.int n ])
+             (Histogram.buckets h)) );
+    ]
+
+let to_json reg =
+  let ordered = List.rev reg.metrics in
+  let pick f = List.filter_map f ordered in
+  Json.Obj
+    [
+      ( "counters",
+        Json.Obj
+          (pick (function
+            | name, C c -> Some (name, Json.int (Counter.value c))
+            | _ -> None)) );
+      ( "gauges",
+        Json.Obj
+          (pick (function name, G g -> Some (name, Json.Num g.g) | _ -> None)) );
+      ( "histograms",
+        Json.Obj
+          (pick (function name, H h -> Some (name, histogram_json h) | _ -> None)) );
+    ]
+
+let pp ppf reg =
+  let annotate help = if help = "" then "" else "  # " ^ help in
+  List.iter
+    (fun (_, m) ->
+      match m with
+      | C c ->
+        Format.fprintf ppf "counter   %-32s %d%s@." c.c_name (Counter.value c)
+          (annotate c.c_help)
+      | G g -> Format.fprintf ppf "gauge     %-32s %g%s@." g.g_name g.g (annotate g.g_help)
+      | H h ->
+        if h.h_count = 0 then
+          Format.fprintf ppf "histogram %-32s (empty)%s@." h.h_name (annotate h.h_help)
+        else
+          Format.fprintf ppf
+            "histogram %-32s n=%d sum=%.0f min=%.0f p50=%.0f p90=%.0f p99=%.0f max=%.0f%s@."
+            h.h_name h.h_count h.h_sum h.h_min
+            (Histogram.quantile h 0.5)
+            (Histogram.quantile h 0.9)
+            (Histogram.quantile h 0.99)
+            h.h_max (annotate h.h_help))
+    (List.rev reg.metrics)

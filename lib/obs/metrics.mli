@@ -1,0 +1,109 @@
+(** The metrics registry: named counters, gauges and log2-bucketed
+    histograms, registered once and cheap to bump.
+
+    Design constraints, in order:
+
+    - {b hot-path cost}: bumping a counter is one mutable-int add, no
+      allocation, no hashing — the handle is resolved at registration
+      time (module initialization), not at bump time;
+    - {b per-instance views}: a metric owns a set of {e cells}.  A
+      subsystem with several live instances (buffer pools, planners)
+      gives each instance its own cell; the instance's bespoke stats
+      record is a read of its cells, while the registry total is the
+      sum over cells ([xsm stats] reports the aggregate);
+    - {b one namespace}: registration is get-or-create by name, so a
+      module can declare its metrics at top level and re-registration
+      (another instance, a test) returns the same handle. *)
+
+type registry
+
+val default : registry
+(** The process-wide registry every built-in instrumentation point
+    registers into. *)
+
+val create : unit -> registry
+(** A private registry (tests). *)
+
+module Counter : sig
+  type t
+
+  type cell
+  (** One contributor to a counter's total.  {!value} sums the cells. *)
+
+  val make : ?registry:registry -> ?help:string -> string -> t
+  (** Get-or-create.  [Invalid_argument] when the name is already
+      registered as a different metric kind. *)
+
+  val incr : t -> unit
+  (** Bump the counter's built-in cell. *)
+
+  val add : t -> int -> unit
+  val value : t -> int
+
+  val cell : t -> cell
+  (** A fresh private cell (one per subsystem instance). *)
+
+  val cell_incr : cell -> unit
+  val cell_add : cell -> int -> unit
+  val cell_value : cell -> int
+  val cell_reset : cell -> unit
+end
+
+module Gauge : sig
+  type t
+
+  val make : ?registry:registry -> ?help:string -> string -> t
+  val set : t -> float -> unit
+  val value : t -> float
+end
+
+(** Log2-bucketed histogram: bucket 0 holds values [<= 1], bucket [i]
+    holds values in [(2^(i-1), 2^i]], so 64 buckets cover the full
+    range of nanosecond latencies with bounded memory and no
+    per-observation allocation.  Quantiles are read from the bucket
+    cumulative counts and clamped to the observed min/max, which makes
+    them monotone in the requested rank and bounded by the data (the
+    qcheck law in the test suite). *)
+module Histogram : sig
+  type t
+
+  val make : ?registry:registry -> ?help:string -> string -> t
+  val observe : t -> float -> unit
+  val count : t -> int
+  val sum : t -> float
+
+  val min_value : t -> float
+  (** [nan] when empty. *)
+
+  val max_value : t -> float
+  (** [nan] when empty. *)
+
+  val quantile : t -> float -> float
+  (** [quantile t q] for [q] in [[0, 1]]: an upper bound on the
+      q-quantile, resolved to bucket granularity; [nan] when empty. *)
+
+  val buckets : t -> (float * int) list
+  (** Non-empty buckets as [(inclusive upper bound, count)], in
+      increasing bound order. *)
+
+  val bucket_index : float -> int
+  (** The bucket an observation lands in (exposed for the boundary
+      tests). *)
+
+  val bucket_bound : int -> float
+  (** Inclusive upper bound of bucket [i], i.e. [2^i]. *)
+end
+
+val names : registry -> string list
+(** Registered metric names, in registration order. *)
+
+val reset : registry -> unit
+(** Zero every metric: counters (all cells), gauges, histograms. *)
+
+val to_json : registry -> Json.t
+(** The [xsm stats] report: an object with ["counters"], ["gauges"]
+    and ["histograms"] sub-objects; each histogram carries count, sum,
+    min, max, p50/p90/p99 and its non-empty buckets. *)
+
+val pp : Format.formatter -> registry -> unit
+(** Human-readable dump (the [--metrics] flag). *)

@@ -1,0 +1,9 @@
+let enabled = Trace.enabled
+
+let enable ?(detail = false) () =
+  Trace.enabled := true;
+  Trace.detail := detail
+
+let disable () =
+  Trace.enabled := false;
+  Trace.detail := false

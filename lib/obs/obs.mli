@@ -1,0 +1,13 @@
+(** Convenience facade over the telemetry core: the one switch and the
+    common entry points ({!Clock}, {!Metrics}, {!Trace}, {!Json} are
+    the full modules). *)
+
+val enabled : bool ref
+(** = {!Trace.enabled}: the master tracing switch, read (one ref
+    load) by every instrumentation point before doing any work. *)
+
+val enable : ?detail:bool -> unit -> unit
+(** Turn tracing on; [detail] (default [false]) also records per-node
+    spans (one per validated element). *)
+
+val disable : unit -> unit

@@ -1,0 +1,210 @@
+let enabled = ref false
+let detail = ref false
+
+(* ------------------------------------------------------------------ *)
+(* Ring-buffer retention.  Slots are preallocated and overwritten in
+   place, so recording a span performs no allocation (beyond whatever
+   attribute list the caller built). *)
+
+type slot = {
+  mutable s_id : int;
+  mutable s_parent : int;
+  mutable s_name : string;
+  mutable s_start : int64;
+  mutable s_dur : int64;
+  mutable s_depth : int;
+  mutable s_attrs : (string * string) list;
+}
+
+let fresh_slot () =
+  { s_id = 0; s_parent = 0; s_name = ""; s_start = 0L; s_dur = 0L; s_depth = 0; s_attrs = [] }
+
+let capacity = ref 65536
+let ring : slot array ref = ref [||]
+let ring_pos = ref 0
+let ring_count = ref 0
+let dropped_count = ref 0
+
+let reset () =
+  ring_pos := 0;
+  ring_count := 0;
+  dropped_count := 0
+
+let set_capacity n =
+  if n < 1 then invalid_arg "Trace.set_capacity: capacity must be positive";
+  capacity := n;
+  ring := [||];
+  reset ()
+
+let record ~id ~parent ~name ~start ~stop ~depth ~attrs =
+  if Array.length !ring = 0 then ring := Array.init !capacity (fun _ -> fresh_slot ());
+  let s = !ring.(!ring_pos) in
+  s.s_id <- id;
+  s.s_parent <- parent;
+  s.s_name <- name;
+  s.s_start <- start;
+  s.s_dur <- Int64.sub stop start;
+  s.s_depth <- depth;
+  s.s_attrs <- attrs;
+  ring_pos := (!ring_pos + 1) mod Array.length !ring;
+  if !ring_count < Array.length !ring then incr ring_count else incr dropped_count
+
+let dropped () = !dropped_count
+
+(* ------------------------------------------------------------------ *)
+(* The open-span stack (one thread of parent/child ids) *)
+
+type frame = {
+  mutable f_id : int;
+  mutable f_name : string;
+  mutable f_start : int64;
+  mutable f_attrs : (string * string) list;
+}
+
+let stack =
+  ref (Array.init 64 (fun _ -> { f_id = 0; f_name = ""; f_start = 0L; f_attrs = [] }))
+
+let sp = ref 0
+let next_id = ref 0
+
+let push name attrs =
+  if !sp >= Array.length !stack then begin
+    let bigger =
+      Array.init
+        (2 * Array.length !stack)
+        (fun i ->
+          if i < Array.length !stack then !stack.(i)
+          else { f_id = 0; f_name = ""; f_start = 0L; f_attrs = [] })
+    in
+    stack := bigger
+  end;
+  incr next_id;
+  let f = !stack.(!sp) in
+  f.f_id <- !next_id;
+  f.f_name <- name;
+  f.f_attrs <- attrs;
+  f.f_start <- Clock.now_ns ();
+  incr sp;
+  !next_id
+
+let pop id =
+  let stop = Clock.now_ns () in
+  (* defensive: unwind to the frame carrying [id], so an instrumented
+     function that escaped via an uncounted exception cannot poison
+     the nesting of every later span *)
+  let rec find i = if i < 0 then None else if !stack.(i).f_id = id then Some i else find (i - 1) in
+  match find (!sp - 1) with
+  | None -> ()
+  | Some i ->
+    let f = !stack.(i) in
+    let parent = if i > 0 then !stack.(i - 1).f_id else 0 in
+    record ~id:f.f_id ~parent ~name:f.f_name ~start:f.f_start ~stop ~depth:i
+      ~attrs:f.f_attrs;
+    sp := i
+
+let add_attr key value =
+  if !enabled && !sp > 0 then begin
+    let f = !stack.(!sp - 1) in
+    f.f_attrs <- (key, value) :: f.f_attrs
+  end
+
+let with_span ?(attrs = []) name f =
+  if not !enabled then f ()
+  else begin
+    let id = push name attrs in
+    match f () with
+    | r ->
+      pop id;
+      r
+    | exception e ->
+      add_attr "exception" (Printexc.to_string e);
+      pop id;
+      raise e
+  end
+
+let with_detail_span ?attrs name f =
+  if !enabled && !detail then with_span ?attrs name f else f ()
+
+(* ------------------------------------------------------------------ *)
+(* Export                                                              *)
+
+type event = {
+  id : int;
+  parent : int;
+  name : string;
+  start_ns : int64;
+  dur_ns : int64;
+  depth : int;
+  attrs : (string * string) list;
+}
+
+let events () =
+  let out = ref [] in
+  let len = Array.length !ring in
+  for k = !ring_count - 1 downto 0 do
+    (* oldest retained slot first: ring_pos points past the newest *)
+    let s = !ring.((!ring_pos - 1 - k + (2 * len)) mod len) in
+    out :=
+      {
+        id = s.s_id;
+        parent = s.s_parent;
+        name = s.s_name;
+        start_ns = s.s_start;
+        dur_ns = s.s_dur;
+        depth = s.s_depth;
+        attrs = s.s_attrs;
+      }
+      :: !out
+  done;
+  List.stable_sort
+    (fun a b ->
+      match Int64.compare a.start_ns b.start_ns with 0 -> compare a.id b.id | c -> c)
+    (List.rev !out)
+
+let to_chrome () =
+  let event_json e =
+    let args =
+      List.rev_map (fun (k, v) -> (k, Json.Str v)) e.attrs
+      @ [ ("span_id", Json.int e.id); ("parent_id", Json.int e.parent) ]
+    in
+    Json.Obj
+      [
+        ("name", Json.Str e.name);
+        ("cat", Json.Str "xsm");
+        ("ph", Json.Str "X");
+        ("ts", Json.Num (Int64.to_float e.start_ns /. 1e3));
+        ("dur", Json.Num (Int64.to_float e.dur_ns /. 1e3));
+        ("pid", Json.int 1);
+        ("tid", Json.int 1);
+        ("args", Json.Obj args);
+      ]
+  in
+  Json.Obj
+    [
+      ("traceEvents", Json.Arr (List.map event_json (events ())));
+      ("displayTimeUnit", Json.Str "ms");
+    ]
+
+let write_chrome path =
+  try
+    let oc = open_out_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () -> output_string oc (Json.to_string (to_chrome ())));
+    Ok ()
+  with Sys_error e -> Error ("trace: " ^ e)
+
+let pp_tree ppf () =
+  let pp_dur ppf ns =
+    if Int64.compare ns 1_000_000L >= 0 then
+      Format.fprintf ppf "%.2f ms" (Clock.ns_to_ms ns)
+    else Format.fprintf ppf "%.1f us" (Clock.ns_to_us ns)
+  in
+  List.iter
+    (fun e ->
+      Format.fprintf ppf "%s%s  %a" (String.make (2 * e.depth) ' ') e.name pp_dur e.dur_ns;
+      List.iter (fun (k, v) -> Format.fprintf ppf "  %s=%s" k v) (List.rev e.attrs);
+      Format.fprintf ppf "@.")
+    (events ());
+  if !dropped_count > 0 then
+    Format.fprintf ppf "(… %d older spans evicted from the ring)@." !dropped_count

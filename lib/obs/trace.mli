@@ -1,0 +1,75 @@
+(** The span tracer: nestable named spans with wall-clock timestamps,
+    parent/child ids, key/value attributes and ring-buffer retention.
+
+    Tracing is {e off} by default: {!with_span} on the disabled path
+    is one ref read plus the thunk call — no clock read, no
+    allocation.  When {!enabled} is set, each completed span is
+    written into a preallocated ring of fixed capacity (oldest spans
+    are overwritten; {!dropped} counts them), so a traced run has
+    bounded memory whatever its length.
+
+    Two granularities: ordinary spans mark request phases (parse,
+    plan, execute, replay) and are cheap enough to leave enabled;
+    {e detail} spans ({!with_detail_span}) mark per-node work — one
+    span per validated element — and additionally require {!detail},
+    which only the [--trace] exporters set.  E15 measures the
+    enabled-but-unexported configuration at <2% on the hot workloads.
+
+    Exporters: {!to_chrome} emits Chrome [trace_event] JSON (load the
+    file in [chrome://tracing] or Perfetto), {!pp_tree} renders the
+    retained spans as an indented tree with durations. *)
+
+val enabled : bool ref
+(** Master switch; read on every instrumentation point. *)
+
+val detail : bool ref
+(** Also record per-node detail spans (implies a span per validated
+    element).  Only consulted when {!enabled} is set. *)
+
+val set_capacity : int -> unit
+(** Resize the ring (default 65536 spans).  Discards retained spans. *)
+
+val reset : unit -> unit
+(** Discard retained spans and the dropped count; open spans keep
+    their nesting. *)
+
+val with_span : ?attrs:(string * string) list -> string -> (unit -> 'a) -> 'a
+(** Run the thunk inside a named span.  The span is recorded when the
+    thunk returns {e or raises} (the exception is re-raised; the span
+    gains an ["exception"] attribute). *)
+
+val with_detail_span : ?attrs:(string * string) list -> string -> (unit -> 'a) -> 'a
+(** {!with_span} when {!detail} is also set, plain call otherwise. *)
+
+val add_attr : string -> string -> unit
+(** Attach a key/value attribute to the innermost open span (no-op
+    when tracing is off or no span is open). *)
+
+type event = {
+  id : int;
+  parent : int;  (** 0 when the span has no parent *)
+  name : string;
+  start_ns : int64;
+  dur_ns : int64;
+  depth : int;  (** nesting depth at record time; 0 = root *)
+  attrs : (string * string) list;
+}
+
+val events : unit -> event list
+(** Retained completed spans, sorted by start time (a preorder of the
+    span forest, since spans nest properly). *)
+
+val dropped : unit -> int
+(** Spans evicted from the ring since the last {!reset}. *)
+
+val to_chrome : unit -> Json.t
+(** The retained spans as a Chrome trace: [{"traceEvents": [...]}],
+    one phase-["X"] (complete) event per span, [ts]/[dur] in
+    microseconds, non-decreasing [ts] per thread. *)
+
+val write_chrome : string -> (unit, string) result
+(** Serialize {!to_chrome} to a file. *)
+
+val pp_tree : Format.formatter -> unit -> unit
+(** Indented rendering of the retained spans with durations and
+    attributes. *)

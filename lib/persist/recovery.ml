@@ -1,6 +1,14 @@
 module Store = Xsm_xdm.Store
 module Update = Xsm_schema.Update
 module Labeler = Xsm_numbering.Labeler
+module Counter = Xsm_obs.Metrics.Counter
+module Gauge = Xsm_obs.Metrics.Gauge
+module Trace = Xsm_obs.Trace
+
+let m_wal_records = Counter.make ~help:"WAL records seen during recovery" "recover.wal_records"
+let m_replayed = Counter.make ~help:"WAL operations replayed" "recover.replayed"
+let m_torn_bytes = Counter.make ~help:"bytes in torn WAL tails" "recover.torn_bytes"
+let g_snapshot_nodes = Gauge.make ~help:"nodes in the last loaded snapshot" "recover.snapshot_nodes"
 
 type stats = {
   snapshot_nodes : int;
@@ -52,7 +60,16 @@ let empty_stats snapshot_nodes =
     truncated = false;
   }
 
-let replay_wal ?journal ?labels ?(truncate = true) store ~root wal_path =
+(* the returned record and the registry report the same recovery: the
+   record is per-call, the registry accumulates across recoveries *)
+let publish stats =
+  Counter.add m_wal_records stats.wal_records;
+  Counter.add m_replayed stats.replayed;
+  Counter.add m_torn_bytes stats.torn_bytes;
+  Gauge.set g_snapshot_nodes (float_of_int stats.snapshot_nodes);
+  stats
+
+let replay_wal_inner ?journal ?labels ?(truncate = true) store ~root wal_path =
   let ( let* ) = Result.bind in
   let snapshot_nodes = Store.subtree_size store root in
   if not (Sys.file_exists wal_path) then Ok (empty_stats snapshot_nodes)
@@ -110,12 +127,21 @@ let replay_wal ?journal ?labels ?(truncate = true) store ~root wal_path =
         truncated;
       }
 
+let replay_wal ?journal ?labels ?truncate store ~root wal_path =
+  Trace.with_span "recover.replay"
+    ~attrs:[ ("wal", wal_path) ]
+    (fun () ->
+      Result.map publish (replay_wal_inner ?journal ?labels ?truncate store ~root wal_path))
+
 let recover ?journal ?truncate ~snapshot ?wal () =
   let ( let* ) = Result.bind in
-  let* store, root, labels, _meta = Snapshot.load ~path:snapshot in
+  let* store, root, labels, _meta =
+    Trace.with_span "recover.snapshot" ~attrs:[ ("path", snapshot) ] (fun () ->
+        Snapshot.load ~path:snapshot)
+  in
   let* stats =
     match wal with
-    | None -> Ok (empty_stats (Store.subtree_size store root))
+    | None -> Ok (publish (empty_stats (Store.subtree_size store root)))
     | Some wal_path -> replay_wal ?journal ?labels ?truncate store ~root wal_path
   in
   Ok (store, root, labels, stats)

@@ -1,6 +1,13 @@
 module Store = Xsm_xdm.Store
 module Update = Xsm_schema.Update
 module Name = Xsm_xml.Name
+module Counter = Xsm_obs.Metrics.Counter
+module Histogram = Xsm_obs.Metrics.Histogram
+
+let m_records = Counter.make ~help:"records appended to the log" "wal.records"
+let m_syncs = Counter.make ~help:"fsync calls issued" "wal.syncs"
+let h_append = Histogram.make ~help:"record append latency (ns, excluding fsync)" "wal.append_ns"
+let h_fsync = Histogram.make ~help:"fsync latency (ns)" "wal.fsync_ns"
 
 type addr = Node of int list | Attribute of int list * Name.t
 
@@ -280,9 +287,13 @@ module Writer = struct
   }
 
   let fsync t =
+    let start = Xsm_obs.Clock.now_ns () in
     flush t.oc;
     Unix.fsync (Unix.descr_of_out_channel t.oc);
-    t.unsynced <- 0
+    t.unsynced <- 0;
+    Counter.incr m_syncs;
+    Histogram.observe h_fsync
+      (Int64.to_float (Int64.sub (Xsm_obs.Clock.now_ns ()) start))
 
   let create ?crash ?(sync_every = 1) path =
     if sync_every < 1 then Error "wal: sync_every must be >= 1"
@@ -325,9 +336,13 @@ module Writer = struct
       t.crashed <- true;
       raise Crashed
     | _ -> ());
+    let start = Xsm_obs.Clock.now_ns () in
     output_string t.oc bytes;
     t.records <- t.records + 1;
     t.unsynced <- t.unsynced + 1;
+    Counter.incr m_records;
+    Histogram.observe h_append
+      (Int64.to_float (Int64.sub (Xsm_obs.Clock.now_ns ()) start));
     if t.unsynced >= t.sync_every then fsync t
 
   let append t op = emit t (Op op)

@@ -8,15 +8,25 @@ type lru_node = {
   mutable next : lru_node option;  (* towards the tail (less recent) *)
 }
 
+(* The registry totals across every pool in the process; each pool
+   holds private cells so its own [stats] stays per-instance. *)
+module Counter = Xsm_obs.Metrics.Counter
+
+let m_accesses = Counter.make ~help:"block touches across all pools" "storage.pool.accesses"
+let m_hits = Counter.make ~help:"touches finding the block resident" "storage.pool.hits"
+let m_misses = Counter.make ~help:"touches faulting the block in" "storage.pool.misses"
+let m_evictions = Counter.make ~help:"blocks evicted to make room" "storage.pool.evictions"
+
 type t = {
   capacity : int;
   resident : (int, lru_node) Hashtbl.t;
   mutable head : lru_node option;
   mutable tail : lru_node option;
   mutable size : int;
-  mutable accesses : int;
-  mutable hits : int;
-  mutable misses : int;
+  accesses : Counter.cell;
+  hits : Counter.cell;
+  misses : Counter.cell;
+  evictions : Counter.cell;
   seen : (int, unit) Hashtbl.t;
 }
 
@@ -28,9 +38,10 @@ let create ~capacity =
     head = None;
     tail = None;
     size = 0;
-    accesses = 0;
-    hits = 0;
-    misses = 0;
+    accesses = Counter.cell m_accesses;
+    hits = Counter.cell m_hits;
+    misses = Counter.cell m_misses;
+    evictions = Counter.cell m_evictions;
     seen = Hashtbl.create 64;
   }
 
@@ -46,11 +57,11 @@ let push_front pool node =
   pool.head <- Some node
 
 let touch pool block =
-  pool.accesses <- pool.accesses + 1;
+  Counter.cell_incr pool.accesses;
   if not (Hashtbl.mem pool.seen block) then Hashtbl.add pool.seen block ();
   match Hashtbl.find_opt pool.resident block with
   | Some node ->
-    pool.hits <- pool.hits + 1;
+    Counter.cell_incr pool.hits;
     (match pool.head with
     | Some h when h == node -> ()
     | _ ->
@@ -58,13 +69,14 @@ let touch pool block =
       push_front pool node);
     `Hit
   | None ->
-    pool.misses <- pool.misses + 1;
+    Counter.cell_incr pool.misses;
     if pool.size >= pool.capacity then (
       match pool.tail with
       | Some victim ->
         unlink pool victim;
         Hashtbl.remove pool.resident victim.block;
-        pool.size <- pool.size - 1
+        pool.size <- pool.size - 1;
+        Counter.cell_incr pool.evictions
       | None -> ());
     let node = { block; prev = None; next = None } in
     push_front pool node;
@@ -73,9 +85,10 @@ let touch pool block =
     `Miss
 
 let reset_stats pool =
-  pool.accesses <- 0;
-  pool.hits <- 0;
-  pool.misses <- 0;
+  Counter.cell_reset pool.accesses;
+  Counter.cell_reset pool.hits;
+  Counter.cell_reset pool.misses;
+  Counter.cell_reset pool.evictions;
   Hashtbl.reset pool.seen
 
 let reset pool =
@@ -87,11 +100,12 @@ let reset pool =
 
 type stats = { accesses : int; hits : int; misses : int; distinct : int }
 
+(* a view over this pool's registry cells *)
 let stats (pool : t) =
   {
-    accesses = pool.accesses;
-    hits = pool.hits;
-    misses = pool.misses;
+    accesses = Counter.cell_value pool.accesses;
+    hits = Counter.cell_value pool.hits;
+    misses = Counter.cell_value pool.misses;
     distinct = Hashtbl.length pool.seen;
   }
 

@@ -38,6 +38,11 @@ type stats = {
 }
 
 val stats : t -> stats
+(** Per-pool counters.  The record is a view over this pool's private
+    cells in the [Xsm_obs] metrics registry ([storage.pool.accesses] /
+    [.hits] / [.misses] / [.evictions]); the registry reports the
+    totals across every pool in the process. *)
+
 val hit_ratio : stats -> float
 
 val run_trace : capacity:int -> int list -> stats

@@ -1,6 +1,19 @@
 open Path_ast
 module Extent = Xsm_index.Extent
 module VI = Xsm_index.Value_index
+module Counter = Xsm_obs.Metrics.Counter
+module Histogram = Xsm_obs.Metrics.Histogram
+module Trace = Xsm_obs.Trace
+
+(* Registry totals across every planner in the process; each planner
+   holds private cells so [maintenance_stats] stays per-instance. *)
+let m_epochs = Counter.make ~help:"full path-index builds" "planner.epochs"
+let m_applied = Counter.make ~help:"journal changes absorbed without a rebuild" "planner.applied"
+let m_vi_drops = Counter.make ~help:"value indexes dropped for lazy rebuild" "planner.vi_drops"
+let m_pruned = Counter.make ~help:"queries answered empty by the static oracle" "planner.pruned"
+let m_index_hits = Counter.make ~help:"queries answered from the path index" "planner.index_hits"
+let m_fallbacks = Counter.make ~help:"queries handed to the navigational evaluator" "planner.fallbacks"
+let h_drain = Histogram.make ~help:"journal drain-and-apply latency (ns)" "planner.drain_ns"
 
 type maintenance_stats = {
   epochs : int;  (* full index builds so far (1 = the initial build) *)
@@ -41,17 +54,19 @@ module Make (N : Navigator.S) = struct
         (* (pnode id, printed relative path) -> its typed value index *)
     mutable source : (unit -> change list) option;
         (* pull-subscription to an update journal, drained before use *)
-    mutable epoch : int;
-    mutable applied : int;
-    mutable vi_drops : int;
+    epoch : Counter.cell;
+    applied : Counter.cell;
+    vi_drops : Counter.cell;
     mutable pruner : (path -> string option) option;
         (* static emptiness oracle (Xsm_analysis.Query_static.pruner):
            Some reason proves the path selects nothing on any
            schema-valid instance *)
-    mutable pruned : int;
+    pruned : Counter.cell;
   }
 
   let create backend root =
+    let epoch = Counter.cell m_epochs in
+    Counter.cell_incr epoch;  (* the initial build counts as epoch 1 *)
     {
       backend;
       root;
@@ -59,15 +74,15 @@ module Make (N : Navigator.S) = struct
       is_stale = false;
       values = Hashtbl.create 16;
       source = None;
-      epoch = 1;
-      applied = 0;
-      vi_drops = 0;
+      epoch;
+      applied = Counter.cell m_applied;
+      vi_drops = Counter.cell m_vi_drops;
       pruner = None;
-      pruned = 0;
+      pruned = Counter.cell m_pruned;
     }
 
   let set_pruner t f = t.pruner <- Some f
-  let pruned_count t = t.pruned
+  let pruned_count t = Counter.cell_value t.pruned
 
   (* Consult the static oracle.  Only when the evaluation would start
      at the indexed root: a caller-supplied context node can make a
@@ -84,7 +99,7 @@ module Make (N : Navigator.S) = struct
     t.pindex <- PI.build t.backend t.root;
     Hashtbl.reset t.values;
     t.is_stale <- false;
-    t.epoch <- t.epoch + 1
+    Counter.cell_incr t.epoch
 
   let invalidate t = t.is_stale <- true
   let stale t = t.is_stale
@@ -92,8 +107,13 @@ module Make (N : Navigator.S) = struct
   let value_index_count t = Hashtbl.length t.values
   let set_source t f = t.source <- Some f
 
+  (* a view over this planner's registry cells *)
   let maintenance_stats t =
-    { epochs = t.epoch; applied = t.applied; vi_drops = t.vi_drops }
+    {
+      epochs = Counter.cell_value t.epoch;
+      applied = Counter.cell_value t.applied;
+      vi_drops = Counter.cell_value t.vi_drops;
+    }
 
   (* ---- node tests on path-index nodes (mirrors Eval.test_matches) ---- *)
 
@@ -277,7 +297,7 @@ module Make (N : Navigator.S) = struct
   let drop_vi t key =
     if Hashtbl.mem t.values key then begin
       Hashtbl.remove t.values key;
-      t.vi_drops <- t.vi_drops + 1
+      Counter.cell_incr t.vi_drops
     end
 
   (* re-read the value entries one target node contributes: its owner
@@ -402,12 +422,16 @@ module Make (N : Navigator.S) = struct
           List.iter (fun c -> apply_one t touched budget c) changes;
           if PI.pnode_count t.pindex > before_pnodes then revalidate_value_targets t
         with
-        | () -> t.applied <- t.applied + List.length changes
+        | () -> Counter.cell_add t.applied (List.length changes)
         | exception (Too_much | Xsm_index.Path_index.Maintenance_error _) -> refresh t)
 
   let ensure_fresh t =
-    let pending = drain t in
-    if t.is_stale then refresh t else apply_changes t pending
+    let start = Xsm_obs.Clock.now_ns () in
+    Trace.with_span "plan.maintain" (fun () ->
+        let pending = drain t in
+        if t.is_stale then refresh t else apply_changes t pending);
+    Histogram.observe h_drain
+      (Int64.to_float (Int64.sub (Xsm_obs.Clock.now_ns ()) start))
 
   let eval_indexed t (p : path) =
     ensure_fresh t;
@@ -426,12 +450,17 @@ module Make (N : Navigator.S) = struct
     match prune_reason t ?context p with
     | Some _ ->
       (* provably empty: answer without touching indexes or extents *)
-      t.pruned <- t.pruned + 1;
+      Counter.cell_incr t.pruned;
       []
     | None -> (
-      match try_indexed t p with
-      | Ok nodes -> nodes
-      | Error _ -> E.eval t.backend (Option.value context ~default:t.root) p)
+      match Trace.with_span "plan.index" (fun () -> try_indexed t p) with
+      | Ok nodes ->
+        Counter.incr m_index_hits;
+        nodes
+      | Error reason ->
+        Counter.incr m_fallbacks;
+        Trace.with_span ~attrs:[ ("reason", reason) ] "plan.fallback" (fun () ->
+            E.eval t.backend (Option.value context ~default:t.root) p))
 
   let eval_string t ?context text =
     match Path_parser.parse text with
@@ -447,7 +476,8 @@ module Make (N : Navigator.S) = struct
       match try_indexed t p with
       | Ok nodes ->
         Format.asprintf "index(%d nodes; %a; %d value indexes; epoch %d)"
-          (List.length nodes) PI.pp_stats t.pindex (value_index_count t) t.epoch
+          (List.length nodes) PI.pp_stats t.pindex (value_index_count t)
+          (Counter.cell_value t.epoch)
       | Error reason -> Printf.sprintf "fallback(%s)" reason)
 end
 

@@ -21,6 +21,7 @@ EOF
 out=$("$XSM" update "$tmp/doc.xml" "$tmp/bad.upd" 2>&1)
 [ $? -eq 1 ] || fail "malformed script line must exit 1"
 echo "$out" | grep -q "bad.upd:2" || fail "error must name the script line (got: $out)"
+echo "$out" | grep -q "frobnicate /library" || fail "error must quote the offending source line (got: $out)"
 
 printf 'insert\n' > "$tmp/bad2.upd"
 out=$("$XSM" update "$tmp/doc.xml" "$tmp/bad2.upd" 2>&1)

@@ -1,0 +1,365 @@
+(* The telemetry core (lib/obs) and its instrumentation contracts:
+   span nesting/ordering invariants, ring retention, histogram bucket
+   boundaries, the qcheck quantile law (monotone in the rank, bounded
+   by the observed min/max), the Chrome trace-event exporter
+   round-trip, and the planner's index/fallback/pruned counters
+   against [explain] on a fixed query set. *)
+
+module Q = QCheck
+module Trace = Xsm_obs.Trace
+module Metrics = Xsm_obs.Metrics
+module Json = Xsm_obs.Json
+module Counter = Metrics.Counter
+module Histogram = Metrics.Histogram
+module Ast = Xsm_schema.Ast
+module Tree = Xsm_xml.Tree
+
+let check = Alcotest.check
+let check_int = Alcotest.(check int)
+let check_str = Alcotest.(check string)
+
+let has_prefix p s =
+  String.length s >= String.length p && String.sub s 0 (String.length p) = p
+
+(* run [f] with tracing on and leave the tracer exactly as we found
+   it, whatever happens — other tests (and E15's premise that tracing
+   is off by default) depend on it *)
+let traced f =
+  Trace.enabled := true;
+  Trace.reset ();
+  Fun.protect
+    ~finally:(fun () ->
+      Trace.enabled := false;
+      Trace.detail := false;
+      Trace.reset ())
+    f
+
+(* ---------------- spans ---------------- *)
+
+let span_nesting () =
+  traced (fun () ->
+      Trace.with_span "a" (fun () ->
+          Trace.with_span ~attrs:[ ("k", "v") ] "b" (fun () ->
+              Trace.with_span "c" ignore);
+          Trace.with_span "d" ignore);
+      let evs = Trace.events () in
+      check_int "four spans" 4 (List.length evs);
+      (* events are sorted by start time: a preorder of the forest *)
+      check Alcotest.(list string) "preorder" [ "a"; "b"; "c"; "d" ]
+        (List.map (fun (e : Trace.event) -> e.name) evs);
+      let by_name n = List.find (fun (e : Trace.event) -> e.name = n) evs in
+      let a = by_name "a" and b = by_name "b" and c = by_name "c" and d = by_name "d" in
+      check_int "root has no parent" 0 a.parent;
+      check_int "b under a" a.id b.parent;
+      check_int "c under b" b.id c.parent;
+      check_int "d under a (sibling of b)" a.id d.parent;
+      check_int "a at depth 0" 0 a.depth;
+      check_int "b at depth 1" 1 b.depth;
+      check_int "c at depth 2" 2 c.depth;
+      check_int "d at depth 1" 1 d.depth;
+      check_str "attrs preserved" "v" (List.assoc "k" b.attrs);
+      (* a child lies within its parent's window *)
+      check Alcotest.bool "b starts after a" true (b.start_ns >= a.start_ns);
+      check Alcotest.bool "b ends before a" true
+        (Int64.add b.start_ns b.dur_ns <= Int64.add a.start_ns a.dur_ns))
+
+let span_disabled_is_transparent () =
+  Trace.reset ();
+  check Alcotest.bool "tracing off" false !Trace.enabled;
+  let r = Trace.with_span "quiet" (fun () -> 42) in
+  check_int "thunk result" 42 r;
+  check_int "nothing recorded" 0 (List.length (Trace.events ()))
+
+let span_records_on_raise () =
+  traced (fun () ->
+      (try Trace.with_span "boom" (fun () -> failwith "kaput")
+       with Failure _ -> ());
+      match Trace.events () with
+      | [ e ] ->
+        check_str "span name" "boom" e.name;
+        check Alcotest.bool "exception attr" true (List.mem_assoc "exception" e.attrs)
+      | evs -> Alcotest.failf "expected one span, got %d" (List.length evs))
+
+let detail_spans_gated () =
+  traced (fun () ->
+      Trace.detail := false;
+      Trace.with_detail_span "fine" ignore;
+      check_int "no detail span without the flag" 0 (List.length (Trace.events ()));
+      Trace.detail := true;
+      Trace.with_detail_span "fine" ignore;
+      check_int "detail span with the flag" 1 (List.length (Trace.events ())))
+
+let ring_retention () =
+  traced (fun () ->
+      Trace.set_capacity 4;
+      Fun.protect
+        ~finally:(fun () -> Trace.set_capacity 65536)
+        (fun () ->
+          for i = 1 to 6 do
+            Trace.with_span (Printf.sprintf "s%d" i) ignore
+          done;
+          let evs = Trace.events () in
+          check_int "ring holds capacity spans" 4 (List.length evs);
+          check_int "older spans counted as dropped" 2 (Trace.dropped ());
+          check Alcotest.(list string) "newest spans survive"
+            [ "s3"; "s4"; "s5"; "s6" ]
+            (List.map (fun (e : Trace.event) -> e.name) evs)))
+
+(* ---------------- histogram buckets ---------------- *)
+
+let bucket_boundaries () =
+  (* bucket 0 holds values <= 1; bucket i holds (2^(i-1), 2^i] *)
+  check_int "0.5 in bucket 0" 0 (Histogram.bucket_index 0.5);
+  check_int "1.0 in bucket 0" 0 (Histogram.bucket_index 1.0);
+  check_int "1.5 in bucket 1" 1 (Histogram.bucket_index 1.5);
+  check_int "2.0 in bucket 1 (inclusive bound)" 1 (Histogram.bucket_index 2.0);
+  check_int "2.0+eps in bucket 2" 2 (Histogram.bucket_index 2.000001);
+  check_int "1024 in bucket 10" 10 (Histogram.bucket_index 1024.0);
+  check Alcotest.(float 0.0) "bound of bucket 10" 1024.0 (Histogram.bucket_bound 10);
+  (* the boundary law on a spread of magnitudes *)
+  List.iter
+    (fun v ->
+      let i = Histogram.bucket_index v in
+      check Alcotest.bool
+        (Printf.sprintf "%g below its bucket bound" v)
+        true
+        (v <= Histogram.bucket_bound i);
+      if i > 0 then
+        check Alcotest.bool
+          (Printf.sprintf "%g above the previous bound" v)
+          true
+          (v > Histogram.bucket_bound (i - 1)))
+    [ 0.001; 1.0; 3.0; 7.99; 8.0; 8.01; 1e6; 1e9; 3.5e9 ]
+
+let histogram_observations () =
+  let reg = Metrics.create () in
+  let h = Histogram.make ~registry:reg "t.lat" in
+  List.iter (Histogram.observe h) [ 1.0; 2.0; 2.0; 7.0; 100.0 ];
+  check_int "count" 5 (Histogram.count h);
+  check Alcotest.(float 1e-9) "sum" 112.0 (Histogram.sum h);
+  check Alcotest.(float 0.0) "min" 1.0 (Histogram.min_value h);
+  check Alcotest.(float 0.0) "max" 100.0 (Histogram.max_value h);
+  check
+    Alcotest.(list (pair (float 0.0) int))
+    "non-empty buckets"
+    [ (1.0, 1); (2.0, 2); (8.0, 1); (128.0, 1) ]
+    (Histogram.buckets h)
+
+let quantile_law =
+  let gen =
+    Q.make
+      ~print:Q.Print.(list float)
+      Q.Gen.(
+        list_size (int_range 1 60)
+          (map (fun x -> Float.abs x +. 0.001) (float_range (-1e9) 1e9)))
+  in
+  QCheck_alcotest.to_alcotest
+    (Q.Test.make ~count:200 ~name:"histogram quantiles monotone and bounded" gen
+       (fun values ->
+         let reg = Metrics.create () in
+         let h = Histogram.make ~registry:reg "law.lat" in
+         List.iter (Histogram.observe h) values;
+         let qs = [ 0.0; 0.1; 0.25; 0.5; 0.75; 0.9; 0.99; 1.0 ] in
+         let results = List.map (Histogram.quantile h) qs in
+         let lo = Histogram.min_value h and hi = Histogram.max_value h in
+         let bounded = List.for_all (fun v -> v >= lo && v <= hi) results in
+         let rec monotone = function
+           | a :: (b :: _ as rest) -> a <= b && monotone rest
+           | _ -> true
+         in
+         bounded && monotone results))
+
+(* ---------------- Chrome trace round-trip ---------------- *)
+
+let chrome_round_trip () =
+  traced (fun () ->
+      Trace.with_span ~attrs:[ ("q", "//a \"quoted\"") ] "query" (fun () ->
+          Trace.with_span "parse" ignore;
+          Trace.with_span "execute" ignore);
+      let text = Json.to_string (Trace.to_chrome ()) in
+      match Json.parse text with
+      | Error e -> Alcotest.failf "exporter output does not parse: %s" e
+      | Ok json -> (
+        match Json.member "traceEvents" json with
+        | Some (Json.Arr evs) ->
+          check_int "one event per span" 3 (List.length evs);
+          let ts_of ev =
+            match Json.member "ts" ev with
+            | Some (Json.Num t) -> t
+            | _ -> Alcotest.fail "event without a numeric ts"
+          in
+          let rec non_decreasing = function
+            | a :: (b :: _ as rest) -> ts_of a <= ts_of b && non_decreasing rest
+            | _ -> true
+          in
+          check Alcotest.bool "ts non-decreasing" true (non_decreasing evs);
+          List.iter
+            (fun ev ->
+              (match Json.member "ph" ev with
+              | Some (Json.Str "X") -> ()
+              | _ -> Alcotest.fail "events must be phase-X (complete)");
+              match Json.member "name" ev with
+              | Some (Json.Str _) -> ()
+              | _ -> Alcotest.fail "event without a name")
+            evs
+        | _ -> Alcotest.fail "no traceEvents array"))
+
+let json_escaping_round_trip () =
+  let j =
+    Json.Obj
+      [
+        ("text", Json.Str "line\nbreak \"quote\" back\\slash \ttab");
+        ("nums", Json.Arr [ Json.int 42; Json.Num 2.5; Json.Null; Json.Bool true ]);
+      ]
+  in
+  match Json.parse (Json.to_string j) with
+  | Ok j' -> check Alcotest.bool "round-trips structurally" true (j = j')
+  | Error e -> Alcotest.failf "parse failed: %s" e
+
+(* ---------------- counters and cells ---------------- *)
+
+let counter_cells_sum () =
+  let reg = Metrics.create () in
+  let c = Counter.make ~registry:reg "t.ops" in
+  let a = Counter.cell c and b = Counter.cell c in
+  Counter.incr c;
+  Counter.cell_add a 10;
+  Counter.cell_incr b;
+  check_int "cell a" 10 (Counter.cell_value a);
+  check_int "cell b" 1 (Counter.cell_value b);
+  check_int "registry total sums cells" 12 (Counter.value c);
+  check Alcotest.bool "get-or-create returns the same handle" true
+    (Counter.value (Counter.make ~registry:reg "t.ops") = 12)
+
+(* ---------------- planner counters vs explain ---------------- *)
+
+(* the library schema of test_analysis, trimmed to what the queries
+   touch: book(title, author+, issue?) with issue(publisher, year) *)
+let library_schema =
+  let open Ast in
+  let issue =
+    complex
+      (Some
+         (sequence
+            [
+              elem_p (element "publisher" (named_type "xs:string"));
+              elem_p (element "year" (named_type "xs:gYear"));
+            ]))
+  in
+  let book =
+    complex
+      (Some
+         (sequence
+            [
+              elem_p (element "title" (named_type "xs:string"));
+              elem_p
+                (element "author" ~repetition:(repeat 1 None) (named_type "xs:string"));
+              elem_p (element "issue" ~repetition:optional (named_type "Issue"));
+            ]))
+  in
+  schema
+    ~complex_types:[ ("Issue", issue); ("Book", book) ]
+    (element "library"
+       (Anonymous
+          (complex
+             (Some
+                (sequence
+                   [ elem_p (element "book" ~repetition:many (named_type "Book")) ])))))
+
+let library_doc =
+  let e name children = Tree.Element (Tree.elem name ~children) in
+  let t s = Tree.Text s in
+  Tree.document
+    (Tree.elem "library"
+       ~children:
+         [
+           e "book"
+             [
+               e "title" [ t "Foundations" ];
+               e "author" [ t "Abiteboul" ];
+               e "issue" [ e "publisher" [ t "AW" ]; e "year" [ t "1995" ] ];
+             ];
+           e "book" [ e "title" [ t "Sedna" ]; e "author" [ t "Novak" ] ];
+         ])
+
+let planner_counters_match_explain () =
+  let store, dnode =
+    match Xsm_schema.Validator.validate_document library_doc library_schema with
+    | Ok sd -> sd
+    | Error es ->
+      Alcotest.failf "fixture invalid: %s"
+        (String.concat "; " (List.map Xsm_schema.Validator.error_to_string es))
+  in
+  let module Pl = Xsm_xpath.Planner.Over_store in
+  let planner = Pl.create store dnode in
+  Pl.set_pruner planner (Xsm_analysis.Query_static.pruner library_schema);
+  (* the registry handles the planner bumps: get-or-create by name *)
+  let c_hits = Counter.make "planner.index_hits"
+  and c_fallbacks = Counter.make "planner.fallbacks"
+  and c_pruned = Counter.make "planner.pruned" in
+  let hits0 = Counter.value c_hits
+  and fallbacks0 = Counter.value c_fallbacks
+  and pruned0 = Counter.value c_pruned
+  and local_pruned0 = Pl.pruned_count planner in
+  let queries =
+    [
+      "/library/book/title";
+      "//author";
+      "/library/book[issue/year='1995']/title";
+      "/library/book[1]";
+      "//book[2]/title";
+      "/library/magazine";
+      "/library/book/isbn";
+    ]
+  in
+  let expect_hits = ref 0 and expect_fallbacks = ref 0 and expect_pruned = ref 0 in
+  List.iter
+    (fun q ->
+      let p = Xsm_xpath.Path_parser.parse_exn q in
+      let verdict = Pl.explain planner p in
+      (if has_prefix "index" verdict then incr expect_hits
+       else if has_prefix "fallback" verdict then incr expect_fallbacks
+       else if has_prefix "pruned" verdict then incr expect_pruned
+       else Alcotest.failf "%s: unclassifiable explain %S" q verdict);
+      ignore (Pl.eval planner p))
+    queries;
+  check_int "every query classified" (List.length queries)
+    (!expect_hits + !expect_fallbacks + !expect_pruned);
+  (* the fixed set exercises all three outcomes *)
+  check Alcotest.bool "set contains index hits" true (!expect_hits > 0);
+  check Alcotest.bool "set contains fallbacks" true (!expect_fallbacks > 0);
+  check Alcotest.bool "set contains pruned queries" true (!expect_pruned > 0);
+  check_int "index_hits counter matches explain" !expect_hits
+    (Counter.value c_hits - hits0);
+  check_int "fallbacks counter matches explain" !expect_fallbacks
+    (Counter.value c_fallbacks - fallbacks0);
+  check_int "pruned counter matches explain" !expect_pruned
+    (Counter.value c_pruned - pruned0);
+  check_int "per-planner pruned view agrees" !expect_pruned
+    (Pl.pruned_count planner - local_pruned0)
+
+(* ---------------- suite ---------------- *)
+
+let suite =
+  [
+    ( "obs",
+      [
+        Alcotest.test_case "span nesting and preorder" `Quick span_nesting;
+        Alcotest.test_case "disabled tracer is transparent" `Quick
+          span_disabled_is_transparent;
+        Alcotest.test_case "span recorded on raise" `Quick span_records_on_raise;
+        Alcotest.test_case "detail spans need the detail flag" `Quick
+          detail_spans_gated;
+        Alcotest.test_case "ring retention keeps the newest" `Quick ring_retention;
+        Alcotest.test_case "histogram bucket boundaries" `Quick bucket_boundaries;
+        Alcotest.test_case "histogram observation bookkeeping" `Quick
+          histogram_observations;
+        quantile_law;
+        Alcotest.test_case "chrome trace round-trip" `Quick chrome_round_trip;
+        Alcotest.test_case "json escaping round-trip" `Quick json_escaping_round_trip;
+        Alcotest.test_case "counter cells sum into the registry" `Quick
+          counter_cells_sum;
+        Alcotest.test_case "planner counters match explain" `Quick
+          planner_counters_match_explain;
+      ] );
+  ]
