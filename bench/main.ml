@@ -406,8 +406,13 @@ let run_bechamel ?(smoke = false) () =
 
 let () =
   let args = Array.to_list Sys.argv in
-  if List.mem "--report" args then Report.run ()
-  else begin
-    run_bechamel ~smoke:(List.mem "--smoke" args) ();
-    print_endline "\n(run with --report for the full E1-E15 experiment tables)"
-  end
+  match args with
+  | _ :: "--e16-child" :: mode :: file :: _ -> E16.child mode file
+  | _ when List.mem "--e16" args -> E16.run ~smoke:(List.mem "--smoke" args) ()
+  | _ ->
+    if List.mem "--report" args then Report.run ()
+    else begin
+      run_bechamel ~smoke:(List.mem "--smoke" args) ();
+      print_endline
+        "\n(run with --report for the full E1-E15 experiment tables, --e16 for streaming ingest)"
+    end

@@ -2,6 +2,9 @@
 
    Subcommands:
      validate  SCHEMA.xsd DOC.xml     validate a document against a schema
+                                      (--stream: one SAX pass, O(depth) memory)
+     load      DOC.xml                bulk-load a document into block storage from
+                                      a SAX event stream (WAL, indexes, validation)
      check     SCHEMA.xsd             schema well-formedness (§3 + UPA)
      analyze   SCHEMA.xsd             static analysis: UPA witnesses, reachability,
                                       satisfiability, cardinalities, query pruning
@@ -39,6 +42,32 @@ let load_schema path =
 
 let load_document path =
   match Xsm_xml.Parser.parse_document (read_file path) with
+  | Ok d -> Ok d
+  | Error e -> Error (Printf.sprintf "%s: %s" path (Xsm_xml.Parser.error_to_string e))
+
+(* '-' denotes standard input for document positionals; Arg.file would
+   reject it, so these take plain strings and resolve them here. *)
+let read_doc_source path =
+  if path = "-" then In_channel.input_all stdin
+  else if Sys.file_exists path then read_file path
+  else begin
+    Printf.eprintf "%s: no such file or directory\n" path;
+    exit 2
+  end
+
+let with_doc_channel path f =
+  if path = "-" then f stdin
+  else if Sys.file_exists path then begin
+    let ic = open_in_bin path in
+    Fun.protect ~finally:(fun () -> close_in ic) (fun () -> f ic)
+  end
+  else begin
+    Printf.eprintf "%s: no such file or directory\n" path;
+    exit 2
+  end
+
+let load_document_source path =
+  match Xsm_xml.Parser.parse_document (read_doc_source path) with
   | Ok d -> Ok d
   | Error e -> Error (Printf.sprintf "%s: %s" path (Xsm_xml.Parser.error_to_string e))
 
@@ -93,9 +122,20 @@ let validate_cmd =
     Arg.(required & pos 0 (some file) None & info [] ~docv:"SCHEMA" ~doc:"XSD schema file")
   in
   let doc_arg =
-    Arg.(required & pos 1 (some file) None & info [] ~docv:"DOC" ~doc:"XML document file")
+    Arg.(
+      required & pos 1 (some string) None
+      & info [] ~docv:"DOC" ~doc:"XML document file ($(b,-) reads standard input)")
   in
-  let run () schema_path doc_path =
+  let stream_flag =
+    Arg.(
+      value & flag
+      & info [ "stream" ]
+          ~doc:
+            "Validate in one streaming pass over SAX events: constant memory in the \
+             document (O(depth) state), diagnostics with line and column.  Identity \
+             constraints declared in the schema are not checked in this mode.")
+  in
+  let run () schema_path doc_path stream =
     let schema_doc = or_die (load_document schema_path) in
     let schema =
       match Xsm_xsd.Reader.schema_of_document schema_doc with
@@ -126,29 +166,328 @@ let validate_cmd =
         prerr_endline (Xsm_xsd.Reader.error_to_string e);
         exit 2
     in
-    let doc = Trace.with_span "validate.parse" (fun () -> or_die (load_document doc_path)) in
-    match
-      Xsm_schema.Validator.validate_document
-        ~automata:report.Xsm_analysis.Analyzer.tables doc schema
-    with
-    | Ok (store, dnode) -> (
-      match Xsm_identity.Constraint_def.check store dnode constraints with
-      | Ok () ->
-        Printf.printf "valid (%d nodes%s)\n" (Xsm_xdm.Store.node_count store)
-          (if constraints = [] then ""
-           else Printf.sprintf ", %d identity constraints" (List.length constraints))
-      | Error vs ->
-        List.iter
-          (fun v -> Format.printf "%a@." Xsm_identity.Constraint_def.pp_violation v)
-          vs;
-        exit 1)
-    | Error es ->
-      List.iter (fun e -> print_endline (Xsm_schema.Validator.error_to_string e)) es;
-      exit 1
+    if stream then begin
+      if constraints <> [] then
+        Printf.eprintf
+          "warning: %d identity constraint(s) not checked in streaming mode\n"
+          (List.length constraints);
+      with_doc_channel doc_path (fun ic ->
+          let sax = Xsm_stream.Sax.of_channel ic in
+          match
+            Xsm_stream.Stream_validator.run ~automata:report.Xsm_analysis.Analyzer.tables
+              schema sax
+          with
+          | Ok stats ->
+            Printf.printf "valid (%d elements, depth %d%s)\n"
+              stats.Xsm_stream.Stream_validator.elements
+              stats.Xsm_stream.Stream_validator.max_depth
+              (if stats.Xsm_stream.Stream_validator.fallback_steps = 0 then ""
+               else
+                 Printf.sprintf ", %d non-UPA fallback steps"
+                   stats.Xsm_stream.Stream_validator.fallback_steps)
+          | Error es ->
+            List.iter
+              (fun e -> print_endline (Xsm_stream.Stream_validator.error_to_string e))
+              es;
+            exit 1
+          | exception Xsm_xml.Parser.Syntax e ->
+            Printf.eprintf "%s: %s\n" doc_path (Xsm_xml.Parser.error_to_string e);
+            exit 2)
+    end
+    else begin
+      let doc =
+        Trace.with_span "validate.parse" (fun () -> or_die (load_document_source doc_path))
+      in
+      match
+        Xsm_schema.Validator.validate_document
+          ~automata:report.Xsm_analysis.Analyzer.tables doc schema
+      with
+      | Ok (store, dnode) -> (
+        match Xsm_identity.Constraint_def.check store dnode constraints with
+        | Ok () ->
+          Printf.printf "valid (%d nodes%s)\n" (Xsm_xdm.Store.node_count store)
+            (if constraints = [] then ""
+             else Printf.sprintf ", %d identity constraints" (List.length constraints))
+        | Error vs ->
+          List.iter
+            (fun v -> Format.printf "%a@." Xsm_identity.Constraint_def.pp_violation v)
+            vs;
+          exit 1)
+      | Error es ->
+        List.iter (fun e -> print_endline (Xsm_schema.Validator.error_to_string e)) es;
+        exit 1
+    end
   in
   Cmd.v
     (Cmd.info "validate" ~doc:"Validate a document against a schema (the \xc2\xa76.2 judgment)")
-    Term.(const run $ obs_term $ schema_arg $ doc_arg)
+    Term.(const run $ obs_term $ schema_arg $ doc_arg $ stream_flag)
+
+let load_cmd =
+  let module S = Xsm_stream in
+  let module Bs = Xsm_storage.Block_storage in
+  let module Wal = Xsm_persist.Wal in
+  let module Pl = Xsm_xpath.Planner.Over_storage in
+  let doc_arg =
+    Arg.(
+      required & pos 0 (some string) None
+      & info [] ~docv:"DOC" ~doc:"XML document file ($(b,-) reads standard input)")
+  in
+  let schema_arg =
+    Arg.(
+      value & opt (some file) None
+      & info [ "schema" ] ~docv:"SCHEMA"
+          ~doc:
+            "Validate against $(docv) while loading, in the same streaming pass; \
+             validation errors are reported after the load and exit with code 1.")
+  in
+  let capacity_arg =
+    Arg.(
+      value & opt int 64
+      & info [ "block-capacity" ] ~docv:"N"
+          ~doc:"Descriptors per storage block (default 64).")
+  in
+  let wal_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "wal" ] ~docv:"FILE"
+          ~doc:
+            "Log the load to $(docv) as one record per completed top-level subtree, so \
+             a crash mid-load recovers to the longest fully-loaded prefix.")
+  in
+  let snapshot_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "snapshot" ] ~docv:"FILE"
+          ~doc:
+            "Write the recovery base — the bare root element, captured when its start \
+             tag completes — to $(docv) before any WAL record is appended.")
+  in
+  let sync_every_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "sync-every" ] ~docv:"N"
+          ~doc:"Fsync the WAL after every $(docv)-th record (default 1: every record).")
+  in
+  let crash_after_arg =
+    Arg.(
+      value & opt (some int) None
+      & info [ "crash-after" ] ~docv:"N"
+          ~doc:
+            "Fault injection: once $(docv) WAL records are fully on disk, abort \
+             mid-write of the next record and exit with code 3 (requires $(b,--wal)).")
+  in
+  let crash_partial_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "crash-partial" ] ~docv:"BYTES"
+          ~doc:
+            "With $(b,--crash-after): leave $(docv) bytes of the torn record behind \
+             (0 = cut cleanly at the record boundary).")
+  in
+  let index_flag =
+    Arg.(
+      value & flag
+      & info [ "index" ]
+          ~doc:
+            "Build the index planner over the storage as it loads: each completed \
+             top-level subtree is fed to the indexes differentially.  Maintenance \
+             statistics are reported on stderr.")
+  in
+  let query_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "query" ] ~docv:"PATH"
+          ~doc:"Evaluate a query over the loaded storage (through the planner with \
+                $(b,--index)).")
+  in
+  let stats_flag =
+    Arg.(
+      value & flag
+      & info [ "stats" ]
+          ~doc:"Print storage statistics and run the block-level integrity check.")
+  in
+  let print_flag =
+    Arg.(value & flag & info [ "print" ] ~doc:"Print the loaded document on stdout")
+  in
+  let run () doc_path schema_path capacity wal_path snap_path sync_every crash_after
+      crash_partial use_index query with_stats do_print =
+    let die fmt =
+      Printf.ksprintf
+        (fun s ->
+          prerr_endline s;
+          exit 2)
+        fmt
+    in
+    (* schema gate mirrors `xsm validate`: the analyzer's fatal findings
+       refuse the run, its tables seed the streaming validator *)
+    let validator =
+      Option.map
+        (fun sp ->
+          let schema_doc = or_die (load_document sp) in
+          let schema =
+            match Xsm_xsd.Reader.schema_of_document schema_doc with
+            | Ok s -> s
+            | Error e ->
+              prerr_endline (Xsm_xsd.Reader.error_to_string e);
+              exit 2
+          in
+          let report = Xsm_analysis.Analyzer.analyze schema in
+          let fatal =
+            List.filter
+              (fun (f : Xsm_analysis.Analyzer.finding) ->
+                f.severity = Xsm_analysis.Analyzer.Error)
+              report.Xsm_analysis.Analyzer.findings
+          in
+          if fatal <> [] then begin
+            List.iter
+              (fun f -> Format.eprintf "%a@." Xsm_analysis.Analyzer.pp_finding f)
+              fatal;
+            exit 2
+          end;
+          (match Xsm_xsd.Reader.constraints_of_document schema_doc with
+          | Ok [] | Error _ -> ()
+          | Ok cs ->
+            Printf.eprintf "warning: %d identity constraint(s) not checked in streaming mode\n"
+              (List.length cs));
+          S.Stream_validator.create ~automata:report.Xsm_analysis.Analyzer.tables schema)
+        schema_path
+    in
+    let wal =
+      match wal_path with
+      | None ->
+        if crash_after <> None then die "--crash-after requires --wal";
+        None
+      | Some p -> (
+        (* a fresh snapshot is a fresh base: pair it with an empty WAL *)
+        if snap_path <> None && Sys.file_exists p then Sys.remove p;
+        let crash =
+          Option.map
+            (fun n -> { Wal.after_records = n; partial_bytes = crash_partial })
+            crash_after
+        in
+        match Wal.Writer.create ?crash ~sync_every p with
+        | Ok w -> Some w
+        | Error e -> die "%s" e)
+    in
+    let on_root =
+      Option.map
+        (fun sp root_elem ->
+          let store = Xsm_xdm.Store.create () in
+          let dnode = Xsm_xdm.Convert.load store (Xsm_xml.Tree.document root_elem) in
+          match Xsm_persist.Snapshot.save ~path:sp store dnode with
+          | Ok _ -> ()
+          | Error e -> die "%s" e)
+        snap_path
+    in
+    let bl = S.Bulk_load.create ~block_capacity:capacity ?wal ?on_root () in
+    let planner =
+      if use_index then Some (Pl.create (S.Bulk_load.storage bl) (Bs.root (S.Bulk_load.storage bl)))
+      else None
+    in
+    let feed_planner () =
+      match planner with
+      | None -> ()
+      | Some p -> (
+        match S.Bulk_load.drain_completed bl with
+        | [] -> ()
+        | ds -> Pl.apply_changes p (List.map (fun d -> Pl.Node_added d) ds))
+    in
+    let guard f =
+      try f () with
+      | Xsm_xml.Parser.Syntax e ->
+        Printf.eprintf "%s: %s\n" doc_path (Xsm_xml.Parser.error_to_string e);
+        exit 2
+      | Wal.Crashed ->
+        (match wal with
+        | Some w ->
+          Printf.eprintf "wal: injected crash after %d records\n" (Wal.Writer.records_written w)
+        | None -> ());
+        exit 3
+    in
+    let storage, lstats =
+      guard (fun () ->
+          with_doc_channel doc_path (fun ic ->
+              let sax = S.Sax.of_channel ic in
+              let rec loop () =
+                match S.Sax.next sax with
+                | None -> ()
+                | Some ev ->
+                  S.Bulk_load.feed bl ev;
+                  (match validator with
+                  | Some v -> S.Stream_validator.feed v ev (S.Sax.event_position sax)
+                  | None -> ());
+                  feed_planner ();
+                  loop ()
+              in
+              loop ();
+              S.Bulk_load.finish bl))
+    in
+    feed_planner ();
+    (match wal with Some w -> Wal.Writer.close w | None -> ());
+    (* summary and stats go to stderr so --print output stays a clean
+       document, comparable byte-for-byte with [xsm recover --print] *)
+    Printf.eprintf "loaded %d elements, %d attributes, %d texts (depth %d, %d blocks%s)\n"
+      lstats.S.Bulk_load.elements lstats.S.Bulk_load.attributes lstats.S.Bulk_load.texts
+      lstats.S.Bulk_load.max_depth (Bs.block_count storage)
+      (if lstats.S.Bulk_load.wal_records = 0 then ""
+       else Printf.sprintf ", %d WAL records" lstats.S.Bulk_load.wal_records);
+    if with_stats then begin
+      Printf.eprintf "descriptors %d, splits %d, schema nodes %d\n"
+        (Bs.descriptor_count storage) (Bs.split_count storage)
+        (Xsm_storage.Descriptive_schema.node_count (Bs.schema storage));
+      match Bs.check_integrity storage with
+      | Ok () -> prerr_endline "integrity ok"
+      | Error e ->
+        Printf.eprintf "integrity violated: %s\n" e;
+        exit 1
+    end;
+    (match planner with
+    | Some p ->
+      let s = Pl.maintenance_stats p in
+      Format.eprintf "maintenance: epochs=%d applied=%d vi_drops=%d@."
+        s.Xsm_xpath.Planner.epochs s.Xsm_xpath.Planner.applied s.Xsm_xpath.Planner.vi_drops
+    | None -> ());
+    (match query with
+    | None -> ()
+    | Some q -> (
+      let print_descs ds =
+        List.iter (fun d -> print_endline (Bs.string_value storage d)) ds
+      in
+      match planner with
+      | Some p -> (
+        match Pl.eval_string p q with
+        | Ok ds ->
+          (match Xsm_xpath.Path_parser.parse q with
+          | Ok parsed -> Format.eprintf "plan: %s@." (Pl.explain p parsed)
+          | Error _ -> ());
+          print_descs ds
+        | Error e ->
+          prerr_endline e;
+          exit 1)
+      | None -> (
+        match Xsm_xpath.Eval.Over_storage.eval_string storage (Bs.root storage) q with
+        | Ok ds -> print_descs ds
+        | Error e ->
+          prerr_endline e;
+          exit 1)));
+    if do_print then print_string (Xsm_xml.Printer.to_string (Bs.to_document storage));
+    match Option.map S.Stream_validator.finish validator with
+    | Some (Error es) ->
+      List.iter (fun e -> print_endline (S.Stream_validator.error_to_string e)) es;
+      exit 1
+    | Some (Ok _) | None -> ()
+  in
+  Cmd.v
+    (Cmd.info "load"
+       ~doc:
+         "Bulk-load a document into the Sedna block storage from a stream of SAX \
+          events: document-order tail appends, counter-encoded \xc2\xa79.3 labels, \
+          optional same-pass validation, WAL durability and differential index \
+          maintenance — without ever materializing the tree")
+    Term.(
+      const run $ obs_term $ doc_arg $ schema_arg $ capacity_arg $ wal_arg $ snapshot_arg
+      $ sync_every_arg $ crash_after_arg $ crash_partial_arg $ index_flag $ query_arg
+      $ stats_flag $ print_flag)
 
 let check_cmd =
   let schema_arg =
@@ -1021,7 +1360,8 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [
-            validate_cmd; check_cmd; analyze_cmd; canonicalize_cmd; query_cmd; update_cmd;
+            validate_cmd; load_cmd; check_cmd; analyze_cmd; canonicalize_cmd; query_cmd;
+            update_cmd;
             flwor_cmd;
             dataguide_cmd; labels_cmd; roundtrip_cmd; snapshot_cmd; recover_cmd; stats_cmd;
           ]))

@@ -10,7 +10,9 @@
 
     Deterministic content models are compiled once here and handed
     back in {!report.tables}; feeding them to
-    [Validator.validate ~automata] validates instances of an analyzed
+    [Validator.validate ~automata] — or to the streaming
+    [Xsm_stream.Stream_validator.run ~automata], which drives the same
+    tables one event at a time — validates instances of an analyzed
     schema without recompiling anything. *)
 
 module Ast = Xsm_schema.Ast

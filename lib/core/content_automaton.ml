@@ -488,6 +488,102 @@ let table_run table word =
 let table_matches table word = table_run table word <> None
 
 (* ------------------------------------------------------------------ *)
+(* Incremental runners: one child step at a time, for the streaming
+   validator's frame stack.  A glushkov state is the current position;
+   an interleave state is the used-slot set, updated in place (each
+   frame owns its state exclusively). *)
+
+type state = S_glushkov of int option | S_interleave of bool array * bool ref
+
+let start_run = function
+  | T_glushkov _ -> S_glushkov None
+  | T_interleave t -> S_interleave (Array.make (Array.length t.t_idecls) false, ref false)
+
+let step_run table state name =
+  match table, state with
+  | T_glushkov t, S_glushkov current -> (
+    let next =
+      match current with
+      | None -> Hashtbl.find_opt t.t_initial name
+      | Some p -> Hashtbl.find_opt t.t_next.(p) name
+    in
+    match next with
+    | None -> None
+    | Some p -> Some (S_glushkov (Some p), t.t_decls.(p)))
+  | T_interleave t, S_interleave (used, any) -> (
+    match Hashtbl.find_opt t.t_slots name with
+    | Some i when not used.(i) ->
+      used.(i) <- true;
+      any := true;
+      Some (state, t.t_idecls.(i))
+    | Some _ | None -> None)
+  | T_glushkov _, S_interleave _ | T_interleave _, S_glushkov _ ->
+    invalid_arg "Content_automaton.step_run: state from a different table"
+
+let run_accepting table state =
+  match table, state with
+  | T_glushkov t, S_glushkov current -> (
+    match current with None -> t.t_nullable | Some p -> t.t_last.(p))
+  | T_interleave t, S_interleave (used, any) ->
+    let n = Array.length t.t_idecls in
+    let complete =
+      Array.for_all Fun.id (Array.init n (fun i -> used.(i) || not t.t_required.(i)))
+    in
+    complete || ((not !any) && t.t_group_optional)
+  | T_glushkov _, S_interleave _ | T_interleave _, S_glushkov _ ->
+    invalid_arg "Content_automaton.run_accepting: state from a different table"
+
+(* The non-deterministic stepper: position-set simulation over the raw
+   automaton, for content models that violate UPA.  The verdict is
+   exact (language-equivalent to the backtracking matcher); the
+   declaration attributed to each child is the leftmost matching
+   position's — the backtracking matcher's first choice. *)
+type nfa_state = N_initial | N_set of int list | N_interleave of bool array * bool ref
+
+let nfa_start = function
+  | Glushkov _ -> N_initial
+  | Interleave m -> N_interleave (Array.make (Array.length m.i_decls) false, ref false)
+
+let nfa_step t state name =
+  match t, state with
+  | Glushkov a, (N_initial | N_set _) -> (
+    let nexts =
+      match state with
+      | N_initial -> step a None name
+      | N_set ps -> dedup_sorted (List.concat_map (fun p -> step a (Some p) name) ps)
+      | N_interleave _ -> assert false
+    in
+    match nexts with
+    | [] -> None
+    | leftmost :: _ -> Some (N_set nexts, a.decls.(leftmost)))
+  | Interleave m, N_interleave (used, any) -> (
+    let slot = ref (-1) in
+    Array.iteri
+      (fun i nm -> if !slot < 0 && Name.equal nm name && not used.(i) then slot := i)
+      m.i_names;
+    match !slot with
+    | -1 -> None
+    | i ->
+      used.(i) <- true;
+      any := true;
+      Some (state, m.i_decls.(i)))
+  | Glushkov _, N_interleave _ | Interleave _, (N_initial | N_set _) ->
+    invalid_arg "Content_automaton.nfa_step: state from a different automaton"
+
+let nfa_accepting t state =
+  match t, state with
+  | Glushkov a, N_initial -> a.nullable
+  | Glushkov a, N_set ps -> List.exists (fun p -> a.last.(p)) ps
+  | Interleave m, N_interleave (used, any) ->
+    let n = Array.length m.i_decls in
+    let complete =
+      Array.for_all Fun.id (Array.init n (fun i -> used.(i) || not m.i_required.(i)))
+    in
+    complete || ((not !any) && m.i_group_optional)
+  | Glushkov _, N_interleave _ | Interleave _, (N_initial | N_set _) ->
+    invalid_arg "Content_automaton.nfa_accepting: state from a different automaton"
+
+(* ------------------------------------------------------------------ *)
 (* Language equivalence                                                *)
 
 (* a uniform DFA view: states are canonical keys, transitions computed

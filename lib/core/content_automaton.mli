@@ -65,6 +65,38 @@ val table_run : table -> Ast.Name.t list -> Ast.element_decl list option
 
 val table_matches : table -> Ast.Name.t list -> bool
 
+(** {1 Incremental runners}
+
+    One child step at a time — what the streaming validator's frame
+    stack drives.  The state returned by {!step_run} supersedes the
+    argument; interleave ("all" group) states are updated in place, so
+    a state must not be shared between frames. *)
+
+type state
+
+val start_run : table -> state
+(** The initial state (no children consumed yet). *)
+
+val step_run : table -> state -> Ast.Name.t -> (state * Ast.element_decl) option
+(** Consume one child name: the successor state and the declaration
+    attributed to the child, or [None] when the name has no transition
+    (the content model is violated — the state is dead). *)
+
+val run_accepting : table -> state -> bool
+(** Whether the word consumed so far is a complete match. *)
+
+type nfa_state
+
+val nfa_start : t -> nfa_state
+val nfa_step : t -> nfa_state -> Ast.Name.t -> (nfa_state * Ast.element_decl) option
+(** Position-set simulation over the raw automaton — the streaming
+    fallback for content models that violate UPA, where no table
+    exists.  The verdict agrees with {!matches} (and hence with the
+    backtracking baseline); the attributed declaration is the leftmost
+    matching position's, the backtracking matcher's first choice. *)
+
+val nfa_accepting : t -> nfa_state -> bool
+
 val equivalent : t -> t -> bool
 (** Language equivalence, by breadth-first product of the on-the-fly
     determinizations.  Used to verify that canonicalization

@@ -33,6 +33,20 @@ let label_tree store root =
   go root Sedna_label.root;
   t
 
+let append_in_document_order store root =
+  let t = { labels = Hashtbl.create 256; reverse = Hashtbl.create 256 } in
+  let rec go node l =
+    set t node l;
+    let i = ref 0 in
+    List.iter
+      (fun child ->
+        go child (Sedna_label.append_child l !i);
+        incr i)
+      (Store.attributes store node @ Store.children store node)
+  in
+  go root Sedna_label.root;
+  t
+
 let label_new_child t ~parent ~after node =
   let parent_label = label t parent in
   let fresh =

@@ -9,6 +9,14 @@ type t
 val label_tree : Xsm_xdm.Store.t -> Xsm_xdm.Store.node -> t
 (** Label every node of the tree rooted at the given node. *)
 
+val append_in_document_order : Xsm_xdm.Store.t -> Xsm_xdm.Store.node -> t
+(** Label the tree in one document-order pass with the
+    {!Sedna_label.append_child} counter encoding — the bulk-load fast
+    path: no child counts needed up front, logarithmic label growth,
+    no rebalancing.  Produces the same label table the streaming
+    {!Xsm_stream.Bulk_load} assigns, so a tree-built store and a
+    stream-built storage agree on every nid. *)
+
 val label : t -> Xsm_xdm.Store.node -> Sedna_label.t
 (** The label of a node; [Not_found] if the node was never labelled. *)
 

@@ -180,6 +180,31 @@ let assign_children parent n =
         prefix ^ comp)
   end
 
+(* Document-order bulk appends.  [assign_children] needs the child
+   count up front and [after_sibling] halves the headroom to 0xFF on
+   every call (one extra byte per ~8 appends — linear label growth
+   over a long ingest).  The append encoding is a plain counter: the
+   component for child [i] is a length byte [0x02 + ndigits] followed
+   by the big-endian base-253 digits of [i] over [0x03..0xFF].  A
+   (k+1)-digit counter has a larger length byte than any k-digit one,
+   so lexicographic order is counter order; the last byte is always
+   >= 0x03, so the no-trailing-minimal-digit invariant of {!of_raw}
+   holds and {!between}/{!before_sibling} interoperate.  Label length
+   is 1 + ceil(log253(i+1)) bytes — logarithmic, no rebalancing. *)
+let append_child parent i =
+  if i < 0 then invalid_arg "Sedna_label.append_child: negative index";
+  let base = 253 in
+  let rec digits acc v = if v = 0 then acc else digits ((v mod base) :: acc) (v / base) in
+  let ds = if i = 0 then [ 0 ] else digits [] i in
+  let nd = List.length ds in
+  if min_digit + nd > 255 then invalid_arg "Sedna_label.append_child: index too large";
+  let b = Buffer.create (String.length parent + nd + 2) in
+  Buffer.add_string b parent;
+  Buffer.add_char b sep;
+  Buffer.add_char b (Char.chr (min_digit + nd));
+  List.iter (fun d -> Buffer.add_char b (Char.chr (min_digit + 1 + d))) ds;
+  Buffer.contents b
+
 let child parent i =
   match List.nth_opt (assign_children parent (i + 1)) i with
   | Some l -> l

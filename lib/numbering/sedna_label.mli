@@ -63,6 +63,16 @@ val child : t -> int -> t
 (** [child parent i] is [List.nth (assign_children parent (i+1)) i]
     computed directly. *)
 
+val append_child : t -> int -> t
+(** [append_child parent i] — the label of the [i]-th child (0-based)
+    under a document-order bulk append: a counter component of
+    [1 + ceil(log253 (i+1))] bytes, so a streaming ingest assigns
+    labels with logarithmic growth and no rebalancing (Proposition 1
+    needs no gaps here — later insertions still find room via
+    {!between}, whose output these components interoperate with).
+    For a fixed parent, [append_child parent i < append_child parent j]
+    iff [i < j]. *)
+
 val between : t -> t -> t
 (** [between a b] for two labels of sibling nodes ([a < b]): a new
     sibling label strictly between them.  [Invalid_argument] when the

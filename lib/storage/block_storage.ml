@@ -260,7 +260,27 @@ let of_store ?(block_capacity = 64) store docnode =
   t
 
 (* ------------------------------------------------------------------ *)
-(* Accessors                                                           *)
+(* Streaming (document-order) build                                    *)
+
+let create_empty ?(block_capacity = 64) () =
+  let t =
+    {
+      dschema = Schema.create ();
+      block_capacity;
+      next_desc_id = 0;
+      next_block_id = 0;
+      splits = 0;
+      descriptors = 0;
+      heads = Hashtbl.create 64;
+      tails = Hashtbl.create 64;
+      by_node = Hashtbl.create 16;
+      root_desc = None;
+    }
+  in
+  let d = new_desc t (Schema.root t.dschema) Label.root in
+  place_at_tail t d;
+  t.root_desc <- Some d;
+  t
 
 let snode d = d.d_snode
 let node_kind d = Schema.kind_to_string (Schema.kind d.d_snode)
@@ -468,6 +488,27 @@ let link_sibling ~parent_d ~after nd =
     if Label.compare nd.nid current.nid < 0 then
       parent_d.first_children <-
         List.map (fun (k, v) -> if k = sid then (k, nd) else (k, v)) parent_d.first_children
+
+(* streaming append: the caller supplies the nid (a document-order
+   append label) and guarantees [after] is the current last child, so
+   the tail block of the snode's list is always the right placement —
+   no scan, no split *)
+let append_generic t ~parent:parent_d ~after kind name value nid =
+  let sn = Schema.find_or_add t.dschema parent_d.d_snode ~name kind in
+  let d = new_desc t sn nid in
+  d.value <- value;
+  link_sibling ~parent_d ~after d;
+  place_at_tail t d;
+  d
+
+let append_element t ~parent ~after name nid =
+  append_generic t ~parent ~after Schema.Element (Some name) "" nid
+
+let append_text t ~parent ~after value nid =
+  append_generic t ~parent ~after Schema.Text None value nid
+
+let append_attribute t ~parent ~after name value nid =
+  append_generic t ~parent ~after Schema.Attribute (Some name) value nid
 
 let insert_generic t ~parent:parent_d ~after kind name value =
   let sn =

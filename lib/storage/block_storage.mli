@@ -28,6 +28,35 @@ val of_store :
 (** Build the physical representation of a loaded document tree
     (default block capacity: 64 descriptors). *)
 
+val create_empty : ?block_capacity:int -> unit -> t
+(** An empty storage holding just the document-root descriptor
+    (labelled {!Xsm_numbering.Sedna_label.root}) — the starting point
+    of a streaming build via the [append_*] functions below. *)
+
+(** {1 Streaming document-order appends}
+
+    The bulk-load fast path: the caller walks the document in order,
+    supplies each node's append label
+    ({!Xsm_numbering.Sedna_label.append_child}) as [nid] and the
+    current last child as [after] ([None] for a first child).  Every
+    placement lands in the tail block of its schema node's list — no
+    scan, no split, O(1) per node. *)
+
+val append_element :
+  t -> parent:desc -> after:desc option -> Xsm_xml.Name.t -> Xsm_numbering.Sedna_label.t -> desc
+
+val append_text :
+  t -> parent:desc -> after:desc option -> string -> Xsm_numbering.Sedna_label.t -> desc
+
+val append_attribute :
+  t ->
+  parent:desc ->
+  after:desc option ->
+  Xsm_xml.Name.t ->
+  string ->
+  Xsm_numbering.Sedna_label.t ->
+  desc
+
 val schema : t -> Descriptive_schema.t
 val root : t -> desc
 val descriptor_of_node : t -> Xsm_xdm.Store.node -> desc option

@@ -1,0 +1,386 @@
+module Name = Xsm_xml.Name
+module P = Xsm_xml.Parser
+
+type position = { offset : int; line : int; column : int }
+
+let pp_position ppf p = Format.fprintf ppf "line %d, column %d" p.line p.column
+
+type event =
+  | Start_element of Name.t
+  | Attr of Name.t * string
+  | Text of string
+  | End_element of Name.t
+  | Pi of string * string
+  | Comment of string
+
+type phase = Prolog | Content | Epilog | Done
+
+type t = {
+  refill : bytes -> int -> int -> int;
+  buf : Bytes.t;
+  mutable len : int;  (* valid bytes in buf *)
+  mutable pos : int;  (* cursor within buf *)
+  mutable base : int;  (* global offset of buf.[0] *)
+  mutable at_eof : bool;  (* refill returned 0 *)
+  mutable line : int;
+  mutable col : int;
+  scratch : Buffer.t;  (* reused token accumulator *)
+  ebuf : Buffer.t;  (* reused entity-body accumulator *)
+  names : (string, Name.t) Hashtbl.t;  (* intern cache *)
+  mutable stack : Name.t list;  (* open elements, innermost first *)
+  mutable tag_attrs : Name.t list;  (* attr names of the current start tag *)
+  mutable in_tag : bool;
+  mutable phase : phase;
+  mutable ev_offset : int;
+  mutable ev_line : int;
+  mutable ev_col : int;
+}
+
+(* enough lookahead for the longest fixed token ("<![CDATA[", "<!DOCTYPE") *)
+let min_chunk = 16
+
+let of_function ?(chunk_size = 65536) refill =
+  {
+    refill;
+    buf = Bytes.create (max min_chunk chunk_size);
+    len = 0;
+    pos = 0;
+    base = 0;
+    at_eof = false;
+    line = 1;
+    col = 1;
+    scratch = Buffer.create 256;
+    ebuf = Buffer.create 16;
+    names = Hashtbl.create 64;
+    stack = [];
+    tag_attrs = [];
+    in_tag = false;
+    phase = Prolog;
+    ev_offset = 0;
+    ev_line = 1;
+    ev_col = 1;
+  }
+
+let of_channel ?chunk_size ic = of_function ?chunk_size (input ic)
+
+let of_string s =
+  let sent = ref 0 in
+  of_function (fun b off len ->
+      let n = min len (String.length s - !sent) in
+      Bytes.blit_string s !sent b off n;
+      sent := !sent + n;
+      n)
+
+let cur_offset t = t.base + t.pos
+let position t = { offset = cur_offset t; line = t.line; column = t.col }
+let event_position t = { offset = t.ev_offset; line = t.ev_line; column = t.ev_col }
+let depth t = List.length t.stack
+
+let fail t fmt =
+  Printf.ksprintf
+    (fun message ->
+      raise (P.Syntax { P.line = t.line; column = t.col; offset = cur_offset t; message }))
+    fmt
+
+(* Make at least [n] bytes available past the cursor (or hit end of
+   input), compacting the unread tail to the buffer start first. *)
+let ensure t n =
+  if t.pos + n > t.len && not t.at_eof then begin
+    let rem = t.len - t.pos in
+    Bytes.blit t.buf t.pos t.buf 0 rem;
+    t.base <- t.base + t.pos;
+    t.pos <- 0;
+    t.len <- rem;
+    while t.len < n && not t.at_eof do
+      let r = t.refill t.buf t.len (Bytes.length t.buf - t.len) in
+      if r = 0 then t.at_eof <- true else t.len <- t.len + r
+    done
+  end
+
+let at_end t =
+  ensure t 1;
+  t.pos >= t.len
+
+let peek t = if at_end t then '\255' else Bytes.get t.buf t.pos
+
+let advance t =
+  let c = Bytes.get t.buf t.pos in
+  t.pos <- t.pos + 1;
+  if c = '\n' then begin
+    t.line <- t.line + 1;
+    t.col <- 1
+  end
+  else t.col <- t.col + 1
+
+let looking_at t s =
+  let n = String.length s in
+  ensure t n;
+  t.pos + n <= t.len
+  &&
+  let rec eq i = i = n || (Bytes.get t.buf (t.pos + i) = s.[i] && eq (i + 1)) in
+  eq 0
+
+let skip_known t n =
+  for _ = 1 to n do
+    advance t
+  done
+
+let expect t c =
+  if peek t = c then advance t else fail t "expected %C, found %C" c (peek t)
+
+let is_space c = c = ' ' || c = '\t' || c = '\n' || c = '\r'
+
+let skip_space t =
+  while (not (at_end t)) && is_space (peek t) do
+    advance t
+  done
+
+let mark_event t =
+  t.ev_offset <- cur_offset t;
+  t.ev_line <- t.line;
+  t.ev_col <- t.col
+
+let name_stop c =
+  is_space c || c = '>' || c = '/' || c = '=' || c = '?' || c = '\255'
+
+let lex_name t =
+  Buffer.clear t.scratch;
+  while (not (at_end t)) && not (name_stop (peek t)) do
+    Buffer.add_char t.scratch (peek t);
+    advance t
+  done;
+  let raw = Buffer.contents t.scratch in
+  match Hashtbl.find_opt t.names raw with
+  | Some n -> n
+  | None -> (
+    match Name.of_string raw with
+    | Ok n ->
+      Hashtbl.replace t.names raw n;
+      n
+    | Error e -> fail t "%s" e)
+
+(* decode one &...; reference into [into] (cursor on '&') *)
+let lex_reference t into =
+  advance t;
+  Buffer.clear t.ebuf;
+  let fin = ref false in
+  while not !fin do
+    match peek t with
+    | ';' ->
+      advance t;
+      fin := true
+    | '<' | '&' | '\255' -> fail t "unterminated entity reference"
+    | c ->
+      if Buffer.length t.ebuf > 64 then fail t "unterminated entity reference";
+      Buffer.add_char t.ebuf c;
+      advance t
+  done;
+  match P.decode_entity (Buffer.contents t.ebuf) with
+  | Ok s -> Buffer.add_string into s
+  | Error e -> fail t "%s" e
+
+let lex_attr_value t =
+  let quote = peek t in
+  if quote <> '"' && quote <> '\'' then fail t "expected quoted attribute value";
+  advance t;
+  Buffer.clear t.scratch;
+  let fin = ref false in
+  while not !fin do
+    match peek t with
+    | c when c = quote ->
+      advance t;
+      fin := true
+    | '\255' when at_end t -> fail t "unterminated attribute value"
+    | '<' -> fail t "'<' not allowed in attribute value"
+    | '&' -> lex_reference t t.scratch
+    | c ->
+      Buffer.add_char t.scratch c;
+      advance t
+  done;
+  Buffer.contents t.scratch
+
+(* accumulate into scratch until the terminator string [stop] *)
+let lex_until t stop what =
+  Buffer.clear t.scratch;
+  let fin = ref false in
+  while not !fin do
+    if looking_at t stop then begin
+      skip_known t (String.length stop);
+      fin := true
+    end
+    else if at_end t then fail t "unterminated %s" what
+    else begin
+      Buffer.add_char t.scratch (peek t);
+      advance t
+    end
+  done;
+  Buffer.contents t.scratch
+
+let lex_pi t =
+  skip_known t 2;
+  let target = lex_name t in
+  skip_space t;
+  let data = lex_until t "?>" "processing instruction" in
+  Pi (Name.to_string target, data)
+
+let skip_xml_decl t =
+  if looking_at t "<?xml" then begin
+    ensure t 6;
+    if t.pos + 5 < t.len && is_space (Bytes.get t.buf (t.pos + 5)) then begin
+      skip_known t 5;
+      ignore (lex_until t "?>" "XML declaration")
+    end
+  end
+
+let skip_doctype t =
+  skip_known t 9;
+  let depth = ref 0 and fin = ref false in
+  while not !fin do
+    if at_end t then fail t "unterminated DOCTYPE"
+    else begin
+      (match peek t with
+      | '[' -> incr depth
+      | ']' -> decr depth
+      | '>' when !depth = 0 -> fin := true
+      | _ -> ());
+      advance t
+    end
+  done
+
+let start_tag t =
+  mark_event t;
+  advance t;
+  let name = lex_name t in
+  t.stack <- name :: t.stack;
+  t.tag_attrs <- [];
+  t.in_tag <- true;
+  Some (Start_element name)
+
+let close_element t =
+  match t.stack with
+  | [] -> fail t "no open element"
+  | name :: rest ->
+    t.stack <- rest;
+    if rest = [] then t.phase <- Epilog;
+    Some (End_element name)
+
+let end_tag t =
+  mark_event t;
+  skip_known t 2;
+  let close = lex_name t in
+  skip_space t;
+  expect t '>';
+  match t.stack with
+  | open_name :: _ when Name.equal close open_name -> close_element t
+  | open_name :: _ ->
+    fail t "mismatched end tag: expected </%s>, found </%s>" (Name.to_string open_name)
+      (Name.to_string close)
+  | [] -> fail t "stray end tag </%s>" (Name.to_string close)
+
+let rec next t =
+  match t.phase with
+  | Done -> None
+  | Prolog -> prolog t
+  | Epilog -> epilog t
+  | Content -> if t.in_tag then tag_step t else content_step t
+
+and prolog t =
+  if cur_offset t = 0 then skip_xml_decl t;
+  skip_space t;
+  if looking_at t "<!--" then begin
+    skip_known t 4;
+    ignore (lex_until t "-->" "comment");
+    prolog t
+  end
+  else if looking_at t "<!DOCTYPE" then begin
+    skip_doctype t;
+    prolog t
+  end
+  else if looking_at t "<?" then begin
+    ignore (lex_pi t);
+    prolog t
+  end
+  else if peek t = '<' && not (at_end t) then begin
+    t.phase <- Content;
+    start_tag t
+  end
+  else fail t "expected root element"
+
+and epilog t =
+  skip_space t;
+  if at_end t then begin
+    t.phase <- Done;
+    None
+  end
+  else if looking_at t "<!--" then begin
+    skip_known t 4;
+    ignore (lex_until t "-->" "comment");
+    epilog t
+  end
+  else if looking_at t "<?" then begin
+    ignore (lex_pi t);
+    epilog t
+  end
+  else fail t "trailing content after root element"
+
+and tag_step t =
+  skip_space t;
+  match peek t with
+  | '/' ->
+    mark_event t;
+    advance t;
+    expect t '>';
+    t.in_tag <- false;
+    close_element t
+  | '>' ->
+    advance t;
+    t.in_tag <- false;
+    next t
+  | '\255' when at_end t -> fail t "unterminated start tag"
+  | _ ->
+    mark_event t;
+    let name = lex_name t in
+    skip_space t;
+    expect t '=';
+    skip_space t;
+    let value = lex_attr_value t in
+    if List.exists (Name.equal name) t.tag_attrs then
+      fail t "duplicate attribute %s" (Name.to_string name);
+    t.tag_attrs <- name :: t.tag_attrs;
+    Some (Attr (name, value))
+
+and content_step t =
+  mark_event t;
+  if looking_at t "</" then end_tag t
+  else if looking_at t "<!--" then begin
+    skip_known t 4;
+    Some (Comment (lex_until t "-->" "comment"))
+  end
+  else if looking_at t "<![CDATA[" then begin
+    skip_known t 9;
+    match lex_until t "]]>" "CDATA section" with
+    | "" -> next t
+    | s -> Some (Text s)
+  end
+  else if looking_at t "<?" then Some (lex_pi t)
+  else if peek t = '<' && not (at_end t) then start_tag t
+  else if at_end t then
+    fail t "unterminated element %s"
+      (match t.stack with n :: _ -> Name.to_string n | [] -> "?")
+  else begin
+    (* a run of character data up to the next markup *)
+    Buffer.clear t.scratch;
+    let fin = ref false in
+    while not !fin do
+      match peek t with
+      | '<' -> fin := true
+      | '\255' when at_end t ->
+        fail t "unterminated element %s"
+          (match t.stack with n :: _ -> Name.to_string n | [] -> "?")
+      | '&' -> lex_reference t t.scratch
+      | c ->
+        Buffer.add_char t.scratch c;
+        advance t
+    done;
+    match Buffer.contents t.scratch with "" -> next t | s -> Some (Text s)
+  end

@@ -1,0 +1,64 @@
+(** Streaming validation: the §6.1 transition relation driven over a
+    {!Sax} event stream.
+
+    The whole point of deterministic (UPA-checked) content models is
+    that validity is decidable in one left-to-right pass: each open
+    element holds one compiled-table state
+    ({!Xsm_schema.Content_automaton.step_run}), each child step is one
+    hash probe, and acceptance is checked when the element closes.
+    The validator therefore keeps a stack of
+    (element, automaton state, simple-type accumulator) frames — peak
+    memory is O(depth), never O(document).
+
+    Semantics mirror the tree {!Xsm_schema.Validator} item for item:
+    attribute declaredness/type/required/default checks, xsi:nil
+    handling, simple-content typing, text discipline in element-only
+    and mixed content, and the same error paths ([/library/book[2]]
+    style), so the differential property suite can assert
+    stream ≡ tree on verdict and first-error path.  Two deliberate
+    divergences: (1) a content model that violates UPA is driven by
+    the position-set fallback ({!Xsm_schema.Content_automaton.nfa_step}
+    — exact verdict, leftmost attribution) instead of being rejected,
+    counted in [fallback_steps]; (2) when a child fails the content
+    model the error is reported at the parent once and the remaining
+    children are skipped structurally, which is also what the tree
+    validator reports (one parent-path error, no recursion).
+
+    Diagnostics carry the event positions the lexer tracked. *)
+
+type error = { path : string; position : Sax.position; message : string }
+
+val pp_error : Format.formatter -> error -> unit
+val error_to_string : error -> string
+
+type stats = {
+  elements : int;  (** element frames opened *)
+  max_depth : int;  (** peak frame-stack depth *)
+  fallback_steps : int;  (** child steps through the non-UPA fallback *)
+}
+
+type t
+
+val create :
+  ?automata:(Xsm_schema.Ast.group_def * Xsm_schema.Content_automaton.table) list ->
+  Xsm_schema.Ast.schema ->
+  t
+(** A validator for one document.  [automata] seeds the compiled-table
+    cache — pass {!Xsm_analysis.Analyzer} report tables so validation
+    compiles nothing. *)
+
+val feed : t -> Sax.event -> Sax.position -> unit
+(** Consume one event (push interface).  Pass
+    {!Sax.event_position} — errors triggered by the event carry it. *)
+
+val finish : t -> (stats, error list) result
+(** Call after the last event: errors in document order, or the run
+    statistics. *)
+
+val run :
+  ?automata:(Xsm_schema.Ast.group_def * Xsm_schema.Content_automaton.table) list ->
+  Xsm_schema.Ast.schema ->
+  Sax.t ->
+  (stats, error list) result
+(** Pull driver: drain the lexer through {!feed}.  Lexing errors
+    ({!Xsm_xml.Parser.Syntax}) propagate to the caller. *)

@@ -1,9 +1,11 @@
-type error = { line : int; column : int; message : string }
+type error = { line : int; column : int; offset : int; message : string }
 
 let pp_error ppf e =
   Format.fprintf ppf "line %d, column %d: %s" e.line e.column e.message
 
 let error_to_string e = Format.asprintf "%a" pp_error e
+
+exception Syntax of error
 
 exception Parse_error of int * string
 (* position, message; converted to {!error} at the API boundary *)
@@ -49,34 +51,41 @@ let parse_name st =
   | Ok n -> n
   | Error e -> fail st e
 
-(* Entity and character references inside text and attribute values. *)
+(* Entity and character references — the decoder proper is shared
+   with the streaming Sax lexer, which sees the same reference bodies
+   but manages its own input buffer. *)
+let decode_entity body =
+  match body with
+  | "lt" -> Ok "<"
+  | "gt" -> Ok ">"
+  | "amp" -> Ok "&"
+  | "apos" -> Ok "'"
+  | "quot" -> Ok "\""
+  | _ ->
+    if String.length body > 1 && body.[0] = '#' then begin
+      match
+        if String.length body > 2 && (body.[1] = 'x' || body.[1] = 'X') then
+          int_of_string_opt ("0x" ^ String.sub body 2 (String.length body - 2))
+        else int_of_string_opt (String.sub body 1 (String.length body - 1))
+      with
+      | None -> Error (Printf.sprintf "bad character reference &%s;" body)
+      | Some code ->
+        if code < 0 || code > 0x10FFFF || not (Uchar.is_valid code) then
+          Error "character reference out of range"
+        else begin
+          let b = Buffer.create 4 in
+          Buffer.add_utf_8_uchar b (Uchar.of_int code);
+          Ok (Buffer.contents b)
+        end
+    end
+    else Error (Printf.sprintf "unknown entity &%s;" body)
+
 let parse_reference st =
   expect st '&';
   let body = take_until st (fun c -> c = ';' || c = '<' || c = '&') in
   if peek st <> ';' then fail st "unterminated entity reference";
   advance st;
-  match body with
-  | "lt" -> "<"
-  | "gt" -> ">"
-  | "amp" -> "&"
-  | "apos" -> "'"
-  | "quot" -> "\""
-  | _ ->
-    if String.length body > 1 && body.[0] = '#' then begin
-      let code =
-        try
-          if String.length body > 2 && (body.[1] = 'x' || body.[1] = 'X') then
-            int_of_string ("0x" ^ String.sub body 2 (String.length body - 2))
-          else int_of_string (String.sub body 1 (String.length body - 1))
-        with Failure _ -> fail st (Printf.sprintf "bad character reference &%s;" body)
-      in
-      if code < 0 || code > 0x10FFFF then fail st "character reference out of range";
-      (* UTF-8 encode *)
-      let b = Buffer.create 4 in
-      Buffer.add_utf_8_uchar b (Uchar.of_int code);
-      Buffer.contents b
-    end
-    else fail st (Printf.sprintf "unknown entity &%s;" body)
+  match decode_entity body with Ok s -> s | Error e -> fail st e
 
 let parse_attribute_value st =
   let quote = peek st in
@@ -302,7 +311,8 @@ let run input f =
   | v -> Ok v
   | exception Parse_error (pos, message) ->
     let line, column = position_of_offset input pos in
-    Error { line; column; message }
+    Error { line; column; offset = pos; message }
+  | exception Syntax e -> Error e
 
 let parse_document ?base_uri input =
   run input (fun st ->

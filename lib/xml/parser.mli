@@ -11,12 +11,25 @@
 
 type error = {
   line : int;  (** 1-based line of the offending position *)
-  column : int;  (** 1-based column *)
+  column : int;  (** 1-based column (in bytes) *)
+  offset : int;  (** 0-based byte offset into the input *)
   message : string;
 }
 
 val pp_error : Format.formatter -> error -> unit
 val error_to_string : error -> string
+
+exception Syntax of error
+(** The shared syntax-error exception: raised by the streaming
+    {!Xsm_stream.Sax} lexer (which tracks line/column incrementally)
+    and understood by {!parse_document}/{!parse_element}, which
+    convert it to a [result] at the API boundary. *)
+
+val decode_entity : string -> (string, string) result
+(** Decode the body of an entity or character reference (the text
+    between ["&"] and [";"]): the five predefined entities and
+    decimal/hexadecimal character references, UTF-8 encoded.  Shared
+    between the tree parser and the streaming lexer. *)
 
 val parse_document : ?base_uri:string -> string -> (Tree.t, error) result
 (** Parse a complete document, prolog included. *)

@@ -1,0 +1,646 @@
+(* The streaming ingest subsystem: SAX lexer, constant-memory
+   validator, bulk load.
+
+   - Sax event sequences, positions, entity handling, and invariance
+     under chunk boundaries;
+   - append_child label laws and Labeler.append_in_document_order;
+   - Stream_validator against hand-built cases and, differentially,
+     against the tree validator (verdict on random instances,
+     first-error path on single-site mutations) and the backtracking
+     matcher (non-UPA fallback);
+   - Bulk_load against Convert.load + Block_storage.of_store, and a
+     crash-point sweep: kill the WAL after n records, recover, expect
+     the root plus exactly the first n top-level subtrees. *)
+
+module Q = QCheck
+module Name = Xsm_xml.Name
+module Tree = Xsm_xml.Tree
+module Parser = Xsm_xml.Parser
+module Printer = Xsm_xml.Printer
+module Store = Xsm_xdm.Store
+module Convert = Xsm_xdm.Convert
+module Ast = Xsm_schema.Ast
+module Gen = Xsm_schema.Generator
+module Validator = Xsm_schema.Validator
+module Label = Xsm_numbering.Sedna_label
+module Labeler = Xsm_numbering.Labeler
+module Bs = Xsm_storage.Block_storage
+module Wal = Xsm_persist.Wal
+module Sax = Xsm_stream.Sax
+module SV = Xsm_stream.Stream_validator
+module BL = Xsm_stream.Bulk_load
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_str = Alcotest.(check string)
+
+let events_of_string ?chunk_size s =
+  let sax =
+    match chunk_size with
+    | None -> Sax.of_string s
+    | Some n ->
+      let sent = ref 0 in
+      Sax.of_function ~chunk_size:n (fun b off len ->
+          let k = min len (String.length s - !sent) in
+          Bytes.blit_string s !sent b off k;
+          sent := !sent + k;
+          k)
+  in
+  let rec go acc =
+    match Sax.next sax with None -> List.rev acc | Some e -> go (e :: acc)
+  in
+  go []
+
+let show_event = function
+  | Sax.Start_element n -> "<" ^ Name.to_string n
+  | Sax.Attr (n, v) -> Printf.sprintf "@%s=%s" (Name.to_string n) v
+  | Sax.Text s -> Printf.sprintf "%S" s
+  | Sax.End_element n -> "</" ^ Name.to_string n
+  | Sax.Pi (t, d) -> Printf.sprintf "?%s %s" t d
+  | Sax.Comment s -> "!" ^ s
+
+let show_events evs = String.concat " " (List.map show_event evs)
+
+(* ---------------- Sax ---------------- *)
+
+let sax_events () =
+  let evs =
+    events_of_string
+      "<?xml version=\"1.0\"?><!-- pre --><a x=\"1\"><b>hi</b>tail<!--c--><?pi d?></a>"
+  in
+  check_str "event sequence" "<a @x=1 <b \"hi\" </b \"tail\" !c ?pi d </a" (show_events evs)
+
+let sax_positions () =
+  let sax = Sax.of_string "<a>\n  <b attr=\"v\"/>\n</a>" in
+  let rec collect acc =
+    match Sax.next sax with
+    | None -> List.rev acc
+    | Some e ->
+      let p = Sax.event_position sax in
+      collect ((e, p) :: acc)
+  in
+  let evs = collect [] in
+  (match List.assoc_opt (Sax.Start_element (Name.local "b")) evs with
+  | Some p ->
+    check_int "b line" 2 p.Sax.line;
+    check_int "b column" 3 p.Sax.column;
+    check_int "b offset" 6 p.Sax.offset
+  | None -> Alcotest.fail "no <b> event");
+  match List.assoc_opt (Sax.End_element (Name.local "a")) evs with
+  | Some p -> check_int "</a> line" 3 p.Sax.line
+  | None -> Alcotest.fail "no </a> event"
+
+let sax_entities () =
+  let evs =
+    events_of_string "<a t=\"x&amp;y\">&lt;&#65;&#x42;<![CDATA[<raw&>]]>&gt;</a>"
+  in
+  check_str "decoded" "<a @t=x&y \"<AB\" \"<raw&>\" \">\" </a" (show_events evs)
+
+let sax_chunk_invariance () =
+  let doc =
+    "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n<!DOCTYPE library [<!ELEMENT x y>]>\n\
+     <library kind=\"mixed\"><book id=\"b&amp;1\"><title>One &#233; two</title>\n\
+     <blurb>pre<!-- gap -->post</blurb></book><![CDATA[]]><empty/> tail </library>\n<!-- after -->"
+  in
+  let reference = events_of_string doc in
+  List.iter
+    (fun n ->
+      check_str
+        (Printf.sprintf "chunk_size %d" n)
+        (show_events reference)
+        (show_events (events_of_string ~chunk_size:n doc)))
+    [ 1; 2; 3; 5; 7; 64 ]
+
+let sax_matches_parser () =
+  (* the event stream carries the same information the tree parser
+     extracts: rebuild the element and compare content *)
+  let doc_text =
+    Printer.to_string (Xsm_schema.Samples.bookstore_document ~books:5 ())
+  in
+  let sax = Sax.of_string doc_text in
+  let rec build_element name =
+    let attrs = ref [] and children = ref [] in
+    let rec loop () =
+      match Sax.next sax with
+      | Some (Sax.Attr (n, v)) ->
+        attrs := { Tree.name = n; value = v } :: !attrs;
+        loop ()
+      | Some (Sax.Text s) ->
+        children := Tree.Text s :: !children;
+        loop ()
+      | Some (Sax.Start_element n) ->
+        children := Tree.Element (build_element n) :: !children;
+        loop ()
+      | Some (Sax.Pi _ | Sax.Comment _) -> loop ()
+      | Some (Sax.End_element _) -> ()
+      | None -> Alcotest.fail "events ended inside an element"
+    in
+    loop ();
+    { Tree.name; attributes = List.rev !attrs; children = List.rev !children }
+  in
+  let root =
+    match Sax.next sax with
+    | Some (Sax.Start_element n) -> build_element n
+    | _ -> Alcotest.fail "no root event"
+  in
+  let reparsed =
+    match Parser.parse_document doc_text with Ok d -> d | Error _ -> Alcotest.fail "parse"
+  in
+  check "event-rebuilt tree =_c parsed tree"
+    true
+    (Tree.equal_element_content ~ignore_whitespace:false root reparsed.Tree.root)
+
+let expect_syntax what doc f =
+  match events_of_string doc with
+  | _ -> Alcotest.fail (what ^ ": expected a syntax error")
+  | exception Parser.Syntax e -> f e
+
+let sax_errors () =
+  expect_syntax "mismatch" "<a><b></a>" (fun e ->
+      check "mismatch message" true
+        (String.length e.Parser.message > 0
+        && String.sub e.Parser.message 0 10 = "mismatched"));
+  expect_syntax "dup attr" "<a x=\"1\" x=\"2\"/>" (fun e ->
+      check "duplicate attribute" true
+        (e.Parser.line = 1 && e.Parser.column > 9));
+  expect_syntax "trailing" "<a/><b/>" (fun _ -> ());
+  expect_syntax "unterminated" "<a><b>text" (fun _ -> ());
+  expect_syntax "unknown entity" "<a>&nosuch;</a>" (fun _ -> ());
+  expect_syntax "stray content" "stray" (fun e -> check_int "offset" 0 e.Parser.offset)
+
+(* ---------------- append_child labels ---------------- *)
+
+let label_append_child_laws () =
+  let l = Label.append_child Label.root 3 in
+  (* order follows the counter, across digit-count boundaries *)
+  let indices = [ 0; 1; 2; 251; 252; 253; 254; 1000; 64008; 64009; 70000 ] in
+  let labels = List.map (Label.append_child l) indices in
+  List.iteri
+    (fun i a ->
+      List.iteri
+        (fun j b ->
+          check
+            (Printf.sprintf "order %d vs %d" (List.nth indices i) (List.nth indices j))
+            (compare i j < 0)
+            (Label.compare a b < 0))
+        labels)
+    labels;
+  List.iter
+    (fun c ->
+      check "is_parent" true (Label.is_parent l c);
+      check "is_ancestor from root" true (Label.is_ancestor Label.root c);
+      match Label.of_raw (Label.to_raw c) with
+      | Ok c' -> check "of_raw roundtrip" true (Label.equal c c')
+      | Error e -> Alcotest.fail ("of_raw rejected an append label: " ^ e))
+    labels;
+  (* interop with the insertion labeller: between two counter labels *)
+  let a = Label.append_child l 7 and b = Label.append_child l 8 in
+  let m = Label.between a b in
+  check "between a m" true (Label.compare a m < 0 && Label.compare m b < 0)
+
+let labeler_append_in_document_order () =
+  let rng = Gen.rng 42 in
+  let schema = Gen.random_schema ~max_depth:3 rng in
+  let doc = Gen.instance rng schema in
+  let store = Store.create () in
+  let dnode = Convert.load store doc in
+  let t = Labeler.append_in_document_order store dnode in
+  check "labels agree with the tree" true (Labeler.check_against_tree store dnode t);
+  let nodes = Xsm_xdm.Order.nodes_in_order store dnode in
+  let labels = List.map (Labeler.label t) nodes in
+  let rec sorted = function
+    | a :: (b :: _ as rest) -> Label.compare a b < 0 && sorted rest
+    | [ _ ] | [] -> true
+  in
+  check "label order = document order" true (sorted labels)
+
+(* ---------------- stream validator ---------------- *)
+
+let stream_verdict schema doc =
+  SV.run schema (Sax.of_string (Printer.to_string doc))
+
+let tree_verdict schema doc = Validator.validate_document doc schema
+
+let first_path = function
+  | [] -> "-"
+  | (e : SV.error) :: _ -> e.SV.path
+
+let tree_first_path = function
+  | [] -> "-"
+  | (e : Validator.error) :: _ -> e.Validator.path
+
+let sv_valid_bookstore () =
+  let schema = Xsm_schema.Samples.example7_schema in
+  let doc = Xsm_schema.Samples.bookstore_document ~books:4 () in
+  match stream_verdict schema doc with
+  | Ok stats ->
+    check "elements counted" true (stats.SV.elements > 4);
+    check_int "no fallback" 0 stats.SV.fallback_steps;
+    check "depth" true (stats.SV.max_depth >= 2)
+  | Error es -> Alcotest.fail (SV.error_to_string (List.hd es))
+
+let sv_invalid_bookstore () =
+  let schema = Xsm_schema.Samples.example7_schema in
+  let doc = Xsm_schema.Samples.bookstore_invalid_document () in
+  match stream_verdict schema doc, tree_verdict schema doc with
+  | Error se, Error te ->
+    check_str "same first-error path" (tree_first_path te) (first_path se)
+  | Ok _, _ -> Alcotest.fail "stream accepted the invalid bookstore"
+  | _, Ok _ -> Alcotest.fail "tree accepted the invalid bookstore"
+
+(* every error class once, with the path the tree validator uses *)
+let sv_error_paths () =
+  let schema =
+    Ast.schema
+      ~simple_types:[]
+      (Ast.element "root"
+         (Ast.Anonymous
+            (Ast.complex
+               ~attributes:[ Ast.attribute "must" "xs:string" ]
+               (Some
+                  (Ast.sequence
+                     [
+                       Ast.elem_p (Ast.element "n" ~nillable:true (Ast.named_type "xs:integer"));
+                       Ast.elem_p
+                         (Ast.element ~repetition:Ast.optional "s" (Ast.named_type "xs:string"));
+                     ])))))
+  in
+  let run_s text = SV.run schema (Sax.of_string text) in
+  let run_t text =
+    match Parser.parse_document text with
+    | Ok d -> tree_verdict schema d
+    | Error _ -> Alcotest.fail "parse"
+  in
+  let agree what text =
+    match run_s text, run_t text with
+    | Ok _, Ok _ -> Alcotest.fail (what ^ ": expected invalid")
+    | Error se, Error te -> check_str what (tree_first_path te) (first_path se)
+    | Ok _, Error _ -> Alcotest.fail (what ^ ": stream accepted, tree rejected")
+    | Error _, Ok _ -> Alcotest.fail (what ^ ": stream rejected, tree accepted")
+  in
+  agree "missing required attribute" "<root><n>1</n></root>";
+  agree "undeclared attribute" "<root must=\"x\" extra=\"y\"><n>1</n></root>";
+  agree "bad simple content" "<root must=\"x\"><n>one</n></root>";
+  agree "wrong child" "<root must=\"x\"><z/></root>";
+  agree "incomplete content" "<root must=\"x\"></root>";
+  agree "text in element-only content" "<root must=\"x\">words<n>1</n></root>";
+  agree "nilled must be empty"
+    "<root must=\"x\"><n xsi:nil=\"true\">5</n><s>ok</s></root>";
+  agree "nil on non-nillable" "<root must=\"x\"><n>1</n><s xsi:nil=\"true\"/></root>";
+  agree "root name mismatch" "<wrong must=\"x\"><n>1</n></wrong>"
+
+let sv_nilled_valid () =
+  let schema =
+    Ast.schema
+      (Ast.element "r"
+         (Ast.Anonymous
+            (Ast.complex
+               (Some (Ast.sequence [ Ast.elem_p (Ast.element "n" ~nillable:true (Ast.named_type "xs:integer")) ])))))
+  in
+  match SV.run schema (Sax.of_string "<r><n xsi:nil=\"true\"/></r>") with
+  | Ok _ -> ()
+  | Error es -> Alcotest.fail (SV.error_to_string (List.hd es))
+
+let sv_non_upa_fallback () =
+  (* (a, b?) | (a, c): non-deterministic on `a`; the tree validator
+     refuses, the stream validator answers through the position-set
+     fallback, agreeing with the backtracking matcher *)
+  let a = Ast.element "a" (Ast.named_type "xs:string") in
+  let group =
+    Ast.choice
+      [
+        Ast.group_p
+          (Ast.sequence
+             [
+               Ast.elem_p a;
+               Ast.elem_p (Ast.element ~repetition:Ast.optional "b" (Ast.named_type "xs:string"));
+             ]);
+        Ast.group_p
+          (Ast.sequence
+             [ Ast.elem_p a; Ast.elem_p (Ast.element "c" (Ast.named_type "xs:string")) ]);
+      ]
+  in
+  let schema = Ast.schema (Ast.element "r" (Ast.Anonymous (Ast.complex (Some group)))) in
+  let cases =
+    [
+      ("<r><a>x</a></r>", [ "a" ]);
+      ("<r><a>x</a><b>y</b></r>", [ "a"; "b" ]);
+      ("<r><a>x</a><c>z</c></r>", [ "a"; "c" ]);
+      ("<r><a>x</a><b>y</b><c>z</c></r>", [ "a"; "b"; "c" ]);
+      ("<r><c>z</c></r>", [ "c" ]);
+    ]
+  in
+  List.iter
+    (fun (text, names) ->
+      let expected = Xsm_schema.Backtrack.matches group (List.map Name.local names) in
+      match SV.run schema (Sax.of_string text) with
+      | Ok stats ->
+        check ("accept " ^ text) true expected;
+        check "fallback used" true (stats.SV.fallback_steps > 0)
+      | Error _ -> check ("reject " ^ text) false expected)
+    cases;
+  (* and the tree validator rejects the schema's content model outright *)
+  match
+    tree_verdict schema
+      (match Parser.parse_document "<r><a>x</a></r>" with
+      | Ok d -> d
+      | Error _ -> assert false)
+  with
+  | Ok _ -> Alcotest.fail "tree validator accepted a non-UPA model"
+  | Error (e :: _) ->
+    check "UPA error" true
+      (e.Validator.message = "content model violates Unique Particle Attribution")
+  | Error [] -> assert false
+
+(* differential property: random schema, random instance *)
+
+let seed_gen = Q.make ~print:string_of_int Q.Gen.(int_bound 1_000_000)
+
+let to_alco ?(count = 100) name law =
+  QCheck_alcotest.to_alcotest (Q.Test.make ~count ~name seed_gen law)
+
+let stream_eq_tree_valid_law seed =
+  let rng = Gen.rng seed in
+  let schema = Gen.random_schema ~max_depth:3 rng in
+  let doc = Gen.instance rng schema in
+  match stream_verdict schema doc, tree_verdict schema doc with
+  | Ok _, Ok _ -> true
+  | Error es, _ -> Q.Test.fail_reportf "stream rejected: %s" (SV.error_to_string (List.hd es))
+  | _, Error es ->
+    Q.Test.fail_reportf "tree rejected: %s" (Validator.error_to_string (List.hd es))
+
+(* single-site mutations: verdicts agree, and when both reject, the
+   first reported path is the same *)
+type mutation = Rename | Duplicate | Delete | Corrupt
+
+let mutate rng mutation (el : Tree.element) =
+  (* collect candidate sites: (parent, child index) over element children *)
+  let sites = ref [] in
+  let rec walk (e : Tree.element) =
+    List.iteri
+      (fun i c ->
+        match c with
+        | Tree.Element ce ->
+          sites := (e, i) :: !sites;
+          walk ce
+        | Tree.Text _ | Tree.Cdata _ | Tree.Comment _ | Tree.Pi _ -> ())
+      e.Tree.children
+  in
+  walk el;
+  let sites = !sites in
+  if sites = [] then None
+  else begin
+    let target_parent, target_idx = List.nth sites (Gen.int rng (List.length sites)) in
+    let rewrite (e : Tree.element) f =
+      let rec go (x : Tree.element) : Tree.element =
+        if x == e then f x
+        else { x with Tree.children = List.map
+                 (function Tree.Element c -> Tree.Element (go c) | other -> other)
+                 x.Tree.children }
+      in
+      go el
+    in
+    match mutation with
+    | Rename ->
+      Some
+        (rewrite target_parent (fun p ->
+             { p with
+               Tree.children =
+                 List.mapi
+                   (fun i c ->
+                     match c with
+                     | Tree.Element ce when i = target_idx ->
+                       Tree.Element { ce with Tree.name = Name.local "zzz_undeclared" }
+                     | c -> c)
+                   p.Tree.children }))
+    | Duplicate ->
+      Some
+        (rewrite target_parent (fun p ->
+             { p with
+               Tree.children =
+                 List.concat_map
+                   (fun (i, c) -> if i = target_idx then [ c; c ] else [ c ])
+                   (List.mapi (fun i c -> (i, c)) p.Tree.children) }))
+    | Delete ->
+      Some
+        (rewrite target_parent (fun p ->
+             { p with
+               Tree.children =
+                 List.filteri (fun i _ -> i <> target_idx) p.Tree.children }))
+    | Corrupt ->
+      Some
+        (rewrite target_parent (fun p ->
+             { p with
+               Tree.children =
+                 List.mapi
+                   (fun i c ->
+                     match c with
+                     | Tree.Element ce when i = target_idx ->
+                       Tree.Element { ce with Tree.children = [ Tree.Text "#corrupt#" ] }
+                     | c -> c)
+                   p.Tree.children }))
+  end
+
+let stream_eq_tree_mutated_law seed =
+  let rng = Gen.rng seed in
+  let schema = Gen.random_schema ~max_depth:3 rng in
+  let doc = Gen.instance rng schema in
+  let mutation =
+    match Gen.int rng 4 with 0 -> Rename | 1 -> Duplicate | 2 -> Delete | _ -> Corrupt
+  in
+  match mutate rng mutation doc.Tree.root with
+  | None -> true (* a single-element document: nothing to mutate *)
+  | Some root ->
+    let doc = { doc with Tree.root = root } in
+    (match stream_verdict schema doc, tree_verdict schema doc with
+    | Ok _, Ok _ -> true
+    | Error se, Error te ->
+      let sp = first_path se and tp = tree_first_path te in
+      sp = tp || Q.Test.fail_reportf "first-error paths differ: stream %s, tree %s" sp tp
+    | Ok _, Error te ->
+      Q.Test.fail_reportf "stream accepted what tree rejected: %s"
+        (Validator.error_to_string (List.hd te))
+    | Error se, Ok _ ->
+      Q.Test.fail_reportf "stream rejected what tree accepted: %s"
+        (SV.error_to_string (List.hd se)))
+
+(* ---------------- bulk load ---------------- *)
+
+let bulk_of_text ?wal ?on_root text = BL.load ?wal ?on_root (Sax.of_string text)
+
+let reference_storage text =
+  let doc = match Parser.parse_document text with Ok d -> d | Error _ -> Alcotest.fail "parse" in
+  let store = Store.create () in
+  let dnode = Convert.load store doc in
+  Bs.of_store store dnode
+
+let bulk_equals_reference text =
+  let bs, stats = bulk_of_text text in
+  let ref_bs = reference_storage text in
+  (match Bs.check_integrity bs with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail ("integrity: " ^ e));
+  check_int "descriptor count" (Bs.descriptor_count ref_bs) (Bs.descriptor_count bs);
+  check "content equal" true
+    (Tree.equal_content ~ignore_whitespace:false (Bs.to_document ref_bs) (Bs.to_document bs));
+  stats
+
+let bulk_load_simple () =
+  let stats =
+    bulk_equals_reference
+      "<lib k=\"v\"><b id=\"1\"><t>One</t>mid<u/>end</b><b id=\"2\">pre<!-- c -->post</b></lib>"
+  in
+  check_int "elements" 5 stats.BL.elements;
+  check_int "attributes" 3 stats.BL.attributes;
+  (* "pre<!-- c -->post" is ONE logical text node, as Convert merges it *)
+  check_int "texts" 4 stats.BL.texts;
+  check_int "depth" 3 stats.BL.max_depth
+
+let bulk_load_random_law seed =
+  let rng = Gen.rng seed in
+  let schema = Gen.random_schema ~max_depth:3 rng in
+  let doc = Gen.instance rng schema in
+  ignore (bulk_equals_reference (Printer.to_string doc));
+  true
+
+let bulk_load_small_blocks () =
+  let text = Printer.to_string (Xsm_schema.Samples.library_document ~books:20 ~papers:20 ()) in
+  let bs, _ = BL.load ~block_capacity:4 (Sax.of_string text) in
+  (match Bs.check_integrity bs with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail ("integrity: " ^ e));
+  check "many blocks" true (Bs.block_count bs > 10);
+  check "content equal" true
+    (Tree.equal_content ~ignore_whitespace:false
+       (Bs.to_document (reference_storage text))
+       (Bs.to_document bs))
+
+let bulk_drain_completed () =
+  let text = "<r><a/>t1<b><c/></b>t2<d/></r>" in
+  let bl = BL.create () in
+  let sax = Sax.of_string text in
+  let drained = ref [] in
+  let rec loop () =
+    match Sax.next sax with
+    | None -> ()
+    | Some ev ->
+      BL.feed bl ev;
+      drained := !drained @ BL.drain_completed bl;
+      loop ()
+  in
+  loop ();
+  ignore (BL.finish bl);
+  (* top-level children only: a, t1, b (not c), t2, d *)
+  check_int "completed top-level nodes" 5 (List.length !drained);
+  let rec sorted = function
+    | a :: (b :: _ as rest) -> Label.compare (Bs.nid a) (Bs.nid b) < 0 && sorted rest
+    | [ _ ] | [] -> true
+  in
+  check "drained in document order" true (sorted !drained)
+
+(* crash sweep: load with a WAL crash injected after n records; recovery
+   must yield the root plus exactly the first n top-level subtrees *)
+let bulk_crash_sweep () =
+  let sections = 5 in
+  let doc =
+    Tree.document
+      (Tree.elem "log"
+         ~attrs:[ Tree.attr "v" "1" ]
+         ~children:
+           (List.init sections (fun i ->
+                Tree.Element
+                  (Tree.elem "entry"
+                     ~attrs:[ Tree.attr "n" (string_of_int i) ]
+                     ~children:[ Tree.Text (Printf.sprintf "payload %d" i) ]))))
+  in
+  let text = Printer.to_string doc in
+  let tmp = Filename.temp_file "xsm-stream-crash" "" in
+  let wal_path = tmp ^ ".wal" and snap_path = tmp ^ ".snap" in
+  let cleanup () =
+    List.iter (fun p -> if Sys.file_exists p then Sys.remove p) [ tmp; wal_path; snap_path ]
+  in
+  Fun.protect ~finally:cleanup @@ fun () ->
+  for n = 0 to sections do
+    List.iter
+      (fun partial_bytes ->
+        if Sys.file_exists wal_path then Sys.remove wal_path;
+        if Sys.file_exists snap_path then Sys.remove snap_path;
+        let wal =
+          match
+            Wal.Writer.create ~crash:{ Wal.after_records = n; partial_bytes } wal_path
+          with
+          | Ok w -> w
+          | Error e -> Alcotest.fail e
+        in
+        let on_root root_elem =
+          let store = Store.create () in
+          let dnode = Convert.load store (Tree.document root_elem) in
+          match Xsm_persist.Snapshot.save ~path:snap_path store dnode with
+          | Ok _ -> ()
+          | Error e -> Alcotest.fail e
+        in
+        let crashed =
+          match bulk_of_text ~wal ~on_root text with
+          | _ -> false
+          | exception Wal.Crashed -> true
+        in
+        check (Printf.sprintf "crash fires (n=%d)" n) (n <= sections) crashed;
+        (match Wal.Writer.close wal with () -> () | exception _ -> ());
+        match Xsm_persist.Recovery.recover ~snapshot:snap_path ~wal:wal_path () with
+        | Error e -> Alcotest.fail e
+        | Ok (store, root, _labels, stats) ->
+          check_int (Printf.sprintf "replayed records (n=%d)" n) n stats.Xsm_persist.Recovery.replayed;
+          let expected =
+            {
+              doc with
+              Tree.root =
+                {
+                  doc.Tree.root with
+                  Tree.children =
+                    List.filteri (fun i _ -> i < n) doc.Tree.root.Tree.children;
+                };
+            }
+          in
+          check
+            (Printf.sprintf "prefix recovered (n=%d, partial=%d)" n partial_bytes)
+            true
+            (Tree.equal_content ~ignore_whitespace:false expected
+               (Convert.to_document store root)))
+      [ 0; 3 ]
+  done
+
+let suite =
+  [
+    ( "stream.sax",
+      [
+        Alcotest.test_case "event sequence" `Quick sax_events;
+        Alcotest.test_case "positions" `Quick sax_positions;
+        Alcotest.test_case "entities and CDATA" `Quick sax_entities;
+        Alcotest.test_case "chunk-boundary invariance" `Quick sax_chunk_invariance;
+        Alcotest.test_case "events rebuild the parsed tree" `Quick sax_matches_parser;
+        Alcotest.test_case "well-formedness errors" `Quick sax_errors;
+      ] );
+    ( "stream.labels",
+      [
+        Alcotest.test_case "append_child laws" `Quick label_append_child_laws;
+        Alcotest.test_case "append_in_document_order" `Quick labeler_append_in_document_order;
+      ] );
+    ( "stream.validate",
+      [
+        Alcotest.test_case "valid bookstore" `Quick sv_valid_bookstore;
+        Alcotest.test_case "invalid bookstore, same path" `Quick sv_invalid_bookstore;
+        Alcotest.test_case "error classes, same paths" `Quick sv_error_paths;
+        Alcotest.test_case "nilled element accepted" `Quick sv_nilled_valid;
+        Alcotest.test_case "non-UPA fallback = backtracking" `Quick sv_non_upa_fallback;
+        to_alco "stream = tree on random valid instances" stream_eq_tree_valid_law;
+        to_alco "stream = tree on single-site mutations" stream_eq_tree_mutated_law;
+      ] );
+    ( "stream.load",
+      [
+        Alcotest.test_case "load = of_store (hand case)" `Quick bulk_load_simple;
+        Alcotest.test_case "load = of_store (small blocks)" `Quick bulk_load_small_blocks;
+        Alcotest.test_case "drain_completed" `Quick bulk_drain_completed;
+        to_alco ~count:50 "load = of_store (random instances)" bulk_load_random_law;
+        Alcotest.test_case "crash-point sweep" `Quick bulk_crash_sweep;
+      ] );
+  ]
