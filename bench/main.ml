@@ -243,7 +243,7 @@ let tests () =
     let w =
       match Xsm_persist.Wal.Writer.create ~sync_every wal_path with
       | Ok w -> w
-      | Error e -> failwith e
+      | Error e -> failwith (Xsm_persist.Wal.error_message e)
     in
     staged (fun () ->
         e13_round store dnode libr ~log:(fun op ->
@@ -280,7 +280,7 @@ let tests () =
        let w =
          match Xsm_persist.Wal.Writer.create ~sync_every:64 wal with
          | Ok w -> w
-         | Error e -> failwith e
+         | Error e -> failwith (Xsm_persist.Wal.error_message e)
        in
        for _ = 1 to 50 do
          e13_round store dnode libr ~log:(fun op ->
@@ -292,7 +292,7 @@ let tests () =
        staged (fun () ->
            match Xsm_persist.Recovery.recover ~snapshot:snap ~wal () with
            | Ok _ -> ()
-           | Error e -> failwith e))
+           | Error e -> failwith (Xsm_persist.Recovery.error_message e)))
   in
   (* E14: static-analysis payoffs.  (a/b) child matching on a wide
      deterministic choice: follow-list automaton vs compiled transition

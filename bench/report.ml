@@ -603,11 +603,9 @@ let a4_buffer_locality () =
       in
       let ns = replay nav in
       let ss = replay scan in
+      let pct s = match BP.hit_ratio s with Some r -> 100.0 *. r | None -> Float.nan in
       row "%-10d %-10d | %6d misses, %5.1f%%   | %6d misses, %5.1f%%\n" capacity total_blocks
-        ns.BP.misses
-        (100.0 *. BP.hit_ratio ns)
-        ss.BP.misses
-        (100.0 *. BP.hit_ratio ss))
+        ns.BP.misses (pct ns) ss.BP.misses (pct ss))
     [ 2; 8; 32; 128 ]
 
 let e13_durability () =
@@ -652,7 +650,9 @@ let e13_durability () =
       let logged sync_every =
         Sys.remove wal;
         let w =
-          match Wal.Writer.create ~sync_every wal with Ok w -> w | Error e -> failwith e
+          match Wal.Writer.create ~sync_every wal with
+          | Ok w -> w
+          | Error e -> failwith (Wal.error_message e)
         in
         let t = time (fun () -> round w) in
         Wal.Writer.close w;
@@ -663,20 +663,24 @@ let e13_durability () =
       (* a 200-op log to recover through *)
       save ();
       Sys.remove wal;
-      let w = match Wal.Writer.create ~sync_every:64 wal with Ok w -> w | Error e -> failwith e in
+      let w =
+        match Wal.Writer.create ~sync_every:64 wal with
+        | Ok w -> w
+        | Error e -> failwith (Wal.error_message e)
+      in
       for _ = 1 to 100 do round w done;
       Wal.Writer.close w;
       let t_recover =
         time (fun () ->
             match Xsm_persist.Recovery.recover ~snapshot:snap ~wal () with
             | Ok _ -> ()
-            | Error e -> failwith e)
+            | Error e -> failwith (Xsm_persist.Recovery.error_message e))
       in
       (* buffer behaviour of a block scan over the recovered store *)
       let rstore, rroot, _, _ =
         match Xsm_persist.Recovery.recover ~snapshot:snap ~wal () with
         | Ok r -> r
-        | Error e -> failwith e
+        | Error e -> failwith (Xsm_persist.Recovery.error_message e)
       in
       let bs = B.of_store ~block_capacity:16 rstore rroot in
       let rec all_snodes sn = sn :: List.concat_map all_snodes (DS.children (B.schema bs) sn) in
@@ -687,7 +691,7 @@ let e13_durability () =
       row "%-8d %-8d %-10.2f %-10.1f %-13.1f %-13.1f %-12.2f %5d, %5.1f%%\n" books
         (Store.subtree_size store dnode) (t_snap *. 1e3) snap_kb (t_rec1 *. 1e6)
         (t_rec64 *. 1e6) (t_recover *. 1e3) bstats.BP.misses
-        (100.0 *. BP.hit_ratio bstats);
+        (match BP.hit_ratio bstats with Some r -> 100.0 *. r | None -> Float.nan);
       Sys.remove snap;
       Sys.remove wal)
     [ 50; 200; 800 ]

@@ -18,6 +18,11 @@
      roundtrip SCHEMA.xsd DOC.xml     check g(f(X)) =_c X (§8)
      stats     DOC.xml SCRIPT         replay a workload, print the metrics
                                       registry as JSON (DESIGN.md §10)
+     serve                            run the concurrent session daemon over a
+                                      Unix socket (DESIGN.md §12): parallel
+                                      snapshot reads, group-committed writes
+     client    --socket PATH          one-shot request against a running daemon
+     bench-serve                      closed-loop daemon load generator (E17)
 
    validate/query/update/recover also take --trace FILE.json (Chrome
    trace_event export, including per-element detail spans) and
@@ -25,7 +30,8 @@
 
    Exit codes: 0 ok; 1 invalid input (validation failure, bad script
    line, failed query); 2 unusable arguments or unreadable files;
-   3 an injected WAL crash point fired (fault-injection runs only). *)
+   3 corrupt persistent input (a --wal file that is not a WAL) or an
+   injected WAL crash point fired (fault-injection runs only). *)
 
 open Cmdliner
 
@@ -76,6 +82,26 @@ let or_die = function
   | Error msg ->
     prerr_endline msg;
     exit 2
+
+let die fmt =
+  Printf.ksprintf
+    (fun s ->
+      prerr_endline s;
+      exit 2)
+    fmt
+
+(* Corrupt persistent input — a WAL that is not a WAL — exits 3, the
+   shared corrupt-input code; environmental failures stay at 2. *)
+let die_wal_error e =
+  prerr_endline (Xsm_persist.Wal.error_message e);
+  exit (match e with Xsm_persist.Wal.Not_a_wal _ -> 3 | Xsm_persist.Wal.Io _ -> 2)
+
+let die_recovery_error e =
+  prerr_endline (Xsm_persist.Recovery.error_message e);
+  exit
+    (match e with
+    | Xsm_persist.Recovery.Corrupt_wal _ -> 3
+    | Xsm_persist.Recovery.Failed _ -> 2)
 
 (* ------------------------------------------------------------------ *)
 (* Telemetry: --trace/--metrics, shared by the data-touching commands.
@@ -367,7 +393,7 @@ let load_cmd =
         in
         match Wal.Writer.create ?crash ~sync_every p with
         | Ok w -> Some w
-        | Error e -> die "%s" e)
+        | Error e -> die_wal_error e)
     in
     let on_root =
       Option.map
@@ -957,7 +983,7 @@ let update_cmd =
         in
         match Wal.Writer.create ?crash ~sync_every p with
         | Ok w -> Some w
-        | Error e -> die "%s" e)
+        | Error e -> die_wal_error e)
     in
     Trace.with_span "update.script" ~attrs:[ ("script", script_path) ] (fun () ->
         execute_script ~script_path ~store ~dnode ~journal ?planner ?wal ());
@@ -1105,14 +1131,14 @@ let recover_cmd =
             | Some wal -> (
               match R.replay_wal ~journal ?labels ~truncate store ~root wal with
               | Ok s -> s
-              | Error e -> die e)
+              | Error e -> die_recovery_error e)
           in
           (store, root, labels, stats, Some planner)
       end
       else
         match R.recover ~truncate ~snapshot:snap_path ?wal:wal_path () with
         | Ok (store, root, labels, stats) -> (store, root, labels, stats, None)
-        | Error e -> die e
+        | Error e -> die_recovery_error e
     in
     Format.eprintf "recovered: %a@." R.pp_stats stats;
     (match query with
@@ -1213,9 +1239,7 @@ let stats_cmd =
     let wal =
       match Xsm_persist.Wal.Writer.create ~sync_every:1 wal_path with
       | Ok w -> w
-      | Error e ->
-        prerr_endline e;
-        exit 2
+      | Error e -> die_wal_error e
     in
     Fun.protect
       ~finally:(fun () ->
@@ -1241,7 +1265,9 @@ let stats_cmd =
       (fun b -> ignore (Xsm_storage.Buffer_pool.touch pool b))
       (Xsm_storage.Buffer_pool.navigation_trace bs (Xsm_storage.Block_storage.root bs));
     Metrics.Gauge.set g_hit_ratio
-      (Xsm_storage.Buffer_pool.hit_ratio (Xsm_storage.Buffer_pool.stats pool));
+      (match Xsm_storage.Buffer_pool.hit_ratio (Xsm_storage.Buffer_pool.stats pool) with
+      | Some r -> r
+      | None -> Float.nan (* no accesses: JSON null / "(unset)", not 1.0 *));
     print_endline (Xsm_obs.Json.to_string (Metrics.to_json Metrics.default))
   in
   Cmd.v
@@ -1351,6 +1377,451 @@ let roundtrip_cmd =
     (Cmd.info "roundtrip" ~doc:"Check the \xc2\xa78 theorem for one document")
     Term.(const run $ schema_arg $ doc_arg)
 
+(* ------------------------------------------------------------------ *)
+(* serve / client / bench-serve: the session daemon (DESIGN.md §12)   *)
+
+module Server = Xsm_server.Server
+module Sclient = Xsm_server.Client
+
+let socket_arg ~required:req =
+  let doc = "Unix domain socket path" in
+  if req then Arg.(required & opt (some string) None & info [ "socket" ] ~docv:"PATH" ~doc)
+  else
+    Arg.(
+      value
+      & opt string (Filename.concat (Filename.get_temp_dir_name ()) "xsm-serve.sock")
+      & info [ "socket" ] ~docv:"PATH" ~doc)
+
+let serve_cmd =
+  let doc_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "doc" ] ~docv:"DOC"
+          ~doc:"Boot from this XML document (fresh base; an existing --wal file is discarded).")
+  in
+  let snapshot_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "snapshot" ] ~docv:"FILE"
+          ~doc:
+            "Boot by recovering from this snapshot when it exists (replaying the --wal \
+             tail on top), and write the final state back to it at graceful shutdown — \
+             at which point the WAL it subsumes is removed (a checkpoint).")
+  in
+  let wal_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "wal" ] ~docv:"FILE" ~doc:"Append every committed update to this write-ahead log.")
+  in
+  let schema_arg =
+    Arg.(
+      value & opt (some file) None
+      & info [ "schema" ] ~docv:"XSD" ~doc:"Schema for $(b,validate) requests.")
+  in
+  let domains_arg =
+    (* parallel readers beyond the core count only add GC
+       synchronization; default to what the machine can actually run *)
+    Arg.(
+      value
+      & opt int (max 1 (min 4 (Domain.recommended_domain_count () - 1)))
+      & info [ "domains" ] ~docv:"N" ~doc:"Read-pool size: parallel query evaluators.")
+  in
+  let no_group_commit_flag =
+    Arg.(
+      value & flag
+      & info [ "no-group-commit" ]
+          ~doc:"Fsync the WAL after every record instead of once per batch (the E17 baseline).")
+  in
+  let index_flag =
+    Arg.(
+      value & flag
+      & info [ "index" ]
+          ~doc:
+            "Route queries through the journal-maintained index planner (serialized) \
+             instead of the parallel pure evaluator.")
+  in
+  let labels_flag =
+    Arg.(value & flag & info [ "labels" ] ~doc:"Maintain \xc2\xa79.3 Sedna labels across updates.")
+  in
+  let run () socket doc_path snap_path wal_path schema_path domains no_group_commit use_index
+      with_labels =
+    let schema = Option.map (fun p -> or_die (load_schema p)) schema_path in
+    let store, root, labels =
+      match snap_path with
+      | Some snap when Sys.file_exists snap -> (
+        let wal = match wal_path with Some w when Sys.file_exists w -> Some w | _ -> None in
+        match Xsm_persist.Recovery.recover ~truncate:true ~snapshot:snap ?wal () with
+        | Ok (store, root, labels, stats) ->
+          Format.eprintf "xsm serve: recovered: %a@." Xsm_persist.Recovery.pp_stats stats;
+          (store, root, labels)
+        | Error e -> die_recovery_error e)
+      | _ -> (
+        match doc_path with
+        | None -> die "serve: no snapshot to recover — need --doc for a fresh server"
+        | Some p ->
+          let doc = or_die (load_document p) in
+          let store = Xsm_xdm.Store.create () in
+          let dnode = Xsm_xdm.Convert.load store doc in
+          let labels =
+            if with_labels then Some (Xsm_numbering.Labeler.label_tree store dnode) else None
+          in
+          (* a fresh base invalidates any log from a previous run: its
+             records address the old state *)
+          (match wal_path with
+          | Some w when Sys.file_exists w -> Sys.remove w
+          | _ -> ());
+          (store, dnode, labels))
+    in
+    let config =
+      {
+        Server.socket_path = socket;
+        snapshot_path = snap_path;
+        wal_path;
+        domains;
+        group_commit = not no_group_commit;
+        use_index;
+      }
+    in
+    match Server.create config ~store ~root ?labels ?schema () with
+    | Error e -> die "%s" e
+    | Ok srv ->
+      List.iter
+        (fun s -> Sys.set_signal s (Sys.Signal_handle (fun _ -> Server.request_stop srv)))
+        [ Sys.sigterm; Sys.sigint ];
+      let on_ready () =
+        Printf.eprintf "xsm serve: listening on %s (domains=%d, %s)\n%!" socket domains
+          (if no_group_commit then "fsync-per-record" else "group commit")
+      in
+      (match Server.serve ~on_ready srv with
+      | Ok () ->
+        Printf.eprintf "xsm serve: stopped after %d sessions\n%!" (Server.sessions_served srv)
+      | Error e -> die "%s" e)
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the session daemon: one process owning the store, labels, indexes and WAL, \
+          serving concurrent sessions over a Unix domain socket — parallel snapshot \
+          reads on a domain pool, group-committed writes")
+    Term.(
+      const run $ obs_term $ socket_arg ~required:false $ doc_arg $ snapshot_arg $ wal_arg
+      $ schema_arg $ domains_arg $ no_group_commit_flag $ index_flag $ labels_flag)
+
+let client_cmd =
+  let query_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "query" ] ~docv:"PATH" ~doc:"Evaluate an XPath on the server.")
+  in
+  let update_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "update" ] ~docv:"CMD"
+          ~doc:"Apply one update-script command ($(b,insert), $(b,delete), $(b,content), ...).")
+  in
+  let validate_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "validate" ] ~docv:"DOC"
+          ~doc:"Validate this XML file against the server's schema ('-' for stdin).")
+  in
+  let stats_flag = Arg.(value & flag & info [ "stats" ] ~doc:"Print the server's stats JSON.") in
+  let shutdown_flag =
+    Arg.(value & flag & info [ "shutdown" ] ~doc:"Ask the server to stop gracefully.")
+  in
+  let run () socket query update validate stats shutdown =
+    let c = match Sclient.connect socket with Ok c -> c | Error e -> die "%s" e in
+    Fun.protect
+      ~finally:(fun () -> Sclient.close c)
+      (fun () ->
+        let actions =
+          List.length (List.filter Option.is_some [ query; update; validate ])
+          + (if stats then 1 else 0)
+          + if shutdown then 1 else 0
+        in
+        if actions <> 1 then
+          die "client: give exactly one of --query, --update, --validate, --stats, --shutdown";
+        match (query, update, validate) with
+        | Some path, _, _ -> (
+          match Sclient.query c path with
+          | Ok (epoch, values) ->
+            Printf.eprintf "epoch %d, %d nodes\n" epoch (List.length values);
+            List.iter print_endline values
+          | Error e ->
+            prerr_endline e;
+            exit 1)
+        | _, Some command, _ -> (
+          match Sclient.update c command with
+          | Ok epoch -> Printf.printf "applied (epoch %d)\n" epoch
+          | Error e ->
+            prerr_endline e;
+            exit 1)
+        | _, _, Some doc_path -> (
+          match Sclient.validate c (read_doc_source doc_path) with
+          | Ok (true, _) -> print_endline "valid"
+          | Ok (false, errors) ->
+            List.iter print_endline errors;
+            exit 1
+          | Error e ->
+            prerr_endline e;
+            exit 1)
+        | None, None, None ->
+          if shutdown then (
+            match Sclient.shutdown c with
+            | Ok () -> print_endline "stopping"
+            | Error e ->
+              prerr_endline e;
+              exit 1)
+          else (
+            match Sclient.stats c with
+            | Ok body -> print_endline (Xsm_obs.Json.to_string body)
+            | Error e ->
+              prerr_endline e;
+              exit 1))
+  in
+  Cmd.v
+    (Cmd.info "client" ~doc:"One-shot client for a running $(b,xsm serve) daemon")
+    Term.(
+      const run $ obs_term $ socket_arg ~required:true $ query_arg $ update_arg $ validate_arg
+      $ stats_flag $ shutdown_flag)
+
+(* Closed-loop load generator for the daemon (bench E17): spawn an
+   [xsm serve] child, fork N single-threaded client processes that
+   each run a read/write mix against it, and aggregate their recorded
+   latencies into p50/p99 and overall throughput. *)
+let bench_serve_cmd =
+  let clients_arg =
+    Arg.(value & opt int 8 & info [ "clients" ] ~docv:"N" ~doc:"Concurrent client processes.")
+  in
+  let requests_arg =
+    Arg.(value & opt int 200 & info [ "requests" ] ~docv:"M" ~doc:"Requests per client.")
+  in
+  let domains_arg =
+    Arg.(
+      value
+      & opt int (max 1 (min 4 (Domain.recommended_domain_count () - 1)))
+      & info [ "domains" ] ~docv:"D" ~doc:"Server read-pool size.")
+  in
+  let entries_arg =
+    Arg.(
+      value & opt int 200
+      & info [ "entries" ] ~docv:"K" ~doc:"Books in the generated library document.")
+  in
+  let write_ratio_arg =
+    Arg.(
+      value & opt float 0.1
+      & info [ "write-ratio" ] ~docv:"R" ~doc:"Fraction of requests that are updates.")
+  in
+  let no_group_commit_flag =
+    Arg.(
+      value & flag
+      & info [ "no-group-commit" ] ~doc:"Run the server with fsync-per-record (the baseline).")
+  in
+  let index_flag =
+    Arg.(value & flag & info [ "index" ] ~doc:"Run the server with --index (serialized reads).")
+  in
+  let smoke_flag =
+    Arg.(
+      value & flag
+      & info [ "smoke" ]
+          ~doc:"Tiny deterministic run for CI: 2 clients, 25 requests, 100 entries.")
+  in
+  let percentile sorted q =
+    let n = Array.length sorted in
+    if n = 0 then Float.nan else sorted.(min (n - 1) (int_of_float (q *. float_of_int n)))
+  in
+  let generate_library k =
+    let buf = Buffer.create (k * 96) in
+    Buffer.add_string buf "<library>";
+    for i = 1 to k do
+      Buffer.add_string buf
+        (Printf.sprintf
+           "<book id=\"b%d\"><title>Title %d</title><author>Author %d</author><year>%d</year></book>"
+           i i (i mod 97) (1950 + (i mod 70)))
+    done;
+    Buffer.add_string buf "</library>";
+    Buffer.contents buf
+  in
+  let run () clients requests domains entries write_ratio no_group_commit use_index smoke =
+    let clients, requests, entries =
+      if smoke then (2, 25, 100) else (clients, requests, entries)
+    in
+    let dir =
+      Filename.concat (Filename.get_temp_dir_name ())
+        (Printf.sprintf "xsm-bench-serve-%d" (Unix.getpid ()))
+    in
+    (try Unix.mkdir dir 0o700 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+    let sock = Filename.concat dir "serve.sock" in
+    let doc_file = Filename.concat dir "library.xml" in
+    let wal_file = Filename.concat dir "serve.wal" in
+    let log_file = Filename.concat dir "server.log" in
+    let out = open_out doc_file in
+    output_string out (generate_library entries);
+    close_out out;
+    (* the server is a separate process: the bench parent stays
+       single-threaded, so forking client processes below is safe *)
+    let argv =
+      [ Sys.executable_name; "serve"; "--socket"; sock; "--doc"; doc_file; "--wal"; wal_file;
+        "--domains"; string_of_int domains ]
+      @ (if no_group_commit then [ "--no-group-commit" ] else [])
+      @ if use_index then [ "--index" ] else []
+    in
+    let log_fd = Unix.openfile log_file [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
+    let server_pid =
+      Unix.create_process Sys.executable_name (Array.of_list argv) Unix.stdin log_fd log_fd
+    in
+    Unix.close log_fd;
+    let die_with_log fmt =
+      Printf.ksprintf
+        (fun s ->
+          prerr_endline s;
+          (try print_string (read_file log_file) with Sys_error _ -> ());
+          (try Unix.kill server_pid Sys.sigkill with Unix.Unix_error _ -> ());
+          exit 2)
+        fmt
+    in
+    (* wait until the socket accepts a handshake *)
+    let rec await tries =
+      if tries = 0 then die_with_log "bench-serve: server did not come up";
+      (match Unix.waitpid [ Unix.WNOHANG ] server_pid with
+      | 0, _ -> ()
+      | _ -> die_with_log "bench-serve: server exited during startup");
+      match Sclient.connect sock with
+      | Ok c -> Sclient.close c
+      | Error _ ->
+        Unix.sleepf 0.05;
+        await (tries - 1)
+    in
+    await 200;
+    let write_every =
+      if write_ratio <= 0.0 then 0 else max 1 (int_of_float (1.0 /. write_ratio))
+    in
+    let read_query = "//book[author=\"Author 13\"]/title" in
+    let client_main i =
+      let lat = Filename.concat dir (Printf.sprintf "client-%d.lat" i) in
+      let out = open_out lat in
+      (match Sclient.connect ~client:(Printf.sprintf "bench-%d" i) sock with
+      | Error e ->
+        Printf.eprintf "bench client %d: %s\n%!" i e;
+        close_out out;
+        Unix._exit 1
+      | Ok c ->
+        for j = 0 to requests - 1 do
+          let is_write = write_every > 0 && j mod write_every = write_every - 1 in
+          let t0 = Xsm_obs.Clock.now_ns () in
+          let result =
+            if is_write then
+              Result.map ignore
+                (Sclient.update c (Printf.sprintf "attr /library seq c%d-%d" i j))
+            else Result.map ignore (Sclient.query c read_query)
+          in
+          let t1 = Xsm_obs.Clock.now_ns () in
+          match result with
+          | Ok () ->
+            Printf.fprintf out "%c %Ld\n" (if is_write then 'w' else 'r') (Int64.sub t1 t0)
+          | Error e ->
+            Printf.eprintf "bench client %d: request %d: %s\n%!" i j e;
+            close_out out;
+            Unix._exit 1
+        done;
+        Sclient.close c);
+      close_out out;
+      Unix._exit 0
+    in
+    let bench_start = Xsm_obs.Clock.now_ns () in
+    let pids =
+      List.init clients (fun i ->
+          match Unix.fork () with
+          | 0 -> client_main i
+          | pid -> pid)
+    in
+    let ok =
+      List.for_all
+        (fun pid ->
+          match Unix.waitpid [] pid with _, Unix.WEXITED 0 -> true | _ -> false)
+        pids
+    in
+    let bench_stop = Xsm_obs.Clock.now_ns () in
+    if not ok then die_with_log "bench-serve: a client failed";
+    (* pull commit stats before stopping the server *)
+    let commit_line =
+      match Sclient.connect sock with
+      | Error e -> die_with_log "bench-serve: stats connect: %s" e
+      | Ok c ->
+        Fun.protect
+          ~finally:(fun () -> Sclient.close c)
+          (fun () ->
+            match Sclient.stats c with
+            | Error e -> die_with_log "bench-serve: stats: %s" e
+            | Ok body -> (
+              let module J = Xsm_obs.Json in
+              let field path =
+                List.fold_left
+                  (fun j name -> Option.bind j (J.member name))
+                  (Some body) path
+              in
+              match
+                ( field [ "server"; "commit"; "submissions" ],
+                  field [ "server"; "commit"; "batches" ],
+                  field [ "server"; "commit"; "max_batch" ] )
+              with
+              | Some (J.Num s), Some (J.Num b), Some (J.Num m) ->
+                Printf.sprintf "commit: %d submissions in %d batches (max batch %d)"
+                  (int_of_float s) (int_of_float b) (int_of_float m)
+              | _ -> "commit: (stats unavailable)"))
+    in
+    (match Sclient.connect sock with
+    | Ok c ->
+      ignore (Sclient.shutdown c);
+      Sclient.close c
+    | Error _ -> ());
+    ignore (Unix.waitpid [] server_pid);
+    (* aggregate the recorded latencies *)
+    let reads = ref [] and writes = ref [] in
+    for i = 0 to clients - 1 do
+      let ic = open_in (Filename.concat dir (Printf.sprintf "client-%d.lat" i)) in
+      (try
+         while true do
+           match String.split_on_char ' ' (input_line ic) with
+           | [ "r"; ns ] -> reads := Int64.to_float (Int64.of_string ns) :: !reads
+           | [ "w"; ns ] -> writes := Int64.to_float (Int64.of_string ns) :: !writes
+           | _ -> ()
+         done
+       with End_of_file -> ());
+      close_in ic
+    done;
+    let ms ns = ns /. 1e6 in
+    let elapsed_s = Int64.to_float (Int64.sub bench_stop bench_start) /. 1e9 in
+    let total = List.length !reads + List.length !writes in
+    let report kind samples =
+      let a = Array.of_list samples in
+      Array.sort compare a;
+      Printf.printf "  %-7s n=%-6d p50=%.3fms p99=%.3fms\n" kind (Array.length a)
+        (ms (percentile a 0.50)) (ms (percentile a 0.99))
+    in
+    Printf.printf
+      "bench-serve: clients=%d domains=%d group_commit=%b index=%b entries=%d\n" clients
+      domains (not no_group_commit) use_index entries;
+    Printf.printf "  total   %d requests in %.2fs = %.0f req/s\n" total elapsed_s
+      (float_of_int total /. elapsed_s);
+    if !reads <> [] then report "reads" !reads;
+    if !writes <> [] then report "writes" !writes;
+    Printf.printf "  %s\n" commit_line;
+    (* best-effort cleanup *)
+    Array.iter
+      (fun f -> try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+      (try Sys.readdir dir with Sys_error _ -> [||]);
+    try Unix.rmdir dir with Unix.Unix_error _ -> ()
+  in
+  Cmd.v
+    (Cmd.info "bench-serve"
+       ~doc:
+         "Drive a spawned $(b,xsm serve) daemon with N concurrent client processes and \
+          report latency percentiles and throughput (bench E17)")
+    Term.(
+      const run $ obs_term $ clients_arg $ requests_arg $ domains_arg $ entries_arg
+      $ write_ratio_arg $ no_group_commit_flag $ index_flag $ smoke_flag)
+
 let () =
   let info =
     Cmd.info "xsm" ~version:"1.0.0"
@@ -1364,4 +1835,5 @@ let () =
             update_cmd;
             flwor_cmd;
             dataguide_cmd; labels_cmd; roundtrip_cmd; snapshot_cmd; recover_cmd; stats_cmd;
+            serve_cmd; client_cmd; bench_serve_cmd;
           ]))

@@ -10,8 +10,19 @@
 
 val now_ns : unit -> int64
 (** Wall-clock nanoseconds since an arbitrary process-local epoch
-    (module load).  Monotone non-decreasing in practice for the
-    intra-process intervals telemetry measures. *)
+    (module load), made {e non-decreasing}: the underlying source is
+    [Unix.gettimeofday], which can step backwards (NTP adjustment, VM
+    migration), so reads are clamped to the largest value previously
+    returned — a backwards step shows up as a stretch of equal reads,
+    never as time running in reverse.  The clamp is atomic, so the
+    guarantee holds across domains.  {!Trace} additionally clamps span
+    durations at recording time, so exported traces never contain
+    negative durations even for spans whose endpoints were read before
+    this module's watermark advanced. *)
+
+val raw_ns : unit -> int64
+(** The unclamped wall-clock read {!now_ns} is built on.  May go
+    backwards; exposed for tests and callers that want the raw source. *)
 
 val cpu_ns : unit -> int64
 (** Process CPU nanoseconds ([Sys.time]-based), for attributing how

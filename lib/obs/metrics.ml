@@ -204,7 +204,9 @@ let to_json reg =
             | _ -> None)) );
       ( "gauges",
         Json.Obj
-          (pick (function name, G g -> Some (name, Json.Num g.g) | _ -> None)) );
+          (* json_num: a NaN gauge (e.g. hit ratio of an untouched pool)
+             must emit [null], not the invalid JSON token [nan] *)
+          (pick (function name, G g -> Some (name, json_num g.g) | _ -> None)) );
       ( "histograms",
         Json.Obj
           (pick (function name, H h -> Some (name, histogram_json h) | _ -> None)) );
@@ -218,7 +220,12 @@ let pp ppf reg =
       | C c ->
         Format.fprintf ppf "counter   %-32s %d%s@." c.c_name (Counter.value c)
           (annotate c.c_help)
-      | G g -> Format.fprintf ppf "gauge     %-32s %g%s@." g.g_name g.g (annotate g.g_help)
+      | G g ->
+        (* NaN marks a gauge with nothing to report (e.g. hit ratio of
+           an untouched pool) — render that state, not a number *)
+        if Float.is_nan g.g then
+          Format.fprintf ppf "gauge     %-32s (unset)%s@." g.g_name (annotate g.g_help)
+        else Format.fprintf ppf "gauge     %-32s %g%s@." g.g_name g.g (annotate g.g_help)
       | H h ->
         if h.h_count = 0 then
           Format.fprintf ppf "histogram %-32s (empty)%s@." h.h_name (annotate h.h_help)

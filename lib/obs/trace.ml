@@ -43,7 +43,9 @@ let record ~id ~parent ~name ~start ~stop ~depth ~attrs =
   s.s_parent <- parent;
   s.s_name <- name;
   s.s_start <- start;
-  s.s_dur <- Int64.sub stop start;
+  (* the wall clock can step backwards between the two reads; a span
+     can shrink to nothing but never to a negative duration *)
+  s.s_dur <- (let d = Int64.sub stop start in if Int64.compare d 0L < 0 then 0L else d);
   s.s_depth <- depth;
   s.s_attrs <- attrs;
   ring_pos := (!ring_pos + 1) mod Array.length !ring;
@@ -124,6 +126,12 @@ let with_span ?(attrs = []) name f =
 
 let with_detail_span ?attrs name f =
   if !enabled && !detail then with_span ?attrs name f else f ()
+
+let record_span ?(attrs = []) name ~start_ns ~stop_ns =
+  if !enabled then begin
+    incr next_id;
+    record ~id:!next_id ~parent:0 ~name ~start:start_ns ~stop:stop_ns ~depth:0 ~attrs
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Export                                                              *)

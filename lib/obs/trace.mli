@@ -41,6 +41,16 @@ val with_span : ?attrs:(string * string) list -> string -> (unit -> 'a) -> 'a
 val with_detail_span : ?attrs:(string * string) list -> string -> (unit -> 'a) -> 'a
 (** {!with_span} when {!detail} is also set, plain call otherwise. *)
 
+val record_span :
+  ?attrs:(string * string) list -> string -> start_ns:int64 -> stop_ns:int64 -> unit
+(** Record an already-timed root span directly (no open-span stack
+    involvement) — for callers that measured an interval themselves,
+    such as the server recording per-request spans whose endpoints
+    were read on another thread.  The duration is clamped at zero:
+    [stop_ns < start_ns] (a wall-clock step between the reads) records
+    an instantaneous span, never a negative one.  Not itself
+    thread-safe — concurrent recorders must serialize calls. *)
+
 val add_attr : string -> string -> unit
 (** Attach a key/value attribute to the innermost open span (no-op
     when tracing is off or no span is open). *)

@@ -10,6 +10,18 @@ let m_replayed = Counter.make ~help:"WAL operations replayed" "recover.replayed"
 let m_torn_bytes = Counter.make ~help:"bytes in torn WAL tails" "recover.torn_bytes"
 let g_snapshot_nodes = Gauge.make ~help:"nodes in the last loaded snapshot" "recover.snapshot_nodes"
 
+(* Corrupt input (a WAL that is not a WAL) kept apart from every other
+   failure: the CLI exits 3 on the former, 2 on the latter. *)
+type error = Corrupt_wal of string | Failed of string
+
+let error_message = function
+  | Corrupt_wal path -> Wal.error_message (Wal.Not_a_wal path)
+  | Failed message -> message
+
+let of_wal_error = function
+  | Wal.Not_a_wal path -> Corrupt_wal path
+  | Wal.Io message -> Failed message
+
 type stats = {
   snapshot_nodes : int;
   wal_records : int;
@@ -74,14 +86,14 @@ let replay_wal_inner ?journal ?labels ?(truncate = true) store ~root wal_path =
   let snapshot_nodes = Store.subtree_size store root in
   if not (Sys.file_exists wal_path) then Ok (empty_stats snapshot_nodes)
   else
-    let* result = Wal.read wal_path in
+    let* result = Result.map_error of_wal_error (Wal.read wal_path) in
     let* torn_bytes, truncated =
       match result.Wal.torn_at with
       | None -> Ok (0, false)
       | Some _ when truncate -> (
         match Wal.truncate_torn wal_path with
         | Ok dropped -> Ok (dropped, true)
-        | Error _ as e -> e |> Result.map (fun _ -> (0, false)))
+        | Error e -> Error (of_wal_error e))
       | Some _ -> (
         (* report how much would go without touching the file *)
         try Ok ((Unix.stat wal_path).Unix.st_size - result.Wal.valid_bytes, false)
@@ -111,7 +123,8 @@ let replay_wal_inner ?journal ?labels ?(truncate = true) store ~root wal_path =
           | _ -> ());
           replay (idx + 1) rest
         | Error e ->
-          Error (Format.asprintf "recovery: record %d (%a): %s" (idx + 1) Wal.pp_op op e))
+          Error
+            (Failed (Format.asprintf "recovery: record %d (%a): %s" (idx + 1) Wal.pp_op op e)))
     in
     let* replayed = replay 0 result.Wal.records in
     (match label_cursor with
@@ -137,7 +150,7 @@ let recover ?journal ?truncate ~snapshot ?wal () =
   let ( let* ) = Result.bind in
   let* store, root, labels, _meta =
     Trace.with_span "recover.snapshot" ~attrs:[ ("path", snapshot) ] (fun () ->
-        Snapshot.load ~path:snapshot)
+        Result.map_error (fun m -> Failed m) (Snapshot.load ~path:snapshot))
   in
   let* stats =
     match wal with

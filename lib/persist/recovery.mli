@@ -15,6 +15,14 @@
     planner built over the snapshot state absorb the replay
     differentially — indexes {e resume} rather than rebuild. *)
 
+type error =
+  | Corrupt_wal of string
+      (** the WAL path: the file is not a WAL (bad magic) — corrupt
+          input, mapped by the CLI to exit code 3 *)
+  | Failed of string  (** any other recovery failure *)
+
+val error_message : error -> string
+
 type stats = {
   snapshot_nodes : int;  (** nodes restored from the snapshot *)
   wal_records : int;  (** valid WAL records scanned (ops + sync points) *)
@@ -33,7 +41,7 @@ val replay_wal :
   Xsm_xdm.Store.t ->
   root:Xsm_xdm.Store.node ->
   string ->
-  (stats, string) result
+  (stats, error) result
 (** The replay half of {!recover}, for callers that loaded the
     snapshot themselves — typically to build an index planner over the
     snapshot state and subscribe it to [journal] {e before} replay, so
@@ -50,7 +58,7 @@ val recover :
     * Xsm_xdm.Store.node
     * Xsm_numbering.Labeler.t option
     * stats,
-    string )
+    error )
   result
 (** [recover ~snapshot ?wal ()] rebuilds the database state.  A
     missing WAL file is an empty log (first boot after a snapshot);

@@ -272,6 +272,15 @@ let encode_record record =
 (* ------------------------------------------------------------------ *)
 (* Writer                                                              *)
 
+(* Structured errors, so callers can tell corrupt input (a file that
+   is not a WAL) from environmental I/O failure: the CLI maps the
+   former to its corrupt-input exit code, the latter to unusable-file.
+   No [failwith]-as-control-flow — a bare [Failure] caught broadly
+   can swallow genuine bugs. *)
+type error =
+  | Not_a_wal of string  (* the path: file exists but lacks the WAL magic *)
+  | Io of string
+
 type crash = { after_records : int; partial_bytes : int }
 
 exception Crashed
@@ -296,31 +305,33 @@ module Writer = struct
       (Int64.to_float (Int64.sub (Xsm_obs.Clock.now_ns ()) start))
 
   let create ?crash ?(sync_every = 1) path =
-    if sync_every < 1 then Error "wal: sync_every must be >= 1"
+    if sync_every < 1 then Error (Io "wal: sync_every must be >= 1")
     else
       try
         let fresh = (not (Sys.file_exists path)) || (Unix.stat path).Unix.st_size = 0 in
-        if not fresh then begin
+        let magic_ok =
+          fresh
+          ||
           (* appending: verify the magic before trusting the file *)
           let ic = open_in_bin path in
-          let ok =
-            Fun.protect
-              ~finally:(fun () -> close_in_noerr ic)
-              (fun () ->
-                in_channel_length ic >= String.length magic
-                && really_input_string ic (String.length magic) = magic)
-          in
-          if not ok then failwith (path ^ " is not a WAL file")
-        end;
-        let oc = open_out_gen [ Open_append; Open_creat; Open_binary ] 0o644 path in
-        if fresh then output_string oc magic;
-        let t = { oc; crash; sync_every; records = 0; unsynced = 0; crashed = false } in
-        fsync t;
-        Ok t
+          Fun.protect
+            ~finally:(fun () -> close_in_noerr ic)
+            (fun () ->
+              in_channel_length ic >= String.length magic
+              && really_input_string ic (String.length magic) = magic)
+        in
+        if not magic_ok then Error (Not_a_wal path)
+        else begin
+          let oc = open_out_gen [ Open_append; Open_creat; Open_binary ] 0o644 path in
+          if fresh then output_string oc magic;
+          let t = { oc; crash; sync_every; records = 0; unsynced = 0; crashed = false } in
+          fsync t;
+          Ok t
+        end
       with
-      | Sys_error e | Failure e -> Error ("wal: " ^ e)
+      | Sys_error e -> Error (Io ("wal: " ^ e))
       | Unix.Unix_error (err, fn, _) ->
-        Error (Printf.sprintf "wal: %s: %s" fn (Unix.error_message err))
+        Error (Io (Printf.sprintf "wal: %s: %s" fn (Unix.error_message err)))
 
   let emit t record =
     if t.crashed then raise Crashed;
@@ -362,6 +373,10 @@ end
 
 type torn = Torn_header of int | Torn_payload of int | Torn_crc of int
 
+let error_message = function
+  | Not_a_wal path -> Printf.sprintf "wal: %s is not a WAL file (bad magic)" path
+  | Io message -> message
+
 type read_result = {
   records : record list;
   valid_bytes : int;
@@ -379,7 +394,7 @@ let read path =
     in
     let len = String.length bytes in
     let mlen = String.length magic in
-    if len < mlen || String.sub bytes 0 mlen <> magic then Error "wal: bad magic"
+    if len < mlen || String.sub bytes 0 mlen <> magic then Error (Not_a_wal path)
     else begin
       let records = ref [] in
       let ops_seen = ref 0 in
@@ -418,7 +433,7 @@ let read path =
           synced_prefix;
         }
     end
-  with Sys_error e -> Error ("wal: " ^ e)
+  with Sys_error e -> Error (Io ("wal: " ^ e))
 
 let truncate_torn path =
   match read path with
@@ -435,4 +450,4 @@ let truncate_torn path =
           Unix.fsync fd);
       Ok (size - valid_bytes)
     with Unix.Unix_error (err, fn, _) ->
-      Error (Printf.sprintf "wal: %s: %s" fn (Unix.error_message err)))
+      Error (Io (Printf.sprintf "wal: %s: %s" fn (Unix.error_message err))))

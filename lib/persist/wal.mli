@@ -85,6 +85,18 @@ type record = Op of op | Sync_point
 val encode_record : record -> string
 (** The framed bytes: length, CRC, payload. *)
 
+(** {1 Errors} *)
+
+type error =
+  | Not_a_wal of string
+      (** the path: the file exists but does not start with the WAL
+          magic — corrupt or foreign input, not an I/O failure.  The
+          CLI maps this to its corrupt-input exit code (3). *)
+  | Io of string  (** an environmental failure (open, stat, fsync …) *)
+
+val error_message : error -> string
+(** Render an {!error} for diagnostics. *)
+
 (** {1 Writing} *)
 
 type crash = {
@@ -101,9 +113,11 @@ exception Crashed
 module Writer : sig
   type t
 
-  val create : ?crash:crash -> ?sync_every:int -> string -> (t, string) result
+  val create : ?crash:crash -> ?sync_every:int -> string -> (t, error) result
   (** Open (or create) a WAL for appending.  [sync_every] (default 1)
-      fsyncs after every n-th record; {!sync} forces one anytime. *)
+      fsyncs after every n-th record; {!sync} forces one anytime.
+      Appending to an existing non-empty file first verifies the
+      magic; a file that is not a WAL is [Error (Not_a_wal _)]. *)
 
   val append : t -> op -> unit
   val sync : t -> unit
@@ -127,10 +141,10 @@ type read_result = {
           (= all valid ops when the log ends cleanly) *)
 }
 
-val read : string -> (read_result, string) result
+val read : string -> (read_result, error) result
 (** Scan the log; never fails on torn tails — only on unreadable files
-    or bad magic. *)
+    ([Io]) or bad magic ([Not_a_wal]). *)
 
-val truncate_torn : string -> (int, string) result
+val truncate_torn : string -> (int, error) result
 (** Cut the file back to its valid prefix; returns the bytes dropped
     (0 when the log is clean). *)

@@ -1,0 +1,85 @@
+module P = Protocol
+
+type t = { fd : Unix.file_descr; session : int; mutable next_id : int }
+
+let ( let* ) = Result.bind
+
+let session t = t.session
+
+let roundtrip fd req =
+  let* () = Frame.send fd (P.request_to_json req) in
+  match Frame.recv fd with
+  | Ok (Some j) -> P.response_of_json j
+  | Ok None -> Error "client: server closed the connection"
+  | Error e -> Error e
+
+let connect ?(client = "xsm") path =
+  (* a server that closed first (e.g. right after acking Shutdown)
+     must fail the send, not SIGPIPE the process *)
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  match Unix.connect fd (Unix.ADDR_UNIX path) with
+  | exception Unix.Unix_error (err, _, _) ->
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    Error (Printf.sprintf "client: %s: %s" path (Unix.error_message err))
+  | () -> (
+    match roundtrip fd (P.Hello { client }) with
+    | Ok (P.Welcome { session; version }) when version = P.version ->
+      Ok { fd; session; next_id = 0 }
+    | Ok (P.Welcome { version; _ }) ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      Error
+        (Printf.sprintf "client: protocol version mismatch (server %d, client %d)" version
+           P.version)
+    | Ok _ ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      Error "client: expected a welcome"
+    | Error e ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      Error e)
+
+let fresh_id t =
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  id
+
+(* calls are strictly synchronous, so the next response answers the
+   request just sent; ids matter only for pipelining clients *)
+let call t make decode =
+  let id = fresh_id t in
+  let* resp = roundtrip t.fd (make id) in
+  match resp with
+  | P.Failed { id = rid; message } when rid = id -> Error message
+  | resp -> (
+    match decode resp with
+    | Some result -> result
+    | None -> Error "client: unexpected response kind")
+
+let query t path =
+  call t
+    (fun id -> P.Query { id; path })
+    (function P.Nodes { epoch; values; _ } -> Some (Ok (epoch, values)) | _ -> None)
+
+let update t command =
+  call t
+    (fun id -> P.Update { id; command })
+    (function P.Applied { epoch; _ } -> Some (Ok epoch) | _ -> None)
+
+let validate t doc =
+  call t
+    (fun id -> P.Validate { id; doc })
+    (function P.Validity { valid; errors; _ } -> Some (Ok (valid, errors)) | _ -> None)
+
+let stats t =
+  call t
+    (fun id -> P.Stats { id })
+    (function P.Stats_reply { body; _ } -> Some (Ok body) | _ -> None)
+
+let shutdown t =
+  call t
+    (fun id -> P.Shutdown { id })
+    (function P.Stopping _ -> Some (Ok ()) | _ -> None)
+
+let close t =
+  (match Frame.send t.fd (P.request_to_json P.Bye) with Ok () | Error _ -> ());
+  try Unix.close t.fd with Unix.Unix_error _ -> ()

@@ -1,0 +1,35 @@
+(** A blocking client for one [xsm serve] session: connect, handshake,
+    then synchronous request/response calls.  Used by [xsm client] and
+    the [bench-serve] load generator; requests are sent one at a time
+    (the protocol allows pipelining, but the callers here don't need
+    it). *)
+
+type t
+
+val connect : ?client:string -> string -> (t, string) result
+(** [connect path] opens the Unix domain socket at [path] and performs
+    the [Hello]/[Welcome] handshake; [client] names this peer in the
+    handshake (default ["xsm"]).  Fails on connection refusal, framing
+    errors or a protocol-version mismatch. *)
+
+val session : t -> int
+(** The session id the server assigned in [Welcome]. *)
+
+val query : t -> string -> (int * string list, string) result
+(** Evaluate an XPath; returns the snapshot epoch and the result
+    nodes' string values. *)
+
+val update : t -> string -> (int, string) result
+(** Apply one update-script command; returns the post-batch epoch once
+    the write is durably committed. *)
+
+val validate : t -> string -> (bool * string list, string) result
+(** Validate a document text against the server's schema. *)
+
+val stats : t -> (Xsm_obs.Json.t, string) result
+
+val shutdown : t -> (unit, string) result
+(** Ask the server to stop gracefully (snapshot + exit). *)
+
+val close : t -> unit
+(** Send [Bye] (best-effort) and close the socket. *)

@@ -1,0 +1,79 @@
+type 'res cell = { mutable outcome : [ `Pending | `Done of 'res | `Failed of exn ] }
+
+type ('req, 'res) t = {
+  m : Mutex.t;
+  done_c : Condition.t;  (* followers wait for their batch to commit *)
+  q : ('req * 'res cell) Queue.t;
+  mutable leader : bool;
+  run : 'req list -> 'res list;
+  limit : int;  (* max submissions per batch; 1 = commit-per-request *)
+  mutable submissions : int;
+  mutable batches : int;
+  mutable max_batch : int;
+}
+
+type stats = { submissions : int; batches : int; max_batch : int }
+
+let create ?(limit = max_int) ~run () =
+  if limit < 1 then invalid_arg "Commit.create: limit must be >= 1";
+  {
+    m = Mutex.create ();
+    done_c = Condition.create ();
+    q = Queue.create ();
+    leader = false;
+    run;
+    limit;
+    submissions = 0;
+    batches = 0;
+    max_batch = 0;
+  }
+
+let drain q limit =
+  let rec go acc n =
+    if n = 0 || Queue.is_empty q then List.rev acc else go (Queue.pop q :: acc) (n - 1)
+  in
+  go [] limit
+
+let submit t req =
+  let cell = { outcome = `Pending } in
+  Mutex.lock t.m;
+  Queue.push (req, cell) t.q;
+  t.submissions <- t.submissions + 1;
+  if t.leader then
+    (* a leader is active: it will take this submission in its next
+       batch — wait as a follower *)
+    while cell.outcome = `Pending do
+      Condition.wait t.done_c t.m
+    done
+  else begin
+    t.leader <- true;
+    (* keep leading until the queue is momentarily empty: submissions
+       that arrived during a batch form the next one *)
+    while not (Queue.is_empty t.q) do
+      let batch = drain t.q t.limit in
+      Mutex.unlock t.m;
+      let outcome =
+        match t.run (List.map fst batch) with
+        | results when List.length results = List.length batch -> `Results results
+        | _ -> `Fail (Invalid_argument "Commit.run: result count mismatch")
+        | exception e -> `Fail e
+      in
+      Mutex.lock t.m;
+      (match outcome with
+      | `Results results -> List.iter2 (fun (_, c) r -> c.outcome <- `Done r) batch results
+      | `Fail e -> List.iter (fun (_, c) -> c.outcome <- `Failed e) batch);
+      t.batches <- t.batches + 1;
+      t.max_batch <- max t.max_batch (List.length batch);
+      Condition.broadcast t.done_c
+    done;
+    t.leader <- false
+  end;
+  let r = cell.outcome in
+  Mutex.unlock t.m;
+  match r with `Done v -> v | `Failed e -> raise e | `Pending -> assert false
+
+let stats t =
+  Mutex.lock t.m;
+  let s = { submissions = t.submissions; batches = t.batches; max_batch = t.max_batch } in
+  Mutex.unlock t.m;
+  s

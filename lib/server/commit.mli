@@ -1,0 +1,46 @@
+(** Group commit: concurrent submitters, one leader, one fsync per
+    batch.
+
+    Durability demands that an update is acknowledged only after its
+    WAL record reached disk, and an fsync costs milliseconds — orders
+    of magnitude more than applying the update.  Paying one fsync
+    {e per request} caps write throughput at [1/t_fsync] regardless of
+    concurrency.  Group commit amortizes it: the first submitter to
+    arrive becomes the {e leader}, drains every queued submission,
+    runs them as one batch (apply + WAL append each, then a single
+    fsync), and wakes the {e followers}, whose requests rode along.
+    Submissions arriving while a batch runs form the next batch, so
+    under load the batch size adapts to the fsync latency — the
+    classic leader/follower commit protocol.
+
+    The module is policy-free: [run] is injected, so tests drive it
+    with plain list appends and a counted "fsync", and the server
+    wires it to the epoch latch and the real WAL. *)
+
+type ('req, 'res) t
+
+val create : ?limit:int -> run:('req list -> 'res list) -> unit -> ('req, 'res) t
+(** [run batch] executes one batch — in the server: apply every
+    request under the exclusive {!Epoch.write} latch, then one WAL
+    fsync — and returns one result per request, in order.  It is only
+    ever called by one leader at a time.  If it raises (or returns a
+    list of the wrong length), every submission of that batch fails
+    with that exception.
+
+    [limit] caps the batch size (default: unlimited).  [limit:1] turns
+    the queue into a strict commit-per-request serializer — the E17
+    baseline, where every request pays its own latch acquisition and
+    its own fsync. *)
+
+val submit : ('req, 'res) t -> 'req -> 'res
+(** Hand in a request and block until the batch containing it has
+    fully committed (its [run] returned).  Re-raises the batch's
+    exception on failure.  Thread-safe. *)
+
+type stats = {
+  submissions : int;  (** requests submitted *)
+  batches : int;  (** [run] invocations — fsyncs, in the server *)
+  max_batch : int;  (** largest batch so far *)
+}
+
+val stats : ('req, 'res) t -> stats

@@ -1,0 +1,53 @@
+(* Mutex + condition, usable from both systhreads (sessions) and
+   domains (the read pool) — OCaml 5 Mutex/Condition span both. *)
+
+type t = {
+  m : Mutex.t;
+  c : Condition.t;
+  mutable readers : int;  (* active read sections *)
+  mutable writer : bool;  (* a writer holds, or is draining readers *)
+  mutable epoch : int;  (* completed write batches *)
+}
+
+let create () = { m = Mutex.create (); c = Condition.create (); readers = 0; writer = false; epoch = 0 }
+
+(* int loads don't tear in OCaml; this is a monotonic hint, the
+   authoritative value is the one [read] passes its callback *)
+let current t = t.epoch
+
+let read t f =
+  Mutex.lock t.m;
+  (* [writer] is set the moment a writer arrives, so readers queue
+     behind it — writer preference *)
+  while t.writer do
+    Condition.wait t.c t.m
+  done;
+  t.readers <- t.readers + 1;
+  let epoch = t.epoch in
+  Mutex.unlock t.m;
+  Fun.protect
+    ~finally:(fun () ->
+      Mutex.lock t.m;
+      t.readers <- t.readers - 1;
+      if t.readers = 0 then Condition.broadcast t.c;
+      Mutex.unlock t.m)
+    (fun () -> f epoch)
+
+let write t f =
+  Mutex.lock t.m;
+  while t.writer do
+    Condition.wait t.c t.m
+  done;
+  t.writer <- true;
+  while t.readers > 0 do
+    Condition.wait t.c t.m
+  done;
+  Mutex.unlock t.m;
+  Fun.protect
+    ~finally:(fun () ->
+      Mutex.lock t.m;
+      t.writer <- false;
+      t.epoch <- t.epoch + 1;
+      Condition.broadcast t.c;
+      Mutex.unlock t.m)
+    f

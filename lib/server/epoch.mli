@@ -1,0 +1,38 @@
+(** The epoch latch: many parallel readers over an immutable view, one
+    exclusive writer per batch, and a published epoch that tells a
+    reader {e which} view it saw.
+
+    This is how [xsm serve] gets snapshot-consistent parallel reads
+    without copying the store.  The store is only ever mutated inside
+    {!write}; {!read} sections overlap freely with each other (they
+    run on the domain pool, truly in parallel) but never with a
+    writer.  The epoch counter increments once per completed write
+    batch, so the value handed to a reader identifies the batch
+    boundary its view corresponds to: a reader observes the store
+    either wholly before or wholly after any batch — never mid-batch.
+
+    Writer preference: once a writer is waiting, new readers block
+    until it finishes, so a steady read load cannot starve updates.
+    Fairness between writers is the mutex's. *)
+
+type t
+
+val create : unit -> t
+(** A fresh latch at epoch 0. *)
+
+val current : t -> int
+(** The epoch of the last completed write batch (0 initially).  Reads
+    the counter without taking the latch — callers that need the value
+    to correspond to a stable view should use the one {!read} hands
+    them instead. *)
+
+val read : t -> (int -> 'a) -> 'a
+(** [read t f] runs [f epoch] under the shared latch: concurrent with
+    other readers, excluded from writers.  [epoch] is the view's epoch.
+    The latch is released when [f] returns or raises. *)
+
+val write : t -> (unit -> 'a) -> 'a
+(** [write t f] runs [f] exclusively: no reader or other writer
+    overlaps it.  The epoch increments {e after} [f] completes
+    (normally or by exception — the store may have been partially
+    mutated, and readers must still see a post-batch epoch). *)

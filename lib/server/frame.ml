@@ -1,0 +1,62 @@
+module Json = Xsm_obs.Json
+
+let max_frame = 16 * 1024 * 1024
+
+let rec really_write fd b off len =
+  if len > 0 then begin
+    let n = try Unix.write fd b off len with Unix.Unix_error (Unix.EINTR, _, _) -> 0 in
+    really_write fd b (off + n) (len - n)
+  end
+
+(* [`Eof n] = the stream ended after [n] of the requested bytes *)
+let really_read fd b off len =
+  let got = ref 0 in
+  let eof = ref false in
+  while !got < len && not !eof do
+    match Unix.read fd b (off + !got) (len - !got) with
+    | 0 -> eof := true
+    | n -> got := !got + n
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  done;
+  if !eof then `Eof !got else `All
+
+let send fd json =
+  try
+    let payload = Bytes.unsafe_of_string (Json.to_string json) in
+    let len = Bytes.length payload in
+    if len > max_frame then Error (Printf.sprintf "frame: payload of %d bytes too large" len)
+    else begin
+      let hdr = Bytes.create 4 in
+      Bytes.set_int32_be hdr 0 (Int32.of_int len);
+      really_write fd hdr 0 4;
+      really_write fd payload 0 len;
+      Ok ()
+    end
+  with
+  | Unix.Unix_error (err, fn, _) ->
+    Error (Printf.sprintf "frame: %s: %s" fn (Unix.error_message err))
+  | Sys_error e -> Error ("frame: " ^ e)
+
+let recv fd =
+  try
+    let hdr = Bytes.create 4 in
+    match really_read fd hdr 0 4 with
+    | `Eof 0 -> Ok None
+    | `Eof _ -> Error "frame: EOF inside frame header"
+    | `All ->
+      let len = Int32.to_int (Bytes.get_int32_be hdr 0) in
+      if len < 0 || len > max_frame then
+        Error (Printf.sprintf "frame: bad length %d" len)
+      else begin
+        let payload = Bytes.create len in
+        match really_read fd payload 0 len with
+        | `Eof _ -> Error "frame: EOF inside frame payload"
+        | `All -> (
+          match Json.parse (Bytes.unsafe_to_string payload) with
+          | Ok j -> Ok (Some j)
+          | Error e -> Error ("frame: " ^ e))
+      end
+  with
+  | Unix.Unix_error (err, fn, _) ->
+    Error (Printf.sprintf "frame: %s: %s" fn (Unix.error_message err))
+  | Sys_error e -> Error ("frame: " ^ e)

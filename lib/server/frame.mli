@@ -1,0 +1,23 @@
+(** Length-prefixed JSON frames over a file descriptor — the wire
+    format of the [xsm serve] protocol.
+
+    One frame is [length (4 bytes, big endian) ‖ payload], the payload
+    being one compact JSON text ({!Xsm_obs.Json}).  The length prefix
+    makes the stream self-delimiting, so a session can pipeline many
+    requests without waiting for responses, and the reader never needs
+    to scan for a terminator inside the JSON.
+
+    Frames are capped at {!max_frame} bytes: a corrupt or hostile
+    length prefix fails the read instead of provoking a gigabyte
+    allocation. *)
+
+val max_frame : int
+(** Upper bound on a payload (16 MiB). *)
+
+val send : Unix.file_descr -> Xsm_obs.Json.t -> (unit, string) result
+(** Serialize and write one frame, retrying short writes and [EINTR]. *)
+
+val recv : Unix.file_descr -> (Xsm_obs.Json.t option, string) result
+(** Read one frame.  [Ok None] is a clean end of stream (the peer
+    closed between frames); EOF inside a frame, an oversized length or
+    unparseable payload is an [Error]. *)

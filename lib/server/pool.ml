@@ -1,0 +1,79 @@
+type t = {
+  m : Mutex.t;
+  c : Condition.t;  (* workers sleep here; also signalled on stop *)
+  q : (unit -> unit) Queue.t;
+  mutable stop : bool;
+  mutable domains : unit Domain.t list;
+  size : int;
+}
+
+let worker t () =
+  let running = ref true in
+  while !running do
+    Mutex.lock t.m;
+    while Queue.is_empty t.q && not t.stop do
+      Condition.wait t.c t.m
+    done;
+    if Queue.is_empty t.q then begin
+      (* stop requested and the queue is drained *)
+      Mutex.unlock t.m;
+      running := false
+    end
+    else begin
+      let task = Queue.pop t.q in
+      Mutex.unlock t.m;
+      (* the task is a [run] wrapper that never raises *)
+      task ()
+    end
+  done
+
+let create n =
+  if n < 1 then invalid_arg "Pool.create: need at least one domain";
+  let t =
+    { m = Mutex.create (); c = Condition.create (); q = Queue.create (); stop = false;
+      domains = []; size = n }
+  in
+  t.domains <- List.init n (fun _ -> Domain.spawn (worker t));
+  t
+
+let size t = t.size
+
+(* one-shot mailbox a submitter blocks on *)
+type 'a cell = {
+  cm : Mutex.t;
+  cc : Condition.t;
+  mutable state : [ `Pending | `Done of 'a | `Raised of exn ];
+}
+
+let run t f =
+  let cell = { cm = Mutex.create (); cc = Condition.create (); state = `Pending } in
+  let task () =
+    let outcome = try `Done (f ()) with e -> `Raised e in
+    Mutex.lock cell.cm;
+    cell.state <- outcome;
+    Condition.signal cell.cc;
+    Mutex.unlock cell.cm
+  in
+  Mutex.lock t.m;
+  if t.stop then begin
+    Mutex.unlock t.m;
+    invalid_arg "Pool.run: pool is shut down"
+  end;
+  Queue.push task t.q;
+  Condition.signal t.c;
+  Mutex.unlock t.m;
+  Mutex.lock cell.cm;
+  while cell.state = `Pending do
+    Condition.wait cell.cc cell.cm
+  done;
+  let r = cell.state in
+  Mutex.unlock cell.cm;
+  match r with `Done v -> v | `Raised e -> raise e | `Pending -> assert false
+
+let shutdown t =
+  Mutex.lock t.m;
+  t.stop <- true;
+  Condition.broadcast t.c;
+  Mutex.unlock t.m;
+  List.iter Domain.join t.domains;
+  t.domains <- []

@@ -1,0 +1,29 @@
+(** A fixed pool of domains executing submitted closures — the
+    parallel read path of [xsm serve].
+
+    Session threads are systhreads (cheap, mostly blocked on socket
+    I/O) and share one domain's runtime lock; genuinely parallel
+    evaluation needs domains.  The pool spawns [size] domains at
+    creation, each looping over a shared task queue.  A session
+    submits a closure with {!run} and blocks until its result is
+    ready; with [size] > 1, closures from different sessions execute
+    simultaneously.
+
+    The closures must be safe to run concurrently — in the server they
+    are read-only store traversals under the {!Epoch} shared latch. *)
+
+type t
+
+val create : int -> t
+(** [create n] spawns [n] worker domains ([n >= 1];
+    [Invalid_argument] otherwise). *)
+
+val size : t -> int
+
+val run : t -> (unit -> 'a) -> 'a
+(** Execute the closure on a pool domain and wait for it; an exception
+    it raises is re-raised in the caller. *)
+
+val shutdown : t -> unit
+(** Finish queued tasks, stop the workers and join their domains.
+    {!run} after shutdown raises [Invalid_argument]. *)

@@ -1,0 +1,169 @@
+module Json = Xsm_obs.Json
+
+let version = 1
+
+type request =
+  | Hello of { client : string }
+  | Query of { id : int; path : string }
+  | Update of { id : int; command : string }
+  | Validate of { id : int; doc : string }
+  | Stats of { id : int }
+  | Shutdown of { id : int }
+  | Bye
+
+type response =
+  | Welcome of { session : int; version : int }
+  | Nodes of { id : int; epoch : int; values : string list }
+  | Applied of { id : int; epoch : int }
+  | Validity of { id : int; valid : bool; errors : string list }
+  | Stats_reply of { id : int; body : Xsm_obs.Json.t }
+  | Stopping of { id : int }
+  | Failed of { id : int; message : string }
+
+let request_id = function
+  | Hello _ | Bye -> None
+  | Query { id; _ } | Update { id; _ } | Validate { id; _ } | Stats { id } | Shutdown { id } ->
+    Some id
+
+(* ------------------------------------------------------------------ *)
+(* Decoding helpers: missing/mistyped fields are protocol errors with
+   the field name in the message, never exceptions. *)
+
+let str_field name j =
+  match Json.member name j with
+  | Some (Json.Str s) -> Ok s
+  | Some _ -> Error (Printf.sprintf "protocol: field %S must be a string" name)
+  | None -> Error (Printf.sprintf "protocol: missing field %S" name)
+
+let int_field name j =
+  match Json.member name j with
+  | Some (Json.Num f) when Float.is_integer f -> Ok (int_of_float f)
+  | Some _ -> Error (Printf.sprintf "protocol: field %S must be an integer" name)
+  | None -> Error (Printf.sprintf "protocol: missing field %S" name)
+
+let bool_field name j =
+  match Json.member name j with
+  | Some (Json.Bool b) -> Ok b
+  | Some _ -> Error (Printf.sprintf "protocol: field %S must be a boolean" name)
+  | None -> Error (Printf.sprintf "protocol: missing field %S" name)
+
+let str_list_field name j =
+  match Json.member name j with
+  | Some (Json.Arr items) ->
+    let rec go acc = function
+      | [] -> Ok (List.rev acc)
+      | Json.Str s :: rest -> go (s :: acc) rest
+      | _ -> Error (Printf.sprintf "protocol: field %S must hold strings" name)
+    in
+    go [] items
+  | Some _ -> Error (Printf.sprintf "protocol: field %S must be an array" name)
+  | None -> Error (Printf.sprintf "protocol: missing field %S" name)
+
+let ( let* ) = Result.bind
+
+(* ------------------------------------------------------------------ *)
+(* Requests                                                            *)
+
+let request_to_json = function
+  | Hello { client } -> Json.Obj [ ("op", Json.Str "hello"); ("client", Json.Str client) ]
+  | Query { id; path } ->
+    Json.Obj [ ("op", Json.Str "query"); ("id", Json.int id); ("path", Json.Str path) ]
+  | Update { id; command } ->
+    Json.Obj [ ("op", Json.Str "update"); ("id", Json.int id); ("command", Json.Str command) ]
+  | Validate { id; doc } ->
+    Json.Obj [ ("op", Json.Str "validate"); ("id", Json.int id); ("doc", Json.Str doc) ]
+  | Stats { id } -> Json.Obj [ ("op", Json.Str "stats"); ("id", Json.int id) ]
+  | Shutdown { id } -> Json.Obj [ ("op", Json.Str "shutdown"); ("id", Json.int id) ]
+  | Bye -> Json.Obj [ ("op", Json.Str "bye") ]
+
+let request_of_json j =
+  let* op = str_field "op" j in
+  match op with
+  | "hello" ->
+    let* client = str_field "client" j in
+    Ok (Hello { client })
+  | "query" ->
+    let* id = int_field "id" j in
+    let* path = str_field "path" j in
+    Ok (Query { id; path })
+  | "update" ->
+    let* id = int_field "id" j in
+    let* command = str_field "command" j in
+    Ok (Update { id; command })
+  | "validate" ->
+    let* id = int_field "id" j in
+    let* doc = str_field "doc" j in
+    Ok (Validate { id; doc })
+  | "stats" ->
+    let* id = int_field "id" j in
+    Ok (Stats { id })
+  | "shutdown" ->
+    let* id = int_field "id" j in
+    Ok (Shutdown { id })
+  | "bye" -> Ok Bye
+  | other -> Error (Printf.sprintf "protocol: unknown request op %S" other)
+
+(* ------------------------------------------------------------------ *)
+(* Responses                                                           *)
+
+let response_to_json = function
+  | Welcome { session; version } ->
+    Json.Obj
+      [ ("re", Json.Str "welcome"); ("session", Json.int session); ("version", Json.int version) ]
+  | Nodes { id; epoch; values } ->
+    Json.Obj
+      [
+        ("re", Json.Str "nodes");
+        ("id", Json.int id);
+        ("epoch", Json.int epoch);
+        ("values", Json.Arr (List.map (fun v -> Json.Str v) values));
+      ]
+  | Applied { id; epoch } ->
+    Json.Obj [ ("re", Json.Str "applied"); ("id", Json.int id); ("epoch", Json.int epoch) ]
+  | Validity { id; valid; errors } ->
+    Json.Obj
+      [
+        ("re", Json.Str "validity");
+        ("id", Json.int id);
+        ("valid", Json.Bool valid);
+        ("errors", Json.Arr (List.map (fun e -> Json.Str e) errors));
+      ]
+  | Stats_reply { id; body } ->
+    Json.Obj [ ("re", Json.Str "stats"); ("id", Json.int id); ("body", body) ]
+  | Stopping { id } -> Json.Obj [ ("re", Json.Str "stopping"); ("id", Json.int id) ]
+  | Failed { id; message } ->
+    Json.Obj [ ("re", Json.Str "failed"); ("id", Json.int id); ("message", Json.Str message) ]
+
+let response_of_json j =
+  let* re = str_field "re" j in
+  match re with
+  | "welcome" ->
+    let* session = int_field "session" j in
+    let* version = int_field "version" j in
+    Ok (Welcome { session; version })
+  | "nodes" ->
+    let* id = int_field "id" j in
+    let* epoch = int_field "epoch" j in
+    let* values = str_list_field "values" j in
+    Ok (Nodes { id; epoch; values })
+  | "applied" ->
+    let* id = int_field "id" j in
+    let* epoch = int_field "epoch" j in
+    Ok (Applied { id; epoch })
+  | "validity" ->
+    let* id = int_field "id" j in
+    let* valid = bool_field "valid" j in
+    let* errors = str_list_field "errors" j in
+    Ok (Validity { id; valid; errors })
+  | "stats" ->
+    let* id = int_field "id" j in
+    let body = Option.value ~default:Json.Null (Json.member "body" j) in
+    Ok (Stats_reply { id; body })
+  | "stopping" ->
+    let* id = int_field "id" j in
+    Ok (Stopping { id })
+  | "failed" ->
+    let* id = int_field "id" j in
+    let* message = str_field "message" j in
+    Ok (Failed { id; message })
+  | other -> Error (Printf.sprintf "protocol: unknown response kind %S" other)

@@ -1,0 +1,54 @@
+(** The [xsm serve] session protocol: typed requests and responses
+    with symmetric JSON codecs over {!Frame}.
+
+    A session opens with a [Hello] handshake (the server answers
+    [Welcome] with the session id and protocol version) and then
+    pipelines requests freely: each carries a client-chosen [id], and
+    every response echoes the id of the request it answers.  The
+    server processes one session's requests in order, so responses
+    arrive in request order — the id is for the client's bookkeeping,
+    not reordering.
+
+    Request kinds mirror the CLI verbs: [Query] (a read-only XPath
+    evaluation, answered with the string values of the result nodes
+    and the epoch of the snapshot it saw), [Update] (one update-script
+    command — the same grammar as [xsm update] scripts), [Validate]
+    (an XML document text checked against the server's schema),
+    [Stats] (the metrics registry plus server counters), [Shutdown]
+    (graceful stop: snapshot, then exit), and [Bye] (end this session
+    only). *)
+
+type request =
+  | Hello of { client : string }
+  | Query of { id : int; path : string }
+  | Update of { id : int; command : string }
+      (** one update-script line: [insert PATH XML], [insert-text PATH
+          TEXT], [delete PATH], [content PATH VALUE], [attr PATH NAME
+          VALUE] *)
+  | Validate of { id : int; doc : string }
+  | Stats of { id : int }
+  | Shutdown of { id : int }
+  | Bye
+
+type response =
+  | Welcome of { session : int; version : int }
+  | Nodes of { id : int; epoch : int; values : string list }
+      (** query result: string values, and the epoch of the snapshot
+          the evaluation ran against *)
+  | Applied of { id : int; epoch : int }
+      (** update durably committed; [epoch] is the batch's post-epoch *)
+  | Validity of { id : int; valid : bool; errors : string list }
+  | Stats_reply of { id : int; body : Xsm_obs.Json.t }
+  | Stopping of { id : int }  (** shutdown acknowledged *)
+  | Failed of { id : int; message : string }
+      (** the request with [id] failed; the session stays usable *)
+
+val version : int
+
+val request_to_json : request -> Xsm_obs.Json.t
+val request_of_json : Xsm_obs.Json.t -> (request, string) result
+val response_to_json : response -> Xsm_obs.Json.t
+val response_of_json : Xsm_obs.Json.t -> (response, string) result
+
+val request_id : request -> int option
+(** The [id] field, when the request kind carries one. *)

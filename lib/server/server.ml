@@ -1,0 +1,446 @@
+module Store = Xsm_xdm.Store
+module Update = Xsm_schema.Update
+module Journal = Xsm_schema.Update.Journal
+module Labeler = Xsm_numbering.Labeler
+module Wal = Xsm_persist.Wal
+module Snapshot = Xsm_persist.Snapshot
+module Eval = Xsm_xpath.Eval.Over_store
+module Pl = Xsm_xpath.Planner.Over_store
+module Json = Xsm_obs.Json
+module Metrics = Xsm_obs.Metrics
+module Counter = Metrics.Counter
+module Histogram = Metrics.Histogram
+module Trace = Xsm_obs.Trace
+module Clock = Xsm_obs.Clock
+module P = Protocol
+
+let m_sessions = Counter.make ~help:"sessions accepted" "server.sessions"
+let m_requests = Counter.make ~help:"requests served" "server.requests"
+let m_queries = Counter.make ~help:"query requests" "server.queries"
+let m_updates = Counter.make ~help:"update requests" "server.updates"
+let m_failures = Counter.make ~help:"requests answered with an error" "server.failures"
+let h_query_ns = Histogram.make ~help:"query latency (ns, server side)" "server.query_ns"
+let h_update_ns = Histogram.make ~help:"update latency (ns, server side)" "server.update_ns"
+
+type config = {
+  socket_path : string;
+  snapshot_path : string option;
+  wal_path : string option;
+  domains : int;
+  group_commit : bool;
+  use_index : bool;
+}
+
+type t = {
+  config : config;
+  store : Store.t;
+  root : Store.node;
+  labels : Labeler.t option;
+  schema : Xsm_schema.Ast.schema option;
+  journal : Journal.t;
+  label_cursor : Journal.cursor option;
+  planner : Pl.t option;  (* built only under [use_index]: an attached
+                             planner's journal cursor pins entries *)
+  epoch : Epoch.t;
+  pool : Pool.t;
+  wal : Wal.Writer.t option;
+  commit : (string, (unit, string) result) Commit.t;
+  (* the server mutex: metrics registry and trace ring (not
+     thread-safe), planner evaluation, session registry *)
+  m : Mutex.t;
+  mutable next_session : int;
+  mutable session_fds : (int * Unix.file_descr) list;
+  mutable stopping : bool;
+  stop_rd : Unix.file_descr;  (* self-pipe: request_stop writes, serve selects *)
+  stop_wr : Unix.file_descr;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Update commands: the update-script grammar of `xsm update`, one
+   line per request, applied by the group-commit leader under the
+   exclusive epoch latch. *)
+
+let split1 s =
+  match String.index_opt s ' ' with
+  | None -> (s, "")
+  | Some i -> (String.sub s 0 i, String.trim (String.sub s (i + 1) (String.length s - i - 1)))
+
+let ( let* ) = Result.bind
+
+let target srv path =
+  if path = "" then Error "missing target path"
+  else
+    match Eval.eval_string srv.store srv.root path with
+    | Ok (n :: _) -> Ok n
+    | Ok [] -> Error (path ^ ": no matching node")
+    | Error e -> Error (path ^ ": " ^ e)
+
+let parse_op srv line =
+  let cmd, rest = split1 (String.trim line) in
+  match cmd with
+  | "insert" ->
+    let path, xml = split1 rest in
+    let* parent = target srv path in
+    let* tree =
+      Result.map_error
+        (fun e -> "fragment: " ^ Xsm_xml.Parser.error_to_string e)
+        (Xsm_xml.Parser.parse_element xml)
+    in
+    Ok (Update.Insert_element { parent; before = None; tree })
+  | "insert-text" ->
+    let path, text = split1 rest in
+    let* parent = target srv path in
+    Ok (Update.Insert_text { parent; before = None; text })
+  | "delete" ->
+    let* node = target srv rest in
+    Ok (Update.Delete node)
+  | "content" ->
+    let path, value = split1 rest in
+    let* node = target srv path in
+    Ok (Update.Replace_content { node; value })
+  | "attr" ->
+    let path, rest = split1 rest in
+    let name, value = split1 rest in
+    let* element = target srv path in
+    let* name = Result.map_error (fun e -> "attribute name: " ^ e) (Xsm_xml.Name.of_string name) in
+    Ok (Update.Set_attribute { element; name; value })
+  | other -> Error (Printf.sprintf "unknown update command %S" other)
+
+(* §9.3 label maintenance through one journal entry — the same
+   discipline as Recovery: inserted subtrees are labelled relative to
+   their neighbours, deleted ones drop their labels, existing labels
+   never move (Proposition 1). *)
+let maintain_labels store labels entry =
+  match entry with
+  | Journal.Content _ -> ()
+  | Journal.Deleted n -> Labeler.remove_subtree labels store n
+  | Journal.Inserted n -> (
+    match Store.parent store n with
+    | None -> ()
+    | Some parent ->
+      let ordered = Store.attributes store parent @ Store.children store parent in
+      let rec previous prev = function
+        | [] -> None
+        | x :: rest -> if Store.equal_node x n then prev else previous (Some x) rest
+      in
+      let after = previous None ordered in
+      Labeler.label_inserted_subtree labels store ~parent ~after n)
+
+(* Apply one command.  Runs inside the leader's exclusive latch
+   section.  The WAL record is captured before the update (addresses
+   describe the pre-state) but appended only after a successful apply,
+   so a rejected command leaves no orphan record that would poison
+   replay — the client is only acknowledged after the batch fsync
+   either way. *)
+let apply_command srv line =
+  let* op = parse_op srv line in
+  let* wop =
+    match srv.wal with
+    | None -> Ok None
+    | Some _ -> Result.map Option.some (Wal.op_of_update srv.store ~root:srv.root op)
+  in
+  let* _applied = Update.apply ~journal:srv.journal srv.store op in
+  (match srv.wal, wop with
+  | Some w, Some wop -> Wal.Writer.append w wop
+  | _ -> ());
+  (match srv.labels, srv.label_cursor with
+  | Some t, Some c -> Journal.iter srv.journal c (maintain_labels srv.store t)
+  | _ -> ());
+  Ok ()
+
+let run_batch srv lines =
+  let results = Epoch.write srv.epoch (fun () -> List.map (apply_command srv) lines) in
+  (* the group fsync happens outside the latch: readers proceed while
+     the batch hits the disk, followers are only released after it *)
+  (match srv.wal with Some w -> Wal.Writer.sync w | None -> ());
+  results
+
+(* ------------------------------------------------------------------ *)
+(* Request handling                                                    *)
+
+let locked srv f =
+  Mutex.lock srv.m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock srv.m) f
+
+let record_request srv ~session ~id ~name ~counter ~hist start_ns =
+  let stop_ns = Clock.now_ns () in
+  locked srv (fun () ->
+      Counter.incr m_requests;
+      Counter.incr counter;
+      (match hist with
+      | Some h -> Histogram.observe h (Int64.to_float (Int64.sub stop_ns start_ns))
+      | None -> ());
+      Trace.record_span name ~start_ns ~stop_ns
+        ~attrs:[ ("session", string_of_int session); ("id", string_of_int id) ])
+
+let run_query srv path =
+  match srv.planner with
+  | Some planner ->
+    (* planner indexes are mutable (journal drain, memoized results):
+       serialized under the server mutex, still snapshot-consistent
+       under the shared latch *)
+    locked srv (fun () ->
+        Epoch.read srv.epoch (fun epoch ->
+            match Pl.eval_string planner path with
+            | Ok nodes -> Ok (epoch, List.map (Store.string_value srv.store) nodes)
+            | Error e -> Error e))
+  | None ->
+    (* the parallel path: pure evaluation on a pool domain under the
+       shared latch — an immutable snapshot view *)
+    Pool.run srv.pool (fun () ->
+        Epoch.read srv.epoch (fun epoch ->
+            match Eval.eval_string srv.store srv.root path with
+            | Ok nodes -> Ok (epoch, List.map (Store.string_value srv.store) nodes)
+            | Error e -> Error e))
+
+let run_validate srv doc_text =
+  match Xsm_xml.Parser.parse_document doc_text with
+  | Error e -> (false, [ Xsm_xml.Parser.error_to_string e ])
+  | Ok doc -> (
+    match srv.schema with
+    | None -> (true, [])  (* no schema loaded: well-formedness only *)
+    | Some schema -> (
+      (* the validator memoizes compiled automata per group; serialize
+         against other validators via the server mutex *)
+      match
+        locked srv (fun () -> Xsm_schema.Validator.validate_document doc schema)
+      with
+      | Ok _ -> (true, [])
+      | Error errors -> (false, List.map Xsm_schema.Validator.error_to_string errors)))
+
+let stats_body srv =
+  locked srv (fun () ->
+      let c = Commit.stats srv.commit in
+      Json.Obj
+        [
+          ( "server",
+            Json.Obj
+              [
+                ("epoch", Json.int (Epoch.current srv.epoch));
+                ("domains", Json.int (Pool.size srv.pool));
+                ("sessions", Json.int (List.length srv.session_fds));
+                ("group_commit", Json.Bool srv.config.group_commit);
+                ( "commit",
+                  Json.Obj
+                    [
+                      ("submissions", Json.int c.Commit.submissions);
+                      ("batches", Json.int c.Commit.batches);
+                      ("max_batch", Json.int c.Commit.max_batch);
+                    ] );
+              ] );
+          ("metrics", Metrics.to_json Metrics.default);
+        ])
+
+let fail srv ~id message =
+  locked srv (fun () -> Counter.incr m_failures);
+  P.Failed { id; message }
+
+(* [handle] returns the response and what the session does after
+   sending it: [`Continue] serving, [`Close] this session, or [`Stop]
+   the whole server.  Stopping is deferred until after the response is
+   on the wire — firing the stop pipe first would let the teardown's
+   [Unix.shutdown] race the [Stopping] ack out of existence. *)
+let handle srv ~session req =
+  match req with
+  | P.Hello _ -> (Some (P.Welcome { session; version = P.version }), `Continue)
+  | P.Bye -> (None, `Close)
+  | P.Query { id; path } -> (
+    let t0 = Clock.now_ns () in
+    match run_query srv path with
+    | Ok (epoch, values) ->
+      record_request srv ~session ~id ~name:"serve.query" ~counter:m_queries
+        ~hist:(Some h_query_ns) t0;
+      (Some (P.Nodes { id; epoch; values }), `Continue)
+    | Error e -> (Some (fail srv ~id e), `Continue)
+    | exception e -> (Some (fail srv ~id (Printexc.to_string e)), `Continue))
+  | P.Update { id; command } -> (
+    let t0 = Clock.now_ns () in
+    match Commit.submit srv.commit command with
+    | Ok () ->
+      record_request srv ~session ~id ~name:"serve.update" ~counter:m_updates
+        ~hist:(Some h_update_ns) t0;
+      (Some (P.Applied { id; epoch = Epoch.current srv.epoch }), `Continue)
+    | Error e -> (Some (fail srv ~id e), `Continue)
+    | exception e -> (Some (fail srv ~id (Printexc.to_string e)), `Continue))
+  | P.Validate { id; doc } ->
+    let t0 = Clock.now_ns () in
+    let valid, errors = run_validate srv doc in
+    record_request srv ~session ~id ~name:"serve.validate" ~counter:m_requests ~hist:None t0;
+    (Some (P.Validity { id; valid; errors }), `Continue)
+  | P.Stats { id } ->
+    let t0 = Clock.now_ns () in
+    let body = stats_body srv in
+    record_request srv ~session ~id ~name:"serve.stats" ~counter:m_requests ~hist:None t0;
+    (Some (P.Stats_reply { id; body }), `Continue)
+  | P.Shutdown { id } -> (Some (P.Stopping { id }), `Stop)
+
+let trigger_stop srv =
+  srv.stopping <- true;
+  try ignore (Unix.write srv.stop_wr (Bytes.make 1 's') 0 1) with Unix.Unix_error _ -> ()
+
+let session_loop srv session fd =
+  let send resp =
+    match Frame.send fd (P.response_to_json resp) with Ok () -> true | Error _ -> false
+  in
+  let rec loop () =
+    match Frame.recv fd with
+    | Ok None | Error _ -> ()  (* peer gone; errors end the session *)
+    | Ok (Some j) -> (
+      match P.request_of_json j with
+      | Error e -> if send (fail srv ~id:(-1) e) then loop ()
+      | Ok req -> (
+        let resp, action = handle srv ~session req in
+        let sent = match resp with None -> true | Some r -> send r in
+        match action with
+        | `Continue -> if sent then loop ()
+        | `Close -> ()
+        | `Stop -> trigger_stop srv))
+  in
+  loop ();
+  (* deregister before closing, so shutdown never touches a reused fd *)
+  locked srv (fun () ->
+      srv.session_fds <- List.filter (fun (s, _) -> s <> session) srv.session_fds);
+  (try Unix.close fd with Unix.Unix_error _ -> ())
+
+(* ------------------------------------------------------------------ *)
+(* Lifecycle                                                           *)
+
+let create config ~store ~root ?labels ?schema () =
+  if config.domains < 1 then Error "server: need at least one domain"
+  else
+    let* wal =
+      match config.wal_path with
+      | None -> Ok None
+      | Some path ->
+        (* group commit leaves fsync to the batch boundary; the
+           baseline pays one per record *)
+        let sync_every = if config.group_commit then max_int else 1 in
+        Result.map Option.some
+          (Result.map_error Wal.error_message (Wal.Writer.create ~sync_every path))
+    in
+    let journal = Journal.create () in
+    let planner =
+      if config.use_index then begin
+        let p = Pl.create store root in
+        Xsm_xpath.Planner.attach_journal p journal;
+        Some p
+      end
+      else None
+    in
+    let label_cursor =
+      match labels with Some _ -> Some (Journal.subscribe journal) | None -> None
+    in
+    let stop_rd, stop_wr = Unix.pipe () in
+    (* the commit queue's batch runner needs the server it belongs to;
+       tie the knot through a ref rather than a recursive value *)
+    let srv_cell = ref None in
+    let run lines =
+      match !srv_cell with Some srv -> run_batch srv lines | None -> assert false
+    in
+    let srv =
+      {
+        config;
+        store;
+        root;
+        labels;
+        schema;
+        journal;
+        label_cursor;
+        planner;
+        epoch = Epoch.create ();
+        pool = Pool.create config.domains;
+        wal;
+        (* without group commit each request commits alone: its own
+           latch acquisition, its own fsync — the E17 baseline *)
+        commit = Commit.create ~limit:(if config.group_commit then max_int else 1) ~run ();
+        m = Mutex.create ();
+        next_session = 0;
+        session_fds = [];
+        stopping = false;
+        stop_rd;
+        stop_wr;
+      }
+    in
+    srv_cell := Some srv;
+    Ok srv
+
+let request_stop = trigger_stop
+
+let sessions_served srv = locked srv (fun () -> srv.next_session)
+
+let serve ?(on_ready = fun () -> ()) srv =
+  (* a peer that vanishes mid-reply must surface as an EPIPE on that
+     session's write, never kill the daemon *)
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  match
+    (try
+       if Sys.file_exists srv.config.socket_path then Sys.remove srv.config.socket_path;
+       Unix.bind sock (Unix.ADDR_UNIX srv.config.socket_path);
+       Unix.listen sock 64;
+       Ok ()
+     with
+    | Unix.Unix_error (err, fn, _) ->
+      Error (Printf.sprintf "server: %s: %s" fn (Unix.error_message err))
+    | Sys_error e -> Error ("server: " ^ e))
+  with
+  | Error _ as e ->
+    (try Unix.close sock with Unix.Unix_error _ -> ());
+    e
+  | Ok () ->
+    on_ready ();
+    let threads = ref [] in
+    (* accept until the stop pipe fires: select keeps the loop
+       responsive to request_stop even with no connection pending *)
+    let rec accept_loop () =
+      if not srv.stopping then begin
+        match Unix.select [ sock; srv.stop_rd ] [] [] (-1.0) with
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> accept_loop ()
+        | readable, _, _ ->
+          if List.mem srv.stop_rd readable then ()
+          else if List.mem sock readable then begin
+            match Unix.accept sock with
+            | exception Unix.Unix_error _ -> accept_loop ()
+            | fd, _ ->
+              let session =
+                locked srv (fun () ->
+                    let s = srv.next_session in
+                    srv.next_session <- s + 1;
+                    srv.session_fds <- (s, fd) :: srv.session_fds;
+                    Counter.incr m_sessions;
+                    s)
+              in
+              threads := Thread.create (fun () -> session_loop srv session fd) () :: !threads;
+              accept_loop ()
+          end
+          else accept_loop ()
+      end
+    in
+    accept_loop ();
+    (try Unix.close sock with Unix.Unix_error _ -> ());
+    (* unblock sessions parked in recv, then wait for them *)
+    locked srv (fun () ->
+        List.iter
+          (fun (_, fd) -> try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ())
+          srv.session_fds);
+    List.iter Thread.join !threads;
+    Pool.shutdown srv.pool;
+    (match srv.wal with Some w -> Wal.Writer.close w | None -> ());
+    let snap_result =
+      match srv.config.snapshot_path with
+      | None -> Ok ()
+      | Some path -> (
+        match Snapshot.save ?labels:srv.labels ~path srv.store srv.root with
+        | Ok _ ->
+          (* checkpoint: the snapshot subsumes the log, so the WAL is
+             dropped — recover from the snapshot alone round-trips *)
+          (match srv.config.wal_path with
+          | Some wp when Sys.file_exists wp -> Sys.remove wp
+          | _ -> ());
+          Ok ()
+        | Error e -> Error ("server: shutdown snapshot: " ^ e))
+    in
+    (try Unix.close srv.stop_rd with Unix.Unix_error _ -> ());
+    (try Unix.close srv.stop_wr with Unix.Unix_error _ -> ());
+    if Sys.file_exists srv.config.socket_path then Sys.remove srv.config.socket_path;
+    snap_result

@@ -1,0 +1,66 @@
+(** The [xsm serve] daemon: one process owning one store, its labels,
+    planner indexes and WAL, serving concurrent sessions over a Unix
+    domain socket.
+
+    {b Concurrency model.}  Each accepted connection runs on a
+    systhread (cheap, mostly blocked on socket I/O).  Read-only
+    queries are executed on a pool of {!Pool.size} {e domains} under
+    the shared {!Epoch} latch, so they run truly in parallel against
+    an immutable view of the store.  Updates from all sessions funnel
+    through a {!Commit} group-commit queue: the leader applies the
+    whole batch under the exclusive latch — readers observe the store
+    only before or after a batch, never mid-batch — and pays a single
+    WAL fsync for all of it.  With [group_commit = false] every record
+    fsyncs individually (the E17 baseline).
+
+    {b Lifecycle.}  The caller boots the state (fresh document,
+    snapshot load, or crash recovery) and hands it to {!create};
+    {!serve} binds the socket and blocks until a [Shutdown] request or
+    {!request_stop} (the CLI wires SIGTERM/SIGINT to it).  Graceful
+    shutdown drains sessions, snapshots the store to [snapshot_path]
+    and removes the WAL it subsumes — a checkpoint — so
+    [xsm recover SNAPSHOT] round-trips the final state.
+
+    {b Telemetry.}  Every request records an {!Xsm_obs.Trace} span
+    ([serve.query], [serve.update], …) tagged with session and request
+    ids, and counts into [server.*] metrics; [Stats] requests report
+    the registry plus live server state. *)
+
+type config = {
+  socket_path : string;  (** Unix domain socket to bind *)
+  snapshot_path : string option;  (** written at graceful shutdown *)
+  wal_path : string option;  (** WAL appended to while serving *)
+  domains : int;  (** read-pool size, >= 1 *)
+  group_commit : bool;  (** [false]: fsync every WAL record (baseline) *)
+  use_index : bool;  (** route queries through the planner (serialized)
+                         instead of the parallel pure evaluator *)
+}
+
+type t
+
+val create :
+  config ->
+  store:Xsm_xdm.Store.t ->
+  root:Xsm_xdm.Store.node ->
+  ?labels:Xsm_numbering.Labeler.t ->
+  ?schema:Xsm_schema.Ast.schema ->
+  unit ->
+  (t, string) result
+(** Assemble a server over booted state.  Opens the WAL writer (the
+    file must be a WAL or fresh — {!Xsm_persist.Wal.Writer.create}
+    semantics), spawns the domain pool, builds the planner and
+    subscribes label maintenance to the update journal. *)
+
+val serve : ?on_ready:(unit -> unit) -> t -> (unit, string) result
+(** Bind, listen and run until stopped; [on_ready] fires once the
+    socket accepts connections (test/bench synchronization).  Returns
+    after graceful teardown: sessions joined, snapshot written, WAL
+    checkpointed, pool shut down. *)
+
+val request_stop : t -> unit
+(** Initiate graceful shutdown from outside a session — signal
+    handlers, tests.  Async-signal-safe: writes one byte to the
+    stop pipe. *)
+
+val sessions_served : t -> int
+(** Sessions accepted so far (for tests). *)

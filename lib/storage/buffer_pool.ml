@@ -109,7 +109,9 @@ let stats (pool : t) =
     distinct = Hashtbl.length pool.seen;
   }
 
-let hit_ratio s = if s.accesses = 0 then 1.0 else float_of_int s.hits /. float_of_int s.accesses
+(* an untouched pool has no hit ratio, not a perfect one *)
+let hit_ratio s =
+  if s.accesses = 0 then None else Some (float_of_int s.hits /. float_of_int s.accesses)
 
 let run_trace ~capacity trace =
   let pool = create ~capacity in

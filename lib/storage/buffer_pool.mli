@@ -43,7 +43,11 @@ val stats : t -> stats
     [.hits] / [.misses] / [.evictions]); the registry reports the
     totals across every pool in the process. *)
 
-val hit_ratio : stats -> float
+val hit_ratio : stats -> float option
+(** [hits / accesses], or [None] for a pool that was never touched —
+    an untouched pool has {e no} hit ratio, not a perfect one.
+    Consumers surface the [None] case distinctly (the metrics gauge
+    reads NaN, the JSON report [null]) instead of reporting 1.0. *)
 
 val run_trace : capacity:int -> int list -> stats
 (** Replay a whole trace through a fresh pool. *)

@@ -40,8 +40,48 @@ type t = {
 let min_chunk = 16
 
 let of_function ?(chunk_size = 65536) refill =
+  (* XML 1.0 §2.11 end-of-line normalization, applied to the raw byte
+     stream before the lexer sees a single character, so character
+     data, attribute values and line counting all work on the one
+     canonical form ("\r\n" and lone "\r" become "\n").  The
+     [pending_cr] carry handles a "\r\n" pair split across two refill
+     chunks.  Rewriting is in place: normalization never lengthens the
+     chunk.  Positions then refer to the normalized stream, where
+     every line break is exactly one byte. *)
+  let pending_cr = ref false in
+  let rec norm_refill b off len =
+    let raw = refill b off len in
+    if raw = 0 then 0
+    else begin
+      let stop = off + raw in
+      let w = ref off in
+      let i = ref off in
+      if !pending_cr then begin
+        (* the carried '\r' already went out as '\n'; swallow its '\n' *)
+        pending_cr := false;
+        if Bytes.get b off = '\n' then incr i
+      end;
+      while !i < stop do
+        (match Bytes.get b !i with
+        | '\r' ->
+          Bytes.set b !w '\n';
+          incr w;
+          if !i + 1 < stop then begin
+            if Bytes.get b (!i + 1) = '\n' then incr i
+          end
+          else pending_cr := true
+        | c ->
+          Bytes.set b !w c;
+          incr w);
+        incr i
+      done;
+      (* a chunk can normalize away entirely (a lone '\n' after a
+         carried '\r'); 0 would mean end of input, so read again *)
+      if !w = off then norm_refill b off len else !w - off
+    end
+  in
   {
-    refill;
+    refill = norm_refill;
     buf = Bytes.create (max min_chunk chunk_size);
     len = 0;
     pos = 0;

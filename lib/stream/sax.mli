@@ -6,7 +6,12 @@
     predefined entities and character references (decoded through the
     shared {!Xsm_xml.Parser.decode_entity}) — but delivered as a
     sequence of events over an [in_channel], a string, or arbitrary
-    byte chunks, never materializing the tree.  Peak memory is the
+    byte chunks, never materializing the tree.  End-of-line
+    normalization (XML 1.0 §2.11: ["\r\n"] and lone ["\r"] become
+    ["\n"]) is applied to the byte stream before lexing — including a
+    ["\r\n"] pair split across two refill chunks — so events and
+    positions agree with the tree parser whatever the input's
+    line-ending convention.  Peak memory is the
     read-ahead chunk plus a reused scratch buffer plus the open-element
     stack: O(depth) in the document.
 

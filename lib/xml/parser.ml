@@ -305,7 +305,32 @@ let position_of_offset input pos =
   done;
   (!line, !col)
 
+(* XML 1.0 §2.11: translate "\r\n" and lone "\r" to a single "\n"
+   before any other processing, so line breaks reach character data,
+   attribute values and the store in one canonical form.  Ordered
+   before reference expansion — a literal "&#13;" still yields a real
+   carriage return.  Error positions refer to the normalized text,
+   where every line break is exactly one character, so line numbers
+   agree with the source whatever its line-ending convention. *)
+let normalize_eol input =
+  if not (String.contains input '\r') then input
+  else begin
+    let n = String.length input in
+    let buf = Buffer.create n in
+    let i = ref 0 in
+    while !i < n do
+      (match input.[!i] with
+      | '\r' ->
+        Buffer.add_char buf '\n';
+        if !i + 1 < n && input.[!i + 1] = '\n' then incr i
+      | c -> Buffer.add_char buf c);
+      incr i
+    done;
+    Buffer.contents buf
+  end
+
 let run input f =
+  let input = normalize_eol input in
   let st = { input; pos = 0 } in
   match f st with
   | v -> Ok v

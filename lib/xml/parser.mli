@@ -25,6 +25,14 @@ exception Syntax of error
     and understood by {!parse_document}/{!parse_element}, which
     convert it to a [result] at the API boundary. *)
 
+val normalize_eol : string -> string
+(** XML 1.0 §2.11 end-of-line normalization: every ["\r\n"] pair and
+    every lone ["\r"] becomes a single ["\n"].  Applied to the whole
+    input before parsing (so a character reference ["&#13;"] still
+    yields a literal carriage return), and exposed for the streaming
+    lexer's tests.  Returns the input unchanged (same physical string)
+    when it contains no carriage return. *)
+
 val decode_entity : string -> (string, string) result
 (** Decode the body of an entity or character reference (the text
     between ["&"] and [";"]): the five predefined entities and

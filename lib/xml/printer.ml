@@ -8,6 +8,9 @@ let add_escaped buf ~attribute s =
       | '"' when attribute -> Buffer.add_string buf "&quot;"
       | '\n' when attribute -> Buffer.add_string buf "&#10;"
       | '\t' when attribute -> Buffer.add_string buf "&#9;"
+      (* a literal CR (it survived parsing via "&#13;") must leave as a
+         reference too, or §2.11 normalization would eat it on reparse *)
+      | '\r' -> Buffer.add_string buf "&#13;"
       | c -> Buffer.add_char buf c)
     s
 

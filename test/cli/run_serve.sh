@@ -1,0 +1,101 @@
+#!/usr/bin/env bash
+# End-to-end checks of the session daemon through the xsm binary:
+# serve/client round-trips, the graceful-shutdown checkpoint
+# (snapshot written, WAL removed, recover reproduces the final
+# state), crash recovery from the WAL alone after SIGKILL, corrupt
+# WAL refusal at boot (exit 3), and the bench-serve smoke run.
+set -u
+XSM="$1"
+tmp=$(mktemp -d)
+server_pid=""
+cleanup() {
+  [ -n "$server_pid" ] && kill -9 "$server_pid" 2>/dev/null
+  rm -rf "$tmp"
+}
+trap cleanup EXIT
+fail() { echo "FAIL: $1" >&2; exit 1; }
+
+sock="$tmp/s.sock"
+
+# wait until the daemon answers the handshake (or die with its log)
+await() {
+  for _ in $(seq 1 100); do
+    if "$XSM" client --socket "$sock" --stats >/dev/null 2>&1; then return 0; fi
+    kill -0 "$server_pid" 2>/dev/null || { cat "$tmp/serve.log" >&2; fail "server exited during startup"; }
+    sleep 0.05
+  done
+  cat "$tmp/serve.log" >&2
+  fail "server did not come up"
+}
+
+cat > "$tmp/doc.xml" <<'EOF'
+<library><book id="b1"><title>One</title></book><book id="b2"><title>Two</title></book></library>
+EOF
+
+# --- sessions: query, update, query again sees the new state
+"$XSM" serve --socket "$sock" --doc "$tmp/doc.xml" --wal "$tmp/w.wal" \
+  --snapshot "$tmp/s.snap" --domains 2 > "$tmp/serve.log" 2>&1 &
+server_pid=$!
+await
+
+out=$("$XSM" client --socket "$sock" --query '//title' 2>/dev/null)
+[ "$out" = "$(printf 'One\nTwo')" ] || fail "initial query (got: $out)"
+
+"$XSM" client --socket "$sock" --update 'insert /library <book id="b3"><title>Three</title></book>' \
+  >/dev/null 2>&1 || fail "insert over the session failed"
+"$XSM" client --socket "$sock" --update 'content /library/book/title/text() Uno' \
+  >/dev/null 2>&1 || fail "content over the session failed"
+
+out=$("$XSM" client --socket "$sock" --query '//title' 2>/dev/null)
+[ "$out" = "$(printf 'Uno\nTwo\nThree')" ] || fail "post-update query (got: $out)"
+
+"$XSM" client --socket "$sock" --stats 2>/dev/null | grep -q '"submissions"' \
+  || fail "stats must report commit counters"
+
+# --- graceful shutdown: checkpoint = snapshot written, WAL removed
+"$XSM" client --socket "$sock" --shutdown >/dev/null 2>&1 || fail "shutdown request failed"
+wait "$server_pid" || fail "server exited non-zero after shutdown"
+server_pid=""
+[ -f "$tmp/s.snap" ] || fail "graceful shutdown must write the snapshot"
+[ ! -f "$tmp/w.wal" ] || fail "the checkpoint must remove the subsumed WAL"
+out=$("$XSM" recover "$tmp/s.snap" --query '//title' 2>/dev/null)
+[ "$out" = "$(printf 'Uno\nTwo\nThree')" ] || fail "recover after shutdown (got: $out)"
+
+# --- serve -> SIGKILL: the WAL alone carries the committed updates
+"$XSM" snapshot "$tmp/doc.xml" "$tmp/base.snap" >/dev/null 2>&1 || fail "base snapshot failed"
+"$XSM" serve --socket "$sock" --snapshot "$tmp/base.snap" --wal "$tmp/wc.wal" \
+  --domains 2 > "$tmp/serve.log" 2>&1 &
+server_pid=$!
+await
+"$XSM" client --socket "$sock" --update 'attr /library crashed yes' >/dev/null 2>&1 \
+  || fail "update before crash failed"
+kill -9 "$server_pid"
+wait "$server_pid" 2>/dev/null
+server_pid=""
+[ -f "$tmp/wc.wal" ] || fail "the WAL must survive a crash"
+out=$("$XSM" recover "$tmp/base.snap" --wal "$tmp/wc.wal" --query '/library/@crashed' 2>/dev/null)
+[ "$out" = "yes" ] || fail "crash recovery must replay the committed update (got: $out)"
+
+# --- a snapshot paired with garbage where the WAL should be: exit 3
+printf 'not a wal at all' > "$tmp/bad.wal"
+"$XSM" serve --socket "$sock" --snapshot "$tmp/base.snap" --wal "$tmp/bad.wal" \
+  > "$tmp/serve.log" 2>&1
+[ $? -eq 3 ] || fail "corrupt WAL at boot must exit 3"
+grep -q "not a WAL file" "$tmp/serve.log" || fail "corrupt WAL must be named in the error"
+
+# --- SIGTERM is a graceful stop too
+"$XSM" serve --socket "$sock" --doc "$tmp/doc.xml" --snapshot "$tmp/t.snap" \
+  > "$tmp/serve.log" 2>&1 &
+server_pid=$!
+await
+kill -TERM "$server_pid"
+wait "$server_pid" || fail "SIGTERM must stop the server cleanly"
+server_pid=""
+[ -f "$tmp/t.snap" ] || fail "SIGTERM must still write the checkpoint snapshot"
+
+# --- bench-serve smoke: spawns its own server, reports percentiles
+out=$("$XSM" bench-serve --smoke 2>&1) || { echo "$out" >&2; fail "bench-serve --smoke failed"; }
+echo "$out" | grep -q "p50=" || fail "bench-serve must report percentiles (got: $out)"
+echo "$out" | grep -q "commit:" || fail "bench-serve must report commit batching (got: $out)"
+
+echo "serve CLI: OK"

@@ -3,4 +3,5 @@ let () =
     (Test_xml.suite @ Test_datatypes.suite @ Test_conformance.suite @ Test_xdm.suite @ Test_schema.suite
    @ Test_xsd.suite @ Test_update.suite @ Test_identity.suite @ Test_numbering.suite @ Test_storage.suite @ Test_xpath.suite @ Test_flwor.suite
    @ Test_properties.suite @ Test_index.suite @ Test_index_maintenance.suite
-   @ Test_persist.suite @ Test_analysis.suite @ Test_obs.suite @ Test_stream.suite)
+   @ Test_persist.suite @ Test_analysis.suite @ Test_obs.suite @ Test_stream.suite
+   @ Test_server.suite)

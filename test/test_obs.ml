@@ -338,6 +338,53 @@ let planner_counters_match_explain () =
   check_int "per-planner pruned view agrees" !expect_pruned
     (Pl.pruned_count planner - local_pruned0)
 
+(* ---------------- clock and span clamps ---------------- *)
+
+let clock_monotone () =
+  (* the raw source (gettimeofday) may step backwards; now_ns clamps
+     to a watermark, so no read ever precedes an earlier one *)
+  let last = ref (Xsm_obs.Clock.now_ns ()) in
+  for _ = 1 to 10_000 do
+    let t = Xsm_obs.Clock.now_ns () in
+    if t < !last then Alcotest.failf "now_ns went backwards: %Ld after %Ld" t !last;
+    last := t
+  done;
+  (* the watermark is shared: a read that happens-after another
+     thread's reads (join) can never precede them *)
+  let t_before = Xsm_obs.Clock.now_ns () in
+  let maxima = Array.make 4 0L in
+  let threads =
+    List.init 4 (fun i ->
+        Thread.create
+          (fun () ->
+            let m = ref 0L in
+            for _ = 1 to 1_000 do
+              m := max !m (Xsm_obs.Clock.now_ns ())
+            done;
+            maxima.(i) <- !m)
+          ())
+  in
+  List.iter Thread.join threads;
+  let t_after = Xsm_obs.Clock.now_ns () in
+  Array.iter
+    (fun m ->
+      check Alcotest.bool "thread reads follow the pre-spawn read" true (m >= t_before);
+      check Alcotest.bool "post-join read follows thread reads" true (t_after >= m))
+    maxima
+
+let record_span_clamps_negative () =
+  traced (fun () ->
+      Trace.record_span ~attrs:[ ("k", "v") ] "neg" ~start_ns:100L ~stop_ns:40L;
+      Trace.record_span "pos" ~start_ns:40L ~stop_ns:100L;
+      let evs = Trace.events () in
+      check_int "both recorded" 2 (List.length evs);
+      let by_name n = List.find (fun (e : Trace.event) -> e.name = n) evs in
+      let neg = by_name "neg" and pos = by_name "pos" in
+      check Alcotest.int64 "backwards interval clamps to zero" 0L neg.dur_ns;
+      check Alcotest.int64 "start kept" 100L neg.start_ns;
+      check_str "attrs kept" "v" (List.assoc "k" neg.attrs);
+      check Alcotest.int64 "forward interval kept" 60L pos.dur_ns)
+
 (* ---------------- suite ---------------- *)
 
 let suite =
@@ -361,5 +408,8 @@ let suite =
           counter_cells_sum;
         Alcotest.test_case "planner counters match explain" `Quick
           planner_counters_match_explain;
+        Alcotest.test_case "clock is monotone across threads" `Quick clock_monotone;
+        Alcotest.test_case "record_span clamps negative durations" `Quick
+          record_span_clamps_negative;
       ] );
   ]

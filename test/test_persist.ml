@@ -30,6 +30,15 @@ let ok = function
   | Ok v -> v
   | Error e -> Alcotest.failf "unexpected error: %s" e
 
+(* the WAL and recovery APIs carry structured errors *)
+let ok_wal = function
+  | Ok v -> v
+  | Error e -> Alcotest.failf "unexpected error: %s" (Wal.error_message e)
+
+let ok_rec = function
+  | Ok v -> v
+  | Error e -> Alcotest.failf "unexpected error: %s" (Recovery.error_message e)
+
 let tmp suffix =
   let path = Filename.temp_file "xsm_persist" suffix in
   Sys.remove path;
@@ -189,7 +198,7 @@ let expected_prefixes () =
 let write_fixture_wal ?crash ?(labels = false) wal_path =
   let store, root = library () in
   let labeler = if labels then Some (Labeler.label_tree store root) else None in
-  let w = ok (Wal.Writer.create ?crash wal_path) in
+  let w = ok_wal (Wal.Writer.create ?crash wal_path) in
   let applied = ref 0 in
   (try
      List.iter
@@ -207,11 +216,11 @@ let test_wal_roundtrip () =
   let wal = tmp ".wal" in
   let _, _, _, applied = write_fixture_wal wal in
   Alcotest.(check int) "all ops applied" n_fixture applied;
-  let r = ok (Wal.read wal) in
+  let r = ok_wal (Wal.read wal) in
   Alcotest.(check int) "all records back" n_fixture (List.length r.Wal.records);
   Alcotest.(check bool) "clean log" true (r.Wal.torn_at = None);
   Alcotest.(check int) "clean log: everything synced" n_fixture r.Wal.synced_prefix;
-  Alcotest.(check int) "nothing to truncate" 0 (ok (Wal.truncate_torn wal));
+  Alcotest.(check int) "nothing to truncate" 0 (ok_wal (Wal.truncate_torn wal));
   cleanup [ wal ]
 
 let append_bytes path s =
@@ -225,13 +234,13 @@ let test_wal_torn_tail () =
   let clean_size = (Unix.stat wal).Unix.st_size in
   (* a cut-short header *)
   append_bytes wal "XYZ";
-  let r = ok (Wal.read wal) in
+  let r = ok_wal (Wal.read wal) in
   Alcotest.(check int) "records unaffected" n_fixture (List.length r.Wal.records);
   (match r.Wal.torn_at with
   | Some (Wal.Torn_header _) -> ()
   | _ -> Alcotest.fail "expected a torn header");
   Alcotest.(check int) "torn log: only sync-points vouch" 0 r.Wal.synced_prefix;
-  Alcotest.(check int) "3 bytes dropped" 3 (ok (Wal.truncate_torn wal));
+  Alcotest.(check int) "3 bytes dropped" 3 (ok_wal (Wal.truncate_torn wal));
   Alcotest.(check int) "file repaired" clean_size (Unix.stat wal).Unix.st_size;
   (* a CRC flip inside the last record's payload *)
   let contents =
@@ -245,18 +254,18 @@ let test_wal_torn_tail () =
   let ocf = open_out_bin wal in
   output_bytes ocf b;
   close_out ocf;
-  let r = ok (Wal.read wal) in
+  let r = ok_wal (Wal.read wal) in
   Alcotest.(check int) "last record rejected" (n_fixture - 1) (List.length r.Wal.records);
   (match r.Wal.torn_at with
   | Some (Wal.Torn_crc _) -> ()
   | _ -> Alcotest.fail "expected a CRC mismatch");
-  Alcotest.(check bool) "dropped something" true (ok (Wal.truncate_torn wal) > 0);
+  Alcotest.(check bool) "dropped something" true (ok_wal (Wal.truncate_torn wal) > 0);
   cleanup [ wal ]
 
 let test_wal_sync_points () =
   let wal = tmp ".wal" in
   let store, root = library () in
-  let w = ok (Wal.Writer.create wal) in
+  let w = ok_wal (Wal.Writer.create wal) in
   let log mk =
     let op = mk () in
     Wal.Writer.append w (ok (Wal.op_of_update store ~root op));
@@ -271,7 +280,7 @@ let test_wal_sync_points () =
   | _ -> assert false);
   Wal.Writer.close w;
   append_bytes wal "torn!";
-  let r = ok (Wal.read wal) in
+  let r = ok_wal (Wal.read wal) in
   Alcotest.(check int) "3 ops + 1 marker" 4 (List.length r.Wal.records);
   Alcotest.(check int) "only the op before the marker is vouched for" 1 r.Wal.synced_prefix;
   cleanup [ wal ]
@@ -280,7 +289,7 @@ let test_wal_replay_matches_direct () =
   let wal = tmp ".wal" in
   let direct_store, direct_root, _, _ = write_fixture_wal wal in
   let store, root = library () in
-  let r = ok (Wal.read wal) in
+  let r = ok_wal (Wal.read wal) in
   List.iter
     (function
       | Wal.Sync_point -> ()
@@ -308,7 +317,7 @@ let test_crash_recovery_all_points () =
           write_fixture_wal ~crash:{ Wal.after_records; partial_bytes } wal
         in
         Alcotest.(check int) (ctx ^ ": writer died at the crash point") after_records applied;
-        let rstore, rroot, rlabels, stats = ok (Recovery.recover ~snapshot:snap ~wal ()) in
+        let rstore, rroot, rlabels, stats = ok_rec (Recovery.recover ~snapshot:snap ~wal ()) in
         Alcotest.(check int) (ctx ^ ": replayed = fully-written prefix") after_records
           stats.Recovery.replayed;
         Alcotest.(check bool) (ctx ^ ": recovered ≡_c longest fully-written prefix") true
@@ -327,9 +336,9 @@ let test_crash_recovery_all_points () =
             true
             (Labeler.check_against_tree rstore rroot l));
         (* recovery truncated the WAL: appending resumes cleanly *)
-        let w = ok (Wal.Writer.create wal) in
+        let w = ok_wal (Wal.Writer.create wal) in
         Wal.Writer.close w;
-        let r = ok (Wal.read wal) in
+        let r = ok_wal (Wal.read wal) in
         Alcotest.(check bool) (ctx ^ ": repaired log is clean") true (r.Wal.torn_at = None);
         cleanup [ snap; wal ]
       done)
@@ -389,7 +398,7 @@ let wal_prefix_law seed =
   (* the logged direct run, recording the state after every op *)
   let store = Store.create () in
   let root = Convert.load store doc in
-  let w = ok (Wal.Writer.create wal) in
+  let w = ok_wal (Wal.Writer.create wal) in
   let n_ops = 2 + Gen.int rng 7 in
   let expected =
     Array.init n_ops (fun _ ->
@@ -402,7 +411,7 @@ let wal_prefix_law seed =
   (* one replay pass over a fresh load checks every prefix *)
   let store' = Store.create () in
   let root' = Convert.load store' doc in
-  let r = ok (Wal.read wal) in
+  let r = ok_wal (Wal.read wal) in
   let ops = List.filter_map (function Wal.Op o -> Some o | Wal.Sync_point -> None) r.Wal.records in
   let all_prefixes_match =
     List.length ops = n_ops
@@ -462,6 +471,42 @@ let to_alco ?(count = 60) name law =
   QCheck_alcotest.to_alcotest
     (Q.Test.make ~count ~name (Q.make ~print:string_of_int Q.Gen.(int_bound 1_000_000)) law)
 
+let test_wal_rejects_foreign_file () =
+  (* a file that is not a WAL is corrupt input with its own error
+     constructor — it once surfaced as a bare [Failure] that crashed
+     the CLI instead of mapping to the corrupt-input exit code *)
+  let path = tmp ".wal" in
+  let oc = open_out_bin path in
+  output_string oc "not a wal at all";
+  close_out oc;
+  let contains ~needle hay =
+    let n = String.length needle and h = String.length hay in
+    let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+    go 0
+  in
+  (match Wal.read path with
+  | Error (Wal.Not_a_wal p) ->
+    Alcotest.(check string) "error names the file" path p;
+    Alcotest.(check bool) "message says so" true
+      (contains ~needle:"not a WAL file" (Wal.error_message (Wal.Not_a_wal p)))
+  | Error e -> Alcotest.failf "wrong error: %s" (Wal.error_message e)
+  | Ok _ -> Alcotest.fail "foreign file read as a WAL");
+  (match Wal.Writer.create path with
+  | Error (Wal.Not_a_wal _) -> ()
+  | Error e -> Alcotest.failf "wrong error: %s" (Wal.error_message e)
+  | Ok w ->
+    Wal.Writer.close w;
+    Alcotest.fail "foreign file opened for append");
+  (* recovery maps it to its corrupt-input constructor, not [Failed] *)
+  let snap = tmp ".snap" in
+  let store, root = library () in
+  ignore (ok (Snapshot.save ~path:snap store root));
+  (match Recovery.recover ~snapshot:snap ~wal:path () with
+  | Error (Recovery.Corrupt_wal _) -> ()
+  | Error e -> Alcotest.failf "wrong error: %s" (Recovery.error_message e)
+  | Ok _ -> Alcotest.fail "recovered through a corrupt WAL");
+  cleanup [ path; snap ]
+
 let suite =
   [
     ( "persist",
@@ -472,6 +517,7 @@ let suite =
         Alcotest.test_case "snapshot save/load on disk" `Quick test_snapshot_save_load;
         Alcotest.test_case "wal write/read round-trip" `Quick test_wal_roundtrip;
         Alcotest.test_case "wal torn tails detected and truncated" `Quick test_wal_torn_tail;
+        Alcotest.test_case "wal rejects a foreign file" `Quick test_wal_rejects_foreign_file;
         Alcotest.test_case "wal sync points bound the vouched prefix" `Quick test_wal_sync_points;
         Alcotest.test_case "wal replay = direct application" `Quick test_wal_replay_matches_direct;
         Alcotest.test_case "crash recovery at every crash point" `Quick

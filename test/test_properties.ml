@@ -219,6 +219,32 @@ let xml_roundtrip_law seed =
   | Ok e' -> Xsm_xml.Tree.equal_element e e'
   | Error _ -> false
 
+(* §2.11: the same document serialized with LF, CRLF or bare-CR line
+   ends parses to the same tree, whitespace compared strictly *)
+let replace_lf ~with_ s =
+  let b = Buffer.create (String.length s + 16) in
+  String.iter
+    (fun c -> if c = '\n' then Buffer.add_string b with_ else Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let eol_variant_law seed =
+  let rng = Xsm_schema.Generator.rng seed in
+  let e = gen_element 3 rng in
+  (* pretty output carries real newlines; the wrapper text adds more *)
+  let s =
+    "<doc>\nhead\n" ^ Xsm_xml.Printer.element_to_pretty_string e ^ "\ntail\n</doc>\n"
+  in
+  match
+    ( Xsm_xml.Parser.parse_document s,
+      Xsm_xml.Parser.parse_document (replace_lf ~with_:"\r\n" s),
+      Xsm_xml.Parser.parse_document (replace_lf ~with_:"\r" s) )
+  with
+  | Ok lf, Ok crlf, Ok cr ->
+    Xsm_xml.Tree.equal_content ~ignore_whitespace:false lf crlf
+    && Xsm_xml.Tree.equal_content ~ignore_whitespace:false lf cr
+  | _ -> false
+
 (* regex: compare against a tiny reference on linear patterns a*b?c+ *)
 let regex_reference_law seed =
   let r = Xsm_schema.Generator.rng seed in
@@ -556,6 +582,7 @@ let suite =
         to_alco ~count:100 "mutations invalidate" mutation_invalidates_law;
         to_alco ~count:50 "storage op sequences keep invariants" storage_operations_law;
         to_alco ~count:60 "xml print/parse identity" xml_roundtrip_law;
+        to_alco ~count:60 "CRLF/CR variants parse =_c" eol_variant_law;
         to_alco ~count:300 "regex vs reference" regex_reference_law;
         to_alco ~count:60 "generated instances validate" validator_agrees_with_backtrack_acceptance;
         QCheck_alcotest.to_alcotest

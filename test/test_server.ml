@@ -1,0 +1,437 @@
+(* The session daemon: frame codec, protocol codec, epoch latch,
+   domain pool, group commit, and an in-process end-to-end server with
+   concurrent sessions checking snapshot isolation — a reader's
+   (epoch, answer) pairs must be a function: one epoch, one state. *)
+
+module Json = Xsm_obs.Json
+module Frame = Xsm_server.Frame
+module P = Xsm_server.Protocol
+module Epoch = Xsm_server.Epoch
+module Pool = Xsm_server.Pool
+module Commit = Xsm_server.Commit
+module Server = Xsm_server.Server
+module Client = Xsm_server.Client
+
+let temp_name suffix =
+  let f = Filename.temp_file "xsm_server_test" suffix in
+  Sys.remove f;
+  f
+
+(* ---------------- frame ---------------- *)
+
+let test_frame_roundtrip () =
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let payload = Json.Obj [ ("op", Json.Str "hello"); ("n", Json.int 42) ] in
+  (match Frame.send a payload with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  (match Frame.recv b with
+  | Ok (Some j) -> Alcotest.(check string) "payload" (Json.to_string payload) (Json.to_string j)
+  | Ok None -> Alcotest.fail "unexpected EOF"
+  | Error e -> Alcotest.fail e);
+  (* several frames back to back arrive in order *)
+  List.iter
+    (fun i ->
+      match Frame.send a (Json.int i) with Ok () -> () | Error e -> Alcotest.fail e)
+    [ 1; 2; 3 ];
+  List.iter
+    (fun i ->
+      match Frame.recv b with
+      | Ok (Some j) -> Alcotest.(check string) "pipelined" (Json.to_string (Json.int i)) (Json.to_string j)
+      | _ -> Alcotest.fail "pipelined frame lost")
+    [ 1; 2; 3 ];
+  Unix.close a;
+  (match Frame.recv b with
+  | Ok None -> ()
+  | Ok (Some _) -> Alcotest.fail "expected clean EOF"
+  | Error e -> Alcotest.fail ("expected clean EOF, got: " ^ e));
+  Unix.close b
+
+let test_frame_too_large () =
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let big = Json.Str (String.make (Frame.max_frame + 1) 'x') in
+  (match Frame.send a big with
+  | Error e -> Alcotest.(check bool) "names the size" true (String.length e > 0)
+  | Ok () -> Alcotest.fail "oversized frame must be refused");
+  Unix.close a;
+  Unix.close b
+
+(* ---------------- protocol ---------------- *)
+
+let roundtrip_request r =
+  match P.request_of_json (P.request_to_json r) with
+  | Ok r' -> Alcotest.(check bool) "request survives json" true (r = r')
+  | Error e -> Alcotest.fail e
+
+let roundtrip_response r =
+  match P.response_of_json (P.response_to_json r) with
+  | Ok r' -> Alcotest.(check bool) "response survives json" true (r = r')
+  | Error e -> Alcotest.fail e
+
+let test_protocol_roundtrip () =
+  List.iter roundtrip_request
+    [
+      P.Hello { client = "test" };
+      P.Query { id = 3; path = "//book/title" };
+      P.Update { id = 4; command = "insert /library <x/>" };
+      P.Validate { id = 5; doc = "<a/>" };
+      P.Stats { id = 6 };
+      P.Shutdown { id = 7 };
+      P.Bye;
+    ];
+  List.iter roundtrip_response
+    [
+      P.Welcome { session = 1; version = P.version };
+      P.Nodes { id = 3; epoch = 17; values = [ "a"; "b" ] };
+      P.Applied { id = 4; epoch = 18 };
+      P.Validity { id = 5; valid = false; errors = [ "boom" ] };
+      P.Stats_reply { id = 6; body = Json.Obj [ ("x", Json.int 1) ] };
+      P.Stopping { id = 7 };
+      P.Failed { id = 8; message = "no" };
+    ]
+
+let test_protocol_errors () =
+  (match P.request_of_json (Json.Obj [ ("op", Json.Str "frobnicate") ]) with
+  | Error e -> Alcotest.(check bool) "unknown op named" true (String.length e > 0)
+  | Ok _ -> Alcotest.fail "unknown op must be refused");
+  match P.request_of_json (Json.Obj [ ("op", Json.Str "query"); ("id", Json.int 1) ]) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "missing field must be refused"
+
+(* ---------------- epoch ---------------- *)
+
+let test_epoch_counts_batches () =
+  let e = Epoch.create () in
+  Alcotest.(check int) "starts at 0" 0 (Epoch.current e);
+  Epoch.read e (fun ep -> Alcotest.(check int) "read sees 0" 0 ep);
+  ignore (Epoch.write e (fun () -> ()));
+  Alcotest.(check int) "write bumps" 1 (Epoch.current e);
+  (* a raising writer may have mutated: the epoch must still move *)
+  (try Epoch.write e (fun () -> failwith "boom") with Failure _ -> ());
+  Alcotest.(check int) "raising write bumps too" 2 (Epoch.current e);
+  Epoch.read e (fun ep -> Alcotest.(check int) "read sees 2" 2 ep)
+
+let test_epoch_excludes_writers () =
+  let e = Epoch.create () in
+  let writing = ref false in
+  let violations = ref 0 in
+  let stop = ref false in
+  let readers =
+    List.init 4 (fun _ ->
+        Thread.create
+          (fun () ->
+            while not !stop do
+              Epoch.read e (fun _ -> if !writing then incr violations);
+              Thread.yield ()
+            done)
+          ())
+  in
+  for _ = 1 to 50 do
+    Epoch.write e (fun () ->
+        writing := true;
+        Thread.yield ();
+        writing := false)
+  done;
+  stop := true;
+  List.iter Thread.join readers;
+  Alcotest.(check int) "no reader overlapped a writer" 0 !violations
+
+(* ---------------- pool ---------------- *)
+
+let test_pool_runs_and_raises () =
+  let p = Pool.create 2 in
+  Alcotest.(check int) "size" 2 (Pool.size p);
+  Alcotest.(check int) "result" 7 (Pool.run p (fun () -> 3 + 4));
+  (match Pool.run p (fun () -> failwith "pool boom") with
+  | exception Failure m -> Alcotest.(check string) "exception crosses domains" "pool boom" m
+  | _ -> Alcotest.fail "expected the task's exception");
+  (* many tasks from many threads all complete *)
+  let total = Atomic.make 0 in
+  let threads =
+    List.init 8 (fun i ->
+        Thread.create
+          (fun () ->
+            for j = 0 to 24 do
+              Atomic.fetch_and_add total (Pool.run p (fun () -> i + j)) |> ignore
+            done)
+          ())
+  in
+  List.iter Thread.join threads;
+  let expect = List.init 8 (fun i -> List.init 25 (fun j -> i + j)) |> List.concat |> List.fold_left ( + ) 0 in
+  Alcotest.(check int) "all tasks ran" expect (Atomic.get total);
+  Pool.shutdown p;
+  match Pool.run p (fun () -> 0) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "run after shutdown must be refused"
+
+(* ---------------- commit ---------------- *)
+
+let test_commit_per_request () =
+  let fsyncs = ref 0 in
+  let c =
+    Commit.create ~limit:1
+      ~run:(fun batch ->
+        incr fsyncs;
+        List.map String.uppercase_ascii batch)
+      ()
+  in
+  Alcotest.(check string) "result" "A" (Commit.submit c "a");
+  Alcotest.(check string) "result" "B" (Commit.submit c "b");
+  let s = Commit.stats c in
+  Alcotest.(check int) "one batch per request" 2 s.Commit.batches;
+  Alcotest.(check int) "batch capped at 1" 1 s.Commit.max_batch;
+  Alcotest.(check int) "one fsync per request" 2 !fsyncs
+
+let test_commit_batches_under_load () =
+  (* the leader's slow first batch lets the other submitters pile up:
+     they must ride one shared later batch, not pay one run() each *)
+  let c =
+    Commit.create
+      ~run:(fun batch ->
+        Thread.delay 0.05;
+        List.map (fun x -> x * 10) batch)
+      ()
+  in
+  let results = Array.make 6 0 in
+  let threads =
+    List.init 6 (fun i -> Thread.create (fun () -> results.(i) <- Commit.submit c (i + 1)) ())
+  in
+  List.iter Thread.join threads;
+  Array.iteri (fun i r -> Alcotest.(check int) "own result" ((i + 1) * 10) r) results;
+  let s = Commit.stats c in
+  Alcotest.(check int) "every submission counted" 6 s.Commit.submissions;
+  Alcotest.(check bool) "followers shared a batch" true (s.Commit.batches < 6);
+  Alcotest.(check bool) "some batch had several requests" true (s.Commit.max_batch >= 2)
+
+let test_commit_failure_fails_batch () =
+  let c = Commit.create ~run:(fun _ -> failwith "wal torn") () in
+  match Commit.submit c "x" with
+  | exception Failure m -> Alcotest.(check string) "submitter sees the cause" "wal torn" m
+  | _ -> Alcotest.fail "expected the batch failure"
+
+(* ---------------- server end to end ---------------- *)
+
+let boot_library () =
+  let doc =
+    match Xsm_xml.Parser.parse_document "<library><book><title>One</title></book></library>" with
+    | Ok d -> d
+    | Error e -> Alcotest.fail (Xsm_xml.Parser.error_to_string e)
+  in
+  let store = Xsm_xdm.Store.create () in
+  let root = Xsm_xdm.Convert.load store doc in
+  (store, root)
+
+let with_server ?(domains = 2) ?(group_commit = true) ?snapshot_path ?wal_path f =
+  let store, root = boot_library () in
+  let socket_path = temp_name ".sock" in
+  let config =
+    { Server.socket_path; snapshot_path; wal_path; domains; group_commit; use_index = false }
+  in
+  let srv =
+    match Server.create config ~store ~root () with
+    | Ok s -> s
+    | Error e -> Alcotest.fail e
+  in
+  let ready_m = Mutex.create () in
+  let ready_c = Condition.create () in
+  let ready = ref false in
+  let outcome = ref (Ok ()) in
+  let server_thread =
+    Thread.create
+      (fun () ->
+        outcome :=
+          Server.serve
+            ~on_ready:(fun () ->
+              Mutex.lock ready_m;
+              ready := true;
+              Condition.signal ready_c;
+              Mutex.unlock ready_m)
+            srv)
+      ()
+  in
+  Mutex.lock ready_m;
+  while not !ready do
+    Condition.wait ready_c ready_m
+  done;
+  Mutex.unlock ready_m;
+  Fun.protect
+    ~finally:(fun () ->
+      Server.request_stop srv;
+      Thread.join server_thread;
+      match !outcome with
+      | Ok () -> ()
+      | Error e -> Alcotest.fail ("server teardown: " ^ e))
+    (fun () -> f socket_path srv)
+
+let ok = function Ok v -> v | Error e -> Alcotest.fail e
+
+let test_server_session_basics () =
+  with_server (fun sock _srv ->
+      let c = ok (Client.connect sock) in
+      let epoch0, titles = ok (Client.query c "//title") in
+      Alcotest.(check (list string)) "initial titles" [ "One" ] titles;
+      Alcotest.(check int) "fresh server at epoch 0" 0 epoch0;
+      let epoch1 = ok (Client.update c "insert /library <book><title>Two</title></book>") in
+      Alcotest.(check bool) "update advances the epoch" true (epoch1 > epoch0);
+      let _, titles = ok (Client.query c "//title") in
+      Alcotest.(check (list string)) "update visible" [ "One"; "Two" ] titles;
+      (* an update that fails leaves the session usable *)
+      (match Client.update c "delete //nothing/here" with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail "deleting a missing node must fail");
+      let _, titles = ok (Client.query c "//title") in
+      Alcotest.(check (list string)) "state undamaged" [ "One"; "Two" ] titles;
+      (* well-formedness validation without a schema *)
+      let valid, _ = ok (Client.validate c "<a><b/></a>") in
+      Alcotest.(check bool) "well-formed doc accepted" true valid;
+      let valid, errors = ok (Client.validate c "<a><b></a>") in
+      Alcotest.(check bool) "malformed doc refused" false valid;
+      Alcotest.(check bool) "with a reason" true (errors <> []);
+      (match ok (Client.stats c) with
+      | Json.Obj _ as body -> (
+        match Json.member "server" body with
+        | Some _ -> ()
+        | None -> Alcotest.fail "stats body must carry server info")
+      | _ -> Alcotest.fail "stats body must be an object");
+      Client.close c)
+
+let test_server_snapshot_isolation () =
+  with_server ~domains:2 (fun sock _srv ->
+      let writers = 4 and inserts = 12 in
+      let writer_threads =
+        List.init writers (fun i ->
+            Thread.create
+              (fun () ->
+                let c = ok (Client.connect ~client:(Printf.sprintf "w%d" i) sock) in
+                for _ = 1 to inserts do
+                  ignore (ok (Client.update c "insert /library <x/>"))
+                done;
+                Client.close c)
+              ())
+      in
+      (* concurrent readers record (epoch, visible count) pairs *)
+      let observations = Queue.create () in
+      let obs_m = Mutex.create () in
+      let reader_threads =
+        List.init 2 (fun i ->
+            Thread.create
+              (fun () ->
+                let c = ok (Client.connect ~client:(Printf.sprintf "r%d" i) sock) in
+                for _ = 1 to 30 do
+                  let epoch, xs = ok (Client.query c "//x") in
+                  Mutex.lock obs_m;
+                  Queue.push (epoch, List.length xs) observations;
+                  Mutex.unlock obs_m
+                done;
+                Client.close c)
+              ())
+      in
+      List.iter Thread.join (writer_threads @ reader_threads);
+      let final = ok (Client.connect sock) in
+      let _, xs = ok (Client.query final "//x") in
+      Alcotest.(check int) "every committed insert visible" (writers * inserts) (List.length xs);
+      Client.close final;
+      (* snapshot isolation: the same epoch never shows two different
+         states — a reader can land before or after a batch, never
+         inside one *)
+      let by_epoch = Hashtbl.create 32 in
+      Queue.iter
+        (fun (epoch, count) ->
+          match Hashtbl.find_opt by_epoch epoch with
+          | None -> Hashtbl.add by_epoch epoch count
+          | Some seen ->
+            Alcotest.(check int)
+              (Printf.sprintf "epoch %d stable" epoch)
+              seen count)
+        observations)
+
+let test_server_checkpoint_roundtrip () =
+  let snapshot_path = temp_name ".snap" in
+  let wal_path = temp_name ".wal" in
+  with_server ~snapshot_path ~wal_path (fun sock _srv ->
+      let c = ok (Client.connect sock) in
+      ignore (ok (Client.update c "insert /library <book><title>Two</title></book>"));
+      ignore (ok (Client.update c "content /library/book/title/text() Uno"));
+      Alcotest.(check bool) "wal grows while serving" true (Sys.file_exists wal_path);
+      Client.close c);
+  (* graceful stop checkpointed: snapshot present, WAL subsumed *)
+  Alcotest.(check bool) "snapshot written at shutdown" true (Sys.file_exists snapshot_path);
+  Alcotest.(check bool) "wal removed by the checkpoint" false (Sys.file_exists wal_path);
+  let store, root, _labels, _meta =
+    match Xsm_persist.Snapshot.load ~path:snapshot_path with
+    | Ok v -> v
+    | Error e -> Alcotest.fail e
+  in
+  (match Xsm_xpath.Eval.Over_store.eval_string store root "//title" with
+  | Ok nodes ->
+    Alcotest.(check (list string))
+      "recovered state is the served state" [ "Uno"; "Two" ]
+      (List.map (Xsm_xdm.Store.string_value store) nodes)
+  | Error e -> Alcotest.fail e);
+  Sys.remove snapshot_path
+
+let test_server_protocol_shutdown () =
+  let store, root = boot_library () in
+  let socket_path = temp_name ".sock" in
+  let config =
+    {
+      Server.socket_path;
+      snapshot_path = None;
+      wal_path = None;
+      domains = 1;
+      group_commit = true;
+      use_index = false;
+    }
+  in
+  let srv = match Server.create config ~store ~root () with Ok s -> s | Error e -> Alcotest.fail e in
+  let outcome = ref (Error "never ran") in
+  let ready_sem = Semaphore.Binary.make false in
+  let t =
+    Thread.create
+      (fun () ->
+        outcome := Server.serve ~on_ready:(fun () -> Semaphore.Binary.release ready_sem) srv)
+      ()
+  in
+  Semaphore.Binary.acquire ready_sem;
+  let c = ok (Client.connect socket_path) in
+  ok (Client.shutdown c);
+  Client.close c;
+  Thread.join t;
+  (match !outcome with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail ("serve after Shutdown request: " ^ e));
+  Alcotest.(check bool) "socket removed" false (Sys.file_exists socket_path)
+
+let suite =
+  [
+    ( "server.frame",
+      [
+        Alcotest.test_case "roundtrip and EOF" `Quick test_frame_roundtrip;
+        Alcotest.test_case "oversized refused" `Quick test_frame_too_large;
+      ] );
+    ( "server.protocol",
+      [
+        Alcotest.test_case "codec roundtrip" `Quick test_protocol_roundtrip;
+        Alcotest.test_case "malformed refused" `Quick test_protocol_errors;
+      ] );
+    ( "server.epoch",
+      [
+        Alcotest.test_case "counts batches" `Quick test_epoch_counts_batches;
+        Alcotest.test_case "excludes writers" `Quick test_epoch_excludes_writers;
+      ] );
+    ( "server.pool",
+      [ Alcotest.test_case "runs and raises" `Quick test_pool_runs_and_raises ] );
+    ( "server.commit",
+      [
+        Alcotest.test_case "per-request baseline" `Quick test_commit_per_request;
+        Alcotest.test_case "batches under load" `Quick test_commit_batches_under_load;
+        Alcotest.test_case "failure fails the batch" `Quick test_commit_failure_fails_batch;
+      ] );
+    ( "server.sessions",
+      [
+        Alcotest.test_case "query/update/validate/stats" `Quick test_server_session_basics;
+        Alcotest.test_case "snapshot isolation" `Quick test_server_snapshot_isolation;
+        Alcotest.test_case "checkpoint roundtrip" `Quick test_server_checkpoint_roundtrip;
+        Alcotest.test_case "protocol shutdown" `Quick test_server_protocol_shutdown;
+      ] );
+  ]

@@ -329,6 +329,21 @@ let test_lru_mechanics () =
   | exception Invalid_argument _ -> ()
   | _ -> Alcotest.fail "capacity 0 accepted"
 
+let test_hit_ratio_of_untouched_pool () =
+  (* an untouched pool has no hit ratio, not a perfect one — 0/0
+     reported as 1.0 once made cold caches look ideal in reports *)
+  let p = BP.create ~capacity:4 in
+  Alcotest.(check (option (float 0.0))) "fresh pool" None (BP.hit_ratio (BP.stats p));
+  ignore (BP.touch p 1);
+  Alcotest.(check (option (float 0.0))) "first access misses" (Some 0.0)
+    (BP.hit_ratio (BP.stats p));
+  ignore (BP.touch p 1);
+  Alcotest.(check (option (float 0.0))) "second access hits" (Some 0.5)
+    (BP.hit_ratio (BP.stats p));
+  BP.reset_stats p;
+  Alcotest.(check (option (float 0.0))) "stats reset: no ratio again" None
+    (BP.hit_ratio (BP.stats p))
+
 let test_scan_locality () =
   (* a block scan touches each block exactly once per resident period:
      misses = distinct blocks even with a tiny pool *)
@@ -390,6 +405,8 @@ let suite =
     ( "storage.buffer-pool",
       [
         Alcotest.test_case "LRU mechanics" `Quick test_lru_mechanics;
+        Alcotest.test_case "untouched pool has no hit ratio" `Quick
+          test_hit_ratio_of_untouched_pool;
         Alcotest.test_case "scan locality" `Quick test_scan_locality;
         Alcotest.test_case "navigation vs scan" `Quick test_navigation_vs_scan_hit_ratio;
       ] );

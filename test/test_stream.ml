@@ -111,6 +111,35 @@ let sax_chunk_invariance () =
         (show_events (events_of_string ~chunk_size:n doc)))
     [ 1; 2; 3; 5; 7; 64 ]
 
+let sax_eol_normalization () =
+  (* §2.11 over the streaming lexer: CRLF and bare CR become LF, and
+     the answer must not depend on where a refill cuts the input —
+     the hard case is "\r\n" split exactly across two chunks, where
+     the lexer must remember the pending CR *)
+  let doc = "<a>x\r\ny\rz</a>" in
+  let reference = events_of_string "<a>x\ny\nz</a>" in
+  (* chunk_size 5 ends the first chunk at "<a>x\r": the '\n' opens
+     the next chunk and must be absorbed, not doubled *)
+  List.iter
+    (fun n ->
+      check_str
+        (Printf.sprintf "chunk_size %d" n)
+        (show_events reference)
+        (show_events (events_of_string ~chunk_size:n doc)))
+    [ 1; 2; 3; 4; 5; 6; 100 ];
+  (* a lone CR last in its chunk, followed by a non-LF character *)
+  let evs = events_of_string ~chunk_size:5 "<a>x\rY</a>" in
+  check_str "pending CR before a non-LF" (show_events (events_of_string "<a>x\nY</a>"))
+    (show_events evs);
+  (* stream = tree on CRLF input *)
+  let crlf = "<a>line1\r\nline2\r\n<b/>\r\n</a>" in
+  (match Parser.parse_document crlf with
+  | Error e -> Alcotest.failf "tree parse failed: %s" (Parser.error_to_string e)
+  | Ok d ->
+    check_str "stream agrees with tree on CRLF"
+      (show_events (events_of_string (Printer.to_string d)))
+      (show_events (events_of_string ~chunk_size:3 crlf)))
+
 let sax_matches_parser () =
   (* the event stream carries the same information the tree parser
      extracts: rebuild the element and compare content *)
@@ -570,7 +599,7 @@ let bulk_crash_sweep () =
             Wal.Writer.create ~crash:{ Wal.after_records = n; partial_bytes } wal_path
           with
           | Ok w -> w
-          | Error e -> Alcotest.fail e
+          | Error e -> Alcotest.fail (Wal.error_message e)
         in
         let on_root root_elem =
           let store = Store.create () in
@@ -587,7 +616,7 @@ let bulk_crash_sweep () =
         check (Printf.sprintf "crash fires (n=%d)" n) (n <= sections) crashed;
         (match Wal.Writer.close wal with () -> () | exception _ -> ());
         match Xsm_persist.Recovery.recover ~snapshot:snap_path ~wal:wal_path () with
-        | Error e -> Alcotest.fail e
+        | Error e -> Alcotest.fail (Xsm_persist.Recovery.error_message e)
         | Ok (store, root, _labels, stats) ->
           check_int (Printf.sprintf "replayed records (n=%d)" n) n stats.Xsm_persist.Recovery.replayed;
           let expected =
@@ -617,6 +646,7 @@ let suite =
         Alcotest.test_case "positions" `Quick sax_positions;
         Alcotest.test_case "entities and CDATA" `Quick sax_entities;
         Alcotest.test_case "chunk-boundary invariance" `Quick sax_chunk_invariance;
+        Alcotest.test_case "EOL normalization across chunks" `Quick sax_eol_normalization;
         Alcotest.test_case "events rebuild the parsed tree" `Quick sax_matches_parser;
         Alcotest.test_case "well-formedness errors" `Quick sax_errors;
       ] );

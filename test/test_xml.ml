@@ -180,6 +180,40 @@ let test_pretty_print_reparses () =
   | Ok t' -> check "content equal" true (Tree.equal_element_content t t')
   | Error e -> Alcotest.failf "reparse failed: %s" (Parser.error_to_string e)
 
+(* ---------------- end-of-line normalization (§2.11) ---------------- *)
+
+let test_eol_normalize_function () =
+  check_str "CRLF, lone CR, trailing CR" "a\nb\nc\nd\n"
+    (Parser.normalize_eol "a\r\nb\rc\nd\r");
+  check_str "CR CRLF" "a\n\nb" (Parser.normalize_eol "a\r\r\nb");
+  check_str "identity without CR" "plain\ntext" (Parser.normalize_eol "plain\ntext")
+
+let test_eol_normalized_in_documents () =
+  let lf = parse_ok "<a>x\ny</a>\n" in
+  check "CRLF input" true
+    (Tree.equal_content ~ignore_whitespace:false lf (parse_ok "<a>x\r\ny</a>\r\n"));
+  check "CR input" true
+    (Tree.equal_content ~ignore_whitespace:false lf (parse_ok "<a>x\ry</a>\r"))
+
+let test_eol_charref_cr_survives () =
+  (* §2.11 normalizes literal line breaks {e before} reference
+     expansion: an author writing [&#13;] asked for a carriage return
+     and must keep it *)
+  let d = parse_ok "<a>x&#13;y</a>" in
+  match d.Tree.root.Tree.children with
+  | [ Tree.Text t ] -> check_str "literal CR kept" "x\ry" t
+  | _ -> Alcotest.fail "expected one text child"
+
+let test_print_cr_roundtrips () =
+  (* the printer must emit [&#13;] for a CR, or the reparse would
+     §2.11-normalize it into a newline *)
+  let t = Tree.elem "a" ~attrs:[ Tree.attr "k" "p\rq" ] ~children:[ Tree.text "x\ry" ] in
+  let s = Printer.element_to_string t in
+  check "no raw CR in output" true (not (String.contains s '\r'));
+  match Parser.parse_element s with
+  | Ok t' -> check "CR survives print/parse" true (Tree.equal_element t t')
+  | Error e -> Alcotest.failf "reparse failed: %s" (Parser.error_to_string e)
+
 (* ---------------- content equality ---------------- *)
 
 let test_content_equality_comments () =
@@ -240,6 +274,13 @@ let suite =
         Alcotest.test_case "roundtrip" `Quick test_print_parse_roundtrip;
         Alcotest.test_case "special chars" `Quick test_print_special_chars;
         Alcotest.test_case "pretty reparses" `Quick test_pretty_print_reparses;
+      ] );
+    ( "xml.eol",
+      [
+        Alcotest.test_case "normalize_eol" `Quick test_eol_normalize_function;
+        Alcotest.test_case "CRLF/CR parse alike" `Quick test_eol_normalized_in_documents;
+        Alcotest.test_case "&#13; stays a CR" `Quick test_eol_charref_cr_survives;
+        Alcotest.test_case "CR print/parse roundtrip" `Quick test_print_cr_roundtrips;
       ] );
     ( "xml.content-equality",
       [
