@@ -409,10 +409,12 @@ let () =
   match args with
   | _ :: "--e16-child" :: mode :: file :: _ -> E16.child mode file
   | _ when List.mem "--e16" args -> E16.run ~smoke:(List.mem "--smoke" args) ()
+  | _ :: "--e18-child" :: mode :: corpus :: pages :: _ -> E18.child mode corpus pages
+  | _ when List.mem "--e18" args -> E18.run ~smoke:(List.mem "--smoke" args) ()
   | _ ->
     if List.mem "--report" args then Report.run ()
     else begin
       run_bechamel ~smoke:(List.mem "--smoke" args) ();
       print_endline
-        "\n(run with --report for the full E1-E15 experiment tables, --e16 for streaming ingest)"
+        "\n(run with --report for the full E1-E15 experiment tables, --e16 for streaming ingest,\n --e18 for paged storage under memory pressure)"
     end

@@ -103,6 +103,19 @@ let die_recovery_error e =
     | Xsm_persist.Recovery.Corrupt_wal _ -> 3
     | Xsm_persist.Recovery.Failed _ -> 2)
 
+let report_pager bs =
+  match Xsm_storage.Block_storage.pager bs with
+  | None -> ()
+  | Some p ->
+    let s = Xsm_pager.Pager.stats p in
+    Printf.eprintf "pager: %d accesses (%d hits), %d reads, %d writes, %d evictions%s%s\n"
+      s.Xsm_pager.Pager.accesses s.hits s.reads s.writes s.evictions
+      (if s.pin_overflows = 0 then ""
+       else Printf.sprintf ", %d pin overflows" s.pin_overflows)
+      (match Xsm_pager.Pager.hit_ratio s with
+      | Some r -> Printf.sprintf ", hit ratio %.3f" r
+      | None -> "")
+
 (* ------------------------------------------------------------------ *)
 (* Telemetry: --trace/--metrics, shared by the data-touching commands.
    Exporting runs from at_exit so a mid-run [exit] (script errors,
@@ -272,6 +285,22 @@ let load_cmd =
       & info [ "block-capacity" ] ~docv:"N"
           ~doc:"Descriptors per storage block (default 64).")
   in
+  let page_file_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "page-file" ] ~docv:"FILE"
+          ~doc:
+            "Page the storage through a bounded buffer pool backed by $(docv): block \
+             values spill to disk under 2Q replacement as the load outgrows the pool, \
+             and the file is checkpointed when the load completes — so it alone \
+             reconstructs the store.")
+  in
+  let pool_capacity_arg =
+    Arg.(
+      value & opt int 64
+      & info [ "pool-capacity" ] ~docv:"N"
+          ~doc:"Buffer-pool capacity in blocks with $(b,--page-file) (default 64).")
+  in
   let wal_arg =
     Arg.(
       value & opt (some string) None
@@ -335,8 +364,8 @@ let load_cmd =
   let print_flag =
     Arg.(value & flag & info [ "print" ] ~doc:"Print the loaded document on stdout")
   in
-  let run () doc_path schema_path capacity wal_path snap_path sync_every crash_after
-      crash_partial use_index query with_stats do_print =
+  let run () doc_path schema_path capacity page_path pool_capacity wal_path snap_path
+      sync_every crash_after crash_partial use_index query with_stats do_print =
     let die fmt =
       Printf.ksprintf
         (fun s ->
@@ -406,6 +435,25 @@ let load_cmd =
         snap_path
     in
     let bl = S.Bulk_load.create ~block_capacity:capacity ?wal ?on_root () in
+    let page =
+      Option.map
+        (fun pp ->
+          let storage = S.Bulk_load.storage bl in
+          let pf = Xsm_pager.Page_file.create pp in
+          ignore
+            (Bs.attach_pager
+               ?wal:(Option.map Wal.Writer.pager_hook wal)
+               storage ~capacity:pool_capacity pf);
+          (* during the streaming build a block's latest changes are
+             covered by the subtree record that has not landed yet:
+             stamp one past the current record, so unlogged state is
+             unstealable until its record is durable *)
+          (match wal with
+          | Some w -> Bs.set_lsn_source storage (fun () -> Wal.Writer.lsn w + 1)
+          | None -> ());
+          pf)
+        page_path
+    in
     let planner =
       if use_index then Some (Pl.create (S.Bulk_load.storage bl) (Bs.root (S.Bulk_load.storage bl)))
       else None
@@ -449,6 +497,15 @@ let load_cmd =
               S.Bulk_load.finish bl))
     in
     feed_planner ();
+    (* checkpoint before closing the WAL: flushing dirty blocks may
+       force a final sync of the records covering them *)
+    (match page with
+    | None -> ()
+    | Some _ ->
+      guard (fun () ->
+          Bs.checkpoint storage
+            ~lsn:(match wal with Some w -> Wal.Writer.lsn w | None -> 0));
+      report_pager storage);
     (match wal with Some w -> Wal.Writer.close w | None -> ());
     (* summary and stats go to stderr so --print output stays a clean
        document, comparable byte-for-byte with [xsm recover --print] *)
@@ -497,6 +554,9 @@ let load_cmd =
           prerr_endline e;
           exit 1)));
     if do_print then print_string (Xsm_xml.Printer.to_string (Bs.to_document storage));
+    (* the page file outlives the checkpoint: --stats, --query and
+       --print above all fault pages back in *)
+    (match page with Some pf -> Xsm_pager.Page_file.close pf | None -> ());
     match Option.map S.Stream_validator.finish validator with
     | Some (Error es) ->
       List.iter (fun e -> print_endline (S.Stream_validator.error_to_string e)) es;
@@ -511,9 +571,9 @@ let load_cmd =
           optional same-pass validation, WAL durability and differential index \
           maintenance — without ever materializing the tree")
     Term.(
-      const run $ obs_term $ doc_arg $ schema_arg $ capacity_arg $ wal_arg $ snapshot_arg
-      $ sync_every_arg $ crash_after_arg $ crash_partial_arg $ index_flag $ query_arg
-      $ stats_flag $ print_flag)
+      const run $ obs_term $ doc_arg $ schema_arg $ capacity_arg $ page_file_arg
+      $ pool_capacity_arg $ wal_arg $ snapshot_arg $ sync_every_arg $ crash_after_arg
+      $ crash_partial_arg $ index_flag $ query_arg $ stats_flag $ print_flag)
 
 let check_cmd =
   let schema_arg =
@@ -612,6 +672,21 @@ let query_cmd =
   let storage_flag =
     Arg.(value & flag & info [ "storage" ] ~doc:"Evaluate over the Sedna block storage")
   in
+  let page_file_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "page-file" ] ~docv:"FILE"
+          ~doc:
+            "With $(b,--storage): page the block storage through a bounded buffer pool \
+             backed by $(docv), so evaluation faults blocks in and out of memory; pool \
+             statistics are reported on stderr.")
+  in
+  let pool_capacity_arg =
+    Arg.(
+      value & opt int 8
+      & info [ "pool-capacity" ] ~docv:"N"
+          ~doc:"Buffer-pool capacity in blocks with $(b,--page-file) (default 8).")
+  in
   let index_flag =
     Arg.(
       value & flag
@@ -630,7 +705,22 @@ let query_cmd =
              every $(docv)-valid document are answered without touching the data.  \
              The document is assumed valid against the schema.")
   in
-  let run () doc_path query use_storage use_index schema_path =
+  let run () doc_path query use_storage page_path pool_capacity use_index schema_path =
+    if page_path <> None && not use_storage then die "query: --page-file requires --storage";
+    (* cold-start the pool before evaluating: attach (resident, dirty),
+       flush and drop everything, so the query's accesses are real
+       faults against the page file, not warm hits *)
+    let paged bs =
+      Option.iter
+        (fun pp ->
+          let p =
+            Xsm_storage.Block_storage.attach_pager bs ~capacity:pool_capacity
+              (Xsm_pager.Page_file.create pp)
+          in
+          Xsm_pager.Pager.clear p;
+          Xsm_pager.Pager.reset_stats p)
+        page_path
+    in
     Trace.with_span "query" ~attrs:[ ("path", query) ] @@ fun () ->
     let store, dnode =
       Trace.with_span "query.parse" (fun () ->
@@ -669,6 +759,7 @@ let query_cmd =
       if use_storage then begin
         let module Pl = Xsm_xpath.Planner.Over_storage in
         let bs = Xsm_storage.Block_storage.of_store store dnode in
+        paged bs;
         let planner =
           Trace.with_span "query.plan" (fun () ->
               let p = Pl.create bs (Xsm_storage.Block_storage.root bs) in
@@ -681,7 +772,8 @@ let query_cmd =
             match Xsm_xpath.Path_parser.parse q with
             | Ok p -> Pl.explain planner p
             | Error e -> e)
-          (List.map (Xsm_storage.Block_storage.string_value bs))
+          (List.map (Xsm_storage.Block_storage.string_value bs));
+        report_pager bs
       end
       else begin
         let module Pl = Xsm_xpath.Planner.Over_store in
@@ -702,9 +794,10 @@ let query_cmd =
     end
     else if use_storage then begin
       let bs = Xsm_storage.Block_storage.of_store store dnode in
-      match
-        Trace.with_span "query.execute" (fun () -> Xsm_xpath.Schema_driven.eval_string bs query)
-      with
+      paged bs;
+      (match
+         Trace.with_span "query.execute" (fun () -> Xsm_xpath.Schema_driven.eval_string bs query)
+       with
       | Ok descs ->
         List.iter (fun d -> print_endline (Xsm_storage.Block_storage.string_value bs d)) descs
       | Error _ -> (
@@ -716,7 +809,8 @@ let query_cmd =
           List.iter (fun d -> print_endline (Xsm_storage.Block_storage.string_value bs d)) descs
         | Error e ->
           prerr_endline e;
-          exit 1)
+          exit 1));
+      report_pager bs
     end
     else
       match
@@ -731,7 +825,9 @@ let query_cmd =
   in
   Cmd.v
     (Cmd.info "query" ~doc:"Evaluate an XPath-subset query over a document")
-    Term.(const run $ obs_term $ doc_arg $ path_arg $ storage_flag $ index_flag $ schema_flag)
+    Term.(
+      const run $ obs_term $ doc_arg $ path_arg $ storage_flag $ page_file_arg
+      $ pool_capacity_arg $ index_flag $ schema_flag)
 
 let print_store store root =
   match Xsm_xdm.Store.kind store root with
@@ -1099,7 +1195,22 @@ let recover_cmd =
       & info [ "no-truncate" ]
           ~doc:"Leave a torn WAL tail on disk instead of repairing the file.")
   in
-  let run () snap_path wal_path do_print query use_index no_truncate =
+  let page_file_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "page-file" ] ~docv:"FILE"
+          ~doc:
+            "After recovery, materialize the block-storage representation of the \
+             recovered state and checkpoint it to $(docv) — a clean page file that \
+             alone reconstructs the store.")
+  in
+  let pool_capacity_arg =
+    Arg.(
+      value & opt int 64
+      & info [ "pool-capacity" ] ~docv:"N"
+          ~doc:"Buffer-pool capacity in blocks with $(b,--page-file) (default 64).")
+  in
+  let run () snap_path wal_path do_print query use_index no_truncate page_path pool_capacity =
     let module Pl = Xsm_xpath.Planner.Over_store in
     let module R = Xsm_persist.Recovery in
     let die e =
@@ -1141,6 +1252,16 @@ let recover_cmd =
         | Error e -> die_recovery_error e
     in
     Format.eprintf "recovered: %a@." R.pp_stats stats;
+    (match page_path with
+    | None -> ()
+    | Some pp ->
+      let module Bs = Xsm_storage.Block_storage in
+      let pf = Xsm_pager.Page_file.create pp in
+      let bs = Bs.of_store store root in
+      ignore (Bs.attach_pager bs ~capacity:pool_capacity pf);
+      Bs.checkpoint bs ~lsn:stats.R.synced_prefix;
+      Printf.eprintf "page file: checkpointed %d blocks to %s\n" (Bs.block_count bs) pp;
+      Xsm_pager.Page_file.close pf);
     (match query with
     | None -> ()
     | Some q -> (
@@ -1178,7 +1299,7 @@ let recover_cmd =
           content-equal to the longest fully-written prefix of the logged run")
     Term.(
       const run $ obs_term $ snap_arg $ wal_arg $ print_flag $ query_arg $ index_flag
-      $ no_truncate_flag)
+      $ no_truncate_flag $ page_file_arg $ pool_capacity_arg)
 
 let stats_cmd =
   let doc_arg =
@@ -1268,6 +1389,44 @@ let stats_cmd =
       (match Xsm_storage.Buffer_pool.hit_ratio (Xsm_storage.Buffer_pool.stats pool) with
       | Some r -> r
       | None -> Float.nan (* no accesses: JSON null / "(unset)", not 1.0 *));
+    (* now the same locality for real: a second storage paged through a
+       throwaway page file, cold-started, then walked — the pager.*
+       counters below are actual faults, write-backs and evictions *)
+    let g_pager_hit =
+      Metrics.Gauge.make ~help:"pager hit ratio over the cold workload replay"
+        "pager.hit_ratio"
+    in
+    let pp = Filename.temp_file "xsm-stats" ".pages" in
+    Fun.protect
+      ~finally:(fun () -> if Sys.file_exists pp then Sys.remove pp)
+      (fun () ->
+        let module Bs = Xsm_storage.Block_storage in
+        let module Pager = Xsm_pager.Pager in
+        let bs = Xsm_storage.Block_storage.of_store store dnode in
+        let pf = Xsm_pager.Page_file.create pp in
+        let p = Bs.attach_pager bs ~capacity pf in
+        Pager.clear p;
+        Pager.reset_stats p;
+        (* [snodes] above closed over the other storage's schema —
+           rebuild the snode list over this one *)
+        let rec paged_snodes acc sn =
+          List.fold_left paged_snodes (sn :: acc)
+            (Xsm_storage.Descriptive_schema.children (Bs.schema bs) sn)
+        in
+        List.iter
+          (fun sn -> List.iter (fun d -> ignore (Bs.string_value bs d)) (Bs.descendants_by_snode bs sn))
+          (List.rev (paged_snodes [] (Xsm_storage.Descriptive_schema.root (Bs.schema bs))));
+        let rec walk d =
+          ignore (Bs.string_value bs d);
+          List.iter walk (Bs.attributes bs d);
+          List.iter walk (Bs.children bs d)
+        in
+        walk (Bs.root bs);
+        Metrics.Gauge.set g_pager_hit
+          (match Pager.hit_ratio (Pager.stats p) with
+          | Some r -> r
+          | None -> Float.nan);
+        Xsm_pager.Page_file.close pf);
     print_endline (Xsm_obs.Json.to_string (Metrics.to_json Metrics.default))
   in
   Cmd.v
@@ -1443,8 +1602,23 @@ let serve_cmd =
   let labels_flag =
     Arg.(value & flag & info [ "labels" ] ~doc:"Maintain \xc2\xa79.3 Sedna labels across updates.")
   in
+  let page_file_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "page-file" ] ~docv:"FILE"
+          ~doc:
+            "Maintain a disk-paged block-storage replica of the store under a bounded \
+             buffer pool backed by $(docv); non-indexed queries evaluate over it, \
+             sharing the pool across all sessions.  Checkpointed at graceful shutdown.")
+  in
+  let pool_capacity_arg =
+    Arg.(
+      value & opt int 256
+      & info [ "pool-capacity" ] ~docv:"N"
+          ~doc:"Buffer-pool capacity in blocks with $(b,--page-file) (default 256).")
+  in
   let run () socket doc_path snap_path wal_path schema_path domains no_group_commit use_index
-      with_labels =
+      with_labels page_path pool_capacity =
     let schema = Option.map (fun p -> or_die (load_schema p)) schema_path in
     let store, root, labels =
       match snap_path with
@@ -1480,6 +1654,8 @@ let serve_cmd =
         domains;
         group_commit = not no_group_commit;
         use_index;
+        page_file = page_path;
+        pool_capacity;
       }
     in
     match Server.create config ~store ~root ?labels ?schema () with
@@ -1505,7 +1681,8 @@ let serve_cmd =
           reads on a domain pool, group-committed writes")
     Term.(
       const run $ obs_term $ socket_arg ~required:false $ doc_arg $ snapshot_arg $ wal_arg
-      $ schema_arg $ domains_arg $ no_group_commit_flag $ index_flag $ labels_flag)
+      $ schema_arg $ domains_arg $ no_group_commit_flag $ index_flag $ labels_flag
+      $ page_file_arg $ pool_capacity_arg)
 
 let client_cmd =
   let query_arg =
@@ -1620,6 +1797,15 @@ let bench_serve_cmd =
   let index_flag =
     Arg.(value & flag & info [ "index" ] ~doc:"Run the server with --index (serialized reads).")
   in
+  let pool_capacity_arg =
+    Arg.(
+      value & opt (some int) None
+      & info [ "pool-capacity" ] ~docv:"N"
+          ~doc:
+            "Run the server with a disk-paged storage replica under an $(docv)-block \
+             buffer pool (a page file in the bench directory); pager counters are \
+             reported with the results.")
+  in
   let smoke_flag =
     Arg.(
       value & flag
@@ -1642,7 +1828,8 @@ let bench_serve_cmd =
     Buffer.add_string buf "</library>";
     Buffer.contents buf
   in
-  let run () clients requests domains entries write_ratio no_group_commit use_index smoke =
+  let run () clients requests domains entries write_ratio no_group_commit use_index
+      pool_capacity smoke =
     let clients, requests, entries =
       if smoke then (2, 25, 100) else (clients, requests, entries)
     in
@@ -1664,7 +1851,13 @@ let bench_serve_cmd =
       [ Sys.executable_name; "serve"; "--socket"; sock; "--doc"; doc_file; "--wal"; wal_file;
         "--domains"; string_of_int domains ]
       @ (if no_group_commit then [ "--no-group-commit" ] else [])
-      @ if use_index then [ "--index" ] else []
+      @ (if use_index then [ "--index" ] else [])
+      @
+      match pool_capacity with
+      | Some n ->
+        [ "--page-file"; Filename.concat dir "serve.pages"; "--pool-capacity";
+          string_of_int n ]
+      | None -> []
     in
     let log_fd = Unix.openfile log_file [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
     let server_pid =
@@ -1766,8 +1959,19 @@ let bench_serve_cmd =
                   field [ "server"; "commit"; "max_batch" ] )
               with
               | Some (J.Num s), Some (J.Num b), Some (J.Num m) ->
-                Printf.sprintf "commit: %d submissions in %d batches (max batch %d)"
-                  (int_of_float s) (int_of_float b) (int_of_float m)
+                let pager =
+                  match
+                    ( field [ "pager"; "accesses" ],
+                      field [ "pager"; "reads" ],
+                      field [ "pager"; "evictions" ] )
+                  with
+                  | Some (J.Num a), Some (J.Num r), Some (J.Num e) ->
+                    Printf.sprintf "\n  pager: %d accesses, %d faults, %d evictions"
+                      (int_of_float a) (int_of_float r) (int_of_float e)
+                  | _ -> ""
+                in
+                Printf.sprintf "commit: %d submissions in %d batches (max batch %d)%s"
+                  (int_of_float s) (int_of_float b) (int_of_float m) pager
               | _ -> "commit: (stats unavailable)"))
     in
     (match Sclient.connect sock with
@@ -1820,7 +2024,8 @@ let bench_serve_cmd =
           report latency percentiles and throughput (bench E17)")
     Term.(
       const run $ obs_term $ clients_arg $ requests_arg $ domains_arg $ entries_arg
-      $ write_ratio_arg $ no_group_commit_flag $ index_flag $ smoke_flag)
+      $ write_ratio_arg $ no_group_commit_flag $ index_flag $ pool_capacity_arg
+      $ smoke_flag)
 
 let () =
   let info =

@@ -1,0 +1,18 @@
+(* A rename or file creation is durable only once the *directory*
+   entry is: POSIX makes the data fsync and the metadata fsync
+   separate operations, and a crash between them can leave a
+   fully-synced file that simply is not there after reboot.  Every
+   tmp-write-rename and every fresh log file must therefore fsync its
+   parent directory. *)
+
+let fsync_dir dir =
+  match Unix.openfile dir [ Unix.O_RDONLY ] 0 with
+  | exception Unix.Unix_error _ -> ()  (* e.g. a platform refusing O_RDONLY on dirs *)
+  | fd ->
+    Fun.protect
+      ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+      (fun () -> try Unix.fsync fd with Unix.Unix_error _ -> ())
+
+let fsync_parent path =
+  let dir = Filename.dirname path in
+  fsync_dir (if dir = "" then Filename.current_dir_name else dir)

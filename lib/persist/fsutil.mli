@@ -1,0 +1,16 @@
+(** Directory-entry durability.
+
+    [fsync] on a file makes its {e contents} durable; the directory
+    entry naming it (created by [rename] or [open O_CREAT]) lives in
+    the directory's own data and needs its own fsync.  Without it, a
+    crash right after a snapshot's tmp-write-rename can lose the
+    rename — leaving the old snapshot, or none at all — even though
+    the new file's bytes were synced. *)
+
+val fsync_dir : string -> unit
+(** Fsync a directory.  Errors (platforms or filesystems that refuse
+    opening/fsyncing directories) are swallowed: this is a
+    best-effort hardening, never a new failure mode. *)
+
+val fsync_parent : string -> unit
+(** [fsync_parent path] fsyncs the directory containing [path]. *)

@@ -173,6 +173,9 @@ let save ?schema_ref ?labels ~path store root =
           flush oc;
           Unix.fsync (Unix.descr_of_out_channel oc));
       Sys.rename tmp path;
+      (* the rename itself is durable only once the directory entry
+         is — without this a crash can roll the snapshot back *)
+      Fsutil.fsync_parent path;
       Ok
         {
           version = format_version;

@@ -291,6 +291,8 @@ module Writer = struct
     crash : crash option;
     sync_every : int;
     mutable records : int;
+    mutable ops : int;  (* Op records only — the LSN scale *)
+    mutable marked : int;  (* ops covered by the last Sync_point marker *)
     mutable unsynced : int;
     mutable crashed : bool;
   }
@@ -324,8 +326,14 @@ module Writer = struct
         else begin
           let oc = open_out_gen [ Open_append; Open_creat; Open_binary ] 0o644 path in
           if fresh then output_string oc magic;
-          let t = { oc; crash; sync_every; records = 0; unsynced = 0; crashed = false } in
+          let t =
+            { oc; crash; sync_every; records = 0; ops = 0; marked = 0; unsynced = 0;
+              crashed = false }
+          in
           fsync t;
+          (* a freshly created log needs its directory entry synced
+             too, or a crash can lose the whole file *)
+          if fresh then Fsutil.fsync_parent path;
           Ok t
         end
       with
@@ -350,6 +358,7 @@ module Writer = struct
     let start = Xsm_obs.Clock.now_ns () in
     output_string t.oc bytes;
     t.records <- t.records + 1;
+    (match record with Op _ -> t.ops <- t.ops + 1 | Sync_point -> ());
     t.unsynced <- t.unsynced + 1;
     Counter.incr m_records;
     Histogram.observe h_append
@@ -357,11 +366,27 @@ module Writer = struct
     if t.unsynced >= t.sync_every then fsync t
 
   let append t op = emit t (Op op)
+
   let sync t =
     emit t Sync_point;
-    fsync t
+    fsync t;
+    t.marked <- t.ops
 
   let records_written t = t.records
+  let lsn t = t.ops
+  let synced_lsn t = t.marked
+
+  (* the pager's WAL ordering hook: LSNs are op counts, durability is
+     a Sync_point marker (so the *reader*-visible synced prefix covers
+     every page image on disk, which is what the crash sweep audits).
+     A [force] that trips an injected crash raises {!Crashed} before
+     the page write — the invariant survives the crash too. *)
+  let pager_hook t =
+    {
+      Xsm_pager.Pager.current_lsn = (fun () -> t.ops);
+      synced_lsn = (fun () -> t.marked);
+      force = (fun lsn -> if t.marked < lsn then sync t);
+    }
 
   let close t =
     if not t.crashed then fsync t;

@@ -120,8 +120,25 @@ module Writer : sig
       magic; a file that is not a WAL is [Error (Not_a_wal _)]. *)
 
   val append : t -> op -> unit
+
   val sync : t -> unit
+  (** Append a [Sync_point] marker and fsync: everything before it is
+      durable {e and provably so to a reader} (the marker is what
+      advances {!read}'s [synced_prefix]). *)
+
   val records_written : t -> int
+
+  val lsn : t -> int
+  (** Ops appended so far — the log-sequence number the pager stamps
+      on dirty pages. *)
+
+  val synced_lsn : t -> int
+  (** Ops covered by the last [Sync_point] marker. *)
+
+  val pager_hook : t -> Xsm_pager.Pager.wal_hook
+  (** The write-back ordering hook for {!Xsm_pager.Pager.create}: a
+      dirty page flushes only after a {!sync} covers its LSN. *)
+
   val close : t -> unit
 end
 

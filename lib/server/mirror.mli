@@ -1,0 +1,41 @@
+(** A physical (block-storage) replica of the served store, maintained
+    differentially from the update journal.
+
+    The daemon's source of truth is the XDM store; the mirror keeps
+    the §9.2 descriptor representation in lockstep by absorbing
+    journal entries after each committed batch — inserted subtrees are
+    re-inserted descriptor by descriptor, deletions unlink bottom-up,
+    content changes rewrite one value.  With a pager attached to the
+    mirror's storage, this is what puts the daemon's data under the
+    buffer pool: queries route through the storage navigator and fault
+    blocks in and out on demand.
+
+    Absorption runs under the exclusive epoch latch (it mutates the
+    replica); queries over the replica run under the shared latch.
+    An {!Out_of_sync} escape means the replica can no longer be
+    trusted — the server detaches and drops it, falling back to
+    store-backed evaluation. *)
+
+exception Out_of_sync of string
+
+type t
+
+val create :
+  ?block_capacity:int ->
+  Xsm_schema.Update.Journal.t ->
+  Xsm_xdm.Store.t ->
+  Xsm_xdm.Store.node ->
+  t
+(** Build the replica of the tree under [root] and subscribe a journal
+    cursor (create the mirror before any entries are recorded so it
+    sees them all). *)
+
+val storage : t -> Xsm_storage.Block_storage.t
+
+val absorb : t -> Xsm_xdm.Store.t -> unit
+(** Apply every journal entry the cursor has not seen yet.  Call with
+    the writer latch held.  Raises {!Out_of_sync} (or a storage
+    exception) if the replica diverged — drop the mirror then. *)
+
+val detach : t -> unit
+(** Unsubscribe the cursor so it stops pinning journal entries. *)

@@ -5,6 +5,10 @@ module Labeler = Xsm_numbering.Labeler
 module Wal = Xsm_persist.Wal
 module Snapshot = Xsm_persist.Snapshot
 module Eval = Xsm_xpath.Eval.Over_store
+module Seval = Xsm_xpath.Eval.Over_storage
+module Bs = Xsm_storage.Block_storage
+module Pager = Xsm_pager.Pager
+module Page_file = Xsm_pager.Page_file
 module Pl = Xsm_xpath.Planner.Over_store
 module Json = Xsm_obs.Json
 module Metrics = Xsm_obs.Metrics
@@ -29,6 +33,8 @@ type config = {
   domains : int;
   group_commit : bool;
   use_index : bool;
+  page_file : string option;
+  pool_capacity : int;
 }
 
 type t = {
@@ -44,6 +50,10 @@ type t = {
   epoch : Epoch.t;
   pool : Pool.t;
   wal : Wal.Writer.t option;
+  (* the disk-paged replica: one buffer pool shared by every session,
+     faulted under the shared latch, mutated under the exclusive one *)
+  mutable mirror : Mirror.t option;
+  page_file : Page_file.t option;
   commit : (string, (unit, string) result) Commit.t;
   (* the server mutex: metrics registry and trace ring (not
      thread-safe), planner evaluation, session registry *)
@@ -149,7 +159,21 @@ let apply_command srv line =
   Ok ()
 
 let run_batch srv lines =
-  let results = Epoch.write srv.epoch (fun () -> List.map (apply_command srv) lines) in
+  let results =
+    Epoch.write srv.epoch (fun () ->
+        let rs = List.map (apply_command srv) lines in
+        (* keep the paged replica in lockstep while the latch is still
+           exclusive; a diverged replica is dropped, never served *)
+        (match srv.mirror with
+        | Some m -> (
+          try Mirror.absorb m srv.store
+          with e ->
+            Mirror.detach m;
+            srv.mirror <- None;
+            Printf.eprintf "xsm serve: storage mirror dropped: %s\n%!" (Printexc.to_string e))
+        | None -> ());
+        rs)
+  in
   (* the group fsync happens outside the latch: readers proceed while
      the batch hits the disk, followers are only released after it *)
   (match srv.wal with Some w -> Wal.Writer.sync w | None -> ());
@@ -185,13 +209,23 @@ let run_query srv path =
             | Ok nodes -> Ok (epoch, List.map (Store.string_value srv.store) nodes)
             | Error e -> Error e))
   | None ->
-    (* the parallel path: pure evaluation on a pool domain under the
-       shared latch — an immutable snapshot view *)
+    (* the parallel path: evaluation on a pool domain under the shared
+       latch — an immutable snapshot view.  With a paged mirror the
+       query navigates the descriptor representation, faulting blocks
+       through the shared buffer pool; otherwise it runs on the XDM
+       store directly *)
     Pool.run srv.pool (fun () ->
         Epoch.read srv.epoch (fun epoch ->
-            match Eval.eval_string srv.store srv.root path with
-            | Ok nodes -> Ok (epoch, List.map (Store.string_value srv.store) nodes)
-            | Error e -> Error e))
+            match srv.mirror with
+            | Some m -> (
+              let bs = Mirror.storage m in
+              match Seval.eval_string bs (Bs.root bs) path with
+              | Ok descs -> Ok (epoch, List.map (Bs.string_value bs) descs)
+              | Error e -> Error e)
+            | None -> (
+              match Eval.eval_string srv.store srv.root path with
+              | Ok nodes -> Ok (epoch, List.map (Store.string_value srv.store) nodes)
+              | Error e -> Error e)))
 
 let run_validate srv doc_text =
   match Xsm_xml.Parser.parse_document doc_text with
@@ -211,8 +245,16 @@ let run_validate srv doc_text =
 let stats_body srv =
   locked srv (fun () ->
       let c = Commit.stats srv.commit in
+      let pager_field =
+        match srv.mirror with
+        | Some m -> (
+          match Bs.pager (Mirror.storage m) with
+          | Some p -> [ ("pager", Pager.stats_json (Pager.stats p)) ]
+          | None -> [])
+        | None -> []
+      in
       Json.Obj
-        [
+        ([
           ( "server",
             Json.Obj
               [
@@ -229,7 +271,8 @@ let stats_body srv =
                     ] );
               ] );
           ("metrics", Metrics.to_json Metrics.default);
-        ])
+        ]
+        @ pager_field))
 
 let fail srv ~id message =
   locked srv (fun () -> Counter.incr m_failures);
@@ -330,6 +373,26 @@ let create config ~store ~root ?labels ?schema () =
     let label_cursor =
       match labels with Some _ -> Some (Journal.subscribe journal) | None -> None
     in
+    let* mirror, page_file =
+      match config.page_file with
+      | None -> Ok (None, None)
+      | Some path ->
+        if config.pool_capacity < 2 then Error "server: pool capacity must be >= 2"
+        else (
+          try
+            let pf = Page_file.create path in
+            let m = Mirror.create journal store root in
+            let bs = Mirror.storage m in
+            (match wal with
+            | Some w -> Bs.set_lsn_source bs (fun () -> Wal.Writer.lsn w)
+            | None -> ());
+            ignore
+              (Bs.attach_pager
+                 ?wal:(Option.map Wal.Writer.pager_hook wal)
+                 bs ~capacity:config.pool_capacity pf);
+            Ok (Some m, Some pf)
+          with e -> Error ("server: page file: " ^ Printexc.to_string e))
+    in
     let stop_rd, stop_wr = Unix.pipe () in
     (* the commit queue's batch runner needs the server it belongs to;
        tie the knot through a ref rather than a recursive value *)
@@ -350,6 +413,8 @@ let create config ~store ~root ?labels ?schema () =
         epoch = Epoch.create ();
         pool = Pool.create config.domains;
         wal;
+        mirror;
+        page_file;
         (* without group commit each request commits alone: its own
            latch acquisition, its own fsync — the E17 baseline *)
         commit = Commit.create ~limit:(if config.group_commit then max_int else 1) ~run ();
@@ -425,6 +490,18 @@ let serve ?(on_ready = fun () -> ()) srv =
           srv.session_fds);
     List.iter Thread.join !threads;
     Pool.shutdown srv.pool;
+    (* checkpoint the paged replica while the WAL writer is still
+       open: flushing dirty pages may force a final sync *)
+    (match srv.mirror with
+    | Some m -> (
+      let lsn = match srv.wal with Some w -> Wal.Writer.lsn w | None -> 0 in
+      try Bs.checkpoint (Mirror.storage m) ~lsn
+      with e ->
+        Printf.eprintf "xsm serve: page-file checkpoint failed: %s\n%!" (Printexc.to_string e))
+    | None -> ());
+    (match srv.page_file with
+    | Some pf -> ( try Page_file.close pf with _ -> ())
+    | None -> ());
     (match srv.wal with Some w -> Wal.Writer.close w | None -> ());
     let snap_result =
       match srv.config.snapshot_path with

@@ -34,6 +34,13 @@ type config = {
   group_commit : bool;  (** [false]: fsync every WAL record (baseline) *)
   use_index : bool;  (** route queries through the planner (serialized)
                          instead of the parallel pure evaluator *)
+  page_file : string option;
+      (** when set, maintain a disk-paged {!Xsm_storage.Block_storage}
+          replica of the store (a {!Mirror}) under a buffer pool backed
+          by this file; non-indexed queries evaluate over it, faulting
+          blocks through the pool from all read domains.  Checkpointed
+          at graceful shutdown. *)
+  pool_capacity : int;  (** buffer-pool capacity in blocks, >= 2 *)
 }
 
 type t

@@ -2,6 +2,9 @@ module Store = Xsm_xdm.Store
 module Name = Xsm_xml.Name
 module Schema = Descriptive_schema
 module Label = Xsm_numbering.Sedna_label
+module Pager = Xsm_pager.Pager
+module Page_file = Xsm_pager.Page_file
+module Codec = Xsm_pager.Codec
 
 type desc = {
   id : int;
@@ -21,6 +24,7 @@ and block = {
   block_id : int;
   b_snode : Schema.snode;
   capacity : int;
+  owner : t;
   mutable count : int;
   mutable first : desc option;
   mutable last : desc option;
@@ -28,7 +32,7 @@ and block = {
   mutable prev_block : block option;
 }
 
-type t = {
+and t = {
   dschema : Schema.t;
   block_capacity : int;
   mutable next_desc_id : int;
@@ -40,14 +44,75 @@ type t = {
   tails : (int, block) Hashtbl.t;
   by_node : (int, desc) Hashtbl.t;  (* store node id -> descriptor *)
   mutable root_desc : desc option;
+  blocks_by_id : (int, block) Hashtbl.t;
+  mutable pager : Pager.t option;
+  mutable lsn_now : unit -> int;  (* WAL position covering the current change *)
 }
 
 let schema t = t.dschema
 
+(* ------------------------------------------------------------------ *)
+(* Paging discipline                                                   *)
+
+(* Values are the paged payload: evicting a block drops every
+   descriptor's value string (the skeleton — pointers, nids, chains —
+   stays resident), and faulting the block back restores the values
+   positionally from the blob.  That positional match is why every
+   structural chain mutation must {e touch first}: mutate a cold
+   block's chain and a later fault would hand old values to the new
+   chain. *)
+let evicted_value = "\000<paged-out>"
+
+let touch_block ?pin ?scan t b =
+  match t.pager with
+  | None -> ()
+  | Some p -> ignore (Pager.touch ?pin ?scan p b.block_id)
+
+let unpin_block t b =
+  match t.pager with None -> () | Some p -> Pager.unpin p b.block_id
+
+(* callers guarantee the block was just touched (resident) *)
+let dirty_block t b =
+  match t.pager with
+  | None -> ()
+  | Some p -> Pager.mark_dirty p b.block_id ~lsn:(t.lsn_now ())
+
+let touch_home ?pin ?scan d =
+  match d.home with None -> () | Some b -> touch_block ?pin ?scan b.owner b
+
+(* pointer-only mutations (parent/left/right/first-children) are safe
+   to dirty after the fact: a fault never restores pointers, so the
+   touch only needs to precede the write-back, not the mutation *)
+let dirty_desc d =
+  match d.home with
+  | None -> ()
+  | Some b ->
+    touch_block b.owner b;
+    dirty_block b.owner b
+
+(* bracketed value read: pinned so a concurrent reader's fault cannot
+   evict the block between our fault and the field read *)
+let read_value d =
+  match d.home with
+  | None -> d.value
+  | Some b ->
+    (match b.owner.pager with
+    | None -> d.value
+    | Some p ->
+      ignore (Pager.touch ~pin:true p b.block_id);
+      let v = d.value in
+      Pager.unpin p b.block_id;
+      v)
+
 let root t =
-  match t.root_desc with Some d -> d | None -> invalid_arg "Block_storage.root: empty"
+  match t.root_desc with
+  | Some d ->
+    touch_home d;
+    d
+  | None -> invalid_arg "Block_storage.root: empty"
 
 let descriptor_of_node t n = Hashtbl.find_opt t.by_node (Store.node_id n)
+let bind_node t n d = Hashtbl.replace t.by_node (Store.node_id n) d
 
 (* ------------------------------------------------------------------ *)
 (* Block management                                                    *)
@@ -58,6 +123,7 @@ let new_block t snode =
       block_id = t.next_block_id;
       b_snode = snode;
       capacity = t.block_capacity;
+      owner = t;
       count = 0;
       first = None;
       last = None;
@@ -66,6 +132,14 @@ let new_block t snode =
     }
   in
   t.next_block_id <- t.next_block_id + 1;
+  Hashtbl.replace t.blocks_by_id b.block_id b;
+  (match t.pager with
+  | None -> ()
+  | Some p ->
+    (* dirty from birth: a clean frame with no disk image would be
+       evicted without write-back and its descriptors' values lost *)
+    Pager.register_new p b.block_id;
+    Pager.mark_dirty p b.block_id ~lsn:(t.lsn_now ()));
   b
 
 (* append a block at the tail of its snode's list *)
@@ -91,16 +165,19 @@ let link_block_after t b nb =
 
 (* append descriptor at the tail of block b's chain *)
 let append_to_block b d =
+  touch_block b.owner b;
   d.home <- Some b;
   d.prev_in_block <- b.last;
   d.next_in_block <- None;
   (match b.last with Some l -> l.next_in_block <- Some d | None -> b.first <- Some d);
   b.last <- Some d;
-  b.count <- b.count + 1
+  b.count <- b.count + 1;
+  dirty_block b.owner b
 
 (* insert descriptor nd into block b right after descriptor d (None =
    at the head) *)
 let insert_in_block b ~after nd =
+  touch_block b.owner b;
   nd.home <- Some b;
   (match after with
   | None ->
@@ -115,12 +192,14 @@ let insert_in_block b ~after nd =
     | Some n -> n.prev_in_block <- Some nd
     | None -> b.last <- Some nd);
     d.next_in_block <- Some nd);
-  b.count <- b.count + 1
+  b.count <- b.count + 1;
+  dirty_block b.owner b
 
 let remove_from_block d =
   match d.home with
   | None -> ()
   | Some b ->
+    touch_block b.owner b;
     (match d.prev_in_block with
     | Some p -> p.next_in_block <- d.next_in_block
     | None -> b.first <- d.next_in_block);
@@ -130,11 +209,15 @@ let remove_from_block d =
     b.count <- b.count - 1;
     d.home <- None;
     d.prev_in_block <- None;
-    d.next_in_block <- None
+    d.next_in_block <- None;
+    dirty_block b.owner b
 
 (* split a full block: move the upper half of the chain into a fresh
-   block linked right after; returns how many descriptors moved *)
+   block linked right after; returns how many descriptors moved.  The
+   source block stays pinned across the fresh block's registration:
+   admitting the new frame can evict, and the source is mid-surgery. *)
 let split_block t b =
+  touch_block ~pin:true t b;
   let keep = b.count / 2 in
   (* find the descriptor at position keep-1 *)
   let rec nth d i = if i = 0 then d else nth (Option.get d.next_in_block) (i - 1) in
@@ -160,6 +243,9 @@ let split_block t b =
   nb.count <- !moved;
   b.count <- b.count - !moved;
   t.splits <- t.splits + 1;
+  dirty_block t b;
+  dirty_block t nb;
+  unpin_block t b;
   !moved
 
 (* ------------------------------------------------------------------ *)
@@ -198,21 +284,25 @@ let place_at_tail t d =
   in
   append_to_block target d
 
+let make_empty ~block_capacity =
+  {
+    dschema = Schema.create ();
+    block_capacity;
+    next_desc_id = 0;
+    next_block_id = 0;
+    splits = 0;
+    descriptors = 0;
+    heads = Hashtbl.create 64;
+    tails = Hashtbl.create 64;
+    by_node = Hashtbl.create 256;
+    root_desc = None;
+    blocks_by_id = Hashtbl.create 64;
+    pager = None;
+    lsn_now = (fun () -> 0);
+  }
+
 let of_store ?(block_capacity = 64) store docnode =
-  let t =
-    {
-      dschema = Schema.create ();
-      block_capacity;
-      next_desc_id = 0;
-      next_block_id = 0;
-      splits = 0;
-      descriptors = 0;
-      heads = Hashtbl.create 64;
-      tails = Hashtbl.create 64;
-      by_node = Hashtbl.create 256;
-      root_desc = None;
-    }
-  in
+  let t = make_empty ~block_capacity in
   let rec build node sn nid =
     let d = new_desc t sn nid in
     Hashtbl.replace t.by_node (Store.node_id node) d;
@@ -263,20 +353,7 @@ let of_store ?(block_capacity = 64) store docnode =
 (* Streaming (document-order) build                                    *)
 
 let create_empty ?(block_capacity = 64) () =
-  let t =
-    {
-      dschema = Schema.create ();
-      block_capacity;
-      next_desc_id = 0;
-      next_block_id = 0;
-      splits = 0;
-      descriptors = 0;
-      heads = Hashtbl.create 64;
-      tails = Hashtbl.create 64;
-      by_node = Hashtbl.create 16;
-      root_desc = None;
-    }
-  in
+  let t = make_empty ~block_capacity in
   let d = new_desc t (Schema.root t.dschema) Label.root in
   place_at_tail t d;
   t.root_desc <- Some d;
@@ -285,15 +362,28 @@ let create_empty ?(block_capacity = 64) () =
 let snode d = d.d_snode
 let node_kind d = Schema.kind_to_string (Schema.kind d.d_snode)
 let node_name d = Schema.name d.d_snode
-let parent d = d.parent
+
+let parent d =
+  (match d.parent with Some p -> touch_home p | None -> ());
+  d.parent
+
 let nid d = d.nid
 let desc_id d = d.id
-let left_sibling d = d.left
-let right_sibling d = d.right
+
+let left_sibling d =
+  (match d.left with Some l -> touch_home l | None -> ());
+  d.left
+
+let right_sibling d =
+  (match d.right with Some r -> touch_home r | None -> ());
+  d.right
 
 let home_block_id d = Option.map (fun b -> b.block_id) d.home
 
-let first_child_by_schema d sn = List.assoc_opt (Schema.snode_id sn) d.first_children
+let first_child_by_schema d sn =
+  let c = List.assoc_opt (Schema.snode_id sn) d.first_children in
+  (match c with Some c -> touch_home c | None -> ());
+  c
 
 let all_children_unordered d =
   (* leftmost first child, then the right-sibling chain *)
@@ -310,7 +400,9 @@ let all_children_unordered d =
     in
     let rec walk acc = function
       | None -> List.rev acc
-      | Some c -> walk (c :: acc) c.right
+      | Some c ->
+        touch_home c;
+        walk (c :: acc) c.right
     in
     walk [] leftmost
 
@@ -326,7 +418,7 @@ let attributes _t d =
 
 let rec string_value t d =
   match Schema.kind d.d_snode with
-  | Schema.Text | Schema.Attribute -> d.value
+  | Schema.Text | Schema.Attribute -> read_value d
   | Schema.Document | Schema.Element ->
     String.concat "" (List.map (string_value t) (children t d))
 
@@ -341,6 +433,9 @@ let descendants_by_snode t sn =
       | Some b -> blocks (b :: acc) b.next_block
     in
     let in_block b =
+      (* an extent scan streams through the pool's FIFO: the scan hint
+         keeps even re-referenced blocks out of the LRU working set *)
+      touch_block ~scan:true t b;
       let rec go acc = function
         | None -> List.rev acc
         | Some d -> go (d :: acc) d.next_in_block
@@ -361,7 +456,7 @@ let rec to_element t d =
       List.map
         (fun a ->
           match Schema.name a.d_snode with
-          | Some n -> { Xsm_xml.Tree.name = n; value = a.value }
+          | Some n -> { Xsm_xml.Tree.name = n; value = read_value a }
           | None -> invalid_arg "to_element: unnamed attribute descriptor")
         (attributes t d)
     in
@@ -369,7 +464,7 @@ let rec to_element t d =
       List.map
         (fun c ->
           match Schema.kind c.d_snode with
-          | Schema.Text -> Xsm_xml.Tree.Text c.value
+          | Schema.Text -> Xsm_xml.Tree.Text (read_value c)
           | Schema.Element -> Xsm_xml.Tree.Element (to_element t c)
           | Schema.Document | Schema.Attribute ->
             invalid_arg "to_element: impossible child kind")
@@ -473,21 +568,28 @@ let link_sibling ~parent_d ~after nd =
     (match old_first with
     | Some f ->
       nd.right <- Some f;
-      f.left <- Some nd
+      f.left <- Some nd;
+      dirty_desc f
     | None -> ())
   | Some a ->
     nd.left <- Some a;
     nd.right <- a.right;
-    (match a.right with Some r -> r.left <- Some nd | None -> ());
-    a.right <- Some nd);
+    (match a.right with
+    | Some r ->
+      r.left <- Some nd;
+      dirty_desc r
+    | None -> ());
+    a.right <- Some nd;
+    dirty_desc a);
   (* maintain the first-child-by-schema vector *)
   let sid = Schema.snode_id nd.d_snode in
-  match List.assoc_opt sid parent_d.first_children with
+  (match List.assoc_opt sid parent_d.first_children with
   | None -> parent_d.first_children <- parent_d.first_children @ [ (sid, nd) ]
   | Some current ->
     if Label.compare nd.nid current.nid < 0 then
       parent_d.first_children <-
-        List.map (fun (k, v) -> if k = sid then (k, nd) else (k, v)) parent_d.first_children
+        List.map (fun (k, v) -> if k = sid then (k, nd) else (k, v)) parent_d.first_children);
+  dirty_desc parent_d
 
 (* streaming append: the caller supplies the nid (a document-order
    append label) and guarantees [after] is the current last child, so
@@ -534,10 +636,27 @@ let insert_attribute t ~parent name value =
   let after = match List.rev attrs with [] -> None | last :: _ -> Some last in
   insert_generic t ~parent ~after Schema.Attribute (Some name) value
 
+let set_content t d v =
+  touch_home ~pin:true d;
+  d.value <- v;
+  (match d.home with
+  | Some b ->
+    dirty_block t b;
+    unpin_block t b
+  | None -> ())
+
 let delete t d =
   if d.first_children <> [] then invalid_arg "Block_storage.delete: not a leaf";
-  (match d.left with Some l -> l.right <- d.right | None -> ());
-  (match d.right with Some r -> r.left <- d.left | None -> ());
+  (match d.left with
+  | Some l ->
+    l.right <- d.right;
+    dirty_desc l
+  | None -> ());
+  (match d.right with
+  | Some r ->
+    r.left <- d.left;
+    dirty_desc r
+  | None -> ());
   (match d.parent with
   | Some p ->
     let sid = Schema.snode_id d.d_snode in
@@ -553,10 +672,309 @@ let delete t d =
         p.first_children <-
           List.map (fun (k, v) -> if k = sid then (k, r) else (k, v)) p.first_children
       | None -> p.first_children <- List.remove_assoc sid p.first_children)
-    | _ -> ())
+    | _ -> ());
+    dirty_desc p
   | None -> ());
   remove_from_block d;
   t.descriptors <- t.descriptors - 1
+
+(* ------------------------------------------------------------------ *)
+(* Block blobs and checkpoint metadata                                 *)
+
+(* blob layout, per descriptor in chain order:
+   id ‖ snode id ‖ nid ‖ value ‖ parent+1 ‖ left+1 ‖ right+1
+   ‖ #first-children ‖ (snode id ‖ desc id)*
+   prefixed by the block's snode id and count.  The full structure is
+   written (the reopen path rebuilds skeletons from it) but a live
+   fault restores only the values — the skeleton never leaves
+   memory. *)
+let serialize_block b =
+  let w = Codec.W.create ~initial:1024 () in
+  Codec.W.varint w (Schema.snode_id b.b_snode);
+  Codec.W.varint w b.count;
+  let opt_id = function None -> Codec.W.varint w 0 | Some d -> Codec.W.varint w (d.id + 1) in
+  let rec go = function
+    | None -> ()
+    | Some d ->
+      Codec.W.varint w d.id;
+      Codec.W.varint w (Schema.snode_id d.d_snode);
+      Codec.W.string w (Label.to_raw d.nid);
+      Codec.W.string w d.value;
+      opt_id d.parent;
+      opt_id d.left;
+      opt_id d.right;
+      Codec.W.varint w (List.length d.first_children);
+      List.iter
+        (fun (sid, c) ->
+          Codec.W.varint w sid;
+          Codec.W.varint w c.id)
+        d.first_children;
+      go d.next_in_block
+  in
+  go b.first;
+  Codec.W.contents w
+
+(* restore a faulted block: values only, matched positionally against
+   the resident chain (which cannot have changed while cold — every
+   structural mutation faults first) *)
+let deserialize_block b payload =
+  let r = Codec.R.of_string payload in
+  let sid = Codec.R.varint r in
+  if sid <> Schema.snode_id b.b_snode then
+    raise (Codec.Corrupt (Printf.sprintf "block %d blob: snode %d, expected %d" b.block_id sid
+                            (Schema.snode_id b.b_snode)));
+  let n = Codec.R.varint r in
+  if n <> b.count then
+    raise (Codec.Corrupt (Printf.sprintf "block %d blob: %d descriptors, chain has %d"
+                            b.block_id n b.count));
+  let rec go = function
+    | None -> ()
+    | Some d ->
+      let id = Codec.R.varint r in
+      if id <> d.id then
+        raise (Codec.Corrupt (Printf.sprintf "block %d blob: descriptor %d, chain has %d"
+                                b.block_id id d.id));
+      let _snode = Codec.R.varint r in
+      let _nid = Codec.R.string r in
+      d.value <- Codec.R.string r;
+      let _parent = Codec.R.varint r in
+      let _left = Codec.R.varint r in
+      let _right = Codec.R.varint r in
+      let fc = Codec.R.varint r in
+      for _ = 1 to fc do
+        let _sid = Codec.R.varint r in
+        let _cid = Codec.R.varint r in
+        ()
+      done;
+      go d.next_in_block
+  in
+  go b.first
+
+let evict_block b =
+  let rec go = function
+    | None -> ()
+    | Some d ->
+      d.value <- evicted_value;
+      go d.next_in_block
+  in
+  go b.first
+
+let handlers t =
+  {
+    Pager.serialize = (fun id -> serialize_block (Hashtbl.find t.blocks_by_id id));
+    deserialize = (fun id payload -> deserialize_block (Hashtbl.find t.blocks_by_id id) payload);
+    on_evict = (fun id -> evict_block (Hashtbl.find t.blocks_by_id id));
+  }
+
+let set_lsn_source t f = t.lsn_now <- f
+let pager t = t.pager
+
+let attach_pager ?wal t ~capacity file =
+  if t.pager <> None then invalid_arg "Block_storage.attach_pager: already paged";
+  let p = Pager.create ~capacity ~handlers:(handlers t) ?wal file in
+  t.pager <- Some p;
+  (* every existing block becomes resident and dirty: the first
+     eviction or checkpoint writes its image *)
+  let ids = Hashtbl.fold (fun id _ acc -> id :: acc) t.blocks_by_id [] in
+  List.iter
+    (fun id ->
+      Pager.register_new p id;
+      Pager.mark_dirty p id ~lsn:(t.lsn_now ()))
+    (List.sort compare ids);
+  p
+
+(* checkpoint metadata: everything the blobs do not carry — counters,
+   the descriptive schema (replayable in id order), the per-snode
+   block-list orders, and the root descriptor *)
+let kind_byte = function
+  | Schema.Document -> 0
+  | Schema.Element -> 1
+  | Schema.Attribute -> 2
+  | Schema.Text -> 3
+
+let kind_of_byte = function
+  | 0 -> Schema.Document
+  | 1 -> Schema.Element
+  | 2 -> Schema.Attribute
+  | 3 -> Schema.Text
+  | b -> raise (Codec.Corrupt (Printf.sprintf "bad schema-node kind %d" b))
+
+let encode_meta t =
+  let w = Codec.W.create ~initial:1024 () in
+  Codec.W.varint w t.block_capacity;
+  Codec.W.varint w t.next_desc_id;
+  Codec.W.varint w t.next_block_id;
+  Codec.W.varint w t.splits;
+  Codec.W.varint w t.descriptors;
+  (match t.root_desc with
+  | None -> Codec.W.varint w 0
+  | Some d -> Codec.W.varint w (d.id + 1));
+  let n = Schema.node_count t.dschema in
+  Codec.W.varint w n;
+  for i = 1 to n - 1 do
+    let sn = Schema.by_id t.dschema i in
+    let p = match Schema.parent t.dschema sn with Some p -> Schema.snode_id p | None -> 0 in
+    Codec.W.varint w p;
+    Codec.W.byte w (kind_byte (Schema.kind sn));
+    Codec.W.opt_string w (Option.map Name.to_string (Schema.name sn))
+  done;
+  let lists =
+    Hashtbl.fold
+      (fun sid head acc ->
+        let rec ids b acc = match b with None -> List.rev acc | Some b -> ids b.next_block (b.block_id :: acc) in
+        (sid, ids (Some head) []) :: acc)
+      t.heads []
+  in
+  let lists = List.sort (fun (a, _) (b, _) -> compare a b) lists in
+  Codec.W.varint w (List.length lists);
+  List.iter
+    (fun (sid, ids) ->
+      Codec.W.varint w sid;
+      Codec.W.varint w (List.length ids);
+      List.iter (Codec.W.varint w) ids)
+    lists;
+  Codec.W.contents w
+
+let checkpoint t ~lsn =
+  match t.pager with
+  | None -> invalid_arg "Block_storage.checkpoint: no pager attached"
+  | Some p -> Pager.checkpoint p ~lsn ~meta:(encode_meta t)
+
+let of_page_file ?wal ~capacity file =
+  (match Pager.read_meta file with
+  | Some _ when Page_file.clean file -> ()
+  | Some _ -> raise (Codec.Corrupt (Page_file.path file ^ ": not cleanly checkpointed"))
+  | None -> raise (Codec.Corrupt (Page_file.path file ^ ": no checkpoint metadata")));
+  let dir, meta = Option.get (Pager.read_meta file) in
+  let heads_of_block = Hashtbl.create 64 in
+  List.iter (fun (id, head) -> Hashtbl.replace heads_of_block id head) dir;
+  let r = Codec.R.of_string meta in
+  let block_capacity = Codec.R.varint r in
+  let t = make_empty ~block_capacity in
+  t.next_desc_id <- Codec.R.varint r;
+  t.next_block_id <- Codec.R.varint r;
+  t.splits <- Codec.R.varint r;
+  t.descriptors <- Codec.R.varint r;
+  let root_id = Codec.R.varint r - 1 in
+  (* replay the descriptive schema in id order: find_or_add is
+     deterministic, so every schema node lands on its original id *)
+  let n = Codec.R.varint r in
+  for i = 1 to n - 1 do
+    let pid = Codec.R.varint r in
+    let kind = kind_of_byte (Codec.R.byte r) in
+    let name =
+      match Codec.R.opt_string r with
+      | None -> None
+      | Some s -> Some (Name.of_string_exn s)
+    in
+    let sn = Schema.find_or_add t.dschema (Schema.by_id t.dschema pid) ~name kind in
+    if Schema.snode_id sn <> i then
+      raise (Codec.Corrupt (Printf.sprintf "schema replay: node %d resolved to %d" i
+                              (Schema.snode_id sn)))
+  done;
+  (* pass 1: rebuild every block skeleton from its blob — chains,
+     nids, homes — leaving values evicted (frames start cold) *)
+  let descs : (int, desc) Hashtbl.t = Hashtbl.create 256 in
+  let links : (desc * int * int * int * (int * int) list) list ref = ref [] in
+  let load_block b =
+    match Hashtbl.find_opt heads_of_block b.block_id with
+    | None -> ()
+    | Some head ->
+      let payload, _lsn = Page_file.read_blob file head in
+      let r = Codec.R.of_string payload in
+      let sid = Codec.R.varint r in
+      if sid <> Schema.snode_id b.b_snode then
+        raise (Codec.Corrupt (Printf.sprintf "block %d blob: snode %d, expected %d" b.block_id
+                                sid (Schema.snode_id b.b_snode)));
+      let n = Codec.R.varint r in
+      let prev = ref None in
+      for _ = 1 to n do
+        let id = Codec.R.varint r in
+        let dsid = Codec.R.varint r in
+        let nid =
+          match Label.of_raw (Codec.R.string r) with
+          | Ok l -> l
+          | Error e -> raise (Codec.Corrupt ("bad numbering label: " ^ e))
+        in
+        let _value = Codec.R.string r in
+        let p = Codec.R.varint r - 1 in
+        let l = Codec.R.varint r - 1 in
+        let rt = Codec.R.varint r - 1 in
+        let fc = Codec.R.varint r in
+        let firsts =
+          List.init fc (fun _ ->
+              let sid = Codec.R.varint r in
+              let cid = Codec.R.varint r in
+              (sid, cid))
+        in
+        let d =
+          {
+            id;
+            d_snode = Schema.by_id t.dschema dsid;
+            parent = None;
+            left = None;
+            right = None;
+            next_in_block = None;
+            prev_in_block = !prev;
+            nid;
+            first_children = [];
+            value = evicted_value;
+            home = Some b;
+          }
+        in
+        (match !prev with Some pd -> pd.next_in_block <- Some d | None -> b.first <- Some d);
+        prev := Some d;
+        Hashtbl.replace descs id d;
+        links := (d, p, l, rt, firsts) :: !links
+      done;
+      b.last <- !prev;
+      b.count <- n
+  in
+  let nl = Codec.R.varint r in
+  for _ = 1 to nl do
+    let sid = Codec.R.varint r in
+    let cnt = Codec.R.varint r in
+    let ids = List.init cnt (fun _ -> Codec.R.varint r) in
+    let sn = Schema.by_id t.dschema sid in
+    List.iter
+      (fun bid ->
+        let b =
+          {
+            block_id = bid;
+            b_snode = sn;
+            capacity = block_capacity;
+            owner = t;
+            count = 0;
+            first = None;
+            last = None;
+            next_block = None;
+            prev_block = None;
+          }
+        in
+        Hashtbl.replace t.blocks_by_id bid b;
+        append_block t b;
+        load_block b)
+      ids
+  done;
+  if not (Codec.R.at_end r) then raise (Codec.Corrupt "trailing bytes in storage metadata");
+  (* pass 2: resolve cross-block descriptor pointers by id *)
+  let resolve id =
+    match Hashtbl.find_opt descs id with
+    | Some d -> d
+    | None -> raise (Codec.Corrupt (Printf.sprintf "dangling descriptor id %d" id))
+  in
+  List.iter
+    (fun (d, p, l, rt, firsts) ->
+      if p >= 0 then d.parent <- Some (resolve p);
+      if l >= 0 then d.left <- Some (resolve l);
+      if rt >= 0 then d.right <- Some (resolve rt);
+      d.first_children <- List.map (fun (sid, cid) -> (sid, resolve cid)) firsts)
+    !links;
+  if root_id >= 0 then t.root_desc <- Some (resolve root_id);
+  (* the pager seeds cold frames from the checkpoint directory: the
+     first touch of any block faults its values back in *)
+  t.pager <- Some (Pager.create ~capacity ~handlers:(handlers t) ?wal file);
+  t
 
 (* ------------------------------------------------------------------ *)
 (* Statistics and integrity                                            *)

@@ -126,6 +126,55 @@ val insert_attribute : t -> parent:desc -> Xsm_xml.Name.t -> string -> desc * in
 val delete : t -> desc -> unit
 (** Unlink a leaf descriptor.  [Invalid_argument] if it has children. *)
 
+val set_content : t -> desc -> string -> unit
+(** Replace a text or attribute descriptor's lexical value. *)
+
+val bind_node : t -> Xsm_xdm.Store.node -> desc -> unit
+(** Record that a store node is materialized as the given descriptor
+    (extends the mapping {!descriptor_of_node} consults) — used when
+    mirroring store-level updates into the physical representation. *)
+
+(** {1 Disk paging}
+
+    With a pager attached, blocks live in a bounded buffer pool over a
+    {!Xsm_pager.Page_file}: descriptor {e values} page in and out
+    (the pointer skeleton stays resident), every accessor above counts
+    as a block access, and structural updates mark blocks dirty for
+    WAL-ordered write-back.  Without one, everything above behaves
+    exactly as before — paging is strictly opt-in. *)
+
+val attach_pager :
+  ?wal:Xsm_pager.Pager.wal_hook ->
+  t ->
+  capacity:int ->
+  Xsm_pager.Page_file.t ->
+  Xsm_pager.Pager.t
+(** Page this storage through a pool of [capacity] blocks over a fresh
+    page file.  Existing blocks enter the pool resident and dirty.
+    [Invalid_argument] if a pager is already attached. *)
+
+val pager : t -> Xsm_pager.Pager.t option
+
+val set_lsn_source : t -> (unit -> int) -> unit
+(** The WAL position stamped on dirty blocks.  Bulk load passes
+    [records + 1] (the subtree record that will cover the appends —
+    making its blocks unstealable until it lands); the update path
+    passes the current record count. *)
+
+val checkpoint : t -> lsn:int -> unit
+(** Flush every dirty block and persist the storage metadata (schema,
+    block-list orders, counters): after this the page file alone
+    reconstructs the store.  [Invalid_argument] without a pager. *)
+
+val of_page_file :
+  ?wal:Xsm_pager.Pager.wal_hook -> capacity:int -> Xsm_pager.Page_file.t -> t
+(** Reopen a cleanly checkpointed page file: rebuild the descriptor
+    skeleton from the block blobs (two passes — chains, then
+    cross-block pointers), replay the descriptive schema, and start
+    every block cold in a fresh pool.  Raises [Xsm_pager.Codec.Corrupt]
+    when the file was not checkpointed or does not decode.  The
+    node→descriptor mapping of {!descriptor_of_node} starts empty. *)
+
 (** {1 Statistics and invariants} *)
 
 val block_count : t -> int

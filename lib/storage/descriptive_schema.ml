@@ -95,6 +95,10 @@ let of_tree store docnode =
 let name sn = sn.s_name
 let kind sn = sn.s_kind
 let parent t sn = if sn.parent_id < 0 then None else Some (get t sn.parent_id)
+
+let by_id t i =
+  if i < 0 || i >= t.size then invalid_arg (Printf.sprintf "Descriptive_schema.by_id: %d" i);
+  get t i
 let children t sn = List.map (get t) sn.child_ids
 let snode_id sn = sn.id
 let equal_snode a b = a.id = b.id

@@ -40,6 +40,12 @@ val children : t -> snode -> snode list
 val snode_id : snode -> int
 val equal_snode : snode -> snode -> bool
 
+val by_id : t -> int -> snode
+(** The schema node with a given id ([Invalid_argument] out of
+    range).  Ids are dense and creation-ordered, which is what lets a
+    page-file reopen replay {!find_or_add} in id order and land every
+    node on its original id. *)
+
 val node_count : t -> int
 (** Number of schema nodes — compared against document node count in
     bench E7. *)

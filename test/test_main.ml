@@ -4,4 +4,4 @@ let () =
    @ Test_xsd.suite @ Test_update.suite @ Test_identity.suite @ Test_numbering.suite @ Test_storage.suite @ Test_xpath.suite @ Test_flwor.suite
    @ Test_properties.suite @ Test_index.suite @ Test_index_maintenance.suite
    @ Test_persist.suite @ Test_analysis.suite @ Test_obs.suite @ Test_stream.suite
-   @ Test_server.suite)
+   @ Test_pager.suite @ Test_server.suite)

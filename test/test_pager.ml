@@ -1,0 +1,501 @@
+(* The disk-paged storage engine:
+
+   - page file blob round-trips, free-list reuse, corruption detection
+     and the clean-flag contract;
+   - 2Q replacement: ghost promotion into Am, scan resistance, pin
+     overflow past capacity;
+   - WAL-ordered write-back: a dirty page flush forces the covering
+     records durable first, and a crash-point sweep over a paged bulk
+     load asserts no on-disk page ever carries an LSN beyond the WAL's
+     synced prefix;
+   - checkpoint / of_page_file reopen round-trip;
+   - the law: a storage paged through a 2-block pool is observationally
+     equal to the in-memory storage under random update sequences. *)
+
+module Q = QCheck
+module Pf = Xsm_pager.Page_file
+module Pager = Xsm_pager.Pager
+module Name = Xsm_xml.Name
+module Tree = Xsm_xml.Tree
+module Printer = Xsm_xml.Printer
+module Store = Xsm_xdm.Store
+module Convert = Xsm_xdm.Convert
+module Gen = Xsm_schema.Generator
+module Bs = Xsm_storage.Block_storage
+module Wal = Xsm_persist.Wal
+module Sax = Xsm_stream.Sax
+module BL = Xsm_stream.Bulk_load
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_str = Alcotest.(check string)
+
+let tmp_page_file () = Filename.temp_file "xsm-pager" ".pages"
+
+let with_tmp f =
+  let path = tmp_page_file () in
+  Fun.protect ~finally:(fun () -> if Sys.file_exists path then Sys.remove path) (fun () -> f path)
+
+(* ---------------- page file ---------------- *)
+
+let page_file_roundtrip () =
+  with_tmp @@ fun path ->
+  let pf = Pf.create ~page_size:512 path in
+  check "fresh file is not clean" false (Pf.clean pf);
+  let small = String.make 10 'a' in
+  let big = String.init 5000 (fun i -> Char.chr (i mod 256)) in
+  let h1 = Pf.write_blob pf ~lsn:3 small in
+  let h2 = Pf.write_blob pf ~lsn:7 big in
+  check_str "small round-trips" small (fst (Pf.read_blob pf h1));
+  let payload, lsn = Pf.read_blob pf h2 in
+  check_str "overflow chain round-trips" big payload;
+  check_int "lsn stamped" 7 lsn;
+  (* rewriting a blob in place reuses its chain *)
+  let pages_before = Pf.page_count pf in
+  let h2' = Pf.write_blob pf ~head:h2 ~lsn:9 (String.make 4000 'b') in
+  check_int "rewrite keeps the head" h2 h2';
+  check_int "shrinking rewrite allocates nothing" pages_before (Pf.page_count pf);
+  (* the freed tail pages satisfy the next allocation *)
+  let h3 = Pf.write_blob pf ~lsn:9 (String.make 900 'c') in
+  check_int "free list reused" pages_before (Pf.page_count pf);
+  Pf.close pf;
+  let pf = Pf.open_existing path in
+  check_str "reopen reads the rewrite" (String.make 4000 'b') (fst (Pf.read_blob pf h2));
+  check_str "reopen reads the reuse" (String.make 900 'c') (fst (Pf.read_blob pf h3));
+  Pf.close pf
+
+let page_file_corruption () =
+  with_tmp @@ fun path ->
+  let pf = Pf.create ~page_size:512 path in
+  let h = Pf.write_blob pf ~lsn:1 (String.make 300 'x') in
+  Pf.close pf;
+  (* flip one payload byte behind the header of the blob's page *)
+  let fd = Unix.openfile path [ Unix.O_RDWR ] 0 in
+  ignore (Unix.lseek fd ((h * 512) + 100) Unix.SEEK_SET);
+  ignore (Unix.write fd (Bytes.of_string "\xff") 0 1);
+  Unix.close fd;
+  let pf = Pf.open_existing path in
+  check "CRC catches the flip" true
+    (match Pf.read_blob pf h with exception Pf.Corrupt _ -> true | _ -> false);
+  Pf.close pf;
+  (* a damaged header is refused outright *)
+  let fd = Unix.openfile path [ Unix.O_RDWR ] 0 in
+  ignore (Unix.write fd (Bytes.of_string "GARBAGE!") 0 8);
+  Unix.close fd;
+  check "bad magic refused" true
+    (match Pf.open_existing path with exception Pf.Corrupt _ -> true | _ -> false)
+
+let page_file_clean_flag () =
+  with_tmp @@ fun path ->
+  let pf = Pf.create path in
+  let h = Pf.write_blob pf ~lsn:1 "payload" in
+  Pf.set_checkpoint pf ~lsn:1 ~meta_page:h;
+  check "checkpoint sets clean" true (Pf.clean pf);
+  Pf.close pf;
+  let pf = Pf.open_existing path in
+  check "clean survives reopen" true (Pf.clean pf);
+  check_int "checkpoint lsn survives" 1 (Pf.checkpoint_lsn pf);
+  ignore (Pf.write_blob pf ~lsn:2 "more");
+  check "any write clears clean" false (Pf.clean pf);
+  Pf.close pf;
+  let pf = Pf.open_existing path in
+  check "cleared flag survives reopen" false (Pf.clean pf);
+  Pf.close pf
+
+(* ---------------- 2Q replacement over synthetic blocks ---------------- *)
+
+(* handlers over a value table: eviction drops nothing the test cares
+   about, so residency transitions are fully observable via stats *)
+let synthetic_pager ?wal ~capacity path =
+  let values = Hashtbl.create 16 in
+  let handlers =
+    {
+      Pager.serialize = (fun id -> Hashtbl.find values id);
+      deserialize =
+        (fun id payload ->
+          let expected = Hashtbl.find values id in
+          if payload <> expected then
+            Alcotest.failf "block %d restored %S, expected %S" id payload expected);
+      on_evict = (fun _ -> ());
+    }
+  in
+  let pf = Pf.create ~page_size:512 path in
+  let p = Pager.create ~capacity ~handlers ?wal pf in
+  let add id =
+    Hashtbl.replace values id (Printf.sprintf "block-%d-payload" id);
+    Pager.register_new p id
+  in
+  (p, pf, add)
+
+let twoq_ghost_promotion () =
+  with_tmp @@ fun path ->
+  (* capacity 4: A1in keeps at least 1 frame, ghosts up to 2 *)
+  let p, pf, add = synthetic_pager ~capacity:4 path in
+  List.iter add [ 1; 2; 3; 4 ];
+  Pager.reset_stats p;
+  add 5;
+  (* room was made by evicting the A1in FIFO tail: block 1 *)
+  check_int "one eviction" 1 (Pager.stats p).Pager.evictions;
+  check "evicted block faults" true (Pager.touch p 1 = `Miss);
+  (* that fault hit 1's ghost entry: it is now in Am.  Stream new
+     blocks through A1in; the working-set member must survive. *)
+  List.iter add [ 6; 7; 8; 9; 10 ];
+  check "ghost-promoted block survives the stream" true (Pager.touch p 1 = `Hit);
+  Pager.clear p;
+  Pf.close pf
+
+let twoq_scan_resistance () =
+  with_tmp @@ fun path ->
+  let p, pf, add = synthetic_pager ~capacity:4 path in
+  List.iter add [ 1; 2; 3; 4 ];
+  (* push 1 out, then fault it back with the scan hint: the ghost hit
+     must NOT promote it to Am *)
+  add 5;
+  ignore (Pager.touch ~scan:true p 1);
+  (* pressure evicts from A1in first — a scan-tagged block churns out
+     with the FIFO, an Am resident would have survived *)
+  List.iter add [ 6; 7; 8; 9 ];
+  check "scan-tagged fault did not earn the working set" true (Pager.touch p 1 = `Miss);
+  Pager.clear p;
+  Pf.close pf
+
+let pin_overflow () =
+  with_tmp @@ fun path ->
+  let p, pf, add = synthetic_pager ~capacity:2 path in
+  add 1;
+  add 2;
+  check "pin 1" true (Pager.touch ~pin:true p 1 = `Hit);
+  check "pin 2" true (Pager.touch ~pin:true p 2 = `Hit);
+  (* every frame pinned: admission must overflow, not fail *)
+  add 3;
+  let s = Pager.stats p in
+  check_int "admitted past capacity" 3 s.Pager.resident;
+  check "overflow counted" true (s.Pager.pin_overflows >= 1);
+  Pager.unpin p 1;
+  Pager.unpin p 2;
+  add 4;
+  check "unpinned frames evictable again" true ((Pager.stats p).Pager.resident <= 3);
+  check "double unpin refused" true
+    (match Pager.unpin p 1 with exception Invalid_argument _ -> true | _ -> false);
+  Pager.clear p;
+  Pf.close pf
+
+let wal_ordered_write_back () =
+  with_tmp @@ fun path ->
+  let synced = ref 0 and current = ref 10 in
+  let forced = ref [] in
+  let wal =
+    {
+      Pager.current_lsn = (fun () -> !current);
+      synced_lsn = (fun () -> !synced);
+      force =
+        (fun lsn ->
+          forced := lsn :: !forced;
+          synced := max !synced lsn);
+    }
+  in
+  let p, pf, add = synthetic_pager ~wal ~capacity:2 path in
+  add 1;
+  add 2;
+  Pager.mark_dirty p 1 ~lsn:7;
+  (* pressure steals block 1; its LSN is past the synced prefix, so
+     the flush must force the WAL first *)
+  add 3;
+  check "force called for the covering LSN" true (List.mem 7 !forced);
+  check_int "WAL synced before the page hit disk" 7 !synced;
+  (match Pager.blob_head p 1 with
+  | Some h ->
+    let _, lsn = Pf.read_blob pf h in
+    check_int "page stamped with its LSN" 7 lsn
+  | None -> Alcotest.fail "dirty eviction must have written the block");
+  (* a frame whose record is not even written yet is unstealable *)
+  Pager.mark_dirty p 2 ~lsn:(!current + 1);
+  Pager.mark_dirty p 3 ~lsn:(!current + 1);
+  let before = (Pager.stats p).Pager.pin_overflows in
+  add 4;
+  check "unlogged frames overflow instead of flushing" true
+    ((Pager.stats p).Pager.pin_overflows > before);
+  check "no force past the current LSN" true (List.for_all (fun l -> l <= !current) !forced);
+  Pager.clear p;
+  Pf.close pf
+
+(* ---------------- paged storage = in-memory storage ---------------- *)
+
+(* random small XML tree (adjacent texts merged like a parser would) *)
+let rec gen_element depth r =
+  let name = Printf.sprintf "n%d" (Gen.int r 5) in
+  let n_children = if depth = 0 then 0 else Gen.int r 4 in
+  let raw =
+    List.init n_children (fun i ->
+        if Gen.int r 3 = 0 then Tree.Text (Printf.sprintf "t%d" i)
+        else Tree.Element (gen_element (depth - 1) r))
+  in
+  let children =
+    List.rev
+      (List.fold_left
+         (fun acc c ->
+           match (c, acc) with
+           | Tree.Text t, Tree.Text t' :: rest -> Tree.Text (t' ^ t) :: rest
+           | c, acc -> c :: acc)
+         [] raw)
+  in
+  let attrs =
+    List.init (Gen.int r 3) (fun i ->
+        Tree.attr (Printf.sprintf "a%d" i) (Printf.sprintf "v%d" (Gen.int r 10)))
+  in
+  Tree.elem name ~attrs ~children
+
+(* preorder walks — identical structures yield identical orders, so a
+   position picks "the same node" in both storages *)
+let all_elements bs =
+  let rec go d acc =
+    let acc = if Bs.node_kind d = "element" then d :: acc else acc in
+    List.fold_left (fun acc c -> go c acc) acc (Bs.children bs d)
+  in
+  List.rev (go (Bs.root bs) [])
+
+let all_valued bs =
+  let rec go d acc =
+    let acc = List.rev_append (Bs.attributes bs d) acc in
+    let acc = if Bs.node_kind d = "text" then d :: acc else acc in
+    List.fold_left (fun acc c -> go c acc) acc (Bs.children bs d)
+  in
+  List.rev (go (Bs.root bs) [])
+
+(* deletable leaves: never the document element itself, so the tree
+   always keeps a root to insert under *)
+let all_leaves bs =
+  let rec go d acc =
+    let acc = List.rev_append (Bs.attributes bs d) acc in
+    let acc =
+      if Bs.children bs d = [] && Bs.attributes bs d = [] then
+        match Bs.parent d with
+        | None -> acc
+        | Some p when Bs.parent p = None && Bs.node_kind d = "element" -> acc
+        | Some _ -> d :: acc
+      else acc
+    in
+    List.fold_left (fun acc c -> go c acc) acc (Bs.children bs d)
+  in
+  List.rev (go (Bs.root bs) [])
+
+let apply_step bs (kind, a, b, c) =
+  match kind with
+  | 0 ->
+    let elems = all_elements bs in
+    let parent = List.nth elems (a mod List.length elems) in
+    let cs = Bs.children bs parent in
+    let after = if cs = [] then None else Some (List.nth cs (b mod List.length cs)) in
+    ignore (Bs.insert_element bs ~parent ~after (Name.local (Printf.sprintf "x%d" (c mod 4))))
+  | 1 ->
+    let elems = all_elements bs in
+    let parent = List.nth elems (a mod List.length elems) in
+    let cs = Bs.children bs parent in
+    let after = if cs = [] then None else Some (List.nth cs (b mod List.length cs)) in
+    ignore (Bs.insert_text bs ~parent ~after (Printf.sprintf "ins%d" c))
+  | 2 -> (
+    match all_valued bs with
+    | [] -> ()
+    | vs -> Bs.set_content bs (List.nth vs (a mod List.length vs)) (Printf.sprintf "val%d" c))
+  | _ -> (
+    match all_leaves bs with
+    | [] -> ()
+    | ls -> Bs.delete bs (List.nth ls (a mod List.length ls)))
+
+let serialized bs = Printer.to_string (Bs.to_document bs)
+
+let paged_equals_memory_law seed =
+  with_tmp @@ fun path ->
+  let r = Gen.rng seed in
+  let doc = Tree.document (gen_element 3 r) in
+  let store = Store.create () in
+  let root = Convert.load store doc in
+  let mem = Bs.of_store ~block_capacity:4 store root in
+  let paged = Bs.of_store ~block_capacity:4 store root in
+  let p = Bs.attach_pager paged ~capacity:2 (Pf.create ~page_size:512 path) in
+  Pager.clear p (* cold: every access below faults for real *);
+  let steps =
+    List.init 15 (fun _ -> (Gen.int r 4, Gen.int r 1000, Gen.int r 1000, Gen.int r 1000))
+  in
+  List.iter
+    (fun step ->
+      apply_step mem step;
+      apply_step paged step)
+    steps;
+  let ok_doc = serialized mem = serialized paged in
+  let ok_int =
+    Bs.check_integrity paged = Ok () && Bs.check_integrity mem = Ok ()
+  in
+  let query q bs =
+    match Xsm_xpath.Eval.Over_storage.eval_string bs (Bs.root bs) q with
+    | Ok ds -> Some (List.map (Bs.string_value bs) ds)
+    | Error _ -> None
+  in
+  let ok_query =
+    List.for_all (fun q -> query q mem = query q paged) [ "//n1"; "//x0"; "/n0"; "//n2/n3" ]
+  in
+  Pf.close (Pager.file p);
+  if not ok_doc then Q.Test.fail_report "paged document diverged from in-memory";
+  if not ok_int then Q.Test.fail_report "integrity violated";
+  if not ok_query then Q.Test.fail_report "query results diverged";
+  true
+
+(* ---------------- checkpoint / reopen ---------------- *)
+
+let checkpoint_reopen () =
+  with_tmp @@ fun path ->
+  let doc = Xsm_schema.Samples.library_document ~books:12 ~papers:6 () in
+  let store = Store.create () in
+  let root = Convert.load store doc in
+  let bs = Bs.of_store ~block_capacity:8 store root in
+  ignore (Bs.attach_pager bs ~capacity:4 (Pf.create path));
+  (* mutate through the pool, then checkpoint *)
+  let lib = List.hd (Bs.children bs (Bs.root bs)) in
+  let d, _ = Bs.insert_element bs ~parent:lib ~after:None (Name.local "added") in
+  ignore (Bs.insert_text bs ~parent:d ~after:None "after the snapshot");
+  let expect = serialized bs in
+  Bs.checkpoint bs ~lsn:0;
+  (match Bs.pager bs with Some p -> Pf.close (Pager.file p) | None -> ());
+  (* reopen from the file alone, through a cold 3-block pool *)
+  let pf = Pf.open_existing path in
+  check "checkpointed file is clean" true (Pf.clean pf);
+  let bs2 = Bs.of_page_file ~capacity:3 pf in
+  check_str "reopen reproduces the document" expect (serialized bs2);
+  check "reopen integrity" true (Bs.check_integrity bs2 = Ok ());
+  check_int "descriptor count survives" (Bs.descriptor_count bs) (Bs.descriptor_count bs2);
+  (* the reopened storage is live: it accepts updates and re-serializes *)
+  let lib2 = List.hd (Bs.children bs2 (Bs.root bs2)) in
+  ignore (Bs.insert_element bs2 ~parent:lib2 ~after:None (Name.local "postreopen"));
+  check "reopened storage updatable" true (Bs.check_integrity bs2 = Ok ());
+  (match Bs.pager bs2 with
+  | Some p ->
+    check "reopen faulted from disk" true ((Pager.stats p).Pager.reads > 0);
+    Pf.close (Pager.file p)
+  | None -> Alcotest.fail "of_page_file must attach a pager")
+
+let reopen_refuses_unclean () =
+  with_tmp @@ fun path ->
+  let pf = Pf.create path in
+  ignore (Pf.write_blob pf ~lsn:0 "data but no checkpoint");
+  Pf.close pf;
+  let pf = Pf.open_existing path in
+  check "unclean file refused" true
+    (match Bs.of_page_file ~capacity:2 pf with
+    | exception Xsm_pager.Codec.Corrupt _ -> true
+    | _ -> false);
+  Pf.close pf
+
+(* ---------------- crash sweep: WAL-ordering invariant ---------------- *)
+
+(* a value-heavy two-level document: enough top-level subtrees for
+   many WAL records, enough text for many blocks *)
+let sweep_doc sections =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "<root>";
+  for i = 1 to sections do
+    Buffer.add_string buf (Printf.sprintf "<sec id=\"s%d\">" i);
+    for j = 1 to 6 do
+      Buffer.add_string buf (Printf.sprintf "<item>payload %d.%d %s</item>" i j (String.make 40 'p'))
+    done;
+    Buffer.add_string buf "</sec>"
+  done;
+  Buffer.add_string buf "</root>";
+  Buffer.contents buf
+
+let crash_sweep () =
+  let xml = sweep_doc 12 in
+  let wal_path = Filename.temp_file "xsm-pager-crash" ".wal" in
+  let cleanup p = if Sys.file_exists p then Sys.remove p in
+  Fun.protect ~finally:(fun () -> cleanup wal_path) @@ fun () ->
+  (* find the record count of a clean run first *)
+  let records =
+    cleanup wal_path;
+    let w = match Wal.Writer.create wal_path with Ok w -> w | Error _ -> assert false in
+    let bl = BL.create ~block_capacity:4 ~wal:w () in
+    let rec feed sax = match Sax.next sax with
+      | None -> ()
+      | Some ev -> BL.feed bl ev; feed sax
+    in
+    feed (Sax.of_string xml);
+    ignore (BL.finish bl);
+    let n = Wal.Writer.records_written w in
+    Wal.Writer.close w;
+    n
+  in
+  check "sweep has records" true (records > 3);
+  for n = 0 to records do
+    List.iter
+      (fun partial_bytes ->
+        with_tmp @@ fun page_path ->
+        cleanup wal_path;
+        let w =
+          match Wal.Writer.create ~crash:{ Wal.after_records = n; partial_bytes } wal_path with
+          | Ok w -> w
+          | Error _ -> assert false
+        in
+        let bl = BL.create ~block_capacity:4 ~wal:w () in
+        let bs = BL.storage bl in
+        let pf = Pf.create ~page_size:512 page_path in
+        ignore (Bs.attach_pager ~wal:(Wal.Writer.pager_hook w) bs ~capacity:2 pf);
+        (* bulk load stamps one past the current record: the covering
+           subtree record has not landed yet *)
+        Bs.set_lsn_source bs (fun () -> Wal.Writer.lsn w + 1);
+        let crashed =
+          try
+            let sax = Sax.of_string xml in
+            let rec feed () = match Sax.next sax with
+              | None -> ()
+              | Some ev -> BL.feed bl ev; feed ()
+            in
+            feed ();
+            ignore (BL.finish bl);
+            Bs.checkpoint bs ~lsn:(Wal.Writer.lsn w);
+            false
+          with Wal.Crashed -> true
+        in
+        Pf.close pf;
+        check (Printf.sprintf "crash fires iff reachable (n=%d)" n) (n <= records) crashed;
+        (* THE invariant: whatever the crash point, no page on disk
+           carries an LSN beyond the WAL's reader-visible synced
+           prefix — recovery never meets unlogged page state *)
+        let synced =
+          match Wal.read wal_path with
+          | Ok rr -> rr.Wal.synced_prefix
+          | Error _ -> Alcotest.fail "wal unreadable after crash"
+        in
+        let pf = Pf.open_existing page_path in
+        Pf.iter_pages pf (fun page ~kind ~lsn ->
+            if kind = 1 && lsn > synced then
+              Alcotest.failf
+                "crash n=%d partial=%d: page %d has lsn %d past synced prefix %d" n
+                partial_bytes page lsn synced);
+        Pf.close pf)
+      [ 0; 5 ]
+  done
+
+let suite =
+  [
+    ( "pager.page_file",
+      [
+        Alcotest.test_case "blob round-trips and reuse" `Quick page_file_roundtrip;
+        Alcotest.test_case "corruption detected" `Quick page_file_corruption;
+        Alcotest.test_case "clean-flag contract" `Quick page_file_clean_flag;
+      ] );
+    ( "pager.2q",
+      [
+        Alcotest.test_case "ghost promotion to Am" `Quick twoq_ghost_promotion;
+        Alcotest.test_case "scan resistance" `Quick twoq_scan_resistance;
+        Alcotest.test_case "pin overflow" `Quick pin_overflow;
+        Alcotest.test_case "WAL-ordered write-back" `Quick wal_ordered_write_back;
+      ] );
+    ( "pager.storage",
+      [
+        QCheck_alcotest.to_alcotest
+          (Q.Test.make ~count:60 ~name:"paged(capacity 2) = in-memory"
+             (Q.make ~print:string_of_int Q.Gen.(int_bound 1_000_000))
+             paged_equals_memory_law);
+        Alcotest.test_case "checkpoint/reopen round-trip" `Quick checkpoint_reopen;
+        Alcotest.test_case "unclean file refused" `Quick reopen_refuses_unclean;
+        Alcotest.test_case "crash sweep: synced-prefix bound" `Quick crash_sweep;
+      ] );
+  ]

@@ -507,10 +507,38 @@ let test_wal_rejects_foreign_file () =
   | Ok _ -> Alcotest.fail "recovered through a corrupt WAL");
   cleanup [ path; snap ]
 
+let test_directory_fsync () =
+  (* the rename-into-place and WAL-creation paths must harden the
+     parent directory entry, in a directory created this test run (a
+     cold entry is exactly what a crash would lose); [fsync_parent]
+     itself must swallow environment refusals rather than fail a save *)
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "xsm-fsdir-%d" (Unix.getpid ()))
+  in
+  (try Unix.mkdir dir 0o700 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  let store, root = library () in
+  let snap = Filename.concat dir "state.snap" in
+  ignore (ok (Snapshot.save ~path:snap store root));
+  let _, root2, _, _ = ok (Snapshot.load ~path:snap) in
+  Alcotest.(check bool) "snapshot readable after hardened rename" true (Store.node_id root2 >= 0);
+  let wal_path = Filename.concat dir "state.wal" in
+  (match Wal.Writer.create wal_path with
+  | Ok w ->
+    Wal.Writer.sync w;
+    Wal.Writer.close w
+  | Error e -> Alcotest.failf "fresh wal: %s" (Wal.error_message e));
+  Alcotest.(check bool) "fresh wal durable" true (Sys.file_exists wal_path);
+  Xsm_persist.Fsutil.fsync_parent (Filename.concat dir "nonexistent");
+  Xsm_persist.Fsutil.fsync_dir "/no/such/directory" (* must not raise *);
+  cleanup [ snap; wal_path ];
+  try Unix.rmdir dir with Unix.Unix_error _ -> ()
+
 let suite =
   [
     ( "persist",
       [
+        Alcotest.test_case "directory entries fsynced" `Quick test_directory_fsync;
         Alcotest.test_case "snapshot round-trip =_c (in memory)" `Quick test_snapshot_roundtrip;
         Alcotest.test_case "snapshot round-trip with labels" `Quick test_snapshot_roundtrip_labels;
         Alcotest.test_case "snapshot rejects corruption" `Quick test_snapshot_rejects_corruption;

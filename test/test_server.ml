@@ -221,11 +221,13 @@ let boot_library () =
   let root = Xsm_xdm.Convert.load store doc in
   (store, root)
 
-let with_server ?(domains = 2) ?(group_commit = true) ?snapshot_path ?wal_path f =
+let with_server ?(domains = 2) ?(group_commit = true) ?snapshot_path ?wal_path ?page_file
+    ?(pool_capacity = 64) f =
   let store, root = boot_library () in
   let socket_path = temp_name ".sock" in
   let config =
-    { Server.socket_path; snapshot_path; wal_path; domains; group_commit; use_index = false }
+    { Server.socket_path; snapshot_path; wal_path; domains; group_commit; use_index = false;
+      page_file; pool_capacity }
   in
   let srv =
     match Server.create config ~store ~root () with
@@ -381,6 +383,8 @@ let test_server_protocol_shutdown () =
       domains = 1;
       group_commit = true;
       use_index = false;
+      page_file = None;
+      pool_capacity = 64;
     }
   in
   let srv = match Server.create config ~store ~root () with Ok s -> s | Error e -> Alcotest.fail e in
@@ -401,6 +405,45 @@ let test_server_protocol_shutdown () =
   | Ok () -> ()
   | Error e -> Alcotest.fail ("serve after Shutdown request: " ^ e));
   Alcotest.(check bool) "socket removed" false (Sys.file_exists socket_path)
+
+(* the disk-paged storage replica: updates absorbed into the mirror,
+   queries answered over it (faulting through the tiny shared pool from
+   the read domains), pager counters in the stats body, clean
+   checkpointed page file after teardown *)
+let test_server_paged_mirror () =
+  let page_file = temp_name ".pages" in
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists page_file then Sys.remove page_file)
+    (fun () ->
+      with_server ~domains:2 ~page_file ~pool_capacity:2 (fun sock _srv ->
+          let c = ok (Client.connect sock) in
+          let _, titles = ok (Client.query c "//title") in
+          Alcotest.(check (list string)) "query over the replica" [ "One" ] titles;
+          ignore (ok (Client.update c "insert /library <book><title>Two</title></book>"));
+          ignore (ok (Client.update c "content /library/book[2]/title/text() Deux"));
+          let _, titles = ok (Client.query c "//title") in
+          Alcotest.(check (list string)) "mirror absorbed the updates" [ "One"; "Deux" ] titles;
+          ignore (ok (Client.update c "delete /library/book[2]"));
+          let _, titles = ok (Client.query c "//title") in
+          Alcotest.(check (list string)) "mirror absorbed the delete" [ "One" ] titles;
+          (match Json.member "pager" (ok (Client.stats c)) with
+          | Some (Json.Obj _ as pager) ->
+            (match Json.member "accesses" pager with
+            | Some (Json.Num n) ->
+              Alcotest.(check bool) "replica queries count as block accesses" true (n > 0.)
+            | _ -> Alcotest.fail "pager.accesses missing")
+          | _ -> Alcotest.fail "stats body must carry the pager object");
+          Client.close c);
+      (* graceful teardown checkpointed the replica: the file alone
+         reconstructs it *)
+      let pf = Xsm_pager.Page_file.open_existing page_file in
+      Alcotest.(check bool) "page file clean after shutdown" true (Xsm_pager.Page_file.clean pf);
+      let bs = Xsm_storage.Block_storage.of_page_file ~capacity:2 pf in
+      let doc = Xsm_storage.Block_storage.to_document bs in
+      let s = Xsm_xml.Printer.to_string doc in
+      Alcotest.(check string) "reopened replica holds the final state"
+        "<?xml version=\"1.0\"?>\n<library><book><title>One</title></book></library>" s;
+      Xsm_pager.Page_file.close pf)
 
 let suite =
   [
@@ -432,6 +475,7 @@ let suite =
         Alcotest.test_case "query/update/validate/stats" `Quick test_server_session_basics;
         Alcotest.test_case "snapshot isolation" `Quick test_server_snapshot_isolation;
         Alcotest.test_case "checkpoint roundtrip" `Quick test_server_checkpoint_roundtrip;
+        Alcotest.test_case "paged mirror" `Quick test_server_paged_mirror;
         Alcotest.test_case "protocol shutdown" `Quick test_server_protocol_shutdown;
       ] );
   ]
