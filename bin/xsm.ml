@@ -116,6 +116,28 @@ let report_pager bs =
       | Some r -> Printf.sprintf ", hit ratio %.3f" r
       | None -> "")
 
+(* Differential-maintenance stats, as the historical prose line plus a
+   bare JSON object on its own stderr line — scripts extract the
+   latter with [grep '^{"maintenance"' | jq] instead of pattern-matching
+   the prose. *)
+let report_maintenance (s : Xsm_xpath.Planner.maintenance_stats) =
+  Format.eprintf "maintenance: epochs=%d applied=%d vi_drops=%d@."
+    s.Xsm_xpath.Planner.epochs s.Xsm_xpath.Planner.applied
+    s.Xsm_xpath.Planner.vi_drops;
+  let module J = Xsm_obs.Json in
+  Format.eprintf "%s@."
+    (J.to_string
+       (J.Obj
+          [
+            ( "maintenance",
+              J.Obj
+                [
+                  ("epochs", J.int s.Xsm_xpath.Planner.epochs);
+                  ("applied", J.int s.Xsm_xpath.Planner.applied);
+                  ("vi_drops", J.int s.Xsm_xpath.Planner.vi_drops);
+                ] );
+          ]))
+
 (* ------------------------------------------------------------------ *)
 (* Telemetry: --trace/--metrics, shared by the data-touching commands.
    Exporting runs from at_exit so a mid-run [exit] (script errors,
@@ -525,10 +547,7 @@ let load_cmd =
         exit 1
     end;
     (match planner with
-    | Some p ->
-      let s = Pl.maintenance_stats p in
-      Format.eprintf "maintenance: epochs=%d applied=%d vi_drops=%d@."
-        s.Xsm_xpath.Planner.epochs s.Xsm_xpath.Planner.applied s.Xsm_xpath.Planner.vi_drops
+    | Some p -> report_maintenance (Pl.maintenance_stats p)
     | None -> ());
     (match query with
     | None -> ()
@@ -611,7 +630,18 @@ let analyze_cmd =
       & info [ "cardinalities" ]
           ~doc:"Print the min/max occurrence interval of every element path.")
   in
-  let run schema_path query_text with_cardinalities =
+  let cost_flag =
+    Arg.(
+      value & flag
+      & info [ "cost" ]
+          ~doc:
+            "With $(b,--query): price the query without any data — estimated row \
+             interval and navigational cost from occurrence intervals composed along \
+             the schema DataGuide.  The report is a single JSON object on stdout; \
+             diagnostics move to stderr.")
+  in
+  let run schema_path query_text with_cardinalities with_cost =
+    if with_cost && query_text = None then die "analyze: --cost requires --query";
     let schema = or_die (load_schema schema_path) in
     let query =
       Option.map
@@ -624,11 +654,13 @@ let analyze_cmd =
         query_text
     in
     let report = A.analyze ?query schema in
-    List.iter (fun f -> Format.printf "%a@." A.pp_finding f) report.A.findings;
+    (* with --cost, stdout carries exactly one JSON object *)
+    let out fmt = if with_cost then Format.eprintf fmt else Format.printf fmt in
+    List.iter (fun f -> out "%a@." A.pp_finding f) report.A.findings;
     if with_cardinalities then
       List.iter
         (fun (path, iv, recursive) ->
-          Printf.printf "cardinality %s %s%s\n" path (Xsm_analysis.Cardinality.to_string iv)
+          out "cardinality %s %s%s@." path (Xsm_analysis.Cardinality.to_string iv)
             (if recursive then " (recursive)" else ""))
         report.A.cardinalities;
     let statically_empty =
@@ -641,11 +673,17 @@ let analyze_cmd =
     in
     (match query_text with
     | Some text when not statically_empty ->
-      Printf.printf "query %s: no static emptiness proof (may select nodes)\n" text
+      out "query %s: no static emptiness proof (may select nodes)@." text
+    | _ -> ());
+    (match (with_cost, report.A.graph, query) with
+    | true, Some g, Some q ->
+      print_endline (Xsm_obs.Json.to_string (Xsm_analysis.Estimator.report g q))
+    | true, None, _ ->
+      () (* schema findings below exit 2 without a costable graph *)
     | _ -> ());
     match A.significant report with
     | [] ->
-      Printf.printf "clean: %d content models determinized, %d element paths\n"
+      out "clean: %d content models determinized, %d element paths@."
         (List.length report.A.tables)
         (List.length report.A.cardinalities)
     | fs ->
@@ -658,9 +696,10 @@ let analyze_cmd =
          "Run the static analyzer over a schema: Unique Particle Attribution with \
           shortest ambiguous witness words, reachability of type definitions, \
           satisfiability of content models, per-path cardinality intervals, and — \
-          with $(b,--query) — schema-aware static query analysis.  Exits 2 when any \
-          error or warning is found.")
-    Term.(const run $ schema_arg $ query_arg $ cardinalities_flag)
+          with $(b,--query) — schema-aware static query analysis ($(b,--cost) prices \
+          the query from the schema alone).  Exits 2 when any error or warning is \
+          found.")
+    Term.(const run $ schema_arg $ query_arg $ cardinalities_flag $ cost_flag)
 
 let query_cmd =
   let doc_arg =
@@ -701,12 +740,26 @@ let query_cmd =
       value & opt (some file) None
       & info [ "schema" ] ~docv:"SCHEMA"
           ~doc:
-            "Enable schema-aware pruning: queries the static analyzer proves empty on \
-             every $(docv)-valid document are answered without touching the data.  \
-             The document is assumed valid against the schema.")
+            "Enable schema-aware pruning and predicate folding: queries the static \
+             analyzer proves empty on every $(docv)-valid document are answered \
+             without touching the data, and predicates it proves always true are \
+             dropped before planning.  The document is assumed valid against the \
+             schema.")
   in
-  let run () doc_path query use_storage page_path pool_capacity use_index schema_path =
+  let explain_flag =
+    Arg.(
+      value & flag
+      & info [ "explain" ]
+          ~doc:
+            "With $(b,--index): print the structured plan as a single JSON object on \
+             stdout — chosen route, estimated vs. actual rows with the \
+             interval-containment flag, per-predicate strategy decisions with both \
+             prices, maintenance statistics — instead of the result nodes.")
+  in
+  let run () doc_path query use_storage page_path pool_capacity use_index schema_path
+      explain_mode =
     if page_path <> None && not use_storage then die "query: --page-file requires --storage";
+    if explain_mode && not use_index then die "query: --explain requires --index";
     (* cold-start the pool before evaluating: attach (resident, dirty),
        flush and drop everything, so the query's accesses are real
        faults against the page file, not warm hits *)
@@ -728,11 +781,9 @@ let query_cmd =
           let store = Xsm_xdm.Store.create () in
           (store, Xsm_xdm.Convert.load store doc))
     in
-    let pruner =
-      Option.map
-        (fun sp -> Xsm_analysis.Query_static.pruner (or_die (load_schema sp)))
-        schema_path
-    in
+    let schema = Option.map (fun sp -> or_die (load_schema sp)) schema_path in
+    let pruner = Option.map Xsm_analysis.Query_static.pruner schema in
+    let rewriter = Option.map Xsm_analysis.Query_static.rewriter schema in
     (* without the planner, consult the oracle up front: a provably
        empty query needs no evaluation at all *)
     (match pruner with
@@ -747,14 +798,23 @@ let query_cmd =
       | Error _ -> () (* the evaluator will report the parse error *))
     | Some _ | None -> ());
     if use_index then begin
-      let explain_and_print eval_str explain values =
-        match Trace.with_span "query.execute" (fun () -> eval_str query) with
-        | Ok nodes ->
-          Format.eprintf "plan: %s@." (explain query);
-          List.iter print_endline (values nodes)
-        | Error e ->
-          prerr_endline e;
-          exit 1
+      let explain_and_print eval_str explain explain_json values =
+        if explain_mode then
+          match Xsm_xpath.Path_parser.parse query with
+          | Ok p ->
+            print_endline (Xsm_obs.Json.to_string (explain_json p));
+            Format.eprintf "plan: %s@." (explain query)
+          | Error e ->
+            prerr_endline e;
+            exit 1
+        else
+          match Trace.with_span "query.execute" (fun () -> eval_str query) with
+          | Ok nodes ->
+            Format.eprintf "plan: %s@." (explain query);
+            List.iter print_endline (values nodes)
+          | Error e ->
+            prerr_endline e;
+            exit 1
       in
       if use_storage then begin
         let module Pl = Xsm_xpath.Planner.Over_storage in
@@ -764,6 +824,7 @@ let query_cmd =
           Trace.with_span "query.plan" (fun () ->
               let p = Pl.create bs (Xsm_storage.Block_storage.root bs) in
               Option.iter (Pl.set_pruner p) pruner;
+              Option.iter (Pl.set_rewriter p) rewriter;
               p)
         in
         explain_and_print
@@ -772,6 +833,7 @@ let query_cmd =
             match Xsm_xpath.Path_parser.parse q with
             | Ok p -> Pl.explain planner p
             | Error e -> e)
+          (Pl.explain_json planner)
           (List.map (Xsm_storage.Block_storage.string_value bs));
         report_pager bs
       end
@@ -781,6 +843,7 @@ let query_cmd =
           Trace.with_span "query.plan" (fun () ->
               let p = Pl.create store dnode in
               Option.iter (Pl.set_pruner p) pruner;
+              Option.iter (Pl.set_rewriter p) rewriter;
               p)
         in
         explain_and_print
@@ -789,6 +852,7 @@ let query_cmd =
             match Xsm_xpath.Path_parser.parse q with
             | Ok p -> Pl.explain planner p
             | Error e -> e)
+          (Pl.explain_json planner)
           (List.map (Xsm_xdm.Store.string_value store))
       end
     end
@@ -827,7 +891,7 @@ let query_cmd =
     (Cmd.info "query" ~doc:"Evaluate an XPath-subset query over a document")
     Term.(
       const run $ obs_term $ doc_arg $ path_arg $ storage_flag $ page_file_arg
-      $ pool_capacity_arg $ index_flag $ schema_flag)
+      $ pool_capacity_arg $ index_flag $ schema_flag $ explain_flag)
 
 let print_store store root =
   match Xsm_xdm.Store.kind store root with
@@ -1085,10 +1149,7 @@ let update_cmd =
         execute_script ~script_path ~store ~dnode ~journal ?planner ?wal ());
     (match wal with Some w -> Wal.Writer.close w | None -> ());
     (match planner with
-    | Some p ->
-      let s = Pl.maintenance_stats p in
-      Format.eprintf "maintenance: epochs=%d applied=%d vi_drops=%d@."
-        s.Xsm_xpath.Planner.epochs s.Xsm_xpath.Planner.applied s.Xsm_xpath.Planner.vi_drops
+    | Some p -> report_maintenance (Pl.maintenance_stats p)
     | None -> ());
     if do_print then print_store store dnode
   in
@@ -1275,10 +1336,7 @@ let recover_cmd =
           (match Xsm_xpath.Path_parser.parse q with
           | Ok parsed -> Format.eprintf "plan: %s@." (Pl.explain p parsed)
           | Error _ -> ());
-          let s = Pl.maintenance_stats p in
-          Format.eprintf "maintenance: epochs=%d applied=%d vi_drops=%d@."
-            s.Xsm_xpath.Planner.epochs s.Xsm_xpath.Planner.applied
-            s.Xsm_xpath.Planner.vi_drops;
+          report_maintenance (Pl.maintenance_stats p);
           print_nodes nodes
         | Error e ->
           prerr_endline e;
@@ -1352,7 +1410,9 @@ let stats_cmd =
     let planner = Pl.create store dnode in
     Xsm_xpath.Planner.attach_journal planner journal;
     Option.iter
-      (fun s -> Pl.set_pruner planner (Xsm_analysis.Query_static.pruner s))
+      (fun s ->
+        Pl.set_pruner planner (Xsm_analysis.Query_static.pruner s);
+        Pl.set_rewriter planner (Xsm_analysis.Query_static.rewriter s))
       schema;
     (* a throwaway WAL with an fsync per record, so append and fsync
        latencies land in the histograms *)

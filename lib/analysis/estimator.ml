@@ -1,0 +1,95 @@
+module Ast = Xsm_schema.Ast
+module Path_ast = Xsm_xpath.Path_ast
+module Plan = Xsm_xpath.Plan
+module G = Schema_graph
+module Name = Xsm_xml.Name
+module J = Xsm_obs.Json
+module Simple_type = Xsm_datatypes.Simple_type
+
+type summaries = path:string -> rel:string -> Xsm_index.Value_index.summary option
+
+let iv_est (iv : Cardinality.interval) : Plan.est =
+  let expect =
+    match iv.Cardinality.hi with
+    | Some h -> float_of_int (iv.Cardinality.lo + h) /. 2.
+    | None -> float_of_int iv.Cardinality.lo +. 1.
+  in
+  { Plan.lo = iv.Cardinality.lo; hi = iv.Cardinality.hi; expect }
+
+let zero_or_one expect = { Plan.lo = 0; hi = Some 1; expect }
+
+let rec view ?summaries g ~path id ~rows ~per_parent =
+  let n = G.node g id in
+  let kind, name =
+    match n.G.kind with
+    | G.Doc -> (`Document, None)
+    | G.Elem nm -> (`Element, Some nm)
+    | G.Attr nm -> (`Attribute, Some nm)
+    | G.Text -> (`Text, None)
+  in
+  let simple = match n.G.kind with G.Doc | G.Text -> None | _ -> n.G.simple in
+  let child cid ~step pp =
+    view ?summaries g ~path:(path ^ "/" ^ step) cid ~rows:(Plan.mul rows pp)
+      ~per_parent:pp
+  in
+  let children =
+    lazy
+      (List.map
+         (fun (c, iv) ->
+           let step =
+             match (G.node g c).G.kind with
+             | G.Elem nm -> Name.to_string nm
+             | _ -> "*"
+           in
+           child c ~step (iv_est iv))
+         n.G.elem_children
+      @
+      match n.G.text_child with
+      | Some t ->
+        (* always [0,1]: element-only content tolerates a whitespace
+           slot ([synthetic]) and even simple content can be empty *)
+        let expect = if (G.node g t).G.synthetic then 0.1 else 0.9 in
+        [ child t ~step:"text()" (zero_or_one expect) ]
+      | None -> [])
+  in
+  let attrs =
+    lazy
+      (List.map
+         (fun a ->
+           let an = G.node g a in
+           let step =
+             match an.G.kind with
+             | G.Attr nm -> "@" ^ Name.to_string nm
+             | _ -> "@*"
+           in
+           (* the graph does not record requiredness, so the interval
+              stays [0,1]; the expectation leans present for declared
+              attributes and absent for the implicit xsi:nil *)
+           let expect = if an.G.synthetic then 0.01 else 0.9 in
+           child a ~step (zero_or_one expect))
+         n.G.attr_children)
+  in
+  let summary rel =
+    match summaries with Some f -> f ~path ~rel | None -> None
+  in
+  let literal_ok lit = Option.map (fun st -> Simple_type.is_valid st lit) simple in
+  Plan.leaf_view ~cycle:id ~kind ?name ~rows ~per_parent ~children ~attrs ~summary
+    ~literal_ok ()
+
+let provider ?summaries g =
+  view ?summaries g ~path:"" (G.root g) ~rows:(Plan.exactly 1)
+    ~per_parent:(Plan.exactly 1)
+
+let estimate ?summaries g p = Plan.estimate ~root:(provider ?summaries g) p
+let cost ?summaries g p = Plan.Cost.eval_cost ~root:(provider ?summaries g) p
+
+let report ?summaries g p =
+  let e = estimate ?summaries g p in
+  J.Obj
+    [
+      ("query", J.Str (Path_ast.to_string p));
+      ("supported", J.Bool e.Plan.e_supported);
+      ("rows", Plan.est_to_json e.Plan.e_rows);
+      ("eval_cost", J.Num (cost ?summaries g p));
+      ("estimate", Plan.estimate_to_json e);
+    ]

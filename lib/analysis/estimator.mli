@@ -1,0 +1,45 @@
+(** Static cardinality estimation from the schema alone.
+
+    The second {!Xsm_xpath.Plan.pview} provider: where the planner
+    prices queries against its live path index, this one prices them
+    against nothing but the schema — occurrence intervals
+    ({!Cardinality}) composed along the {!Schema_graph} DataGuide.
+    [rows] of a rooted path is the product of the per-parent intervals
+    of its steps, so the interval part of every estimate bounds the
+    result cardinality on {e every} schema-valid document; the point
+    expectation takes interval midpoints (lower bound plus one when
+    unbounded).
+
+    Collected statistics can be fused in through [?summaries]: when a
+    caller has {!Xsm_index.Value_index} summaries for some rooted
+    paths (e.g. saved from a previous run of the data), predicate
+    selectivities sharpen from the defaults to histogram estimates
+    while the structural intervals stay schema-derived. *)
+
+module Ast = Xsm_schema.Ast
+module Path_ast = Xsm_xpath.Path_ast
+module Plan = Xsm_xpath.Plan
+
+type summaries = path:string -> rel:string -> Xsm_index.Value_index.summary option
+(** [path] is the rooted path of the predicate's context step, printed
+    as [/a/b] (attributes as [@n] steps, text slots as [text()]);
+    [rel] is the printed relative path of the predicate. *)
+
+val provider : ?summaries:summaries -> Schema_graph.t -> Plan.pview
+(** The document-node view.  Lazy, so recursive schemas (infinite
+    trees of rooted paths) are fine; cycle identities are graph node
+    ids, which is what cuts descendant expansion at a recursive
+    tie-back. *)
+
+val estimate :
+  ?summaries:summaries -> Schema_graph.t -> Path_ast.path -> Plan.estimate
+
+val cost : ?summaries:summaries -> Schema_graph.t -> Path_ast.path -> float
+(** {!Plan.Cost.eval_cost} over {!provider}: the navigational price of
+    the query, in the planner's cost units, on a hypothetical document
+    of the expected shape. *)
+
+val report :
+  ?summaries:summaries -> Schema_graph.t -> Path_ast.path -> Xsm_obs.Json.t
+(** [{"query", "supported", "rows", "eval_cost", "estimate"}] — the
+    [xsm analyze --cost] payload. *)

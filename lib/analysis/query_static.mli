@@ -43,3 +43,21 @@ val pruner : Ast.schema -> Path_ast.path -> string option
     {!Empty}.  The graph is built once, lazily, per schema; a schema
     that fails [Schema_check] never prunes.  Soundness assumes the
     queried instance is valid against the schema. *)
+
+val fold : Schema_graph.t -> Path_ast.path -> Path_ast.path
+(** Drop predicates provably true on every schema-valid document, so
+    the planner never prices or executes them: order comparisons
+    forced by the operand type's numeric interval (built-in integer
+    bounds tightened by min/max facets, or an enumeration whose values
+    all satisfy the comparison) on a target a chain of
+    minOccurs ≥ 1 child steps guarantees to exist, existence
+    predicates over such chains, and trivially-true positional tests
+    ([position()>=1]).  Relative paths (context unknown) and paths
+    using axes outside the analysable fragment are returned
+    unchanged. *)
+
+val rewriter : Ast.schema -> Path_ast.path -> Path_ast.path
+(** {!fold} as a planner rewriting hook, with the same lazily built
+    per-schema graph as {!pruner}; the identity when the schema fails
+    [Schema_check].  Soundness assumes the queried instance is
+    valid. *)

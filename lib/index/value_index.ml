@@ -55,6 +55,8 @@ type t = {
   mutable probe : (Key.t * Label.t) array option;  (* by key, then owner *)
   mutable by_string : (string, Label.t list) Hashtbl.t option;
   mutable first_text : int;  (* index of the first Text key in [probe] *)
+  key_counts : (string, Key.t * int) Hashtbl.t;  (* canonical key -> count *)
+  mutable number_count : int;  (* entries in the Number family *)
 }
 
 let create () =
@@ -62,7 +64,9 @@ let create () =
     entry_count = 0;
     probe = None;
     by_string = None;
-    first_text = 0 }
+    first_text = 0;
+    key_counts = Hashtbl.create 64;
+    number_count = 0 }
 
 let size t = t.entry_count
 let target_count t = Hashtbl.length t.by_target
@@ -71,6 +75,21 @@ let invalidate_caches t =
   t.probe <- None;
   t.by_string <- None
 
+(* hashtable-safe canonical spelling of a key; the N:/T: prefixes keep
+   the families apart even when a text value spells a number *)
+let canon = function
+  | Key.Number d -> "N:" ^ Decimal.to_string d
+  | Key.Text s -> "T:" ^ s
+
+let count_key counts number_count key delta =
+  let ck = canon key in
+  (match Hashtbl.find_opt counts ck with
+  | None -> if delta > 0 then Hashtbl.replace counts ck (key, delta)
+  | Some (_, n) ->
+    let n = n + delta in
+    if n <= 0 then Hashtbl.remove counts ck else Hashtbl.replace counts ck (key, n));
+  match key with Key.Number _ -> number_count + delta | Key.Text _ -> number_count
+
 let remove_target t target =
   let k = Label.to_raw target in
   match Hashtbl.find_opt t.by_target k with
@@ -78,6 +97,9 @@ let remove_target t target =
   | Some old ->
     Hashtbl.remove t.by_target k;
     t.entry_count <- t.entry_count - List.length old;
+    List.iter
+      (fun e -> t.number_count <- count_key t.key_counts t.number_count e.key (-1))
+      old;
     invalidate_caches t
 
 let set_target t ~target ~owner kvs =
@@ -88,6 +110,9 @@ let set_target t ~target ~owner kvs =
     Hashtbl.replace t.by_target (Label.to_raw target)
       (List.map (fun (key, sval) -> { key; sval; owner }) kvs);
     t.entry_count <- t.entry_count + List.length kvs;
+    List.iter
+      (fun (key, _) -> t.number_count <- count_key t.key_counts t.number_count key 1)
+      kvs;
     invalidate_caches t
 
 let ensure_caches t =
@@ -140,6 +165,102 @@ let bound a ~strict ~lo ~hi probe =
     if c < 0 || (strict && c = 0) then lo := mid + 1 else hi := mid
   done;
   !lo
+
+(* ------------------------------------------------------------------ *)
+(* Statistics summaries                                                *)
+
+type summary = {
+  s_rows : int;
+  s_targets : int;
+  s_distinct : int;
+  s_numbers : int;
+  s_buckets : (Key.t * int) list;
+}
+
+(* equi-depth histogram over (key, count) pairs sorted by key: each
+   bucket is (inclusive upper-bound key, entries in the bucket) *)
+let build_buckets ~buckets ~rows pairs =
+  if rows = 0 then []
+  else begin
+    let depth = max 1 (rows / max 1 buckets) in
+    let out = ref [] and acc = ref 0 in
+    List.iter
+      (fun (key, n) ->
+        acc := !acc + n;
+        if !acc >= depth then begin
+          out := (key, !acc) :: !out;
+          acc := 0
+        end)
+      pairs;
+    (if !acc > 0 then
+       match List.rev pairs with
+       | (last_key, _) :: _ -> out := (last_key, !acc) :: !out
+       | [] -> ());
+    List.rev !out
+  end
+
+let summary_of_counts ~buckets ~rows ~targets ~numbers counts =
+  let pairs =
+    Hashtbl.fold (fun _ kc acc -> kc :: acc) counts []
+    |> List.sort (fun (a, _) (b, _) -> Key.compare a b)
+  in
+  { s_rows = rows;
+    s_targets = targets;
+    s_distinct = List.length pairs;
+    s_numbers = numbers;
+    s_buckets = build_buckets ~buckets ~rows pairs }
+
+let summary ?(buckets = 8) t =
+  summary_of_counts ~buckets ~rows:t.entry_count ~targets:(target_count t)
+    ~numbers:t.number_count t.key_counts
+
+let rebuilt_summary ?(buckets = 8) t =
+  (* recompute the key statistics from the by-target ground truth —
+     the reference the differentially maintained counts must match *)
+  let counts = Hashtbl.create 64 in
+  let numbers = ref 0 in
+  Hashtbl.iter
+    (fun _ es ->
+      List.iter (fun e -> numbers := count_key counts !numbers e.key 1) es)
+    t.by_target;
+  summary_of_counts ~buckets ~rows:t.entry_count ~targets:(target_count t)
+    ~numbers:!numbers counts
+
+let count_eq t lit =
+  match Hashtbl.find_opt t.key_counts (canon (Key.of_string lit)) with
+  | None -> 0
+  | Some (_, n) -> n
+
+let est_eq s _lit =
+  if s.s_distinct = 0 then 0.
+  else float_of_int s.s_rows /. float_of_int s.s_distinct
+
+let est_range s op probe =
+  let family_total =
+    match probe with
+    | Key.Number _ -> s.s_numbers
+    | Key.Text _ -> s.s_rows - s.s_numbers
+  in
+  if family_total = 0 then 0.
+  else begin
+    (* entries of the probe's family strictly below its bucket, plus
+       half of the straddling bucket *)
+    let in_family k = same_family k probe in
+    let below = ref 0. and closed = ref false in
+    List.iter
+      (fun (ub, n) ->
+        if in_family ub && not !closed then
+          if Key.compare ub probe < 0 then below := !below +. float_of_int n
+          else begin
+            below := !below +. (float_of_int n /. 2.);
+            closed := true
+          end)
+      s.s_buckets;
+    let below = Float.min !below (float_of_int family_total) in
+    match op with
+    | Lt | Le -> below
+    | Gt | Ge -> float_of_int family_total -. below
+  end
 
 let range t op probe =
   let a = ensure_caches t in

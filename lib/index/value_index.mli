@@ -69,6 +69,48 @@ val size : t -> int
 
 val target_count : t -> int
 
+(** {2 Statistics}
+
+    Per-key counts are maintained differentially inside {!set_target}
+    and {!remove_target} — the same calls the planner issues as it
+    drains the update journal — so a {!summary} is O(distinct keys) to
+    assemble and never re-reads the document.  {!rebuilt_summary}
+    recomputes the same statistics from the by-target ground truth;
+    the two must agree after any maintenance history (a property the
+    test suite checks on random update batches). *)
+
+type summary = {
+  s_rows : int;  (** total (key, value) entries *)
+  s_targets : int;  (** contributing target nodes *)
+  s_distinct : int;  (** distinct comparison keys *)
+  s_numbers : int;  (** entries in the Number family *)
+  s_buckets : (Key.t * int) list;
+      (** equi-depth histogram: (inclusive upper-bound key, entries),
+          in key order, numbers before texts *)
+}
+
+val summary : ?buckets:int -> t -> summary
+(** Assemble a summary from the differentially maintained counts.
+    [buckets] (default 8) caps the histogram width. *)
+
+val rebuilt_summary : ?buckets:int -> t -> summary
+(** The same summary recomputed from scratch — the reference for the
+    maintained statistics. *)
+
+val count_eq : t -> string -> int
+(** Maintained count of entries whose comparison key equals
+    [Key.of_string lit] — an O(1) cardinality estimate for an equality
+    probe (key-level, so lexical variants of one value pool). *)
+
+val est_eq : summary -> string -> float
+(** Expected rows for an equality probe under a uniform-keys
+    assumption: rows / distinct. *)
+
+val est_range : summary -> op -> Key.t -> float
+(** Expected rows for a range probe, from the histogram: full buckets
+    on the matching side plus half of the straddling bucket, family
+    respected. *)
+
 val eq : t -> string -> Xsm_numbering.Sedna_label.t list
 (** Owner labels with a target whose exact string value equals the
     literal; sorted, duplicate-free. *)

@@ -95,7 +95,14 @@ module Make (N : Navigator.S) = struct
           (fun i n ->
             match p with
             | Position k -> i + 1 = k
-            | Last -> i + 1 = total
+            | Position_cmp (op, k) ->
+              let p = i + 1 in
+              (match op with
+              | Path_ast.Lt -> p < k
+              | Path_ast.Le -> p <= k
+              | Path_ast.Gt -> p > k
+              | Path_ast.Ge -> p >= k)
+            | Last k -> i + 1 = total - k
             | Exists rel -> eval_path backend n rel <> []
             | Equals (rel, lit) ->
               List.exists

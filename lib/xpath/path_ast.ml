@@ -10,7 +10,8 @@ type cmp = Lt | Le | Gt | Ge
 
 type expr =
   | Position of int
-  | Last
+  | Position_cmp of cmp * int
+  | Last of int
   | Exists of path
   | Equals of path * string
   | Cmp of cmp * path * string
@@ -38,7 +39,9 @@ let pp_literal ppf v =
 
 let rec pp_expr ppf = function
   | Position n -> Format.pp_print_int ppf n
-  | Last -> Format.pp_print_string ppf "last()"
+  | Position_cmp (op, n) -> Format.fprintf ppf "position()%s%d" (cmp_to_string op) n
+  | Last 0 -> Format.pp_print_string ppf "last()"
+  | Last k -> Format.fprintf ppf "last()-%d" k
   | Exists p -> pp_path ppf p
   | Equals (p, v) -> Format.fprintf ppf "%a=%S" pp_path p v
   | Cmp (op, p, v) ->

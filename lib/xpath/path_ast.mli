@@ -17,7 +17,10 @@ type cmp = Lt | Le | Gt | Ge
 
 type expr =
   | Position of int  (** [[2]] or [[position()=2]] *)
-  | Last  (** [[last()]] *)
+  | Position_cmp of cmp * int
+      (** [[position()<=3]] — a comparison on the 1-based context
+          position *)
+  | Last of int  (** [[last()]] is [Last 0], [[last()-1]] is [Last 1] *)
   | Exists of path  (** [[author]] — a relative path matches *)
   | Equals of path * string  (** [[author="Codd"]] *)
   | Cmp of cmp * path * string
@@ -37,5 +40,7 @@ and path = {
 
 val cmp_to_string : cmp -> string
 
+val pp_expr : Format.formatter -> expr -> unit
+val pp_step : Format.formatter -> step -> unit
 val pp_path : Format.formatter -> path -> unit
 val to_string : path -> string

@@ -164,12 +164,31 @@ and parse_expr sc =
   | _ ->
     if looking_at sc "last()" then begin
       sc.i <- sc.i + 6;
-      Last
+      skip_spaces sc;
+      if eat sc "-" then begin
+        skip_spaces sc;
+        Last (scan_int sc)
+      end
+      else Last 0
     end
     else if looking_at sc "position()" then begin
       sc.i <- sc.i + 10;
-      expect sc "=";
-      Position (scan_int sc)
+      skip_spaces sc;
+      if eat sc "=" then begin
+        skip_spaces sc;
+        Position (scan_int sc)
+      end
+      else begin
+        let op =
+          if eat sc "<=" then Le
+          else if eat sc "<" then Lt
+          else if eat sc ">=" then Ge
+          else if eat sc ">" then Gt
+          else fail "expected a comparison after position() at offset %d" sc.i
+        in
+        skip_spaces sc;
+        Position_cmp (op, scan_int sc)
+      end
     end
     else begin
       let p = parse_path sc ~absolute_allowed:false in

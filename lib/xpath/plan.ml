@@ -1,0 +1,448 @@
+module J = Xsm_obs.Json
+module VI = Xsm_index.Value_index
+
+(* ------------------------------------------------------------------ *)
+(* Row estimates                                                       *)
+
+type est = { lo : int; hi : int option; expect : float }
+
+let exactly n = { lo = n; hi = Some n; expect = float_of_int n }
+let zero = exactly 0
+let unknown = { lo = 0; hi = None; expect = 0. }
+
+let add a b =
+  {
+    lo = a.lo + b.lo;
+    hi = (match a.hi, b.hi with Some x, Some y -> Some (x + y) | _ -> None);
+    expect = a.expect +. b.expect;
+  }
+
+let mul a b =
+  let hi =
+    match a.hi, b.hi with
+    | Some 0, _ | _, Some 0 -> Some 0
+    | Some x, Some y -> Some (x * y)
+    | _ -> None
+  in
+  { lo = a.lo * b.lo; hi; expect = a.expect *. b.expect }
+
+let cap e bound =
+  let hi =
+    match e.hi, bound.hi with
+    | Some x, Some y -> Some (min x y)
+    | (Some _ as h), None | None, h -> h
+  in
+  let lo = match hi with Some h -> min e.lo h | None -> e.lo in
+  { lo; hi; expect = Float.min e.expect bound.expect }
+
+let contains e n = n >= e.lo && (match e.hi with None -> true | Some h -> n <= h)
+
+let to_string e =
+  Printf.sprintf "[%d,%s]~%.1f" e.lo
+    (match e.hi with Some h -> string_of_int h | None -> "*")
+    e.expect
+
+let est_to_json e =
+  J.Obj
+    [
+      ("lo", J.int e.lo);
+      ("hi", (match e.hi with Some h -> J.int h | None -> J.Null));
+      ("expect", J.Num e.expect);
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Cardinality views                                                   *)
+
+type pview = {
+  pv_cycle : int;
+  pv_kind : [ `Document | `Element | `Attribute | `Text ];
+  pv_name : Xsm_xml.Name.t option;
+  pv_rows : est;
+  pv_per_parent : est;
+  pv_children : pview list Lazy.t;
+  pv_attrs : pview list Lazy.t;
+  pv_summary : string -> VI.summary option;
+  pv_count_eq : string -> string -> int option;
+  pv_literal_ok : string -> bool option;
+}
+
+let leaf_view ~cycle ~kind ?name ~rows ~per_parent ?(children = lazy [])
+    ?(attrs = lazy []) ?(summary = fun _ -> None) ?(count_eq = fun _ _ -> None)
+    ?(literal_ok = fun _ -> None) () =
+  {
+    pv_cycle = cycle;
+    pv_kind = kind;
+    pv_name = name;
+    pv_rows = rows;
+    pv_per_parent = per_parent;
+    pv_children = children;
+    pv_attrs = attrs;
+    pv_summary = summary;
+    pv_count_eq = count_eq;
+    pv_literal_ok = literal_ok;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Propagation                                                         *)
+
+type pred_note = {
+  dn_pred : string;
+  dn_sel : float;
+  dn_always : bool;
+  dn_never : bool;
+  dn_work : float;
+}
+
+type step_note = {
+  sn_step : string;
+  sn_arrived : est;
+  sn_rows : est;
+  sn_preds : pred_note list;
+}
+
+type estimate = { e_rows : est; e_steps : step_note list; e_supported : bool }
+
+exception Unknown_shape
+
+module IntSet = Set.Make (Int)
+
+(* One in-flight group: the rows of a query prefix landing on one
+   view.  [full] marks "every instance of this view is here" — then
+   the rows are the view's own (exact for an instance-backed provider),
+   not a product of per-parent factors. *)
+type item = { iv : pview; rows : est; full : bool }
+
+let add_item acc it =
+  let rec go = function
+    | [] -> [ it ]
+    | it' :: rest when it'.iv == it.iv ->
+      let merged =
+        if it.full then it
+        else if it'.full then it'
+        else { it with rows = cap (add it.rows it'.rows) it.iv.pv_rows; full = false }
+      in
+      merged :: rest
+    | it' :: rest -> it' :: go rest
+  in
+  go acc
+
+let est_of_items items =
+  List.fold_left (fun acc it -> add acc it.rows) zero items
+
+let test_matches (test : Path_ast.node_test) v =
+  match test, v.pv_kind with
+  | Path_ast.Name_test n, (`Element | `Attribute) -> (
+    match v.pv_name with Some m -> Xsm_xml.Name.equal m n | None -> false)
+  | Path_ast.Name_test _, (`Document | `Text) -> false
+  | Path_ast.Wildcard, (`Element | `Attribute) -> true
+  | Path_ast.Wildcard, (`Document | `Text) -> false
+  | Path_ast.Text_test, `Text -> true
+  | Path_ast.Text_test, (`Document | `Element | `Attribute) -> false
+  | Path_ast.Node_test, _ -> true
+
+let child_item it c =
+  let rows = if it.full then c.pv_rows else cap (mul it.rows c.pv_per_parent) c.pv_rows in
+  { iv = c; rows; full = it.full }
+
+(* descendant closure over element/text children; a view already on
+   the expansion path is a recursive tie-back — its rows become
+   unbounded above and the recursion stops there *)
+let expand_descendants ~or_self it acc =
+  let rec go seen it acc =
+    List.fold_left
+      (fun acc c ->
+        let cit = child_item it c in
+        if IntSet.mem c.pv_cycle seen then
+          let hi = if cit.rows.hi = Some 0 then Some 0 else None in
+          add_item acc { cit with rows = { cit.rows with hi }; full = false }
+        else go (IntSet.add c.pv_cycle seen) cit (add_item acc cit))
+      acc
+      (Lazy.force it.iv.pv_children)
+  in
+  let acc = if or_self then add_item acc it else acc in
+  go (IntSet.singleton it.iv.pv_cycle) it acc
+
+(* [run_path]: propagate items through the steps; also returns the
+   expected node visits a navigational evaluation would spend, and
+   (when [notes]) the per-step annotations. *)
+let rec run_path ~notes items (steps : (Path_ast.step * bool) list) =
+  let visits = ref 0. in
+  let step_notes = ref [] in
+  let final =
+    List.fold_left
+      (fun items ((step : Path_ast.step), desc_flag) ->
+        let bases =
+          if desc_flag then
+            List.fold_left (fun acc it -> expand_descendants ~or_self:true it acc) [] items
+          else items
+        in
+        visits := !visits +. (est_of_items bases).expect;
+        let targets =
+          match step.Path_ast.axis with
+          | Xsm_xdm.Axis.Child ->
+            List.concat_map
+              (fun it ->
+                Lazy.force it.iv.pv_children
+                |> List.filter (test_matches step.Path_ast.test)
+                |> List.map (child_item it))
+              bases
+          | Xsm_xdm.Axis.Attribute ->
+            List.concat_map
+              (fun it ->
+                Lazy.force it.iv.pv_attrs
+                |> List.filter (test_matches step.Path_ast.test)
+                |> List.map (child_item it))
+              bases
+          | Xsm_xdm.Axis.Self ->
+            List.filter (fun it -> test_matches step.Path_ast.test it.iv) bases
+          | Xsm_xdm.Axis.Descendant | Xsm_xdm.Axis.Descendant_or_self ->
+            let or_self = step.Path_ast.axis = Xsm_xdm.Axis.Descendant_or_self in
+            List.fold_left
+              (fun acc it -> expand_descendants ~or_self it acc)
+              [] bases
+            |> List.filter (fun it -> test_matches step.Path_ast.test it.iv)
+          | Xsm_xdm.Axis.Parent | Xsm_xdm.Axis.Ancestor
+          | Xsm_xdm.Axis.Ancestor_or_self | Xsm_xdm.Axis.Following_sibling
+          | Xsm_xdm.Axis.Preceding_sibling | Xsm_xdm.Axis.Following
+          | Xsm_xdm.Axis.Preceding ->
+            raise Unknown_shape
+        in
+        let targets = List.fold_left add_item [] targets in
+        let arrived = est_of_items targets in
+        visits := !visits +. arrived.expect;
+        let parents_total = est_of_items bases in
+        let targets, pred_notes =
+          List.fold_left
+            (fun (items, ns) pred ->
+              let items, n = apply_pred ~parents_total items pred in
+              visits := !visits +. n.dn_work;
+              (items, n :: ns))
+            (targets, []) step.Path_ast.predicates
+        in
+        if notes then
+          step_notes :=
+            {
+              sn_step =
+                (if desc_flag then "//" else "/")
+                ^ Format.asprintf "%a" Path_ast.pp_step step;
+              sn_arrived = arrived;
+              sn_rows = est_of_items targets;
+              sn_preds = List.rev pred_notes;
+            }
+            :: !step_notes;
+        targets)
+      items steps
+  in
+  (final, !visits, List.rev !step_notes)
+
+(* expected targets (and their views) for a relative predicate path
+   anchored at one instance of the owner view *)
+and rel_estimate v (rel : Path_ast.path) =
+  if rel.Path_ast.absolute then raise Unknown_shape;
+  let items, visits, _ =
+    run_path ~notes:false [ { iv = v; rows = exactly 1; full = false } ]
+      rel.Path_ast.steps
+  in
+  (items, est_of_items items, visits)
+
+and apply_pred ~parents_total items (pred : Path_ast.expr) =
+  let before = est_of_items items in
+  let note sel always never work =
+    {
+      dn_pred = Format.asprintf "%a" Path_ast.pp_expr pred;
+      dn_sel = sel;
+      dn_always = always;
+      dn_never = never;
+      dn_work = work;
+    }
+  in
+  let positional per_parent_hi expect' =
+    (* each parent contributes at most [per_parent_hi] survivors *)
+    let bound = mul parents_total (exactly per_parent_hi) in
+    let items' =
+      List.map
+        (fun it ->
+          let rows = cap { it.rows with lo = 0 } bound in
+          { it with rows = { rows with expect = Float.min rows.expect expect' }; full = false })
+        items
+    in
+    let after = est_of_items items' in
+    let sel = if before.expect > 0. then after.expect /. before.expect else 1. in
+    (items', note sel false false 0.)
+  in
+  match pred with
+  | Path_ast.Position k ->
+    positional 1 (Float.min parents_total.expect (before.expect /. float_of_int (max 1 k)))
+  | Path_ast.Last _ -> positional 1 (Float.min parents_total.expect before.expect)
+  | Path_ast.Position_cmp ((Path_ast.Le | Path_ast.Lt) as op, k) ->
+    let m = max 0 (if op = Path_ast.Le then k else k - 1) in
+    positional m (Float.min before.expect (parents_total.expect *. float_of_int m))
+  | Path_ast.Position_cmp ((Path_ast.Gt | Path_ast.Ge), _) ->
+    let items' =
+      List.map (fun it -> { it with rows = { it.rows with lo = 0 }; full = false }) items
+    in
+    (items', note 0.5 false false 0.)
+  | Path_ast.Exists rel -> (
+    match List.map (fun it -> (it, rel_estimate it.iv rel)) items with
+    | exception Unknown_shape ->
+      let items' =
+        List.map (fun it -> { it with rows = { it.rows with lo = 0 }; full = false }) items
+      in
+      (items', note 1.0 false false 0.)
+    | per_item ->
+      let work = ref 0. in
+      let items' =
+        List.map
+          (fun (it, (_, rel_rows, visits)) ->
+            work := !work +. (it.rows.expect *. visits);
+            let always = rel_rows.lo >= 1 in
+            let never = rel_rows.hi = Some 0 in
+            let sel = Float.min 1.0 rel_rows.expect in
+            {
+              it with
+              rows =
+                {
+                  lo = (if always then it.rows.lo else 0);
+                  hi = (if never then Some 0 else it.rows.hi);
+                  expect = it.rows.expect *. (if never then 0. else sel);
+                };
+              full = it.full && always;
+            })
+          per_item
+      in
+      let after = est_of_items items' in
+      let sel = if before.expect > 0. then after.expect /. before.expect else 1. in
+      let all p = per_item <> [] && List.for_all p per_item in
+      ( items',
+        note sel
+          (all (fun (_, (_, r, _)) -> r.lo >= 1))
+          (all (fun (_, (_, r, _)) -> r.hi = Some 0))
+          !work ))
+  | Path_ast.Equals (rel, lit) | Path_ast.Cmp (_, rel, lit) -> (
+    let rel_str = Path_ast.to_string rel in
+    match List.map (fun it -> (it, rel_estimate it.iv rel)) items with
+    | exception Unknown_shape ->
+      let items' =
+        List.map (fun it -> { it with rows = { it.rows with lo = 0 }; full = false }) items
+      in
+      (items', note 0.5 false false 0.)
+    | per_item ->
+      let work = ref 0. in
+      let items' =
+        List.map
+          (fun (it, (targets, rel_rows, visits)) ->
+            work := !work +. (it.rows.expect *. visits);
+            (* the literal can never match when every target view
+               rejects it from its value space *)
+            let never_lit =
+              match pred with
+              | Path_ast.Equals _ ->
+                targets <> []
+                && List.for_all
+                     (fun t -> t.iv.pv_literal_ok lit = Some false)
+                     targets
+              | _ -> false
+            in
+            let never = never_lit || rel_rows.hi = Some 0 in
+            (* expected matching entries, from maintained statistics
+               when the provider has them *)
+            let matches =
+              match pred with
+              | Path_ast.Equals _ -> (
+                match it.iv.pv_count_eq rel_str lit with
+                | Some n -> Some (float_of_int n)
+                | None ->
+                  Option.map (fun s -> VI.est_eq s lit) (it.iv.pv_summary rel_str))
+              | Path_ast.Cmp (op, _, _) ->
+                let op =
+                  match op with
+                  | Path_ast.Lt -> VI.Lt
+                  | Path_ast.Le -> VI.Le
+                  | Path_ast.Gt -> VI.Gt
+                  | Path_ast.Ge -> VI.Ge
+                in
+                Option.map
+                  (fun s -> VI.est_range s op (VI.Key.of_string lit))
+                  (it.iv.pv_summary rel_str)
+              | _ -> None
+            in
+            let expect' =
+              if never then 0.
+              else
+                match matches with
+                | Some m -> Float.min it.rows.expect m
+                | None ->
+                  let default =
+                    match pred with Path_ast.Equals _ -> 0.1 | _ -> 0.3
+                  in
+                  it.rows.expect *. default *. Float.min 1.0 rel_rows.expect
+            in
+            {
+              it with
+              rows =
+                { lo = 0; hi = (if never then Some 0 else it.rows.hi); expect = expect' };
+              full = false;
+            })
+          per_item
+      in
+      let after = est_of_items items' in
+      let sel = if before.expect > 0. then after.expect /. before.expect else 1. in
+      let never = items' <> [] && List.for_all (fun it -> it.rows.hi = Some 0) items' in
+      (items', note sel false never !work))
+
+let estimate ~root (p : Path_ast.path) =
+  if not p.Path_ast.absolute then
+    (* the context node is unknown — nothing to anchor the rows to *)
+    { e_rows = unknown; e_steps = []; e_supported = false }
+  else
+    let start = { iv = root; rows = root.pv_rows; full = true } in
+    match run_path ~notes:true [ start ] p.Path_ast.steps with
+    | items, _, notes ->
+      { e_rows = est_of_items items; e_steps = notes; e_supported = true }
+    | exception Unknown_shape -> { e_rows = unknown; e_steps = []; e_supported = false }
+
+let pred_note_to_json n =
+  J.Obj
+    [
+      ("pred", J.Str n.dn_pred);
+      ("sel", J.Num n.dn_sel);
+      ("always", J.Bool n.dn_always);
+      ("never", J.Bool n.dn_never);
+    ]
+
+let step_note_to_json n =
+  J.Obj
+    [
+      ("step", J.Str n.sn_step);
+      ("arrived", est_to_json n.sn_arrived);
+      ("rows", est_to_json n.sn_rows);
+      ("preds", J.Arr (List.map pred_note_to_json n.sn_preds));
+    ]
+
+let estimate_to_json e =
+  J.Obj
+    [
+      ("rows", est_to_json e.e_rows);
+      ("supported", J.Bool e.e_supported);
+      ("steps", J.Arr (List.map step_note_to_json e.e_steps));
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Cost model                                                          *)
+
+module Cost = struct
+  let entry = 1.
+  let visit = 3.
+  let build = 8.
+  let probe = 12.
+  let residual = 4.
+  let amortize = 4.
+
+  let eval_cost ~root (p : Path_ast.path) =
+    let start = { iv = root; rows = root.pv_rows; full = true } in
+    match run_path ~notes:false [ start ] p.Path_ast.steps with
+    | _, visits, _ -> visit *. visits
+    | exception Unknown_shape ->
+      (* outside the estimable fragment: price one full walk *)
+      visit *. Float.max 1. root.pv_rows.expect
+end

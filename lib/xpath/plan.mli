@@ -1,0 +1,138 @@
+(** Static cardinality estimation and the planner's cost model.
+
+    An {!est} is a row {e interval} [[lo, hi]] ([hi = None] =
+    unbounded) together with a point {e expectation}.  The interval is
+    the sound part — for a correct provider it contains the actual
+    result cardinality — while the expectation is the planner's best
+    guess, used to price candidate routes.
+
+    Estimates are propagated over a {!pview} tree: a lazily expanded
+    cardinality view of the document shaped like the DataGuide.  Two
+    providers exist: the planner builds one from its path index (exact
+    extent sizes, value-index statistics), and [Xsm_analysis.Estimator]
+    builds one from the schema alone (occurrence intervals composed
+    along the schema DataGuide) — so the same propagation engine prices
+    a query against live data or against nothing but the schema. *)
+
+type est = { lo : int; hi : int option; expect : float }
+
+val exactly : int -> est
+val zero : est
+val unknown : est
+(** [[0, ∞)] with expectation 0 — the estimate of last resort. *)
+
+val add : est -> est -> est
+val mul : est -> est -> est
+val cap : est -> est -> est
+(** [cap e bound] tightens [e] to the instances that exist at all:
+    upper bounds and expectation are clamped by [bound]. *)
+
+val contains : est -> int -> bool
+(** Is the actual count inside the interval? *)
+
+val to_string : est -> string
+(** [[lo,hi]~expect] with [*] for unbounded. *)
+
+val est_to_json : est -> Xsm_obs.Json.t
+(** [{"lo": _, "hi": _ | null, "expect": _}]. *)
+
+(** {1 Cardinality views} *)
+
+type pview = {
+  pv_cycle : int;
+      (** provider-stable identity used to cut cycles when expanding
+          descendant axes (recursive schema types); unique per rooted
+          path for acyclic providers *)
+  pv_kind : [ `Document | `Element | `Attribute | `Text ];
+  pv_name : Xsm_xml.Name.t option;
+  pv_rows : est;  (** total instances on this rooted path *)
+  pv_per_parent : est;  (** occurrences per instance of the parent *)
+  pv_children : pview list Lazy.t;  (** element and text children *)
+  pv_attrs : pview list Lazy.t;
+  pv_summary : string -> Xsm_index.Value_index.summary option;
+      (** maintained value statistics for a printed relative path
+          anchored at this view, when the provider has collected any *)
+  pv_count_eq : string -> string -> int option;
+      (** [rel lit]: exact maintained count of value entries under
+          [rel] whose key equals the literal's *)
+  pv_literal_ok : string -> bool option;
+      (** is the literal inside this view's value space?  [Some false]
+          proves an equality against it can never hold *)
+}
+
+val leaf_view :
+  cycle:int ->
+  kind:[ `Document | `Element | `Attribute | `Text ] ->
+  ?name:Xsm_xml.Name.t ->
+  rows:est ->
+  per_parent:est ->
+  ?children:pview list Lazy.t ->
+  ?attrs:pview list Lazy.t ->
+  ?summary:(string -> Xsm_index.Value_index.summary option) ->
+  ?count_eq:(string -> string -> int option) ->
+  ?literal_ok:(string -> bool option) ->
+  unit ->
+  pview
+(** Constructor with inert defaults for the optional oracles. *)
+
+(** {1 Estimation} *)
+
+type pred_note = {
+  dn_pred : string;
+  dn_sel : float;  (** expected selectivity in [0, 1] *)
+  dn_always : bool;  (** provably keeps every candidate *)
+  dn_never : bool;  (** provably keeps none *)
+  dn_work : float;  (** expected nodes visited evaluating it navigationally *)
+}
+
+type step_note = {
+  sn_step : string;
+  sn_arrived : est;  (** rows reaching the step, before its predicates *)
+  sn_rows : est;  (** rows surviving the predicates *)
+  sn_preds : pred_note list;
+}
+
+type estimate = {
+  e_rows : est;
+  e_steps : step_note list;
+  e_supported : bool;
+      (** false when the path left the estimable fragment (reverse or
+          sibling axes, relative paths); the interval degrades to
+          {!unknown} but stays sound *)
+}
+
+val estimate : root:pview -> Path_ast.path -> estimate
+(** Propagate row intervals along the path, step by step, annotating
+    every step and predicate.  Never raises: unsupported shapes
+    degrade to {!unknown}. *)
+
+val estimate_to_json : estimate -> Xsm_obs.Json.t
+
+(** {1 Cost model}
+
+    Unit costs are in abstract "node touches"; only their ratios
+    matter.  The planner prices each candidate route — extent scan
+    and structural joins, value-index probe (plus an amortized build
+    when the index is not cached), residual per-owner filtering,
+    navigational evaluation — and picks the cheapest. *)
+
+module Cost : sig
+  val entry : float  (** touching one extent entry in a merge or join *)
+
+  val visit : float  (** visiting one node navigationally *)
+
+  val build : float  (** indexing one target of a value-index build *)
+
+  val probe : float  (** one value-index probe *)
+
+  val residual : float
+  (** testing one owner in a residual filter, per relative-path step *)
+
+  val amortize : float
+  (** expected reuses of a freshly built value index with no drop
+      history: its build cost is divided by this *)
+
+  val eval_cost : root:pview -> Path_ast.path -> float
+  (** Price of answering the path with the navigational evaluator,
+      from the estimate's visit counts. *)
+end

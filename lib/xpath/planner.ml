@@ -21,6 +21,15 @@ type maintenance_stats = {
   vi_drops : int;  (* value indexes dropped for lazy rebuild *)
 }
 
+(* How predicate strategies are chosen: [Rule] always probes a value
+   index and always semi-joins (the historical behavior); [Cost]
+   prices each candidate route and picks the cheapest. *)
+type policy = Rule | Cost
+
+(* One priced strategy choice, kept for [explain]: predicate, the
+   chosen strategy, the indexed route's price, the residual price. *)
+type decision = { d_pred : string; d_chosen : string; d_indexed : float; d_residual : float }
+
 module Make (N : Navigator.S) = struct
   module PI = Xsm_index.Path_index.Make (N)
   module E = Eval.Make (N)
@@ -62,6 +71,14 @@ module Make (N : Navigator.S) = struct
            Some reason proves the path selects nothing on any
            schema-valid instance *)
     pruned : Counter.cell;
+    mutable policy : policy;
+    vi_drop_hist : (int * string, int) Hashtbl.t;
+        (* per value-index key: how often maintenance dropped it —
+           evidence against amortizing a rebuild over future reuses *)
+    mutable decisions : decision list;  (* strategy picks of the last plan *)
+    mutable rewriter : (path -> path) option;
+        (* static simplifier (Query_static.fold): drops predicates
+           proven to hold on every schema-valid instance *)
   }
 
   let create backend root =
@@ -79,10 +96,24 @@ module Make (N : Navigator.S) = struct
       vi_drops = Counter.cell m_vi_drops;
       pruner = None;
       pruned = Counter.cell m_pruned;
+      policy = Cost;
+      vi_drop_hist = Hashtbl.create 16;
+      decisions = [];
+      rewriter = None;
     }
 
   let set_pruner t f = t.pruner <- Some f
   let pruned_count t = Counter.cell_value t.pruned
+  let set_policy t p = t.policy <- p
+  let policy t = t.policy
+  let set_rewriter t f = t.rewriter <- Some f
+
+  (* Apply the static simplifier under the same soundness guard as the
+     pruner: only for evaluations anchored at the indexed root. *)
+  let rewrite t ?context (p : path) =
+    match t.rewriter with
+    | Some f when p.absolute || Option.is_none context -> f p
+    | _ -> p
 
   (* Consult the static oracle.  Only when the evaluation would start
      at the indexed root: a caller-supplied context node can make a
@@ -194,6 +225,134 @@ module Make (N : Navigator.S) = struct
            else if self then Some c
            else Some { pn; restr = narrow (Extent.restrict_by_ancestor ~or_self:false) c.restr pn })
 
+  (* ---- route pricing (Cost policy) ----
+
+     Strategy choices are made at execution time, when the candidate's
+     extent is already restricted by everything to its left — so the
+     owner count is exact, not estimated.  What is estimated: the
+     target count a value-index build would walk (a structural pnode
+     walk of the relative path, ignoring its predicates — an upper
+     bound), and the matches a probe would return (from the maintained
+     statistics). *)
+
+  exception Unpriceable
+
+  (* one structural step over path-index nodes, ignoring predicates;
+     raises [Unpriceable] outside the indexable fragment *)
+  let pnodes_step t pns ((step : step), desc_flag) =
+    let dedup pns = List.sort_uniq (fun a b -> compare (PI.id a) (PI.id b)) pns in
+    let bases =
+      if desc_flag then
+        dedup (List.concat_map (fun p -> desc_or_self_pnodes t.pindex p []) pns)
+      else pns
+    in
+    dedup
+      (List.concat_map
+         (fun p ->
+           match step.axis with
+           | Xsm_xdm.Axis.Child ->
+             List.filter
+               (fun c -> PI.kind c <> `Attribute && test_matches step.test c)
+               (PI.children t.pindex p)
+           | Xsm_xdm.Axis.Attribute ->
+             List.filter
+               (fun c -> PI.kind c = `Attribute && test_matches step.test c)
+               (PI.children t.pindex p)
+           | Xsm_xdm.Axis.Self -> if test_matches step.test p then [ p ] else []
+           | Xsm_xdm.Axis.Descendant | Xsm_xdm.Axis.Descendant_or_self ->
+             let or_self = step.axis = Xsm_xdm.Axis.Descendant_or_self in
+             List.filter
+               (fun c -> (or_self || PI.id c <> PI.id p) && test_matches step.test c)
+               (desc_or_self_pnodes t.pindex p [])
+           | _ -> raise Unpriceable)
+         bases)
+
+  (* the pnodes a relative path can reach, ignoring predicates *)
+  let rel_target_pnodes t pn (rel : path) =
+    if rel.absolute then None
+    else
+      match List.fold_left (pnodes_step t) [ pn ] rel.steps with
+      | pns -> Some pns
+      | exception Unpriceable -> None
+
+  let extent_sum pns =
+    List.fold_left (fun n p -> n + Extent.length (PI.extent p)) 0 pns
+
+  let structural_rel (rel : path) =
+    List.for_all (fun ((s : step), _) -> s.predicates = []) rel.steps
+
+  let drops_of t key = Option.value ~default:0 (Hashtbl.find_opt t.vi_drop_hist key)
+
+  (* residual route: test each remaining owner by navigating the
+     relative path from it *)
+  let residual_price owners (rel : path) =
+    float_of_int owners
+    *. (float_of_int (List.length rel.steps) +. 1.)
+    *. Plan.Cost.residual
+
+  (* expected matching entries of a value probe, from the maintained
+     statistics of a cached index; 0 when nothing is known *)
+  let matches_estimator pred (vi : VI.t option) =
+    match vi, pred with
+    | None, _ -> 0.
+    | Some vi, Equals (_, lit) -> float_of_int (VI.count_eq vi lit)
+    | Some vi, Cmp (op, _, lit) ->
+      let vop =
+        match op with
+        | Path_ast.Lt -> VI.Lt
+        | Path_ast.Le -> VI.Le
+        | Path_ast.Gt -> VI.Gt
+        | Path_ast.Ge -> VI.Ge
+      in
+      VI.est_range (VI.summary vi) vop (VI.Key.of_string lit)
+    | Some _, _ -> 0.
+
+  (* indexed route of a value predicate: probe the cached index, or
+     build it first — amortized over future reuses when its history
+     gives no reason to expect another drop, surcharged otherwise *)
+  let probe_price t pn (rel : path) ~matches =
+    let key = (PI.id pn, Path_ast.to_string rel) in
+    match Hashtbl.find_opt t.values key with
+    | Some v -> Plan.Cost.probe +. (matches (Some v.vi) *. Plan.Cost.entry)
+    | None -> (
+      match rel_target_pnodes t pn rel with
+      | None -> Float.infinity
+      | Some pns ->
+        let build = float_of_int (extent_sum pns) *. Plan.Cost.build in
+        let drops = drops_of t key in
+        let build =
+          if drops = 0 then build /. Plan.Cost.amortize
+          else build *. float_of_int (1 + drops)
+        in
+        build +. Plan.Cost.probe)
+
+  (* indexed route of an existence predicate: structural semi-join on
+     the labels; a relative path with inner predicates additionally
+     pays the value-index work its recursive planning will do *)
+  let semijoin_price t pn (rel : path) ~owners =
+    match rel_target_pnodes t pn rel with
+    | None -> Float.infinity
+    | Some pns ->
+      let targets = float_of_int (extent_sum pns) in
+      let base = (targets +. float_of_int owners) *. Plan.Cost.entry in
+      if structural_rel rel then base
+      else base +. (targets *. Plan.Cost.build /. Plan.Cost.amortize)
+
+  (* pick the indexed route on a tie only while nothing was ever
+     dropped: a dropped index is evidence the next drop is coming *)
+  let prefer_indexed t key ~indexed ~residual =
+    if drops_of t key = 0 then indexed <= residual else indexed < residual
+
+  let record t pred chosen ~indexed ~residual =
+    t.decisions <-
+      {
+        d_pred = Format.asprintf "%a" Path_ast.pp_expr pred;
+        d_chosen = chosen;
+        d_indexed = indexed;
+        d_residual = residual;
+      }
+      :: t.decisions
+
   let rec do_step t cands ((step : step), desc_flag) =
     let bases =
       if desc_flag then merge_cands (List.concat_map (expand_desc_or_self t) cands)
@@ -222,25 +381,97 @@ module Make (N : Navigator.S) = struct
 
   and apply_pred t c pred =
     match pred with
-    | Position _ | Last -> raise (Fallback "positional predicate")
+    | Position _ | Position_cmp _ | Last _ -> raise (Fallback "positional predicate")
     | Exists rel ->
-      let targets = run_rel t c.pn rel in
-      let restr' =
-        Extent.semijoin_containing
-          ~targets:(List.map cand_extent targets)
-          (cand_extent c)
-      in
-      { c with restr = Some restr' }
-    | Equals (rel, lit) -> restrict_probe c (VI.eq (value_index t c.pn rel) lit)
+      let owners = Extent.length (cand_extent c) in
+      let indexed = if t.policy = Rule then 0. else semijoin_price t c.pn rel ~owners in
+      let residual = residual_price owners rel in
+      if
+        t.policy = Rule
+        || prefer_indexed t (PI.id c.pn, Path_ast.to_string rel) ~indexed ~residual
+      then begin
+        if t.policy = Cost then record t pred "semijoin" ~indexed ~residual;
+        let targets = run_rel t c.pn rel in
+        let restr' =
+          Extent.semijoin_containing
+            ~targets:(List.map cand_extent targets)
+            (cand_extent c)
+        in
+        { c with restr = Some restr' }
+      end
+      else begin
+        record t pred "residual" ~indexed ~residual;
+        residual_filter t c pred
+      end
+    | Equals (rel, lit) ->
+      decide_value t c pred rel (fun () ->
+          restrict_probe c (VI.eq (value_index t c.pn rel) lit))
     | Cmp (op, rel, lit) ->
-      let op =
+      let vop =
         match op with
         | Path_ast.Lt -> VI.Lt
         | Path_ast.Le -> VI.Le
         | Path_ast.Gt -> VI.Gt
         | Path_ast.Ge -> VI.Ge
       in
-      restrict_probe c (VI.range (value_index t c.pn rel) op (VI.Key.of_string lit))
+      decide_value t c pred rel (fun () ->
+          restrict_probe c (VI.range (value_index t c.pn rel) vop (VI.Key.of_string lit)))
+
+  and decide_value t c pred rel probe_route =
+    if t.policy = Rule then probe_route ()
+    else begin
+      let owners = Extent.length (cand_extent c) in
+      let indexed = probe_price t c.pn rel ~matches:(matches_estimator pred) in
+      let residual = residual_price owners rel in
+      if prefer_indexed t (PI.id c.pn, Path_ast.to_string rel) ~indexed ~residual
+      then begin
+        record t pred "probe" ~indexed ~residual;
+        probe_route ()
+      end
+      else begin
+        record t pred "residual" ~indexed ~residual;
+        residual_filter t c pred
+      end
+    end
+
+  (* the residual route: keep exactly the owners the navigational
+     evaluator's predicate semantics would keep, by running the
+     relative path from each remaining owner *)
+  and residual_filter t c pred =
+    let keep =
+      match pred with
+      | Exists rel -> fun (e : N.node Extent.entry) -> E.eval t.backend e.node rel <> []
+      | Equals (rel, lit) ->
+        fun e ->
+          List.exists
+            (fun m -> String.equal (N.string_value t.backend m) lit)
+            (E.eval t.backend e.node rel)
+      | Cmp (op, rel, lit) ->
+        let vop =
+          match op with
+          | Path_ast.Lt -> VI.Lt
+          | Path_ast.Le -> VI.Le
+          | Path_ast.Gt -> VI.Gt
+          | Path_ast.Ge -> VI.Ge
+        in
+        let probe = VI.Key.of_string lit in
+        fun e ->
+          List.exists
+            (fun m ->
+              List.exists
+                (fun v -> VI.op_matches vop (VI.Key.of_value v) probe)
+                (N.typed_value t.backend m))
+            (E.eval t.backend e.node rel)
+      | Position _ | Position_cmp _ | Last _ -> assert false
+    in
+    let ext = cand_extent c in
+    let positions = ref [] and i = ref 0 in
+    List.iter
+      (fun e ->
+        if keep e then positions := !i :: !positions;
+        incr i)
+      (Extent.entries ext);
+    { c with restr = Some (Extent.select ext (List.rev !positions)) }
 
   and restrict_probe c owner_labels =
     let sub = Extent.select_by_labels (PI.extent c.pn) owner_labels in
@@ -297,7 +528,9 @@ module Make (N : Navigator.S) = struct
   let drop_vi t key =
     if Hashtbl.mem t.values key then begin
       Hashtbl.remove t.values key;
-      Counter.cell_incr t.vi_drops
+      Counter.cell_incr t.vi_drops;
+      let n = Option.value ~default:0 (Hashtbl.find_opt t.vi_drop_hist key) in
+      Hashtbl.replace t.vi_drop_hist key (n + 1)
     end
 
   (* re-read the value entries one target node contributes: its owner
@@ -436,6 +669,7 @@ module Make (N : Navigator.S) = struct
   let eval_indexed t (p : path) =
     ensure_fresh t;
     if not p.absolute then raise (Fallback "relative path");
+    t.decisions <- [];
     let final =
       List.fold_left (do_step t) [ { pn = PI.root t.pindex; restr = None } ] p.steps
     in
@@ -446,21 +680,120 @@ module Make (N : Navigator.S) = struct
     | nodes -> Ok nodes
     | exception Fallback reason -> Error reason
 
+  (* ---- the instance-backed cardinality view ----
+
+     Exact extent sizes from the path index, value statistics from the
+     cached value indexes: the provider the generic estimator runs
+     over when live data is available. *)
+
+  let provider t =
+    let rec view parent_rows pn =
+      let total = Extent.length (PI.extent pn) in
+      let children_of keep =
+        lazy
+          (PI.children t.pindex pn |> List.filter keep
+          |> List.map (view (float_of_int total)))
+      in
+      let find_vi rel = Hashtbl.find_opt t.values (PI.id pn, rel) in
+      {
+        Plan.pv_cycle = PI.id pn;
+        pv_kind = PI.kind pn;
+        pv_name = PI.name pn;
+        pv_rows = Plan.exactly total;
+        pv_per_parent =
+          {
+            Plan.lo = 0;
+            hi = Some total;
+            expect = float_of_int total /. Float.max 1. parent_rows;
+          };
+        pv_children = children_of (fun c -> PI.kind c <> `Attribute);
+        pv_attrs = children_of (fun c -> PI.kind c = `Attribute);
+        pv_summary = (fun rel -> Option.map (fun v -> VI.summary v.vi) (find_vi rel));
+        pv_count_eq =
+          (fun rel lit -> Option.map (fun v -> VI.count_eq v.vi lit) (find_vi rel));
+        pv_literal_ok = (fun _ -> None);
+      }
+    in
+    view 1. (PI.root t.pindex)
+
+  let estimate t p = Plan.estimate ~root:(provider t) p
+
+  (* skeleton price of the indexed route: the extents the structural
+     moves touch, plus each predicate at its cheaper strategy over
+     unrestricted owners — an optimistic bound, matched against the
+     navigational price for the whole-query route choice *)
+  let indexed_price t (p : path) =
+    if not p.absolute then None
+    else
+      let price_pred pn pred =
+        let owners = Extent.length (PI.extent pn) in
+        match pred with
+        | Position _ | Position_cmp _ | Last _ -> raise Unpriceable
+        | Exists rel ->
+          Float.min (semijoin_price t pn rel ~owners) (residual_price owners rel)
+        | Equals _ | Cmp _ ->
+          let rel =
+            match pred with Equals (r, _) | Cmp (_, r, _) -> r | _ -> assert false
+          in
+          Float.min
+            (probe_price t pn rel ~matches:(matches_estimator pred))
+            (residual_price owners rel)
+      in
+      match
+        List.fold_left
+          (fun (pns, cost) ((step : step), _ as s) ->
+            let next = pnodes_step t pns s in
+            let cost = cost +. (float_of_int (extent_sum next) *. Plan.Cost.entry) in
+            let cost =
+              List.fold_left
+                (fun cost pred ->
+                  List.fold_left (fun c pn -> c +. price_pred pn pred) cost next)
+                cost step.predicates
+            in
+            (next, cost))
+          ([ PI.root t.pindex ], 0.)
+          p.steps
+      with
+      | _, cost -> Some cost
+      | exception Unpriceable -> None
+
+  (* Whole-query route choice under the cost policy: price the indexed
+     skeleton against the navigational evaluation and keep the
+     cheaper.  Returns the prices for [explain]. *)
+  let choose_route t (p : path) =
+    if t.policy = Cost && p.absolute then begin
+      ensure_fresh t;
+      match indexed_price t p with
+      | Some ip ->
+        let ep = Plan.Cost.eval_cost ~root:(provider t) p in
+        if ep < ip then
+          `Eval (Printf.sprintf "cost: navigation %.0f < indexed %.0f" ep ip, Some (ip, ep))
+        else `Indexed (Some (ip, ep))
+      | None -> `Indexed None
+    end
+    else `Indexed None
+
   let eval t ?context p =
+    let p = rewrite t ?context p in
     match prune_reason t ?context p with
     | Some _ ->
       (* provably empty: answer without touching indexes or extents *)
       Counter.cell_incr t.pruned;
       []
     | None -> (
-      match Trace.with_span "plan.index" (fun () -> try_indexed t p) with
-      | Ok nodes ->
-        Counter.incr m_index_hits;
-        nodes
-      | Error reason ->
+      let fallback reason =
         Counter.incr m_fallbacks;
         Trace.with_span ~attrs:[ ("reason", reason) ] "plan.fallback" (fun () ->
-            E.eval t.backend (Option.value context ~default:t.root) p))
+            E.eval t.backend (Option.value context ~default:t.root) p)
+      in
+      match choose_route t p with
+      | `Eval (reason, _) -> fallback reason
+      | `Indexed _ -> (
+        match Trace.with_span "plan.index" (fun () -> try_indexed t p) with
+        | Ok nodes ->
+          Counter.incr m_index_hits;
+          nodes
+        | Error reason -> fallback reason))
 
   let eval_string t ?context text =
     match Path_parser.parse text with
@@ -470,15 +803,97 @@ module Make (N : Navigator.S) = struct
   let uses_index t p = Result.is_ok (try_indexed t p)
 
   let explain t p =
+    let p = rewrite t p in
     match prune_reason t p with
     | Some reason -> Printf.sprintf "pruned(%s)" reason
     | None -> (
-      match try_indexed t p with
-      | Ok nodes ->
-        Format.asprintf "index(%d nodes; %a; %d value indexes; epoch %d)"
-          (List.length nodes) PI.pp_stats t.pindex (value_index_count t)
-          (Counter.cell_value t.epoch)
-      | Error reason -> Printf.sprintf "fallback(%s)" reason)
+      match choose_route t p with
+      | `Eval (reason, _) -> Printf.sprintf "fallback(%s)" reason
+      | `Indexed _ -> (
+        match try_indexed t p with
+        | Ok nodes ->
+          let e = estimate t p in
+          Format.asprintf
+            "index(%d nodes; est %s; %a; %d value indexes; epoch %d)"
+            (List.length nodes)
+            (Plan.to_string e.Plan.e_rows)
+            PI.pp_stats t.pindex (value_index_count t)
+            (Counter.cell_value t.epoch)
+        | Error reason -> Printf.sprintf "fallback(%s)" reason))
+
+  let decision_to_json (d : decision) =
+    Xsm_obs.Json.Obj
+      [
+        ("pred", Xsm_obs.Json.Str d.d_pred);
+        ("chosen", Xsm_obs.Json.Str d.d_chosen);
+        ("indexed_cost", Xsm_obs.Json.Num d.d_indexed);
+        ("residual_cost", Xsm_obs.Json.Num d.d_residual);
+      ]
+
+  (* Structured explain: the chosen route, the estimate with per-step
+     annotations, the actual row count, the estimate error, and the
+     strategy decisions the plan made. *)
+  let explain_json t p =
+    let module J = Xsm_obs.Json in
+    let p' = rewrite t p in
+    let ms = maintenance_stats t in
+    let maintenance =
+      J.Obj
+        [
+          ("epochs", J.int ms.epochs);
+          ("applied", J.int ms.applied);
+          ("vi_drops", J.int ms.vi_drops);
+        ]
+    in
+    let route_costs = function
+      | None -> []
+      | Some (ip, ep) ->
+        [ ("indexed_cost", J.Num ip); ("eval_cost", J.Num ep) ]
+    in
+    let est_fields (e : Plan.estimate) actual =
+      [
+        ("actual_rows", J.int actual);
+        ("est", Plan.est_to_json e.Plan.e_rows);
+        ("est_rows", J.Num e.Plan.e_rows.Plan.expect);
+        ("in_interval", J.Bool (Plan.contains e.Plan.e_rows actual));
+        ("abs_error",
+         J.Num (Float.abs (e.Plan.e_rows.Plan.expect -. float_of_int actual)));
+        ("estimate", Plan.estimate_to_json e);
+      ]
+    in
+    let base route reason fields =
+      J.Obj
+        ([ ("query", J.Str (Path_ast.to_string p)); ("route", J.Str route) ]
+        @ (if Path_ast.to_string p' <> Path_ast.to_string p then
+             [ ("rewritten", J.Str (Path_ast.to_string p')) ]
+           else [])
+        @ (match reason with None -> [] | Some r -> [ ("reason", J.Str r) ])
+        @ fields
+        @ [ ("maintenance", maintenance) ])
+    in
+    match prune_reason t p' with
+    | Some reason -> base "pruned" (Some reason) [ ("actual_rows", J.int 0) ]
+    | None -> (
+      match choose_route t p' with
+      | `Eval (reason, costs) ->
+        let actual = List.length (E.eval t.backend t.root p') in
+        let e = estimate t p' in
+        base "fallback" (Some reason) (est_fields e actual @ route_costs costs)
+      | `Indexed costs -> (
+        match try_indexed t p' with
+        | Ok nodes ->
+          let e = estimate t p' in
+          base "index" None
+            (est_fields e (List.length nodes)
+            @ route_costs costs
+            @ [
+                ("value_indexes", J.int (value_index_count t));
+                ("decisions", J.Arr (List.rev_map decision_to_json t.decisions));
+              ])
+        | Error reason ->
+          let actual = List.length (E.eval t.backend t.root p') in
+          let e = estimate t p' in
+          base "fallback" (Some reason) (est_fields e actual @ route_costs costs)))
 end
 
 module Over_store = Make (Navigator.Xdm)

@@ -43,6 +43,14 @@ type maintenance_stats = {
   vi_drops : int;  (** value indexes dropped for lazy rebuild *)
 }
 
+type policy =
+  | Rule  (** always probe a value index, always semi-join *)
+  | Cost
+      (** price each candidate route — probe (plus an amortized build
+          when the index is not cached), residual per-owner filter,
+          semi-join, whole-query navigation — and pick the cheapest;
+          the default *)
+
 module Make (N : Navigator.S) : sig
   module PI : module type of Xsm_index.Path_index.Make (N)
 
@@ -100,6 +108,34 @@ module Make (N : Navigator.S) : sig
 
   val pruned_count : t -> int
   (** Evaluations answered by the pruning oracle so far. *)
+
+  val set_rewriter : t -> (Path_ast.path -> Path_ast.path) -> unit
+  (** Install a static simplifier — typically
+      [Xsm_analysis.Query_static.fold schema] — applied before pruning
+      and planning, under the same root-anchoring guard as the pruner.
+      Soundness is the simplifier's contract: the rewritten path must
+      select the same nodes on every instance the oracle's schema
+      validates. *)
+
+  (** {1 Cost-based planning} *)
+
+  val set_policy : t -> policy -> unit
+  val policy : t -> policy
+
+  val provider : t -> Plan.pview
+  (** The instance-backed cardinality view: exact extent sizes from
+      the path index, value statistics from the cached value indexes.
+      Row intervals propagated over it contain the actual result
+      cardinality of any query the estimator supports. *)
+
+  val estimate : t -> Path_ast.path -> Plan.estimate
+  (** [Plan.estimate] over {!provider}. *)
+
+  val explain_json : t -> Path_ast.path -> Xsm_obs.Json.t
+  (** Structured explain: route ([index] / [fallback] / [pruned]),
+      estimated and actual rows with the interval-containment flag and
+      absolute error, per-step annotations, the plan's strategy
+      decisions with both prices, and maintenance statistics. *)
 
   val eval : t -> ?context:N.node -> Path_ast.path -> N.node list
   (** Evaluate through the indexes when the path is in the supported

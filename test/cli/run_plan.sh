@@ -1,0 +1,116 @@
+#!/usr/bin/env bash
+# Cost-based planning surface: `xsm analyze --cost` prices a query from
+# the schema alone, `xsm query --index --explain` reports the chosen
+# route with estimated vs. actual rows.  All assertions parse the JSON
+# payloads with jq — the prose lines are presentation, not contract.
+set -u
+
+XSM="$1"
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+fail() { echo "run_plan.sh: $1" >&2; exit 1; }
+
+cat > "$tmp/doc.xml" <<'EOF'
+<shop>
+  <item><name>apple</name><price>3</price></item>
+  <item><name>brick</name><price>7</price></item>
+  <item><name>chalk</name><price>7</price></item>
+</shop>
+EOF
+
+cat > "$tmp/shop.xsd" <<'EOF'
+<?xml version="1.0"?>
+<xsd:schema xmlns:xsd="http://www.w3.org/2001/XMLSchema">
+  <xsd:complexType name="Item">
+    <xsd:sequence>
+      <xsd:element name="name" type="xs:string"/>
+      <xsd:element name="price" type="xs:nonNegativeInteger"/>
+    </xsd:sequence>
+  </xsd:complexType>
+  <xsd:element name="shop">
+    <xsd:complexType>
+      <xsd:sequence>
+        <xsd:element name="item" type="Item" minOccurs="0" maxOccurs="unbounded"/>
+      </xsd:sequence>
+    </xsd:complexType>
+  </xsd:element>
+</xsd:schema>
+EOF
+
+# sequence (header, (note?), (note)) is UPA-ambiguous
+cat > "$tmp/ambiguous.xsd" <<'EOF'
+<?xml version="1.0"?>
+<xsd:schema xmlns:xsd="http://www.w3.org/2001/XMLSchema">
+  <xsd:element name="memo">
+    <xsd:complexType>
+      <xsd:sequence>
+        <xsd:element name="header" type="xs:string"/>
+        <xsd:sequence>
+          <xsd:element name="note" type="xs:string" minOccurs="0"/>
+        </xsd:sequence>
+        <xsd:sequence>
+          <xsd:element name="note" type="xs:token"/>
+        </xsd:sequence>
+      </xsd:sequence>
+    </xsd:complexType>
+  </xsd:element>
+</xsd:schema>
+EOF
+
+# --- query --explain: structural path, exact estimate, index route
+"$XSM" query "$tmp/doc.xml" '/shop/item/name' --index --explain > "$tmp/e1.json" 2>/dev/null \
+  || fail "explain failed"
+[ "$(wc -l < "$tmp/e1.json")" -eq 1 ] || fail "--explain stdout must be one JSON line"
+jq -e '.route == "index" and .actual_rows == 3 and .in_interval == true and .abs_error == 0' \
+  "$tmp/e1.json" >/dev/null || fail "structural explain: exact estimate expected"
+jq -e '.maintenance.epochs == 1' "$tmp/e1.json" >/dev/null \
+  || fail "explain must embed maintenance stats"
+
+# --- value predicate: a strategy decision is recorded with both prices
+"$XSM" query "$tmp/doc.xml" '/shop/item[price="7"]/name' --index --explain > "$tmp/e2.json" 2>/dev/null \
+  || fail "value-predicate explain failed"
+jq -e '.route == "index" and .actual_rows == 2 and .in_interval == true' "$tmp/e2.json" >/dev/null \
+  || fail "value-predicate explain: wrong route or rows"
+jq -e '.decisions | length >= 1' "$tmp/e2.json" >/dev/null \
+  || fail "cost policy must record a strategy decision"
+jq -e '.decisions[0] | (.chosen == "probe" or .chosen == "residual")
+        and .indexed_cost >= 0 and .residual_cost >= 0' "$tmp/e2.json" >/dev/null \
+  || fail "decision must carry both candidate prices"
+
+# --- positional predicates route to the fallback evaluator
+"$XSM" query "$tmp/doc.xml" '/shop/item[last()-1]/name' --index --explain > "$tmp/e3.json" 2>/dev/null \
+  || fail "positional explain failed"
+jq -e '.route == "fallback" and .actual_rows == 1' "$tmp/e3.json" >/dev/null \
+  || fail "positional query must fall back (with its actual count)"
+"$XSM" query "$tmp/doc.xml" '/shop/item[last()-1]/name' --index 2>/dev/null | grep -q brick \
+  || fail "last()-1 must select the middle item"
+
+# --- schema folding: the always-true comparison disappears from the plan
+"$XSM" query "$tmp/doc.xml" '/shop/item[price>=0]/name' --index --schema "$tmp/shop.xsd" --explain \
+  > "$tmp/e4.json" 2>/dev/null || fail "folding explain failed"
+jq -e '.rewritten == "/shop/item/name" and .actual_rows == 3 and (.decisions | length == 0)' \
+  "$tmp/e4.json" >/dev/null || fail "always-true predicate must fold away"
+
+# --- schema pruning still reports through the JSON surface
+"$XSM" query "$tmp/doc.xml" '/shop/basket' --index --schema "$tmp/shop.xsd" --explain \
+  > "$tmp/e5.json" 2>/dev/null || fail "pruned explain failed"
+jq -e '.route == "pruned" and .actual_rows == 0' "$tmp/e5.json" >/dev/null \
+  || fail "statically empty query must report the pruned route"
+
+# --- analyze --cost: schema-only pricing, one JSON object on stdout
+"$XSM" analyze "$tmp/shop.xsd" --query '/shop/item[price="7"]/name' --cost > "$tmp/a1.json" 2>/dev/null \
+  || fail "analyze --cost failed"
+[ "$(wc -l < "$tmp/a1.json")" -eq 1 ] || fail "--cost stdout must be one JSON line"
+jq -e '.supported == true and .rows.lo == 0 and .eval_cost > 0' "$tmp/a1.json" >/dev/null \
+  || fail "analyze --cost: wrong shape"
+jq -e '.estimate.steps | length == 3' "$tmp/a1.json" >/dev/null \
+  || fail "analyze --cost must annotate every step"
+
+# --cost requires --query
+"$XSM" analyze "$tmp/shop.xsd" --cost >/dev/null 2>&1 && fail "--cost without --query must fail"
+
+# a broken schema still exits 2, --cost or not
+"$XSM" analyze "$tmp/ambiguous.xsd" --query '/memo/note' --cost >/dev/null 2>&1
+[ $? -eq 2 ] || fail "ambiguous schema must exit 2 under --cost"
+
+echo "cli plan tests passed"

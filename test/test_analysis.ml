@@ -270,6 +270,143 @@ let never_comparable () =
   let ok = QS.analyze_schema date_schema (parse "/log[when < '2002-01-01']") in
   check Alcotest.bool "text literal keeps Maybe" true (ok.QS.verdict = QS.Maybe)
 
+(* ---------------- always-true folding ---------------- *)
+
+module G = Xsm_analysis.Schema_graph
+module E = Xsm_analysis.Estimator
+module Plan = Xsm_xpath.Plan
+
+let shop_schema =
+  let open Ast in
+  let dt = Xsm_datatypes.Decimal.of_int in
+  let price_ty =
+    match
+      Xsm_datatypes.Simple_type.restrict Xsm_datatypes.Simple_type.integer
+        [
+          Xsm_datatypes.Facet.Min_inclusive (Xsm_datatypes.Value.Decimal (dt 1));
+          Xsm_datatypes.Facet.Max_inclusive (Xsm_datatypes.Value.Decimal (dt 100));
+        ]
+    with
+    | Ok t -> t
+    | Error e -> failwith e
+  in
+  let item =
+    complex
+      (Some
+         (sequence
+            [
+              elem_p (element "price" (Anonymous_simple price_ty));
+              elem_p (element "stock" (named_type "xs:nonNegativeInteger"));
+            ]))
+  in
+  schema
+    (element "shop"
+       (Anonymous
+          (complex
+             (Some
+                (sequence
+                   [ elem_p (element "item" ~repetition:many (Anonymous item)) ])))))
+
+let folding () =
+  let lib = G.build library_schema in
+  let shop = G.build shop_schema in
+  let f g q = Xsm_xpath.Path_ast.to_string (QS.fold g (parse q)) in
+  let same g q = check Alcotest.string q (Xsm_xpath.Path_ast.to_string (parse q)) (f g q) in
+  (* mandatory existence folds; optional stays *)
+  check Alcotest.string "exists folds" "/library/book/title" (f lib "/library/book[author]/title");
+  check Alcotest.string "exists folds under //" "//book/title" (f lib "//book[title]/title");
+  same lib "/library/book[issue]/title";
+  same lib "/library/book[issue/publisher]/title";
+  check Alcotest.string "only the provable predicate folds"
+    "/library/book[issue/publisher]"
+    (f lib "/library/book[issue/publisher][author]");
+  (* value predicates: equality never folds, forced comparisons do *)
+  same lib "/library/book[author='Novak']";
+  check Alcotest.string "forced by facets" "/shop/item" (f shop "/shop/item[price>=1]");
+  check Alcotest.string "forced upper bound" "/shop/item" (f shop "/shop/item[price<=100]");
+  check Alcotest.string "forced by builtin range" "/shop/item" (f shop "/shop/item[stock>=0]");
+  same shop "/shop/item[price>=2]";
+  same shop "/shop/item[price>1]";
+  same shop "/shop/item[stock>0]";
+  (* trivial positional tests *)
+  check Alcotest.string "position()>=1" "/library/book" (f lib "/library/book[position()>=1]");
+  same lib "/library/book[position()<=2]";
+  (* relative paths pass through untouched *)
+  same lib "book[author]/title"
+
+let fold_agrees () =
+  let store, dnode =
+    match Xsm_schema.Validator.validate_document library_doc library_schema with
+    | Ok sd -> sd
+    | Error _ -> Alcotest.fail "fixture invalid"
+  in
+  let g = G.build library_schema in
+  List.iter
+    (fun q ->
+      let p = parse q in
+      let fp = QS.fold g p in
+      let before = Xsm_xpath.Eval.Over_store.eval store dnode p in
+      let after = Xsm_xpath.Eval.Over_store.eval store dnode fp in
+      check Alcotest.int (q ^ ": same cardinality") (List.length before)
+        (List.length after);
+      List.iter2
+        (fun a b ->
+          check Alcotest.bool (q ^ ": same nodes") true (Xsm_xdm.Store.equal_node a b))
+        before after)
+    [
+      "/library/book[author]/title";
+      "/library/book[title][author='Novak']/title";
+      "//book[author][1]/title";
+      "/library/book[position()>=1]/author";
+    ]
+
+(* ---------------- schema-side estimator ---------------- *)
+
+let estimator_basics () =
+  let g = G.build library_schema in
+  let store, dnode =
+    match Xsm_schema.Validator.validate_document library_doc library_schema with
+    | Ok sd -> sd
+    | Error _ -> Alcotest.fail "fixture invalid"
+  in
+  let est q = (E.estimate g (parse q)).Plan.e_rows in
+  let interval q = Plan.to_string { (est q) with Plan.expect = 0. } in
+  check Alcotest.string "root element" "[1,1]~0.0" (interval "/library");
+  check Alcotest.string "unbounded" "[0,*]~0.0" (interval "/library/book");
+  check Alcotest.string "optional chain" "[0,*]~0.0" (interval "/library/book/issue/year");
+  (* the interval contains the actual count on a valid instance *)
+  List.iter
+    (fun q ->
+      let actual =
+        List.length (Xsm_xpath.Eval.Over_store.eval store dnode (parse q))
+      in
+      check Alcotest.bool
+        (Printf.sprintf "%s: %s contains %d" q (Plan.to_string (est q)) actual)
+        true
+        (Plan.contains (est q) actual))
+    [
+      "/library";
+      "/library/book";
+      "/library/book/title";
+      "//author";
+      "//book[issue]/title";
+      "//book[author='Novak']/title";
+      "/library/book[1]/author[position()<=2]";
+      "//book[issue/year<'2000']";
+    ];
+  (* out-of-fragment shapes degrade to unknown but stay sound *)
+  let up = E.estimate g (parse "/library/book/..") in
+  check Alcotest.bool "unsupported flagged" false up.Plan.e_supported;
+  (* report carries the analyze --cost fields *)
+  let module J = Xsm_obs.Json in
+  let r = E.report g (parse "//book/title") in
+  List.iter
+    (fun k -> check Alcotest.bool k true (J.member k r <> None))
+    [ "query"; "supported"; "rows"; "eval_cost"; "estimate" ];
+  match J.member "eval_cost" r with
+  | Some (J.Num c) -> check Alcotest.bool "positive cost" true (c > 0.)
+  | _ -> Alcotest.fail "eval_cost not a number"
+
 (* ---------------- planner pruning ---------------- *)
 
 let pruning_agrees () =
@@ -410,6 +547,47 @@ let table_backtrack_law seed =
         && List.length decls = List.length word
         && List.for_all2 (fun (d : Ast.element_decl) n -> Name.equal d.Ast.elem_name n) decls word))
 
+(* Estimator soundness: on a random schema and a random valid
+   instance, the row interval of every derived query — from both the
+   schema provider and the planner's instance provider — contains the
+   evaluator's actual cardinality. *)
+let containment_law seed =
+  let rng = Xsm_schema.Generator.rng seed in
+  let s = Xsm_schema.Generator.random_schema rng in
+  match Xsm_schema.Schema_check.check s with
+  | Error _ -> true
+  | Ok () -> (
+    let doc = Xsm_schema.Generator.instance rng s in
+    match Xsm_schema.Validator.validate_document doc s with
+    | Error _ -> true
+    | Ok (store, dnode) ->
+      let g = G.build s in
+      let module Pl = Xsm_xpath.Planner.Over_store in
+      let planner = Pl.create store dnode in
+      let queries =
+        List.concat_map
+          (fun (p, _, _) ->
+            let leaf =
+              match String.rindex_opt p '/' with
+              | Some i -> String.sub p (i + 1) (String.length p - i - 1)
+              | None -> p
+            in
+            [ p; p ^ "[1]"; "//" ^ leaf; "//" ^ leaf ^ "[position()<=2]" ])
+          (G.element_paths g)
+      in
+      List.for_all
+        (fun q ->
+          match Xsm_xpath.Path_parser.parse q with
+          | Error _ -> true
+          | Ok p ->
+            let actual =
+              List.length (Xsm_xpath.Eval.Over_store.eval store dnode p)
+            in
+            let schema_est = (E.estimate g p).Plan.e_rows in
+            let planner_est = (Pl.estimate planner p).Plan.e_rows in
+            Plan.contains schema_est actual && Plan.contains planner_est actual)
+        queries)
+
 (* a UPA witness is a real ambiguity certificate: the witness word's
    proper prefix is a viable prefix of the language *)
 let witness_viable_law seed =
@@ -439,10 +617,14 @@ let suite =
         Alcotest.test_case "query static verdicts" `Quick query_static;
         Alcotest.test_case "never-equal literal" `Quick never_equal;
         Alcotest.test_case "never-comparable families" `Quick never_comparable;
+        Alcotest.test_case "always-true folding" `Quick folding;
+        Alcotest.test_case "folding agrees with Eval" `Quick fold_agrees;
+        Alcotest.test_case "estimator basics" `Quick estimator_basics;
         Alcotest.test_case "planner pruning agrees with Eval" `Quick pruning_agrees;
         Alcotest.test_case "validator handoff" `Quick validator_handoff;
         Alcotest.test_case "structured locations" `Quick locations;
         to_alco "determinized table = backtracking validator" table_backtrack_law;
+        to_alco ~count:60 "estimate interval contains actual count" containment_law;
         to_alco "upa witness certificate shape" witness_viable_law;
       ] );
   ]

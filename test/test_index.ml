@@ -159,6 +159,8 @@ let fallback_queries =
   [
     "/library/book[2]/title";
     "/library/paper[last()]/title";
+    "/library/paper[last()-1]/title";
+    "/library/book[1]/author[position()<=2]";
     "//publisher/..";
     "//year/ancestor::*";
     "/library/book[1]/author[1]/following-sibling::*";
@@ -367,6 +369,74 @@ let test_property_library () =
       "/library//publisher";
     ]
 
+(* ---------------- qcheck: maintained stats = rebuilt stats --------
+
+   The per-key counts behind {!VI.summary} are maintained inside
+   [set_target]/[remove_target] — the calls the planner issues while
+   draining the update journal.  After any random maintenance history
+   they must agree with {!VI.rebuilt_summary}, which recomputes the
+   same statistics from the by-target ground truth.  Keys are compared
+   with [VI.Key.compare]: lexical variants of one decimal ("7",
+   "7.0") are one key even when their representations differ. *)
+
+module Q = QCheck
+
+let seed_gen = Q.make ~print:string_of_int Q.Gen.(int_bound 1_000_000)
+
+let to_alco ?(count = 200) name law =
+  QCheck_alcotest.to_alcotest (Q.Test.make ~count ~name seed_gen law)
+
+let summary_equal (a : VI.summary) (b : VI.summary) =
+  a.VI.s_rows = b.VI.s_rows
+  && a.VI.s_targets = b.VI.s_targets
+  && a.VI.s_distinct = b.VI.s_distinct
+  && a.VI.s_numbers = b.VI.s_numbers
+  && List.length a.VI.s_buckets = List.length b.VI.s_buckets
+  && List.for_all2
+       (fun (k1, c1) (k2, c2) -> VI.Key.compare k1 k2 = 0 && c1 = c2)
+       a.VI.s_buckets b.VI.s_buckets
+
+let stats_law seed =
+  let rng = Gen.rng seed in
+  let vi = VI.create () in
+  let labels = Array.of_list (Label.assign_children Label.root 24) in
+  let value () =
+    (* a mix of integers, decimals, text, lexical variants of one
+       number, and whitespace-padded numerics (keyed as numbers) *)
+    match Gen.int rng 6 with
+    | 0 -> "7"
+    | 1 -> "7.0"
+    | 2 -> string_of_int (Gen.int rng 20)
+    | 3 -> Printf.sprintf "%d.%d" (Gen.int rng 10) (Gen.int rng 100)
+    | 4 -> String.make 1 (Char.chr (Char.code 'a' + Gen.int rng 5))
+    | _ -> Printf.sprintf " %d " (Gen.int rng 20)
+  in
+  for _batch = 1 to 1 + Gen.int rng 6 do
+    for _ = 1 to 1 + Gen.int rng 10 do
+      let t = labels.(Gen.int rng (Array.length labels)) in
+      match Gen.int rng 4 with
+      | 0 -> VI.remove_target vi t
+      | _ ->
+        (* 0 values = removal through the set_target path *)
+        let vals =
+          List.init (Gen.int rng 3) (fun _ ->
+              let s = value () in
+              (VI.Key.of_string s, s))
+        in
+        VI.set_target vi ~target:t ~owner:t vals
+    done;
+    List.iter
+      (fun buckets ->
+        if
+          not
+            (summary_equal (VI.summary ~buckets vi) (VI.rebuilt_summary ~buckets vi))
+        then
+          Alcotest.failf "maintained summary (%d buckets) diverged from rebuild (seed %d)"
+            buckets seed)
+      [ 1; 4; 8 ]
+  done;
+  true
+
 let suite =
   [
     ( "index.extent",
@@ -387,5 +457,6 @@ let suite =
       [
         Alcotest.test_case "random docs + updates" `Quick test_property_random_docs;
         Alcotest.test_case "library fixture" `Quick test_property_library;
+        to_alco ~count:120 "maintained stats = rebuilt stats" stats_law;
       ] );
   ]

@@ -33,6 +33,11 @@ let test_parse_shapes () =
   ok "/a/b[2]";
   ok "/a/b[last()]";
   ok "/a/b[position()=3]";
+  ok "/a/b[position()<=3]";
+  ok "/a/b[position()<3]";
+  ok "/a/b[position()>=2]";
+  ok "/a/b[position()>1]";
+  ok "/a/b[last()-1]";
   ok "//book[author]";
   ok "//book[author=\"Codd\"]/title";
   ok "//book[author='Codd']";
@@ -56,7 +61,9 @@ let test_parse_errors () =
   bad "/a[b=]";
   bad "bogus::a";
   bad "/a/b[1";
-  bad "/a b"
+  bad "/a b";
+  bad "/a/b[position()!3]";
+  bad "/a/b[last()-]"
 
 let test_parse_print_roundtrip () =
   List.iter
@@ -65,7 +72,8 @@ let test_parse_print_roundtrip () =
       let printed = Xsm_xpath.Path_ast.to_string p in
       let p2 = P.parse_exn printed in
       check s true (Xsm_xpath.Path_ast.to_string p2 = printed))
-    [ "/a/b/c"; "//b[2]"; "/a//b[last()]"; "/a/@id"; "//book[author=\"X\"]/title" ]
+    [ "/a/b/c"; "//b[2]"; "/a//b[last()]"; "/a//b[last()-2]"; "/a/@id";
+      "//book[author=\"X\"]/title"; "//b[position()<=3]"; "//b[position()>1]" ]
 
 (* ---------------- evaluation over the store ---------------- *)
 
@@ -81,6 +89,15 @@ let test_eval_basics () =
   Alcotest.(check (list string)) "last()"
     [ "The Complexity of Relational Query Languages" ]
     (eval store dnode "/library/paper[last()]/title");
+  Alcotest.(check (list string)) "last()-1"
+    [ "A Relational Model for Large Shared Data Banks" ]
+    (eval store dnode "/library/paper[last()-1]/title");
+  Alcotest.(check (list string)) "position()<=2"
+    [ "Abiteboul"; "Hull" ]
+    (eval store dnode "/library/book[1]/author[position()<=2]");
+  Alcotest.(check (list string)) "position()>1"
+    [ "Hull"; "Vianu" ]
+    (eval store dnode "/library/book[1]/author[position()>1]");
   Alcotest.(check (list string)) "filter by child value"
     [ "A Relational Model for Large Shared Data Banks";
       "The Complexity of Relational Query Languages" ]
@@ -146,6 +163,8 @@ let queries =
     "/library/book/title"; "//author"; "/library/book[2]/title"; "//paper[author=\"Codd\"]/title";
     "/library/*"; "//book[issue]/title"; "//year"; "/library/paper[last()]/title";
     "//issue/publisher"; "/library/book[1]/author/text()";
+    "/library/paper[last()-1]/title"; "/library/book[1]/author[position()<=2]";
+    "/library/book[1]/author[position()>1]";
   ]
 
 let test_backend_agreement () =
