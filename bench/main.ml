@@ -412,10 +412,11 @@ let () =
   | _ :: "--e18-child" :: mode :: corpus :: pages :: _ -> E18.child mode corpus pages
   | _ when List.mem "--e18" args -> E18.run ~smoke:(List.mem "--smoke" args) ()
   | _ when List.mem "--e19" args -> E19.run ~smoke:(List.mem "--smoke" args) ()
+  | _ when List.mem "--e20" args -> E20.run ~smoke:(List.mem "--smoke" args) ()
   | _ ->
     if List.mem "--report" args then Report.run ()
     else begin
       run_bechamel ~smoke:(List.mem "--smoke" args) ();
       print_endline
-        "\n(run with --report for the full E1-E15 experiment tables, --e16 for streaming ingest,\n --e18 for paged storage under memory pressure, --e19 for cost-based planning)"
+        "\n(run with --report for the full E1-E15 experiment tables, --e16 for streaming ingest,\n --e18 for paged storage under memory pressure, --e19 for cost-based planning,\n --e20 for observability overhead)"
     end

@@ -1387,7 +1387,16 @@ let stats_cmd =
       & info [ "pool-capacity" ] ~docv:"N"
           ~doc:"Buffer-pool capacity (blocks) for the locality replay (default 8).")
   in
-  let run () doc_path script_path schema_path capacity =
+  let openmetrics_flag =
+    Arg.(
+      value & flag
+      & info [ "openmetrics" ]
+          ~doc:
+            "Print the registry as OpenMetrics text exposition instead of JSON — the \
+             same output a scraper gets from a running daemon via \
+             $(b,xsm client --openmetrics).")
+  in
+  let run () doc_path script_path schema_path capacity openmetrics =
     let module Store = Xsm_xdm.Store in
     let module Pl = Xsm_xpath.Planner.Over_store in
     let g_hit_ratio =
@@ -1487,15 +1496,19 @@ let stats_cmd =
           | Some r -> r
           | None -> Float.nan);
         Xsm_pager.Page_file.close pf);
-    print_endline (Xsm_obs.Json.to_string (Metrics.to_json Metrics.default))
+    Metrics.Runtime.sample ();
+    if openmetrics then print_string (Metrics.to_openmetrics Metrics.default)
+    else print_endline (Xsm_obs.Json.to_string (Metrics.to_json Metrics.default))
   in
   Cmd.v
     (Cmd.info "stats"
        ~doc:
          "Replay a workload script against a document with every subsystem instrumented \
           — validator, index planner, WAL, buffer pool — and print the full metrics \
-          registry as JSON on stdout")
-    Term.(const run $ obs_term $ doc_arg $ script_arg $ schema_arg $ capacity_arg)
+          registry as JSON (or OpenMetrics text) on stdout")
+    Term.(
+      const run $ obs_term $ doc_arg $ script_arg $ schema_arg $ capacity_arg
+      $ openmetrics_flag)
 
 let dataguide_cmd =
   let doc_arg =
@@ -1601,6 +1614,7 @@ let roundtrip_cmd =
 
 module Server = Xsm_server.Server
 module Sclient = Xsm_server.Client
+module Sproto = Xsm_server.Protocol
 
 let socket_arg ~required:req =
   let doc = "Unix domain socket path" in
@@ -1677,8 +1691,30 @@ let serve_cmd =
       & info [ "pool-capacity" ] ~docv:"N"
           ~doc:"Buffer-pool capacity in blocks with $(b,--page-file) (default 256).")
   in
+  let flight_capacity_arg =
+    Arg.(
+      value & opt int 256
+      & info [ "flight-capacity" ] ~docv:"N"
+          ~doc:"Flight-recorder ring size in request digests (default 256).")
+  in
+  let slow_log_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "slow-log" ] ~docv:"FILE"
+          ~doc:
+            "Append a JSON line (the flight digest, plan attached) for every request at \
+             least $(b,--slow-threshold-ms) slow.")
+  in
+  let slow_threshold_arg =
+    Arg.(
+      value & opt float 10.0
+      & info [ "slow-threshold-ms" ] ~docv:"MS"
+          ~doc:
+            "Requests at least this slow keep their plan in the flight recorder and go \
+             to the slow log (default 10).")
+  in
   let run () socket doc_path snap_path wal_path schema_path domains no_group_commit use_index
-      with_labels page_path pool_capacity =
+      with_labels page_path pool_capacity flight_capacity slow_log slow_threshold_ms =
     let schema = Option.map (fun p -> or_die (load_schema p)) schema_path in
     let store, root, labels =
       match snap_path with
@@ -1716,6 +1752,9 @@ let serve_cmd =
         use_index;
         page_file = page_path;
         pool_capacity;
+        flight_capacity;
+        slow_log;
+        slow_threshold_ms;
       }
     in
     match Server.create config ~store ~root ?labels ?schema () with
@@ -1742,7 +1781,8 @@ let serve_cmd =
     Term.(
       const run $ obs_term $ socket_arg ~required:false $ doc_arg $ snapshot_arg $ wal_arg
       $ schema_arg $ domains_arg $ no_group_commit_flag $ index_flag $ labels_flag
-      $ page_file_arg $ pool_capacity_arg)
+      $ page_file_arg $ pool_capacity_arg $ flight_capacity_arg $ slow_log_arg
+      $ slow_threshold_arg)
 
 let client_cmd =
   let query_arg =
@@ -1763,10 +1803,34 @@ let client_cmd =
           ~doc:"Validate this XML file against the server's schema ('-' for stdin).")
   in
   let stats_flag = Arg.(value & flag & info [ "stats" ] ~doc:"Print the server's stats JSON.") in
+  let openmetrics_flag =
+    Arg.(
+      value & flag
+      & info [ "openmetrics" ]
+          ~doc:"Print the server's metrics registry as OpenMetrics text exposition.")
+  in
+  let flight_flag =
+    Arg.(
+      value & flag
+      & info [ "flight" ]
+          ~doc:
+            "Dump the server's flight recorder as JSON: recent request digests plus the \
+             kept error and slowest tails.")
+  in
   let shutdown_flag =
     Arg.(value & flag & info [ "shutdown" ] ~doc:"Ask the server to stop gracefully.")
   in
-  let run () socket query update validate stats shutdown =
+  let trace_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:
+            "Propagate a trace context with the request ($(b,--query), $(b,--update) or \
+             $(b,--validate)), fetch the server-side spans it produced, and write both \
+             halves — the client request span and the server's request/phase tree, \
+             correctly parented — to $(docv) as one Chrome trace.")
+  in
+  let run socket query update validate stats openmetrics flight shutdown trace_file =
     let c = match Sclient.connect socket with Ok c -> c | Error e -> die "%s" e in
     Fun.protect
       ~finally:(fun () -> Sclient.close c)
@@ -1774,38 +1838,135 @@ let client_cmd =
         let actions =
           List.length (List.filter Option.is_some [ query; update; validate ])
           + (if stats then 1 else 0)
+          + (if openmetrics then 1 else 0)
+          + (if flight then 1 else 0)
           + if shutdown then 1 else 0
         in
         if actions <> 1 then
-          die "client: give exactly one of --query, --update, --validate, --stats, --shutdown";
+          die
+            "client: give exactly one of --query, --update, --validate, --stats, \
+             --openmetrics, --flight, --shutdown";
+        (* [traced kind do_request] runs one request, optionally under a
+           propagated trace context: the client side is a single
+           deterministic span (id 1) covering the round trip, the server
+           side is fetched back via [Introspect] and re-parented under
+           it, ids offset so the two processes can't collide. *)
+        let traced kind do_request =
+          match trace_file with
+          | None -> do_request None
+          | Some path ->
+            Random.self_init ();
+            let trace_id = Printf.sprintf "%016Lx" (Random.int64 Int64.max_int) in
+            let client_root_id = 1 in
+            let ctx = { Sproto.trace_id; parent_span = client_root_id } in
+            let t0 = Xsm_obs.Clock.now_ns () in
+            do_request (Some ctx);
+            let t1 = Xsm_obs.Clock.now_ns () in
+            let client_root : Trace.event =
+              {
+                id = client_root_id;
+                parent = 0;
+                name = "client." ^ kind;
+                start_ns = t0;
+                dur_ns = Int64.sub t1 t0;
+                depth = 0;
+                attrs = [ ("trace", trace_id) ];
+              }
+            in
+            (match Sclient.introspect c (Sproto.Trace_events trace_id) with
+            | Error e -> Printf.eprintf "trace: introspect: %s\n" e
+            | Ok body -> (
+              let server_events =
+                match Xsm_obs.Json.member "events" body with
+                | Some (Xsm_obs.Json.Arr items) ->
+                  List.filter_map
+                    (fun j ->
+                      match Trace.event_of_json j with Ok e -> Some e | Error _ -> None)
+                    items
+                | _ -> []
+              in
+              (* same machine but not the same clock: each process
+                 counts from its own epoch, so rebase server
+                 timestamps by the epoch difference before merging.
+                 Server roots hang off the client request span. *)
+              let delta_ns =
+                match Xsm_obs.Json.member "clock_epoch_s" body with
+                | Some (Xsm_obs.Json.Num server_epoch) ->
+                  Int64.of_float
+                    ((server_epoch -. Xsm_obs.Clock.epoch_wall ()) *. 1e9)
+                | _ -> 0L
+              in
+              let offset = 1_000_000 in
+              let server_events =
+                List.map
+                  (fun (e : Trace.event) ->
+                    {
+                      e with
+                      id = e.id + offset;
+                      parent =
+                        (if e.parent = 0 then client_root_id else e.parent + offset);
+                      depth = e.depth + 1;
+                      start_ns = Int64.add e.start_ns delta_ns;
+                    })
+                  server_events
+              in
+              match
+                Trace.write_chrome_groups path
+                  [ (1, "xsm client", [ client_root ]); (2, "xsm serve", server_events) ]
+              with
+              | Ok () ->
+                Printf.eprintf "trace: %s (%d server spans, trace %s)\n" path
+                  (List.length server_events) trace_id
+              | Error e -> Printf.eprintf "trace: %s\n" e))
+        in
         match (query, update, validate) with
-        | Some path, _, _ -> (
-          match Sclient.query c path with
-          | Ok (epoch, values) ->
-            Printf.eprintf "epoch %d, %d nodes\n" epoch (List.length values);
-            List.iter print_endline values
-          | Error e ->
-            prerr_endline e;
-            exit 1)
-        | _, Some command, _ -> (
-          match Sclient.update c command with
-          | Ok epoch -> Printf.printf "applied (epoch %d)\n" epoch
-          | Error e ->
-            prerr_endline e;
-            exit 1)
-        | _, _, Some doc_path -> (
-          match Sclient.validate c (read_doc_source doc_path) with
-          | Ok (true, _) -> print_endline "valid"
-          | Ok (false, errors) ->
-            List.iter print_endline errors;
-            exit 1
-          | Error e ->
-            prerr_endline e;
-            exit 1)
+        | Some path, _, _ ->
+          traced "query" (fun trace ->
+              match Sclient.query ?trace c path with
+              | Ok (epoch, values) ->
+                Printf.eprintf "epoch %d, %d nodes\n" epoch (List.length values);
+                List.iter print_endline values
+              | Error e ->
+                prerr_endline e;
+                exit 1)
+        | _, Some command, _ ->
+          traced "update" (fun trace ->
+              match Sclient.update ?trace c command with
+              | Ok epoch -> Printf.printf "applied (epoch %d)\n" epoch
+              | Error e ->
+                prerr_endline e;
+                exit 1)
+        | _, _, Some doc_path ->
+          traced "validate" (fun trace ->
+              match Sclient.validate ?trace c (read_doc_source doc_path) with
+              | Ok (true, _) -> print_endline "valid"
+              | Ok (false, errors) ->
+                List.iter print_endline errors;
+                exit 1
+              | Error e ->
+                prerr_endline e;
+                exit 1)
         | None, None, None ->
           if shutdown then (
             match Sclient.shutdown c with
             | Ok () -> print_endline "stopping"
+            | Error e ->
+              prerr_endline e;
+              exit 1)
+          else if flight then (
+            match Sclient.introspect c Sproto.Flight with
+            | Ok body -> print_endline (Xsm_obs.Json.to_string body)
+            | Error e ->
+              prerr_endline e;
+              exit 1)
+          else if openmetrics then (
+            match Sclient.stats ~openmetrics:true c with
+            | Ok body -> (
+              match Xsm_obs.Json.member "openmetrics" body with
+              | Some (Xsm_obs.Json.Str text) -> print_string text
+              | _ ->
+                prerr_endline "client: malformed openmetrics reply";
+                exit 1)
             | Error e ->
               prerr_endline e;
               exit 1)
@@ -1819,8 +1980,115 @@ let client_cmd =
   Cmd.v
     (Cmd.info "client" ~doc:"One-shot client for a running $(b,xsm serve) daemon")
     Term.(
-      const run $ obs_term $ socket_arg ~required:true $ query_arg $ update_arg $ validate_arg
-      $ stats_flag $ shutdown_flag)
+      const run $ socket_arg ~required:false $ query_arg $ update_arg $ validate_arg
+      $ stats_flag $ openmetrics_flag $ flight_flag $ shutdown_flag $ trace_arg)
+
+(* A minimal live view over the daemon's flight recorder: one session,
+   [Introspect Flight] + [Stats] per refresh, ANSI repaint. *)
+let top_cmd =
+  let interval_arg =
+    Arg.(
+      value & opt float 1.0
+      & info [ "interval" ] ~docv:"SECONDS" ~doc:"Refresh period (default 1).")
+  in
+  let count_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "count" ] ~docv:"N"
+          ~doc:"Stop after $(docv) refreshes (0: run until interrupted).")
+  in
+  let rows_arg =
+    Arg.(
+      value & opt int 15
+      & info [ "rows" ] ~docv:"N" ~doc:"Digest rows to show per section (default 15).")
+  in
+  let run socket interval count rows =
+    let module J = Xsm_obs.Json in
+    let field path body =
+      List.fold_left (fun j name -> Option.bind j (J.member name)) (Some body) path
+    in
+    let jint = function Some (J.Num f) -> int_of_float f | _ -> 0 in
+    let clip n s = if String.length s <= n then s else String.sub s 0 (n - 1) ^ "\xe2\x80\xa6" in
+    let digest_line b d =
+      let s path = match field path d with Some (J.Str s) -> s | _ -> "" in
+      let i path = jint (field path d) in
+      let est =
+        match field [ "est_rows" ] d with
+        | Some (J.Arr [ J.Num lo; J.Num hi ]) ->
+          if hi < 0.0 then Printf.sprintf "%d+" (int_of_float lo)
+          else Printf.sprintf "%d..%d" (int_of_float lo) (int_of_float hi)
+        | _ -> "-"
+      in
+      let outcome =
+        match field [ "outcome" ] d with
+        | Some (J.Str "ok") -> "ok"
+        | Some o -> (
+          match J.member "error" o with Some (J.Str e) -> clip 24 ("! " ^ e) | _ -> "!")
+        | None -> "?"
+      in
+      Buffer.add_string b
+        (Printf.sprintf "  %6d  %-8s %-8s %8s %6d %6d %9.3f  %-24s %s\n"
+           (i [ "seq" ]) (s [ "kind" ])
+           (match s [ "route" ] with "" -> "-" | r -> r)
+           est (i [ "actual_rows" ]) (i [ "pager_hits" ])
+           (float_of_int (i [ "latency_ns" ]) /. 1e6)
+           outcome
+           (clip 32 (s [ "detail" ])))
+    in
+    let section b title ds =
+      if ds <> [] then begin
+        Buffer.add_string b (Printf.sprintf "%s\n" title);
+        Buffer.add_string b
+          "     seq  kind     route         est    act  pager   lat(ms)  outcome                  detail\n";
+        let n = List.length ds in
+        List.iteri (fun i d -> if i >= n - rows then digest_line b d) ds
+      end
+    in
+    let c = match Sclient.connect ~client:"xsm-top" socket with Ok c -> c | Error e -> die "%s" e in
+    Fun.protect
+      ~finally:(fun () -> Sclient.close c)
+      (fun () ->
+        let refresh () =
+          match (Sclient.introspect c Sproto.Flight, Sclient.stats c) with
+          | Error e, _ | _, Error e -> die "top: %s" e
+          | Ok flight, Ok stats ->
+            let b = Buffer.create 4096 in
+            Buffer.add_string b
+              (Printf.sprintf
+                 "xsm top — %s   epoch %d   sessions %d   requests %d   inflight %d   \
+                  digests %d/%d\n\n"
+                 socket
+                 (jint (field [ "server"; "epoch" ] stats))
+                 (jint (field [ "server"; "sessions" ] stats))
+                 (jint (field [ "metrics"; "counters"; "server.requests" ] stats))
+                 (jint (field [ "metrics"; "gauges"; "server.inflight" ] stats))
+                 (jint (field [ "recorded" ] flight))
+                 (jint (field [ "capacity" ] flight)));
+            let arr path =
+              match field path flight with Some (J.Arr ds) -> ds | _ -> []
+            in
+            section b "recent" (arr [ "recent" ]);
+            section b "\nkept slow (evicted tail)" (arr [ "slow" ]);
+            section b "\nkept errors (evicted tail)" (arr [ "errors" ]);
+            print_string "\027[2J\027[H";
+            print_string (Buffer.contents b);
+            flush stdout
+        in
+        let rec loop n =
+          refresh ();
+          if count = 0 || n < count then begin
+            Unix.sleepf interval;
+            loop (n + 1)
+          end
+        in
+        loop 1)
+  in
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:
+         "Live view of a running daemon: refresh the flight recorder's request digests \
+          (recent, kept-slow, kept-error) and headline server stats in place")
+    Term.(const run $ socket_arg ~required:false $ interval_arg $ count_arg $ rows_arg)
 
 (* Closed-loop load generator for the daemon (bench E17): spawn an
    [xsm serve] child, fork N single-threaded client processes that
@@ -2060,8 +2328,8 @@ let bench_serve_cmd =
     let report kind samples =
       let a = Array.of_list samples in
       Array.sort compare a;
-      Printf.printf "  %-7s n=%-6d p50=%.3fms p99=%.3fms\n" kind (Array.length a)
-        (ms (percentile a 0.50)) (ms (percentile a 0.99))
+      Printf.printf "  %-7s n=%-6d p50=%.3fms p99=%.3fms p999=%.3fms\n" kind (Array.length a)
+        (ms (percentile a 0.50)) (ms (percentile a 0.99)) (ms (percentile a 0.999))
     in
     Printf.printf
       "bench-serve: clients=%d domains=%d group_commit=%b index=%b entries=%d\n" clients
@@ -2100,5 +2368,5 @@ let () =
             update_cmd;
             flwor_cmd;
             dataguide_cmd; labels_cmd; roundtrip_cmd; snapshot_cmd; recover_cmd; stats_cmd;
-            serve_cmd; client_cmd; bench_serve_cmd;
+            serve_cmd; client_cmd; top_cmd; bench_serve_cmd;
           ]))

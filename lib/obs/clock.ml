@@ -24,6 +24,8 @@ let rec now_ns () =
   else if Atomic.compare_and_set watermark seen t then t
   else now_ns ()
 
+let epoch_wall () = epoch
+
 let cpu_ns () = Int64.of_float (Sys.time () *. 1e9)
 
 let ns_to_ms ns = Int64.to_float ns /. 1e6

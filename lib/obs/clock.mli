@@ -24,6 +24,14 @@ val raw_ns : unit -> int64
 (** The unclamped wall-clock read {!now_ns} is built on.  May go
     backwards; exposed for tests and callers that want the raw source. *)
 
+val epoch_wall : unit -> float
+(** The process-local epoch {!now_ns} counts from, as Unix wall-clock
+    seconds.  Timestamps from two processes live on different epochs;
+    to merge them (the [xsm client --trace] client+server trace), shift
+    one side by the difference of the two epochs.  Exchanging the epoch
+    costs ~1 µs of [gettimeofday] float granularity — fine for trace
+    visualization, not a time-sync protocol. *)
+
 val cpu_ns : unit -> int64
 (** Process CPU nanoseconds ([Sys.time]-based), for attributing how
     much of a wall-clock interval was spent computing. *)

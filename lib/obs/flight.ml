@@ -1,0 +1,156 @@
+(* The always-on flight recorder: a bounded ring of per-request
+   digests, cheap enough to leave enabled in production (one record
+   allocation per request, no tracing required), plus a tail-based
+   keep policy — when ring pressure evicts a digest, errors and the
+   slowest requests survive into side buffers instead of vanishing,
+   because those are exactly the requests an operator asks about
+   after the fact. *)
+
+type outcome = Done | Failed of string
+
+type digest = {
+  seq : int;
+  at_ns : int64;
+  kind : string;
+  detail : string;
+  route : string;
+  est_lo : int;
+  est_hi : int;
+  actual_rows : int;
+  pager_hits : int;
+  pager_evictions : int;
+  fsync_ns : int64;
+  latency_ns : int64;
+  outcome : outcome;
+  session : int;
+  request : int;
+  trace_id : string;
+  plan : Json.t option;
+}
+
+type t = {
+  capacity : int;
+  ring : digest option array;
+  mutable pos : int;
+  mutable count : int;
+  mutable seq : int;
+  err_capacity : int;
+  errors : digest Queue.t;  (* oldest first, bounded FIFO *)
+  slow_capacity : int;
+  mutable slow : digest list;  (* ascending latency, length <= slow_capacity *)
+}
+
+let m_recorded =
+  Metrics.Counter.make ~help:"Request digests recorded by the flight recorder"
+    "flight.recorded"
+
+let m_evicted =
+  Metrics.Counter.make ~help:"Digests pushed out of the flight-recorder ring"
+    "flight.evicted"
+
+let m_kept_errors =
+  Metrics.Counter.make ~help:"Evicted error digests kept by the tail policy"
+    "flight.kept_errors"
+
+let m_kept_slow =
+  Metrics.Counter.make ~help:"Evicted slow digests kept by the tail policy"
+    "flight.kept_slow"
+
+let side_capacity capacity = max 4 (capacity / 4)
+
+let create ?(capacity = 256) () =
+  if capacity < 1 then invalid_arg "Flight.create: capacity must be positive";
+  {
+    capacity;
+    ring = Array.make capacity None;
+    pos = 0;
+    count = 0;
+    seq = 0;
+    err_capacity = side_capacity capacity;
+    errors = Queue.create ();
+    slow_capacity = side_capacity capacity;
+    slow = [];
+  }
+
+let keep_error t d =
+  Queue.push d t.errors;
+  if Queue.length t.errors > t.err_capacity then ignore (Queue.pop t.errors);
+  Metrics.Counter.incr m_kept_errors
+
+(* keep the K slowest evicted digests: insert in ascending latency
+   order, shed the fastest when full — the surviving set is the tail
+   of the evicted latency distribution *)
+let keep_slow t d =
+  let rec insert = function
+    | [] -> [ d ]
+    | x :: rest when Int64.compare x.latency_ns d.latency_ns <= 0 -> x :: insert rest
+    | rest -> d :: rest
+  in
+  let kept = insert t.slow in
+  let kept = if List.length kept > t.slow_capacity then List.tl kept else kept in
+  t.slow <- kept;
+  (* shedding [d] itself means it wasn't slow enough to keep *)
+  if List.memq d kept then Metrics.Counter.incr m_kept_slow
+
+let evict t d =
+  Metrics.Counter.incr m_evicted;
+  match d.outcome with Failed _ -> keep_error t d | Done -> keep_slow t d
+
+let record t d =
+  t.seq <- t.seq + 1;
+  let d : digest = { d with seq = t.seq } in
+  (match t.ring.(t.pos) with None -> () | Some old -> evict t old);
+  t.ring.(t.pos) <- Some d;
+  t.pos <- (t.pos + 1) mod t.capacity;
+  if t.count < t.capacity then t.count <- t.count + 1;
+  Metrics.Counter.incr m_recorded
+
+let recent t =
+  let out = ref [] in
+  for k = 0 to t.count - 1 do
+    (* oldest retained first: pos points at the oldest once full *)
+    let i = (t.pos - t.count + k + (2 * t.capacity)) mod t.capacity in
+    match t.ring.(i) with Some d -> out := d :: !out | None -> ()
+  done;
+  List.rev !out
+
+let kept_errors t = List.of_seq (Queue.to_seq t.errors)
+let kept_slow t = t.slow
+let recorded t = t.seq
+
+let outcome_json = function
+  | Done -> Json.Str "ok"
+  | Failed msg -> Json.Obj [ ("error", Json.Str msg) ]
+
+let digest_to_json (d : digest) =
+  Json.Obj
+    [
+      ("seq", Json.int d.seq);
+      ("at_ns", Json.Str (Int64.to_string d.at_ns));
+      ("kind", Json.Str d.kind);
+      ("detail", Json.Str d.detail);
+      ("route", Json.Str d.route);
+      ( "est_rows",
+        if d.est_lo < 0 then Json.Null
+        else Json.Arr [ Json.int d.est_lo; Json.int d.est_hi ] );
+      ("actual_rows", Json.int d.actual_rows);
+      ("pager_hits", Json.int d.pager_hits);
+      ("pager_evictions", Json.int d.pager_evictions);
+      ("fsync_ns", Json.int (Int64.to_int d.fsync_ns));
+      ("latency_ns", Json.int (Int64.to_int d.latency_ns));
+      ("outcome", outcome_json d.outcome);
+      ("session", Json.int d.session);
+      ("request", Json.int d.request);
+      ("trace_id", Json.Str d.trace_id);
+      ("plan", match d.plan with Some p -> p | None -> Json.Null);
+    ]
+
+let to_json t =
+  Json.Obj
+    [
+      ("capacity", Json.int t.capacity);
+      ("recorded", Json.int t.seq);
+      ("recent", Json.Arr (List.map digest_to_json (recent t)));
+      ("errors", Json.Arr (List.map digest_to_json (kept_errors t)));
+      ("slow", Json.Arr (List.map digest_to_json t.slow));
+    ]

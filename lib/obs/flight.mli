@@ -1,0 +1,65 @@
+(** The always-on flight recorder: a bounded ring of per-request
+    digests with a tail-based keep policy.
+
+    Unlike span tracing (opt-in, per-phase), the flight recorder is
+    cheap enough to run unconditionally in the daemon: one digest
+    record per request, no clock reads of its own, no export unless
+    asked (the [Introspect] protocol request / [xsm client --flight]).
+    The ring answers "what were the last N requests"; the keep policy
+    answers "what were the {e interesting} ones" — when ring pressure
+    evicts a digest, errors survive into a bounded FIFO and the
+    slowest requests into a bounded best-of set, so a burst of healthy
+    traffic cannot flush the evidence of the failure that preceded
+    it. *)
+
+type outcome = Done | Failed of string
+
+type digest = {
+  seq : int;  (** assigned by {!record}; monotone per recorder *)
+  at_ns : int64;  (** request start, process wall clock *)
+  kind : string;  (** ["query"], ["update"], ["validate"], … *)
+  detail : string;  (** request text or summary *)
+  route : string;  (** planner route ([""] when not a planned query) *)
+  est_lo : int;  (** estimated-rows interval; [est_lo < 0] = no estimate *)
+  est_hi : int;
+  actual_rows : int;
+  pager_hits : int;
+  pager_evictions : int;
+  fsync_ns : int64;  (** fsync wait attributed to this request (0 for reads) *)
+  latency_ns : int64;
+  outcome : outcome;
+  session : int;
+  request : int;
+  trace_id : string;  (** propagated trace id ([""] when none) *)
+  plan : Json.t option;  (** structured plan for slow/error requests *)
+}
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** Ring of [capacity] digests (default 256); the error and slow side
+    buffers each hold [max 4 (capacity / 4)].  Not thread-safe —
+    serialize access (the daemon records under its server mutex). *)
+
+val record : t -> digest -> unit
+(** Stamp [seq] and append; on ring overflow the evicted digest runs
+    the keep policy.  Bumps [flight.recorded] / [flight.evicted] /
+    [flight.kept_errors] / [flight.kept_slow]. *)
+
+val recent : t -> digest list
+(** Retained ring contents, oldest first. *)
+
+val kept_errors : t -> digest list
+(** Evicted failures that survived, oldest first. *)
+
+val kept_slow : t -> digest list
+(** Evicted slowest requests, ascending latency. *)
+
+val recorded : t -> int
+(** Total digests ever recorded (= last assigned [seq]). *)
+
+val digest_to_json : digest -> Json.t
+
+val to_json : t -> Json.t
+(** [{"capacity", "recorded", "recent": [...], "errors": [...],
+    "slow": [...]}] — the [Introspect] reply body. *)

@@ -185,6 +185,7 @@ let histogram_json h =
       ("p50", q 0.5);
       ("p90", q 0.9);
       ("p99", q 0.99);
+      ("p999", q 0.999);
       ( "buckets",
         Json.Arr
           (List.map
@@ -210,7 +211,33 @@ let to_json reg =
       ( "histograms",
         Json.Obj
           (pick (function name, H h -> Some (name, histogram_json h) | _ -> None)) );
+      (* help strings live in a parallel object so the counter/gauge
+         values above stay scalars (scripts index them directly) *)
+      ( "help",
+        Json.Obj
+          (pick (fun (name, m) ->
+             let help = match m with C c -> c.c_help | G g -> g.g_help | H h -> h.h_help in
+             Some (name, Json.Str help))) );
     ]
+
+let samples reg =
+  List.rev_map
+    (fun (name, m) ->
+      match m with
+      | C c -> Openmetrics.Counter { name; help = c.c_help; value = Counter.value c }
+      | G g -> Openmetrics.Gauge { name; help = g.g_help; value = g.g }
+      | H h ->
+        Openmetrics.Histogram
+          {
+            name;
+            help = h.h_help;
+            count = h.h_count;
+            sum = h.h_sum;
+            buckets = Histogram.buckets h;
+          })
+    reg.metrics
+
+let to_openmetrics reg = Openmetrics.render (samples reg)
 
 let pp ppf reg =
   let annotate help = if help = "" then "" else "  # " ^ help in
@@ -231,10 +258,39 @@ let pp ppf reg =
           Format.fprintf ppf "histogram %-32s (empty)%s@." h.h_name (annotate h.h_help)
         else
           Format.fprintf ppf
-            "histogram %-32s n=%d sum=%.0f min=%.0f p50=%.0f p90=%.0f p99=%.0f max=%.0f%s@."
+            "histogram %-32s n=%d sum=%.0f min=%.0f p50=%.0f p90=%.0f p99=%.0f p999=%.0f \
+             max=%.0f%s@."
             h.h_name h.h_count h.h_sum h.h_min
             (Histogram.quantile h 0.5)
             (Histogram.quantile h 0.9)
             (Histogram.quantile h 0.99)
+            (Histogram.quantile h 0.999)
             h.h_max (annotate h.h_help))
     (List.rev reg.metrics)
+
+(* ------------------------------------------------------------------ *)
+(* Process/runtime gauges.  Registered eagerly so every stats report
+   carries them; [Runtime.sample] refreshes the values — the daemon
+   calls it once per commit batch and on every Stats request, so the
+   cost (one [Gc.quick_stat]) never lands on the per-request path. *)
+
+module Runtime = struct
+  let g_heap_words =
+    Gauge.make ~help:"Major heap size in words (Gc.quick_stat)" "runtime.heap_words"
+
+  let g_major =
+    Gauge.make ~help:"Completed major GC cycles" "runtime.major_collections"
+
+  let g_minor =
+    Gauge.make ~help:"Completed minor GC cycles" "runtime.minor_collections"
+
+  let g_uptime =
+    Gauge.make ~help:"Seconds since process start (monotone wall clock)" "runtime.uptime_s"
+
+  let sample () =
+    let s = Gc.quick_stat () in
+    Gauge.set g_heap_words (float_of_int s.Gc.heap_words);
+    Gauge.set g_major (float_of_int s.Gc.major_collections);
+    Gauge.set g_minor (float_of_int s.Gc.minor_collections);
+    Gauge.set g_uptime (Int64.to_float (Clock.now_ns ()) /. 1e9)
+end

@@ -101,9 +101,31 @@ val reset : registry -> unit
 (** Zero every metric: counters (all cells), gauges, histograms. *)
 
 val to_json : registry -> Json.t
-(** The [xsm stats] report: an object with ["counters"], ["gauges"]
-    and ["histograms"] sub-objects; each histogram carries count, sum,
-    min, max, p50/p90/p99 and its non-empty buckets. *)
+(** The [xsm stats] report: an object with ["counters"], ["gauges"],
+    ["histograms"] and ["help"] sub-objects; each histogram carries
+    count, sum, min, max, p50/p90/p99/p999 and its non-empty buckets.
+    ["help"] maps every registered name to its help string (possibly
+    empty), kept parallel rather than inline so counter and gauge
+    values stay scalars for scripted consumers. *)
+
+val samples : registry -> Openmetrics.sample list
+(** The registry contents as renderer-agnostic samples, in
+    registration order — the bridge to {!Openmetrics.render}. *)
+
+val to_openmetrics : registry -> string
+(** OpenMetrics text exposition of the registry: dotted names
+    sanitized to the metric-name grammar, counters with [_total],
+    histograms with cumulative [le] buckets, terminated by [# EOF]. *)
 
 val pp : Format.formatter -> registry -> unit
 (** Human-readable dump (the [--metrics] flag). *)
+
+(** Process-wide runtime gauges ([runtime.heap_words],
+    [runtime.major_collections], [runtime.minor_collections],
+    [runtime.uptime_s]), registered in {!default} at load time.
+    Values are refreshed only by {!Runtime.sample} — the daemon calls
+    it per commit batch and per Stats request, keeping [Gc.quick_stat]
+    off the per-request path. *)
+module Runtime : sig
+  val sample : unit -> unit
+end

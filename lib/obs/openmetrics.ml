@@ -1,0 +1,100 @@
+(* OpenMetrics text exposition.  This module is deliberately free of
+   dependencies on the rest of [lib/obs]: it renders an abstract
+   [sample list], and {!Metrics.to_openmetrics} feeds it the registry
+   contents — so the registry can depend on the renderer without a
+   cycle, and the renderer is testable against hand-built samples. *)
+
+type sample =
+  | Counter of { name : string; help : string; value : int }
+  | Gauge of { name : string; help : string; value : float }
+  | Histogram of {
+      name : string;
+      help : string;
+      count : int;
+      sum : float;
+      buckets : (float * int) list;
+    }
+
+let name_start = function 'a' .. 'z' | 'A' .. 'Z' | '_' | ':' -> true | _ -> false
+let name_char = function 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> true | _ -> false
+
+let valid_name n =
+  n <> "" && name_start n.[0] && String.for_all name_char n
+
+(* The registry namespace uses dotted names ([wal.fsync_ns]); the
+   OpenMetrics grammar is [[a-zA-Z_:][a-zA-Z0-9_:]*].  Every invalid
+   character maps to [_]; a leading digit gains a [_] prefix.  The
+   mapping is not injective in general, so {!render} rejects
+   post-sanitization collisions rather than silently merging series. *)
+let sanitize n =
+  if n = "" then "_"
+  else begin
+    let b = Buffer.create (String.length n + 1) in
+    if not (name_start n.[0]) then Buffer.add_char b '_';
+    String.iter (fun c -> Buffer.add_char b (if name_char c then c else '_')) n;
+    Buffer.contents b
+  end
+
+(* Exact decimal rendering: bucket bounds are powers of two and sums
+   of integer nanoseconds, so [%g]'s 6 significant digits would both
+   collide adjacent [le] labels and corrupt totals.  Integral values
+   below 2^53 print as integers; the rest get 17 significant digits
+   (round-trip exact for doubles). *)
+let float_str v =
+  if Float.is_nan v then "NaN"
+  else if v = Float.infinity then "+Inf"
+  else if v = Float.neg_infinity then "-Inf"
+  else if Float.is_integer v && Float.abs v < 9.007199254740992e15 then
+    Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.17g" v
+
+let escape_help s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let render samples =
+  let b = Buffer.create 4096 in
+  let seen = Hashtbl.create 64 in
+  let meta name typ help =
+    if Hashtbl.mem seen name then
+      invalid_arg
+        (Printf.sprintf "Openmetrics.render: %S collides after sanitization" name);
+    Hashtbl.add seen name ();
+    if help <> "" then
+      Buffer.add_string b (Printf.sprintf "# HELP %s %s\n" name (escape_help help));
+    Buffer.add_string b (Printf.sprintf "# TYPE %s %s\n" name typ)
+  in
+  List.iter
+    (fun sample ->
+      match sample with
+      | Counter { name; help; value } ->
+        let name = sanitize name in
+        meta name "counter" help;
+        Buffer.add_string b (Printf.sprintf "%s_total %d\n" name value)
+      | Gauge { name; help; value } ->
+        let name = sanitize name in
+        meta name "gauge" help;
+        Buffer.add_string b (Printf.sprintf "%s %s\n" name (float_str value))
+      | Histogram { name; help; count; sum; buckets } ->
+        let name = sanitize name in
+        meta name "histogram" help;
+        let cum = ref 0 in
+        List.iter
+          (fun (ub, n) ->
+            cum := !cum + n;
+            Buffer.add_string b
+              (Printf.sprintf "%s_bucket{le=\"%s\"} %d\n" name (float_str ub) !cum))
+          buckets;
+        Buffer.add_string b (Printf.sprintf "%s_bucket{le=\"+Inf\"} %d\n" name count);
+        Buffer.add_string b (Printf.sprintf "%s_sum %s\n" name (float_str sum));
+        Buffer.add_string b (Printf.sprintf "%s_count %d\n" name count))
+    samples;
+  Buffer.add_string b "# EOF\n";
+  Buffer.contents b

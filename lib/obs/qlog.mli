@@ -1,0 +1,29 @@
+(** Structured slow-query log: JSON lines, append-only, flushed per
+    entry.
+
+    The daemon opens one at [--slow-log PATH] and appends every
+    request whose latency clears [--slow-threshold-ms], attaching the
+    request digest and its structured plan — so a slow query arrives
+    in the log with the route the planner chose and the estimate it
+    chose it on, not just a duration. *)
+
+type t
+
+val create : threshold_ns:int64 -> string -> (t, string) result
+(** Open (append, create) the log file. *)
+
+val threshold_ns : t -> int64
+
+val path : t -> string
+
+val slow : t -> latency_ns:int64 -> bool
+(** Whether a latency clears the threshold. *)
+
+val log : t -> Json.t -> unit
+(** Append one entry as a single line and flush; bumps
+    [qlog.written].  No-op after {!close}. *)
+
+val written : t -> int
+(** Entries appended since {!create}. *)
+
+val close : t -> unit

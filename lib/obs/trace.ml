@@ -25,6 +25,12 @@ let ring_pos = ref 0
 let ring_count = ref 0
 let dropped_count = ref 0
 
+(* ring overflow used to be silent; the counter makes eviction of
+   never-exported spans visible in [xsm stats] *)
+let m_dropped =
+  Metrics.Counter.make ~help:"Spans evicted from the trace ring before export"
+    "obs.trace.dropped"
+
 let reset () =
   ring_pos := 0;
   ring_count := 0;
@@ -49,7 +55,11 @@ let record ~id ~parent ~name ~start ~stop ~depth ~attrs =
   s.s_depth <- depth;
   s.s_attrs <- attrs;
   ring_pos := (!ring_pos + 1) mod Array.length !ring;
-  if !ring_count < Array.length !ring then incr ring_count else incr dropped_count
+  if !ring_count < Array.length !ring then incr ring_count
+  else begin
+    incr dropped_count;
+    Metrics.Counter.incr m_dropped
+  end
 
 let dropped () = !dropped_count
 
@@ -133,6 +143,15 @@ let record_span ?(attrs = []) name ~start_ns ~stop_ns =
     record ~id:!next_id ~parent:0 ~name ~start:start_ns ~stop:stop_ns ~depth:0 ~attrs
   end
 
+let record_linked ?(attrs = []) ?(depth = 0) name ~parent ~start_ns ~stop_ns =
+  if not !enabled then 0
+  else begin
+    incr next_id;
+    let id = !next_id in
+    record ~id ~parent ~name ~start:start_ns ~stop:stop_ns ~depth ~attrs;
+    id
+  end
+
 (* ------------------------------------------------------------------ *)
 (* Export                                                              *)
 
@@ -169,38 +188,119 @@ let events () =
       match Int64.compare a.start_ns b.start_ns with 0 -> compare a.id b.id | c -> c)
     (List.rev !out)
 
-let to_chrome () =
-  let event_json e =
-    let args =
-      List.rev_map (fun (k, v) -> (k, Json.Str v)) e.attrs
-      @ [ ("span_id", Json.int e.id); ("parent_id", Json.int e.parent) ]
-    in
-    Json.Obj
-      [
-        ("name", Json.Str e.name);
-        ("cat", Json.Str "xsm");
-        ("ph", Json.Str "X");
-        ("ts", Json.Num (Int64.to_float e.start_ns /. 1e3));
-        ("dur", Json.Num (Int64.to_float e.dur_ns /. 1e3));
-        ("pid", Json.int 1);
-        ("tid", Json.int 1);
-        ("args", Json.Obj args);
-      ]
+(* int64 timestamps cross the wire as decimal strings: [Json.Num] is a
+   double, and while nanoseconds-since-process-start fit in 2^53 for
+   ~104 days, an exact codec costs nothing *)
+let event_to_json e =
+  Json.Obj
+    [
+      ("id", Json.int e.id);
+      ("parent", Json.int e.parent);
+      ("name", Json.Str e.name);
+      ("start_ns", Json.Str (Int64.to_string e.start_ns));
+      ("dur_ns", Json.Str (Int64.to_string e.dur_ns));
+      ("depth", Json.int e.depth);
+      ( "attrs",
+        Json.Obj (List.rev_map (fun (k, v) -> (k, Json.Str v)) e.attrs) );
+    ]
+
+let event_of_json j =
+  let ( let* ) = Result.bind in
+  let int_field k =
+    match Json.member k j with
+    | Some (Json.Num f) when Float.is_integer f -> Ok (int_of_float f)
+    | _ -> Error (Printf.sprintf "trace event: expected integer %S" k)
+  in
+  let str_field k =
+    match Json.member k j with
+    | Some (Json.Str s) -> Ok s
+    | _ -> Error (Printf.sprintf "trace event: expected string %S" k)
+  in
+  let ns_field k =
+    let* s = str_field k in
+    match Int64.of_string_opt s with
+    | Some v -> Ok v
+    | None -> Error (Printf.sprintf "trace event: %S is not a nanosecond count" k)
+  in
+  let* id = int_field "id" in
+  let* parent = int_field "parent" in
+  let* name = str_field "name" in
+  let* start_ns = ns_field "start_ns" in
+  let* dur_ns = ns_field "dur_ns" in
+  let* depth = int_field "depth" in
+  let* attrs =
+    match Json.member "attrs" j with
+    | Some (Json.Obj kvs) ->
+      let rec conv acc = function
+        | [] -> Ok (List.rev acc)
+        | (k, Json.Str v) :: rest -> conv ((k, v) :: acc) rest
+        | (k, _) :: _ -> Error (Printf.sprintf "trace event: attr %S is not a string" k)
+      in
+      conv [] kvs
+    | Some Json.Null | None -> Ok []
+    | Some _ -> Error "trace event: \"attrs\" is not an object"
+  in
+  Ok { id; parent; name; start_ns; dur_ns; depth; attrs }
+
+let chrome_event ~pid e =
+  let args =
+    List.rev_map (fun (k, v) -> (k, Json.Str v)) e.attrs
+    @ [ ("span_id", Json.int e.id); ("parent_id", Json.int e.parent) ]
   in
   Json.Obj
     [
-      ("traceEvents", Json.Arr (List.map event_json (events ())));
+      ("name", Json.Str e.name);
+      ("cat", Json.Str "xsm");
+      ("ph", Json.Str "X");
+      ("ts", Json.Num (Int64.to_float e.start_ns /. 1e3));
+      ("dur", Json.Num (Int64.to_float e.dur_ns /. 1e3));
+      ("pid", Json.int pid);
+      ("tid", Json.int 1);
+      ("args", Json.Obj args);
+    ]
+
+let to_chrome () =
+  Json.Obj
+    [
+      ("traceEvents", Json.Arr (List.map (chrome_event ~pid:1) (events ())));
       ("displayTimeUnit", Json.Str "ms");
     ]
 
-let write_chrome path =
+let to_chrome_groups groups =
+  (* one Chrome "process" per event group: a metadata event names it,
+     then the group's spans carry its pid — how a client renders its
+     own spans next to the daemon's on one shared timeline *)
+  let meta (pid, pname, _) =
+    Json.Obj
+      [
+        ("name", Json.Str "process_name");
+        ("ph", Json.Str "M");
+        ("pid", Json.int pid);
+        ("tid", Json.int 1);
+        ("args", Json.Obj [ ("name", Json.Str pname) ]);
+      ]
+  in
+  let spans =
+    List.concat_map (fun (pid, _, es) -> List.map (chrome_event ~pid) es) groups
+  in
+  Json.Obj
+    [
+      ("traceEvents", Json.Arr (List.map meta groups @ spans));
+      ("displayTimeUnit", Json.Str "ms");
+    ]
+
+let write_chrome_json path json =
   try
     let oc = open_out_bin path in
     Fun.protect
       ~finally:(fun () -> close_out_noerr oc)
-      (fun () -> output_string oc (Json.to_string (to_chrome ())));
+      (fun () -> output_string oc (Json.to_string json));
     Ok ()
   with Sys_error e -> Error ("trace: " ^ e)
+
+let write_chrome path = write_chrome_json path (to_chrome ())
+
+let write_chrome_groups path groups = write_chrome_json path (to_chrome_groups groups)
 
 let pp_tree ppf () =
   let pp_dur ppf ns =

@@ -51,6 +51,21 @@ val record_span :
     an instantaneous span, never a negative one.  Not itself
     thread-safe — concurrent recorders must serialize calls. *)
 
+val record_linked :
+  ?attrs:(string * string) list ->
+  ?depth:int ->
+  string ->
+  parent:int ->
+  start_ns:int64 ->
+  stop_ns:int64 ->
+  int
+(** {!record_span} with an explicit parent id, returning the new
+    span's id so further children can link to it — how the server
+    builds a request's span tree (request → latch/plan/fsync phases)
+    from intervals measured across threads.  Returns [0] without
+    recording when tracing is disabled.  [parent:0] means root.  Same
+    thread-safety caveat as {!record_span}. *)
+
 val add_attr : string -> string -> unit
 (** Attach a key/value attribute to the innermost open span (no-op
     when tracing is off or no span is open). *)
@@ -70,15 +85,40 @@ val events : unit -> event list
     span forest, since spans nest properly). *)
 
 val dropped : unit -> int
-(** Spans evicted from the ring since the last {!reset}. *)
+(** Spans evicted from the ring since the last {!reset}.  Evictions
+    also bump the cumulative [obs.trace.dropped] counter (which
+    {!reset} does {e not} zero), so silent overflow shows up in
+    [xsm stats]. *)
+
+val event_to_json : event -> Json.t
+(** Wire codec for one span: integer fields as JSON numbers, the two
+    int64 nanosecond fields as decimal strings (exact), attrs as a
+    string-valued object.  Inverse of {!event_of_json}. *)
+
+val event_of_json : Json.t -> (event, string) result
 
 val to_chrome : unit -> Json.t
 (** The retained spans as a Chrome trace: [{"traceEvents": [...]}],
     one phase-["X"] (complete) event per span, [ts]/[dur] in
     microseconds, non-decreasing [ts] per thread. *)
 
+val to_chrome_groups : (int * string * event list) list -> Json.t
+(** A Chrome trace over several span sets, each [(pid, process name,
+    events)] group rendered as its own Chrome process (a metadata
+    event carries the name).  Timestamps must already be on one
+    timeline: {!Clock.now_ns} counts from a process-local epoch, so
+    events from another process need rebasing by the epoch difference
+    ({!Clock.epoch_wall}, which the daemon ships in its
+    [Introspect (Trace_events _)] reply).  Callers must also ensure
+    span ids don't collide across groups (offset one side) and rewrite
+    wire-parent links before merging. *)
+
 val write_chrome : string -> (unit, string) result
 (** Serialize {!to_chrome} to a file. *)
+
+val write_chrome_groups :
+  string -> (int * string * event list) list -> (unit, string) result
+(** Serialize {!to_chrome_groups} to a file. *)
 
 val pp_tree : Format.formatter -> unit -> unit
 (** Indented rendering of the retained spans with durations and

@@ -55,25 +55,30 @@ let call t make decode =
     | Some result -> result
     | None -> Error "client: unexpected response kind")
 
-let query t path =
+let query ?trace t path =
   call t
-    (fun id -> P.Query { id; path })
+    (fun id -> P.Query { id; path; trace })
     (function P.Nodes { epoch; values; _ } -> Some (Ok (epoch, values)) | _ -> None)
 
-let update t command =
+let update ?trace t command =
   call t
-    (fun id -> P.Update { id; command })
+    (fun id -> P.Update { id; command; trace })
     (function P.Applied { epoch; _ } -> Some (Ok epoch) | _ -> None)
 
-let validate t doc =
+let validate ?trace t doc =
   call t
-    (fun id -> P.Validate { id; doc })
+    (fun id -> P.Validate { id; doc; trace })
     (function P.Validity { valid; errors; _ } -> Some (Ok (valid, errors)) | _ -> None)
 
-let stats t =
+let stats ?(openmetrics = false) t =
   call t
-    (fun id -> P.Stats { id })
+    (fun id -> P.Stats { id; openmetrics })
     (function P.Stats_reply { body; _ } -> Some (Ok body) | _ -> None)
+
+let introspect t what =
+  call t
+    (fun id -> P.Introspect { id; what })
+    (function P.Introspect_reply { body; _ } -> Some (Ok body) | _ -> None)
 
 let shutdown t =
   call t

@@ -15,18 +15,27 @@ val connect : ?client:string -> string -> (t, string) result
 val session : t -> int
 (** The session id the server assigned in [Welcome]. *)
 
-val query : t -> string -> (int * string list, string) result
+val query :
+  ?trace:Protocol.trace_ctx -> t -> string -> (int * string list, string) result
 (** Evaluate an XPath; returns the snapshot epoch and the result
-    nodes' string values. *)
+    nodes' string values.  [trace] propagates the caller's trace
+    context so the server parents its spans under it. *)
 
-val update : t -> string -> (int, string) result
+val update : ?trace:Protocol.trace_ctx -> t -> string -> (int, string) result
 (** Apply one update-script command; returns the post-batch epoch once
     the write is durably committed. *)
 
-val validate : t -> string -> (bool * string list, string) result
+val validate :
+  ?trace:Protocol.trace_ctx -> t -> string -> (bool * string list, string) result
 (** Validate a document text against the server's schema. *)
 
-val stats : t -> (Xsm_obs.Json.t, string) result
+val stats : ?openmetrics:bool -> t -> (Xsm_obs.Json.t, string) result
+(** The server's stats body; with [openmetrics] the reply is
+    [{"openmetrics": "<text exposition>"}] instead of the JSON report. *)
+
+val introspect : t -> Protocol.introspect_what -> (Xsm_obs.Json.t, string) result
+(** Fetch the flight recorder's digests, or the server-side spans of
+    one propagated trace. *)
 
 val shutdown : t -> (unit, string) result
 (** Ask the server to stop gracefully (snapshot + exit). *)

@@ -1,13 +1,21 @@
 module Json = Xsm_obs.Json
 
-let version = 1
+(* v2 added trace-context propagation, [Introspect] and the
+   OpenMetrics stats flag; the handshake rejects mismatched peers, so
+   client and server upgrade together *)
+let version = 2
+
+type trace_ctx = { trace_id : string; parent_span : int }
+
+type introspect_what = Flight | Trace_events of string
 
 type request =
   | Hello of { client : string }
-  | Query of { id : int; path : string }
-  | Update of { id : int; command : string }
-  | Validate of { id : int; doc : string }
-  | Stats of { id : int }
+  | Query of { id : int; path : string; trace : trace_ctx option }
+  | Update of { id : int; command : string; trace : trace_ctx option }
+  | Validate of { id : int; doc : string; trace : trace_ctx option }
+  | Stats of { id : int; openmetrics : bool }
+  | Introspect of { id : int; what : introspect_what }
   | Shutdown of { id : int }
   | Bye
 
@@ -17,13 +25,23 @@ type response =
   | Applied of { id : int; epoch : int }
   | Validity of { id : int; valid : bool; errors : string list }
   | Stats_reply of { id : int; body : Xsm_obs.Json.t }
+  | Introspect_reply of { id : int; body : Xsm_obs.Json.t }
   | Stopping of { id : int }
   | Failed of { id : int; message : string }
 
 let request_id = function
   | Hello _ | Bye -> None
-  | Query { id; _ } | Update { id; _ } | Validate { id; _ } | Stats { id } | Shutdown { id } ->
+  | Query { id; _ }
+  | Update { id; _ }
+  | Validate { id; _ }
+  | Stats { id; _ }
+  | Introspect { id; _ }
+  | Shutdown { id } ->
     Some id
+
+let request_trace = function
+  | Query { trace; _ } | Update { trace; _ } | Validate { trace; _ } -> trace
+  | Hello _ | Stats _ | Introspect _ | Shutdown _ | Bye -> None
 
 (* ------------------------------------------------------------------ *)
 (* Decoding helpers: missing/mistyped fields are protocol errors with
@@ -61,18 +79,53 @@ let str_list_field name j =
 
 let ( let* ) = Result.bind
 
+(* The traceparent-style context rides as an optional sub-object so
+   untraced requests pay no extra bytes. *)
+let trace_fields = function
+  | None -> []
+  | Some { trace_id; parent_span } ->
+    [
+      ( "trace",
+        Json.Obj [ ("id", Json.Str trace_id); ("parent", Json.int parent_span) ] );
+    ]
+
+let trace_of_json j =
+  match Json.member "trace" j with
+  | None | Some Json.Null -> Ok None
+  | Some t ->
+    let* trace_id = str_field "id" t in
+    let* parent_span = int_field "parent" t in
+    Ok (Some { trace_id; parent_span })
+
 (* ------------------------------------------------------------------ *)
 (* Requests                                                            *)
 
 let request_to_json = function
   | Hello { client } -> Json.Obj [ ("op", Json.Str "hello"); ("client", Json.Str client) ]
-  | Query { id; path } ->
-    Json.Obj [ ("op", Json.Str "query"); ("id", Json.int id); ("path", Json.Str path) ]
-  | Update { id; command } ->
-    Json.Obj [ ("op", Json.Str "update"); ("id", Json.int id); ("command", Json.Str command) ]
-  | Validate { id; doc } ->
-    Json.Obj [ ("op", Json.Str "validate"); ("id", Json.int id); ("doc", Json.Str doc) ]
-  | Stats { id } -> Json.Obj [ ("op", Json.Str "stats"); ("id", Json.int id) ]
+  | Query { id; path; trace } ->
+    Json.Obj
+      ([ ("op", Json.Str "query"); ("id", Json.int id); ("path", Json.Str path) ]
+      @ trace_fields trace)
+  | Update { id; command; trace } ->
+    Json.Obj
+      ([ ("op", Json.Str "update"); ("id", Json.int id); ("command", Json.Str command) ]
+      @ trace_fields trace)
+  | Validate { id; doc; trace } ->
+    Json.Obj
+      ([ ("op", Json.Str "validate"); ("id", Json.int id); ("doc", Json.Str doc) ]
+      @ trace_fields trace)
+  | Stats { id; openmetrics } ->
+    Json.Obj
+      ([ ("op", Json.Str "stats"); ("id", Json.int id) ]
+      @ if openmetrics then [ ("openmetrics", Json.Bool true) ] else [])
+  | Introspect { id; what } ->
+    Json.Obj
+      ([ ("op", Json.Str "introspect"); ("id", Json.int id) ]
+      @
+      match what with
+      | Flight -> [ ("what", Json.Str "flight") ]
+      | Trace_events trace_id ->
+        [ ("what", Json.Str "trace"); ("trace_id", Json.Str trace_id) ])
   | Shutdown { id } -> Json.Obj [ ("op", Json.Str "shutdown"); ("id", Json.int id) ]
   | Bye -> Json.Obj [ ("op", Json.Str "bye") ]
 
@@ -85,18 +138,38 @@ let request_of_json j =
   | "query" ->
     let* id = int_field "id" j in
     let* path = str_field "path" j in
-    Ok (Query { id; path })
+    let* trace = trace_of_json j in
+    Ok (Query { id; path; trace })
   | "update" ->
     let* id = int_field "id" j in
     let* command = str_field "command" j in
-    Ok (Update { id; command })
+    let* trace = trace_of_json j in
+    Ok (Update { id; command; trace })
   | "validate" ->
     let* id = int_field "id" j in
     let* doc = str_field "doc" j in
-    Ok (Validate { id; doc })
+    let* trace = trace_of_json j in
+    Ok (Validate { id; doc; trace })
   | "stats" ->
     let* id = int_field "id" j in
-    Ok (Stats { id })
+    let* openmetrics =
+      match Json.member "openmetrics" j with
+      | None -> Ok false
+      | Some _ -> bool_field "openmetrics" j
+    in
+    Ok (Stats { id; openmetrics })
+  | "introspect" ->
+    let* id = int_field "id" j in
+    let* what = str_field "what" j in
+    let* what =
+      match what with
+      | "flight" -> Ok Flight
+      | "trace" ->
+        let* trace_id = str_field "trace_id" j in
+        Ok (Trace_events trace_id)
+      | other -> Error (Printf.sprintf "protocol: unknown introspect target %S" other)
+    in
+    Ok (Introspect { id; what })
   | "shutdown" ->
     let* id = int_field "id" j in
     Ok (Shutdown { id })
@@ -130,6 +203,8 @@ let response_to_json = function
       ]
   | Stats_reply { id; body } ->
     Json.Obj [ ("re", Json.Str "stats"); ("id", Json.int id); ("body", body) ]
+  | Introspect_reply { id; body } ->
+    Json.Obj [ ("re", Json.Str "introspect"); ("id", Json.int id); ("body", body) ]
   | Stopping { id } -> Json.Obj [ ("re", Json.Str "stopping"); ("id", Json.int id) ]
   | Failed { id; message } ->
     Json.Obj [ ("re", Json.Str "failed"); ("id", Json.int id); ("message", Json.Str message) ]
@@ -159,6 +234,10 @@ let response_of_json j =
     let* id = int_field "id" j in
     let body = Option.value ~default:Json.Null (Json.member "body" j) in
     Ok (Stats_reply { id; body })
+  | "introspect" ->
+    let* id = int_field "id" j in
+    let body = Option.value ~default:Json.Null (Json.member "body" j) in
+    Ok (Introspect_reply { id; body })
   | "stopping" ->
     let* id = int_field "id" j in
     Ok (Stopping { id })

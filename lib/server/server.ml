@@ -10,12 +10,17 @@ module Bs = Xsm_storage.Block_storage
 module Pager = Xsm_pager.Pager
 module Page_file = Xsm_pager.Page_file
 module Pl = Xsm_xpath.Planner.Over_store
+module Planner = Xsm_xpath.Planner
+module Plan = Xsm_xpath.Plan
 module Json = Xsm_obs.Json
 module Metrics = Xsm_obs.Metrics
 module Counter = Metrics.Counter
+module Gauge = Metrics.Gauge
 module Histogram = Metrics.Histogram
 module Trace = Xsm_obs.Trace
 module Clock = Xsm_obs.Clock
+module Flight = Xsm_obs.Flight
+module Qlog = Xsm_obs.Qlog
 module P = Protocol
 
 let m_sessions = Counter.make ~help:"sessions accepted" "server.sessions"
@@ -26,6 +31,17 @@ let m_failures = Counter.make ~help:"requests answered with an error" "server.fa
 let h_query_ns = Histogram.make ~help:"query latency (ns, server side)" "server.query_ns"
 let h_update_ns = Histogram.make ~help:"update latency (ns, server side)" "server.update_ns"
 
+let g_inflight =
+  Gauge.make ~help:"query/update/validate requests currently executing" "server.inflight"
+
+(* the pager registers these on module load (xsm_pager initializes
+   before this library); get-or-create returns the same handles, so a
+   request can snapshot process-wide pager activity around itself *)
+let m_pager_hits = Counter.make "pager.hits"
+let m_pager_evictions = Counter.make "pager.evictions"
+
+let pager_counts () = (Counter.value m_pager_hits, Counter.value m_pager_evictions)
+
 type config = {
   socket_path : string;
   snapshot_path : string option;
@@ -35,6 +51,9 @@ type config = {
   use_index : bool;
   page_file : string option;
   pool_capacity : int;
+  flight_capacity : int;
+  slow_log : string option;
+  slow_threshold_ms : float;
 }
 
 type t = {
@@ -55,8 +74,19 @@ type t = {
   mutable mirror : Mirror.t option;
   page_file : Page_file.t option;
   commit : (string, (unit, string) result) Commit.t;
+  (* observability: the always-on digest ring, the slow-query log, the
+     last planner digest (written by eval under [m], consumed by the
+     same request before releasing it), the latest batch-fsync
+     interval (written by the commit leader, read by acked updates) *)
+  flight : Flight.t;
+  qlog : Qlog.t option;
+  slow_ns : int64;
+  last_digest : Planner.digest option ref;
+  mutable last_fsync : int64 * int64;
+  mutable inflight : int;
   (* the server mutex: metrics registry and trace ring (not
-     thread-safe), planner evaluation, session registry *)
+     thread-safe), planner evaluation, flight recorder, session
+     registry *)
   m : Mutex.t;
   mutable next_session : int;
   mutable session_fds : (int * Unix.file_descr) list;
@@ -175,8 +205,17 @@ let run_batch srv lines =
         rs)
   in
   (* the group fsync happens outside the latch: readers proceed while
-     the batch hits the disk, followers are only released after it *)
-  (match srv.wal with Some w -> Wal.Writer.sync w | None -> ());
+     the batch hits the disk, followers are only released after it.
+     The interval is kept so acked updates can attribute their fsync
+     wait (flight digests, propagated trace spans). *)
+  (match srv.wal with
+  | Some w ->
+    let s0 = Clock.now_ns () in
+    Wal.Writer.sync w;
+    srv.last_fsync <- (s0, Clock.now_ns ())
+  | None -> ());
+  (* GC/runtime gauges ride the batch boundary, off the request path *)
+  Metrics.Runtime.sample ();
   results
 
 (* ------------------------------------------------------------------ *)
@@ -186,46 +225,170 @@ let locked srv f =
   Mutex.lock srv.m;
   Fun.protect ~finally:(fun () -> Mutex.unlock srv.m) f
 
-let record_request srv ~session ~id ~name ~counter ~hist start_ns =
+(* Entry bookkeeping for digest-carrying requests: the inflight gauge
+   plus the process-wide pager counters this request will diff
+   against.  Exact on the serialized planner path, best-effort under
+   concurrent pool readers. *)
+let begin_request srv =
+  locked srv (fun () ->
+      srv.inflight <- srv.inflight + 1;
+      Gauge.set g_inflight (float_of_int srv.inflight));
+  (Clock.now_ns (), pager_counts ())
+
+let truncate_detail s =
+  if String.length s <= 160 then s else String.sub s 0 157 ^ "..."
+
+(* One exit point for query/update/validate requests — success,
+   failure and exception alike: metrics, the request's span tree
+   (root + phases, carrying the propagated trace context), the flight
+   digest, and the slow-query log. *)
+let finish_request srv ~session ~id ~kind ~detail ~counter ~hist ~trace ~phases ~rows
+    ~fsync_ns ~outcome ~pager0 t0 =
+  let stop_ns = Clock.now_ns () in
+  let latency_ns =
+    let d = Int64.sub stop_ns t0 in
+    if Int64.compare d 0L < 0 then 0L else d
+  in
+  let hits1, ev1 = pager_counts () in
+  locked srv (fun () ->
+      Counter.incr m_requests;
+      if counter != m_requests then Counter.incr counter;
+      (match hist with
+      | Some h -> Histogram.observe h (Int64.to_float latency_ns)
+      | None -> ());
+      srv.inflight <- srv.inflight - 1;
+      Gauge.set g_inflight (float_of_int srv.inflight);
+      (* span tree: the request root adopts the wire trace context as
+         attributes; phases hang off the root.  [Introspect
+         (Trace_events id)] filters the ring on the "trace" attr. *)
+      let trace_attrs =
+        match trace with
+        | None -> []
+        | Some { P.trace_id; parent_span } ->
+          [ ("trace", trace_id); ("wire_parent", string_of_int parent_span) ]
+      in
+      let root =
+        Trace.record_linked ("serve." ^ kind) ~parent:0 ~start_ns:t0 ~stop_ns
+          ~attrs:
+            ([ ("session", string_of_int session); ("id", string_of_int id) ]
+            @ trace_attrs)
+      in
+      if root <> 0 then
+        List.iter
+          (fun (pname, p0, p1) ->
+            ignore
+              (Trace.record_linked pname ~parent:root ~depth:1 ~start_ns:p0 ~stop_ns:p1
+                 ~attrs:trace_attrs))
+          phases;
+      (* flight digest: planner evaluations left their digest in
+         [last_digest] (same request, same mutex); estimates are
+         interval arithmetic, never a re-evaluation *)
+      let dg = !(srv.last_digest) in
+      srv.last_digest := None;
+      let route, est_lo, est_hi, plan_thunk =
+        match dg with
+        | None -> ("", -1, -1, fun () -> None)
+        | Some d ->
+          let lo, hi =
+            match d.Planner.dg_estimate () with
+            | Some e -> (
+              ( e.Plan.e_rows.Plan.lo,
+                match e.Plan.e_rows.Plan.hi with Some h -> h | None -> -1 ))
+            | None -> (-1, -1)
+          in
+          (d.Planner.dg_route, lo, hi, fun () -> Some (Planner.digest_json d))
+      in
+      let slow = Int64.compare latency_ns srv.slow_ns >= 0 in
+      let failed = match outcome with Flight.Failed _ -> true | Flight.Done -> false in
+      let digest : Flight.digest =
+        {
+          seq = 0;
+          at_ns = t0;
+          kind;
+          detail = truncate_detail detail;
+          route;
+          est_lo;
+          est_hi;
+          actual_rows = rows;
+          pager_hits = max 0 (hits1 - fst pager0);
+          pager_evictions = max 0 (ev1 - snd pager0);
+          fsync_ns;
+          latency_ns;
+          outcome;
+          session;
+          request = id;
+          trace_id = (match trace with Some t -> t.P.trace_id | None -> "");
+          (* the plan is only materialized for the digests someone
+             will read: slow requests and failures *)
+          plan = (if slow || failed then plan_thunk () else None);
+        }
+      in
+      Flight.record srv.flight digest;
+      match srv.qlog with
+      | Some q when slow -> Qlog.log q (Flight.digest_to_json digest)
+      | _ -> ())
+
+(* Stats/Introspect bookkeeping: counted, no digest — introspection
+   watching itself would drown the signal it reports. *)
+let record_request srv ~session ~id ~name t0 =
   let stop_ns = Clock.now_ns () in
   locked srv (fun () ->
       Counter.incr m_requests;
-      Counter.incr counter;
-      (match hist with
-      | Some h -> Histogram.observe h (Int64.to_float (Int64.sub stop_ns start_ns))
-      | None -> ());
-      Trace.record_span name ~start_ns ~stop_ns
+      Trace.record_span name ~start_ns:t0 ~stop_ns
         ~attrs:[ ("session", string_of_int session); ("id", string_of_int id) ])
 
 let run_query srv path =
-  match srv.planner with
-  | Some planner ->
-    (* planner indexes are mutable (journal drain, memoized results):
-       serialized under the server mutex, still snapshot-consistent
-       under the shared latch *)
-    locked srv (fun () ->
-        Epoch.read srv.epoch (fun epoch ->
-            match Pl.eval_string planner path with
-            | Ok nodes -> Ok (epoch, List.map (Store.string_value srv.store) nodes)
-            | Error e -> Error e))
-  | None ->
-    (* the parallel path: evaluation on a pool domain under the shared
-       latch — an immutable snapshot view.  With a paged mirror the
-       query navigates the descriptor representation, faulting blocks
-       through the shared buffer pool; otherwise it runs on the XDM
-       store directly *)
-    Pool.run srv.pool (fun () ->
-        Epoch.read srv.epoch (fun epoch ->
-            match srv.mirror with
-            | Some m -> (
-              let bs = Mirror.storage m in
-              match Seval.eval_string bs (Bs.root bs) path with
-              | Ok descs -> Ok (epoch, List.map (Bs.string_value bs) descs)
-              | Error e -> Error e)
-            | None -> (
-              match Eval.eval_string srv.store srv.root path with
-              | Ok nodes -> Ok (epoch, List.map (Store.string_value srv.store) nodes)
-              | Error e -> Error e)))
+  let phases = ref [] in
+  let phase name p0 p1 = phases := (name, p0, p1) :: !phases in
+  let result =
+    match srv.planner with
+    | Some planner ->
+      (* planner indexes are mutable (journal drain, memoized results):
+         serialized under the server mutex, still snapshot-consistent
+         under the shared latch *)
+      let t_lock = Clock.now_ns () in
+      locked srv (fun () ->
+          let t_latch = Clock.now_ns () in
+          phase "serve.lock" t_lock t_latch;
+          Epoch.read srv.epoch (fun epoch ->
+              let t_plan = Clock.now_ns () in
+              phase "serve.latch" t_latch t_plan;
+              let r =
+                match Pl.eval_string planner path with
+                | Ok nodes -> Ok (epoch, List.map (Store.string_value srv.store) nodes)
+                | Error e -> Error e
+              in
+              phase "serve.plan" t_plan (Clock.now_ns ());
+              r))
+    | None ->
+      (* the parallel path: evaluation on a pool domain under the shared
+         latch — an immutable snapshot view.  With a paged mirror the
+         query navigates the descriptor representation, faulting blocks
+         through the shared buffer pool; otherwise it runs on the XDM
+         store directly *)
+      let t_pool = Clock.now_ns () in
+      Pool.run srv.pool (fun () ->
+          let t_latch = Clock.now_ns () in
+          phase "serve.pool" t_pool t_latch;
+          Epoch.read srv.epoch (fun epoch ->
+              let t_eval = Clock.now_ns () in
+              phase "serve.latch" t_latch t_eval;
+              let r =
+                match srv.mirror with
+                | Some m -> (
+                  let bs = Mirror.storage m in
+                  match Seval.eval_string bs (Bs.root bs) path with
+                  | Ok descs -> Ok (epoch, List.map (Bs.string_value bs) descs)
+                  | Error e -> Error e)
+                | None -> (
+                  match Eval.eval_string srv.store srv.root path with
+                  | Ok nodes -> Ok (epoch, List.map (Store.string_value srv.store) nodes)
+                  | Error e -> Error e)
+              in
+              phase "serve.eval" t_eval (Clock.now_ns ());
+              r))
+  in
+  (result, List.rev !phases)
 
 let run_validate srv doc_text =
   match Xsm_xml.Parser.parse_document doc_text with
@@ -242,37 +405,61 @@ let run_validate srv doc_text =
       | Ok _ -> (true, [])
       | Error errors -> (false, List.map Xsm_schema.Validator.error_to_string errors)))
 
-let stats_body srv =
+let stats_body srv ~openmetrics =
   locked srv (fun () ->
-      let c = Commit.stats srv.commit in
-      let pager_field =
-        match srv.mirror with
-        | Some m -> (
-          match Bs.pager (Mirror.storage m) with
-          | Some p -> [ ("pager", Pager.stats_json (Pager.stats p)) ]
-          | None -> [])
-        | None -> []
-      in
-      Json.Obj
-        ([
-          ( "server",
-            Json.Obj
-              [
-                ("epoch", Json.int (Epoch.current srv.epoch));
-                ("domains", Json.int (Pool.size srv.pool));
-                ("sessions", Json.int (List.length srv.session_fds));
-                ("group_commit", Json.Bool srv.config.group_commit);
-                ( "commit",
-                  Json.Obj
-                    [
-                      ("submissions", Json.int c.Commit.submissions);
-                      ("batches", Json.int c.Commit.batches);
-                      ("max_batch", Json.int c.Commit.max_batch);
-                    ] );
-              ] );
-          ("metrics", Metrics.to_json Metrics.default);
-        ]
-        @ pager_field))
+      Metrics.Runtime.sample ();
+      if openmetrics then
+        Json.Obj [ ("openmetrics", Json.Str (Metrics.to_openmetrics Metrics.default)) ]
+      else
+        let c = Commit.stats srv.commit in
+        let pager_field =
+          match srv.mirror with
+          | Some m -> (
+            match Bs.pager (Mirror.storage m) with
+            | Some p -> [ ("pager", Pager.stats_json (Pager.stats p)) ]
+            | None -> [])
+          | None -> []
+        in
+        Json.Obj
+          ([
+            ( "server",
+              Json.Obj
+                [
+                  ("epoch", Json.int (Epoch.current srv.epoch));
+                  ("domains", Json.int (Pool.size srv.pool));
+                  ("sessions", Json.int (List.length srv.session_fds));
+                  ("group_commit", Json.Bool srv.config.group_commit);
+                  ( "commit",
+                    Json.Obj
+                      [
+                        ("submissions", Json.int c.Commit.submissions);
+                        ("batches", Json.int c.Commit.batches);
+                        ("max_batch", Json.int c.Commit.max_batch);
+                      ] );
+                ] );
+            ("metrics", Metrics.to_json Metrics.default);
+          ]
+          @ pager_field))
+
+let introspect_body srv what =
+  locked srv (fun () ->
+      match what with
+      | P.Flight -> Flight.to_json srv.flight
+      | P.Trace_events trace_id ->
+        let events =
+          List.filter
+            (fun (e : Trace.event) ->
+              List.assoc_opt "trace" e.attrs = Some trace_id)
+            (Trace.events ())
+        in
+        Json.Obj
+          [
+            ("trace_id", Json.Str trace_id);
+            (* event timestamps count from this process's clock epoch;
+               the client needs it to rebase them onto its own *)
+            ("clock_epoch_s", Json.Num (Clock.epoch_wall ()));
+            ("events", Json.Arr (List.map Trace.event_to_json events));
+          ])
 
 let fail srv ~id message =
   locked srv (fun () -> Counter.incr m_failures);
@@ -287,34 +474,66 @@ let handle srv ~session req =
   match req with
   | P.Hello _ -> (Some (P.Welcome { session; version = P.version }), `Continue)
   | P.Bye -> (None, `Close)
-  | P.Query { id; path } -> (
-    let t0 = Clock.now_ns () in
+  | P.Query { id; path; trace } -> (
+    let t0, pager0 = begin_request srv in
+    let finish = finish_request srv ~session ~id ~kind:"query" ~detail:path
+        ~counter:m_queries ~hist:(Some h_query_ns) ~trace ~fsync_ns:0L ~pager0 t0
+    in
     match run_query srv path with
-    | Ok (epoch, values) ->
-      record_request srv ~session ~id ~name:"serve.query" ~counter:m_queries
-        ~hist:(Some h_query_ns) t0;
+    | Ok (epoch, values), phases ->
+      finish ~phases ~rows:(List.length values) ~outcome:Flight.Done;
       (Some (P.Nodes { id; epoch; values }), `Continue)
-    | Error e -> (Some (fail srv ~id e), `Continue)
-    | exception e -> (Some (fail srv ~id (Printexc.to_string e)), `Continue))
-  | P.Update { id; command } -> (
-    let t0 = Clock.now_ns () in
+    | Error e, phases ->
+      finish ~phases ~rows:0 ~outcome:(Flight.Failed e);
+      (Some (fail srv ~id e), `Continue)
+    | exception e ->
+      let msg = Printexc.to_string e in
+      finish ~phases:[] ~rows:0 ~outcome:(Flight.Failed msg);
+      (Some (fail srv ~id msg), `Continue))
+  | P.Update { id; command; trace } -> (
+    let t0, pager0 = begin_request srv in
+    let finish = finish_request srv ~session ~id ~kind:"update" ~detail:command
+        ~counter:m_updates ~hist:(Some h_update_ns) ~trace ~pager0 t0
+    in
     match Commit.submit srv.commit command with
     | Ok () ->
-      record_request srv ~session ~id ~name:"serve.update" ~counter:m_updates
-        ~hist:(Some h_update_ns) t0;
+      let t1 = Clock.now_ns () in
+      let f0, f1 = srv.last_fsync in
+      (* the leader set [last_fsync] before releasing this follower;
+         an interval predating the request belongs to an earlier
+         batch (no WAL, or a raced overwrite) and is not ours *)
+      let phases, fsync_ns =
+        if Option.is_some srv.wal && Int64.compare f0 t0 >= 0 then
+          ( [ ("serve.commit", t0, t1); ("serve.wal.fsync", f0, f1) ],
+            Int64.sub f1 f0 )
+        else ([ ("serve.commit", t0, t1) ], 0L)
+      in
+      finish ~fsync_ns ~phases ~rows:0 ~outcome:Flight.Done;
       (Some (P.Applied { id; epoch = Epoch.current srv.epoch }), `Continue)
-    | Error e -> (Some (fail srv ~id e), `Continue)
-    | exception e -> (Some (fail srv ~id (Printexc.to_string e)), `Continue))
-  | P.Validate { id; doc } ->
-    let t0 = Clock.now_ns () in
+    | Error e ->
+      finish ~fsync_ns:0L ~phases:[] ~rows:0 ~outcome:(Flight.Failed e);
+      (Some (fail srv ~id e), `Continue)
+    | exception e ->
+      let msg = Printexc.to_string e in
+      finish ~fsync_ns:0L ~phases:[] ~rows:0 ~outcome:(Flight.Failed msg);
+      (Some (fail srv ~id msg), `Continue))
+  | P.Validate { id; doc; trace } ->
+    let t0, pager0 = begin_request srv in
     let valid, errors = run_validate srv doc in
-    record_request srv ~session ~id ~name:"serve.validate" ~counter:m_requests ~hist:None t0;
+    finish_request srv ~session ~id ~kind:"validate" ~detail:doc ~counter:m_requests
+      ~hist:None ~trace ~phases:[] ~rows:(List.length errors) ~fsync_ns:0L
+      ~outcome:(if valid then Flight.Done else Flight.Failed "invalid") ~pager0 t0;
     (Some (P.Validity { id; valid; errors }), `Continue)
-  | P.Stats { id } ->
+  | P.Stats { id; openmetrics } ->
     let t0 = Clock.now_ns () in
-    let body = stats_body srv in
-    record_request srv ~session ~id ~name:"serve.stats" ~counter:m_requests ~hist:None t0;
+    let body = stats_body srv ~openmetrics in
+    record_request srv ~session ~id ~name:"serve.stats" t0;
     (Some (P.Stats_reply { id; body }), `Continue)
+  | P.Introspect { id; what } ->
+    let t0 = Clock.now_ns () in
+    let body = introspect_body srv what in
+    record_request srv ~session ~id ~name:"serve.introspect" t0;
+    (Some (P.Introspect_reply { id; body }), `Continue)
   | P.Shutdown { id } -> (Some (P.Stopping { id }), `Stop)
 
 let trigger_stop srv =
@@ -361,11 +580,24 @@ let create config ~store ~root ?labels ?schema () =
         Result.map Option.some
           (Result.map_error Wal.error_message (Wal.Writer.create ~sync_every path))
     in
+    let* qlog =
+      match config.slow_log with
+      | None -> Ok None
+      | Some path ->
+        Result.map Option.some
+          (Qlog.create
+             ~threshold_ns:(Int64.of_float (config.slow_threshold_ms *. 1e6))
+             path)
+    in
     let journal = Journal.create () in
+    let last_digest = ref None in
     let planner =
       if config.use_index then begin
         let p = Pl.create store root in
         Xsm_xpath.Planner.attach_journal p journal;
+        (* every evaluation leaves its digest for the request that ran
+           it — same thread, same server mutex *)
+        Pl.set_digest_sink p (Some (fun d -> last_digest := Some d));
         Some p
       end
       else None
@@ -400,6 +632,10 @@ let create config ~store ~root ?labels ?schema () =
     let run lines =
       match !srv_cell with Some srv -> run_batch srv lines | None -> assert false
     in
+    (* the daemon's trace ring is always live: bounded memory, <2%
+       enabled-span overhead (E15), and [Introspect (Trace_events _)]
+       must be able to answer for any propagated request *)
+    Xsm_obs.Obs.enable ();
     let srv =
       {
         config;
@@ -418,6 +654,12 @@ let create config ~store ~root ?labels ?schema () =
         (* without group commit each request commits alone: its own
            latch acquisition, its own fsync — the E17 baseline *)
         commit = Commit.create ~limit:(if config.group_commit then max_int else 1) ~run ();
+        flight = Flight.create ~capacity:config.flight_capacity ();
+        qlog;
+        slow_ns = Int64.of_float (config.slow_threshold_ms *. 1e6);
+        last_digest;
+        last_fsync = (0L, 0L);
+        inflight = 0;
         m = Mutex.create ();
         next_session = 0;
         session_fds = [];
@@ -432,6 +674,8 @@ let create config ~store ~root ?labels ?schema () =
 let request_stop = trigger_stop
 
 let sessions_served srv = locked srv (fun () -> srv.next_session)
+
+let flight srv = srv.flight
 
 let serve ?(on_ready = fun () -> ()) srv =
   (* a peer that vanishes mid-reply must surface as an EPIPE on that
@@ -503,6 +747,7 @@ let serve ?(on_ready = fun () -> ()) srv =
     | Some pf -> ( try Page_file.close pf with _ -> ())
     | None -> ());
     (match srv.wal with Some w -> Wal.Writer.close w | None -> ());
+    (match srv.qlog with Some q -> Qlog.close q | None -> ());
     let snap_result =
       match srv.config.snapshot_path with
       | None -> Ok ()

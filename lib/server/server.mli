@@ -21,10 +21,21 @@
     and removes the WAL it subsumes — a checkpoint — so
     [xsm recover SNAPSHOT] round-trips the final state.
 
-    {b Telemetry.}  Every request records an {!Xsm_obs.Trace} span
-    ([serve.query], [serve.update], …) tagged with session and request
-    ids, and counts into [server.*] metrics; [Stats] requests report
-    the registry plus live server state. *)
+    {b Telemetry.}  Tracing is always on in the daemon (bounded ring).
+    Every request records an {!Xsm_obs.Trace} span ([serve.query],
+    [serve.update], …) tagged with session and request ids — plus the
+    propagated trace id when the client sent a
+    {!Protocol.trace_ctx} — with phase children underneath (lock wait,
+    latch wait, plan/eval, commit, WAL fsync).  Every
+    query/update/validate also leaves a digest in the always-on
+    {!Xsm_obs.Flight} recorder (route, estimated vs actual rows, pager
+    hit/eviction deltas, fsync and total latency, outcome); requests
+    over [slow_threshold_ms] — and failures — keep their plan attached
+    and, when [slow_log] is set, append a JSON line to the slow-query
+    log.  [Stats] requests report the registry plus live server state,
+    or the OpenMetrics text exposition; [Introspect] serves the flight
+    recorder and per-trace server spans.  GC/runtime gauges are
+    sampled at every commit-batch boundary. *)
 
 type config = {
   socket_path : string;  (** Unix domain socket to bind *)
@@ -41,6 +52,11 @@ type config = {
           blocks through the pool from all read domains.  Checkpointed
           at graceful shutdown. *)
   pool_capacity : int;  (** buffer-pool capacity in blocks, >= 2 *)
+  flight_capacity : int;  (** flight-recorder ring size (digests) *)
+  slow_log : string option;  (** append slow-request JSON lines here *)
+  slow_threshold_ms : float;
+      (** a request at least this slow keeps its plan in the flight
+          digest and goes to [slow_log] *)
 }
 
 type t
@@ -71,3 +87,7 @@ val request_stop : t -> unit
 
 val sessions_served : t -> int
 (** Sessions accepted so far (for tests). *)
+
+val flight : t -> Xsm_obs.Flight.t
+(** The server's flight recorder (for tests and in-process embedding;
+    sessions reach it through [Introspect]). *)

@@ -30,6 +30,40 @@ type policy = Rule | Cost
    chosen strategy, the indexed route's price, the residual price. *)
 type decision = { d_pred : string; d_chosen : string; d_indexed : float; d_residual : float }
 
+(* What one evaluation looked like, pushed to the digest sink (the
+   daemon's flight recorder) as [eval] returns.  The estimate is a
+   thunk: interval arithmetic over the provider is cheap but not free,
+   and most digests are never inspected — only a consumer that keeps
+   the digest (slow/error tail, explicit introspection) forces it.
+   Unlike [explain_json], forcing it never re-evaluates the query. *)
+type digest = {
+  dg_query : string;
+  dg_route : string;  (* "pruned" | "index" | "fallback" *)
+  dg_reason : string;  (* prune or fallback reason; "" for index *)
+  dg_actual : int;
+  dg_estimate : unit -> Plan.estimate option;
+}
+
+let digest_json d =
+  let module J = Xsm_obs.Json in
+  let est =
+    match d.dg_estimate () with
+    | None -> []
+    | Some e ->
+      [
+        ("est", Plan.est_to_json e.Plan.e_rows);
+        ("est_rows", J.Num e.Plan.e_rows.Plan.expect);
+        ("in_interval", J.Bool (Plan.contains e.Plan.e_rows d.dg_actual));
+        ( "abs_error",
+          J.Num (Float.abs (e.Plan.e_rows.Plan.expect -. float_of_int d.dg_actual)) );
+      ]
+  in
+  J.Obj
+    ([ ("query", J.Str d.dg_query); ("route", J.Str d.dg_route) ]
+    @ (if d.dg_reason = "" then [] else [ ("reason", J.Str d.dg_reason) ])
+    @ [ ("actual_rows", J.int d.dg_actual) ]
+    @ est)
+
 module Make (N : Navigator.S) = struct
   module PI = Xsm_index.Path_index.Make (N)
   module E = Eval.Make (N)
@@ -79,6 +113,9 @@ module Make (N : Navigator.S) = struct
     mutable rewriter : (path -> path) option;
         (* static simplifier (Query_static.fold): drops predicates
            proven to hold on every schema-valid instance *)
+    mutable digest_sink : (digest -> unit) option;
+        (* per-evaluation digest consumer (the daemon's flight
+           recorder); None keeps eval free of digest work *)
   }
 
   let create backend root =
@@ -100,6 +137,7 @@ module Make (N : Navigator.S) = struct
       vi_drop_hist = Hashtbl.create 16;
       decisions = [];
       rewriter = None;
+      digest_sink = None;
     }
 
   let set_pruner t f = t.pruner <- Some f
@@ -773,18 +811,41 @@ module Make (N : Navigator.S) = struct
     end
     else `Indexed None
 
+  let set_digest_sink t sink = t.digest_sink <- sink
+
+  let emit_digest t ~route ~reason ~query p' nodes =
+    match t.digest_sink with
+    | None -> ()
+    | Some sink ->
+      sink
+        {
+          dg_query = Lazy.force query;
+          dg_route = route;
+          dg_reason = reason;
+          dg_actual = List.length nodes;
+          dg_estimate =
+            (fun () ->
+              match estimate t p' with e -> Some e | exception _ -> None);
+        }
+
   let eval t ?context p =
+    let query = lazy (Path_ast.to_string p) in
     let p = rewrite t ?context p in
     match prune_reason t ?context p with
-    | Some _ ->
+    | Some reason ->
       (* provably empty: answer without touching indexes or extents *)
       Counter.cell_incr t.pruned;
+      emit_digest t ~route:"pruned" ~reason ~query p [];
       []
     | None -> (
       let fallback reason =
         Counter.incr m_fallbacks;
-        Trace.with_span ~attrs:[ ("reason", reason) ] "plan.fallback" (fun () ->
-            E.eval t.backend (Option.value context ~default:t.root) p)
+        let nodes =
+          Trace.with_span ~attrs:[ ("reason", reason) ] "plan.fallback" (fun () ->
+              E.eval t.backend (Option.value context ~default:t.root) p)
+        in
+        emit_digest t ~route:"fallback" ~reason ~query p nodes;
+        nodes
       in
       match choose_route t p with
       | `Eval (reason, _) -> fallback reason
@@ -792,6 +853,7 @@ module Make (N : Navigator.S) = struct
         match Trace.with_span "plan.index" (fun () -> try_indexed t p) with
         | Ok nodes ->
           Counter.incr m_index_hits;
+          emit_digest t ~route:"index" ~reason:"" ~query p nodes;
           nodes
         | Error reason -> fallback reason))
 

@@ -43,6 +43,27 @@ type maintenance_stats = {
   vi_drops : int;  (** value indexes dropped for lazy rebuild *)
 }
 
+type digest = {
+  dg_query : string;  (** the query as given (before static rewrite) *)
+  dg_route : string;  (** ["pruned"], ["index"] or ["fallback"] *)
+  dg_reason : string;  (** prune/fallback reason; [""] for index *)
+  dg_actual : int;  (** result cardinality *)
+  dg_estimate : unit -> Plan.estimate option;
+      (** lazy interval estimate over the provider; forcing it does
+          {e not} re-evaluate the query (unlike [explain_json]), so a
+          digest consumer can attach estimate-vs-actual to kept
+          digests only.  [None] when the path is outside the
+          estimator's fragment. *)
+}
+(** What one evaluation looked like — pushed to the digest sink as
+    {!Make.eval} returns, so a daemon can feed its flight recorder and
+    slow-query log without a second evaluation. *)
+
+val digest_json : digest -> Xsm_obs.Json.t
+(** Compact plan JSON for a kept digest: query, route, reason, actual
+    rows, and (when the estimator supports the path) the estimated
+    interval with containment flag and absolute error. *)
+
 type policy =
   | Rule  (** always probe a value index, always semi-join *)
   | Cost
@@ -130,6 +151,13 @@ module Make (N : Navigator.S) : sig
 
   val estimate : t -> Path_ast.path -> Plan.estimate
   (** [Plan.estimate] over {!provider}. *)
+
+  val set_digest_sink : t -> (digest -> unit) option -> unit
+  (** Install (or clear) the per-evaluation digest consumer.  The sink
+      runs synchronously at the end of every {!eval} — pruned,
+      indexed, or fallback — on the evaluating thread; it must be
+      cheap and must not call back into the planner (force
+      [dg_estimate] instead). *)
 
   val explain_json : t -> Path_ast.path -> Xsm_obs.Json.t
   (** Structured explain: route ([index] / [fallback] / [pruned]),

@@ -159,7 +159,7 @@ let quantile_law =
          let reg = Metrics.create () in
          let h = Histogram.make ~registry:reg "law.lat" in
          List.iter (Histogram.observe h) values;
-         let qs = [ 0.0; 0.1; 0.25; 0.5; 0.75; 0.9; 0.99; 1.0 ] in
+         let qs = [ 0.0; 0.1; 0.25; 0.5; 0.75; 0.9; 0.99; 0.999; 1.0 ] in
          let results = List.map (Histogram.quantile h) qs in
          let lo = Histogram.min_value h and hi = Histogram.max_value h in
          let bounded = List.for_all (fun v -> v >= lo && v <= hi) results in
@@ -215,6 +215,266 @@ let json_escaping_round_trip () =
   match Json.parse (Json.to_string j) with
   | Ok j' -> check Alcotest.bool "round-trips structurally" true (j = j')
   | Error e -> Alcotest.failf "parse failed: %s" e
+
+let json_unicode_escapes () =
+  (* \uXXXX decodes to UTF-8 across the one/two/three-byte ranges *)
+  List.iter
+    (fun (input, expected) ->
+      match Json.parse input with
+      | Ok (Json.Str s) -> check_str input expected s
+      | Ok _ -> Alcotest.failf "%s: not a string" input
+      | Error e -> Alcotest.failf "%s: %s" input e)
+    [
+      ({|"A"|}, "A");
+      ({|"é"|}, "\xc3\xa9");
+      ({|"€"|}, "\xe2\x82\xac");
+      ({|"aAb"|}, "aAb");
+    ];
+  (* malformed escapes are errors, not crashes *)
+  List.iter
+    (fun input ->
+      match Json.parse input with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "%s: must be refused" input)
+    [ {|"\u00"|}; {|"\uzzzz"|}; {|"\q"|}; {|"\|} ]
+
+let json_deep_nesting () =
+  let depth = 400 in
+  let text = String.make depth '[' ^ "1" ^ String.make depth ']' in
+  (match Json.parse text with
+  | Ok j ->
+    let rec unwrap d = function
+      | Json.Arr [ inner ] -> unwrap (d + 1) inner
+      | Json.Num 1.0 -> check_int "nesting depth preserved" depth d
+      | _ -> Alcotest.fail "unexpected shape"
+    in
+    unwrap 0 j
+  | Error e -> Alcotest.failf "deep nesting: %s" e);
+  let objs =
+    String.concat "" (List.init depth (fun _ -> {|{"k":|}))
+    ^ "null" ^ String.make depth '}'
+  in
+  match Json.parse objs with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "deep objects: %s" e
+
+let contains ~needle hay =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
+
+let json_truncated_inputs () =
+  (* every truncation is an error, and errors that carry a position
+     point into the input *)
+  List.iter
+    (fun (input, fragment) ->
+      match Json.parse input with
+      | Ok _ -> Alcotest.failf "%S: truncated input must be refused" input
+      | Error e ->
+        check Alcotest.bool
+          (Printf.sprintf "%S: error %S mentions %S" input e fragment)
+          true (contains ~needle:fragment e))
+    [
+      ({|"abc|}, "unterminated string");
+      ({|[1, 2|}, "at 5: expected , or ] in array");
+      ({|{"a": 1|}, "at 7: expected , or } in object");
+      ({|{"a"|}, "expected :");
+      ("", "end of input");
+      ({|[1 2]|}, "at 3");
+      ({|{"a": 1 "b": 2}|}, "at 8");
+      ("[1, 2] tail", "trailing garbage at 7");
+    ]
+
+(* ---------------- flight recorder ---------------- *)
+
+module Flight = Xsm_obs.Flight
+
+let digest ?(latency_ns = 1_000L) ?(outcome = Flight.Done) ?(kind = "query") n : Flight.digest
+    =
+  {
+    seq = 0;
+    at_ns = Int64.of_int n;
+    kind;
+    detail = Printf.sprintf "//q%d" n;
+    route = "index";
+    est_lo = 1;
+    est_hi = 4;
+    actual_rows = 2;
+    pager_hits = 0;
+    pager_evictions = 0;
+    fsync_ns = 0L;
+    latency_ns;
+    outcome;
+    session = 0;
+    request = n;
+    trace_id = "";
+    plan = None;
+  }
+
+let flight_ring_keeps_recent () =
+  let f = Flight.create ~capacity:4 () in
+  for i = 1 to 6 do
+    Flight.record f (digest i)
+  done;
+  check_int "recorded counts every digest" 6 (Flight.recorded f);
+  let recent = List.map (fun (d : Flight.digest) -> d.request) (Flight.recent f) in
+  check Alcotest.(list int) "ring holds the newest, oldest first" [ 3; 4; 5; 6 ] recent;
+  let seqs = List.map (fun (d : Flight.digest) -> d.seq) (Flight.recent f) in
+  check Alcotest.(list int) "sequence numbers stamped in order" [ 3; 4; 5; 6 ] seqs
+
+let flight_tail_policy () =
+  let f = Flight.create ~capacity:4 () in
+  (* fill the ring with an error and a notably slow request, then
+     flood it: eviction must not lose them *)
+  Flight.record f (digest ~outcome:(Flight.Failed "boom") 1);
+  Flight.record f (digest ~latency_ns:9_999_999L 2);
+  for i = 3 to 12 do
+    Flight.record f (digest ~latency_ns:(Int64.of_int (10 * i)) i)
+  done;
+  (match Flight.kept_errors f with
+  | [ d ] ->
+    check_int "the error digest survived" 1 d.request;
+    (match d.outcome with
+    | Flight.Failed m -> check_str "message kept" "boom" m
+    | Flight.Done -> Alcotest.fail "kept error lost its outcome")
+  | ds -> Alcotest.failf "expected one kept error, got %d" (List.length ds));
+  let slow = List.map (fun (d : Flight.digest) -> d.request) (Flight.kept_slow f) in
+  check Alcotest.bool "the slowest evicted digest survived" true (List.mem 2 slow);
+  (* the kept-slow list is the tail: ascending latency, bounded *)
+  let lats = List.map (fun (d : Flight.digest) -> d.latency_ns) (Flight.kept_slow f) in
+  let rec ascending = function
+    | a :: (b :: _ as rest) -> Int64.compare a b <= 0 && ascending rest
+    | _ -> true
+  in
+  check Alcotest.bool "kept-slow ascending by latency" true (ascending lats);
+  check Alcotest.bool "kept-slow bounded" true (List.length slow <= 4)
+
+let flight_json_shape () =
+  let f = Flight.create ~capacity:4 () in
+  Flight.record f (digest 1);
+  Flight.record f (digest ~outcome:(Flight.Failed "nope") 2);
+  let j = Flight.to_json f in
+  (match Json.member "recent" j with
+  | Some (Json.Arr ds) -> check_int "both digests listed" 2 (List.length ds)
+  | _ -> Alcotest.fail "no recent array");
+  let d = Flight.digest_to_json (digest 1) in
+  (match Json.member "est_rows" d with
+  | Some (Json.Arr [ Json.Num lo; Json.Num hi ]) ->
+    check_int "est lo" 1 (int_of_float lo);
+    check_int "est hi" 4 (int_of_float hi)
+  | _ -> Alcotest.fail "est_rows must be [lo, hi]");
+  (match Json.member "outcome" d with
+  | Some (Json.Str "ok") -> ()
+  | _ -> Alcotest.fail "ok outcome renders as \"ok\"");
+  let d' : Flight.digest = { (digest 3) with est_lo = -1; est_hi = -1 } in
+  match Json.member "est_rows" (Flight.digest_to_json d') with
+  | Some Json.Null -> ()
+  | _ -> Alcotest.fail "missing estimate renders as null"
+
+(* ---------------- OpenMetrics exposition ---------------- *)
+
+module Om = Xsm_obs.Openmetrics
+
+let openmetrics_names () =
+  check Alcotest.bool "plain name valid" true (Om.valid_name "wal_fsync_ns");
+  check Alcotest.bool "colon allowed" true (Om.valid_name "ns:metric");
+  check Alcotest.bool "dot invalid" false (Om.valid_name "wal.fsync_ns");
+  check Alcotest.bool "leading digit invalid" false (Om.valid_name "2fast");
+  check Alcotest.bool "empty invalid" false (Om.valid_name "");
+  check_str "dots become underscores" "wal_fsync_ns" (Om.sanitize "wal.fsync_ns");
+  check_str "leading digit prefixed" "_2fast" (Om.sanitize "2fast");
+  check Alcotest.bool "sanitize output always valid" true
+    (List.for_all
+       (fun s -> Om.valid_name (Om.sanitize s))
+       [ "a.b.c"; "9"; "-"; "pager.writeback_ns"; "\xc3\xa9" ])
+
+let openmetrics_render_grammar () =
+  let text =
+    Om.render
+      [
+        Om.Counter { name = "server.requests"; help = "requests \"served\"\n"; value = 7 };
+        Om.Gauge { name = "runtime.heap_words"; help = "heap"; value = 123456.0 };
+        Om.Histogram
+          {
+            name = "wal.fsync_ns";
+            help = "fsync latency";
+            count = 3;
+            sum = 42.5;
+            buckets = [ (1.0, 1); (2.0, 0); (8.0, 2) ];
+          };
+      ]
+  in
+  let lines = String.split_on_char '\n' text in
+  let lines = List.filter (fun l -> l <> "") lines in
+  check_str "terminated by # EOF" "# EOF" (List.nth lines (List.length lines - 1));
+  (* every non-comment line is <valid-name>[{labels}] <value> *)
+  List.iter
+    (fun line ->
+      if String.length line > 0 && line.[0] <> '#' then begin
+        let name_end =
+          match (String.index_opt line ' ', String.index_opt line '{') with
+          | Some s, Some b -> min s b
+          | Some s, None -> s
+          | _ -> Alcotest.failf "sample line without a value: %s" line
+        in
+        check Alcotest.bool
+          (Printf.sprintf "series name valid in %S" line)
+          true
+          (Om.valid_name (String.sub line 0 name_end))
+      end)
+    lines;
+  (* counters expose under the _total suffix *)
+  check Alcotest.bool "counter _total series" true
+    (contains ~needle:"\nserver_requests_total 7" text);
+  check Alcotest.bool "counter TYPE line" true
+    (contains ~needle:"# TYPE server_requests counter" text);
+  (* help strings stay on one line: the newline is escaped (quotes
+     pass through — only label values quote-escape in OpenMetrics) *)
+  check Alcotest.bool "help escaped" true
+    (contains ~needle:"requests \"served\"\\n" text);
+  (* histogram buckets are cumulative and end at +Inf = count *)
+  check Alcotest.bool "bucket le=1" true
+    (contains ~needle:{|wal_fsync_ns_bucket{le="1"} 1|} text);
+  check Alcotest.bool "bucket le=2 cumulative" true
+    (contains ~needle:{|wal_fsync_ns_bucket{le="2"} 1|} text);
+  check Alcotest.bool "bucket le=8 cumulative" true
+    (contains ~needle:{|wal_fsync_ns_bucket{le="8"} 3|} text);
+  check Alcotest.bool "+Inf bucket equals count" true
+    (contains ~needle:{|wal_fsync_ns_bucket{le="+Inf"} 3|} text);
+  check Alcotest.bool "sum series" true (contains ~needle:"wal_fsync_ns_sum 42.5" text);
+  check Alcotest.bool "count series" true (contains ~needle:"wal_fsync_ns_count 3" text)
+
+let openmetrics_collision_refused () =
+  match
+    Om.render
+      [
+        Om.Counter { name = "a.b"; help = ""; value = 1 };
+        Om.Counter { name = "a_b"; help = ""; value = 2 };
+      ]
+  with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "colliding sanitized names must be refused"
+
+let openmetrics_registry_scrape () =
+  (* the real registry renders, parses as the grammar, and carries
+     every registered metric exactly once *)
+  let reg = Metrics.create () in
+  let c = Counter.make ~registry:reg ~help:"ops" "om.ops" in
+  let h = Histogram.make ~registry:reg ~help:"lat" "om.lat_ns" in
+  Counter.incr c;
+  Histogram.observe h 3.0;
+  let text = Metrics.to_openmetrics reg in
+  check Alcotest.bool "ops family present" true
+    (contains ~needle:"# TYPE om_ops counter" text);
+  check Alcotest.bool "histogram family present" true
+    (contains ~needle:"# TYPE om_lat_ns histogram" text);
+  let count_type_lines =
+    List.length
+      (List.filter
+         (fun l -> has_prefix "# TYPE om_ops " l)
+         (String.split_on_char '\n' text))
+  in
+  check_int "each family typed exactly once" 1 count_type_lines
 
 (* ---------------- counters and cells ---------------- *)
 
@@ -404,6 +664,21 @@ let suite =
         quantile_law;
         Alcotest.test_case "chrome trace round-trip" `Quick chrome_round_trip;
         Alcotest.test_case "json escaping round-trip" `Quick json_escaping_round_trip;
+        Alcotest.test_case "json unicode escapes" `Quick json_unicode_escapes;
+        Alcotest.test_case "json deep nesting" `Quick json_deep_nesting;
+        Alcotest.test_case "json truncated inputs carry positions" `Quick
+          json_truncated_inputs;
+        Alcotest.test_case "flight ring keeps the newest" `Quick flight_ring_keeps_recent;
+        Alcotest.test_case "flight tail policy keeps errors and slowest" `Quick
+          flight_tail_policy;
+        Alcotest.test_case "flight digest json shape" `Quick flight_json_shape;
+        Alcotest.test_case "openmetrics name grammar" `Quick openmetrics_names;
+        Alcotest.test_case "openmetrics exposition grammar" `Quick
+          openmetrics_render_grammar;
+        Alcotest.test_case "openmetrics collision refused" `Quick
+          openmetrics_collision_refused;
+        Alcotest.test_case "openmetrics registry scrape" `Quick
+          openmetrics_registry_scrape;
         Alcotest.test_case "counter cells sum into the registry" `Quick
           counter_cells_sum;
         Alcotest.test_case "planner counters match explain" `Quick

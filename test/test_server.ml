@@ -72,10 +72,21 @@ let test_protocol_roundtrip () =
   List.iter roundtrip_request
     [
       P.Hello { client = "test" };
-      P.Query { id = 3; path = "//book/title" };
-      P.Update { id = 4; command = "insert /library <x/>" };
-      P.Validate { id = 5; doc = "<a/>" };
-      P.Stats { id = 6 };
+      P.Query { id = 3; path = "//book/title"; trace = None };
+      P.Query
+        { id = 3; path = "//book"; trace = Some { trace_id = "cafe01"; parent_span = 7 } };
+      P.Update { id = 4; command = "insert /library <x/>"; trace = None };
+      P.Update
+        {
+          id = 4;
+          command = "delete //x";
+          trace = Some { trace_id = "beef"; parent_span = 1 };
+        };
+      P.Validate { id = 5; doc = "<a/>"; trace = None };
+      P.Stats { id = 6; openmetrics = false };
+      P.Stats { id = 6; openmetrics = true };
+      P.Introspect { id = 9; what = P.Flight };
+      P.Introspect { id = 10; what = P.Trace_events "cafe01" };
       P.Shutdown { id = 7 };
       P.Bye;
     ];
@@ -86,6 +97,7 @@ let test_protocol_roundtrip () =
       P.Applied { id = 4; epoch = 18 };
       P.Validity { id = 5; valid = false; errors = [ "boom" ] };
       P.Stats_reply { id = 6; body = Json.Obj [ ("x", Json.int 1) ] };
+      P.Introspect_reply { id = 9; body = Json.Obj [ ("recent", Json.Arr []) ] };
       P.Stopping { id = 7 };
       P.Failed { id = 8; message = "no" };
     ]
@@ -222,12 +234,13 @@ let boot_library () =
   (store, root)
 
 let with_server ?(domains = 2) ?(group_commit = true) ?snapshot_path ?wal_path ?page_file
-    ?(pool_capacity = 64) f =
+    ?(pool_capacity = 64) ?(use_index = false) ?(flight_capacity = 64) ?slow_log
+    ?(slow_threshold_ms = 10.0) f =
   let store, root = boot_library () in
   let socket_path = temp_name ".sock" in
   let config =
-    { Server.socket_path; snapshot_path; wal_path; domains; group_commit; use_index = false;
-      page_file; pool_capacity }
+    { Server.socket_path; snapshot_path; wal_path; domains; group_commit; use_index;
+      page_file; pool_capacity; flight_capacity; slow_log; slow_threshold_ms }
   in
   let srv =
     match Server.create config ~store ~root () with
@@ -385,6 +398,9 @@ let test_server_protocol_shutdown () =
       use_index = false;
       page_file = None;
       pool_capacity = 64;
+      flight_capacity = 64;
+      slow_log = None;
+      slow_threshold_ms = 10.0;
     }
   in
   let srv = match Server.create config ~store ~root () with Ok s -> s | Error e -> Alcotest.fail e in
@@ -445,6 +461,134 @@ let test_server_paged_mirror () =
         "<?xml version=\"1.0\"?>\n<library><book><title>One</title></book></library>" s;
       Xsm_pager.Page_file.close pf)
 
+(* the flight recorder end to end: with a 0ms slow threshold every
+   request keeps its plan, failures keep their digests, and the slow
+   log gains one parseable JSON line per request *)
+let test_server_flight_recorder () =
+  let slow_log = temp_name ".slow" in
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists slow_log then Sys.remove slow_log)
+    (fun () ->
+      with_server ~use_index:true ~slow_log ~slow_threshold_ms:0.0 (fun sock _srv ->
+          let c = ok (Client.connect sock) in
+          let _, titles = ok (Client.query c "//title") in
+          Alcotest.(check (list string)) "query answered" [ "One" ] titles;
+          (match Client.update c "delete //nothing" with
+          | Error _ -> ()
+          | Ok _ -> Alcotest.fail "expected a failing update");
+          let flight = ok (Client.introspect c P.Flight) in
+          let recent =
+            match Json.member "recent" flight with
+            | Some (Json.Arr ds) -> ds
+            | _ -> Alcotest.fail "flight body missing recent"
+          in
+          Alcotest.(check bool) "digests recorded" true (List.length recent >= 2);
+          let str d k = match Json.member k d with Some (Json.Str s) -> s | _ -> "" in
+          let qd =
+            match List.filter (fun d -> str d "kind" = "query") recent with
+            | d :: _ -> d
+            | [] -> Alcotest.fail "no query digest"
+          in
+          Alcotest.(check string) "query digest detail" "//title" (str qd "detail");
+          Alcotest.(check bool) "query digest routed" true (str qd "route" <> "");
+          (match Json.member "plan" qd with
+          | Some (Json.Obj _) -> ()
+          | _ -> Alcotest.fail "slow query digest must carry its plan");
+          (match Json.member "est_rows" qd with
+          | Some (Json.Arr _) | Some Json.Null -> ()
+          | _ -> Alcotest.fail "est_rows must be an interval or null");
+          let failed =
+            List.exists
+              (fun d ->
+                match Json.member "outcome" d with Some (Json.Obj _) -> true | _ -> false)
+              recent
+          in
+          Alcotest.(check bool) "failed update digest kept" true failed;
+          Client.close c);
+      let ic = open_in slow_log in
+      let lines = ref [] in
+      (try
+         while true do
+           lines := input_line ic :: !lines
+         done
+       with End_of_file -> ());
+      close_in ic;
+      Alcotest.(check bool) "slow log written" true (List.length !lines >= 2);
+      List.iter
+        (fun line ->
+          match Json.parse line with
+          | Ok (Json.Obj _ as d) -> (
+            match Json.member "latency_ns" d with
+            | Some (Json.Num _) -> ()
+            | _ -> Alcotest.fail "slow-log line missing latency")
+          | Ok _ | Error _ -> Alcotest.failf "slow-log line not an object: %s" line)
+        !lines)
+
+(* trace propagation over the wire: a traced query's server spans are
+   retrievable by trace id — one root carrying the wire parent, phase
+   children nested within its window; untraced requests stay out *)
+let test_server_trace_propagation () =
+  with_server (fun sock _srv ->
+      let c = ok (Client.connect sock) in
+      let trace = { P.trace_id = "trace-e2e"; parent_span = 41 } in
+      ignore (ok (Client.query ~trace c "//title"));
+      ignore (ok (Client.query c "//book"));
+      let body = ok (Client.introspect c (P.Trace_events "trace-e2e")) in
+      let events =
+        match Json.member "events" body with
+        | Some (Json.Arr evs) ->
+          List.map
+            (fun j ->
+              match Xsm_obs.Trace.event_of_json j with
+              | Ok e -> e
+              | Error e -> Alcotest.fail e)
+            evs
+        | _ -> Alcotest.fail "no events array"
+      in
+      Alcotest.(check bool) "spans recorded under the trace" true (events <> []);
+      let roots = List.filter (fun (e : Xsm_obs.Trace.event) -> e.parent = 0) events in
+      (match roots with
+      | [ root ] ->
+        Alcotest.(check string) "root span kind" "serve.query" root.name;
+        Alcotest.(check string) "wire parent attached" "41"
+          (List.assoc "wire_parent" root.attrs);
+        Alcotest.(check string) "trace id attached" "trace-e2e"
+          (List.assoc "trace" root.attrs);
+        let children =
+          List.filter (fun (e : Xsm_obs.Trace.event) -> e.parent = root.id) events
+        in
+        Alcotest.(check bool) "phase spans under the root" true (children <> []);
+        List.iter
+          (fun (e : Xsm_obs.Trace.event) ->
+            Alcotest.(check bool)
+              (e.name ^ " within the root window")
+              true
+              (e.start_ns >= root.start_ns
+              && Int64.add e.start_ns e.dur_ns <= Int64.add root.start_ns root.dur_ns))
+          children
+      | _ -> Alcotest.failf "expected one root span, got %d" (List.length roots));
+      Client.close c)
+
+(* the openmetrics stats variant: scrapeable text with the server
+   counter families present and the terminator in place *)
+let test_server_openmetrics () =
+  with_server (fun sock _srv ->
+      let c = ok (Client.connect sock) in
+      ignore (ok (Client.query c "//title"));
+      let body = ok (Client.stats ~openmetrics:true c) in
+      (match Json.member "openmetrics" body with
+      | Some (Json.Str text) ->
+        let has needle =
+          let nl = String.length needle and hl = String.length text in
+          let rec go i = i + nl <= hl && (String.sub text i nl = needle || go (i + 1)) in
+          go 0
+        in
+        Alcotest.(check bool) "requests family" true (has "# TYPE server_requests counter");
+        Alcotest.(check bool) "runtime gauge sampled" true (has "runtime_heap_words ");
+        Alcotest.(check bool) "terminated" true (has "# EOF")
+      | _ -> Alcotest.fail "openmetrics stats reply must carry the text");
+      Client.close c)
+
 let suite =
   [
     ( "server.frame",
@@ -476,6 +620,10 @@ let suite =
         Alcotest.test_case "snapshot isolation" `Quick test_server_snapshot_isolation;
         Alcotest.test_case "checkpoint roundtrip" `Quick test_server_checkpoint_roundtrip;
         Alcotest.test_case "paged mirror" `Quick test_server_paged_mirror;
+        Alcotest.test_case "flight recorder and slow log" `Quick
+          test_server_flight_recorder;
+        Alcotest.test_case "trace propagation" `Quick test_server_trace_propagation;
+        Alcotest.test_case "openmetrics stats" `Quick test_server_openmetrics;
         Alcotest.test_case "protocol shutdown" `Quick test_server_protocol_shutdown;
       ] );
   ]
